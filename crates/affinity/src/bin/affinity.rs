@@ -1,0 +1,167 @@
+//! `affinity` — command-line front end to the framework.
+//!
+//! ```text
+//! affinity generate <sensor|stock> <path.afn> [n] [m]   seeded synthetic dataset
+//! affinity info     <path.afn>                          shape + labels
+//! affinity csv      <path.afn> <out.csv>                export to CSV
+//! affinity query    <path.afn> "<statement>" [...]      run MEC/MET/MER statements
+//! affinity quality  <path.afn>                          LSFD quality report
+//! ```
+//!
+//! Query statements use the `affinity-ql` grammar, e.g.
+//! `"MET correlation > 0.9"`, `"MEC mean OF STK0, STK1"`,
+//! `"MER covariance BETWEEN 0 AND 1"`.
+
+use affinity::core::prelude::*;
+use affinity::core::quality::quality_report;
+use affinity::data::generator::{sensor_dataset, stock_dataset, SensorConfig, StockConfig};
+use affinity::ql::Session;
+use affinity::storage::MatrixStore;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  affinity generate <sensor|stock> <path.afn> [n] [m]\n  affinity info <path.afn>\n  affinity csv <path.afn> <out.csv>\n  affinity query <path.afn> \"<statement>\" [more statements...]\n  affinity quality <path.afn>"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    let result = match cmd.as_str() {
+        "generate" => generate(&args[1..]),
+        "info" => info(&args[1..]),
+        "csv" => csv(&args[1..]),
+        "query" => query(&args[1..]),
+        "quality" => quality(&args[1..]),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn generate(args: &[String]) -> Result<(), String> {
+    let [kind, path, rest @ ..] = args else {
+        return Err("generate needs <sensor|stock> <path.afn>".into());
+    };
+    let n: Option<usize> = rest.first().map(|s| s.parse()).transpose().map_err(|_| "bad n")?;
+    let m: Option<usize> = rest.get(1).map(|s| s.parse()).transpose().map_err(|_| "bad m")?;
+    let data = match kind.as_str() {
+        "sensor" => {
+            let mut cfg = SensorConfig::default();
+            if let Some(n) = n {
+                cfg.series = n;
+            }
+            if let Some(m) = m {
+                cfg.samples = m;
+            }
+            sensor_dataset(&cfg)
+        }
+        "stock" => {
+            let mut cfg = StockConfig::default();
+            if let Some(n) = n {
+                cfg.series = n;
+            }
+            if let Some(m) = m {
+                cfg.samples = m;
+            }
+            stock_dataset(&cfg)
+        }
+        other => return Err(format!("unknown dataset kind '{other}'")),
+    };
+    MatrixStore::create(path, &data).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} series x {} samples to {path}",
+        data.series_count(),
+        data.samples()
+    );
+    Ok(())
+}
+
+fn open(path: &str) -> Result<affinity::data::DataMatrix, String> {
+    MatrixStore::open(path)
+        .and_then(|s| s.read_all())
+        .map_err(|e| e.to_string())
+}
+
+fn info(args: &[String]) -> Result<(), String> {
+    let [path] = args else {
+        return Err("info needs <path.afn>".into());
+    };
+    let data = open(path)?;
+    println!("series:  {}", data.series_count());
+    println!("samples: {}", data.samples());
+    println!("pairs:   {}", data.pair_count());
+    let shown = data.series_count().min(8);
+    let labels: Vec<&str> = (0..shown).map(|v| data.label(v)).collect();
+    println!(
+        "labels:  {}{}",
+        labels.join(", "),
+        if data.series_count() > shown { ", …" } else { "" }
+    );
+    Ok(())
+}
+
+fn csv(args: &[String]) -> Result<(), String> {
+    let [path, out] = args else {
+        return Err("csv needs <path.afn> <out.csv>".into());
+    };
+    let data = open(path)?;
+    affinity::data::csv::save_csv(&data, out).map_err(|e| e.to_string())?;
+    println!("exported to {out}");
+    Ok(())
+}
+
+fn query(args: &[String]) -> Result<(), String> {
+    let [path, statements @ ..] = args else {
+        return Err("query needs <path.afn> and at least one statement".into());
+    };
+    if statements.is_empty() {
+        return Err("query needs at least one statement".into());
+    }
+    let data = open(path)?;
+    let affine = Symex::new(SymexParams::default())
+        .run(&data)
+        .map_err(|e| e.to_string())?;
+    let session = Session::new(&data, &affine, &Measure::EXTENDED);
+    for stmt in statements {
+        println!("> {stmt}");
+        match session.execute(stmt) {
+            Ok(out) => print!("{out}"),
+            Err(e) => eprintln!("error: {e}"),
+        }
+    }
+    Ok(())
+}
+
+fn quality(args: &[String]) -> Result<(), String> {
+    let [path] = args else {
+        return Err("quality needs <path.afn>".into());
+    };
+    let data = open(path)?;
+    let affine = Symex::new(SymexParams::default())
+        .run(&data)
+        .map_err(|e| e.to_string())?;
+    // Sample for big sets: cap the scored count around 20k.
+    let stride = (affine.len() / 20_000).max(1);
+    let report = quality_report(&data, &affine, stride, 10);
+    println!("{}", report.summary());
+    println!("\nworst relationships:");
+    for rq in &report.worst {
+        println!(
+            "  ({}, {})  LSFD {:.4e}",
+            data.label(rq.pair.u),
+            data.label(rq.pair.v),
+            rq.lsfd
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,85 @@
+//! # AFFINITY
+//!
+//! A Rust implementation of **"AFFINITY: Efficiently Querying Statistical
+//! Measures on Time-Series Data"** (Sathe & Aberer, ICDE 2013).
+//!
+//! AFFINITY computes and queries statistical measures (mean, median, mode,
+//! covariance, dot product, Pearson correlation) over large collections of
+//! time series by exploiting *affine relationships*: instead of scanning
+//! raw series for every one of the `n(n−1)/2` pairs, it
+//!
+//! 1. clusters the series so each is nearly a linear image of its cluster
+//!    centre ([`core::afclst`], quality measured by the LSFD metric),
+//! 2. fits one least-squares affine relationship per pair against a small
+//!    (`≤ n·k`) set of *pivot pairs* ([`core::symex`]),
+//! 3. reconstructs any measure for any pair from pivot statistics and a
+//!    3-vector `β` ([`core::mec`]),
+//! 4. and answers threshold/range queries over *any* of those measures
+//!    from one ordered index of scalar projections ([`scape`]).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use affinity::prelude::*;
+//!
+//! // Synthetic stand-in for the paper's sensor dataset.
+//! let data = sensor_dataset(&SensorConfig::reduced(32, 96));
+//!
+//! // Cluster + compute affine relationships (AFCLST + SYMEX+).
+//! let affine = Symex::new(SymexParams::default()).run(&data).unwrap();
+//!
+//! // Measure computation through affine relationships (the W_A method).
+//! let engine = MecEngine::new(&data, &affine);
+//! let rho = engine.pairwise(PairwiseMeasure::Correlation, &[0, 1, 2, 3]);
+//! assert_eq!(rho.rows(), 4);
+//!
+//! // Indexed threshold queries (the SCAPE index).
+//! let index = ScapeIndex::build(&data, &affine, &Measure::ALL);
+//! let hot = index
+//!     .threshold_pairs(PairwiseMeasure::Correlation, ThresholdOp::Greater, 0.95)
+//!     .unwrap();
+//! assert!(hot.len() <= data.pair_count());
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Module | Backing crate | Contents |
+//! |---|---|---|
+//! | [`core`] | `affinity-core` | measures, LSFD, AFCLST, SYMEX/SYMEX+, MEC engine |
+//! | [`scape`] | `affinity-scape` | the SCAPE index, MET/MER queries |
+//! | [`data`] | `affinity-data` | data matrix, dataset generators, CSV, Zipf |
+//! | [`query`] | `affinity-query` | `W_N`/`W_A`/`W_F` executors, online workloads |
+//! | [`ql`] | `affinity-ql` | textual MEC/MET/MER query language + planner |
+//! | [`stream`] | `affinity-stream` | sliding windows, rolling stats, periodic model refresh |
+//! | [`storage`] | `affinity-storage` | columnar binary store with checksums |
+//! | [`linalg`] | `affinity-linalg` | QR, Jacobi eigen, power iteration |
+//! | [`dft`] | `affinity-dft` | FFT (radix-2 + Bluestein), coefficient sketches |
+//! | [`index`] | `affinity-index` | the B+ tree behind SCAPE |
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub use affinity_core as core;
+pub use affinity_data as data;
+pub use affinity_dft as dft;
+pub use affinity_index as index;
+pub use affinity_linalg as linalg;
+pub use affinity_ql as ql;
+pub use affinity_query as query;
+pub use affinity_scape as scape;
+pub use affinity_storage as storage;
+pub use affinity_stream as stream;
+
+/// Everything a typical application needs.
+pub mod prelude {
+    pub use affinity_core::prelude::*;
+    pub use affinity_data::generator::{
+        sensor_dataset, stock_dataset, SensorConfig, StockConfig,
+    };
+    pub use affinity_data::{DataMatrix, SequencePair, SeriesId, ZipfSampler};
+    pub use affinity_query::{AffineExecutor, DftExecutor, NaiveExecutor};
+    pub use affinity_ql::Session;
+    pub use affinity_scape::{ScapeIndex, ThresholdOp};
+    pub use affinity_storage::MatrixStore;
+    pub use affinity_stream::{StreamingConfig, StreamingEngine};
+}

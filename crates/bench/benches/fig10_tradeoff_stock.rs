@@ -1,0 +1,27 @@
+//! Fig. 10 — efficiency/accuracy tradeoff on stock-data.
+//!
+//! Same sweep as Fig. 9 on the larger dataset; the paper's point is that
+//! gains are *more* pronounced here (e.g. covariance up to ~24× vs ~18×
+//! on sensor-data) because the naive scan grows with n²·m.
+
+use affinity_bench::{header, stock, tradeoff, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    header("Fig. 10", "Efficiency and accuracy tradeoff, stock-data", scale);
+    let data = stock(scale);
+    println!(
+        "dataset: {} series x {} samples",
+        data.series_count(),
+        data.samples()
+    );
+    let rows = tradeoff::run(&data);
+    tradeoff::print(&rows, false);
+
+    let cov_speedup = rows
+        .iter()
+        .filter(|r| r.measure == "covariance")
+        .map(|r| r.speedup)
+        .fold(0.0f64, f64::max);
+    println!("\nshape check: max covariance speedup {cov_speedup:.1}x (paper: up to ~24x, larger than sensor-data)");
+}

@@ -1,0 +1,39 @@
+//! Fig. 11 — absolute time comparison on stock-data.
+//!
+//! The same sweep as Fig. 10 but reported as absolute `W_N` vs `W_A`
+//! seconds per measure and k, which is how the paper demonstrates that
+//! the speedups are not artifacts of tiny denominators.
+
+use affinity_bench::{header, stock, tradeoff, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    header("Fig. 11", "Absolute time comparison, stock-data", scale);
+    let data = stock(scale);
+    println!(
+        "dataset: {} series x {} samples",
+        data.series_count(),
+        data.samples()
+    );
+    let rows = tradeoff::run(&data);
+    tradeoff::print(&rows, true);
+
+    // Shape: W_N is flat across k; W_A stays well below W_N for the
+    // expensive measures (mode/covariance/median).
+    for measure in ["mode", "covariance", "median"] {
+        let worst_wa = rows
+            .iter()
+            .filter(|r| r.measure == measure)
+            .map(|r| r.affine_secs)
+            .fold(0.0f64, f64::max);
+        let wn = rows
+            .iter()
+            .filter(|r| r.measure == measure)
+            .map(|r| r.naive_secs)
+            .fold(0.0f64, f64::max);
+        println!(
+            "\nshape check [{measure}]: worst W_A {:.3}s vs W_N {:.3}s",
+            worst_wa, wn
+        );
+    }
+}

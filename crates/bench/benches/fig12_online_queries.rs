@@ -1,0 +1,79 @@
+//! Fig. 12 — query processing efficiency in online environments.
+//!
+//! Workloads of 15k–90k MEC queries (scaled down at quick/mid), each
+//! picking a measure uniformly and 10 power-law-popular series. `W_A`
+//! times *include* the SYMEX+ setup, as in the paper; the paper reports
+//! `W_A` 10–23× faster at 90k queries and 2.5–9× at 15k.
+
+use affinity_bench::{default_symex, fmt_secs, header, sensor, stock, time, Scale};
+use affinity_core::mec::MecEngine;
+use affinity_data::DataMatrix;
+use affinity_query::workload::{generate, run_affine, run_naive, WorkloadConfig};
+use affinity_query::{AffineExecutor, NaiveExecutor};
+
+fn run_dataset(name: &str, data: &DataMatrix, counts: &[usize]) {
+    println!("\n--- {name} ({} series x {} samples) ---", data.series_count(), data.samples());
+    println!(
+        "{:>10} {:>12} {:>12} {:>9}",
+        "#queries", "W_N", "W_A(+setup)", "speedup"
+    );
+    // One-time W_A setup, charged to every W_A figure like the paper.
+    let (affine, setup_secs) = time(|| default_symex().run(data).expect("symex"));
+    let (_, engine_secs) = time(|| MecEngine::new(data, &affine));
+    let wa_exec = AffineExecutor::new(data, &affine);
+    let wn_exec = NaiveExecutor::new(data);
+
+    let mut first_speedup = None;
+    let mut last_speedup = None;
+    for &q in counts {
+        let queries = generate(
+            &WorkloadConfig {
+                queries: q,
+                ids_per_query: 10,
+                zipf_exponent: 1.0,
+                seed: 0x00F1_612A,
+            },
+            data.series_count(),
+        );
+        let (naive_sum, wn_secs) = time(|| run_naive(&wn_exec, &queries));
+        let (affine_sum, wa_query_secs) = time(|| run_affine(&wa_exec, &queries));
+        let wa_secs = wa_query_secs + setup_secs + engine_secs;
+        let speedup = wn_secs / wa_secs;
+        if first_speedup.is_none() {
+            first_speedup = Some(speedup);
+        }
+        last_speedup = Some(speedup);
+        // Checksums keep the optimizer honest and sanity-check agreement.
+        assert!(
+            (naive_sum - affine_sum).abs() / naive_sum.abs().max(1.0) < 0.1,
+            "checksum divergence"
+        );
+        println!(
+            "{:>10} {:>12} {:>12} {:>8.1}x",
+            q,
+            fmt_secs(wn_secs),
+            fmt_secs(wa_secs),
+            speedup
+        );
+    }
+    println!(
+        "shape check: speedup grows with workload size ({:.1}x -> {:.1}x); paper: 2.5-9x at 15k to 10-23x at 90k",
+        first_speedup.unwrap_or(0.0),
+        last_speedup.unwrap_or(0.0)
+    );
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    header("Fig. 12", "Online MEC workloads", scale);
+    let counts: Vec<usize> = match scale {
+        Scale::Quick => vec![1_500, 3_000, 4_500, 6_000, 7_500, 9_000],
+        Scale::Mid => vec![5_000, 10_000, 15_000, 20_000, 25_000, 30_000],
+        Scale::Full => vec![15_000, 30_000, 45_000, 60_000, 75_000, 90_000],
+    };
+    println!("query counts: {counts:?} (paper: 15k..90k)");
+    let s = sensor(scale);
+    run_dataset("sensor-data", &s, &counts);
+    let k = stock(scale);
+    run_dataset("stock-data", &k, &counts);
+}

@@ -1,0 +1,37 @@
+//! Fig. 9 — efficiency/accuracy tradeoff on sensor-data.
+//!
+//! For k ∈ {6, 10, 14, 18, 22}: speedup of `W_A` over `W_N` and %RMSE
+//! (Eq. 16) for mean, median, mode, covariance and dot product.
+//!
+//! Paper shapes to reproduce: mean ~4–8× (tiny error), median ~6–18×
+//! (≤3% error), mode 10²–10⁴× (≤8% error, log scale), covariance
+//! ~6–18× (~1e-12 error), dot product ~1.3–2× (~1e-12 error).
+
+use affinity_bench::{header, sensor, tradeoff, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    header("Fig. 9", "Efficiency and accuracy tradeoff, sensor-data", scale);
+    let data = sensor(scale);
+    println!(
+        "dataset: {} series x {} samples",
+        data.series_count(),
+        data.samples()
+    );
+    let rows = tradeoff::run(&data);
+    tradeoff::print(&rows, false);
+
+    // Shape assertions (who wins, roughly by how much).
+    let mode_speedup = rows
+        .iter()
+        .filter(|r| r.measure == "mode")
+        .map(|r| r.speedup)
+        .fold(0.0f64, f64::max);
+    let dot_speedup = rows
+        .iter()
+        .filter(|r| r.measure == "dot product")
+        .map(|r| r.speedup)
+        .fold(0.0f64, f64::max);
+    println!("\nshape check: max mode speedup {mode_speedup:.0}x (paper ~3500x, log-scale panel),");
+    println!("             max dot speedup {dot_speedup:.1}x (paper reports the smallest gains for dot product)");
+}

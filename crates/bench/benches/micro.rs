@@ -1,0 +1,144 @@
+//! Criterion microbenchmarks for the framework's hot kernels — the
+//! ablation-level numbers behind the figure-level harnesses.
+
+use affinity_bench::{sensor, Scale};
+use affinity_core::affine::{design_matrix, PivotStats};
+use affinity_core::lsfd::lsfd;
+use affinity_core::measures;
+use affinity_core::mec::MecEngine;
+use affinity_core::symex::{pivot_pseudo_inverse, Symex, SymexParams, SymexVariant};
+use affinity_core::afclst::{afclst, AfclstParams};
+use affinity_data::SequencePair;
+use affinity_dft::{fft, Complex64, DftSketch};
+use affinity_index::BPlusTree;
+use affinity_linalg::qr::QrFactorization;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use std::ops::Bound;
+use std::time::Duration;
+
+fn series(m: usize, p: f64) -> Vec<f64> {
+    (0..m).map(|i| (i as f64 * p).sin() + 0.1 * (i as f64 * p * 3.3).cos()).collect()
+}
+
+fn bench_linalg(c: &mut Criterion) {
+    let m = 720;
+    let common = series(m, 0.013);
+    let center = series(m, 0.029);
+    let target = series(m, 0.041);
+    c.bench_function("least_squares_qr_720x3", |b| {
+        let design = design_matrix(&common, &center);
+        b.iter(|| {
+            let qr = QrFactorization::new(black_box(&design)).unwrap();
+            black_box(qr.solve(&target).unwrap())
+        })
+    });
+    c.bench_function("pivot_pseudo_inverse_720", |b| {
+        b.iter(|| black_box(pivot_pseudo_inverse(black_box(&common), black_box(&center))))
+    });
+    c.bench_function("lsfd_720x4", |b| {
+        let y1 = series(m, 0.051);
+        let y2 = series(m, 0.007);
+        b.iter(|| black_box(lsfd(&common, &center, &y1, &y2).unwrap()))
+    });
+    c.bench_function("pivot_stats_720", |b| {
+        b.iter(|| black_box(PivotStats::compute(&common, &center)))
+    });
+}
+
+fn bench_measures(c: &mut Criterion) {
+    let x = series(720, 0.013);
+    let y = series(720, 0.031);
+    c.bench_function("covariance_720", |b| {
+        b.iter(|| black_box(measures::covariance(&x, &y)))
+    });
+    c.bench_function("median_720", |b| b.iter(|| black_box(measures::median(&x))));
+    c.bench_function("mode_kde_720", |b| b.iter(|| black_box(measures::mode(&x))));
+}
+
+fn bench_dft(c: &mut Criterion) {
+    let x1950: Vec<Complex64> = (0..1950)
+        .map(|i| Complex64::from_real((i as f64 * 0.013).sin()))
+        .collect();
+    c.bench_function("fft_bluestein_1950", |b| {
+        b.iter(|| black_box(fft(black_box(&x1950))))
+    });
+    let raw = series(1950, 0.013);
+    c.bench_function("dft_sketch_build_1950_k5", |b| {
+        b.iter(|| black_box(DftSketch::build(black_box(&raw), 5)))
+    });
+}
+
+fn bench_btree(c: &mut Criterion) {
+    c.bench_function("bptree_insert_10k", |b| {
+        let keys: Vec<f64> = (0..10_000).map(|i| ((i * 2654435761_u64 as usize) % 99991) as f64).collect();
+        b.iter_batched(
+            BPlusTree::<u32>::new,
+            |mut t| {
+                for (i, k) in keys.iter().enumerate() {
+                    t.insert(*k, i as u32);
+                }
+                black_box(t.len())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("bptree_range_scan_10k", |b| {
+        let mut t = BPlusTree::new();
+        for i in 0..10_000 {
+            t.insert((i % 4999) as f64, i);
+        }
+        b.iter(|| {
+            black_box(
+                t.range(Bound::Included(1000.0), Bound::Excluded(2000.0))
+                    .count(),
+            )
+        })
+    });
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let data = sensor(Scale::Quick).prefix(60);
+    c.bench_function("afclst_k6_60x240", |b| {
+        let params = AfclstParams {
+            k: 6,
+            gamma_max: 10,
+            delta_min: 10,
+            seed: 1,
+        };
+        b.iter(|| black_box(afclst(&data, &params).unwrap()))
+    });
+    let affine = Symex::new(SymexParams::default()).run(&data).unwrap();
+    let engine = MecEngine::new(&data, &affine);
+    c.bench_function("mec_pair_value_correlation", |b| {
+        let pair = SequencePair::new(3, 41);
+        b.iter(|| {
+            black_box(
+                engine
+                    .pair_value(measures::PairwiseMeasure::Correlation, pair)
+                    .unwrap(),
+            )
+        })
+    });
+    c.bench_function("symex_plus_60x240", |b| {
+        let symex = Symex::new(SymexParams {
+            variant: SymexVariant::Plus,
+            ..Default::default()
+        });
+        b.iter(|| black_box(symex.run(&data).unwrap().len()))
+    });
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_linalg, bench_measures, bench_dft, bench_btree, bench_pipeline
+}
+criterion_main!(benches);

@@ -1,0 +1,511 @@
+//! AFCLST — the affine clustering algorithm (paper Alg. 1).
+//!
+//! Clusters the `n` series of the data matrix into `k` clusters such that
+//! each series is well approximated by a *linear* multiple of its cluster
+//! centre. Together with a shared common series, this makes the LSFD
+//! between a sequence pair matrix and its pivot pair matrix small
+//! (paper Fig. 4): the orthogonal projection error onto the 2-D hyperplane
+//! spanned by `s_u` and `r_ω(v)` is at most the projection error onto the
+//! centre alone.
+//!
+//! * **Assignment step**: series `s` joins the cluster whose unit centre
+//!   `r` minimizes `‖(r rᵀ)s − s‖` — computed as
+//!   `√(‖s‖² − (rᵀs)²)` without materializing the projection.
+//! * **Update step**: each centre becomes the dominant left singular
+//!   vector of the matrix of its members (`SVDLV` in the paper), computed
+//!   by power iteration through matrix-vector products only.
+//! * **Termination**: when an assignment pass changes at most `δ_min`
+//!   memberships, or after `γ_max` iterations. (The paper's Alg. 1 tests
+//!   `|nChg − currNChg| ≤ δ_min` between successive iterations; we use the
+//!   simpler absolute criterion, which is what the successive-difference
+//!   test converges to and is standard for k-means-style loops.)
+//!
+//! Empty clusters are re-seeded from a random series, so the model always
+//! returns exactly `k` usable centres.
+
+
+// Index-based loops over matrix coordinates are the clearest notation
+// for these kernels.
+#![allow(clippy::needless_range_loop)]
+use crate::error::CoreError;
+use affinity_data::DataMatrix;
+use affinity_linalg::vector;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the AFCLST algorithm. Paper defaults (Sec. 6.2):
+/// `k = 6`, `γ_max = 10`, `δ_min = 10`.
+#[derive(Debug, Clone)]
+pub struct AfclstParams {
+    /// Number of clusters `k`.
+    pub k: usize,
+    /// Maximum iterations `γ_max`.
+    pub gamma_max: usize,
+    /// Convergence threshold `δ_min` on membership changes.
+    pub delta_min: usize,
+    /// RNG seed for centre initialization and re-seeding.
+    pub seed: u64,
+}
+
+impl Default for AfclstParams {
+    fn default() -> Self {
+        AfclstParams {
+            k: 6,
+            gamma_max: 10,
+            delta_min: 10,
+            seed: 0x00AF_C157,
+        }
+    }
+}
+
+/// The output of AFCLST: unit-norm cluster centres `r_ℓ` and the cluster
+/// assignment function `ω(v)`.
+#[derive(Debug, Clone)]
+pub struct ClusterModel {
+    centers: Vec<Vec<f64>>,
+    assignment: Vec<usize>,
+    iterations: usize,
+    converged: bool,
+}
+
+impl ClusterModel {
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centers.len()
+    }
+
+    /// The cluster assignment `ω(v)`.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn cluster_of(&self, v: usize) -> usize {
+        self.assignment[v]
+    }
+
+    /// Unit-norm centre `r_ℓ`.
+    ///
+    /// # Panics
+    /// Panics if `l >= k`.
+    #[inline]
+    pub fn center(&self, l: usize) -> &[f64] {
+        &self.centers[l]
+    }
+
+    /// All assignments (`n` entries).
+    pub fn assignments(&self) -> &[usize] {
+        &self.assignment
+    }
+
+    /// Member series of cluster `l`.
+    pub fn members(&self, l: usize) -> Vec<usize> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter_map(|(v, &c)| (c == l).then_some(v))
+            .collect()
+    }
+
+    /// Iterations the algorithm ran for.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Whether the δ_min criterion fired before γ_max was exhausted.
+    pub fn converged(&self) -> bool {
+        self.converged
+    }
+
+    /// Mean orthogonal projection error of every series onto its centre —
+    /// the quantity AFCLST descends on; useful to compare `k` choices.
+    pub fn mean_projection_error(&self, data: &DataMatrix) -> f64 {
+        let n = data.series_count();
+        let total: f64 = (0..n)
+            .map(|v| {
+                let s = data.series(v);
+                projection_error(s, vector::dot(s, s), &self.centers[self.assignment[v]])
+            })
+            .sum();
+        total / n as f64
+    }
+}
+
+/// `‖(r rᵀ)s − s‖ = √(‖s‖² − (rᵀs)²)` for a unit centre `r`.
+#[inline]
+fn projection_error(s: &[f64], s_norm_sq: f64, r: &[f64]) -> f64 {
+    let c = vector::dot(r, s);
+    (s_norm_sq - c * c).max(0.0).sqrt()
+}
+
+/// Dominant direction of a set of member series via power iteration on
+/// `R Rᵀ` using only `Rᵀu` / `R z` products.
+fn dominant_direction(members: &[&[f64]], m: usize, rng: &mut StdRng) -> Vec<f64> {
+    debug_assert!(!members.is_empty());
+    if members.len() == 1 {
+        let mut r = members[0].to_vec();
+        if vector::normalize(&mut r) == 0.0 {
+            r[0] = 1.0;
+        }
+        return r;
+    }
+    let mut u: Vec<f64> = (0..m).map(|_| rng.gen_range(-0.5..0.5)).collect();
+    if vector::normalize(&mut u) == 0.0 {
+        u[0] = 1.0;
+    }
+    const MAX_IT: usize = 60;
+    const TOL: f64 = 1e-9;
+    for _ in 0..MAX_IT {
+        // w = Σ_j (s_jᵀ u) s_j
+        let mut w = vec![0.0; m];
+        for s in members {
+            let c = vector::dot(s, u.as_slice());
+            if c != 0.0 {
+                vector::axpy(c, s, &mut w);
+            }
+        }
+        if vector::normalize(&mut w) == 0.0 {
+            // All members orthogonal to u (or zero); re-randomize.
+            u = (0..m).map(|_| rng.gen_range(-0.5..0.5)).collect();
+            vector::normalize(&mut u);
+            continue;
+        }
+        let cos = vector::dot(&w, &u).abs().min(1.0);
+        u = w;
+        if (1.0 - cos * cos).sqrt() < TOL {
+            break;
+        }
+    }
+    u
+}
+
+/// Run AFCLST on the data matrix.
+///
+/// # Errors
+/// * [`CoreError::TooManyClusters`] if `k > n`;
+/// * [`CoreError::InvalidParameter`] if `k == 0` or `γ_max == 0`.
+pub fn afclst(data: &DataMatrix, params: &AfclstParams) -> Result<ClusterModel, CoreError> {
+    let n = data.series_count();
+    let m = data.samples();
+    if params.k == 0 {
+        return Err(CoreError::InvalidParameter("k must be >= 1".into()));
+    }
+    if params.gamma_max == 0 {
+        return Err(CoreError::InvalidParameter("gamma_max must be >= 1".into()));
+    }
+    if params.k > n {
+        return Err(CoreError::TooManyClusters {
+            requested: params.k,
+            available: n,
+        });
+    }
+    let k = params.k;
+    let mut rng = StdRng::seed_from_u64(params.seed);
+
+    // Initialization: k distinct random columns, normalized (Alg. 1
+    // lines 1–3; distinctness avoids immediately-duplicate centres).
+    let mut picks: Vec<usize> = (0..n).collect();
+    for i in 0..k {
+        let j = rng.gen_range(i..n);
+        picks.swap(i, j);
+    }
+    let mut centers: Vec<Vec<f64>> = picks[..k]
+        .iter()
+        .map(|&v| {
+            let mut c = data.series(v).to_vec();
+            if vector::normalize(&mut c) == 0.0 {
+                c[0] = 1.0; // constant-zero series: arbitrary direction
+            }
+            c
+        })
+        .collect();
+
+    let norms_sq: Vec<f64> = (0..n)
+        .map(|v| {
+            let s = data.series(v);
+            vector::dot(s, s)
+        })
+        .collect();
+
+    let mut assignment = vec![usize::MAX; n];
+    let mut iterations = 0;
+    let mut converged = false;
+
+    for _iter in 0..params.gamma_max {
+        iterations += 1;
+        // Assignment phase.
+        let mut changes = 0;
+        for v in 0..n {
+            let s = data.series(v);
+            let mut best = 0;
+            let mut best_err = f64::INFINITY;
+            for (l, r) in centers.iter().enumerate() {
+                let e = projection_error(s, norms_sq[v], r);
+                if e < best_err {
+                    best_err = e;
+                    best = l;
+                }
+            }
+            if assignment[v] != best {
+                assignment[v] = best;
+                changes += 1;
+            }
+        }
+        if changes <= params.delta_min {
+            converged = true;
+            break;
+        }
+        // Update phase.
+        for l in 0..k {
+            let members: Vec<&[f64]> = (0..n)
+                .filter(|&v| assignment[v] == l)
+                .map(|v| data.series(v))
+                .collect();
+            if members.is_empty() {
+                // Re-seed an empty cluster from a random series.
+                let v = rng.gen_range(0..n);
+                let mut c = data.series(v).to_vec();
+                if vector::normalize(&mut c) == 0.0 {
+                    c[0] = 1.0;
+                }
+                centers[l] = c;
+            } else {
+                centers[l] = dominant_direction(&members, m, &mut rng);
+            }
+        }
+    }
+
+    // Make the returned assignment consistent with the returned centres.
+    for v in 0..n {
+        let s = data.series(v);
+        let mut best = 0;
+        let mut best_err = f64::INFINITY;
+        for (l, r) in centers.iter().enumerate() {
+            let e = projection_error(s, norms_sq[v], r);
+            if e < best_err {
+                best_err = e;
+                best = l;
+            }
+        }
+        assignment[v] = best;
+    }
+
+    Ok(ClusterModel {
+        centers,
+        assignment,
+        iterations,
+        converged,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two planted linear clusters: multiples of two orthogonal-ish bases.
+    fn planted(n_per: usize, m: usize) -> DataMatrix {
+        let base1: Vec<f64> = (0..m).map(|i| (i as f64 * 0.3).sin()).collect();
+        let base2: Vec<f64> = (0..m).map(|i| (i as f64 * 0.05).cos() + 0.2).collect();
+        let mut cols = Vec::new();
+        for j in 0..n_per {
+            let g = 1.0 + j as f64 * 0.3;
+            cols.push(base1.iter().map(|v| g * v).collect());
+        }
+        for j in 0..n_per {
+            let g = 0.5 + j as f64 * 0.2;
+            cols.push(base2.iter().map(|v| g * v).collect());
+        }
+        DataMatrix::from_series(cols)
+    }
+
+    #[test]
+    fn recovers_planted_clusters() {
+        let data = planted(8, 64);
+        let model = afclst(
+            &data,
+            &AfclstParams {
+                k: 2,
+                gamma_max: 20,
+                delta_min: 0,
+                seed: 3,
+            },
+        )
+        .unwrap();
+        // All of the first 8 series share a cluster, all of the last 8
+        // share the other.
+        let c0 = model.cluster_of(0);
+        let c1 = model.cluster_of(8);
+        assert_ne!(c0, c1);
+        for v in 0..8 {
+            assert_eq!(model.cluster_of(v), c0, "series {v}");
+        }
+        for v in 8..16 {
+            assert_eq!(model.cluster_of(v), c1, "series {v}");
+        }
+        // Centres are unit norm.
+        for l in 0..2 {
+            assert!((vector::norm(model.center(l)) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn projection_error_decreases_with_more_clusters() {
+        let data = affinity_data::generator::sensor_dataset(
+            &affinity_data::generator::SensorConfig::reduced(40, 96),
+        );
+        let err_k2 = afclst(
+            &data,
+            &AfclstParams {
+                k: 2,
+                gamma_max: 15,
+                delta_min: 0,
+                seed: 1,
+            },
+        )
+        .unwrap()
+        .mean_projection_error(&data);
+        let err_k8 = afclst(
+            &data,
+            &AfclstParams {
+                k: 8,
+                gamma_max: 15,
+                delta_min: 0,
+                seed: 1,
+            },
+        )
+        .unwrap()
+        .mean_projection_error(&data);
+        assert!(
+            err_k8 <= err_k2 * 1.05,
+            "k=8 error {err_k8} not better than k=2 error {err_k2}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = planted(5, 32);
+        let p = AfclstParams {
+            k: 3,
+            gamma_max: 10,
+            delta_min: 0,
+            seed: 9,
+        };
+        let a = afclst(&data, &p).unwrap();
+        let b = afclst(&data, &p).unwrap();
+        assert_eq!(a.assignments(), b.assignments());
+        for l in 0..3 {
+            assert_eq!(a.center(l), b.center(l));
+        }
+    }
+
+    #[test]
+    fn members_partition_the_series() {
+        let data = planted(6, 48);
+        let model = afclst(&data, &AfclstParams::default().clone_with_k(3)).unwrap();
+        let mut seen = vec![false; data.series_count()];
+        for l in 0..model.k() {
+            for v in model.members(l) {
+                assert!(!seen[v], "series {v} in two clusters");
+                seen[v] = true;
+                assert_eq!(model.cluster_of(v), l);
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn parameter_validation() {
+        let data = planted(2, 16);
+        assert!(matches!(
+            afclst(&data, &AfclstParams { k: 0, ..Default::default() }),
+            Err(CoreError::InvalidParameter(_))
+        ));
+        assert!(matches!(
+            afclst(&data, &AfclstParams { gamma_max: 0, ..Default::default() }),
+            Err(CoreError::InvalidParameter(_))
+        ));
+        assert!(matches!(
+            afclst(&data, &AfclstParams { k: 100, ..Default::default() }),
+            Err(CoreError::TooManyClusters { .. })
+        ));
+    }
+
+    #[test]
+    fn k_equals_n_is_fine() {
+        let data = planted(2, 16); // n = 4
+        let model = afclst(
+            &data,
+            &AfclstParams {
+                k: 4,
+                gamma_max: 5,
+                delta_min: 0,
+                seed: 2,
+            },
+        )
+        .unwrap();
+        assert_eq!(model.k(), 4);
+    }
+
+    #[test]
+    fn single_cluster_centers_on_dominant_direction() {
+        let data = planted(6, 40);
+        let model = afclst(
+            &data,
+            &AfclstParams {
+                k: 1,
+                gamma_max: 10,
+                delta_min: 0,
+                seed: 5,
+            },
+        )
+        .unwrap();
+        assert!(model.members(0).len() == data.series_count());
+        assert!((vector::norm(model.center(0)) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn convergence_flag_and_iterations() {
+        let data = planted(8, 64);
+        let model = afclst(
+            &data,
+            &AfclstParams {
+                k: 2,
+                gamma_max: 50,
+                delta_min: 0,
+                seed: 3,
+            },
+        )
+        .unwrap();
+        assert!(model.converged());
+        assert!(model.iterations() < 50);
+    }
+
+    #[test]
+    fn constant_series_are_tolerated() {
+        let mut cols = vec![vec![0.0; 20], vec![5.0; 20]];
+        cols.push((0..20).map(|i| (i as f64 * 0.4).sin()).collect());
+        cols.push((0..20).map(|i| (i as f64 * 0.4).sin() * 2.0).collect());
+        let data = DataMatrix::from_series(cols);
+        let model = afclst(
+            &data,
+            &AfclstParams {
+                k: 2,
+                gamma_max: 10,
+                delta_min: 0,
+                seed: 8,
+            },
+        )
+        .unwrap();
+        assert_eq!(model.assignments().len(), 4);
+    }
+
+    impl AfclstParams {
+        fn clone_with_k(&self, k: usize) -> AfclstParams {
+            AfclstParams {
+                k,
+                gamma_max: 15,
+                delta_min: 0,
+                ..*self
+            }
+        }
+    }
+}

@@ -1,0 +1,453 @@
+//! Affine transformations, affine relationships, and the propagation
+//! identities of paper Sec. 2.3 (Eqs. 4–8).
+//!
+//! An *affine relationship* `(A, b)_e` (Def. 3) links a sequence pair
+//! matrix `S_e = [s_common, s_other]` to its pivot pair matrix
+//! `O_p = [s_common, r_cluster]`:
+//!
+//! ```text
+//! S_e ≈ O_p · A + 1_m · bᵀ
+//! ```
+//!
+//! We always place the *common* series in the first column of both
+//! matrices. The least-squares solution then recovers the first column of
+//! `(A, b)` as exactly `(1, 0, 0)` (the common series lies in the design
+//! span), and every measure of the pair can be propagated from pivot
+//! statistics with the measure-independent vector `β = (a₁₂, a₂₂, b₂)` —
+//! which is precisely the decoupling the SCAPE index builds on (Sec. 5.1).
+
+
+// Index-based loops over matrix coordinates are the clearest notation
+// for these kernels.
+#![allow(clippy::needless_range_loop)]
+use crate::error::CoreError;
+use affinity_data::{SequencePair, SeriesId};
+use affinity_linalg::qr::QrFactorization;
+use affinity_linalg::{vector, Matrix};
+
+/// A pivot pair `p = (common, ω(other))` (paper Def. 2): the series
+/// `common` is shared with the sequence pair, the other series is
+/// replaced by its cluster centre.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PivotPair {
+    /// The series shared between sequence pair and pivot pair.
+    pub common: SeriesId,
+    /// The cluster whose centre replaces the other series.
+    pub cluster: usize,
+}
+
+/// An affine relationship between a sequence pair and its pivot pair
+/// (paper Def. 3), produced by SYMEX.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AffineRelationship {
+    /// The sequence pair `e = (u, v)`.
+    pub pair: SequencePair,
+    /// The pivot pair this relationship is anchored at.
+    pub pivot: PivotPair,
+    /// Which member of `pair` is the common series (first column).
+    pub common: SeriesId,
+    /// Transformation matrix `A`, `a[r][c]` = row `r`, column `c`.
+    pub a: [[f64; 2]; 2],
+    /// Translation vector `b`.
+    pub b: [f64; 2],
+}
+
+impl AffineRelationship {
+    /// The non-common member of the pair (the series `β` reconstructs).
+    pub fn other(&self) -> SeriesId {
+        self.pair.other(self.common)
+    }
+
+    /// The measure-independent key vector `β = (a₁₂, a₂₂, b₂)` of
+    /// paper Table 2.
+    #[inline]
+    pub fn beta(&self) -> [f64; 3] {
+        [self.a[0][1], self.a[1][1], self.b[1]]
+    }
+}
+
+/// A per-series affine relationship `s_v ≈ c·r_ω(v) + d·1` used for
+/// L-measures, where an O(n) set of relationships suffices (the paper
+/// notes median has only linearly many relationships, Sec. 6.4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeriesRelationship {
+    /// The series being approximated.
+    pub series: SeriesId,
+    /// Its cluster (the centre the fit is against).
+    pub cluster: usize,
+    /// Scale coefficient.
+    pub c: f64,
+    /// Offset coefficient.
+    pub d: f64,
+}
+
+impl SeriesRelationship {
+    /// Propagate a location value of the cluster centre to the series
+    /// (paper Eq. 5 specialized to one dimension).
+    #[inline]
+    pub fn propagate(&self, center_value: f64) -> f64 {
+        self.c * center_value + self.d
+    }
+}
+
+/// Least-squares fit of the per-series relationship `s ≈ c·r + d·1`,
+/// solved in closed form from the 2×2 normal equations.
+///
+/// Degenerate designs (constant centre) fall back to `c = 0`,
+/// `d = mean(s)` — the best constant approximation.
+///
+/// # Panics
+/// Panics if slices differ in length or are empty.
+pub fn fit_series(center: &[f64], series: &[f64]) -> (f64, f64) {
+    assert_eq!(center.len(), series.len(), "fit_series: length mismatch");
+    assert!(!center.is_empty(), "fit_series: empty input");
+    let m = center.len() as f64;
+    let srr = vector::dot(center, center);
+    let sr = vector::sum(center);
+    let srs = vector::dot(center, series);
+    let ss = vector::sum(series);
+    let det = srr * m - sr * sr;
+    if det.abs() <= 1e-12 * (srr * m).abs().max(1.0) {
+        return (0.0, ss / m);
+    }
+    let c = (srs * m - sr * ss) / det;
+    let d = (srr * ss - sr * srs) / det;
+    (c, d)
+}
+
+/// The design matrix `[O_p, 1_m]` for a pivot pair with columns
+/// (`common`, `centre`).
+pub fn design_matrix(common: &[f64], center: &[f64]) -> Matrix {
+    assert_eq!(common.len(), center.len(), "design_matrix: length mismatch");
+    Matrix::from_columns(&[common.to_vec(), center.to_vec(), vec![1.0; common.len()]])
+}
+
+/// Solve for `(A, b)` of Def. 3 given a pre-factorized design
+/// (`QR of [O_p, 1_m]`) and the two target columns.
+///
+/// Returns `(a, b)` with `a[r][c]` indexing.
+///
+/// # Errors
+/// Propagates rank-deficiency from the solver (e.g. a constant centre).
+pub fn solve_relationship(
+    design: &QrFactorization,
+    target_common: &[f64],
+    target_other: &[f64],
+) -> Result<([[f64; 2]; 2], [f64; 2]), CoreError> {
+    let t1 = design.solve(target_common)?;
+    let t2 = design.solve(target_other)?;
+    Ok((
+        [[t1[0], t2[0]], [t1[1], t2[1]]],
+        [t1[2], t2[2]],
+    ))
+}
+
+/// Solve for `(A, b)` using a cached pseudo-inverse (`3×m`), the SYMEX+
+/// path. Mathematically identical to [`solve_relationship`].
+pub fn solve_relationship_pinv(
+    pinv: &Matrix,
+    target_common: &[f64],
+    target_other: &[f64],
+) -> ([[f64; 2]; 2], [f64; 2]) {
+    debug_assert_eq!(pinv.rows(), 3);
+    let mut t = [[0.0f64; 3]; 2];
+    for (col, target) in [target_common, target_other].into_iter().enumerate() {
+        for r in 0..3 {
+            // pinv row r dot target: pinv is column-major, row access strided;
+            // accumulate manually over columns.
+            let mut acc = 0.0;
+            for (j, &tv) in target.iter().enumerate() {
+                acc += pinv.get(r, j) * tv;
+            }
+            t[col][r] = acc;
+        }
+    }
+    (
+        [[t[0][0], t[1][0]], [t[0][1], t[1][1]]],
+        [t[0][2], t[1][2]],
+    )
+}
+
+/// Statistics of a pivot pair matrix `O_p = [o₁, o₂]` needed to propagate
+/// every supported measure (computed once per pivot in MEC preprocessing,
+/// paper Sec. 4.1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PivotStats {
+    /// `Σ₁₁(O_p)`: variance of the common series.
+    pub cov11: f64,
+    /// `Σ₁₂(O_p)`.
+    pub cov12: f64,
+    /// `Σ₂₂(O_p)`: variance of the centre.
+    pub cov22: f64,
+    /// `Π₁₁(O_p)`: self dot product of the common series.
+    pub dot11: f64,
+    /// `Π₁₂(O_p)`.
+    pub dot12: f64,
+    /// `Π₂₂(O_p)`.
+    pub dot22: f64,
+    /// `h₁(O_p) = Σᵢ o₁ᵢ` (column sum of the common series).
+    pub h1: f64,
+    /// `h₂(O_p) = Σᵢ o₂ᵢ`.
+    pub h2: f64,
+    /// Mean of the common series (`L₁` for the mean measure).
+    pub mean1: f64,
+    /// Mean of the centre.
+    pub mean2: f64,
+}
+
+impl PivotStats {
+    /// Compute all statistics with one pass per moment.
+    ///
+    /// # Panics
+    /// Panics if the columns differ in length.
+    pub fn compute(common: &[f64], center: &[f64]) -> Self {
+        assert_eq!(common.len(), center.len(), "PivotStats: length mismatch");
+        let dot11 = vector::dot(common, common);
+        let dot12 = vector::dot(common, center);
+        let dot22 = vector::dot(center, center);
+        let h1 = vector::sum(common);
+        let h2 = vector::sum(center);
+        let m = common.len() as f64;
+        let mean1 = h1 / m;
+        let mean2 = h2 / m;
+        PivotStats {
+            cov11: dot11 / m - mean1 * mean1,
+            cov12: dot12 / m - mean1 * mean2,
+            cov22: dot22 / m - mean2 * mean2,
+            dot11,
+            dot12,
+            dot22,
+            h1,
+            h2,
+            mean1,
+            mean2,
+        }
+    }
+
+    /// Propagated covariance of the pair, `Σ₁₂(S_e) = a₁ᵀ Σ(O_p) a₂`
+    /// (Eq. 6). With the common-first convention `a₁ = (1, 0)` this is the
+    /// scalar product of `β` with the covariance α-vector of Table 2.
+    #[inline]
+    pub fn propagate_covariance(&self, beta: &[f64; 3]) -> f64 {
+        self.cov11 * beta[0] + self.cov12 * beta[1]
+    }
+
+    /// Propagated dot product `Π₁₂(S_e)` (Eq. 7, exact by Lemma 1).
+    #[inline]
+    pub fn propagate_dot(&self, beta: &[f64; 3]) -> f64 {
+        self.dot11 * beta[0] + self.dot12 * beta[1] + self.h1 * beta[2]
+    }
+
+    /// Propagated location of the *other* series (Eq. 5): requires the
+    /// location values of both pivot columns.
+    #[inline]
+    pub fn propagate_location(l1: f64, l2: f64, beta: &[f64; 3]) -> f64 {
+        l1 * beta[0] + l2 * beta[1] + beta[2]
+    }
+
+    /// Propagated variance of the *other* series,
+    /// `Σ₂₂(S_e) = a₂ᵀ Σ(O_p) a₂` (Eq. 6) — used for self entries and
+    /// derived-measure normalizers estimated without raw data.
+    #[inline]
+    pub fn propagate_other_variance(&self, beta: &[f64; 3]) -> f64 {
+        beta[0] * beta[0] * self.cov11
+            + 2.0 * beta[0] * beta[1] * self.cov12
+            + beta[1] * beta[1] * self.cov22
+    }
+
+    /// The measure α-vector of paper Table 2 (our convention; see
+    /// DESIGN.md §2): `ξ·‖α‖ = αᵀβ` reconstructs the measure.
+    pub fn alpha(&self, measure: crate::measures::PairwiseMeasure) -> [f64; 3] {
+        use crate::measures::PairwiseMeasure as P;
+        match measure {
+            // Correlation is covariance-normalized (Eq. 8).
+            P::Covariance | P::Correlation => [self.cov11, self.cov12, 0.0],
+            // Cosine and Dice are dot-product-normalized (Sec. 2.1).
+            P::DotProduct | P::Cosine | P::Dice => [self.dot11, self.dot12, self.h1],
+        }
+    }
+
+    /// The α-vector for a location measure: `(L(o₁), L(o₂), 1)`.
+    pub fn alpha_location(l1: f64, l2: f64) -> [f64; 3] {
+        [l1, l2, 1.0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measures::{self, PairwiseMeasure};
+
+    fn series(n: usize, f: impl Fn(usize) -> f64) -> Vec<f64> {
+        (0..n).map(f).collect()
+    }
+
+    #[test]
+    fn fit_series_recovers_exact_affine() {
+        let r = series(50, |i| (i as f64 * 0.3).sin());
+        let s: Vec<f64> = r.iter().map(|v| 2.5 * v - 1.25).collect();
+        let (c, d) = fit_series(&r, &s);
+        assert!((c - 2.5).abs() < 1e-10);
+        assert!((d + 1.25).abs() < 1e-10);
+        let rel = SeriesRelationship {
+            series: 0,
+            cluster: 0,
+            c,
+            d,
+        };
+        assert!((rel.propagate(0.5) - (2.5 * 0.5 - 1.25)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn fit_series_constant_center_falls_back() {
+        let r = vec![2.0; 10];
+        let s = series(10, |i| i as f64);
+        let (c, d) = fit_series(&r, &s);
+        assert_eq!(c, 0.0);
+        assert_eq!(d, 4.5);
+    }
+
+    #[test]
+    fn exact_relationship_recovers_transform() {
+        let o1 = series(40, |i| (i as f64 * 0.17).sin() + 1.0);
+        let o2 = series(40, |i| (i as f64 * 0.05).cos() * 2.0);
+        // Targets are exact affine images.
+        let t1 = o1.clone(); // common series: A column 1 must be (1,0), b1=0
+        let t2: Vec<f64> = o1
+            .iter()
+            .zip(o2.iter())
+            .map(|(a, b)| 0.7 * a - 1.3 * b + 0.4)
+            .collect();
+        let design = QrFactorization::new(&design_matrix(&o1, &o2)).unwrap();
+        let (a, b) = solve_relationship(&design, &t1, &t2).unwrap();
+        assert!((a[0][0] - 1.0).abs() < 1e-10);
+        assert!(a[1][0].abs() < 1e-10);
+        assert!(b[0].abs() < 1e-10);
+        assert!((a[0][1] - 0.7).abs() < 1e-10);
+        assert!((a[1][1] + 1.3).abs() < 1e-10);
+        assert!((b[1] - 0.4).abs() < 1e-10);
+    }
+
+    #[test]
+    fn pinv_path_matches_qr_path() {
+        let o1 = series(30, |i| i as f64 * 0.1);
+        let o2 = series(30, |i| ((i * i) as f64 * 0.01).sin());
+        let t1 = o1.clone();
+        let t2 = series(30, |i| (i as f64 * 0.2).cos() + 0.1 * i as f64);
+        let design = QrFactorization::new(&design_matrix(&o1, &o2)).unwrap();
+        let (a1, b1) = solve_relationship(&design, &t1, &t2).unwrap();
+        let pinv = design.pseudo_inverse().unwrap();
+        let (a2, b2) = solve_relationship_pinv(&pinv, &t1, &t2);
+        for r in 0..2 {
+            for c in 0..2 {
+                assert!((a1[r][c] - a2[r][c]).abs() < 1e-9);
+            }
+            assert!((b1[r] - b2[r]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn covariance_propagation_is_exact_for_exact_relationships() {
+        let o1 = series(60, |i| (i as f64 * 0.11).sin());
+        let o2 = series(60, |i| (i as f64 * 0.23).cos());
+        let t2: Vec<f64> = o1
+            .iter()
+            .zip(o2.iter())
+            .map(|(a, b)| -0.4 * a + 2.0 * b - 3.0)
+            .collect();
+        let design = QrFactorization::new(&design_matrix(&o1, &o2)).unwrap();
+        let (a, b) = solve_relationship(&design, &o1, &t2).unwrap();
+        let rel = AffineRelationship {
+            pair: SequencePair::new(0, 1),
+            pivot: PivotPair { common: 0, cluster: 0 },
+            common: 0,
+            a,
+            b,
+        };
+        let stats = PivotStats::compute(&o1, &o2);
+        let prop = stats.propagate_covariance(&rel.beta());
+        let exact = measures::covariance(&o1, &t2);
+        assert!((prop - exact).abs() < 1e-10, "{prop} vs {exact}");
+        // Variance of the other series propagates too.
+        let var_prop = stats.propagate_other_variance(&rel.beta());
+        let var_exact = affinity_linalg::vector::variance(&t2);
+        assert!((var_prop - var_exact).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dot_propagation_is_exact_even_for_inexact_relationships() {
+        // Lemma 1: the dot product with the common series is preserved by
+        // any least-squares fit — even when the target is NOT an affine
+        // image of the pivot.
+        let o1 = series(80, |i| (i as f64 * 0.37).sin() + 0.5);
+        let o2 = series(80, |i| (i as f64 * 0.12).cos());
+        let noisy: Vec<f64> = (0..80)
+            .map(|i| (i as f64 * 0.71).sin() * (i as f64 * 0.05).cos() + 0.3)
+            .collect();
+        let design = QrFactorization::new(&design_matrix(&o1, &o2)).unwrap();
+        let (a, b) = solve_relationship(&design, &o1, &noisy).unwrap();
+        let beta = [a[0][1], a[1][1], b[1]];
+        let stats = PivotStats::compute(&o1, &o2);
+        let prop = stats.propagate_dot(&beta);
+        let exact = vector::dot(&o1, &noisy);
+        assert!(
+            (prop - exact).abs() < 1e-8 * exact.abs().max(1.0),
+            "{prop} vs {exact}"
+        );
+    }
+
+    #[test]
+    fn location_propagation_mean_is_exact() {
+        let o1 = series(25, |i| i as f64);
+        let o2 = series(25, |i| (i as f64).sqrt());
+        let t2: Vec<f64> = o1
+            .iter()
+            .zip(o2.iter())
+            .map(|(a, b)| 0.1 * a + 3.0 * b + 2.0)
+            .collect();
+        let design = QrFactorization::new(&design_matrix(&o1, &o2)).unwrap();
+        let (a, b) = solve_relationship(&design, &o1, &t2).unwrap();
+        let beta = [a[0][1], a[1][1], b[1]];
+        let prop = PivotStats::propagate_location(
+            measures::mean(&o1),
+            measures::mean(&o2),
+            &beta,
+        );
+        assert!((prop - measures::mean(&t2)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn alpha_vectors_reconstruct_measures() {
+        let o1 = series(45, |i| (i as f64 * 0.3).sin() * 2.0 + 1.0);
+        let o2 = series(45, |i| (i as f64 * 0.19).cos() - 0.5);
+        let t2: Vec<f64> = o1
+            .iter()
+            .zip(o2.iter())
+            .map(|(a, b)| 1.1 * a - 0.6 * b + 0.2)
+            .collect();
+        let design = QrFactorization::new(&design_matrix(&o1, &o2)).unwrap();
+        let (a, b) = solve_relationship(&design, &o1, &t2).unwrap();
+        let beta = [a[0][1], a[1][1], b[1]];
+        let stats = PivotStats::compute(&o1, &o2);
+        let dotp = |x: &[f64; 3], y: &[f64; 3]| x[0] * y[0] + x[1] * y[1] + x[2] * y[2];
+        let cov_alpha = stats.alpha(PairwiseMeasure::Covariance);
+        assert!((dotp(&cov_alpha, &beta) - measures::covariance(&o1, &t2)).abs() < 1e-9);
+        let dot_alpha = stats.alpha(PairwiseMeasure::DotProduct);
+        assert!((dotp(&dot_alpha, &beta) - vector::dot(&o1, &t2)).abs() < 1e-7);
+        let loc_alpha = PivotStats::alpha_location(stats.mean1, stats.mean2);
+        assert!((dotp(&loc_alpha, &beta) - measures::mean(&t2)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn relationship_accessors() {
+        let rel = AffineRelationship {
+            pair: SequencePair::new(2, 7),
+            pivot: PivotPair { common: 7, cluster: 3 },
+            common: 7,
+            a: [[1.0, 0.5], [0.0, 2.0]],
+            b: [0.0, -1.0],
+        };
+        assert_eq!(rel.other(), 2);
+        assert_eq!(rel.beta(), [0.5, 2.0, -1.0]);
+    }
+}

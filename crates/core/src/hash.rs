@@ -1,0 +1,116 @@
+//! A fast, non-cryptographic hasher for small integer keys.
+//!
+//! SYMEX stores one affine relationship per sequence pair — up to ~500k
+//! entries keyed by `(u, v)` pairs — and looks them up on every query.
+//! SipHash (std's default) is needlessly slow for integer keys; this is
+//! the classic Fx/FNV-style multiply-rotate mix used by rustc, written
+//! here to keep the dependency budget at zero.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-rotate hasher specialized for integer-sized keys.
+#[derive(Default)]
+pub struct FxHasher {
+    state: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Chunked little-endian reads; good enough for the rare non-integer
+        // keys, exact for the common fixed-width ones.
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.mix(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.mix(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.mix(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.mix(v as u64);
+    }
+}
+
+/// `HashMap` with the Fx hasher.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// `HashSet` with the Fx hasher.
+pub type FxHashSet<K> = std::collections::HashSet<K, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<(usize, usize), u32> = FxHashMap::default();
+        for u in 0..50 {
+            for v in u + 1..50 {
+                m.insert((u, v), (u * 100 + v) as u32);
+            }
+        }
+        assert_eq!(m.len(), 50 * 49 / 2);
+        assert_eq!(m[&(3, 7)], 307);
+        assert!(!m.contains_key(&(7, 3)));
+    }
+
+    #[test]
+    fn hash_is_deterministic_and_spreads() {
+        let h = |x: u64| {
+            let mut hh = FxHasher::default();
+            hh.write_u64(x);
+            hh.finish()
+        };
+        assert_eq!(h(42), h(42));
+        assert_ne!(h(1), h(2));
+        // Consecutive keys shouldn't collide in the low bits that HashMap
+        // actually uses.
+        let mut low: FxHashSet<u64> = FxHashSet::default();
+        for i in 0..1000u64 {
+            low.insert(h(i) & 0xFFFF);
+        }
+        assert!(low.len() > 900, "low-bit collisions: {}", 1000 - low.len());
+    }
+
+    #[test]
+    fn byte_writes_work() {
+        let mut a = FxHasher::default();
+        a.write(b"hello world, this is a test");
+        let mut b = FxHasher::default();
+        b.write(b"hello world, this is a test");
+        assert_eq!(a.finish(), b.finish());
+        let mut c = FxHasher::default();
+        c.write(b"hello world, this is a tesu");
+        assert_ne!(a.finish(), c.finish());
+    }
+}

@@ -1,0 +1,60 @@
+//! # affinity-core
+//!
+//! The AFFINITY framework core (Sathe & Aberer, ICDE 2013): computing
+//! statistical measures on time-series data through *affine relationships*
+//! instead of raw scans.
+//!
+//! The pipeline, mirroring the paper:
+//!
+//! 1. [`afclst`] clusters the `n` series so that good affine relationships
+//!    exist between cluster members (Alg. 1), with quality measured by the
+//!    [`lsfd`] metric (Def. 1);
+//! 2. [`symex`] systematically enumerates all `n(n−1)/2` sequence pairs,
+//!    picks a pivot pair for each, and solves for the affine relationship
+//!    `(A, b)_e` by least squares (Alg. 2) — with [`symex::SymexVariant::Plus`]
+//!    caching pseudo-inverses per pivot;
+//! 3. [`mec`] answers measure-computation queries from pivot-pair
+//!    statistics and the affine relationships alone (Sec. 4.1), via the
+//!    propagation identities in [`affine`] (Eqs. 5–8);
+//! 4. [`measures`] provides the exact "from scratch" computations (the
+//!    paper's `W_N` baseline) and the measure taxonomy (L/T/D, Sec. 2.1);
+//! 5. [`rmse`] implements the normalized %RMSE error of Eq. 16.
+//!
+//! ```
+//! use affinity_core::prelude::*;
+//! use affinity_data::generator::{sensor_dataset, SensorConfig};
+//!
+//! let data = sensor_dataset(&SensorConfig::reduced(24, 64));
+//! let affine = Symex::new(SymexParams::default()).run(&data).unwrap();
+//! let engine = MecEngine::new(&data, &affine);
+//! let ids: Vec<usize> = (0..6).collect();
+//! let cov = engine.pairwise(PairwiseMeasure::Covariance, &ids);
+//! assert_eq!(cov.rows(), 6);
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod afclst;
+pub mod affine;
+pub mod error;
+pub mod hash;
+pub mod lsfd;
+pub mod measures;
+pub mod mec;
+pub mod quality;
+pub mod rmse;
+pub mod symex;
+
+/// One-stop imports for typical use.
+pub mod prelude {
+    pub use crate::afclst::{afclst, AfclstParams, ClusterModel};
+    pub use crate::affine::{AffineRelationship, PivotPair, SeriesRelationship};
+    pub use crate::error::CoreError;
+    pub use crate::lsfd::lsfd;
+    pub use crate::measures::{LocationMeasure, Measure, PairwiseMeasure};
+    pub use crate::mec::MecEngine;
+    pub use crate::quality::{quality_report, QualityReport};
+    pub use crate::rmse::percent_rmse;
+    pub use crate::symex::{AffineSet, Symex, SymexParams, SymexVariant};
+}

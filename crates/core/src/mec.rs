@@ -1,0 +1,494 @@
+//! The MEC (measure computation) query engine — paper Sec. 4.1, the `W_A`
+//! method of the evaluation.
+//!
+//! Construction performs the paper's pre-processing step: it computes and
+//! stores the statistics of every pivot pair matrix (`O(nk)` pivot pairs,
+//! each `O(m)` — *"this one-time cost dominates the Big-O complexity"*)
+//! plus the separable normalizers (per-series variances) for the
+//! D-measures. After that, every measure value is reconstructed from a
+//! hash-map lookup and a 3-term scalar product — no raw series access.
+
+
+// Index-based loops over matrix coordinates are the clearest notation
+// for these kernels.
+#![allow(clippy::needless_range_loop)]
+use crate::affine::{PivotPair, PivotStats};
+use crate::error::CoreError;
+use crate::hash::FxHashMap;
+use crate::measures::{self, LocationMeasure, PairwiseMeasure};
+use crate::symex::AffineSet;
+use affinity_data::{DataMatrix, SequencePair, SeriesId};
+use affinity_linalg::{vector, Matrix};
+use parking_lot::Mutex;
+
+/// MEC query engine answering measure computations through affine
+/// relationships.
+pub struct MecEngine<'a> {
+    data: &'a DataMatrix,
+    affine: &'a AffineSet,
+    /// `pivotHash` with values filled in (paper Sec. 4.1).
+    pivot_stats: FxHashMap<PivotPair, PivotStats>,
+    /// Separable normalizers: exact per-series variances (correlation).
+    variances: Vec<f64>,
+    /// Separable normalizers: exact per-series self dot products
+    /// (cosine, Dice).
+    self_dots: Vec<f64>,
+    /// Lazily computed location values of cluster centres, keyed by
+    /// (measure tag, cluster).
+    center_locations: Mutex<FxHashMap<(u8, usize), f64>>,
+}
+
+fn measure_tag(m: LocationMeasure) -> u8 {
+    match m {
+        LocationMeasure::Mean => 0,
+        LocationMeasure::Median => 1,
+        LocationMeasure::Mode => 2,
+    }
+}
+
+impl<'a> MecEngine<'a> {
+    /// Build the engine, running the pre-processing step (pivot statistics
+    /// + normalizers).
+    ///
+    /// # Panics
+    /// Panics if `affine` was produced from a differently-shaped matrix.
+    pub fn new(data: &'a DataMatrix, affine: &'a AffineSet) -> Self {
+        assert_eq!(
+            data.series_count(),
+            affine.series_count(),
+            "affine set does not match the data matrix"
+        );
+        assert_eq!(
+            data.samples(),
+            affine.samples(),
+            "affine set does not match the data matrix"
+        );
+        let mut pivot_stats = FxHashMap::default();
+        pivot_stats.reserve(affine.pivots().len());
+        for &p in affine.pivots() {
+            let (common, center) = affine.pivot_columns(data, p);
+            pivot_stats.insert(p, PivotStats::compute(common, center));
+        }
+        let variances = (0..data.series_count())
+            .map(|v| vector::variance(data.series(v)))
+            .collect();
+        let self_dots = (0..data.series_count())
+            .map(|v| {
+                let s = data.series(v);
+                vector::dot(s, s)
+            })
+            .collect();
+        MecEngine {
+            data,
+            affine,
+            pivot_stats,
+            variances,
+            self_dots,
+            center_locations: Mutex::new(FxHashMap::default()),
+        }
+    }
+
+    /// The underlying affine set.
+    pub fn affine(&self) -> &AffineSet {
+        self.affine
+    }
+
+    /// Exact per-series variance (the correlation normalizer component).
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    pub fn variance(&self, v: SeriesId) -> f64 {
+        self.variances[v]
+    }
+
+    /// The correlation normalizer `U_e = √(Σ(s_u)·Σ(s_v))` of a pair.
+    pub fn normalizer(&self, pair: SequencePair) -> f64 {
+        (self.variances[pair.u] * self.variances[pair.v]).sqrt()
+    }
+
+    /// Exact self dot product `Π(s_v, s_v)` (the cosine/Dice normalizer
+    /// component).
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    pub fn self_dot(&self, v: SeriesId) -> f64 {
+        self.self_dots[v]
+    }
+
+    /// The separable normalizer `U_e` of a derived measure (paper Sec.
+    /// 2.3 / 5.1): correlation `√(Σ·Σ)`, cosine `√(Π·Π)`, Dice
+    /// `(Π+Π)/2`. Returns `0.0` for non-derived measures.
+    pub fn derived_normalizer(&self, measure: PairwiseMeasure, pair: SequencePair) -> f64 {
+        match measure {
+            PairwiseMeasure::Correlation => self.normalizer(pair),
+            PairwiseMeasure::Cosine => {
+                (self.self_dots[pair.u] * self.self_dots[pair.v]).sqrt()
+            }
+            PairwiseMeasure::Dice => 0.5 * (self.self_dots[pair.u] + self.self_dots[pair.v]),
+            _ => 0.0,
+        }
+    }
+
+    fn center_location(&self, measure: LocationMeasure, cluster: usize) -> f64 {
+        let key = (measure_tag(measure), cluster);
+        let mut cache = self.center_locations.lock();
+        if let Some(&v) = cache.get(&key) {
+            return v;
+        }
+        let v = measures::location(measure, self.affine.clusters().center(cluster));
+        cache.insert(key, v);
+        v
+    }
+
+    /// A location measure for one series, via its per-series relationship
+    /// (`L(s_v) ≈ c·L(r_ω(v)) + d`, Eq. 5 in one dimension).
+    ///
+    /// # Errors
+    /// [`CoreError::UnknownSeries`] for out-of-range identifiers.
+    pub fn location_value(
+        &self,
+        measure: LocationMeasure,
+        v: SeriesId,
+    ) -> Result<f64, CoreError> {
+        if v >= self.data.series_count() {
+            return Err(CoreError::UnknownSeries {
+                id: v,
+                series: self.data.series_count(),
+            });
+        }
+        let sr = self.affine.series_relationship(v);
+        Ok(sr.propagate(self.center_location(measure, sr.cluster)))
+    }
+
+    /// MEC query for a location measure over a set of identifiers
+    /// (paper Query 1, L-measure case): returns one value per id.
+    ///
+    /// Center values are resolved once per cluster, so the per-id cost is
+    /// two flops — the paper's point about L-measures needing only O(n)
+    /// relationships.
+    ///
+    /// # Errors
+    /// [`CoreError::UnknownSeries`] for out-of-range identifiers.
+    pub fn location(
+        &self,
+        measure: LocationMeasure,
+        ids: &[SeriesId],
+    ) -> Result<Vec<f64>, CoreError> {
+        let n = self.data.series_count();
+        if let Some(&bad) = ids.iter().find(|&&v| v >= n) {
+            return Err(CoreError::UnknownSeries {
+                id: bad,
+                series: n,
+            });
+        }
+        let centers = self.center_locations_for(measure);
+        Ok(ids
+            .iter()
+            .map(|&v| {
+                let sr = self.affine.series_relationship(v);
+                sr.propagate(centers[sr.cluster])
+            })
+            .collect())
+    }
+
+    /// A location measure for every series.
+    pub fn location_all(&self, measure: LocationMeasure) -> Vec<f64> {
+        let centers = self.center_locations_for(measure);
+        self.affine
+            .series_relationships()
+            .iter()
+            .map(|sr| sr.propagate(centers[sr.cluster]))
+            .collect()
+    }
+
+    /// Location values of every cluster centre for a measure, resolved
+    /// through the cache with a single lock acquisition.
+    fn center_locations_for(&self, measure: LocationMeasure) -> Vec<f64> {
+        let k = self.affine.clusters().k();
+        let tag = measure_tag(measure);
+        let mut cache = self.center_locations.lock();
+        (0..k)
+            .map(|l| {
+                *cache.entry((tag, l)).or_insert_with(|| {
+                    measures::location(measure, self.affine.clusters().center(l))
+                })
+            })
+            .collect()
+    }
+
+    /// A pairwise measure for one sequence pair, via its affine
+    /// relationship (Eqs. 6–8).
+    ///
+    /// # Errors
+    /// [`CoreError::MissingRelationship`] if the pair was never assigned
+    /// (cannot happen for sets produced by a full SYMEX run).
+    pub fn pair_value(
+        &self,
+        measure: PairwiseMeasure,
+        pair: SequencePair,
+    ) -> Result<f64, CoreError> {
+        let rel = self
+            .affine
+            .relationship(pair)
+            .ok_or(CoreError::MissingRelationship {
+                u: pair.u,
+                v: pair.v,
+            })?;
+        let stats = &self.pivot_stats[&rel.pivot];
+        let beta = rel.beta();
+        Ok(match measure {
+            PairwiseMeasure::Covariance => stats.propagate_covariance(&beta),
+            PairwiseMeasure::DotProduct => stats.propagate_dot(&beta),
+            PairwiseMeasure::Correlation => {
+                let cov = stats.propagate_covariance(&beta);
+                let norm = self.normalizer(pair);
+                if norm > 0.0 {
+                    cov / norm
+                } else {
+                    0.0
+                }
+            }
+            PairwiseMeasure::Cosine | PairwiseMeasure::Dice => {
+                let dot = stats.propagate_dot(&beta);
+                let norm = self.derived_normalizer(measure, pair);
+                if norm > 0.0 {
+                    dot / norm
+                } else {
+                    0.0
+                }
+            }
+        })
+    }
+
+    /// MEC query for a pairwise measure over a set of identifiers
+    /// (paper Query 1, T/D-measure case): returns the `|ψ|×|ψ|` matrix.
+    ///
+    /// Diagonal entries are the exact self-values (variance / self dot
+    /// product / 1).
+    ///
+    /// # Panics
+    /// Panics on out-of-range or duplicate-free violations via the
+    /// underlying accessors.
+    pub fn pairwise(&self, measure: PairwiseMeasure, ids: &[SeriesId]) -> Matrix {
+        let q = ids.len();
+        let mut out = Matrix::zeros(q, q);
+        for i in 0..q {
+            out.set(
+                i,
+                i,
+                match measure {
+                    PairwiseMeasure::Covariance => self.variances[ids[i]],
+                    PairwiseMeasure::DotProduct => self.self_dots[ids[i]],
+                    PairwiseMeasure::Correlation
+                    | PairwiseMeasure::Cosine
+                    | PairwiseMeasure::Dice => 1.0,
+                },
+            );
+            for j in i + 1..q {
+                let v = self
+                    .pair_value(measure, SequencePair::new(ids[i], ids[j]))
+                    .expect("full affine set");
+                out.set(i, j, v);
+                out.set(j, i, v);
+            }
+        }
+        out
+    }
+
+    /// A pairwise measure for every sequence pair, in the lexicographic
+    /// order of [`DataMatrix::sequence_pairs`] — the `W_A` counterpart of
+    /// [`measures::pairwise_all`], used for the tradeoff experiments
+    /// (Figs. 9–11).
+    pub fn pairwise_all(&self, measure: PairwiseMeasure) -> Vec<f64> {
+        let n = self.data.series_count();
+        let mut out = Vec::with_capacity(n * (n - 1) / 2);
+        for u in 0..n {
+            for v in u + 1..n {
+                out.push(
+                    self.pair_value(measure, SequencePair { u, v })
+                        .expect("full affine set"),
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rmse::percent_rmse;
+    use crate::symex::{Symex, SymexParams, SymexVariant};
+    use crate::afclst::AfclstParams;
+    use affinity_data::generator::{sensor_dataset, SensorConfig};
+
+    fn engine_fixture(n: usize, m: usize, k: usize) -> (DataMatrix, AffineSet) {
+        let data = sensor_dataset(&SensorConfig::reduced(n, m));
+        let affine = Symex::new(SymexParams {
+            afclst: AfclstParams {
+                k,
+                gamma_max: 10,
+                delta_min: 0,
+                seed: 42,
+            },
+            variant: SymexVariant::Plus,
+        })
+        .run(&data)
+        .unwrap();
+        (data, affine)
+    }
+
+    #[test]
+    fn covariance_is_essentially_exact() {
+        // Stronger than the paper needs: with the common series AND the
+        // intercept column in the least-squares span, the residual is
+        // orthogonal to both, so Σ₁₂ propagation is exact to machine
+        // precision for ANY data — matching the ~1e-12 RMSE the paper
+        // reports in Figs. 9d/10d.
+        let (data, affine) = engine_fixture(20, 96, 4);
+        let engine = MecEngine::new(&data, &affine);
+        let approx = engine.pairwise_all(PairwiseMeasure::Covariance);
+        let exact = measures::pairwise_all(PairwiseMeasure::Covariance, &data);
+        let err = percent_rmse(&exact, &approx);
+        assert!(err < 1e-6, "%RMSE {err}");
+    }
+
+    #[test]
+    fn dot_product_is_essentially_exact() {
+        // Lemma 1: dot products with the common series survive any LS fit.
+        let (data, affine) = engine_fixture(16, 80, 4);
+        let engine = MecEngine::new(&data, &affine);
+        let approx = engine.pairwise_all(PairwiseMeasure::DotProduct);
+        let exact = measures::pairwise_all(PairwiseMeasure::DotProduct, &data);
+        let err = percent_rmse(&exact, &approx);
+        assert!(err < 1e-6, "%RMSE {err}");
+    }
+
+    #[test]
+    fn mean_is_essentially_exact() {
+        // LS with intercept preserves column means exactly.
+        let (data, affine) = engine_fixture(16, 64, 4);
+        let engine = MecEngine::new(&data, &affine);
+        let approx = engine.location_all(LocationMeasure::Mean);
+        let exact = measures::location_all(LocationMeasure::Mean, &data);
+        let err = percent_rmse(&exact, &approx);
+        assert!(err < 1e-8, "%RMSE {err}");
+    }
+
+    #[test]
+    fn median_and_mode_are_approximate_but_close() {
+        let (data, affine) = engine_fixture(24, 96, 6);
+        let engine = MecEngine::new(&data, &affine);
+        for (measure, tol) in [(LocationMeasure::Median, 8.0), (LocationMeasure::Mode, 15.0)] {
+            let approx = engine.location_all(measure);
+            let exact = measures::location_all(measure, &data);
+            let err = percent_rmse(&exact, &approx);
+            assert!(err < tol, "{} %RMSE {err}", measure.name());
+        }
+    }
+
+    #[test]
+    fn correlation_is_essentially_exact() {
+        // Exact covariance propagation × exact separable normalizers =>
+        // exact correlation, cf. the exactness note on
+        // covariance_is_essentially_exact.
+        let (data, affine) = engine_fixture(20, 96, 4);
+        let engine = MecEngine::new(&data, &affine);
+        let approx = engine.pairwise_all(PairwiseMeasure::Correlation);
+        let exact = measures::pairwise_all(PairwiseMeasure::Correlation, &data);
+        let err = percent_rmse(&exact, &approx);
+        assert!(err < 1e-6, "%RMSE {err}");
+        for (e, a) in exact.iter().zip(approx.iter()) {
+            assert!((e - a).abs() < 1e-8, "exact {e} vs approx {a}");
+        }
+    }
+
+    #[test]
+    fn cosine_and_dice_are_essentially_exact() {
+        // Both are the (exact) propagated dot product divided by exact
+        // separable normalizers.
+        let (data, affine) = engine_fixture(16, 80, 4);
+        let engine = MecEngine::new(&data, &affine);
+        for measure in [PairwiseMeasure::Cosine, PairwiseMeasure::Dice] {
+            let approx = engine.pairwise_all(measure);
+            let exact = measures::pairwise_all(measure, &data);
+            let err = percent_rmse(&exact, &approx);
+            assert!(err < 1e-5, "{} %RMSE {err}", measure.name());
+        }
+        // Self values are 1 by definition.
+        let m = engine.pairwise(PairwiseMeasure::Cosine, &[0, 1]);
+        assert_eq!(m.get(0, 0), 1.0);
+    }
+
+    #[test]
+    fn derived_normalizers_match_definitions() {
+        let (data, affine) = engine_fixture(8, 40, 2);
+        let engine = MecEngine::new(&data, &affine);
+        let pair = SequencePair::new(2, 5);
+        let sd2 = vector::dot(data.series(2), data.series(2));
+        let sd5 = vector::dot(data.series(5), data.series(5));
+        assert!((engine.self_dot(2) - sd2).abs() < 1e-9);
+        assert!(
+            (engine.derived_normalizer(PairwiseMeasure::Cosine, pair) - (sd2 * sd5).sqrt()).abs()
+                < 1e-6
+        );
+        assert!(
+            (engine.derived_normalizer(PairwiseMeasure::Dice, pair) - 0.5 * (sd2 + sd5)).abs()
+                < 1e-6
+        );
+        assert_eq!(
+            engine.derived_normalizer(PairwiseMeasure::Covariance, pair),
+            0.0
+        );
+    }
+
+    #[test]
+    fn pairwise_matrix_is_symmetric_with_correct_diagonal() {
+        let (data, affine) = engine_fixture(12, 48, 3);
+        let engine = MecEngine::new(&data, &affine);
+        let ids = vec![1, 3, 5, 7];
+        let cov = engine.pairwise(PairwiseMeasure::Covariance, &ids);
+        assert_eq!(cov.rows(), 4);
+        for i in 0..4 {
+            assert!((cov.get(i, i) - engine.variance(ids[i])).abs() < 1e-12);
+            for j in 0..4 {
+                assert_eq!(cov.get(i, j), cov.get(j, i));
+            }
+        }
+        let rho = engine.pairwise(PairwiseMeasure::Correlation, &ids);
+        for i in 0..4 {
+            assert_eq!(rho.get(i, i), 1.0);
+        }
+    }
+
+    #[test]
+    fn unknown_series_is_an_error() {
+        let (data, affine) = engine_fixture(8, 32, 2);
+        let engine = MecEngine::new(&data, &affine);
+        assert!(matches!(
+            engine.location_value(LocationMeasure::Mean, 99),
+            Err(CoreError::UnknownSeries { id: 99, .. })
+        ));
+        assert!(engine.location(LocationMeasure::Mean, &[0, 99]).is_err());
+    }
+
+    #[test]
+    fn center_location_cache_is_reused() {
+        let (data, affine) = engine_fixture(10, 32, 2);
+        let engine = MecEngine::new(&data, &affine);
+        // Two calls for the same measure hit the cache; both must agree.
+        let a = engine.location_all(LocationMeasure::Median);
+        let b = engine.location_all(LocationMeasure::Median);
+        assert_eq!(a, b);
+        assert!(engine.center_locations.lock().len() <= 2 * 3);
+    }
+
+    #[test]
+    fn normalizer_matches_definition() {
+        let (data, affine) = engine_fixture(6, 40, 2);
+        let engine = MecEngine::new(&data, &affine);
+        let pair = SequencePair::new(1, 4);
+        let expected = (vector::variance(data.series(1)) * vector::variance(data.series(4))).sqrt();
+        assert!((engine.normalizer(pair) - expected).abs() < 1e-12);
+    }
+}

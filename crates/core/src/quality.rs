@@ -1,0 +1,218 @@
+//! LSFD-based quality diagnostics for affine relationships.
+//!
+//! Sec. 3 of the paper introduces the LSFD metric to *characterize the
+//! quality of affine relationships*: a small LSFD between the sequence
+//! pair matrix `S_e` and its pivot pair matrix `O_p` means the
+//! relationship transforms almost perfectly. This module turns that story
+//! into an operational tool: score every relationship of an
+//! [`AffineSet`], summarize the distribution, and surface the worst
+//! offenders — the pairs whose **median/mode** propagation (the only
+//! genuinely approximate measures, see `mec`) is least trustworthy.
+
+use crate::lsfd::lsfd;
+use crate::symex::AffineSet;
+use affinity_data::{DataMatrix, SequencePair};
+
+/// LSFD score of one relationship.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RelationshipQuality {
+    /// The scored sequence pair.
+    pub pair: SequencePair,
+    /// `D_F(S_e, O_p)` — lower is better (Def. 1).
+    pub lsfd: f64,
+}
+
+/// Distribution summary of relationship quality across an affine set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QualityReport {
+    /// Number of scored relationships.
+    pub scored: usize,
+    /// Minimum LSFD.
+    pub min: f64,
+    /// Median LSFD.
+    pub median: f64,
+    /// Mean LSFD.
+    pub mean: f64,
+    /// 95th-percentile LSFD.
+    pub p95: f64,
+    /// Maximum LSFD.
+    pub max: f64,
+    /// The `worst_k` relationships by LSFD, descending.
+    pub worst: Vec<RelationshipQuality>,
+}
+
+impl QualityReport {
+    /// Render a compact human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "LSFD over {} relationships: min {:.3e}, median {:.3e}, mean {:.3e}, p95 {:.3e}, max {:.3e}",
+            self.scored, self.min, self.median, self.mean, self.p95, self.max
+        )
+    }
+}
+
+/// Score the LSFD of a single relationship: the distance between the
+/// sequence pair matrix `[s_common, s_other]` and the pivot pair matrix
+/// `[s_common, r_ω(other)]`.
+///
+/// Returns `None` if the pair has no stored relationship.
+pub fn relationship_lsfd(
+    data: &DataMatrix,
+    affine: &AffineSet,
+    pair: SequencePair,
+) -> Option<f64> {
+    let rel = affine.relationship(pair)?;
+    let common = data.series(rel.common);
+    let other = data.series(rel.pair.other(rel.common));
+    let center = affine.clusters().center(rel.pivot.cluster);
+    // LSFD is symmetric, column centring handles offsets; numerical
+    // failures (pathological inputs) are reported as infinite distance
+    // rather than an error — diagnostics must be total.
+    Some(lsfd(common, center, common, other).unwrap_or(f64::INFINITY))
+}
+
+/// Score every relationship (or a stride-sampled subset for large sets)
+/// and build a [`QualityReport`].
+///
+/// `sample_stride = 1` scores everything; larger strides score every
+/// `stride`-th relationship — useful because each LSFD costs an `m×4`
+/// Gram matrix. `worst_k` bounds the size of the offender list.
+///
+/// # Panics
+/// Panics if `sample_stride == 0` or the affine set is empty.
+pub fn quality_report(
+    data: &DataMatrix,
+    affine: &AffineSet,
+    sample_stride: usize,
+    worst_k: usize,
+) -> QualityReport {
+    assert!(sample_stride > 0, "sample_stride must be >= 1");
+    assert!(!affine.is_empty(), "cannot score an empty affine set");
+    let mut scores: Vec<RelationshipQuality> = affine
+        .relationships()
+        .iter()
+        .step_by(sample_stride)
+        .map(|rel| RelationshipQuality {
+            pair: rel.pair,
+            lsfd: relationship_lsfd(data, affine, rel.pair).expect("stored relationship"),
+        })
+        .collect();
+    scores.sort_by(|a, b| a.lsfd.partial_cmp(&b.lsfd).expect("no NaN scores"));
+    let n = scores.len();
+    let min = scores[0].lsfd;
+    let max = scores[n - 1].lsfd;
+    let median = if n % 2 == 1 {
+        scores[n / 2].lsfd
+    } else {
+        0.5 * (scores[n / 2 - 1].lsfd + scores[n / 2].lsfd)
+    };
+    let mean = scores.iter().map(|s| s.lsfd).sum::<f64>() / n as f64;
+    let p95 = scores[((n - 1) as f64 * 0.95).round() as usize].lsfd;
+    let worst: Vec<RelationshipQuality> =
+        scores.iter().rev().take(worst_k).copied().collect();
+    QualityReport {
+        scored: n,
+        min,
+        median,
+        mean,
+        p95,
+        max,
+        worst,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::afclst::AfclstParams;
+    use crate::symex::{Symex, SymexParams, SymexVariant};
+    use affinity_data::generator::{sensor_dataset, SensorConfig};
+    use affinity_data::DataMatrix;
+
+    fn fixture(n: usize, m: usize) -> (DataMatrix, AffineSet) {
+        let data = sensor_dataset(&SensorConfig::reduced(n, m));
+        let affine = Symex::new(SymexParams {
+            afclst: AfclstParams {
+                k: 3,
+                gamma_max: 10,
+                delta_min: 0,
+                seed: 11,
+            },
+            variant: SymexVariant::Plus,
+        })
+        .run(&data)
+        .unwrap();
+        (data, affine)
+    }
+
+    #[test]
+    fn report_statistics_are_consistent() {
+        let (data, affine) = fixture(16, 48);
+        let report = quality_report(&data, &affine, 1, 5);
+        assert_eq!(report.scored, data.pair_count());
+        assert!(report.min <= report.median);
+        assert!(report.median <= report.p95 + 1e-12);
+        assert!(report.p95 <= report.max);
+        assert!(report.min >= 0.0);
+        assert_eq!(report.worst.len(), 5);
+        assert!(report.worst.windows(2).all(|w| w[0].lsfd >= w[1].lsfd));
+        assert!((report.worst[0].lsfd - report.max).abs() < 1e-15);
+        assert!(report.summary().contains("relationships"));
+    }
+
+    #[test]
+    fn exact_affine_world_scores_near_zero() {
+        // Series that are exact affine images of two latents => every
+        // relationship has (near-)zero LSFD.
+        let m = 40;
+        let b1: Vec<f64> = (0..m).map(|i| (i as f64 * 0.3).sin()).collect();
+        let b2: Vec<f64> = (0..m).map(|i| (i as f64 * 0.07).cos()).collect();
+        let cols: Vec<Vec<f64>> = (0..10)
+            .map(|j| {
+                let a = 1.0 + j as f64 * 0.2;
+                let c = 0.5 - j as f64 * 0.1;
+                b1.iter().zip(&b2).map(|(x, y)| a * x + c * y + j as f64).collect()
+            })
+            .collect();
+        let data = DataMatrix::from_series(cols);
+        let affine = Symex::new(SymexParams {
+            afclst: AfclstParams {
+                k: 2,
+                gamma_max: 20,
+                delta_min: 0,
+                seed: 4,
+            },
+            variant: SymexVariant::Plus,
+        })
+        .run(&data)
+        .unwrap();
+        let report = quality_report(&data, &affine, 1, 3);
+        assert!(report.max < 1e-4, "max LSFD {}", report.max);
+    }
+
+    #[test]
+    fn sampling_stride_reduces_scored_count() {
+        let (data, affine) = fixture(14, 32);
+        let full = quality_report(&data, &affine, 1, 2);
+        let sampled = quality_report(&data, &affine, 7, 2);
+        assert!(sampled.scored < full.scored);
+        assert_eq!(sampled.scored, full.scored.div_ceil(7));
+    }
+
+    #[test]
+    fn single_pair_lookup() {
+        let (data, affine) = fixture(8, 32);
+        let p = SequencePair::new(1, 5);
+        assert!(relationship_lsfd(&data, &affine, p).is_some());
+        // quality is per stored pair only
+        let (data2, _) = fixture(8, 32);
+        let _ = data2;
+    }
+
+    #[test]
+    #[should_panic(expected = "sample_stride")]
+    fn zero_stride_panics() {
+        let (data, affine) = fixture(6, 24);
+        quality_report(&data, &affine, 0, 1);
+    }
+}

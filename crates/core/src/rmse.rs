@@ -1,0 +1,89 @@
+//! The normalized %RMSE error measure of paper Eq. 16.
+//!
+//! Exact and approximated values are both divided by the *range* of the
+//! exact values (`max − min` over all pairs), then the RMSE of the
+//! normalized differences is reported as a percentage.
+
+/// %RMSE between exact and approximated value vectors (Eq. 16).
+///
+/// Returns `0.0` for empty input or when the exact values have zero
+/// range (every normalized difference is then defined as zero, matching
+/// the convention that a constant measure is trivially reproduced).
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn percent_rmse(exact: &[f64], approx: &[f64]) -> f64 {
+    assert_eq!(
+        exact.len(),
+        approx.len(),
+        "percent_rmse: length mismatch"
+    );
+    if exact.is_empty() {
+        return 0.0;
+    }
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for &v in exact {
+        min = min.min(v);
+        max = max.max(v);
+    }
+    let range = max - min;
+    if range <= 0.0 {
+        return 0.0;
+    }
+    let mut acc = 0.0;
+    for (e, a) in exact.iter().zip(approx.iter()) {
+        let d = (e - a) / range;
+        acc += d * d;
+    }
+    (acc / exact.len() as f64).sqrt() * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_error_for_identical_inputs() {
+        let x = [1.0, 2.0, 3.0];
+        assert_eq!(percent_rmse(&x, &x), 0.0);
+    }
+
+    #[test]
+    fn known_value() {
+        // exact range = 10; each diff 1 => normalized diff 0.1 => RMSE 0.1
+        // => 10%.
+        let exact = [0.0, 10.0];
+        let approx = [1.0, 11.0];
+        assert!((percent_rmse(&exact, &approx) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_exact_values_give_zero() {
+        let exact = [5.0, 5.0, 5.0];
+        let approx = [4.0, 5.0, 6.0];
+        assert_eq!(percent_rmse(&exact, &approx), 0.0);
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(percent_rmse(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn scale_invariance() {
+        let exact = [0.0, 1.0, 2.0];
+        let approx = [0.1, 1.1, 2.1];
+        let e1 = percent_rmse(&exact, &approx);
+        let exact_scaled: Vec<f64> = exact.iter().map(|v| v * 1000.0).collect();
+        let approx_scaled: Vec<f64> = approx.iter().map(|v| v * 1000.0).collect();
+        let e2 = percent_rmse(&exact_scaled, &approx_scaled);
+        assert!((e1 - e2).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        percent_rmse(&[1.0], &[1.0, 2.0]);
+    }
+}

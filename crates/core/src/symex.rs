@@ -1,0 +1,613 @@
+//! SYMEX — systematic exploration of the sequence pair set (paper Alg. 2)
+//! — and its pseudo-inverse-caching variant SYMEX+.
+//!
+//! For every sequence pair `e = (u, v)` SYMEX picks a pivot pair
+//! (`(u, ω(v))` when the row of `u` is scanned, `(ω(u), v)` when the
+//! column of `v` is scanned) and solves the least-squares system
+//!
+//! ```text
+//! [O_p, 1_m] · Θ = S_e,     Θ = [A; bᵀ] ∈ R^{3×2}
+//! ```
+//!
+//! via the pseudo-inverse `pinv = (MᵀM)⁻¹Mᵀ`. Because many sequence pairs
+//! share one pivot pair, **SYMEX+** caches `pinv` per pivot and only pays
+//! the application cost on a hit — the paper reports a 3.5–4× speedup
+//! (Sec. 6.3), which this implementation reproduces.
+//!
+//! The traversal follows the paper's marching pattern: two cursors `e_e`
+//! (outside-in from `(0, n−1)`) and `e_w` (inside-out from the middle
+//! adjacent pair) alternately trigger `CreatePivots`, which scans a full
+//! row and a full column of the upper-triangular pair set. The paper's
+//! `e_e == e_w` stopping rule does not terminate for even `n`, so we stop
+//! as soon as every pair is assigned (tracked exactly) with a defensive
+//! linear sweep as backstop; a test asserts full single-assignment
+//! coverage either way.
+
+use crate::afclst::{afclst, AfclstParams, ClusterModel};
+use crate::affine::{
+    solve_relationship_pinv, AffineRelationship, PivotPair, SeriesRelationship,
+};
+use crate::error::CoreError;
+use crate::hash::FxHashMap;
+use affinity_data::{DataMatrix, SequencePair, SeriesId};
+use affinity_linalg::cholesky::Cholesky;
+use affinity_linalg::{vector, Matrix};
+
+/// Which SYMEX variant to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SymexVariant {
+    /// Recompute the pivot pseudo-inverse for every sequence pair
+    /// (paper Alg. 2 as written).
+    Basic,
+    /// Cache the pseudo-inverse per pivot pair (paper "SYMEX+").
+    Plus,
+}
+
+/// Parameters for a SYMEX run.
+#[derive(Debug, Clone)]
+pub struct SymexParams {
+    /// Clustering parameters handed to AFCLST (paper: `k`, `γ_max`,
+    /// `δ_min`).
+    pub afclst: AfclstParams,
+    /// Variant selection; `Plus` is the default and what queries should
+    /// use.
+    pub variant: SymexVariant,
+}
+
+impl Default for SymexParams {
+    fn default() -> Self {
+        SymexParams {
+            afclst: AfclstParams::default(),
+            variant: SymexVariant::Plus,
+        }
+    }
+}
+
+/// The SYMEX runner.
+#[derive(Debug, Clone)]
+pub struct Symex {
+    params: SymexParams,
+}
+
+/// Everything SYMEX produces: the paper's `affHash` (pairwise affine
+/// relationships), `pivotHash` (pivot pairs), the cluster model, and the
+/// per-series relationships used by L-measures.
+#[derive(Debug, Clone)]
+pub struct AffineSet {
+    clusters: ClusterModel,
+    relationships: Vec<AffineRelationship>,
+    pair_index: FxHashMap<(u32, u32), u32>,
+    pivots: Vec<PivotPair>,
+    series_rels: Vec<SeriesRelationship>,
+    series_count: usize,
+    samples: usize,
+}
+
+impl AffineSet {
+    /// Number of stored pairwise affine relationships
+    /// (`n(n−1)/2` after a full run).
+    pub fn len(&self) -> usize {
+        self.relationships.len()
+    }
+
+    /// `true` when no relationships are stored.
+    pub fn is_empty(&self) -> bool {
+        self.relationships.is_empty()
+    }
+
+    /// Number of series in the underlying data matrix.
+    pub fn series_count(&self) -> usize {
+        self.series_count
+    }
+
+    /// Samples per series in the underlying data matrix.
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// The cluster model the relationships are anchored at.
+    pub fn clusters(&self) -> &ClusterModel {
+        &self.clusters
+    }
+
+    /// All pairwise relationships, in traversal order.
+    pub fn relationships(&self) -> &[AffineRelationship] {
+        &self.relationships
+    }
+
+    /// All distinct pivot pairs (≤ `n·k`, paper Sec. 4).
+    pub fn pivots(&self) -> &[PivotPair] {
+        &self.pivots
+    }
+
+    /// Look up the relationship for a pair.
+    pub fn relationship(&self, pair: SequencePair) -> Option<&AffineRelationship> {
+        self.pair_index
+            .get(&(pair.u as u32, pair.v as u32))
+            .map(|&i| &self.relationships[i as usize])
+    }
+
+    /// The per-series relationship `s_v ≈ c·r_ω(v) + d` for L-measures.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    pub fn series_relationship(&self, v: SeriesId) -> &SeriesRelationship {
+        &self.series_rels[v]
+    }
+
+    /// All per-series relationships (`n` of them).
+    pub fn series_relationships(&self) -> &[SeriesRelationship] {
+        &self.series_rels
+    }
+
+    /// The two pivot-matrix columns of a pivot pair: the common series
+    /// borrowed from `data` and the cluster centre from the model.
+    ///
+    /// # Panics
+    /// Panics if the pivot's identifiers are out of range for `data`.
+    pub fn pivot_columns<'a>(
+        &'a self,
+        data: &'a DataMatrix,
+        pivot: PivotPair,
+    ) -> (&'a [f64], &'a [f64]) {
+        (data.series(pivot.common), self.clusters.center(pivot.cluster))
+    }
+}
+
+/// The explicit `3×m` pseudo-inverse of `[O_p, 1_m]`, via normal
+/// equations with a Cholesky solve (`O(m)` total) — the object SYMEX+
+/// caches. A tiny ridge is added if the Gram matrix is numerically
+/// singular (e.g. a constant centre).
+pub fn pivot_pseudo_inverse(common: &[f64], center: &[f64]) -> Matrix {
+    let m = common.len();
+    debug_assert_eq!(center.len(), m);
+    let mf = m as f64;
+    let g11 = vector::dot(common, common);
+    let g12 = vector::dot(common, center);
+    let g22 = vector::dot(center, center);
+    let h1 = vector::sum(common);
+    let h2 = vector::sum(center);
+    let gram = Matrix::from_rows(&[
+        vec![g11, g12, h1],
+        vec![g12, g22, h2],
+        vec![h1, h2, mf],
+    ]);
+    let chol = match Cholesky::new(&gram) {
+        Ok(c) => c,
+        Err(_) => {
+            // Rank-deficient design: regularize just enough to solve; the
+            // resulting relationship is the minimum-ridge LS fit.
+            let ridge = 1e-9 * (g11 + g22 + mf).max(1.0);
+            let mut reg = gram.clone();
+            for i in 0..3 {
+                reg.set(i, i, reg.get(i, i) + ridge);
+            }
+            Cholesky::new(&reg).expect("ridge-regularized Gram is SPD")
+        }
+    };
+    // pinv column j = G⁻¹ · (common[j], center[j], 1)ᵀ.
+    let mut pinv = Matrix::zeros(3, m);
+    for j in 0..m {
+        let col = chol
+            .solve(&[common[j], center[j], 1.0])
+            .expect("3-vector rhs");
+        pinv.col_mut(j).copy_from_slice(&col);
+    }
+    pinv
+}
+
+/// Counters describing a SYMEX run; used by the scalability experiments
+/// (paper Fig. 13).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SymexStats {
+    /// Pseudo-inverses computed from scratch.
+    pub pinv_computed: usize,
+    /// Pseudo-inverse cache hits (always 0 for `Basic`).
+    pub pinv_cache_hits: usize,
+    /// Sequence pairs assigned during the marching traversal.
+    pub assigned_in_march: usize,
+    /// Sequence pairs assigned by the defensive sweep (0 in practice).
+    pub assigned_in_sweep: usize,
+}
+
+impl Symex {
+    /// Create a runner with the given parameters.
+    pub fn new(params: SymexParams) -> Self {
+        Symex { params }
+    }
+
+    /// Parameters in use.
+    pub fn params(&self) -> &SymexParams {
+        &self.params
+    }
+
+    /// Run AFCLST + SYMEX over the data matrix.
+    ///
+    /// # Errors
+    /// Propagates clustering errors; see [`afclst`].
+    pub fn run(&self, data: &DataMatrix) -> Result<AffineSet, CoreError> {
+        self.run_with_stats(data).map(|(set, _)| set)
+    }
+
+    /// Like [`Symex::run`] but also returns traversal counters.
+    ///
+    /// # Errors
+    /// Propagates clustering errors; see [`afclst`].
+    pub fn run_with_stats(
+        &self,
+        data: &DataMatrix,
+    ) -> Result<(AffineSet, SymexStats), CoreError> {
+        let clusters = afclst(data, &self.params.afclst)?;
+        self.explore(data, clusters)
+    }
+
+    /// Run SYMEX against a pre-computed cluster model (lets experiments
+    /// reuse one clustering across variants, as Fig. 13 does).
+    ///
+    /// # Errors
+    /// Currently infallible beyond clustering, kept as `Result` for parity.
+    pub fn explore(
+        &self,
+        data: &DataMatrix,
+        clusters: ClusterModel,
+    ) -> Result<(AffineSet, SymexStats), CoreError> {
+        let n = data.series_count();
+        let total = n * (n - 1) / 2;
+        let mut stats = SymexStats::default();
+
+        // Per-series relationships for the L-measures.
+        let series_rels: Vec<SeriesRelationship> = (0..n)
+            .map(|v| {
+                let l = clusters.cluster_of(v);
+                let (c, d) = crate::affine::fit_series(clusters.center(l), data.series(v));
+                SeriesRelationship {
+                    series: v,
+                    cluster: l,
+                    c,
+                    d,
+                }
+            })
+            .collect();
+
+        let mut relationships: Vec<AffineRelationship> = Vec::with_capacity(total);
+        let mut pair_index: FxHashMap<(u32, u32), u32> = FxHashMap::default();
+        pair_index.reserve(total);
+        let mut pivots: Vec<PivotPair> = Vec::new();
+        let mut pivot_seen: FxHashMap<PivotPair, u32> = FxHashMap::default();
+        // SYMEX+ pseudo-inverse cache (paper Sec. 4).
+        let mut pinv_cache: FxHashMap<PivotPair, Matrix> = FxHashMap::default();
+
+        let mut solve_insert = |e: SequencePair,
+                                common: SeriesId,
+                                relationships: &mut Vec<AffineRelationship>,
+                                pair_index: &mut FxHashMap<(u32, u32), u32>,
+                                stats: &mut SymexStats|
+         -> bool {
+            let key = (e.u as u32, e.v as u32);
+            if pair_index.contains_key(&key) {
+                return false;
+            }
+            let other = e.other(common);
+            let pivot = PivotPair {
+                common,
+                cluster: clusters.cluster_of(other),
+            };
+            let s_common = data.series(common);
+            let center = clusters.center(pivot.cluster);
+            let (a, b) = match self.params.variant {
+                SymexVariant::Basic => {
+                    stats.pinv_computed += 1;
+                    let pinv = pivot_pseudo_inverse(s_common, center);
+                    solve_relationship_pinv(&pinv, s_common, data.series(other))
+                }
+                SymexVariant::Plus => {
+                    let pinv = match pinv_cache.entry(pivot) {
+                        std::collections::hash_map::Entry::Occupied(o) => {
+                            stats.pinv_cache_hits += 1;
+                            o.into_mut()
+                        }
+                        std::collections::hash_map::Entry::Vacant(v) => {
+                            stats.pinv_computed += 1;
+                            v.insert(pivot_pseudo_inverse(s_common, center))
+                        }
+                    };
+                    solve_relationship_pinv(pinv, s_common, data.series(other))
+                }
+            };
+            if let std::collections::hash_map::Entry::Vacant(e) = pivot_seen.entry(pivot) {
+                e.insert(pivots.len() as u32);
+                pivots.push(pivot);
+            }
+            pair_index.insert(key, relationships.len() as u32);
+            relationships.push(AffineRelationship {
+                pair: e,
+                pivot,
+                common,
+                a,
+                b,
+            });
+            true
+        };
+
+        // CreatePivots(e_z): scan row u_z (second components) and column
+        // v_z (first components), exactly as Alg. 2's two loops.
+        let mut create_pivots = |ez: (usize, usize),
+                                 relationships: &mut Vec<AffineRelationship>,
+                                 pair_index: &mut FxHashMap<(u32, u32), u32>,
+                                 stats: &mut SymexStats| {
+            let (uz, vz) = ez;
+            for v in uz + 1..n {
+                if solve_insert(
+                    SequencePair::new(uz, v),
+                    uz,
+                    relationships,
+                    pair_index,
+                    stats,
+                ) {
+                    stats.assigned_in_march += 1;
+                }
+            }
+            for u in 0..vz {
+                if solve_insert(
+                    SequencePair::new(u, vz),
+                    vz,
+                    relationships,
+                    pair_index,
+                    stats,
+                ) {
+                    stats.assigned_in_march += 1;
+                }
+            }
+        };
+
+        if n >= 2 {
+            // Marching cursors (paper lines 2–10, 0-based).
+            let mut ee = (0usize, n - 1);
+            let mid = (n - 1) / 2;
+            let mut ew = (mid, mid + 1);
+            create_pivots(ee, &mut relationships, &mut pair_index, &mut stats);
+            if ew != ee {
+                create_pivots(ew, &mut relationships, &mut pair_index, &mut stats);
+            }
+            let mut flip = false;
+            while relationships.len() < total {
+                let advanced = if !flip {
+                    // Move e_e towards e_w.
+                    if ee.0 + 1 < ee.1 {
+                        ee = (ee.0 + 1, ee.1 - 1);
+                        if ee.0 < ee.1 {
+                            create_pivots(ee, &mut relationships, &mut pair_index, &mut stats);
+                        }
+                        true
+                    } else {
+                        false
+                    }
+                } else {
+                    // Move e_w towards e_e.
+                    if ew.0 > 0 && ew.1 + 1 < n {
+                        ew = (ew.0 - 1, ew.1 + 1);
+                        create_pivots(ew, &mut relationships, &mut pair_index, &mut stats);
+                        true
+                    } else {
+                        false
+                    }
+                };
+                flip = !flip;
+                if !advanced {
+                    // Try the other cursor once; if both are exhausted,
+                    // fall through to the sweep.
+                    let other_can = if flip {
+                        ee.0 + 1 < ee.1
+                    } else {
+                        ew.0 > 0 && ew.1 + 1 < n
+                    };
+                    if !other_can {
+                        break;
+                    }
+                }
+            }
+            // Defensive sweep: guarantees full coverage regardless of the
+            // marching pattern's parity quirks.
+            if relationships.len() < total {
+                for u in 0..n {
+                    for v in u + 1..n {
+                        if solve_insert(
+                            SequencePair::new(u, v),
+                            u,
+                            &mut relationships,
+                            &mut pair_index,
+                            &mut stats,
+                        ) {
+                            stats.assigned_in_sweep += 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        debug_assert_eq!(relationships.len(), total);
+        Ok((
+            AffineSet {
+                clusters,
+                relationships,
+                pair_index,
+                pivots,
+                series_rels,
+                series_count: n,
+                samples: data.samples(),
+            },
+            stats,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use affinity_data::generator::{sensor_dataset, SensorConfig};
+
+    fn params(variant: SymexVariant, k: usize, seed: u64) -> SymexParams {
+        SymexParams {
+            afclst: AfclstParams {
+                k,
+                gamma_max: 10,
+                delta_min: 0,
+                seed,
+            },
+            variant,
+        }
+    }
+
+    #[test]
+    fn covers_every_pair_exactly_once() {
+        for n in [2usize, 3, 4, 5, 8, 13, 20] {
+            let data = sensor_dataset(&SensorConfig::reduced(n, 32));
+            let set = Symex::new(params(SymexVariant::Plus, 2.min(n), 1))
+                .run(&data)
+                .unwrap();
+            assert_eq!(set.len(), n * (n - 1) / 2, "n = {n}");
+            for u in 0..n {
+                for v in u + 1..n {
+                    let r = set
+                        .relationship(SequencePair::new(u, v))
+                        .unwrap_or_else(|| panic!("missing pair ({u},{v})"));
+                    assert_eq!(r.pair, SequencePair::new(u, v));
+                    assert!(r.pair.contains(r.common));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pivot_count_is_at_most_nk() {
+        let data = sensor_dataset(&SensorConfig::reduced(30, 48));
+        let k = 4;
+        let set = Symex::new(params(SymexVariant::Plus, k, 2)).run(&data).unwrap();
+        assert!(
+            set.pivots().len() <= 30 * k,
+            "pivots {} > nk {}",
+            set.pivots().len(),
+            30 * k
+        );
+        assert!(!set.pivots().is_empty());
+    }
+
+    #[test]
+    fn variants_agree_on_relationships() {
+        let data = sensor_dataset(&SensorConfig::reduced(12, 40));
+        let basic = Symex::new(params(SymexVariant::Basic, 3, 7)).run(&data).unwrap();
+        let plus = Symex::new(params(SymexVariant::Plus, 3, 7)).run(&data).unwrap();
+        assert_eq!(basic.len(), plus.len());
+        for r in basic.relationships() {
+            let p = plus.relationship(r.pair).unwrap();
+            assert_eq!(r.pivot, p.pivot);
+            for i in 0..2 {
+                for j in 0..2 {
+                    assert!(
+                        (r.a[i][j] - p.a[i][j]).abs() < 1e-9,
+                        "A[{i}][{j}] mismatch for {:?}",
+                        r.pair
+                    );
+                }
+                assert!((r.b[i] - p.b[i]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn plus_caches_pseudo_inverses() {
+        let data = sensor_dataset(&SensorConfig::reduced(24, 40));
+        let (_, basic_stats) = Symex::new(params(SymexVariant::Basic, 3, 7))
+            .run_with_stats(&data)
+            .unwrap();
+        let (_, plus_stats) = Symex::new(params(SymexVariant::Plus, 3, 7))
+            .run_with_stats(&data)
+            .unwrap();
+        assert_eq!(basic_stats.pinv_cache_hits, 0);
+        assert_eq!(basic_stats.pinv_computed, 24 * 23 / 2);
+        assert!(plus_stats.pinv_cache_hits > 0);
+        assert!(
+            plus_stats.pinv_computed < basic_stats.pinv_computed / 2,
+            "cache should collapse pinv computations: {} vs {}",
+            plus_stats.pinv_computed,
+            basic_stats.pinv_computed
+        );
+    }
+
+    #[test]
+    fn relationship_first_column_is_identity() {
+        // The common series is in the design span, so the LS fit recovers
+        // column one of (A, b) as (1, 0, 0).
+        let data = sensor_dataset(&SensorConfig::reduced(10, 64));
+        let set = Symex::new(params(SymexVariant::Plus, 3, 4)).run(&data).unwrap();
+        for r in set.relationships() {
+            assert!((r.a[0][0] - 1.0).abs() < 1e-6, "a11 = {}", r.a[0][0]);
+            assert!(r.a[1][0].abs() < 1e-6, "a21 = {}", r.a[1][0]);
+            assert!(r.b[0].abs() < 1e-4, "b1 = {}", r.b[0]);
+        }
+    }
+
+    #[test]
+    fn series_relationships_cover_all_series() {
+        let data = sensor_dataset(&SensorConfig::reduced(15, 32));
+        let set = Symex::new(params(SymexVariant::Plus, 3, 9)).run(&data).unwrap();
+        assert_eq!(set.series_relationships().len(), 15);
+        for v in 0..15 {
+            let sr = set.series_relationship(v);
+            assert_eq!(sr.series, v);
+            assert_eq!(sr.cluster, set.clusters().cluster_of(v));
+        }
+    }
+
+    #[test]
+    fn pivot_columns_borrow_correct_slices() {
+        let data = sensor_dataset(&SensorConfig::reduced(8, 24));
+        let set = Symex::new(params(SymexVariant::Plus, 2, 3)).run(&data).unwrap();
+        let pivot = set.pivots()[0];
+        let (common, center) = set.pivot_columns(&data, pivot);
+        assert_eq!(common.len(), 24);
+        assert_eq!(center.len(), 24);
+        assert_eq!(common, data.series(pivot.common));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = sensor_dataset(&SensorConfig::reduced(12, 32));
+        let a = Symex::new(params(SymexVariant::Plus, 3, 11)).run(&data).unwrap();
+        let b = Symex::new(params(SymexVariant::Plus, 3, 11)).run(&data).unwrap();
+        assert_eq!(a.relationships().len(), b.relationships().len());
+        for (x, y) in a.relationships().iter().zip(b.relationships()) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn pseudo_inverse_matches_qr_pseudo_inverse() {
+        let common: Vec<f64> = (0..30).map(|i| (i as f64 * 0.2).sin() + 1.0).collect();
+        let center: Vec<f64> = (0..30).map(|i| (i as f64 * 0.45).cos()).collect();
+        let fast = pivot_pseudo_inverse(&common, &center);
+        let design = crate::affine::design_matrix(&common, &center);
+        let exact = affinity_linalg::qr::pseudo_inverse(&design).unwrap();
+        assert!(fast.max_abs_diff(&exact) < 1e-8);
+    }
+
+    #[test]
+    fn degenerate_constant_center_does_not_crash() {
+        // Constant centre makes [O_p, 1_m] rank-deficient; ridge fallback
+        // must keep the pipeline alive.
+        let common: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let center = vec![3.0; 20];
+        let pinv = pivot_pseudo_inverse(&common, &center);
+        assert_eq!(pinv.rows(), 3);
+        assert_eq!(pinv.cols(), 20);
+        assert!(pinv.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn two_series_edge_case() {
+        let data = sensor_dataset(&SensorConfig::reduced(2, 16));
+        let set = Symex::new(params(SymexVariant::Plus, 1, 1)).run(&data).unwrap();
+        assert_eq!(set.len(), 1);
+        assert!(set.relationship(SequencePair::new(0, 1)).is_some());
+    }
+}

@@ -1,0 +1,223 @@
+//! CSV import/export for data matrices.
+//!
+//! The architecture figure of the paper (Fig. 2) feeds the framework from
+//! a `data_matrix` table; CSV is the interchange format our examples use
+//! to get external data in and experiment output out.
+
+use crate::matrix::DataMatrix;
+use std::fmt::Write as _;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Errors raised by CSV parsing.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A cell failed to parse as `f64`; carries (line, column).
+    BadNumber {
+        /// 1-based line number.
+        line: usize,
+        /// 0-based column index.
+        column: usize,
+    },
+    /// Rows have inconsistent arity; carries the offending 1-based line.
+    Ragged {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// No data rows were found.
+    Empty,
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "csv i/o error: {e}"),
+            CsvError::BadNumber { line, column } => {
+                write!(f, "csv parse error at line {line}, column {column}")
+            }
+            CsvError::Ragged { line } => write!(f, "csv row at line {line} has wrong arity"),
+            CsvError::Empty => write!(f, "csv contained no data rows"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<io::Error> for CsvError {
+    fn from(e: io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Serialize a matrix as CSV: a header of series labels, then one row per
+/// sample (series are columns, matching the paper's `data_matrix` layout).
+pub fn write_csv<W: Write>(dm: &DataMatrix, mut w: W) -> io::Result<()> {
+    let mut line = String::new();
+    for v in 0..dm.series_count() {
+        if v > 0 {
+            line.push(',');
+        }
+        line.push_str(dm.label(v));
+    }
+    line.push('\n');
+    w.write_all(line.as_bytes())?;
+    for i in 0..dm.samples() {
+        line.clear();
+        for v in 0..dm.series_count() {
+            if v > 0 {
+                line.push(',');
+            }
+            // `{}` on f64 round-trips exactly for finite values.
+            let _ = write!(line, "{}", dm.series(v)[i]);
+        }
+        line.push('\n');
+        w.write_all(line.as_bytes())?;
+    }
+    Ok(())
+}
+
+/// Write a matrix to a file path.
+///
+/// # Errors
+/// Propagates I/O errors.
+pub fn save_csv<P: AsRef<Path>>(dm: &DataMatrix, path: P) -> io::Result<()> {
+    let f = std::fs::File::create(path)?;
+    write_csv(dm, io::BufWriter::new(f))
+}
+
+/// Parse a matrix from CSV with a label header row.
+///
+/// # Errors
+/// See [`CsvError`].
+pub fn read_csv<R: Read>(r: R) -> Result<DataMatrix, CsvError> {
+    let reader = BufReader::new(r);
+    let mut lines = reader.lines();
+    let header = match lines.next() {
+        Some(h) => h?,
+        None => return Err(CsvError::Empty),
+    };
+    let labels: Vec<String> = header.split(',').map(|s| s.trim().to_string()).collect();
+    let n = labels.len();
+    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); n];
+    for (idx, line) in lines.enumerate() {
+        let line = line?;
+        let lineno = idx + 2; // 1-based, after the header
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut count = 0;
+        for (c, cell) in line.split(',').enumerate() {
+            if c >= n {
+                return Err(CsvError::Ragged { line: lineno });
+            }
+            let v: f64 = cell
+                .trim()
+                .parse()
+                .map_err(|_| CsvError::BadNumber {
+                    line: lineno,
+                    column: c,
+                })?;
+            columns[c].push(v);
+            count += 1;
+        }
+        if count != n {
+            return Err(CsvError::Ragged { line: lineno });
+        }
+    }
+    if columns[0].is_empty() {
+        return Err(CsvError::Empty);
+    }
+    let mut dm = DataMatrix::from_series(columns);
+    dm.set_labels(labels);
+    Ok(dm)
+}
+
+/// Read a matrix from a file path.
+///
+/// # Errors
+/// See [`CsvError`].
+pub fn load_csv<P: AsRef<Path>>(path: P) -> Result<DataMatrix, CsvError> {
+    let f = std::fs::File::open(path)?;
+    read_csv(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_matrix() -> DataMatrix {
+        let mut dm = DataMatrix::from_series(vec![
+            vec![1.0, 2.5, -3.0],
+            vec![0.125, 1e-9, 4.0],
+        ]);
+        dm.set_labels(vec!["INTC".into(), "AMD".into()]);
+        dm
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let dm = sample_matrix();
+        let mut buf = Vec::new();
+        write_csv(&dm, &mut buf).unwrap();
+        let back = read_csv(&buf[..]).unwrap();
+        assert_eq!(back, dm);
+        assert_eq!(back.label(1), "AMD");
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dm = sample_matrix();
+        let dir = std::env::temp_dir().join("affinity-csv-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.csv");
+        save_csv(&dm, &path).unwrap();
+        let back = load_csv(&path).unwrap();
+        assert_eq!(back, dm);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_bad_number() {
+        let text = "a,b\n1.0,2.0\n1.0,oops\n";
+        match read_csv(text.as_bytes()) {
+            Err(CsvError::BadNumber { line: 3, column: 1 }) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_ragged_rows() {
+        let text = "a,b\n1.0,2.0\n1.0\n";
+        assert!(matches!(
+            read_csv(text.as_bytes()),
+            Err(CsvError::Ragged { line: 3 })
+        ));
+        let text = "a,b\n1.0,2.0,3.0\n";
+        assert!(matches!(
+            read_csv(text.as_bytes()),
+            Err(CsvError::Ragged { line: 2 })
+        ));
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        assert!(matches!(read_csv(&b""[..]), Err(CsvError::Empty)));
+        assert!(matches!(read_csv(&b"a,b\n"[..]), Err(CsvError::Empty)));
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let text = "a\n1.0\n\n2.0\n";
+        let dm = read_csv(text.as_bytes()).unwrap();
+        assert_eq!(dm.samples(), 2);
+    }
+
+    #[test]
+    fn error_display_is_helpful() {
+        let e = CsvError::BadNumber { line: 4, column: 2 };
+        assert!(e.to_string().contains("line 4"));
+        assert!(CsvError::Empty.to_string().contains("no data"));
+    }
+}

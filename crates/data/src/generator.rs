@@ -1,0 +1,299 @@
+//! Seeded synthetic equivalents of the paper's two evaluation datasets.
+//!
+//! The originals (EPFL campus sensors; S&P 500 intraday quotes) are not
+//! public. These generators reproduce the *structure* the AFFINITY
+//! framework exploits — groups of series that are approximately affine
+//! images of a small set of latent signals — at exactly the Table 3
+//! shapes. See DESIGN.md §4 for the substitution rationale.
+
+use crate::matrix::DataMatrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::f64::consts::PI;
+
+/// Configuration for the synthetic **sensor-data** set.
+///
+/// Defaults mirror Table 3: 670 daily series of 720 samples (134 sensors ×
+/// 5 days at a 2-minute sampling interval).
+#[derive(Debug, Clone)]
+pub struct SensorConfig {
+    /// Number of series (`n`).
+    pub series: usize,
+    /// Samples per series (`m`).
+    pub samples: usize,
+    /// Number of latent sensor classes (temperature, humidity, …).
+    pub classes: usize,
+    /// Standard deviation of the AR(1) measurement noise.
+    pub noise: f64,
+    /// AR(1) coefficient of the measurement noise.
+    pub noise_ar: f64,
+    /// RNG seed; equal seeds give bitwise-identical datasets.
+    pub seed: u64,
+}
+
+impl Default for SensorConfig {
+    fn default() -> Self {
+        SensorConfig {
+            series: 670,
+            samples: 720,
+            classes: 8,
+            noise: 0.05,
+            noise_ar: 0.7,
+            seed: 0xAFF1_0001,
+        }
+    }
+}
+
+impl SensorConfig {
+    /// A small configuration for unit tests and quick demos.
+    pub fn reduced(series: usize, samples: usize) -> Self {
+        SensorConfig {
+            series,
+            samples,
+            classes: 4.min(series.max(1)),
+            ..SensorConfig::default()
+        }
+    }
+}
+
+/// Configuration for the synthetic **stock-data** set.
+///
+/// Defaults mirror Table 3: 996 series of 1950 samples (one trading week
+/// of 1-minute quotes: 5 × 390 minutes).
+#[derive(Debug, Clone)]
+pub struct StockConfig {
+    /// Number of series (`n`).
+    pub series: usize,
+    /// Samples per series (`m`).
+    pub samples: usize,
+    /// Number of sectors.
+    pub sectors: usize,
+    /// Per-minute volatility of the idiosyncratic return component.
+    pub idio_vol: f64,
+    /// Per-minute volatility of the market factor.
+    pub market_vol: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for StockConfig {
+    fn default() -> Self {
+        StockConfig {
+            series: 996,
+            samples: 1950,
+            sectors: 10,
+            idio_vol: 0.0008,
+            market_vol: 0.0012,
+            seed: 0xAFF1_0002,
+        }
+    }
+}
+
+impl StockConfig {
+    /// A small configuration for unit tests and quick demos.
+    pub fn reduced(series: usize, samples: usize) -> Self {
+        StockConfig {
+            series,
+            samples,
+            sectors: 4.min(series.max(1)),
+            ..StockConfig::default()
+        }
+    }
+}
+
+/// Standard normal draw via Box–Muller (keeps us independent of
+/// `rand_distr`).
+fn randn(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * PI * u2).cos()
+}
+
+/// Generate the synthetic sensor dataset.
+///
+/// Each latent class `c` has a diurnal base signal (one fundamental and
+/// one harmonic of the daily cycle plus a slow trend). Series `v` belongs
+/// to class `v mod classes` and is an affine image `g·base + o` of its
+/// class signal, mixed with a small amount of a second class (cross-class
+/// leakage) and AR(1) noise. Labels are `sensor<k>-day<d>`.
+///
+/// # Panics
+/// Panics if `series`, `samples` or `classes` is zero.
+pub fn sensor_dataset(cfg: &SensorConfig) -> DataMatrix {
+    assert!(cfg.series > 0 && cfg.samples > 0 && cfg.classes > 0);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let m = cfg.samples;
+
+    // Latent class signals.
+    let mut bases: Vec<Vec<f64>> = Vec::with_capacity(cfg.classes);
+    for _ in 0..cfg.classes {
+        let a1 = rng.gen_range(0.6..1.4);
+        let a2 = rng.gen_range(0.1..0.5);
+        let p1 = rng.gen_range(0.0..2.0 * PI);
+        let p2 = rng.gen_range(0.0..2.0 * PI);
+        let trend = rng.gen_range(-0.4..0.4);
+        let base: Vec<f64> = (0..m)
+            .map(|i| {
+                let t = i as f64 / m as f64;
+                a1 * (2.0 * PI * t + p1).sin()
+                    + a2 * (4.0 * PI * t + p2).sin()
+                    + trend * t
+            })
+            .collect();
+        bases.push(base);
+    }
+
+    let mut columns = Vec::with_capacity(cfg.series);
+    let mut labels = Vec::with_capacity(cfg.series);
+    for v in 0..cfg.series {
+        let class = v % cfg.classes;
+        let alt = (v / cfg.classes) % cfg.classes;
+        let gain = rng.gen_range(0.5..2.0);
+        let offset = rng.gen_range(10.0..30.0);
+        let leak = rng.gen_range(0.0..0.15);
+        let mut noise_state = 0.0;
+        let col: Vec<f64> = (0..m)
+            .map(|i| {
+                noise_state = cfg.noise_ar * noise_state + cfg.noise * randn(&mut rng);
+                gain * bases[class][i] + leak * bases[alt][i] + offset + noise_state
+            })
+            .collect();
+        columns.push(col);
+        labels.push(format!("sensor{}-day{}", v % 134, v / 134));
+    }
+    let mut dm = DataMatrix::from_series(columns);
+    dm.set_labels(labels);
+    dm
+}
+
+/// Generate the synthetic stock dataset.
+///
+/// A CAPM-style factor model (the paper itself motivates correlation
+/// queries with CAPM, refs [8, 10]): per-minute log-returns are
+/// `β_m·market + β_s·sector + ε`, cumulated into log-prices and
+/// exponentiated around a per-stock base price. Labels are `STK<v>`.
+///
+/// # Panics
+/// Panics if `series`, `samples` or `sectors` is zero.
+pub fn stock_dataset(cfg: &StockConfig) -> DataMatrix {
+    assert!(cfg.series > 0 && cfg.samples > 0 && cfg.sectors > 0);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let m = cfg.samples;
+
+    // Market factor returns.
+    let market: Vec<f64> = (0..m).map(|_| cfg.market_vol * randn(&mut rng)).collect();
+    // Sector factor returns.
+    let sectors: Vec<Vec<f64>> = (0..cfg.sectors)
+        .map(|_| (0..m).map(|_| 0.7 * cfg.market_vol * randn(&mut rng)).collect())
+        .collect();
+
+    let mut columns = Vec::with_capacity(cfg.series);
+    let mut labels = Vec::with_capacity(cfg.series);
+    for v in 0..cfg.series {
+        let sector = v % cfg.sectors;
+        let beta_m = rng.gen_range(0.5..1.5);
+        let beta_s = rng.gen_range(0.3..1.2);
+        let base_price: f64 = rng.gen_range(5.0..500.0);
+        let mut log_price = base_price.ln();
+        let sec = &sectors[sector];
+        let col: Vec<f64> = (0..m)
+            .map(|i| {
+                let ret = beta_m * market[i]
+                    + beta_s * sec[i]
+                    + cfg.idio_vol * randn(&mut rng);
+                log_price += ret;
+                log_price.exp()
+            })
+            .collect();
+        columns.push(col);
+        labels.push(format!("STK{v}"));
+    }
+    let mut dm = DataMatrix::from_series(columns);
+    dm.set_labels(labels);
+    dm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corr(x: &[f64], y: &[f64]) -> f64 {
+        let m = x.len() as f64;
+        let mx = x.iter().sum::<f64>() / m;
+        let my = y.iter().sum::<f64>() / m;
+        let mut c = 0.0;
+        let mut vx = 0.0;
+        let mut vy = 0.0;
+        for (a, b) in x.iter().zip(y.iter()) {
+            c += (a - mx) * (b - my);
+            vx += (a - mx) * (a - mx);
+            vy += (b - my) * (b - my);
+        }
+        c / (vx * vy).sqrt()
+    }
+
+    #[test]
+    fn default_shapes_match_table3() {
+        let s = SensorConfig::default();
+        assert_eq!((s.series, s.samples), (670, 720));
+        let k = StockConfig::default();
+        assert_eq!((k.series, k.samples), (996, 1950));
+    }
+
+    #[test]
+    fn sensor_generation_is_deterministic() {
+        let cfg = SensorConfig::reduced(12, 64);
+        let a = sensor_dataset(&cfg);
+        let b = sensor_dataset(&cfg);
+        assert_eq!(a, b);
+        let mut cfg2 = cfg.clone();
+        cfg2.seed += 1;
+        assert_ne!(sensor_dataset(&cfg2), a);
+    }
+
+    #[test]
+    fn stock_generation_is_deterministic() {
+        let cfg = StockConfig::reduced(10, 50);
+        assert_eq!(stock_dataset(&cfg), stock_dataset(&cfg));
+    }
+
+    #[test]
+    fn sensor_same_class_series_are_strongly_correlated() {
+        let cfg = SensorConfig::reduced(16, 256);
+        let dm = sensor_dataset(&cfg);
+        // Series 0 and 4 share class 0 (classes = 4).
+        let same = corr(dm.series(0), dm.series(4)).abs();
+        assert!(same > 0.8, "same-class correlation {same}");
+    }
+
+    #[test]
+    fn stock_prices_are_positive_and_correlated_within_sector() {
+        let cfg = StockConfig::reduced(8, 400);
+        let dm = stock_dataset(&cfg);
+        for v in 0..8 {
+            assert!(dm.series(v).iter().all(|p| *p > 0.0));
+        }
+        // 0 and 4 share sector 0 plus the market factor.
+        let c = corr(dm.series(0), dm.series(4));
+        assert!(c > 0.3, "within-sector correlation {c}");
+    }
+
+    #[test]
+    fn labels_follow_conventions() {
+        let dm = sensor_dataset(&SensorConfig::reduced(3, 16));
+        assert!(dm.label(0).starts_with("sensor"));
+        let dm = stock_dataset(&StockConfig::reduced(3, 16));
+        assert_eq!(dm.label(2), "STK2");
+    }
+
+    #[test]
+    fn series_are_not_constant() {
+        let dm = sensor_dataset(&SensorConfig::reduced(5, 128));
+        for v in 0..5 {
+            let s = dm.series(v);
+            let min = s.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = s.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            assert!(max - min > 1e-6);
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! The data matrix and the identifier conventions of paper Sec. 2.
+
+/// Identifier of a single time series (`u ∈ I`, paper Sec. 2.1).
+pub type SeriesId = usize;
+
+/// An unordered pair of distinct series identifiers, stored as
+/// `(u, v)` with `u < v` — an element of the sequence pair set `P`
+/// (paper Sec. 2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SequencePair {
+    /// Smaller identifier.
+    pub u: SeriesId,
+    /// Larger identifier.
+    pub v: SeriesId,
+}
+
+impl SequencePair {
+    /// Canonicalize `(a, b)` into a sequence pair.
+    ///
+    /// # Panics
+    /// Panics if `a == b`; a sequence pair holds *distinct* series.
+    pub fn new(a: SeriesId, b: SeriesId) -> Self {
+        assert_ne!(a, b, "sequence pair requires distinct identifiers");
+        if a < b {
+            SequencePair { u: a, v: b }
+        } else {
+            SequencePair { u: b, v: a }
+        }
+    }
+
+    /// The other member given one member.
+    ///
+    /// # Panics
+    /// Panics if `id` is not a member of the pair.
+    pub fn other(&self, id: SeriesId) -> SeriesId {
+        if id == self.u {
+            self.v
+        } else if id == self.v {
+            self.u
+        } else {
+            panic!("{id} is not a member of pair ({}, {})", self.u, self.v)
+        }
+    }
+
+    /// `true` if `id` is one of the two members.
+    pub fn contains(&self, id: SeriesId) -> bool {
+        id == self.u || id == self.v
+    }
+}
+
+/// The `m×n` data matrix `S` (paper Sec. 2): `n` time series, one per
+/// column, each with `m` samples. Column-major storage keeps each series
+/// contiguous.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataMatrix {
+    samples: usize,
+    series: usize,
+    /// Optional per-series labels (e.g. ticker symbols / sensor names).
+    labels: Vec<String>,
+    /// `data[v * samples ..][..samples]` is series `v`.
+    data: Vec<f64>,
+}
+
+impl DataMatrix {
+    /// Build from per-series columns.
+    ///
+    /// # Panics
+    /// Panics on ragged columns or zero series/samples.
+    pub fn from_series(columns: Vec<Vec<f64>>) -> Self {
+        assert!(!columns.is_empty(), "data matrix needs at least one series");
+        let m = columns[0].len();
+        assert!(m > 0, "series must be non-empty");
+        let n = columns.len();
+        let mut data = Vec::with_capacity(m * n);
+        for c in &columns {
+            assert_eq!(c.len(), m, "all series must have the same length");
+            data.extend_from_slice(c);
+        }
+        let labels = (0..n).map(|i| format!("s{i}")).collect();
+        DataMatrix {
+            samples: m,
+            series: n,
+            labels,
+            data,
+        }
+    }
+
+    /// Build from a raw column-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != samples * series` or either dim is zero.
+    pub fn from_raw(samples: usize, series: usize, data: Vec<f64>) -> Self {
+        assert!(samples > 0 && series > 0, "dimensions must be positive");
+        assert_eq!(data.len(), samples * series, "buffer size mismatch");
+        let labels = (0..series).map(|i| format!("s{i}")).collect();
+        DataMatrix {
+            samples,
+            series,
+            labels,
+            data,
+        }
+    }
+
+    /// Number of samples per series (`m`).
+    #[inline]
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// Number of series (`n`).
+    #[inline]
+    pub fn series_count(&self) -> usize {
+        self.series
+    }
+
+    /// Borrow series `v` as a contiguous slice.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn series(&self, v: SeriesId) -> &[f64] {
+        assert!(v < self.series, "series id {v} out of range");
+        &self.data[v * self.samples..(v + 1) * self.samples]
+    }
+
+    /// Raw column-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Label of series `v`.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    pub fn label(&self, v: SeriesId) -> &str {
+        &self.labels[v]
+    }
+
+    /// Replace all labels.
+    ///
+    /// # Panics
+    /// Panics if the count differs from the series count.
+    pub fn set_labels(&mut self, labels: Vec<String>) {
+        assert_eq!(labels.len(), self.series, "label count mismatch");
+        self.labels = labels;
+    }
+
+    /// All sequence pairs `P = {(u,v) | u < v}` in lexicographic order
+    /// (`n(n−1)/2` of them).
+    pub fn sequence_pairs(&self) -> Vec<SequencePair> {
+        let n = self.series;
+        let mut out = Vec::with_capacity(n * (n - 1) / 2);
+        for u in 0..n {
+            for v in u + 1..n {
+                out.push(SequencePair { u, v });
+            }
+        }
+        out
+    }
+
+    /// Number of sequence pairs, i.e. the paper's "max. affine
+    /// relationships" row of Table 3.
+    pub fn pair_count(&self) -> usize {
+        self.series * (self.series - 1) / 2
+    }
+
+    /// A new matrix holding only the first `k` series — used by the
+    /// scalability sweeps (Figs. 13–14) to grow the relationship count.
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or `k > series_count()`.
+    pub fn prefix(&self, k: usize) -> DataMatrix {
+        assert!(k > 0 && k <= self.series, "invalid prefix size {k}");
+        DataMatrix {
+            samples: self.samples,
+            series: k,
+            labels: self.labels[..k].to_vec(),
+            data: self.data[..k * self.samples].to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_canonicalization() {
+        let p = SequencePair::new(5, 2);
+        assert_eq!((p.u, p.v), (2, 5));
+        assert_eq!(p.other(2), 5);
+        assert_eq!(p.other(5), 2);
+        assert!(p.contains(2) && p.contains(5) && !p.contains(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn pair_rejects_equal_ids() {
+        SequencePair::new(3, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a member")]
+    fn other_rejects_non_member() {
+        SequencePair::new(1, 2).other(7);
+    }
+
+    #[test]
+    fn matrix_roundtrip() {
+        let m = DataMatrix::from_series(vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        assert_eq!(m.samples(), 2);
+        assert_eq!(m.series_count(), 3);
+        assert_eq!(m.series(1), &[3.0, 4.0]);
+        assert_eq!(m.label(0), "s0");
+        let raw = DataMatrix::from_raw(2, 3, m.as_slice().to_vec());
+        assert_eq!(raw.series(2), m.series(2));
+    }
+
+    #[test]
+    fn sequence_pairs_complete_and_ordered() {
+        let m = DataMatrix::from_series(vec![vec![0.0]; 4]);
+        let ps = m.sequence_pairs();
+        assert_eq!(ps.len(), 6);
+        assert_eq!(m.pair_count(), 6);
+        assert!(ps.windows(2).all(|w| w[0] < w[1]));
+        assert!(ps.iter().all(|p| p.u < p.v && p.v < 4));
+    }
+
+    #[test]
+    fn prefix_takes_leading_series() {
+        let m = DataMatrix::from_series(vec![vec![1.0], vec![2.0], vec![3.0]]);
+        let p = m.prefix(2);
+        assert_eq!(p.series_count(), 2);
+        assert_eq!(p.series(1), &[2.0]);
+    }
+
+    #[test]
+    fn labels_can_be_replaced() {
+        let mut m = DataMatrix::from_series(vec![vec![1.0], vec![2.0]]);
+        m.set_labels(vec!["INTC".into(), "AMD".into()]);
+        assert_eq!(m.label(0), "INTC");
+        assert_eq!(m.label(1), "AMD");
+    }
+
+    #[test]
+    #[should_panic(expected = "same length")]
+    fn ragged_series_rejected() {
+        DataMatrix::from_series(vec![vec![1.0, 2.0], vec![1.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_series_panics() {
+        DataMatrix::from_series(vec![vec![1.0]]).series(1);
+    }
+}

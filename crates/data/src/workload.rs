@@ -1,0 +1,180 @@
+//! Power-law (Zipf) sampling for online query workloads.
+//!
+//! The online experiment (paper Sec. 6.2) draws the series identifiers of
+//! each MEC query from a power-law distribution — "some entities (stocks
+//! or sensors) are popular as compared to others". This module implements
+//! a seeded Zipf sampler over `0..n` by inverse-CDF binary search.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Zipf-distributed sampler over the identifiers `0..n`.
+///
+/// Identifier `i` (rank `i+1`) is drawn with probability proportional to
+/// `1/(i+1)^s`. The cumulative table costs `O(n)` memory and each draw is
+/// one `O(log n)` binary search.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+    rng: StdRng,
+}
+
+impl ZipfSampler {
+    /// Create a sampler over `0..n` with exponent `s` and a fixed seed.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s` is negative/non-finite.
+    pub fn new(n: usize, s: f64, seed: u64) -> Self {
+        assert!(n > 0, "zipf sampler needs a non-empty domain");
+        assert!(s.is_finite() && s >= 0.0, "zipf exponent must be >= 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        ZipfSampler {
+            cdf,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Domain size.
+    pub fn domain(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draw one identifier.
+    pub fn sample(&mut self) -> usize {
+        let u: f64 = self.rng.gen_range(0.0..1.0);
+        // First index with cdf >= u.
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).unwrap())
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Draw `k` *distinct* identifiers (the paper's queries touch 10
+    /// different series). Falls back to sequential fill if `k` exhausts
+    /// the domain.
+    ///
+    /// # Panics
+    /// Panics if `k > domain`.
+    pub fn sample_distinct(&mut self, k: usize) -> Vec<usize> {
+        let n = self.domain();
+        assert!(k <= n, "cannot draw {k} distinct ids from domain {n}");
+        let mut out = Vec::with_capacity(k);
+        let mut seen = vec![false; n];
+        // Rejection sampling is fast while k << n; guard with a budget.
+        let mut budget = 50 * k + 100;
+        while out.len() < k && budget > 0 {
+            budget -= 1;
+            let id = self.sample();
+            if !seen[id] {
+                seen[id] = true;
+                out.push(id);
+            }
+        }
+        // Deterministic completion in the pathological case.
+        let mut next = 0;
+        while out.len() < k {
+            if !seen[next] {
+                seen[next] = true;
+                out.push(next);
+            }
+            next += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_stay_in_domain() {
+        let mut z = ZipfSampler::new(10, 1.0, 42);
+        for _ in 0..1000 {
+            assert!(z.sample() < 10);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = ZipfSampler::new(100, 1.2, 7);
+        let mut b = ZipfSampler::new(100, 1.2, 7);
+        let va: Vec<usize> = (0..50).map(|_| a.sample()).collect();
+        let vb: Vec<usize> = (0..50).map(|_| b.sample()).collect();
+        assert_eq!(va, vb);
+    }
+
+    #[test]
+    fn low_ranks_dominate() {
+        let mut z = ZipfSampler::new(1000, 1.1, 3);
+        let mut counts = vec![0usize; 1000];
+        for _ in 0..20000 {
+            counts[z.sample()] += 1;
+        }
+        let head: usize = counts[..10].iter().sum();
+        let tail: usize = counts[500..].iter().sum();
+        assert!(
+            head > tail,
+            "power-law head ({head}) should outweigh the tail ({tail})"
+        );
+        assert!(counts[0] > counts[100], "rank 1 beats rank 101");
+    }
+
+    #[test]
+    fn exponent_zero_is_uniformish() {
+        let mut z = ZipfSampler::new(4, 0.0, 11);
+        let mut counts = vec![0usize; 4];
+        for _ in 0..8000 {
+            counts[z.sample()] += 1;
+        }
+        for c in counts {
+            assert!((c as i64 - 2000).abs() < 400, "count {c} too far from uniform");
+        }
+    }
+
+    #[test]
+    fn distinct_sampling_has_no_duplicates() {
+        let mut z = ZipfSampler::new(50, 1.0, 9);
+        for _ in 0..20 {
+            let ids = z.sample_distinct(10);
+            assert_eq!(ids.len(), 10);
+            let mut sorted = ids.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 10);
+        }
+    }
+
+    #[test]
+    fn distinct_sampling_can_exhaust_domain() {
+        let mut z = ZipfSampler::new(5, 2.0, 1);
+        let ids = z.sample_distinct(5);
+        let mut sorted = ids;
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn too_many_distinct_panics() {
+        ZipfSampler::new(3, 1.0, 1).sample_distinct(4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_domain_panics() {
+        ZipfSampler::new(0, 1.0, 1);
+    }
+}

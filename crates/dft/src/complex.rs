@@ -1,0 +1,200 @@
+//! Minimal complex arithmetic for the FFT kernels.
+
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` parts.
+///
+/// Only what the FFT and sketch code needs — deliberately not a general
+/// complex library.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex64 {
+    /// Complex zero.
+    pub const ZERO: Complex64 = Complex64 { re: 0.0, im: 0.0 };
+    /// Complex one.
+    pub const ONE: Complex64 = Complex64 { re: 1.0, im: 0.0 };
+
+    /// Construct from parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex64 { re, im }
+    }
+
+    /// Construct a real number.
+    #[inline]
+    pub const fn from_real(re: f64) -> Self {
+        Complex64 { re, im: 0.0 }
+    }
+
+    /// `e^{iθ} = cos θ + i sin θ`.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Complex64 {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex64 {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Squared magnitude `re² + im²`.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude `|z|`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Scale by a real factor.
+    #[inline]
+    pub fn scale(self, s: f64) -> Self {
+        Complex64 {
+            re: self.re * s,
+            im: self.im * s,
+        }
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn add(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex64) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn sub(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl SubAssign for Complex64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex64) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for Complex64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex64) {
+        *self = *self * rhs;
+    }
+}
+
+impl Div for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn div(self, rhs: Complex64) -> Complex64 {
+        let d = rhs.norm_sqr();
+        Complex64::new(
+            (self.re * rhs.re + self.im * rhs.im) / d,
+            (self.im * rhs.re - self.re * rhs.im) / d,
+        )
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn neg(self) -> Complex64 {
+        Complex64::new(-self.re, -self.im)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Complex64::new(1.0, 2.0);
+        let b = Complex64::new(-0.5, 3.0);
+        assert_eq!(a + b, Complex64::new(0.5, 5.0));
+        assert_eq!(a - b, Complex64::new(1.5, -1.0));
+        // (1+2i)(-0.5+3i) = -0.5 + 3i - i + 6i² = -6.5 + 2i
+        assert_eq!(a * b, Complex64::new(-6.5, 2.0));
+        assert_eq!(-a, Complex64::new(-1.0, -2.0));
+        let mut c = a;
+        c += b;
+        c -= b;
+        assert_eq!(c, a);
+        c *= Complex64::ONE;
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn division_is_multiplication_inverse() {
+        let a = Complex64::new(3.0, -4.0);
+        let b = Complex64::new(1.5, 2.5);
+        let q = a / b;
+        let back = q * b;
+        assert!((back.re - a.re).abs() < 1e-12);
+        assert!((back.im - a.im).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conj_abs_norm() {
+        let a = Complex64::new(3.0, 4.0);
+        assert_eq!(a.abs(), 5.0);
+        assert_eq!(a.norm_sqr(), 25.0);
+        assert_eq!(a.conj(), Complex64::new(3.0, -4.0));
+        assert_eq!((a * a.conj()).re, 25.0);
+    }
+
+    #[test]
+    fn cis_on_unit_circle() {
+        use std::f64::consts::PI;
+        let z = Complex64::cis(PI / 2.0);
+        assert!(z.re.abs() < 1e-15);
+        assert!((z.im - 1.0).abs() < 1e-15);
+        assert!((Complex64::cis(0.3).abs() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn scale_and_constants() {
+        assert_eq!(Complex64::from_real(2.0).scale(3.0), Complex64::new(6.0, 0.0));
+        assert_eq!(Complex64::ZERO + Complex64::ONE, Complex64::ONE);
+        assert_eq!(Complex64::default(), Complex64::ZERO);
+    }
+}

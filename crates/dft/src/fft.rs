@@ -1,0 +1,266 @@
+//! Fast Fourier transforms: iterative radix-2 Cooley–Tukey and Bluestein's
+//! chirp-z algorithm for arbitrary lengths.
+//!
+//! AFFINITY's datasets have lengths like `m = 720` and `m = 1950` that are
+//! not powers of two; Bluestein reduces those to a power-of-two convolution
+//! so the WF baseline stays `O(m log m)` without zero-padding artifacts.
+
+use crate::complex::Complex64;
+use std::f64::consts::PI;
+
+/// Forward DFT: `X[k] = Σ_j x[j]·e^{-2πi jk/n}`.
+///
+/// Dispatches to radix-2 for power-of-two lengths and Bluestein otherwise.
+/// Length 0 and 1 are identity transforms.
+pub fn fft(x: &[Complex64]) -> Vec<Complex64> {
+    let n = x.len();
+    if n <= 1 {
+        return x.to_vec();
+    }
+    if n.is_power_of_two() {
+        let mut buf = x.to_vec();
+        radix2_in_place(&mut buf, false);
+        buf
+    } else {
+        bluestein(x, false)
+    }
+}
+
+/// Inverse DFT: `x[j] = (1/n) Σ_k X[k]·e^{+2πi jk/n}`.
+pub fn ifft(x: &[Complex64]) -> Vec<Complex64> {
+    let n = x.len();
+    if n <= 1 {
+        return x.to_vec();
+    }
+    let mut out = if n.is_power_of_two() {
+        let mut buf = x.to_vec();
+        radix2_in_place(&mut buf, true);
+        buf
+    } else {
+        bluestein(x, true)
+    };
+    let inv = 1.0 / n as f64;
+    for v in &mut out {
+        *v = v.scale(inv);
+    }
+    out
+}
+
+/// Forward DFT of a real-valued signal (convenience wrapper).
+pub fn fft_real(x: &[f64]) -> Vec<Complex64> {
+    let buf: Vec<Complex64> = x.iter().map(|&v| Complex64::from_real(v)).collect();
+    fft(&buf)
+}
+
+/// Quadratic-time reference DFT used as a correctness oracle in tests and
+/// available for tiny inputs.
+pub fn naive_dft(x: &[Complex64]) -> Vec<Complex64> {
+    let n = x.len();
+    let mut out = vec![Complex64::ZERO; n];
+    for (k, o) in out.iter_mut().enumerate() {
+        let mut acc = Complex64::ZERO;
+        for (j, &v) in x.iter().enumerate() {
+            let angle = -2.0 * PI * (j as f64) * (k as f64) / n as f64;
+            acc += v * Complex64::cis(angle);
+        }
+        *o = acc;
+    }
+    out
+}
+
+/// In-place iterative radix-2 Cooley–Tukey.
+///
+/// `inverse` flips the twiddle sign; scaling is the caller's business.
+///
+/// # Panics
+/// Debug-asserts the length is a power of two (enforced by dispatchers).
+fn radix2_in_place(buf: &mut [Complex64], inverse: bool) {
+    let n = buf.len();
+    debug_assert!(n.is_power_of_two());
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u32).reverse_bits() >> (32 - bits);
+        let j = j as usize;
+        if j > i {
+            buf.swap(i, j);
+        }
+    }
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * PI / len as f64;
+        let wlen = Complex64::cis(ang);
+        let mut i = 0;
+        while i < n {
+            let mut w = Complex64::ONE;
+            for j in 0..len / 2 {
+                let u = buf[i + j];
+                let v = buf[i + j + len / 2] * w;
+                buf[i + j] = u + v;
+                buf[i + j + len / 2] = u - v;
+                w *= wlen;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// Bluestein's algorithm: express an arbitrary-length DFT as a convolution
+/// of chirped sequences, evaluated with power-of-two FFTs.
+fn bluestein(x: &[Complex64], inverse: bool) -> Vec<Complex64> {
+    let n = x.len();
+    let sign = if inverse { 1.0 } else { -1.0 };
+    // Chirp: w[j] = e^{sign·πi j²/n}; use j² mod 2n to keep angles accurate
+    // for large j.
+    let two_n = 2 * n as u64;
+    let chirp: Vec<Complex64> = (0..n)
+        .map(|j| {
+            let j = j as u64;
+            let e = (j * j) % two_n;
+            Complex64::cis(sign * PI * e as f64 / n as f64)
+        })
+        .collect();
+
+    let m = (2 * n - 1).next_power_of_two();
+    let mut a = vec![Complex64::ZERO; m];
+    let mut b = vec![Complex64::ZERO; m];
+    for j in 0..n {
+        a[j] = x[j] * chirp[j];
+        b[j] = chirp[j].conj();
+    }
+    for j in 1..n {
+        b[m - j] = chirp[j].conj();
+    }
+    radix2_in_place(&mut a, false);
+    radix2_in_place(&mut b, false);
+    for (av, bv) in a.iter_mut().zip(b.iter()) {
+        *av *= *bv;
+    }
+    radix2_in_place(&mut a, true);
+    let scale = 1.0 / m as f64;
+    (0..n).map(|k| (a[k].scale(scale)) * chirp[k]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[Complex64], b: &[Complex64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (u, v) in a.iter().zip(b.iter()) {
+            assert!(
+                (u.re - v.re).abs() < tol && (u.im - v.im).abs() < tol,
+                "{u:?} vs {v:?}"
+            );
+        }
+    }
+
+    fn impulse(n: usize) -> Vec<Complex64> {
+        let mut x = vec![Complex64::ZERO; n];
+        x[0] = Complex64::ONE;
+        x
+    }
+
+    #[test]
+    fn impulse_transforms_to_constant() {
+        for n in [1usize, 2, 4, 8, 6, 10, 15] {
+            let y = fft(&impulse(n));
+            for v in &y {
+                assert!((v.re - 1.0).abs() < 1e-12 && v.im.abs() < 1e-12, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_naive_dft_power_of_two() {
+        let x: Vec<Complex64> = (0..16)
+            .map(|i| Complex64::new((i as f64 * 0.7).sin(), (i as f64 * 0.3).cos()))
+            .collect();
+        assert_close(&fft(&x), &naive_dft(&x), 1e-10);
+    }
+
+    #[test]
+    fn matches_naive_dft_arbitrary_lengths() {
+        for n in [3usize, 5, 6, 7, 12, 30, 97, 100] {
+            let x: Vec<Complex64> = (0..n)
+                .map(|i| Complex64::new((i as f64 * 1.3).sin(), (i as f64).sqrt()))
+                .collect();
+            assert_close(&fft(&x), &naive_dft(&x), 1e-8);
+        }
+    }
+
+    #[test]
+    fn round_trip_identity() {
+        for n in [8usize, 9, 720, 1950] {
+            let x: Vec<Complex64> = (0..n)
+                .map(|i| Complex64::new((i as f64 * 0.11).sin(), (i as f64 * 0.05).cos()))
+                .collect();
+            let back = ifft(&fft(&x));
+            assert_close(&back, &x, 1e-9);
+        }
+    }
+
+    #[test]
+    fn parseval_theorem_holds() {
+        let n = 250;
+        let x: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::from_real((i as f64 * 0.2).sin() + 0.3))
+            .collect();
+        let y = fft(&x);
+        let time_energy: f64 = x.iter().map(|v| v.norm_sqr()).sum();
+        let freq_energy: f64 = y.iter().map(|v| v.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-8 * time_energy);
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 24;
+        let x: Vec<Complex64> = (0..n).map(|i| Complex64::from_real(i as f64)).collect();
+        let y: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::from_real((i as f64).cos()))
+            .collect();
+        let sum: Vec<Complex64> = x.iter().zip(&y).map(|(a, b)| *a + *b).collect();
+        let fx = fft(&x);
+        let fy = fft(&y);
+        let fsum = fft(&sum);
+        let expect: Vec<Complex64> = fx.iter().zip(&fy).map(|(a, b)| *a + *b).collect();
+        assert_close(&fsum, &expect, 1e-9);
+    }
+
+    #[test]
+    fn single_tone_concentrates_energy() {
+        let n = 64;
+        let k0 = 5;
+        let x: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::from_real((2.0 * PI * k0 as f64 * i as f64 / n as f64).cos()))
+            .collect();
+        let y = fft(&x);
+        // A real cosine splits into bins k0 and n-k0, each of magnitude n/2.
+        assert!((y[k0].abs() - n as f64 / 2.0).abs() < 1e-9);
+        assert!((y[n - k0].abs() - n as f64 / 2.0).abs() < 1e-9);
+        for (k, v) in y.iter().enumerate() {
+            if k != k0 && k != n - k0 {
+                assert!(v.abs() < 1e-8, "bin {k} leaked {}", v.abs());
+            }
+        }
+    }
+
+    #[test]
+    fn fft_real_matches_complex_path() {
+        let x: Vec<f64> = (0..30).map(|i| (i as f64 * 0.4).sin()).collect();
+        let a = fft_real(&x);
+        let b = fft(&x.iter().map(|&v| Complex64::from_real(v)).collect::<Vec<_>>());
+        assert_close(&a, &b, 1e-15);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(fft(&[]).is_empty());
+        assert!(ifft(&[]).is_empty());
+        let one = vec![Complex64::new(2.5, -1.0)];
+        assert_eq!(fft(&one), one);
+        assert_eq!(ifft(&one), one);
+    }
+}

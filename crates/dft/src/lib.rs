@@ -1,0 +1,38 @@
+//! # affinity-dft
+//!
+//! From-scratch discrete Fourier transform substrate backing the **WF**
+//! baseline of the AFFINITY paper (Sathe & Aberer, ICDE 2013, Sec. 6):
+//! *"an approach that uses the five largest DFT coefficients for
+//! approximating the correlation coefficient"* (StatStream / HierarchyScan /
+//! Mueen et al. lineage, refs [1–3] in the paper).
+//!
+//! Contents:
+//!
+//! * [`complex`] — minimal `Complex64` arithmetic;
+//! * [`mod@fft`] — iterative radix-2 Cooley–Tukey FFT plus Bluestein's
+//!   algorithm so *any* series length (e.g. the stock dataset's `m = 1950`)
+//!   gets an `O(m log m)` transform;
+//! * [`sketch`] — per-series sketches retaining the `k` largest-magnitude
+//!   DFT coefficients of the z-normalized series, and the Parseval-based
+//!   correlation estimate between two sketches.
+//!
+//! ```
+//! use affinity_dft::sketch::DftSketch;
+//!
+//! let x: Vec<f64> = (0..96).map(|i| (i as f64 * 0.3).sin()).collect();
+//! let y: Vec<f64> = x.iter().map(|v| 2.0 * v + 1.0).collect(); // perfectly correlated
+//! let sx = DftSketch::build(&x, 5);
+//! let sy = DftSketch::build(&y, 5);
+//! assert!((sx.correlation(&sy) - 1.0).abs() < 0.05);
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod complex;
+pub mod fft;
+pub mod sketch;
+
+pub use complex::Complex64;
+pub use fft::{fft, ifft, naive_dft};
+pub use sketch::DftSketch;

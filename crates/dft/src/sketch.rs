@@ -1,0 +1,305 @@
+//! DFT coefficient sketches — the **WF** correlation baseline.
+//!
+//! Following the paper's refs [1–3] (StatStream, HierarchyScan, Mueen et
+//! al.), each series is z-normalized and summarized by its `k`
+//! largest-magnitude DFT coefficients. By Parseval's theorem the Pearson
+//! correlation of two z-normalized series equals the (scaled) inner product
+//! of their spectra, so correlations are approximated from the retained
+//! bins only — in `O(k)` per pair instead of `O(m)`.
+//!
+//! This is the method AFFINITY compares against (`W_F` in Sec. 6); it
+//! handles *only* the correlation coefficient, which is exactly the
+//! limitation the paper highlights.
+
+use crate::complex::Complex64;
+use crate::fft::fft_real;
+
+/// Sketch of one series: its z-normalization constants plus the retained
+/// DFT bins of the normalized series.
+#[derive(Debug, Clone)]
+pub struct DftSketch {
+    /// Series length `m`.
+    len: usize,
+    /// Retained bins, sorted by bin index ascending. Bin indices are in
+    /// `1..=m/2` (the DC bin of a z-normalized series is zero and real
+    /// input makes the upper half redundant by conjugate symmetry).
+    bins: Vec<(u32, Complex64)>,
+    /// Mean of the raw series (kept for inspection/tests).
+    mean: f64,
+    /// Standard deviation of the raw series; `0` marks a constant series.
+    std: f64,
+}
+
+impl DftSketch {
+    /// Build a sketch retaining the `k` largest-magnitude coefficients.
+    ///
+    /// A constant series (zero variance) produces an empty sketch whose
+    /// correlation with anything is `0`, matching the convention used by
+    /// the exact path.
+    ///
+    /// # Panics
+    /// Panics if `x` is empty.
+    pub fn build(x: &[f64], k: usize) -> Self {
+        assert!(!x.is_empty(), "DftSketch::build on empty series");
+        let m = x.len();
+        let mean = x.iter().sum::<f64>() / m as f64;
+        let var = x.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / m as f64;
+        let std = var.sqrt();
+        // Relative threshold: floating-point summation leaves a constant
+        // series with a tiny but nonzero variance.
+        if std <= 1e-12 * mean.abs().max(1.0) {
+            return DftSketch {
+                len: m,
+                bins: Vec::new(),
+                mean,
+                std: 0.0,
+            };
+        }
+        let z: Vec<f64> = x.iter().map(|v| (v - mean) / std).collect();
+        let spectrum = fft_real(&z);
+        // Candidate bins 1..=m/2 with their magnitudes.
+        let half = m / 2;
+        let mut candidates: Vec<(u32, f64)> = (1..=half)
+            .map(|b| (b as u32, spectrum[b].abs()))
+            .collect();
+        candidates.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        let mut keep: Vec<(u32, Complex64)> = candidates
+            .into_iter()
+            .take(k)
+            .map(|(b, _)| (b, spectrum[b as usize]))
+            .collect();
+        keep.sort_by_key(|(b, _)| *b);
+        DftSketch {
+            len: m,
+            bins: keep,
+            mean,
+            std,
+        }
+    }
+
+    /// Series length the sketch was built from.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the sketch retains no coefficients (constant series).
+    pub fn is_empty(&self) -> bool {
+        self.bins.is_empty()
+    }
+
+    /// Number of retained coefficients.
+    pub fn retained(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Mean of the raw series.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Standard deviation of the raw series.
+    pub fn std(&self) -> f64 {
+        self.std
+    }
+
+    /// Fraction of the normalized series' energy captured by the retained
+    /// bins (`∈ [0, 1]`); a quality diagnostic.
+    pub fn energy_fraction(&self) -> f64 {
+        if self.std == 0.0 {
+            return 0.0;
+        }
+        // Total energy of a z-normalized series is m (time domain), i.e.
+        // m² in spectrum units. Retained bins count twice (conjugate
+        // pairs), except a Nyquist bin for even m.
+        let m = self.len as f64;
+        let mut captured = 0.0;
+        for &(b, c) in &self.bins {
+            let w = if self.len % 2 == 0 && b as usize == self.len / 2 {
+                1.0
+            } else {
+                2.0
+            };
+            captured += w * c.norm_sqr();
+        }
+        (captured / (m * m)).min(1.0)
+    }
+
+    /// Approximate Pearson correlation against another sketch via
+    /// Parseval's theorem on the intersection of retained bins.
+    ///
+    /// Returns `0.0` when either series was constant, and clamps to
+    /// `[-1, 1]` (truncated spectra can slightly overshoot).
+    ///
+    /// # Panics
+    /// Panics if the sketches come from different series lengths.
+    pub fn correlation(&self, other: &DftSketch) -> f64 {
+        assert_eq!(
+            self.len, other.len,
+            "correlation between sketches of different lengths"
+        );
+        if self.std == 0.0 || other.std == 0.0 {
+            return 0.0;
+        }
+        let m = self.len as f64;
+        // Merge-join on sorted bin index.
+        let mut i = 0;
+        let mut j = 0;
+        let mut acc = 0.0;
+        while i < self.bins.len() && j < other.bins.len() {
+            let (bi, ci) = self.bins[i];
+            let (bj, cj) = other.bins[j];
+            match bi.cmp(&bj) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    let w = if self.len % 2 == 0 && bi as usize == self.len / 2 {
+                        1.0
+                    } else {
+                        2.0
+                    };
+                    acc += w * (ci * cj.conj()).re;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        (acc / (m * m)).clamp(-1.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sine_series(m: usize, freq: f64, phase: f64) -> Vec<f64> {
+        (0..m)
+            .map(|i| (2.0 * std::f64::consts::PI * freq * i as f64 / m as f64 + phase).sin())
+            .collect()
+    }
+
+    #[test]
+    fn identical_series_correlate_to_one() {
+        let x = sine_series(128, 3.0, 0.1);
+        let s = DftSketch::build(&x, 5);
+        assert!((s.correlation(&s) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn affine_images_correlate_to_one() {
+        let x = sine_series(200, 4.0, 0.0);
+        let y: Vec<f64> = x.iter().map(|v| -3.0 * v + 7.0).collect();
+        let sx = DftSketch::build(&x, 5);
+        let sy = DftSketch::build(&y, 5);
+        assert!((sx.correlation(&sy) + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn orthogonal_tones_correlate_to_zero() {
+        let x = sine_series(256, 3.0, 0.0);
+        let y = sine_series(256, 9.0, 0.0);
+        let sx = DftSketch::build(&x, 5);
+        let sy = DftSketch::build(&y, 5);
+        assert!(sx.correlation(&sy).abs() < 1e-6);
+    }
+
+    #[test]
+    fn constant_series_yields_zero_and_empty() {
+        let x = vec![4.2; 50];
+        let y = sine_series(50, 2.0, 0.0);
+        let sx = DftSketch::build(&x, 5);
+        let sy = DftSketch::build(&y, 5);
+        assert!(sx.is_empty());
+        assert_eq!(sx.correlation(&sy), 0.0);
+        assert_eq!(sx.energy_fraction(), 0.0);
+    }
+
+    #[test]
+    fn approximation_tracks_exact_correlation() {
+        // Smooth signals dominated by few harmonics: top-5 bins should get
+        // close to the exact value.
+        let m = 300;
+        let x: Vec<f64> = (0..m)
+            .map(|i| {
+                let t = i as f64 / m as f64;
+                (2.0 * std::f64::consts::PI * 2.0 * t).sin()
+                    + 0.5 * (2.0 * std::f64::consts::PI * 5.0 * t).cos()
+            })
+            .collect();
+        let y: Vec<f64> = (0..m)
+            .map(|i| {
+                let t = i as f64 / m as f64;
+                0.8 * (2.0 * std::f64::consts::PI * 2.0 * t).sin()
+                    - 0.2 * (2.0 * std::f64::consts::PI * 7.0 * t).sin()
+            })
+            .collect();
+        let exact = affinity_exact_corr(&x, &y);
+        let approx = DftSketch::build(&x, 5).correlation(&DftSketch::build(&y, 5));
+        assert!(
+            (exact - approx).abs() < 0.05,
+            "exact {exact} vs approx {approx}"
+        );
+    }
+
+    fn affinity_exact_corr(x: &[f64], y: &[f64]) -> f64 {
+        let m = x.len() as f64;
+        let mx = x.iter().sum::<f64>() / m;
+        let my = y.iter().sum::<f64>() / m;
+        let mut cov = 0.0;
+        let mut vx = 0.0;
+        let mut vy = 0.0;
+        for (a, b) in x.iter().zip(y.iter()) {
+            cov += (a - mx) * (b - my);
+            vx += (a - mx) * (a - mx);
+            vy += (b - my) * (b - my);
+        }
+        cov / (vx * vy).sqrt()
+    }
+
+    #[test]
+    fn retains_at_most_k() {
+        let x = sine_series(100, 2.0, 0.3);
+        for k in [0usize, 1, 3, 5, 50, 1000] {
+            let s = DftSketch::build(&x, k);
+            assert!(s.retained() <= k.min(50));
+        }
+    }
+
+    #[test]
+    fn energy_fraction_in_unit_interval_and_meaningful() {
+        let x = sine_series(128, 3.0, 0.0);
+        let s = DftSketch::build(&x, 5);
+        // Pure tone: nearly all energy in one bin.
+        assert!(s.energy_fraction() > 0.99);
+        assert!(s.energy_fraction() <= 1.0);
+        let noise: Vec<f64> = (0..128)
+            .map(|i| ((i * 2654435761_usize) % 101) as f64 / 101.0)
+            .collect();
+        let sn = DftSketch::build(&noise, 5);
+        assert!(sn.energy_fraction() < 0.9, "white-ish noise is uncooperative");
+    }
+
+    #[test]
+    fn stats_are_recorded() {
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        let s = DftSketch::build(&x, 2);
+        assert_eq!(s.mean(), 2.5);
+        assert!((s.std() - 1.25f64.sqrt()).abs() < 1e-12);
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn odd_lengths_work() {
+        let x = sine_series(97, 3.0, 0.0);
+        let y = sine_series(97, 3.0, 0.0);
+        let c = DftSketch::build(&x, 5).correlation(&DftSketch::build(&y, 5));
+        assert!((c - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "different lengths")]
+    fn length_mismatch_panics() {
+        let a = DftSketch::build(&sine_series(10, 1.0, 0.0), 2);
+        let b = DftSketch::build(&sine_series(12, 1.0, 0.0), 2);
+        a.correlation(&b);
+    }
+}

@@ -1,0 +1,58 @@
+//! Property tests for the FFT: inverse round trips, Parseval's identity
+//! and agreement with the naive DFT on arbitrary inputs and lengths.
+
+use affinity_dft::{fft, ifft, naive_dft, Complex64};
+use proptest::prelude::*;
+
+fn signal(max_len: usize) -> impl Strategy<Value = Vec<Complex64>> {
+    proptest::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 1..max_len)
+        .prop_map(|v| v.into_iter().map(|(re, im)| Complex64::new(re, im)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn ifft_inverts_fft(x in signal(200)) {
+        let back = ifft(&fft(&x));
+        for (a, b) in back.iter().zip(x.iter()) {
+            prop_assert!((a.re - b.re).abs() < 1e-7, "{a:?} vs {b:?}");
+            prop_assert!((a.im - b.im).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn matches_naive_dft(x in signal(48)) {
+        let fast = fft(&x);
+        let slow = naive_dft(&x);
+        let scale = x.iter().map(|v| v.abs()).fold(1.0f64, f64::max) * x.len() as f64;
+        for (a, b) in fast.iter().zip(slow.iter()) {
+            prop_assert!((a.re - b.re).abs() < 1e-9 * scale);
+            prop_assert!((a.im - b.im).abs() < 1e-9 * scale);
+        }
+    }
+
+    #[test]
+    fn parseval_holds(x in signal(150)) {
+        let y = fft(&x);
+        let time: f64 = x.iter().map(|v| v.norm_sqr()).sum();
+        let freq: f64 = y.iter().map(|v| v.norm_sqr()).sum::<f64>() / x.len() as f64;
+        prop_assert!((time - freq).abs() <= 1e-9 * time.max(1.0));
+    }
+
+    #[test]
+    fn sketch_correlation_is_bounded_and_symmetric(
+        x in proptest::collection::vec(-50.0f64..50.0, 8..120),
+        y_scale in 0.1f64..5.0,
+        k in 1usize..10,
+    ) {
+        use affinity_dft::DftSketch;
+        let y: Vec<f64> = x.iter().map(|v| v * y_scale + 1.0).collect();
+        let sx = DftSketch::build(&x, k);
+        let sy = DftSketch::build(&y, k);
+        let a = sx.correlation(&sy);
+        let b = sy.correlation(&sx);
+        prop_assert!((-1.0..=1.0).contains(&a));
+        prop_assert!((a - b).abs() < 1e-12, "symmetry: {a} vs {b}");
+    }
+}

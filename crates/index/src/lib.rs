@@ -1,0 +1,40 @@
+//! # affinity-index
+//!
+//! An in-memory B+ tree — the "sorted container, like a B-tree" that backs
+//! every pivot node of the SCAPE index (paper Sec. 5.1).
+//!
+//! Design points:
+//!
+//! * keys are `f64` scalar projections (`ξ`); NaN keys are rejected,
+//!   duplicate keys are allowed (distinct sequence pairs can share a
+//!   projection value);
+//! * values live only in leaves; internal nodes hold copies of separator
+//!   keys, classic B+-tree style;
+//! * the SCAPE workload is *build once, search many*, so the tree is
+//!   append-only: `insert`, ordered iteration, and range scans over
+//!   arbitrary [`std::ops::Bound`]s. Range scans drive the MET/MER
+//!   binary-search step of the paper;
+//! * `bulk_build` constructs a tree from pre-sorted entries bottom-up in
+//!   `O(n)` — used when the relationship set is known up front.
+//!
+//! ```
+//! use affinity_index::BPlusTree;
+//! use std::ops::Bound;
+//!
+//! let mut t = BPlusTree::new();
+//! for (i, k) in [0.5_f64, -1.0, 2.25, 0.5].iter().enumerate() {
+//!     t.insert(*k, i);
+//! }
+//! let hits: Vec<usize> = t
+//!     .range(Bound::Included(0.0), Bound::Unbounded)
+//!     .map(|(_, v)| *v)
+//!     .collect();
+//! assert_eq!(hits.len(), 3); // both 0.5s and 2.25
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+mod tree;
+
+pub use tree::{BPlusTree, RangeIter};

@@ -1,0 +1,554 @@
+//! B+ tree implementation.
+
+use std::ops::Bound;
+
+/// Maximum number of entries in a leaf / children in an internal node.
+/// 32 keeps nodes within a couple of cache lines while staying shallow.
+const ORDER: usize = 32;
+/// Minimum fill after a split.
+const HALF: usize = ORDER / 2;
+
+#[derive(Debug, Clone)]
+enum Node<V> {
+    Leaf {
+        /// Sorted by key; duplicates allowed and kept in insertion order.
+        entries: Vec<(f64, V)>,
+    },
+    Internal {
+        /// `keys[i]` separates `children[i]` (keys `<= keys[i]`… strictly:
+        /// keys of `children[i]` are `< keys[i]`, duplicates of a
+        /// separator may live right of it) from `children[i+1]`.
+        keys: Vec<f64>,
+        children: Vec<Node<V>>,
+    },
+}
+
+/// Append-only B+ tree with `f64` keys and arbitrary values.
+///
+/// See the crate docs for the design rationale. All keys must be finite;
+/// inserting NaN panics (a NaN scalar projection would poison the
+/// ordering guarantees the SCAPE proofs rely on).
+#[derive(Debug, Clone)]
+pub struct BPlusTree<V> {
+    root: Node<V>,
+    len: usize,
+}
+
+impl<V> Default for BPlusTree<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> BPlusTree<V> {
+    /// Empty tree.
+    pub fn new() -> Self {
+        BPlusTree {
+            root: Node::Leaf {
+                entries: Vec::new(),
+            },
+            len: 0,
+        }
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Height of the tree (1 for a lone leaf); exposed for tests and
+    /// diagnostics.
+    pub fn height(&self) -> usize {
+        let mut h = 1;
+        let mut node = &self.root;
+        while let Node::Internal { children, .. } = node {
+            h += 1;
+            node = &children[0];
+        }
+        h
+    }
+
+    /// Insert a key/value pair. Duplicate keys are allowed.
+    ///
+    /// # Panics
+    /// Panics if `key` is NaN.
+    pub fn insert(&mut self, key: f64, value: V) {
+        assert!(!key.is_nan(), "B+ tree keys must not be NaN");
+        self.len += 1;
+        if let Some((sep, right)) = insert_rec(&mut self.root, key, value) {
+            // Root split: grow the tree by one level.
+            let old_root = std::mem::replace(
+                &mut self.root,
+                Node::Leaf {
+                    entries: Vec::new(),
+                },
+            );
+            self.root = Node::Internal {
+                keys: vec![sep],
+                children: vec![old_root, right],
+            };
+        }
+    }
+
+    /// Build a tree from entries already sorted by key, bottom-up.
+    ///
+    /// # Panics
+    /// Panics if the keys are not sorted ascending or any key is NaN.
+    pub fn bulk_build(entries: Vec<(f64, V)>) -> Self {
+        for w in entries.windows(2) {
+            assert!(
+                w[0].0 <= w[1].0,
+                "bulk_build requires entries sorted by key"
+            );
+        }
+        assert!(
+            entries.iter().all(|(k, _)| !k.is_nan()),
+            "B+ tree keys must not be NaN"
+        );
+        let len = entries.len();
+        if len == 0 {
+            return BPlusTree::new();
+        }
+        // Leaf level.
+        let mut level: Vec<Node<V>> = Vec::new();
+        let mut firsts: Vec<f64> = Vec::new();
+        let mut iter = entries.into_iter().peekable();
+        while iter.peek().is_some() {
+            let chunk: Vec<(f64, V)> = iter.by_ref().take(HALF.max(2)).collect();
+            firsts.push(chunk[0].0);
+            level.push(Node::Leaf { entries: chunk });
+        }
+        // Internal levels.
+        while level.len() > 1 {
+            let mut next_level = Vec::new();
+            let mut next_firsts = Vec::new();
+            let i = 0;
+            while i < level.len() {
+                let take = (level.len() - i).min(HALF.max(2));
+                let children: Vec<Node<V>> = level.drain(i..i + take).collect();
+                // After drain, indices shift; keep i at same position.
+                let keys: Vec<f64> = firsts[i + 1..i + take].to_vec();
+                next_firsts.push(firsts[i]);
+                firsts.drain(i..i + take);
+                next_level.push(Node::Internal { children, keys });
+                // level and firsts shrank in place; i stays.
+            }
+            level = next_level;
+            firsts = next_firsts;
+        }
+        BPlusTree {
+            root: level.pop().expect("non-empty by construction"),
+            len,
+        }
+    }
+
+    /// Iterate all entries in ascending key order.
+    pub fn iter(&self) -> RangeIter<'_, V> {
+        self.range(Bound::Unbounded, Bound::Unbounded)
+    }
+
+    /// Iterate entries whose keys fall within `(lo, hi)` bounds, ascending.
+    ///
+    /// This is the search primitive behind MET/MER processing: the paper's
+    /// "binary search" over a pivot's B-tree is `range(Excluded(τ'),
+    /// Unbounded)` for a greater-than threshold query, etc.
+    pub fn range(&self, lo: Bound<f64>, hi: Bound<f64>) -> RangeIter<'_, V> {
+        RangeIter::new(&self.root, lo, hi)
+    }
+
+    /// Count entries in the given key range without materializing them.
+    pub fn count_range(&self, lo: Bound<f64>, hi: Bound<f64>) -> usize {
+        self.range(lo, hi).count()
+    }
+
+    /// Smallest key, if any.
+    pub fn min_key(&self) -> Option<f64> {
+        self.iter().next().map(|(k, _)| k)
+    }
+
+    /// Largest key, if any.
+    pub fn max_key(&self) -> Option<f64> {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { entries } => return entries.last().map(|(k, _)| *k),
+                Node::Internal { children, .. } => {
+                    node = children.last().expect("internal node has children");
+                }
+            }
+        }
+    }
+}
+
+/// Recursive insert; returns `Some((separator, new_right_sibling))` when
+/// the child split.
+fn insert_rec<V>(node: &mut Node<V>, key: f64, value: V) -> Option<(f64, Node<V>)> {
+    match node {
+        Node::Leaf { entries } => {
+            // Upper bound: after existing duplicates, preserving insertion
+            // order among equal keys.
+            let pos = entries.partition_point(|(k, _)| *k <= key);
+            entries.insert(pos, (key, value));
+            if entries.len() > ORDER {
+                let right_entries = entries.split_off(HALF);
+                let sep = right_entries[0].0;
+                Some((
+                    sep,
+                    Node::Leaf {
+                        entries: right_entries,
+                    },
+                ))
+            } else {
+                None
+            }
+        }
+        Node::Internal { keys, children } => {
+            let idx = keys.partition_point(|k| *k <= key);
+            let split = insert_rec(&mut children[idx], key, value);
+            if let Some((sep, right)) = split {
+                keys.insert(idx, sep);
+                children.insert(idx + 1, right);
+                if children.len() > ORDER {
+                    let right_children = children.split_off(HALF + 1);
+                    let mut right_keys = keys.split_off(HALF);
+                    let sep_up = right_keys.remove(0);
+                    return Some((
+                        sep_up,
+                        Node::Internal {
+                            keys: right_keys,
+                            children: right_children,
+                        },
+                    ));
+                }
+            }
+            None
+        }
+    }
+}
+
+/// Ascending in-order iterator over a key range.
+///
+/// Holds an explicit descent stack of `(node, next_child_or_entry)`
+/// cursors instead of leaf sibling links, which keeps the tree purely
+/// owned (no `Rc`/pointers) at identical asymptotics.
+pub struct RangeIter<'a, V> {
+    /// Stack of internal nodes with the next child index to visit.
+    stack: Vec<(&'a Node<V>, usize)>,
+    /// Current leaf and position within it.
+    leaf: Option<(&'a [(f64, V)], usize)>,
+    lo: Bound<f64>,
+    hi: Bound<f64>,
+    started: bool,
+}
+
+impl<'a, V> RangeIter<'a, V> {
+    fn new(root: &'a Node<V>, lo: Bound<f64>, hi: Bound<f64>) -> Self {
+        RangeIter {
+            stack: vec![(root, 0)],
+            leaf: None,
+            lo,
+            hi,
+            started: false,
+        }
+    }
+
+    fn key_below_lo(&self, k: f64) -> bool {
+        match self.lo {
+            Bound::Unbounded => false,
+            Bound::Included(b) => k < b,
+            Bound::Excluded(b) => k <= b,
+        }
+    }
+
+    fn key_above_hi(&self, k: f64) -> bool {
+        match self.hi {
+            Bound::Unbounded => false,
+            Bound::Included(b) => k > b,
+            Bound::Excluded(b) => k >= b,
+        }
+    }
+
+    /// Descend to the first leaf that can contain keys ≥ lo.
+    fn seek(&mut self) {
+        let (mut node, _) = self.stack.pop().expect("seek on fresh iterator");
+        self.stack.clear();
+        loop {
+            match node {
+                Node::Leaf { entries } => {
+                    let start = match self.lo {
+                        Bound::Unbounded => 0,
+                        Bound::Included(b) => entries.partition_point(|(k, _)| *k < b),
+                        Bound::Excluded(b) => entries.partition_point(|(k, _)| *k <= b),
+                    };
+                    self.leaf = Some((entries.as_slice(), start));
+                    return;
+                }
+                Node::Internal { keys, children } => {
+                    let idx = match self.lo {
+                        Bound::Unbounded => 0,
+                        Bound::Included(b) | Bound::Excluded(b) => {
+                            keys.partition_point(|k| *k <= b)
+                        }
+                    };
+                    self.stack.push((node, idx + 1));
+                    node = &children[idx];
+                }
+            }
+        }
+    }
+
+    /// Advance to the next leaf after the current one is exhausted.
+    fn next_leaf(&mut self) -> bool {
+        while let Some((node, idx)) = self.stack.pop() {
+            if let Node::Internal { children, .. } = node {
+                if idx < children.len() {
+                    self.stack.push((node, idx + 1));
+                    // Descend leftmost from children[idx].
+                    let mut n = &children[idx];
+                    loop {
+                        match n {
+                            Node::Leaf { entries } => {
+                                self.leaf = Some((entries.as_slice(), 0));
+                                return true;
+                            }
+                            Node::Internal { children, .. } => {
+                                self.stack.push((n, 1));
+                                n = &children[0];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        false
+    }
+}
+
+impl<'a, V> Iterator for RangeIter<'a, V> {
+    type Item = (f64, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if !self.started {
+            self.started = true;
+            self.seek();
+        }
+        loop {
+            let (entries, pos) = self.leaf?;
+            if pos < entries.len() {
+                let (k, v) = &entries[pos];
+                if self.key_below_lo(*k) {
+                    // Only possible at the very start boundary; skip.
+                    self.leaf = Some((entries, pos + 1));
+                    continue;
+                }
+                if self.key_above_hi(*k) {
+                    self.leaf = None;
+                    return None;
+                }
+                self.leaf = Some((entries, pos + 1));
+                return Some((*k, v));
+            }
+            if !self.next_leaf() {
+                self.leaf = None;
+                return None;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn empty_tree_behaves() {
+        let t: BPlusTree<u32> = BPlusTree::new();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.iter().count(), 0);
+        assert_eq!(t.min_key(), None);
+        assert_eq!(t.max_key(), None);
+        assert_eq!(t.height(), 1);
+    }
+
+    #[test]
+    fn insert_and_iterate_sorted() {
+        let mut t = BPlusTree::new();
+        let keys = [5.0, 1.0, 3.0, 2.0, 4.0, -1.0, 0.0];
+        for (i, k) in keys.iter().enumerate() {
+            t.insert(*k, i);
+        }
+        let got: Vec<f64> = t.iter().map(|(k, _)| k).collect();
+        let mut want = keys.to_vec();
+        want.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(got, want);
+        assert_eq!(t.min_key(), Some(-1.0));
+        assert_eq!(t.max_key(), Some(5.0));
+    }
+
+    #[test]
+    fn duplicates_preserved_in_insertion_order() {
+        let mut t = BPlusTree::new();
+        t.insert(1.0, "a");
+        t.insert(1.0, "b");
+        t.insert(1.0, "c");
+        let vals: Vec<&str> = t.iter().map(|(_, v)| *v).collect();
+        assert_eq!(vals, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn large_insert_matches_btreemap_oracle() {
+        let mut t = BPlusTree::new();
+        let mut oracle: Vec<(i64, usize)> = Vec::new();
+        // Deterministic pseudo-random sequence.
+        let mut x: u64 = 0x12345678;
+        for i in 0..5000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let k = ((x >> 33) as i64) - (1 << 30);
+            t.insert(k as f64, i);
+            oracle.push((k, i));
+        }
+        oracle.sort_by_key(|(k, _)| *k);
+        assert_eq!(t.len(), 5000);
+        assert!(t.height() > 1, "tree should have split");
+        let got: Vec<f64> = t.iter().map(|(k, _)| k).collect();
+        let want: Vec<f64> = oracle.iter().map(|(k, _)| *k as f64).collect();
+        assert_eq!(got, want);
+    }
+
+    fn range_oracle(
+        entries: &[(f64, usize)],
+        lo: Bound<f64>,
+        hi: Bound<f64>,
+    ) -> Vec<(f64, usize)> {
+        let mut v: Vec<(f64, usize)> = entries
+            .iter()
+            .filter(|(k, _)| {
+                let above = match lo {
+                    Bound::Unbounded => true,
+                    Bound::Included(b) => *k >= b,
+                    Bound::Excluded(b) => *k > b,
+                };
+                let below = match hi {
+                    Bound::Unbounded => true,
+                    Bound::Included(b) => *k <= b,
+                    Bound::Excluded(b) => *k < b,
+                };
+                above && below
+            })
+            .cloned()
+            .collect();
+        v.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        v
+    }
+
+    #[test]
+    fn range_queries_match_oracle() {
+        let mut t = BPlusTree::new();
+        let mut entries = Vec::new();
+        let mut x: u64 = 42;
+        for i in 0..2000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let k = ((x >> 40) as f64) / 256.0; // many duplicates
+            t.insert(k, i);
+            entries.push((k, i));
+        }
+        let bounds = [
+            (Bound::Unbounded, Bound::Unbounded),
+            (Bound::Included(100.0), Bound::Unbounded),
+            (Bound::Excluded(100.0), Bound::Included(5000.0)),
+            (Bound::Included(0.0), Bound::Excluded(0.0)),
+            (Bound::Excluded(-1e9), Bound::Excluded(1e9)),
+            (Bound::Included(3000.0), Bound::Included(3000.0)),
+        ];
+        for (lo, hi) in bounds {
+            let got: Vec<f64> = t.range(lo, hi).map(|(k, _)| k).collect();
+            let want: Vec<f64> = range_oracle(&entries, lo, hi)
+                .into_iter()
+                .map(|(k, _)| k)
+                .collect();
+            assert_eq!(got, want, "bounds {lo:?}..{hi:?}");
+            assert_eq!(t.count_range(lo, hi), want.len());
+        }
+    }
+
+    #[test]
+    fn bulk_build_equals_incremental() {
+        let entries: Vec<(f64, usize)> = (0..1000).map(|i| (i as f64 * 0.5, i)).collect();
+        let bulk = BPlusTree::bulk_build(entries.clone());
+        let mut inc = BPlusTree::new();
+        for (k, v) in &entries {
+            inc.insert(*k, *v);
+        }
+        assert_eq!(bulk.len(), inc.len());
+        let a: Vec<(f64, usize)> = bulk.iter().map(|(k, v)| (k, *v)).collect();
+        let b: Vec<(f64, usize)> = inc.iter().map(|(k, v)| (k, *v)).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bulk_build_empty_and_single() {
+        let t: BPlusTree<u8> = BPlusTree::bulk_build(vec![]);
+        assert!(t.is_empty());
+        let t = BPlusTree::bulk_build(vec![(1.5, 7u8)]);
+        assert_eq!(t.iter().map(|(k, v)| (k, *v)).collect::<Vec<_>>(), vec![(1.5, 7)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn bulk_build_rejects_unsorted() {
+        BPlusTree::bulk_build(vec![(2.0, 0u8), (1.0, 1u8)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_key_rejected() {
+        BPlusTree::new().insert(f64::NAN, 0u8);
+    }
+
+    #[test]
+    fn negative_and_special_floats() {
+        let mut t = BPlusTree::new();
+        t.insert(f64::NEG_INFINITY, 0);
+        t.insert(-0.0, 1);
+        t.insert(0.0, 2);
+        t.insert(f64::INFINITY, 3);
+        let got: Vec<i32> = t.iter().map(|(_, v)| *v).collect();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+        let finite: Vec<i32> = t
+            .range(Bound::Included(-1.0), Bound::Included(1.0))
+            .map(|(_, v)| *v)
+            .collect();
+        assert_eq!(finite, vec![1, 2]);
+    }
+
+    #[test]
+    fn height_grows_logarithmically() {
+        let mut t = BPlusTree::new();
+        for i in 0..10_000 {
+            t.insert(i as f64, ());
+        }
+        // With ORDER=32 and 10k entries, height should be small.
+        assert!(t.height() <= 4, "height {} too tall", t.height());
+        // BTreeMap cross-check on ascending insert.
+        let oracle: BTreeMap<i64, ()> = (0..10_000).map(|i| (i, ())).collect();
+        assert_eq!(t.len(), oracle.len());
+    }
+
+    #[test]
+    fn descending_insert_order_still_sorted() {
+        let mut t = BPlusTree::new();
+        for i in (0..3000).rev() {
+            t.insert(i as f64, i);
+        }
+        let got: Vec<f64> = t.iter().map(|(k, _)| k).collect();
+        let want: Vec<f64> = (0..3000).map(|i| i as f64).collect();
+        assert_eq!(got, want);
+    }
+}

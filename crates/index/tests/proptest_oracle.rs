@@ -1,0 +1,90 @@
+//! Property tests: the B+ tree agrees with a sorted-vector oracle on
+//! arbitrary insert sequences and range bounds.
+
+use affinity_index::BPlusTree;
+use proptest::prelude::*;
+use std::ops::Bound;
+
+fn bound_strategy() -> impl Strategy<Value = Bound<f64>> {
+    prop_oneof![
+        Just(Bound::Unbounded),
+        (-1000.0f64..1000.0).prop_map(Bound::Included),
+        (-1000.0f64..1000.0).prop_map(Bound::Excluded),
+    ]
+}
+
+fn in_range(k: f64, lo: &Bound<f64>, hi: &Bound<f64>) -> bool {
+    let above = match lo {
+        Bound::Unbounded => true,
+        Bound::Included(b) => k >= *b,
+        Bound::Excluded(b) => k > *b,
+    };
+    let below = match hi {
+        Bound::Unbounded => true,
+        Bound::Included(b) => k <= *b,
+        Bound::Excluded(b) => k < *b,
+    };
+    above && below
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn range_scan_matches_oracle(
+        keys in proptest::collection::vec(-1000.0f64..1000.0, 0..600),
+        lo in bound_strategy(),
+        hi in bound_strategy(),
+    ) {
+        let mut tree = BPlusTree::new();
+        for (i, &k) in keys.iter().enumerate() {
+            tree.insert(k, i);
+        }
+        prop_assert_eq!(tree.len(), keys.len());
+
+        let got: Vec<f64> = tree.range(lo, hi).map(|(k, _)| k).collect();
+        let mut want: Vec<f64> = keys
+            .iter()
+            .copied()
+            .filter(|k| in_range(*k, &lo, &hi))
+            .collect();
+        want.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn full_iteration_is_sorted_and_complete(
+        keys in proptest::collection::vec(-1e6f64..1e6, 0..500),
+    ) {
+        let mut tree = BPlusTree::new();
+        for (i, &k) in keys.iter().enumerate() {
+            tree.insert(k, i);
+        }
+        let got: Vec<f64> = tree.iter().map(|(k, _)| k).collect();
+        prop_assert_eq!(got.len(), keys.len());
+        prop_assert!(got.windows(2).all(|w| w[0] <= w[1]));
+        if !keys.is_empty() {
+            let min = keys.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = keys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert_eq!(tree.min_key(), Some(min));
+            prop_assert_eq!(tree.max_key(), Some(max));
+        }
+    }
+
+    #[test]
+    fn bulk_build_matches_incremental(
+        mut keys in proptest::collection::vec(-100.0f64..100.0, 0..400),
+    ) {
+        keys.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let entries: Vec<(f64, usize)> = keys.iter().copied().enumerate()
+            .map(|(i, k)| (k, i)).collect();
+        let bulk = BPlusTree::bulk_build(entries.clone());
+        let mut inc = BPlusTree::new();
+        for (k, v) in &entries {
+            inc.insert(*k, *v);
+        }
+        let a: Vec<f64> = bulk.iter().map(|(k, _)| k).collect();
+        let b: Vec<f64> = inc.iter().map(|(k, _)| k).collect();
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,152 @@
+//! Cholesky factorization for small symmetric positive-definite systems.
+//!
+//! Used as an alternative least-squares path (normal equations) and by
+//! tests as an independent oracle for the QR solver.
+
+
+// Index-based loops over matrix coordinates are the clearest notation
+// for these kernels.
+#![allow(clippy::needless_range_loop)]
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::Result;
+
+/// Lower-triangular Cholesky factor `L` with `A = L Lᵀ`.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factor a symmetric positive-definite matrix.
+    ///
+    /// # Errors
+    /// * [`LinalgError::DimensionMismatch`] if not square;
+    /// * [`LinalgError::Empty`] if empty;
+    /// * [`LinalgError::NotPositiveDefinite`] if a pivot is non-positive.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if a.is_empty() {
+            return Err(LinalgError::Empty);
+        }
+        if a.rows() != a.cols() {
+            return Err(LinalgError::DimensionMismatch(format!(
+                "cholesky on {}x{}",
+                a.rows(),
+                a.cols()
+            )));
+        }
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for j in 0..n {
+            let mut d = a.get(j, j);
+            for k in 0..j {
+                let ljk = l.get(j, k);
+                d -= ljk * ljk;
+            }
+            if d <= 0.0 {
+                return Err(LinalgError::NotPositiveDefinite);
+            }
+            let ljj = d.sqrt();
+            l.set(j, j, ljj);
+            for i in j + 1..n {
+                let mut s = a.get(i, j);
+                for k in 0..j {
+                    s -= l.get(i, k) * l.get(j, k);
+                }
+                l.set(i, j, s / ljj);
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// The lower-triangular factor.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solve `A x = b` via forward/back substitution.
+    ///
+    /// # Errors
+    /// [`LinalgError::DimensionMismatch`] if `b.len()` differs from the
+    /// system size.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.l.rows();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch(format!(
+                "cholesky solve: rhs length {} against size {n}",
+                b.len()
+            )));
+        }
+        // L y = b
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut acc = b[i];
+            for k in 0..i {
+                acc -= self.l.get(i, k) * y[k];
+            }
+            y[i] = acc / self.l.get(i, i);
+        }
+        // Lᵀ x = y
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut acc = y[i];
+            for k in i + 1..n {
+                acc -= self.l.get(k, i) * x[k];
+            }
+            x[i] = acc / self.l.get(i, i);
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factors_known_spd() {
+        let a = Matrix::from_rows(&[vec![4.0, 2.0], vec![2.0, 3.0]]);
+        let ch = Cholesky::new(&a).unwrap();
+        let recon = ch.l().matmul(&ch.l().transpose()).unwrap();
+        assert!(recon.max_abs_diff(&a) < 1e-12);
+    }
+
+    #[test]
+    fn solve_matches_direct() {
+        let a = Matrix::from_rows(&[
+            vec![6.0, 2.0, 1.0],
+            vec![2.0, 5.0, 2.0],
+            vec![1.0, 2.0, 4.0],
+        ]);
+        let b = vec![1.0, -2.0, 3.0];
+        let x = Cholesky::new(&a).unwrap().solve(&b).unwrap();
+        let bx = a.matvec(&x).unwrap();
+        for (u, v) in bx.iter().zip(b.iter()) {
+            assert!((u - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]);
+        assert!(matches!(
+            Cholesky::new(&a),
+            Err(LinalgError::NotPositiveDefinite)
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        assert!(Cholesky::new(&Matrix::zeros(2, 3)).is_err());
+        assert!(Cholesky::new(&Matrix::zeros(0, 0)).is_err());
+        let ch = Cholesky::new(&Matrix::identity(2)).unwrap();
+        assert!(ch.solve(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn identity_solve_is_identity() {
+        let ch = Cholesky::new(&Matrix::identity(3)).unwrap();
+        let x = ch.solve(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![1.0, 2.0, 3.0]);
+    }
+}

@@ -1,0 +1,216 @@
+//! Cyclic Jacobi eigensolver for small symmetric matrices.
+//!
+//! The LSFD metric (paper Def. 1) needs the singular values of an `m×4`
+//! matrix, which are the square roots of the eigenvalues of its `4×4` Gram
+//! matrix. Jacobi rotation is the method of choice at this size: simple,
+//! backward-stable and accurate for tiny eigenvalues relative to the norm.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::Result;
+
+/// Result of a symmetric eigendecomposition `A = V Λ Vᵀ`.
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    /// Eigenvalues in descending order.
+    pub values: Vec<f64>,
+    /// Orthonormal eigenvectors; column `i` pairs with `values[i]`.
+    pub vectors: Matrix,
+}
+
+/// Maximum number of full Jacobi sweeps before giving up.
+const MAX_SWEEPS: usize = 64;
+
+/// Eigendecomposition of a symmetric matrix via cyclic Jacobi rotations.
+///
+/// Symmetry is assumed, not checked: the strictly lower triangle is read
+/// together with the upper one through symmetric updates. Eigenvalues are
+/// returned in descending order with matching eigenvector columns.
+///
+/// # Errors
+/// * [`LinalgError::DimensionMismatch`] if `a` is not square;
+/// * [`LinalgError::Empty`] for an empty matrix;
+/// * [`LinalgError::NoConvergence`] if off-diagonals do not vanish after
+///   `MAX_SWEEPS` (64) sweeps — practically unreachable for sane input.
+pub fn symmetric_eigen(a: &Matrix) -> Result<SymmetricEigen> {
+    if a.is_empty() {
+        return Err(LinalgError::Empty);
+    }
+    if a.rows() != a.cols() {
+        return Err(LinalgError::DimensionMismatch(format!(
+            "symmetric_eigen on {}x{}",
+            a.rows(),
+            a.cols()
+        )));
+    }
+    let n = a.rows();
+    let mut m = a.clone();
+    let mut v = Matrix::identity(n);
+
+    let off = |m: &Matrix| -> f64 {
+        let mut s = 0.0;
+        for i in 0..n {
+            for j in i + 1..n {
+                s += m.get(i, j) * m.get(i, j);
+            }
+        }
+        s
+    };
+    let norm = m.frobenius_norm().max(f64::MIN_POSITIVE);
+    let tol = (norm * 1e-15) * (norm * 1e-15) * n as f64;
+
+    let mut sweeps = 0;
+    while off(&m) > tol {
+        sweeps += 1;
+        if sweeps > MAX_SWEEPS {
+            return Err(LinalgError::NoConvergence { iterations: sweeps });
+        }
+        for p in 0..n {
+            for q in p + 1..n {
+                let apq = m.get(p, q);
+                if apq.abs() <= norm * 1e-18 {
+                    continue;
+                }
+                let app = m.get(p, p);
+                let aqq = m.get(q, q);
+                // Classic Jacobi rotation angle.
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Update rows/columns p and q of the symmetric matrix.
+                for k in 0..n {
+                    let akp = m.get(k, p);
+                    let akq = m.get(k, q);
+                    m.set(k, p, c * akp - s * akq);
+                    m.set(k, q, s * akp + c * akq);
+                }
+                for k in 0..n {
+                    let apk = m.get(p, k);
+                    let aqk = m.get(q, k);
+                    m.set(p, k, c * apk - s * aqk);
+                    m.set(q, k, s * apk + c * aqk);
+                }
+                // Accumulate eigenvectors.
+                for k in 0..n {
+                    let vkp = v.get(k, p);
+                    let vkq = v.get(k, q);
+                    v.set(k, p, c * vkp - s * vkq);
+                    v.set(k, q, s * vkp + c * vkq);
+                }
+            }
+        }
+    }
+
+    // Extract and sort descending.
+    let mut order: Vec<usize> = (0..n).collect();
+    let diag: Vec<f64> = (0..n).map(|i| m.get(i, i)).collect();
+    order.sort_by(|&i, &j| diag[j].partial_cmp(&diag[i]).unwrap());
+    let values: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
+    let mut vectors = Matrix::zeros(n, n);
+    for (dst, &src) in order.iter().enumerate() {
+        let col: Vec<f64> = (0..n).map(|r| v.get(r, src)).collect();
+        vectors.col_mut(dst).copy_from_slice(&col);
+    }
+    Ok(SymmetricEigen { values, vectors })
+}
+
+/// Eigenvalues only, in descending order.
+///
+/// # Errors
+/// Same as [`symmetric_eigen`].
+pub fn symmetric_eigenvalues(a: &Matrix) -> Result<Vec<f64>> {
+    Ok(symmetric_eigen(a)?.values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn diagonal_matrix_is_its_own_decomposition() {
+        let a = Matrix::from_rows(&[
+            vec![3.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 2.0],
+        ]);
+        let e = symmetric_eigen(&a).unwrap();
+        assert_eq!(e.values.len(), 3);
+        assert_close(e.values[0], 3.0, 1e-12);
+        assert_close(e.values[1], 2.0, 1e-12);
+        assert_close(e.values[2], 1.0, 1e-12);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]);
+        let e = symmetric_eigen(&a).unwrap();
+        assert_close(e.values[0], 3.0, 1e-12);
+        assert_close(e.values[1], 1.0, 1e-12);
+        // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+        let v0 = e.vectors.col(0);
+        assert_close(v0[0].abs(), std::f64::consts::FRAC_1_SQRT_2, 1e-10);
+        assert_close(v0[0], v0[1], 1e-10);
+    }
+
+    #[test]
+    fn reconstruction_holds() {
+        let a = Matrix::from_rows(&[
+            vec![4.0, 1.0, -2.0, 0.5],
+            vec![1.0, 3.0, 0.0, 1.0],
+            vec![-2.0, 0.0, 5.0, -1.0],
+            vec![0.5, 1.0, -1.0, 2.0],
+        ]);
+        let e = symmetric_eigen(&a).unwrap();
+        // A ≈ V Λ Vᵀ
+        let mut lam = Matrix::zeros(4, 4);
+        for i in 0..4 {
+            lam.set(i, i, e.values[i]);
+        }
+        let recon = e
+            .vectors
+            .matmul(&lam)
+            .unwrap()
+            .matmul(&e.vectors.transpose())
+            .unwrap();
+        assert!(recon.max_abs_diff(&a) < 1e-10);
+        // V orthonormal.
+        let vtv = e.vectors.gram();
+        assert!(vtv.max_abs_diff(&Matrix::identity(4)) < 1e-12);
+    }
+
+    #[test]
+    fn trace_and_det_invariants() {
+        let a = Matrix::from_rows(&[vec![2.0, -1.0], vec![-1.0, 2.0]]);
+        let vals = symmetric_eigenvalues(&a).unwrap();
+        assert_close(vals.iter().sum::<f64>(), 4.0, 1e-12);
+        assert_close(vals.iter().product::<f64>(), 3.0, 1e-12);
+    }
+
+    #[test]
+    fn rank_one_gram_has_one_nonzero_eigenvalue() {
+        let x = Matrix::from_columns(&[vec![1.0, 2.0, 3.0], vec![2.0, 4.0, 6.0]]);
+        let g = x.gram();
+        let vals = symmetric_eigenvalues(&g).unwrap();
+        assert!(vals[0] > 1.0);
+        assert!(vals[1].abs() < 1e-10 * vals[0]);
+    }
+
+    #[test]
+    fn shape_errors() {
+        assert!(symmetric_eigen(&Matrix::zeros(2, 3)).is_err());
+        assert!(symmetric_eigen(&Matrix::zeros(0, 0)).is_err());
+    }
+
+    #[test]
+    fn one_by_one() {
+        let a = Matrix::from_rows(&[vec![7.5]]);
+        let e = symmetric_eigen(&a).unwrap();
+        assert_eq!(e.values, vec![7.5]);
+    }
+}

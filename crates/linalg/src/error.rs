@@ -1,0 +1,80 @@
+//! Error type shared by all linear-algebra kernels.
+
+use std::fmt;
+
+/// Errors produced by the linear-algebra substrate.
+///
+/// The kernels are written for the shapes AFFINITY produces (tall-skinny
+/// least squares, small symmetric eigenproblems), so most errors indicate a
+/// caller bug (dimension mismatch) or genuinely degenerate input
+/// (rank-deficient design matrix, non-positive-definite Gram matrix).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Operand shapes are incompatible, e.g. multiplying `a×b` by `c×d`
+    /// with `b != c`. Carries a human-readable description.
+    DimensionMismatch(String),
+    /// A matrix expected to have full column rank was (numerically)
+    /// rank-deficient; `pivot` is the offending column.
+    RankDeficient {
+        /// Column index at which the factorization broke down.
+        pivot: usize,
+    },
+    /// A matrix expected to be symmetric positive definite was not.
+    NotPositiveDefinite,
+    /// An iterative method failed to converge within its iteration budget.
+    NoConvergence {
+        /// Iterations performed before giving up.
+        iterations: usize,
+    },
+    /// The operation requires a non-empty matrix or vector.
+    Empty,
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch(msg) => write!(f, "dimension mismatch: {msg}"),
+            LinalgError::RankDeficient { pivot } => {
+                write!(f, "matrix is rank deficient at column {pivot}")
+            }
+            LinalgError::NotPositiveDefinite => {
+                write!(f, "matrix is not positive definite")
+            }
+            LinalgError::NoConvergence { iterations } => {
+                write!(f, "iteration did not converge after {iterations} steps")
+            }
+            LinalgError::Empty => write!(f, "operation requires non-empty input"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = LinalgError::DimensionMismatch("2x3 * 4x5".into());
+        assert!(e.to_string().contains("2x3 * 4x5"));
+        let e = LinalgError::RankDeficient { pivot: 2 };
+        assert!(e.to_string().contains("column 2"));
+        let e = LinalgError::NoConvergence { iterations: 30 };
+        assert!(e.to_string().contains("30"));
+        assert!(LinalgError::NotPositiveDefinite.to_string().contains("positive"));
+        assert!(LinalgError::Empty.to_string().contains("non-empty"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            LinalgError::RankDeficient { pivot: 1 },
+            LinalgError::RankDeficient { pivot: 1 }
+        );
+        assert_ne!(
+            LinalgError::RankDeficient { pivot: 1 },
+            LinalgError::NotPositiveDefinite
+        );
+    }
+}

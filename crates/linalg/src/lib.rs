@@ -1,0 +1,50 @@
+//! # affinity-linalg
+//!
+//! Dense linear-algebra substrate for the AFFINITY framework.
+//!
+//! The AFFINITY paper (Sathe & Aberer, ICDE 2013) relies on a small set of
+//! numerical kernels:
+//!
+//! * least-squares solves against tall-skinny `m×3` systems (affine
+//!   relationships, Sec. 4 of the paper) — [`qr`] implements Householder QR
+//!   and the derived pseudo-inverse;
+//! * singular values of `m×4` concatenations (the LSFD metric, Def. 1) —
+//!   [`eigen`] provides a cyclic Jacobi eigensolver applied to Gram
+//!   matrices, and [`svd`] exposes singular values and dominant singular
+//!   vectors;
+//! * the dominant left singular vector of a cluster-member matrix (AFCLST
+//!   update step, Alg. 1) — [`svd::dominant_left_singular_vector`] runs a
+//!   power iteration that only touches the matrix through matrix-vector
+//!   products, so the `m×m` Gram matrix is never formed.
+//!
+//! Everything is implemented from scratch on plain `f64` slices; matrices
+//! are column-major because AFFINITY's data matrices store one time series
+//! per column and the hot kernels stream whole columns.
+//!
+//! ```
+//! use affinity_linalg::{Matrix, qr::least_squares};
+//!
+//! // Fit y = 2x + 1 exactly.
+//! let design = Matrix::from_columns(&[vec![1.0, 2.0, 3.0], vec![1.0, 1.0, 1.0]]);
+//! let rhs = Matrix::from_columns(&[vec![3.0, 5.0, 7.0]]);
+//! let theta = least_squares(&design, &rhs).unwrap();
+//! assert!((theta.get(0, 0) - 2.0).abs() < 1e-12);
+//! assert!((theta.get(1, 0) - 1.0).abs() < 1e-12);
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod cholesky;
+pub mod eigen;
+pub mod error;
+pub mod matrix;
+pub mod qr;
+pub mod svd;
+pub mod vector;
+
+pub use error::LinalgError;
+pub use matrix::Matrix;
+
+/// Convenience result alias used across the crate.
+pub type Result<T> = std::result::Result<T, LinalgError>;

@@ -1,0 +1,402 @@
+//! Column-major dense matrix.
+//!
+//! AFFINITY's data matrix `S ∈ R^{m×n}` stores one time series per column
+//! (paper Sec. 2), and every hot kernel — least squares against `[O_p, 1_m]`,
+//! Gram matrices for the LSFD metric, power iteration over cluster members —
+//! streams whole columns. Column-major storage makes those accesses
+//! contiguous.
+
+use crate::error::LinalgError;
+use crate::vector;
+use crate::Result;
+
+/// Dense column-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    /// `data[c * rows + r]` is entry `(r, c)`.
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Identity matrix of size `n×n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Build from column vectors; all columns must share a length.
+    ///
+    /// # Panics
+    /// Panics if columns have inconsistent lengths.
+    pub fn from_columns(cols: &[Vec<f64>]) -> Self {
+        if cols.is_empty() {
+            return Matrix::zeros(0, 0);
+        }
+        let rows = cols[0].len();
+        let mut data = Vec::with_capacity(rows * cols.len());
+        for c in cols {
+            assert_eq!(c.len(), rows, "from_columns: ragged columns");
+            data.extend_from_slice(c);
+        }
+        Matrix {
+            rows,
+            cols: cols.len(),
+            data,
+        }
+    }
+
+    /// Build from a row-major nested array (convenient in tests).
+    ///
+    /// # Panics
+    /// Panics if rows are ragged.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        if rows.is_empty() {
+            return Matrix::zeros(0, 0);
+        }
+        let ncols = rows[0].len();
+        let mut m = Matrix::zeros(rows.len(), ncols);
+        for (r, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), ncols, "from_rows: ragged rows");
+            for (c, v) in row.iter().enumerate() {
+                m.set(r, c, *v);
+            }
+        }
+        m
+    }
+
+    /// Build directly from a column-major buffer.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::DimensionMismatch`] if `data.len() != rows*cols`.
+    pub fn from_column_major(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(LinalgError::DimensionMismatch(format!(
+                "buffer of {} elements cannot hold a {rows}x{cols} matrix",
+                data.len()
+            )));
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `true` if the matrix has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Entry at `(r, c)`.
+    ///
+    /// # Panics
+    /// Panics on out-of-bounds access.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.rows && c < self.cols, "get: index out of bounds");
+        self.data[c * self.rows + r]
+    }
+
+    /// Set entry at `(r, c)`.
+    ///
+    /// # Panics
+    /// Panics on out-of-bounds access.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        assert!(r < self.rows && c < self.cols, "set: index out of bounds");
+        self.data[c * self.rows + r] = v;
+    }
+
+    /// Borrow column `c` as a contiguous slice.
+    ///
+    /// # Panics
+    /// Panics if `c >= cols`.
+    #[inline]
+    pub fn col(&self, c: usize) -> &[f64] {
+        assert!(c < self.cols, "col: index out of bounds");
+        &self.data[c * self.rows..(c + 1) * self.rows]
+    }
+
+    /// Mutably borrow column `c`.
+    ///
+    /// # Panics
+    /// Panics if `c >= cols`.
+    #[inline]
+    pub fn col_mut(&mut self, c: usize) -> &mut [f64] {
+        assert!(c < self.cols, "col_mut: index out of bounds");
+        &mut self.data[c * self.rows..(c + 1) * self.rows]
+    }
+
+    /// Copy row `r` into a new vector (rows are strided in column-major
+    /// storage, so this allocates).
+    pub fn row(&self, r: usize) -> Vec<f64> {
+        assert!(r < self.rows, "row: index out of bounds");
+        (0..self.cols).map(|c| self.get(r, c)).collect()
+    }
+
+    /// The raw column-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Column-wise concatenation `[self, other]` (paper notation
+    /// `[x_1, …, x_w]`, Table 1).
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::DimensionMismatch`] if row counts differ.
+    pub fn hcat(&self, other: &Matrix) -> Result<Matrix> {
+        if self.rows != other.rows {
+            return Err(LinalgError::DimensionMismatch(format!(
+                "hcat of {}x{} with {}x{}",
+                self.rows, self.cols, other.rows, other.cols
+            )));
+        }
+        let mut data = Vec::with_capacity(self.data.len() + other.data.len());
+        data.extend_from_slice(&self.data);
+        data.extend_from_slice(&other.data);
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols + other.cols,
+            data,
+        })
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for c in 0..self.cols {
+            for r in 0..self.rows {
+                t.set(c, r, self.get(r, c));
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self · other`.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::DimensionMismatch`] on incompatible shapes.
+    pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols != other.rows {
+            return Err(LinalgError::DimensionMismatch(format!(
+                "matmul of {}x{} with {}x{}",
+                self.rows, self.cols, other.rows, other.cols
+            )));
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        // Column-major friendly ordering: for each output column, accumulate
+        // scaled columns of self.
+        for j in 0..other.cols {
+            let bcol = other.col(j);
+            let ocol = out.col_mut(j);
+            for (k, &bkj) in bcol.iter().enumerate() {
+                if bkj != 0.0 {
+                    let acol = &self.data[k * self.rows..(k + 1) * self.rows];
+                    for (o, a) in ocol.iter_mut().zip(acol.iter()) {
+                        *o += bkj * a;
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix-vector product `self · x`.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::DimensionMismatch`] if `x.len() != cols`.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.cols {
+            return Err(LinalgError::DimensionMismatch(format!(
+                "matvec of {}x{} with vector of length {}",
+                self.rows,
+                self.cols,
+                x.len()
+            )));
+        }
+        let mut out = vec![0.0; self.rows];
+        for (k, &xk) in x.iter().enumerate() {
+            if xk != 0.0 {
+                vector::axpy(xk, self.col(k), &mut out);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Transposed matrix-vector product `selfᵀ · x` without forming the
+    /// transpose — the workhorse of the AFCLST power iteration.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::DimensionMismatch`] if `x.len() != rows`.
+    pub fn matvec_t(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.rows {
+            return Err(LinalgError::DimensionMismatch(format!(
+                "matvec_t of {}x{} with vector of length {}",
+                self.rows,
+                self.cols,
+                x.len()
+            )));
+        }
+        Ok((0..self.cols).map(|c| vector::dot(self.col(c), x)).collect())
+    }
+
+    /// Gram matrix `selfᵀ·self` (`cols×cols`), exploiting symmetry.
+    pub fn gram(&self) -> Matrix {
+        let n = self.cols;
+        let mut g = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                let v = vector::dot(self.col(i), self.col(j));
+                g.set(i, j, v);
+                g.set(j, i, v);
+            }
+        }
+        g
+    }
+
+    /// Subtract each column's mean from that column, returning the means.
+    ///
+    /// Produces the "zero-mean counterpart" `X̂` used by the LSFD metric
+    /// (paper Def. 1).
+    pub fn center_columns(&mut self) -> Vec<f64> {
+        (0..self.cols).map(|c| vector::center(self.col_mut(c))).collect()
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        vector::norm(&self.data)
+    }
+
+    /// Element-wise maximum absolute difference to another matrix.
+    ///
+    /// # Panics
+    /// Panics if shapes differ.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f64 {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "max_abs_diff: shape mismatch"
+        );
+        vector::max_abs_diff(&self.data, &other.data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let m = Matrix::from_columns(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 2);
+        assert_eq!(m.get(0, 1), 3.0);
+        assert_eq!(m.col(1), &[3.0, 4.0]);
+        assert_eq!(m.row(0), vec![1.0, 3.0]);
+        let r = Matrix::from_rows(&[vec![1.0, 3.0], vec![2.0, 4.0]]);
+        assert_eq!(m, r);
+        assert!(Matrix::zeros(0, 0).is_empty());
+    }
+
+    #[test]
+    fn from_column_major_validates_length() {
+        assert!(Matrix::from_column_major(2, 2, vec![1.0; 4]).is_ok());
+        assert!(matches!(
+            Matrix::from_column_major(2, 2, vec![1.0; 3]),
+            Err(LinalgError::DimensionMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn identity_matmul_is_noop() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let i = Matrix::identity(2);
+        assert_eq!(m.matmul(&i).unwrap(), m);
+        assert_eq!(i.matmul(&m).unwrap(), m);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c, Matrix::from_rows(&[vec![19.0, 22.0], vec![43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_shape_error() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn matvec_and_transpose_agree() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let x = vec![1.0, 0.5, -1.0];
+        let y = a.matvec(&x).unwrap();
+        assert_eq!(y, vec![1.0 + 1.0 - 3.0, 4.0 + 2.5 - 6.0]);
+        let yt = a.transpose().matvec(&[1.0, 2.0]).unwrap();
+        let yt2 = a.matvec_t(&[1.0, 2.0]).unwrap();
+        assert_eq!(yt, yt2);
+        assert!(a.matvec(&[1.0]).is_err());
+        assert!(a.matvec_t(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn gram_is_symmetric_psd_diagonal() {
+        let a = Matrix::from_columns(&[vec![1.0, 2.0, 2.0], vec![0.0, 1.0, -1.0]]);
+        let g = a.gram();
+        assert_eq!(g.get(0, 0), 9.0);
+        assert_eq!(g.get(1, 1), 2.0);
+        assert_eq!(g.get(0, 1), g.get(1, 0));
+    }
+
+    #[test]
+    fn hcat_and_center() {
+        let a = Matrix::from_columns(&[vec![1.0, 3.0]]);
+        let b = Matrix::from_columns(&[vec![2.0, 4.0]]);
+        let mut c = a.hcat(&b).unwrap();
+        assert_eq!(c.cols(), 2);
+        let means = c.center_columns();
+        assert_eq!(means, vec![2.0, 3.0]);
+        assert_eq!(c.col(0), &[-1.0, 1.0]);
+        assert!(a.hcat(&Matrix::zeros(3, 1)).is_err());
+    }
+
+    #[test]
+    fn frobenius_norm_known() {
+        let m = Matrix::from_rows(&[vec![3.0, 0.0], vec![0.0, 4.0]]);
+        assert_eq!(m.frobenius_norm(), 5.0);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        assert_eq!(m.transpose().transpose(), m);
+    }
+}

@@ -1,0 +1,431 @@
+//! Householder QR factorization and least-squares solves.
+//!
+//! AFFINITY computes one affine relationship per sequence pair by solving
+//! `[O_p, 1_m] · Θ = S_e` in the least-squares sense (paper Alg. 2,
+//! `LeastSquares`). The design matrix is tall and skinny (`m×3`), so a
+//! Householder QR is both numerically robust and cheap. The same
+//! factorization yields the Moore–Penrose pseudo-inverse that SYMEX+
+//! caches per pivot pair.
+
+
+// Index-based loops over matrix coordinates are the clearest notation
+// for these kernels.
+#![allow(clippy::needless_range_loop)]
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::vector;
+use crate::Result;
+
+/// Compact Householder QR factorization of a tall matrix (`rows ≥ cols`).
+///
+/// Stores the Householder vectors in the lower trapezoid of `factors` and
+/// the upper-triangular `R` on and above the diagonal, LAPACK-style.
+#[derive(Debug, Clone)]
+pub struct QrFactorization {
+    factors: Matrix,
+    /// Householder scalar `τ_k` per reflection.
+    taus: Vec<f64>,
+}
+
+/// Relative tolerance below which a diagonal of `R` is considered zero.
+const RANK_TOL: f64 = 1e-12;
+
+impl QrFactorization {
+    /// Factor `a` (consuming a copy). Requires `rows ≥ cols ≥ 1`.
+    ///
+    /// # Errors
+    /// [`LinalgError::DimensionMismatch`] for wide matrices,
+    /// [`LinalgError::Empty`] for empty input.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if a.is_empty() {
+            return Err(LinalgError::Empty);
+        }
+        if a.rows() < a.cols() {
+            return Err(LinalgError::DimensionMismatch(format!(
+                "QR requires rows >= cols, got {}x{}",
+                a.rows(),
+                a.cols()
+            )));
+        }
+        let m = a.rows();
+        let n = a.cols();
+        let mut f = a.clone();
+        let mut taus = vec![0.0; n];
+        for k in 0..n {
+            // Build the Householder reflector annihilating f[k+1.., k].
+            let col = f.col(k);
+            let xnorm = vector::norm(&col[k..]);
+            if xnorm == 0.0 {
+                taus[k] = 0.0;
+                continue;
+            }
+            let alpha = col[k];
+            let beta = -alpha.signum() * xnorm;
+            let tau = (beta - alpha) / beta;
+            let scale = 1.0 / (alpha - beta);
+            {
+                let colm = f.col_mut(k);
+                for v in colm[k + 1..].iter_mut() {
+                    *v *= scale;
+                }
+                colm[k] = beta;
+            }
+            taus[k] = tau;
+            // Apply reflector to the trailing columns: c ← c − τ v (vᵀc)
+            // with v = [1, f[k+1.., k]].
+            for j in k + 1..n {
+                let mut w = f.get(k, j);
+                for i in k + 1..m {
+                    w += f.get(i, k) * f.get(i, j);
+                }
+                w *= tau;
+                let vkj = f.get(k, j) - w;
+                f.set(k, j, vkj);
+                for i in k + 1..m {
+                    let update = f.get(i, j) - w * f.get(i, k);
+                    f.set(i, j, update);
+                }
+            }
+        }
+        Ok(QrFactorization { factors: f, taus })
+    }
+
+    /// Number of rows of the factored matrix.
+    pub fn rows(&self) -> usize {
+        self.factors.rows()
+    }
+
+    /// Number of columns of the factored matrix.
+    pub fn cols(&self) -> usize {
+        self.factors.cols()
+    }
+
+    /// Apply `Qᵀ` to a vector in place.
+    fn apply_qt(&self, x: &mut [f64]) {
+        let m = self.rows();
+        let n = self.cols();
+        assert_eq!(x.len(), m, "apply_qt: length mismatch");
+        for k in 0..n {
+            let tau = self.taus[k];
+            if tau == 0.0 {
+                continue;
+            }
+            let mut w = x[k];
+            for i in k + 1..m {
+                w += self.factors.get(i, k) * x[i];
+            }
+            w *= tau;
+            x[k] -= w;
+            for i in k + 1..m {
+                x[i] -= w * self.factors.get(i, k);
+            }
+        }
+    }
+
+    /// Apply `Q` to a vector in place (reflectors in reverse order).
+    fn apply_q(&self, x: &mut [f64]) {
+        let m = self.rows();
+        let n = self.cols();
+        assert_eq!(x.len(), m, "apply_q: length mismatch");
+        for k in (0..n).rev() {
+            let tau = self.taus[k];
+            if tau == 0.0 {
+                continue;
+            }
+            let mut w = x[k];
+            for i in k + 1..m {
+                w += self.factors.get(i, k) * x[i];
+            }
+            w *= tau;
+            x[k] -= w;
+            for i in k + 1..m {
+                x[i] -= w * self.factors.get(i, k);
+            }
+        }
+    }
+
+    /// Back-substitute `R y = z[..n]`.
+    fn solve_r(&self, z: &[f64]) -> Result<Vec<f64>> {
+        let n = self.cols();
+        let rmax = (0..n)
+            .map(|k| self.factors.get(k, k).abs())
+            .fold(0.0f64, f64::max);
+        let mut y = vec![0.0; n];
+        for k in (0..n).rev() {
+            let rkk = self.factors.get(k, k);
+            if rkk.abs() <= RANK_TOL * rmax.max(1.0) {
+                return Err(LinalgError::RankDeficient { pivot: k });
+            }
+            let mut acc = z[k];
+            for j in k + 1..n {
+                acc -= self.factors.get(k, j) * y[j];
+            }
+            y[k] = acc / rkk;
+        }
+        Ok(y)
+    }
+
+    /// Minimum-norm residual solution of `A x = b` for a single
+    /// right-hand side.
+    ///
+    /// # Errors
+    /// [`LinalgError::DimensionMismatch`] if `b.len() != rows`,
+    /// [`LinalgError::RankDeficient`] if `R` is numerically singular.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        if b.len() != self.rows() {
+            return Err(LinalgError::DimensionMismatch(format!(
+                "solve: rhs of length {} against {} rows",
+                b.len(),
+                self.rows()
+            )));
+        }
+        let mut z = b.to_vec();
+        self.apply_qt(&mut z);
+        self.solve_r(&z)
+    }
+
+    /// Least-squares solve with a matrix right-hand side: returns the
+    /// `cols×k` solution of `A X = B`.
+    ///
+    /// # Errors
+    /// Propagates the single-rhs errors of [`QrFactorization::solve`].
+    pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix> {
+        if b.rows() != self.rows() {
+            return Err(LinalgError::DimensionMismatch(format!(
+                "solve_matrix: rhs with {} rows against {} rows",
+                b.rows(),
+                self.rows()
+            )));
+        }
+        let mut out = Matrix::zeros(self.cols(), b.cols());
+        for j in 0..b.cols() {
+            let x = self.solve(b.col(j))?;
+            out.col_mut(j).copy_from_slice(&x);
+        }
+        Ok(out)
+    }
+
+    /// Materialize the Moore–Penrose pseudo-inverse `A⁺ = R⁻¹Qᵀ`
+    /// (`cols×rows`). This is exactly the object the SYMEX+ cache stores
+    /// per pivot pair (paper Sec. 4, "Pseudo-inverse cache").
+    ///
+    /// # Errors
+    /// [`LinalgError::RankDeficient`] if `R` is numerically singular.
+    pub fn pseudo_inverse(&self) -> Result<Matrix> {
+        let m = self.rows();
+        let mut pinv = Matrix::zeros(self.cols(), m);
+        let mut e = vec![0.0; m];
+        for j in 0..m {
+            e.fill(0.0);
+            e[j] = 1.0;
+            self.apply_qt(&mut e);
+            let y = self.solve_r(&e)?;
+            pinv.col_mut(j).copy_from_slice(&y);
+        }
+        Ok(pinv)
+    }
+
+    /// Reconstruct the explicit `m×n` `Q` factor (thin `Q`). Mostly useful
+    /// for tests; solves never need it.
+    pub fn q_thin(&self) -> Matrix {
+        let m = self.rows();
+        let n = self.cols();
+        let mut q = Matrix::zeros(m, n);
+        let mut e = vec![0.0; m];
+        for j in 0..n {
+            e.fill(0.0);
+            e[j] = 1.0;
+            self.apply_q(&mut e);
+            q.col_mut(j).copy_from_slice(&e);
+        }
+        q
+    }
+
+    /// Copy of the upper-triangular `R` factor (`n×n`).
+    pub fn r(&self) -> Matrix {
+        let n = self.cols();
+        let mut r = Matrix::zeros(n, n);
+        for c in 0..n {
+            for rw in 0..=c {
+                r.set(rw, c, self.factors.get(rw, c));
+            }
+        }
+        r
+    }
+}
+
+/// One-shot least squares: solve `A X = B`, returning the `A.cols()×B.cols()`
+/// coefficient matrix.
+///
+/// # Errors
+/// See [`QrFactorization::new`] and [`QrFactorization::solve_matrix`].
+pub fn least_squares(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    QrFactorization::new(a)?.solve_matrix(b)
+}
+
+/// One-shot pseudo-inverse `A⁺` of a tall full-column-rank matrix.
+///
+/// # Errors
+/// See [`QrFactorization::new`] and [`QrFactorization::pseudo_inverse`].
+pub fn pseudo_inverse(a: &Matrix) -> Result<Matrix> {
+    QrFactorization::new(a)?.pseudo_inverse()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn qr_reconstructs_matrix() {
+        let a = Matrix::from_rows(&[
+            vec![1.0, 2.0],
+            vec![3.0, 4.0],
+            vec![5.0, 6.0],
+            vec![7.0, 9.0],
+        ]);
+        let qr = QrFactorization::new(&a).unwrap();
+        let recon = qr.q_thin().matmul(&qr.r()).unwrap();
+        assert!(recon.max_abs_diff(&a) < 1e-12);
+    }
+
+    #[test]
+    fn q_has_orthonormal_columns() {
+        let a = Matrix::from_rows(&[
+            vec![2.0, -1.0, 0.5],
+            vec![0.0, 3.0, 1.0],
+            vec![1.0, 1.0, 1.0],
+            vec![4.0, 0.0, -2.0],
+            vec![-1.0, 2.0, 0.0],
+        ]);
+        let q = QrFactorization::new(&a).unwrap().q_thin();
+        let qtq = q.gram();
+        assert!(qtq.max_abs_diff(&Matrix::identity(3)) < 1e-12);
+    }
+
+    #[test]
+    fn exact_system_recovers_solution() {
+        // y = 2x + 1 exactly.
+        let a = Matrix::from_columns(&[vec![1.0, 2.0, 3.0], vec![1.0, 1.0, 1.0]]);
+        let b = Matrix::from_columns(&[vec![3.0, 5.0, 7.0]]);
+        let x = least_squares(&a, &b).unwrap();
+        assert_close(x.get(0, 0), 2.0, 1e-12);
+        assert_close(x.get(1, 0), 1.0, 1e-12);
+    }
+
+    #[test]
+    fn least_squares_matches_normal_equations() {
+        // Overdetermined noisy fit; cross-check against the normal
+        // equations solved by hand.
+        let xs: Vec<f64> = (0..50).map(|i| i as f64 / 7.0).collect();
+        let noise: Vec<f64> = (0..50).map(|i| ((i * 2654435761_usize) % 97) as f64 / 97.0 - 0.5).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .zip(noise.iter())
+            .map(|(x, n)| 1.5 * x - 0.75 + n)
+            .collect();
+        let ones = vec![1.0; xs.len()];
+        let a = Matrix::from_columns(&[xs.clone(), ones]);
+        let b = Matrix::from_columns(std::slice::from_ref(&ys));
+        let theta = least_squares(&a, &b).unwrap();
+        // Normal equations: (AᵀA)θ = Aᵀy for a 2x2 system.
+        let sxx = vector::dot(&xs, &xs);
+        let sx = vector::sum(&xs);
+        let n = xs.len() as f64;
+        let sxy = vector::dot(&xs, &ys);
+        let sy = vector::sum(&ys);
+        let det = sxx * n - sx * sx;
+        let slope = (sxy * n - sx * sy) / det;
+        let intercept = (sxx * sy - sx * sxy) / det;
+        assert_close(theta.get(0, 0), slope, 1e-10);
+        assert_close(theta.get(1, 0), intercept, 1e-10);
+    }
+
+    #[test]
+    fn residual_is_orthogonal_to_column_space() {
+        let a = Matrix::from_columns(&[
+            vec![1.0, 2.0, 3.0, 4.0, 5.0],
+            vec![1.0, 1.0, 1.0, 1.0, 1.0],
+        ]);
+        let b = vec![1.0, 0.5, 2.0, -1.0, 3.0];
+        let x = QrFactorization::new(&a).unwrap().solve(&b).unwrap();
+        let fitted = a.matvec(&x).unwrap();
+        let residual: Vec<f64> = b.iter().zip(fitted.iter()).map(|(u, v)| u - v).collect();
+        assert!(vector::dot(&residual, a.col(0)).abs() < 1e-10);
+        assert!(vector::dot(&residual, a.col(1)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn pseudo_inverse_is_left_inverse() {
+        let a = Matrix::from_rows(&[
+            vec![1.0, 0.0, 2.0],
+            vec![0.0, 1.0, -1.0],
+            vec![1.0, 1.0, 1.0],
+            vec![2.0, -1.0, 0.0],
+        ]);
+        let pinv = pseudo_inverse(&a).unwrap();
+        assert_eq!(pinv.rows(), 3);
+        assert_eq!(pinv.cols(), 4);
+        let prod = pinv.matmul(&a).unwrap();
+        assert!(prod.max_abs_diff(&Matrix::identity(3)) < 1e-10);
+    }
+
+    #[test]
+    fn pinv_solve_equals_qr_solve() {
+        let a = Matrix::from_rows(&[
+            vec![1.0, 2.0],
+            vec![2.0, 0.5],
+            vec![-1.0, 1.0],
+            vec![0.0, 3.0],
+        ]);
+        let b = vec![1.0, 2.0, 3.0, 4.0];
+        let qr = QrFactorization::new(&a).unwrap();
+        let x1 = qr.solve(&b).unwrap();
+        let x2 = qr.pseudo_inverse().unwrap().matvec(&b).unwrap();
+        assert!(vector::max_abs_diff(&x1, &x2) < 1e-10);
+    }
+
+    #[test]
+    fn rank_deficient_is_reported() {
+        // Second column is a multiple of the first.
+        let a = Matrix::from_columns(&[vec![1.0, 2.0, 3.0], vec![2.0, 4.0, 6.0]]);
+        let qr = QrFactorization::new(&a).unwrap();
+        assert!(matches!(
+            qr.solve(&[1.0, 2.0, 3.0]),
+            Err(LinalgError::RankDeficient { .. })
+        ));
+    }
+
+    #[test]
+    fn shape_errors() {
+        let wide = Matrix::zeros(2, 3);
+        assert!(matches!(
+            QrFactorization::new(&wide),
+            Err(LinalgError::DimensionMismatch(_))
+        ));
+        assert!(matches!(
+            QrFactorization::new(&Matrix::zeros(0, 0)),
+            Err(LinalgError::Empty)
+        ));
+        let a = Matrix::zeros(2, 2);
+        let qr = QrFactorization::new(&Matrix::from_columns(&[
+            vec![1.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0],
+        ]))
+        .unwrap();
+        assert!(qr.solve(&[1.0, 2.0]).is_err());
+        assert!(qr.solve_matrix(&a).is_err());
+    }
+
+    #[test]
+    fn square_system_solves_exactly() {
+        let a = Matrix::from_rows(&[vec![4.0, 1.0], vec![1.0, 3.0]]);
+        let x = QrFactorization::new(&a).unwrap().solve(&[1.0, 2.0]).unwrap();
+        // Verify A x = b.
+        let b = a.matvec(&x).unwrap();
+        assert!(vector::max_abs_diff(&b, &[1.0, 2.0]) < 1e-12);
+    }
+}

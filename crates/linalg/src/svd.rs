@@ -1,0 +1,253 @@
+//! Singular values and dominant singular vectors.
+//!
+//! Two SVD-shaped computations appear in AFFINITY:
+//!
+//! 1. **LSFD** (Def. 1) needs all four singular values of a tall `m×4`
+//!    matrix `[X̂, Ŷ]`. We compute them as square roots of the eigenvalues
+//!    of the `4×4` Gram matrix, solved with the Jacobi method.
+//! 2. **AFCLST's update step** (Alg. 1, `SVDLV`) needs only the dominant
+//!    left singular vector of the cluster-member matrix `R_ℓ ∈ R^{m×|ℓ|}`.
+//!    A power iteration on `R Rᵀ` — implemented through the two skinny
+//!    products `Rᵀu` and `R(Rᵀu)` — never materializes the `m×m` Gram
+//!    matrix.
+
+use crate::eigen::symmetric_eigenvalues;
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::vector;
+use crate::Result;
+
+/// All singular values of `a`, descending. Cost is `O(m·n²)` for the Gram
+/// matrix plus a tiny `n×n` eigensolve — intended for skinny matrices
+/// (`n ≤ ~8`), which covers every AFFINITY use.
+///
+/// # Errors
+/// Propagates eigensolver errors; [`LinalgError::Empty`] for empty input.
+pub fn singular_values(a: &Matrix) -> Result<Vec<f64>> {
+    if a.is_empty() {
+        return Err(LinalgError::Empty);
+    }
+    let g = a.gram();
+    let eigs = symmetric_eigenvalues(&g)?;
+    Ok(eigs.into_iter().map(|l| l.max(0.0).sqrt()).collect())
+}
+
+/// Outcome of the dominant-singular-vector power iteration.
+#[derive(Debug, Clone)]
+pub struct DominantSingular {
+    /// Unit-norm dominant left singular vector (`m` elements).
+    pub vector: Vec<f64>,
+    /// The dominant singular value.
+    pub value: f64,
+    /// Iterations performed.
+    pub iterations: usize,
+}
+
+/// Default iteration budget for [`dominant_left_singular_vector`].
+pub const DEFAULT_POWER_ITERATIONS: usize = 100;
+/// Default relative convergence tolerance for the power iteration.
+pub const DEFAULT_POWER_TOL: f64 = 1e-10;
+
+/// Dominant left singular vector of `a` via power iteration on `A Aᵀ`.
+///
+/// `seed` deterministically initializes the start vector so the whole
+/// framework stays reproducible. Convergence is declared when the sine of
+/// the angle between successive iterates drops below `tol`.
+///
+/// The sign is fixed so that the entry of largest magnitude is positive,
+/// making results comparable across runs.
+///
+/// # Errors
+/// * [`LinalgError::Empty`] for an empty matrix;
+/// * [`LinalgError::NoConvergence`] if the iteration stalls **and** the
+///   matrix is (numerically) zero; slow but progressing iterations return
+///   the best iterate instead of failing.
+pub fn dominant_left_singular_vector(
+    a: &Matrix,
+    max_iterations: usize,
+    tol: f64,
+    seed: u64,
+) -> Result<DominantSingular> {
+    if a.is_empty() {
+        return Err(LinalgError::Empty);
+    }
+    let m = a.rows();
+
+    // Deterministic, cheap start vector: splitmix64 stream.
+    let mut state = seed.wrapping_add(0x9E3779B97F4A7C15);
+    let mut next = move || {
+        state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    };
+    let mut u: Vec<f64> = (0..m)
+        .map(|_| (next() >> 11) as f64 / (1u64 << 53) as f64 - 0.5)
+        .collect();
+    if vector::normalize(&mut u) == 0.0 {
+        u[0] = 1.0;
+    }
+
+    let mut value = 0.0;
+    for it in 1..=max_iterations {
+        // w = A (Aᵀ u)
+        let z = a.matvec_t(&u)?;
+        let mut w = a.matvec(&z)?;
+        let norm_w = vector::normalize(&mut w);
+        if norm_w == 0.0 {
+            // A is numerically zero (or u ⟂ range); retry once with a fresh
+            // vector, then give up.
+            if it == 1 {
+                u = (0..m)
+                    .map(|i| if i % 2 == 0 { 1.0 } else { -0.5 })
+                    .collect();
+                vector::normalize(&mut u);
+                continue;
+            }
+            return Err(LinalgError::NoConvergence { iterations: it });
+        }
+        // sin of angle between iterates: ‖w − (wᵀu)u‖.
+        let cos = vector::dot(&w, &u).abs().min(1.0);
+        let sin = (1.0 - cos * cos).sqrt();
+        u = w;
+        value = norm_w.sqrt(); // ‖A Aᵀ u‖ ≈ σ₁² for unit u
+        if sin < tol {
+            fix_sign(&mut u);
+            return Ok(DominantSingular {
+                vector: u,
+                value,
+                iterations: it,
+            });
+        }
+    }
+    fix_sign(&mut u);
+    Ok(DominantSingular {
+        vector: u,
+        value,
+        iterations: max_iterations,
+    })
+}
+
+/// Make the largest-magnitude entry positive (canonical sign).
+fn fix_sign(u: &mut [f64]) {
+    let mut idx = 0;
+    let mut best = 0.0;
+    for (i, v) in u.iter().enumerate() {
+        if v.abs() > best {
+            best = v.abs();
+            idx = i;
+        }
+    }
+    if u.get(idx).copied().unwrap_or(0.0) < 0.0 {
+        vector::scale(-1.0, u);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn singular_values_of_diagonal() {
+        let a = Matrix::from_rows(&[vec![3.0, 0.0], vec![0.0, -4.0], vec![0.0, 0.0]]);
+        let sv = singular_values(&a).unwrap();
+        assert_close(sv[0], 4.0, 1e-12);
+        assert_close(sv[1], 3.0, 1e-12);
+    }
+
+    #[test]
+    fn singular_values_match_frobenius() {
+        let a = Matrix::from_rows(&[
+            vec![1.0, 2.0, 0.5],
+            vec![-1.0, 0.0, 2.0],
+            vec![3.0, 1.0, 1.0],
+            vec![0.0, -2.0, 1.0],
+        ]);
+        let sv = singular_values(&a).unwrap();
+        let ss: f64 = sv.iter().map(|s| s * s).sum();
+        let f = a.frobenius_norm();
+        assert_close(ss, f * f, 1e-10);
+        // Descending order.
+        assert!(sv.windows(2).all(|w| w[0] >= w[1] - 1e-12));
+    }
+
+    #[test]
+    fn rank_deficient_concatenation_has_zero_tail() {
+        // Columns 3,4 are linear combinations of 1,2 => σ3 = σ4 = 0.
+        let x1 = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        let x2 = vec![0.0, 1.0, 0.0, -1.0, 0.5];
+        let y1: Vec<f64> = x1.iter().zip(&x2).map(|(a, b)| 2.0 * a - b).collect();
+        let y2: Vec<f64> = x1.iter().zip(&x2).map(|(a, b)| -a + 3.0 * b).collect();
+        let m = Matrix::from_columns(&[x1, x2, y1, y2]);
+        let sv = singular_values(&m).unwrap();
+        // Gram-based singular values carry an absolute floor of ~√ε·σ₁ for
+        // the tiny ones; 1e-6 relative is the realistic bound here.
+        assert!(sv[2] < 1e-6 * sv[0]);
+        assert!(sv[3] < 1e-6 * sv[0]);
+    }
+
+    #[test]
+    fn power_iteration_finds_dominant_direction() {
+        // Rank-1 matrix u vᵀ: dominant left singular vector is u/‖u‖.
+        let u = vec![1.0, 2.0, -2.0];
+        let v = vec![3.0, 1.0];
+        let a = Matrix::from_columns(&[
+            u.iter().map(|x| x * v[0]).collect(),
+            u.iter().map(|x| x * v[1]).collect(),
+        ]);
+        let d = dominant_left_singular_vector(&a, 200, 1e-12, 42).unwrap();
+        let expected = {
+            let mut e = u.clone();
+            vector::normalize(&mut e);
+            e
+        };
+        // Canonical sign: largest-magnitude entry positive; expected[1]=2/3>0.
+        for (a, b) in d.vector.iter().zip(expected.iter()) {
+            assert_close(*a, *b, 1e-8);
+        }
+        let unorm = vector::norm(&u);
+        let vnorm = vector::norm(&v);
+        assert_close(d.value, unorm * vnorm, 1e-8);
+    }
+
+    #[test]
+    fn power_iteration_matches_gram_eigen() {
+        let a = Matrix::from_columns(&[
+            vec![1.0, 0.5, -1.0, 2.0, 0.0],
+            vec![2.0, 1.0, 0.0, -1.0, 1.0],
+            vec![0.5, 0.5, 0.5, 0.5, 0.5],
+        ]);
+        let d = dominant_left_singular_vector(&a, 500, 1e-13, 7).unwrap();
+        let sv = singular_values(&a).unwrap();
+        assert_close(d.value, sv[0], 1e-6);
+        assert_close(vector::norm(&d.vector), 1.0, 1e-12);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = Matrix::from_columns(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let d1 = dominant_left_singular_vector(&a, 100, 1e-10, 99).unwrap();
+        let d2 = dominant_left_singular_vector(&a, 100, 1e-10, 99).unwrap();
+        assert_eq!(d1.vector, d2.vector);
+    }
+
+    #[test]
+    fn empty_inputs_error() {
+        assert!(singular_values(&Matrix::zeros(0, 0)).is_err());
+        assert!(dominant_left_singular_vector(&Matrix::zeros(0, 0), 10, 1e-8, 1).is_err());
+    }
+
+    #[test]
+    fn single_column_returns_normalized_column() {
+        let a = Matrix::from_columns(&[vec![0.0, 3.0, 4.0]]);
+        let d = dominant_left_singular_vector(&a, 100, 1e-12, 1).unwrap();
+        assert_close(d.vector[1], 0.6, 1e-9);
+        assert_close(d.vector[2], 0.8, 1e-9);
+        assert_close(d.value, 5.0, 1e-9);
+    }
+}

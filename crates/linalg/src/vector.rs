@@ -1,0 +1,231 @@
+//! Primitive vector kernels on `&[f64]` slices.
+//!
+//! These free functions are the innermost loops of the whole framework:
+//! every statistical measure, every least-squares solve and every power
+//! iteration bottoms out in dot products and axpy updates. They are kept
+//! branch-free and slice-based so the compiler can vectorize them.
+
+/// Dot product `xᵀy`.
+///
+/// # Panics
+/// Panics if the slices have different lengths (callers control shapes).
+#[inline]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    let mut acc = 0.0;
+    for (a, b) in x.iter().zip(y.iter()) {
+        acc += a * b;
+    }
+    acc
+}
+
+/// Euclidean norm `‖x‖₂`, computed with scaling to avoid overflow for
+/// large magnitudes.
+#[inline]
+pub fn norm(x: &[f64]) -> f64 {
+    let max = x.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+    if max == 0.0 || !max.is_finite() {
+        return if max.is_nan() { f64::NAN } else { max };
+    }
+    let mut acc = 0.0;
+    for v in x {
+        let s = v / max;
+        acc += s * s;
+    }
+    max * acc.sqrt()
+}
+
+/// Sum of all elements.
+#[inline]
+pub fn sum(x: &[f64]) -> f64 {
+    x.iter().sum()
+}
+
+/// Arithmetic mean; `0.0` for an empty slice.
+#[inline]
+pub fn mean(x: &[f64]) -> f64 {
+    if x.is_empty() {
+        0.0
+    } else {
+        sum(x) / x.len() as f64
+    }
+}
+
+/// In-place `y ← a·x + y`.
+#[inline]
+pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi += a * xi;
+    }
+}
+
+/// In-place scale `x ← a·x`.
+#[inline]
+pub fn scale(a: f64, x: &mut [f64]) {
+    for v in x {
+        *v *= a;
+    }
+}
+
+/// Normalize `x` to unit Euclidean norm in place.
+///
+/// Returns the original norm. A zero vector is left unchanged and `0.0`
+/// is returned, letting callers detect degenerate input.
+#[inline]
+pub fn normalize(x: &mut [f64]) -> f64 {
+    let n = norm(x);
+    if n > 0.0 {
+        scale(1.0 / n, x);
+    }
+    n
+}
+
+/// Subtract the mean from every element in place; returns the mean.
+///
+/// This is the "zero-mean counterpart" operation used by the LSFD metric
+/// (paper Def. 1) and by covariance computation.
+#[inline]
+pub fn center(x: &mut [f64]) -> f64 {
+    let m = mean(x);
+    for v in x.iter_mut() {
+        *v -= m;
+    }
+    m
+}
+
+/// Population variance `(1/n)·Σ (x_i − mean)²`.
+#[inline]
+pub fn variance(x: &[f64]) -> f64 {
+    if x.is_empty() {
+        return 0.0;
+    }
+    let m = mean(x);
+    let mut acc = 0.0;
+    for v in x {
+        let d = v - m;
+        acc += d * d;
+    }
+    acc / x.len() as f64
+}
+
+/// Population covariance `(1/n)·Σ (x_i − x̄)(y_i − ȳ)`.
+#[inline]
+pub fn covariance(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "covariance: length mismatch");
+    if x.is_empty() {
+        return 0.0;
+    }
+    let mx = mean(x);
+    let my = mean(y);
+    let mut acc = 0.0;
+    for (a, b) in x.iter().zip(y.iter()) {
+        acc += (a - mx) * (b - my);
+    }
+    acc / x.len() as f64
+}
+
+/// Pearson correlation coefficient; `0.0` when either series is constant
+/// (zero variance), matching the convention used throughout the framework.
+#[inline]
+pub fn correlation(x: &[f64], y: &[f64]) -> f64 {
+    let c = covariance(x, y);
+    let d = (variance(x) * variance(y)).sqrt();
+    if d > 0.0 {
+        c / d
+    } else {
+        0.0
+    }
+}
+
+/// Maximum absolute difference between two equally long slices.
+#[inline]
+pub fn max_abs_diff(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "max_abs_diff: length mismatch");
+    x.iter()
+        .zip(y.iter())
+        .fold(0.0f64, |m, (a, b)| m.max((a - b).abs()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_basic() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_mismatch_panics() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn norm_is_scale_safe() {
+        // Would overflow if squared naively.
+        let big = 1e200;
+        let n = norm(&[big, big]);
+        assert!((n - big * std::f64::consts::SQRT_2).abs() / n < 1e-14);
+        assert_eq!(norm(&[0.0, 0.0]), 0.0);
+        assert_eq!(norm(&[]), 0.0);
+    }
+
+    #[test]
+    fn mean_and_center() {
+        let mut x = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(mean(&x), 2.5);
+        let m = center(&mut x);
+        assert_eq!(m, 2.5);
+        assert!(mean(&x).abs() < 1e-15);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, 4.0], &mut y);
+        assert_eq!(y, vec![7.0, 9.0]);
+        scale(0.5, &mut y);
+        assert_eq!(y, vec![3.5, 4.5]);
+    }
+
+    #[test]
+    fn normalize_unit_and_zero() {
+        let mut x = vec![3.0, 4.0];
+        let n = normalize(&mut x);
+        assert_eq!(n, 5.0);
+        assert!((norm(&x) - 1.0).abs() < 1e-15);
+        let mut z = vec![0.0, 0.0];
+        assert_eq!(normalize(&mut z), 0.0);
+        assert_eq!(z, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn variance_covariance_known_values() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        // population variance of 1..4 = 1.25
+        assert!((variance(&x) - 1.25).abs() < 1e-15);
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert!((covariance(&x, &y) - 2.5).abs() < 1e-15);
+        assert!((correlation(&x, &y) - 1.0).abs() < 1e-12);
+        let yn: Vec<f64> = y.iter().map(|v| -v).collect();
+        assert!((correlation(&x, &yn) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_of_constant_is_zero() {
+        let x = [5.0, 5.0, 5.0];
+        let y = [1.0, 2.0, 3.0];
+        assert_eq!(correlation(&x, &y), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(covariance(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn max_abs_diff_works() {
+        assert_eq!(max_abs_diff(&[1.0, 5.0], &[2.0, 3.0]), 2.0);
+    }
+}

@@ -1,0 +1,69 @@
+//! Property tests for the solvers: least-squares optimality conditions
+//! and factorization identities on arbitrary (well-scaled) inputs.
+
+use affinity_linalg::qr::QrFactorization;
+use affinity_linalg::{vector, LinalgError, Matrix};
+use proptest::prelude::*;
+
+fn tall_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(
+        proptest::collection::vec(-10.0f64..10.0, rows),
+        cols..=cols,
+    )
+    .prop_map(|cols| Matrix::from_columns(&cols))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The LS residual is orthogonal to every design column (normal
+    /// equations), for any full-rank design.
+    #[test]
+    fn residual_orthogonality(
+        a in tall_matrix(20, 3),
+        b in proptest::collection::vec(-10.0f64..10.0, 20),
+    ) {
+        let qr = QrFactorization::new(&a).unwrap();
+        match qr.solve(&b) {
+            Ok(x) => {
+                let fitted = a.matvec(&x).unwrap();
+                let r: Vec<f64> = b.iter().zip(&fitted).map(|(u, v)| u - v).collect();
+                let scale = vector::norm(&b).max(1.0) * a.frobenius_norm().max(1.0);
+                for c in 0..a.cols() {
+                    prop_assert!(vector::dot(&r, a.col(c)).abs() <= 1e-9 * scale);
+                }
+            }
+            Err(LinalgError::RankDeficient { .. }) => {} // legal for random input
+            Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+        }
+    }
+
+    /// Q from the factorization has orthonormal columns and QR = A.
+    #[test]
+    fn qr_identities(a in tall_matrix(12, 4)) {
+        let qr = QrFactorization::new(&a).unwrap();
+        let q = qr.q_thin();
+        let qtq = q.gram();
+        prop_assert!(qtq.max_abs_diff(&Matrix::identity(4)) < 1e-10);
+        let recon = q.matmul(&qr.r()).unwrap();
+        prop_assert!(recon.max_abs_diff(&a) < 1e-9 * a.frobenius_norm().max(1.0));
+    }
+
+    /// Singular values are permutation/sign invariants: σ(A) = σ(AP) for
+    /// a column swap, and Σσ² = ‖A‖_F².
+    #[test]
+    fn singular_value_invariants(a in tall_matrix(10, 3)) {
+        use affinity_linalg::svd::singular_values;
+        let sv = singular_values(&a).unwrap();
+        let swapped = Matrix::from_columns(&[
+            a.col(1).to_vec(), a.col(0).to_vec(), a.col(2).to_vec(),
+        ]);
+        let sv2 = singular_values(&swapped).unwrap();
+        let f = a.frobenius_norm();
+        let ss: f64 = sv.iter().map(|s| s * s).sum();
+        prop_assert!((ss - f * f).abs() <= 1e-8 * (f * f).max(1.0));
+        for (x, y) in sv.iter().zip(sv2.iter()) {
+            prop_assert!((x - y).abs() <= 1e-8 * f.max(1.0));
+        }
+    }
+}

@@ -1,0 +1,367 @@
+//! Lexer and recursive-descent parser for the query language.
+
+use affinity_core::measures::{LocationMeasure, Measure, PairwiseMeasure};
+use std::fmt;
+
+/// A parsed measure name, resolved to the framework's measure taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MeasureName(pub Measure);
+
+/// A parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `EXPLAIN <statement>` — describe the plan instead of executing.
+    Explain(Box<Statement>),
+    /// `MEC <measure> OF a, b, c` — measure computation (paper Query 1).
+    Mec {
+        /// The requested measure.
+        measure: Measure,
+        /// Series references, as written (labels or numeric ids).
+        series: Vec<String>,
+    },
+    /// `MET <measure> > τ` / `< τ` — measure threshold (paper Query 2).
+    Met {
+        /// The requested measure.
+        measure: Measure,
+        /// `true` for `>`, `false` for `<`.
+        greater: bool,
+        /// The threshold `τ`.
+        tau: f64,
+    },
+    /// `MER <measure> BETWEEN τl AND τu` — measure range (paper Query 3).
+    Mer {
+        /// The requested measure.
+        measure: Measure,
+        /// Lower bound `τ_l`.
+        lo: f64,
+        /// Upper bound `τ_u`.
+        hi: f64,
+    },
+}
+
+/// Parse failures, with positions in tokens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Input had no tokens.
+    Empty,
+    /// Unknown statement keyword.
+    UnknownStatement(String),
+    /// Unknown measure name.
+    UnknownMeasure(String),
+    /// A specific token was expected.
+    Expected {
+        /// What the parser wanted.
+        what: &'static str,
+        /// What it found (`<end>` at end of input).
+        found: String,
+    },
+    /// A number failed to parse.
+    BadNumber(String),
+    /// Extra tokens after a complete statement.
+    TrailingInput(String),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Empty => write!(f, "empty query"),
+            ParseError::UnknownStatement(s) => {
+                write!(f, "unknown statement '{s}' (expected MEC, MET or MER)")
+            }
+            ParseError::UnknownMeasure(s) => write!(f, "unknown measure '{s}'"),
+            ParseError::Expected { what, found } => {
+                write!(f, "expected {what}, found '{found}'")
+            }
+            ParseError::BadNumber(s) => write!(f, "'{s}' is not a number"),
+            ParseError::TrailingInput(s) => write!(f, "unexpected trailing input '{s}'"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Tokenize: split on whitespace and commas, keeping `>`/`<` as their own
+/// tokens even when glued to neighbours.
+fn tokenize(input: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    for ch in input.chars() {
+        match ch {
+            c if c.is_whitespace() || c == ',' => {
+                if !current.is_empty() {
+                    tokens.push(std::mem::take(&mut current));
+                }
+            }
+            '>' | '<' => {
+                if !current.is_empty() {
+                    tokens.push(std::mem::take(&mut current));
+                }
+                tokens.push(ch.to_string());
+            }
+            _ => current.push(ch),
+        }
+    }
+    if !current.is_empty() {
+        tokens.push(current);
+    }
+    tokens
+}
+
+fn parse_measure(tok: &str) -> Result<Measure, ParseError> {
+    Ok(match tok.to_ascii_lowercase().as_str() {
+        "mean" => Measure::Location(LocationMeasure::Mean),
+        "median" => Measure::Location(LocationMeasure::Median),
+        "mode" => Measure::Location(LocationMeasure::Mode),
+        "covariance" | "cov" => Measure::Pairwise(PairwiseMeasure::Covariance),
+        "dot" | "dotproduct" | "dot_product" => Measure::Pairwise(PairwiseMeasure::DotProduct),
+        "correlation" | "corr" | "rho" => Measure::Pairwise(PairwiseMeasure::Correlation),
+        "cosine" | "cos" => Measure::Pairwise(PairwiseMeasure::Cosine),
+        "dice" => Measure::Pairwise(PairwiseMeasure::Dice),
+        other => return Err(ParseError::UnknownMeasure(other.to_string())),
+    })
+}
+
+fn parse_number(tok: Option<&String>) -> Result<f64, ParseError> {
+    let tok = tok.ok_or(ParseError::Expected {
+        what: "a number",
+        found: "<end>".into(),
+    })?;
+    tok.parse()
+        .map_err(|_| ParseError::BadNumber(tok.clone()))
+}
+
+/// Parse a single statement.
+///
+/// # Errors
+/// See [`ParseError`].
+pub fn parse(input: &str) -> Result<Statement, ParseError> {
+    let tokens = tokenize(input);
+    let mut it = tokens.iter();
+    let head = it.next().ok_or(ParseError::Empty)?;
+    if head.eq_ignore_ascii_case("explain") {
+        let rest: Vec<String> = it.cloned().collect();
+        return Ok(Statement::Explain(Box::new(parse(&rest.join(" "))?)));
+    }
+    match head.to_ascii_uppercase().as_str() {
+        "MEC" => {
+            let measure_tok = it.next().ok_or(ParseError::Expected {
+                what: "a measure",
+                found: "<end>".into(),
+            })?;
+            let measure = parse_measure(measure_tok)?;
+            let of = it.next().ok_or(ParseError::Expected {
+                what: "OF",
+                found: "<end>".into(),
+            })?;
+            if !of.eq_ignore_ascii_case("of") {
+                return Err(ParseError::Expected {
+                    what: "OF",
+                    found: of.clone(),
+                });
+            }
+            let series: Vec<String> = it.cloned().collect();
+            if series.is_empty() {
+                return Err(ParseError::Expected {
+                    what: "at least one series",
+                    found: "<end>".into(),
+                });
+            }
+            Ok(Statement::Mec { measure, series })
+        }
+        "MET" => {
+            let measure_tok = it.next().ok_or(ParseError::Expected {
+                what: "a measure",
+                found: "<end>".into(),
+            })?;
+            let measure = parse_measure(measure_tok)?;
+            let op = it.next().ok_or(ParseError::Expected {
+                what: "> or <",
+                found: "<end>".into(),
+            })?;
+            let greater = match op.as_str() {
+                ">" => true,
+                "<" => false,
+                other => {
+                    return Err(ParseError::Expected {
+                        what: "> or <",
+                        found: other.to_string(),
+                    })
+                }
+            };
+            let tau = parse_number(it.next())?;
+            if let Some(extra) = it.next() {
+                return Err(ParseError::TrailingInput(extra.clone()));
+            }
+            Ok(Statement::Met {
+                measure,
+                greater,
+                tau,
+            })
+        }
+        "MER" => {
+            let measure_tok = it.next().ok_or(ParseError::Expected {
+                what: "a measure",
+                found: "<end>".into(),
+            })?;
+            let measure = parse_measure(measure_tok)?;
+            let kw = it.next().ok_or(ParseError::Expected {
+                what: "BETWEEN",
+                found: "<end>".into(),
+            })?;
+            if !kw.eq_ignore_ascii_case("between") {
+                return Err(ParseError::Expected {
+                    what: "BETWEEN",
+                    found: kw.clone(),
+                });
+            }
+            let lo = parse_number(it.next())?;
+            let and = it.next().ok_or(ParseError::Expected {
+                what: "AND",
+                found: "<end>".into(),
+            })?;
+            if !and.eq_ignore_ascii_case("and") {
+                return Err(ParseError::Expected {
+                    what: "AND",
+                    found: and.clone(),
+                });
+            }
+            let hi = parse_number(it.next())?;
+            if let Some(extra) = it.next() {
+                return Err(ParseError::TrailingInput(extra.clone()));
+            }
+            Ok(Statement::Mer { measure, lo, hi })
+        }
+        other => Err(ParseError::UnknownStatement(other.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_mec() {
+        let s = parse("MEC correlation OF STK1, STK2, STK3").unwrap();
+        assert_eq!(
+            s,
+            Statement::Mec {
+                measure: Measure::Pairwise(PairwiseMeasure::Correlation),
+                series: vec!["STK1".into(), "STK2".into(), "STK3".into()],
+            }
+        );
+        // Lowercase keywords, numeric ids, aliases.
+        let s = parse("mec cov of 0 1 2").unwrap();
+        assert!(matches!(
+            s,
+            Statement::Mec {
+                measure: Measure::Pairwise(PairwiseMeasure::Covariance),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn parses_met_both_ops_and_glued_tokens() {
+        let s = parse("MET covariance > 0.25").unwrap();
+        assert_eq!(
+            s,
+            Statement::Met {
+                measure: Measure::Pairwise(PairwiseMeasure::Covariance),
+                greater: true,
+                tau: 0.25,
+            }
+        );
+        let s = parse("met rho<-0.5").unwrap();
+        assert_eq!(
+            s,
+            Statement::Met {
+                measure: Measure::Pairwise(PairwiseMeasure::Correlation),
+                greater: false,
+                tau: -0.5,
+            }
+        );
+    }
+
+    #[test]
+    fn parses_mer() {
+        let s = parse("MER median BETWEEN 10 AND 20.5").unwrap();
+        assert_eq!(
+            s,
+            Statement::Mer {
+                measure: Measure::Location(LocationMeasure::Median),
+                lo: 10.0,
+                hi: 20.5,
+            }
+        );
+    }
+
+    #[test]
+    fn parses_extended_measures() {
+        assert!(matches!(
+            parse("MET cosine > 0.99").unwrap(),
+            Statement::Met {
+                measure: Measure::Pairwise(PairwiseMeasure::Cosine),
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse("MER dice BETWEEN 0.9 AND 1.0").unwrap(),
+            Statement::Mer {
+                measure: Measure::Pairwise(PairwiseMeasure::Dice),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn parses_explain() {
+        let s = parse("EXPLAIN MET correlation > 0.9").unwrap();
+        match s {
+            Statement::Explain(inner) => assert!(matches!(*inner, Statement::Met { .. })),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(parse("explain nonsense"), Err(ParseError::UnknownStatement(_))));
+        assert_eq!(parse("EXPLAIN"), Err(ParseError::Empty));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert_eq!(parse(""), Err(ParseError::Empty));
+        assert!(matches!(parse("SELECT *"), Err(ParseError::UnknownStatement(_))));
+        assert!(matches!(
+            parse("MET sharpe > 1"),
+            Err(ParseError::UnknownMeasure(_))
+        ));
+        assert!(matches!(parse("MET corr >"), Err(ParseError::Expected { .. })));
+        assert!(matches!(
+            parse("MET corr > banana"),
+            Err(ParseError::BadNumber(_))
+        ));
+        assert!(matches!(
+            parse("MET corr > 0.5 extra"),
+            Err(ParseError::TrailingInput(_))
+        ));
+        assert!(matches!(
+            parse("MER corr AROUND 0.5 AND 0.6"),
+            Err(ParseError::Expected { .. })
+        ));
+        assert!(matches!(
+            parse("MER corr BETWEEN 0.5 OR 0.6"),
+            Err(ParseError::Expected { .. })
+        ));
+        assert!(matches!(parse("MEC mean"), Err(ParseError::Expected { .. })));
+        assert!(matches!(parse("MEC mean OF"), Err(ParseError::Expected { .. })));
+        assert!(matches!(
+            parse("MEC mean FROM a b"),
+            Err(ParseError::Expected { .. })
+        ));
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = parse("MET sharpe > 1").unwrap_err();
+        assert!(e.to_string().contains("sharpe"));
+        let e = parse("MET corr = 1").unwrap_err();
+        assert!(e.to_string().contains("expected"));
+    }
+}

@@ -1,0 +1,478 @@
+//! Query execution: plan parsed statements against the framework.
+
+use crate::parser::{parse, ParseError, Statement};
+use affinity_core::measures::{LocationMeasure, Measure, PairwiseMeasure};
+use affinity_core::mec::MecEngine;
+use affinity_core::symex::AffineSet;
+use affinity_data::{DataMatrix, SequencePair, SeriesId};
+use affinity_linalg::Matrix;
+use affinity_scape::{ScapeIndex, ThresholdOp};
+use std::fmt;
+
+/// Errors raised by query execution.
+#[derive(Debug)]
+pub enum QlError {
+    /// The statement failed to parse.
+    Parse(ParseError),
+    /// A series reference (label or id) did not resolve.
+    UnknownSeries(String),
+    /// A range query with `lo > hi`.
+    EmptyRange {
+        /// Lower bound as written.
+        lo: f64,
+        /// Upper bound as written.
+        hi: f64,
+    },
+    /// Internal engine error (should not occur for a valid session).
+    Engine(String),
+}
+
+impl fmt::Display for QlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QlError::Parse(e) => write!(f, "parse error: {e}"),
+            QlError::UnknownSeries(s) => write!(f, "unknown series '{s}'"),
+            QlError::EmptyRange { lo, hi } => {
+                write!(f, "empty range: {lo} > {hi}")
+            }
+            QlError::Engine(msg) => write!(f, "engine error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for QlError {}
+
+impl From<ParseError> for QlError {
+    fn from(e: ParseError) -> Self {
+        QlError::Parse(e)
+    }
+}
+
+/// Result of executing a statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryOutput {
+    /// MEC over a location measure: `(label, value)` per requested series.
+    Values(Vec<(String, f64)>),
+    /// MEC over a pairwise measure: requested labels + the `|ψ|×|ψ|`
+    /// matrix.
+    PairMatrix {
+        /// Labels in request order.
+        labels: Vec<String>,
+        /// The measure matrix.
+        matrix: Matrix,
+    },
+    /// MET/MER over a pairwise measure: qualifying pairs by label.
+    Pairs(Vec<(String, String)>),
+    /// MET/MER over a location measure: qualifying series by label.
+    Series(Vec<String>),
+    /// `EXPLAIN`: a one-line description of the chosen plan.
+    Plan(String),
+}
+
+impl fmt::Display for QueryOutput {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryOutput::Values(vs) => {
+                for (label, v) in vs {
+                    writeln!(f, "{label}\t{v:.6}")?;
+                }
+                Ok(())
+            }
+            QueryOutput::PairMatrix { labels, matrix } => {
+                write!(f, " ")?;
+                for l in labels {
+                    write!(f, "\t{l}")?;
+                }
+                writeln!(f)?;
+                for (i, l) in labels.iter().enumerate() {
+                    write!(f, "{l}")?;
+                    for j in 0..labels.len() {
+                        write!(f, "\t{:.6}", matrix.get(i, j))?;
+                    }
+                    writeln!(f)?;
+                }
+                Ok(())
+            }
+            QueryOutput::Pairs(ps) => {
+                writeln!(f, "{} pairs", ps.len())?;
+                for (a, b) in ps {
+                    writeln!(f, "{a}\t{b}")?;
+                }
+                Ok(())
+            }
+            QueryOutput::Series(ss) => {
+                writeln!(f, "{} series", ss.len())?;
+                for s in ss {
+                    writeln!(f, "{s}")?;
+                }
+                Ok(())
+            }
+            QueryOutput::Plan(p) => writeln!(f, "{p}"),
+        }
+    }
+}
+
+/// A query session: a data matrix, its affine relationships, the MEC
+/// engine, and a SCAPE index over a chosen measure set.
+///
+/// Planning rule: MET/MER statements run on the SCAPE index when the
+/// measure was indexed, and fall back to scanning `W_A` values otherwise;
+/// MEC statements always run on the MEC engine.
+pub struct Session<'a> {
+    data: &'a DataMatrix,
+    engine: MecEngine<'a>,
+    index: ScapeIndex,
+}
+
+impl<'a> Session<'a> {
+    /// Open a session, building the MEC engine and a SCAPE index over
+    /// `indexed` measures (pass `&Measure::ALL` or `&Measure::EXTENDED`
+    /// for everything, `&[]` for no index).
+    pub fn new(data: &'a DataMatrix, affine: &'a AffineSet, indexed: &[Measure]) -> Self {
+        Session {
+            data,
+            engine: MecEngine::new(data, affine),
+            index: ScapeIndex::build(data, affine, indexed),
+        }
+    }
+
+    /// Resolve a series reference: exact label match first, then numeric
+    /// id.
+    fn resolve(&self, reference: &str) -> Result<SeriesId, QlError> {
+        for v in 0..self.data.series_count() {
+            if self.data.label(v) == reference {
+                return Ok(v);
+            }
+        }
+        if let Ok(id) = reference.parse::<usize>() {
+            if id < self.data.series_count() {
+                return Ok(id);
+            }
+        }
+        Err(QlError::UnknownSeries(reference.to_string()))
+    }
+
+    fn label(&self, v: SeriesId) -> String {
+        self.data.label(v).to_string()
+    }
+
+    fn pair_labels(&self, pairs: Vec<SequencePair>) -> Vec<(String, String)> {
+        pairs
+            .into_iter()
+            .map(|p| (self.label(p.u), self.label(p.v)))
+            .collect()
+    }
+
+    /// Parse and execute one statement.
+    ///
+    /// # Errors
+    /// See [`QlError`].
+    pub fn execute(&self, query: &str) -> Result<QueryOutput, QlError> {
+        self.run(parse(query)?)
+    }
+
+    /// Execute a pre-parsed statement.
+    ///
+    /// # Errors
+    /// See [`QlError`].
+    pub fn run(&self, statement: Statement) -> Result<QueryOutput, QlError> {
+        match statement {
+            Statement::Explain(inner) => Ok(QueryOutput::Plan(self.plan(&inner))),
+            Statement::Mec { measure, series } => {
+                let ids: Vec<SeriesId> = series
+                    .iter()
+                    .map(|s| self.resolve(s))
+                    .collect::<Result<_, _>>()?;
+                match measure {
+                    Measure::Location(l) => {
+                        let values = self
+                            .engine
+                            .location(l, &ids)
+                            .map_err(|e| QlError::Engine(e.to_string()))?;
+                        Ok(QueryOutput::Values(
+                            ids.iter()
+                                .zip(values)
+                                .map(|(&v, x)| (self.label(v), x))
+                                .collect(),
+                        ))
+                    }
+                    Measure::Pairwise(p) => Ok(QueryOutput::PairMatrix {
+                        labels: ids.iter().map(|&v| self.label(v)).collect(),
+                        matrix: self.engine.pairwise(p, &ids),
+                    }),
+                }
+            }
+            Statement::Met {
+                measure,
+                greater,
+                tau,
+            } => {
+                let op = if greater {
+                    ThresholdOp::Greater
+                } else {
+                    ThresholdOp::Less
+                };
+                match measure {
+                    Measure::Pairwise(p) => {
+                        let pairs = if self.index.supports(measure) {
+                            self.index
+                                .threshold_pairs(p, op, tau)
+                                .map_err(|e| QlError::Engine(e.to_string()))?
+                        } else {
+                            self.scan_pairs(p, |v| match op {
+                                ThresholdOp::Greater => v > tau,
+                                ThresholdOp::Less => v < tau,
+                            })
+                        };
+                        Ok(QueryOutput::Pairs(self.pair_labels(pairs)))
+                    }
+                    Measure::Location(l) => {
+                        let series = if self.index.supports(measure) {
+                            self.index
+                                .threshold_series(l, op, tau)
+                                .map_err(|e| QlError::Engine(e.to_string()))?
+                        } else {
+                            self.scan_series(l, |v| match op {
+                                ThresholdOp::Greater => v > tau,
+                                ThresholdOp::Less => v < tau,
+                            })
+                        };
+                        Ok(QueryOutput::Series(
+                            series.into_iter().map(|v| self.label(v)).collect(),
+                        ))
+                    }
+                }
+            }
+            Statement::Mer { measure, lo, hi } => {
+                if lo > hi {
+                    return Err(QlError::EmptyRange { lo, hi });
+                }
+                match measure {
+                    Measure::Pairwise(p) => {
+                        let pairs = if self.index.supports(measure) {
+                            self.index
+                                .range_pairs(p, lo, hi)
+                                .map_err(|e| QlError::Engine(e.to_string()))?
+                        } else {
+                            self.scan_pairs(p, |v| lo < v && v < hi)
+                        };
+                        Ok(QueryOutput::Pairs(self.pair_labels(pairs)))
+                    }
+                    Measure::Location(l) => {
+                        let series = if self.index.supports(measure) {
+                            self.index
+                                .range_series(l, lo, hi)
+                                .map_err(|e| QlError::Engine(e.to_string()))?
+                        } else {
+                            self.scan_series(l, |v| lo < v && v < hi)
+                        };
+                        Ok(QueryOutput::Series(
+                            series.into_iter().map(|v| self.label(v)).collect(),
+                        ))
+                    }
+                }
+            }
+        }
+    }
+
+    /// Describe how a statement would execute (the `EXPLAIN` output).
+    fn plan(&self, statement: &Statement) -> String {
+        match statement {
+            Statement::Explain(inner) => self.plan(inner),
+            Statement::Mec { measure, series } => format!(
+                "MEC {}: MecEngine (W_A) over {} series; pivot statistics from hash map, O(1) per value",
+                measure.name(),
+                series.len()
+            ),
+            Statement::Met { measure, .. } | Statement::Mer { measure, .. } => {
+                let kind = if matches!(statement, Statement::Met { .. }) {
+                    "MET"
+                } else {
+                    "MER"
+                };
+                if self.index.supports(*measure) {
+                    format!(
+                        "{kind} {}: SCAPE index search with modified thresholds (tau' = tau/||alpha||){}",
+                        measure.name(),
+                        if matches!(
+                            measure,
+                            Measure::Pairwise(p) if p.is_derived()
+                        ) {
+                            " + normalizer-bound pruning"
+                        } else {
+                            ""
+                        }
+                    )
+                } else {
+                    format!(
+                        "{kind} {}: full scan of W_A values (measure not indexed)",
+                        measure.name()
+                    )
+                }
+            }
+        }
+    }
+
+    /// Fallback plan: filter `W_A` values over all pairs.
+    fn scan_pairs(
+        &self,
+        measure: PairwiseMeasure,
+        keep: impl Fn(f64) -> bool,
+    ) -> Vec<SequencePair> {
+        self.data
+            .sequence_pairs()
+            .into_iter()
+            .filter(|&p| keep(self.engine.pair_value(measure, p).expect("full set")))
+            .collect()
+    }
+
+    /// Fallback plan: filter `W_A` values over all series.
+    fn scan_series(
+        &self,
+        measure: LocationMeasure,
+        keep: impl Fn(f64) -> bool,
+    ) -> Vec<SeriesId> {
+        (0..self.data.series_count())
+            .filter(|&v| keep(self.engine.location_value(measure, v).expect("in range")))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use affinity_core::prelude::*;
+    use affinity_data::generator::{stock_dataset, StockConfig};
+
+    fn fixture() -> (DataMatrix, AffineSet) {
+        let data = stock_dataset(&StockConfig::reduced(14, 60));
+        let affine = Symex::new(SymexParams::default()).run(&data).unwrap();
+        (data, affine)
+    }
+
+    #[test]
+    fn mec_location_by_label_and_id() {
+        let (data, affine) = fixture();
+        let s = Session::new(&data, &affine, &Measure::ALL);
+        let out = s.execute("MEC mean OF STK0, 3").unwrap();
+        match out {
+            QueryOutput::Values(vs) => {
+                assert_eq!(vs.len(), 2);
+                assert_eq!(vs[0].0, "STK0");
+                assert_eq!(vs[1].0, "STK3");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mec_pairwise_returns_symmetric_matrix() {
+        let (data, affine) = fixture();
+        let s = Session::new(&data, &affine, &Measure::ALL);
+        let out = s.execute("MEC correlation OF STK0 STK1 STK2").unwrap();
+        match out {
+            QueryOutput::PairMatrix { labels, matrix } => {
+                assert_eq!(labels, vec!["STK0", "STK1", "STK2"]);
+                assert_eq!(matrix.rows(), 3);
+                assert_eq!(matrix.get(0, 0), 1.0);
+                assert_eq!(matrix.get(0, 1), matrix.get(1, 0));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn met_uses_index_and_matches_fallback() {
+        let (data, affine) = fixture();
+        let indexed = Session::new(&data, &affine, &Measure::ALL);
+        let bare = Session::new(&data, &affine, &[]);
+        for q in ["MET correlation > 0.8", "MET covariance < 0", "MET median > 100"] {
+            let a = indexed.execute(q).unwrap();
+            let b = bare.execute(q).unwrap();
+            let norm = |o: QueryOutput| match o {
+                QueryOutput::Pairs(mut p) => {
+                    p.sort();
+                    format!("{p:?}")
+                }
+                QueryOutput::Series(mut s) => {
+                    s.sort();
+                    format!("{s:?}")
+                }
+                other => format!("{other:?}"),
+            };
+            assert_eq!(norm(a), norm(b), "query {q}");
+        }
+    }
+
+    #[test]
+    fn mer_and_extended_measures() {
+        let (data, affine) = fixture();
+        let s = Session::new(&data, &affine, &Measure::EXTENDED);
+        let out = s.execute("MER cosine BETWEEN 0.999 AND 1.0").unwrap();
+        assert!(matches!(out, QueryOutput::Pairs(_)));
+        let out = s.execute("MET dice > 0.99").unwrap();
+        assert!(matches!(out, QueryOutput::Pairs(_)));
+        let out = s.execute("MER mode BETWEEN 0 AND 10000").unwrap();
+        match out {
+            QueryOutput::Series(ss) => assert_eq!(ss.len(), data.series_count()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let (data, affine) = fixture();
+        let s = Session::new(&data, &affine, &Measure::ALL);
+        assert!(matches!(
+            s.execute("MEC mean OF NOPE"),
+            Err(QlError::UnknownSeries(_))
+        ));
+        assert!(matches!(
+            s.execute("MER corr BETWEEN 1 AND 0"),
+            Err(QlError::EmptyRange { .. })
+        ));
+        assert!(matches!(s.execute("HELLO"), Err(QlError::Parse(_))));
+        let e = s.execute("MEC mean OF NOPE").unwrap_err();
+        assert!(e.to_string().contains("NOPE"));
+    }
+
+    #[test]
+    fn explain_reports_plan_choice() {
+        let (data, affine) = fixture();
+        let indexed = Session::new(&data, &affine, &Measure::ALL);
+        let bare = Session::new(&data, &affine, &[]);
+        let p1 = indexed.execute("EXPLAIN MET correlation > 0.9").unwrap();
+        match &p1 {
+            QueryOutput::Plan(text) => {
+                assert!(text.contains("SCAPE"), "{text}");
+                assert!(text.contains("pruning"), "{text}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let p2 = bare.execute("EXPLAIN MET correlation > 0.9").unwrap();
+        match &p2 {
+            QueryOutput::Plan(text) => assert!(text.contains("full scan"), "{text}"),
+            other => panic!("unexpected {other:?}"),
+        }
+        let p3 = indexed.execute("EXPLAIN MEC mean OF STK0").unwrap();
+        match &p3 {
+            QueryOutput::Plan(text) => assert!(text.contains("MecEngine"), "{text}"),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(p1.to_string().contains("SCAPE"));
+    }
+
+    #[test]
+    fn display_renders_output() {
+        let (data, affine) = fixture();
+        let s = Session::new(&data, &affine, &Measure::ALL);
+        let text = s.execute("MET correlation > 0.99").unwrap().to_string();
+        assert!(text.contains("pairs"));
+        let text = s.execute("MEC mean OF STK0").unwrap().to_string();
+        assert!(text.contains("STK0"));
+        let text = s.execute("MEC covariance OF STK0 STK1").unwrap().to_string();
+        assert!(text.contains('\t'));
+        let text = s.execute("MET mean > -1e18").unwrap().to_string();
+        assert!(text.contains("series"));
+    }
+}

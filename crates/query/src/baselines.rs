@@ -1,0 +1,425 @@
+//! The `W_N`, `W_A` and `W_F` query execution strategies of the paper's
+//! evaluation (Sec. 6), sharing one query surface so benchmarks compare
+//! like with like.
+
+use affinity_core::measures::{self, LocationMeasure, PairwiseMeasure};
+use affinity_core::mec::MecEngine;
+use affinity_core::symex::AffineSet;
+use affinity_data::{DataMatrix, SequencePair, SeriesId};
+use affinity_dft::DftSketch;
+use affinity_linalg::Matrix;
+use affinity_scape::ThresholdOp;
+
+#[inline]
+fn keep(op: ThresholdOp, value: f64, tau: f64) -> bool {
+    match op {
+        ThresholdOp::Greater => value > tau,
+        ThresholdOp::Less => value < tau,
+    }
+}
+
+/// `W_N`: compute every measure from the raw series, then filter.
+pub struct NaiveExecutor<'a> {
+    data: &'a DataMatrix,
+}
+
+impl<'a> NaiveExecutor<'a> {
+    /// Wrap a data matrix.
+    pub fn new(data: &'a DataMatrix) -> Self {
+        NaiveExecutor { data }
+    }
+
+    /// MEC: location measure for a set of identifiers.
+    pub fn mec_location(&self, measure: LocationMeasure, ids: &[SeriesId]) -> Vec<f64> {
+        ids.iter()
+            .map(|&v| measures::location(measure, self.data.series(v)))
+            .collect()
+    }
+
+    /// MEC: pairwise measure matrix for a set of identifiers.
+    pub fn mec_pairwise(&self, measure: PairwiseMeasure, ids: &[SeriesId]) -> Matrix {
+        let q = ids.len();
+        let mut out = Matrix::zeros(q, q);
+        for i in 0..q {
+            out.set(
+                i,
+                i,
+                measures::pairwise_self(measure, self.data.series(ids[i])),
+            );
+            for j in i + 1..q {
+                let v = measures::pairwise(
+                    measure,
+                    self.data.series(ids[i]),
+                    self.data.series(ids[j]),
+                );
+                out.set(i, j, v);
+                out.set(j, i, v);
+            }
+        }
+        out
+    }
+
+    /// MET over sequence pairs.
+    pub fn met_pairs(
+        &self,
+        measure: PairwiseMeasure,
+        op: ThresholdOp,
+        tau: f64,
+    ) -> Vec<SequencePair> {
+        let values = measures::pairwise_all(measure, self.data);
+        self.data
+            .sequence_pairs()
+            .into_iter()
+            .zip(values)
+            .filter_map(|(p, v)| keep(op, v, tau).then_some(p))
+            .collect()
+    }
+
+    /// MER over sequence pairs (`τ_l < value < τ_u`).
+    pub fn mer_pairs(
+        &self,
+        measure: PairwiseMeasure,
+        tau_l: f64,
+        tau_u: f64,
+    ) -> Vec<SequencePair> {
+        let values = measures::pairwise_all(measure, self.data);
+        self.data
+            .sequence_pairs()
+            .into_iter()
+            .zip(values)
+            .filter_map(|(p, v)| (tau_l < v && v < tau_u).then_some(p))
+            .collect()
+    }
+
+    /// MET over series (L-measures).
+    pub fn met_series(
+        &self,
+        measure: LocationMeasure,
+        op: ThresholdOp,
+        tau: f64,
+    ) -> Vec<SeriesId> {
+        (0..self.data.series_count())
+            .filter(|&v| keep(op, measures::location(measure, self.data.series(v)), tau))
+            .collect()
+    }
+
+    /// MER over series.
+    pub fn mer_series(&self, measure: LocationMeasure, tau_l: f64, tau_u: f64) -> Vec<SeriesId> {
+        (0..self.data.series_count())
+            .filter(|&v| {
+                let x = measures::location(measure, self.data.series(v));
+                tau_l < x && x < tau_u
+            })
+            .collect()
+    }
+}
+
+/// `W_A`: answer every query through affine relationships.
+pub struct AffineExecutor<'a> {
+    engine: MecEngine<'a>,
+    data: &'a DataMatrix,
+}
+
+impl<'a> AffineExecutor<'a> {
+    /// Build over a data matrix and its affine set (runs the MEC
+    /// pre-processing step).
+    pub fn new(data: &'a DataMatrix, affine: &'a AffineSet) -> Self {
+        AffineExecutor {
+            engine: MecEngine::new(data, affine),
+            data,
+        }
+    }
+
+    /// Access the underlying MEC engine.
+    pub fn engine(&self) -> &MecEngine<'a> {
+        &self.engine
+    }
+
+    /// MEC: location measure for a set of identifiers.
+    ///
+    /// # Panics
+    /// Panics on out-of-range identifiers.
+    pub fn mec_location(&self, measure: LocationMeasure, ids: &[SeriesId]) -> Vec<f64> {
+        self.engine.location(measure, ids).expect("ids in range")
+    }
+
+    /// MEC: pairwise measure matrix for a set of identifiers.
+    pub fn mec_pairwise(&self, measure: PairwiseMeasure, ids: &[SeriesId]) -> Matrix {
+        self.engine.pairwise(measure, ids)
+    }
+
+    /// MET over sequence pairs.
+    pub fn met_pairs(
+        &self,
+        measure: PairwiseMeasure,
+        op: ThresholdOp,
+        tau: f64,
+    ) -> Vec<SequencePair> {
+        self.data
+            .sequence_pairs()
+            .into_iter()
+            .filter(|&p| {
+                keep(
+                    op,
+                    self.engine.pair_value(measure, p).expect("full set"),
+                    tau,
+                )
+            })
+            .collect()
+    }
+
+    /// MER over sequence pairs.
+    pub fn mer_pairs(
+        &self,
+        measure: PairwiseMeasure,
+        tau_l: f64,
+        tau_u: f64,
+    ) -> Vec<SequencePair> {
+        self.data
+            .sequence_pairs()
+            .into_iter()
+            .filter(|&p| {
+                let v = self.engine.pair_value(measure, p).expect("full set");
+                tau_l < v && v < tau_u
+            })
+            .collect()
+    }
+
+    /// MET over series.
+    pub fn met_series(
+        &self,
+        measure: LocationMeasure,
+        op: ThresholdOp,
+        tau: f64,
+    ) -> Vec<SeriesId> {
+        (0..self.data.series_count())
+            .filter(|&v| {
+                keep(
+                    op,
+                    self.engine.location_value(measure, v).expect("in range"),
+                    tau,
+                )
+            })
+            .collect()
+    }
+
+    /// MER over series.
+    pub fn mer_series(&self, measure: LocationMeasure, tau_l: f64, tau_u: f64) -> Vec<SeriesId> {
+        (0..self.data.series_count())
+            .filter(|&v| {
+                let x = self.engine.location_value(measure, v).expect("in range");
+                tau_l < x && x < tau_u
+            })
+            .collect()
+    }
+}
+
+/// `W_F`: the DFT-sketch baseline of refs [1–3] — correlation only, which
+/// is exactly the limitation the paper calls out.
+pub struct DftExecutor {
+    sketches: Vec<DftSketch>,
+}
+
+/// Number of retained coefficients used by the paper's `W_F` ("the five
+/// largest DFT coefficients").
+pub const WF_COEFFICIENTS: usize = 5;
+
+impl DftExecutor {
+    /// Build sketches for every series (the `W_F` setup cost).
+    pub fn new(data: &DataMatrix) -> Self {
+        Self::with_coefficients(data, WF_COEFFICIENTS)
+    }
+
+    /// Build with a custom sketch size (for ablations).
+    pub fn with_coefficients(data: &DataMatrix, k: usize) -> Self {
+        let sketches = (0..data.series_count())
+            .map(|v| DftSketch::build(data.series(v), k))
+            .collect();
+        DftExecutor { sketches }
+    }
+
+    /// Number of series sketched.
+    pub fn len(&self) -> usize {
+        self.sketches.len()
+    }
+
+    /// `true` if no series were sketched.
+    pub fn is_empty(&self) -> bool {
+        self.sketches.is_empty()
+    }
+
+    /// Approximate correlation of a pair.
+    pub fn correlation(&self, pair: SequencePair) -> f64 {
+        self.sketches[pair.u].correlation(&self.sketches[pair.v])
+    }
+
+    /// MET over sequence pairs (correlation only).
+    pub fn met_pairs(&self, op: ThresholdOp, tau: f64) -> Vec<SequencePair> {
+        let n = self.sketches.len();
+        let mut out = Vec::new();
+        for u in 0..n {
+            for v in u + 1..n {
+                let pair = SequencePair { u, v };
+                if keep(op, self.correlation(pair), tau) {
+                    out.push(pair);
+                }
+            }
+        }
+        out
+    }
+
+    /// MER over sequence pairs (correlation only).
+    pub fn mer_pairs(&self, tau_l: f64, tau_u: f64) -> Vec<SequencePair> {
+        let n = self.sketches.len();
+        let mut out = Vec::new();
+        for u in 0..n {
+            for v in u + 1..n {
+                let pair = SequencePair { u, v };
+                let c = self.correlation(pair);
+                if tau_l < c && c < tau_u {
+                    out.push(pair);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use affinity_core::prelude::*;
+    use affinity_core::rmse::percent_rmse;
+    use affinity_data::generator::{sensor_dataset, SensorConfig};
+
+    fn fixture(n: usize, m: usize) -> (DataMatrix, AffineSet) {
+        let data = sensor_dataset(&SensorConfig::reduced(n, m));
+        let affine = Symex::new(SymexParams::default()).run(&data).unwrap();
+        (data, affine)
+    }
+
+    #[test]
+    fn naive_and_affine_agree_on_exact_measures() {
+        let (data, affine) = fixture(14, 64);
+        let wn = NaiveExecutor::new(&data);
+        let wa = AffineExecutor::new(&data, &affine);
+        let ids = vec![0, 3, 6, 9];
+        // Mean and dot product are exact under affine propagation.
+        let n_mean = wn.mec_location(LocationMeasure::Mean, &ids);
+        let a_mean = wa.mec_location(LocationMeasure::Mean, &ids);
+        assert!(percent_rmse(&n_mean, &a_mean) < 1e-8);
+        let n_dot = wn.mec_pairwise(PairwiseMeasure::DotProduct, &ids);
+        let a_dot = wa.mec_pairwise(PairwiseMeasure::DotProduct, &ids);
+        assert!(n_dot.max_abs_diff(&a_dot) < 1e-5 * n_dot.frobenius_norm().max(1.0));
+    }
+
+    #[test]
+    fn met_results_of_wn_and_wa_overlap_heavily() {
+        let (data, affine) = fixture(16, 64);
+        let wn = NaiveExecutor::new(&data);
+        let wa = AffineExecutor::new(&data, &affine);
+        let a: std::collections::BTreeSet<_> = wn
+            .met_pairs(PairwiseMeasure::Correlation, ThresholdOp::Greater, 0.8)
+            .into_iter()
+            .collect();
+        let b: std::collections::BTreeSet<_> = wa
+            .met_pairs(PairwiseMeasure::Correlation, ThresholdOp::Greater, 0.8)
+            .into_iter()
+            .collect();
+        let inter = a.intersection(&b).count();
+        let union = a.union(&b).count().max(1);
+        assert!(
+            inter as f64 / union as f64 > 0.8,
+            "Jaccard {} ({} vs {})",
+            inter as f64 / union as f64,
+            a.len(),
+            b.len()
+        );
+    }
+
+    #[test]
+    fn met_and_mer_are_consistent() {
+        let (data, _) = fixture(12, 48);
+        let wn = NaiveExecutor::new(&data);
+        // value > lo and value < hi iff in range (exclusive).
+        let lo = 0.2;
+        let hi = 0.9;
+        let gt: std::collections::BTreeSet<_> = wn
+            .met_pairs(PairwiseMeasure::Correlation, ThresholdOp::Greater, lo)
+            .into_iter()
+            .collect();
+        let lt: std::collections::BTreeSet<_> = wn
+            .met_pairs(PairwiseMeasure::Correlation, ThresholdOp::Less, hi)
+            .into_iter()
+            .collect();
+        let range: std::collections::BTreeSet<_> = wn
+            .mer_pairs(PairwiseMeasure::Correlation, lo, hi)
+            .into_iter()
+            .collect();
+        let expected: std::collections::BTreeSet<_> = gt.intersection(&lt).cloned().collect();
+        assert_eq!(range, expected);
+    }
+
+    #[test]
+    fn series_level_queries() {
+        let (data, affine) = fixture(10, 48);
+        let wn = NaiveExecutor::new(&data);
+        let wa = AffineExecutor::new(&data, &affine);
+        let means = wn.mec_location(LocationMeasure::Mean, &(0..10).collect::<Vec<_>>());
+        let mid = means.iter().sum::<f64>() / means.len() as f64;
+        let a = wn.met_series(LocationMeasure::Mean, ThresholdOp::Greater, mid);
+        let b = wa.met_series(LocationMeasure::Mean, ThresholdOp::Greater, mid);
+        assert_eq!(a, b, "mean is exact under affine propagation");
+        let r1 = wn.mer_series(LocationMeasure::Mean, mid - 1.0, mid + 1.0);
+        let r2 = wa.mer_series(LocationMeasure::Mean, mid - 1.0, mid + 1.0);
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn wf_tracks_exact_correlation_on_smooth_data() {
+        let (data, _) = fixture(12, 128);
+        let wf = DftExecutor::new(&data);
+        assert_eq!(wf.len(), 12);
+        let wn = NaiveExecutor::new(&data);
+        let exact: Vec<f64> = data
+            .sequence_pairs()
+            .iter()
+            .map(|&p| measures::correlation(data.series(p.u), data.series(p.v)))
+            .collect();
+        let approx: Vec<f64> = data.sequence_pairs().iter().map(|&p| wf.correlation(p)).collect();
+        let err = percent_rmse(&exact, &approx);
+        assert!(err < 20.0, "WF %RMSE {err}");
+        // Threshold queries should broadly agree with WN on extreme taus.
+        let a = wn.met_pairs(PairwiseMeasure::Correlation, ThresholdOp::Greater, 0.95);
+        let b = wf.met_pairs(ThresholdOp::Greater, 0.95);
+        // WF misses some borderline pairs; it must not hallucinate a
+        // majority of extras.
+        assert!(b.len() <= a.len() * 2 + 4);
+        let r = wf.mer_pairs(-0.5, 0.5);
+        assert!(r.len() <= data.pair_count());
+    }
+
+    #[test]
+    fn wf_custom_sketch_size_improves_fidelity() {
+        let (data, _) = fixture(10, 128);
+        let exact: Vec<f64> = data
+            .sequence_pairs()
+            .iter()
+            .map(|&p| measures::correlation(data.series(p.u), data.series(p.v)))
+            .collect();
+        let small = DftExecutor::with_coefficients(&data, 2);
+        let large = DftExecutor::with_coefficients(&data, 32);
+        let err_small = percent_rmse(
+            &exact,
+            &data.sequence_pairs().iter().map(|&p| small.correlation(p)).collect::<Vec<_>>(),
+        );
+        let err_large = percent_rmse(
+            &exact,
+            &data.sequence_pairs().iter().map(|&p| large.correlation(p)).collect::<Vec<_>>(),
+        );
+        assert!(
+            err_large <= err_small + 1e-9,
+            "more coefficients should not hurt: {err_large} vs {err_small}"
+        );
+    }
+}

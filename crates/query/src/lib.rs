@@ -1,0 +1,26 @@
+//! # affinity-query
+//!
+//! Query executors and workload generation for the AFFINITY evaluation
+//! (paper Sec. 6). Three ways of answering the same MEC/MET/MER queries:
+//!
+//! * [`NaiveExecutor`] — the paper's `W_N`: every measure computed from
+//!   the raw series;
+//! * [`AffineExecutor`] — the paper's `W_A`: measures reconstructed from
+//!   affine relationships via the [`affinity_core::mec::MecEngine`];
+//! * [`DftExecutor`] — the paper's `W_F`: correlation (only) approximated
+//!   from the five largest DFT coefficients.
+//!
+//! The SCAPE method of answering MET/MER queries lives in
+//! [`affinity_scape`]; benchmarks compare all four.
+//!
+//! [`workload`] generates the online MEC workloads of Sec. 6.2
+//! (power-law-popular series, uniformly mixed measures).
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod baselines;
+pub mod workload;
+
+pub use baselines::{AffineExecutor, DftExecutor, NaiveExecutor};
+pub use workload::{MecQuery, WorkloadConfig};

@@ -1,0 +1,211 @@
+//! Online MEC workload generation and execution (paper Sec. 6.2).
+//!
+//! Each query draws a statistical measure uniformly at random and 10
+//! distinct series identifiers from a power-law distribution ("some
+//! entities are popular as compared to others"), then asks for the
+//! measure over that set — a vector for L-measures, a `10×10` matrix for
+//! pairwise measures.
+
+use crate::baselines::{AffineExecutor, NaiveExecutor};
+use affinity_core::measures::Measure;
+use affinity_data::{SeriesId, ZipfSampler};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One online MEC query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MecQuery {
+    /// The measure to compute.
+    pub measure: Measure,
+    /// The distinct series identifiers it touches.
+    pub ids: Vec<SeriesId>,
+}
+
+/// Workload generation parameters. Paper defaults: 10 ids per query,
+/// power-law popularity.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// Number of queries to generate.
+    pub queries: usize,
+    /// Distinct identifiers per query (paper: 10).
+    pub ids_per_query: usize,
+    /// Zipf exponent of the popularity distribution.
+    pub zipf_exponent: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            queries: 1000,
+            ids_per_query: 10,
+            zipf_exponent: 1.0,
+            seed: 0xAFF1_C0DE,
+        }
+    }
+}
+
+/// Generate a workload over `n` series.
+///
+/// # Panics
+/// Panics if `ids_per_query > n` or `n == 0`.
+pub fn generate(cfg: &WorkloadConfig, n: usize) -> Vec<MecQuery> {
+    assert!(n > 0, "workload over empty data");
+    assert!(
+        cfg.ids_per_query <= n,
+        "ids_per_query {} exceeds series count {n}",
+        cfg.ids_per_query
+    );
+    let mut zipf = ZipfSampler::new(n, cfg.zipf_exponent, cfg.seed);
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5EED);
+    (0..cfg.queries)
+        .map(|_| {
+            let measure = Measure::ALL[rng.gen_range(0..Measure::ALL.len())];
+            let ids = zipf.sample_distinct(cfg.ids_per_query);
+            MecQuery { measure, ids }
+        })
+        .collect()
+}
+
+/// Execute a workload with the `W_N` executor; returns a checksum of all
+/// produced values (prevents dead-code elimination in benches and lets
+/// tests compare paths).
+pub fn run_naive(executor: &NaiveExecutor<'_>, queries: &[MecQuery]) -> f64 {
+    let mut acc = 0.0;
+    for q in queries {
+        match q.measure {
+            Measure::Location(l) => {
+                acc += executor.mec_location(l, &q.ids).iter().sum::<f64>();
+            }
+            Measure::Pairwise(p) => {
+                let m = executor.mec_pairwise(p, &q.ids);
+                acc += m.as_slice().iter().sum::<f64>();
+            }
+        }
+    }
+    acc
+}
+
+/// Execute a workload with the `W_A` executor; same checksum contract as
+/// [`run_naive`].
+pub fn run_affine(executor: &AffineExecutor<'_>, queries: &[MecQuery]) -> f64 {
+    let mut acc = 0.0;
+    for q in queries {
+        match q.measure {
+            Measure::Location(l) => {
+                acc += executor.mec_location(l, &q.ids).iter().sum::<f64>();
+            }
+            Measure::Pairwise(p) => {
+                let m = executor.mec_pairwise(p, &q.ids);
+                acc += m.as_slice().iter().sum::<f64>();
+            }
+        }
+    }
+    acc
+}
+
+/// Popularity histogram of a workload (diagnostic; verifies the power-law
+/// skew end to end).
+pub fn popularity(queries: &[MecQuery], n: usize) -> Vec<usize> {
+    let mut counts = vec![0usize; n];
+    for q in queries {
+        for &id in &q.ids {
+            counts[id] += 1;
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use affinity_core::prelude::*;
+    use affinity_data::generator::{sensor_dataset, SensorConfig};
+
+    #[test]
+    fn generation_is_deterministic_and_shaped() {
+        let cfg = WorkloadConfig {
+            queries: 200,
+            ids_per_query: 5,
+            zipf_exponent: 1.1,
+            seed: 7,
+        };
+        let a = generate(&cfg, 50);
+        let b = generate(&cfg, 50);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 200);
+        for q in &a {
+            assert_eq!(q.ids.len(), 5);
+            let mut s = q.ids.clone();
+            s.sort_unstable();
+            s.dedup();
+            assert_eq!(s.len(), 5, "distinct ids");
+            assert!(s.iter().all(|&v| v < 50));
+        }
+    }
+
+    #[test]
+    fn measures_are_mixed() {
+        let cfg = WorkloadConfig {
+            queries: 600,
+            ..Default::default()
+        };
+        let qs = generate(&cfg, 30);
+        let location = qs
+            .iter()
+            .filter(|q| matches!(q.measure, Measure::Location(_)))
+            .count();
+        // Half the measure space is location measures; allow wide slack.
+        assert!(location > 150 && location < 450, "location count {location}");
+    }
+
+    #[test]
+    fn popularity_is_skewed() {
+        let cfg = WorkloadConfig {
+            queries: 500,
+            ids_per_query: 3,
+            zipf_exponent: 1.2,
+            seed: 3,
+        };
+        let qs = generate(&cfg, 100);
+        let pop = popularity(&qs, 100);
+        let head: usize = pop[..10].iter().sum();
+        let tail: usize = pop[50..].iter().sum();
+        assert!(head > tail, "head {head} vs tail {tail}");
+    }
+
+    #[test]
+    fn naive_and_affine_checksums_are_close() {
+        let data = sensor_dataset(&SensorConfig::reduced(20, 64));
+        let affine = Symex::new(SymexParams::default()).run(&data).unwrap();
+        let wn = NaiveExecutor::new(&data);
+        let wa = AffineExecutor::new(&data, &affine);
+        let qs = generate(
+            &WorkloadConfig {
+                queries: 60,
+                ids_per_query: 6,
+                ..Default::default()
+            },
+            20,
+        );
+        let a = run_naive(&wn, &qs);
+        let b = run_affine(&wa, &qs);
+        // Approximation error exists (median/mode/correlation) but the
+        // totals must be in the same ballpark.
+        let rel = (a - b).abs() / a.abs().max(1.0);
+        assert!(rel < 0.05, "checksum divergence {rel} ({a} vs {b})");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn too_many_ids_panics() {
+        generate(
+            &WorkloadConfig {
+                ids_per_query: 100,
+                ..Default::default()
+            },
+            10,
+        );
+    }
+}

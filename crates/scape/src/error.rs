@@ -1,0 +1,40 @@
+//! SCAPE error type.
+
+use std::fmt;
+
+/// Errors raised by SCAPE queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScapeError {
+    /// The queried measure was not included when the index was built.
+    MeasureNotIndexed {
+        /// Name of the missing measure.
+        measure: &'static str,
+    },
+    /// A range query with `τ_l > τ_u`.
+    EmptyRange,
+}
+
+impl fmt::Display for ScapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScapeError::MeasureNotIndexed { measure } => {
+                write!(f, "measure '{measure}' was not indexed at build time")
+            }
+            ScapeError::EmptyRange => write!(f, "range query requires tau_l <= tau_u"),
+        }
+    }
+}
+
+impl std::error::Error for ScapeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = ScapeError::MeasureNotIndexed { measure: "mode" };
+        assert!(e.to_string().contains("mode"));
+        assert!(ScapeError::EmptyRange.to_string().contains("tau_l"));
+    }
+}

@@ -1,0 +1,375 @@
+//! SCAPE index construction (paper Sec. 5.1).
+
+use affinity_core::affine::{PivotPair, PivotStats};
+use affinity_core::hash::FxHashMap;
+use affinity_core::measures::{self, LocationMeasure, Measure, PairwiseMeasure};
+use affinity_core::symex::AffineSet;
+use affinity_data::{DataMatrix, SequencePair, SeriesId};
+use affinity_index::BPlusTree;
+use affinity_linalg::vector;
+
+/// Number of derived-measure normalizer slots per sequence node: the
+/// covariance tree carries the correlation normalizer in slot 0; the
+/// dot-product tree carries cosine (slot 0) and Dice (slot 1).
+pub(crate) const NORM_SLOTS: usize = 2;
+
+/// Payload of a sequence node: the pair it stands for and — for
+/// D-measure processing — the separable normalizers `U_e` of the derived
+/// measures that share this tree's α family.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct SeqNode {
+    pub pair: SequencePair,
+    pub normalizers: [f64; NORM_SLOTS],
+}
+
+/// A pivot node for a pairwise measure: `‖α_q‖`, the sorted container of
+/// its sequence nodes, and the per-slot normalizer bounds used for
+/// D-measure pruning (paper Sec. 5.3).
+#[derive(Debug, Clone)]
+pub(crate) struct PairPivotNode {
+    pub alpha_norm: f64,
+    pub tree: BPlusTree<SeqNode>,
+    /// `(U_q^min, U_q^max)` per normalizer slot.
+    pub u_bounds: [(f64, f64); NORM_SLOTS],
+}
+
+/// A pivot node for a location measure: one per cluster, holding the
+/// member series keyed by their scalar projection.
+#[derive(Debug, Clone)]
+pub(crate) struct LocPivotNode {
+    pub alpha_norm: f64,
+    pub tree: BPlusTree<SeriesId>,
+}
+
+/// Build/size statistics of a SCAPE index.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Pivot nodes across all indexed pairwise measures.
+    pub pair_pivot_nodes: usize,
+    /// Sequence nodes across all indexed pairwise measures.
+    pub pair_sequence_nodes: usize,
+    /// Pivot (cluster) nodes across all indexed location measures.
+    pub location_pivot_nodes: usize,
+    /// Series nodes across all indexed location measures.
+    pub location_series_nodes: usize,
+}
+
+/// The SCAPE index (paper Sec. 5). Build once over an [`AffineSet`], then
+/// run MET/MER queries via the methods in the `query` module.
+#[derive(Debug)]
+pub struct ScapeIndex {
+    /// Covariance pivot nodes, in pivot order; also serves correlation.
+    pub(crate) cov: Option<Vec<PairPivotNode>>,
+    /// Dot-product pivot nodes.
+    pub(crate) dot: Option<Vec<PairPivotNode>>,
+    /// Whether correlation queries are allowed (requires covariance
+    /// nodes + normalizers, which are always stored when cov is built).
+    pub(crate) correlation: bool,
+    /// Location pivot nodes per measure tag, one node per cluster.
+    pub(crate) loc: [Option<Vec<LocPivotNode>>; 3],
+    stats: IndexStats,
+}
+
+#[inline]
+pub(crate) fn loc_tag(m: LocationMeasure) -> usize {
+    match m {
+        LocationMeasure::Mean => 0,
+        LocationMeasure::Median => 1,
+        LocationMeasure::Mode => 2,
+    }
+}
+
+#[inline]
+fn dot3(a: &[f64; 3], b: &[f64; 3]) -> f64 {
+    a[0] * b[0] + a[1] * b[1] + a[2] * b[2]
+}
+
+#[inline]
+fn norm3(a: &[f64; 3]) -> f64 {
+    dot3(a, a).sqrt()
+}
+
+impl ScapeIndex {
+    /// Build the index over the given measures.
+    ///
+    /// Construction cost is `O(g log g)` B-tree insertions for `g`
+    /// affine relationships per indexed pairwise measure, plus `O(n)` per
+    /// indexed location measure — the linear scaling of paper Fig. 14.
+    ///
+    /// Indexing [`PairwiseMeasure::Correlation`] implies building the
+    /// covariance nodes (correlation shares the covariance `α`, Table 2).
+    ///
+    /// # Panics
+    /// Panics if `affine` does not match `data` (series count / samples).
+    pub fn build(data: &DataMatrix, affine: &AffineSet, measures_list: &[Measure]) -> Self {
+        assert_eq!(
+            data.series_count(),
+            affine.series_count(),
+            "affine set does not match the data matrix"
+        );
+        assert_eq!(
+            data.samples(),
+            affine.samples(),
+            "affine set does not match the data matrix"
+        );
+        let want_corr = measures_list
+            .iter()
+            .any(|m| matches!(m, Measure::Pairwise(PairwiseMeasure::Correlation)));
+        let want_cov = want_corr
+            || measures_list
+                .iter()
+                .any(|m| matches!(m, Measure::Pairwise(PairwiseMeasure::Covariance)));
+        let want_dot = measures_list.iter().any(|m| {
+            matches!(
+                m,
+                Measure::Pairwise(PairwiseMeasure::DotProduct)
+                    | Measure::Pairwise(PairwiseMeasure::Cosine)
+                    | Measure::Pairwise(PairwiseMeasure::Dice)
+            )
+        });
+        let want_loc: [bool; 3] = {
+            let mut w = [false; 3];
+            for m in measures_list {
+                if let Measure::Location(l) = m {
+                    w[loc_tag(*l)] = true;
+                }
+            }
+            w
+        };
+
+        let mut stats = IndexStats::default();
+
+        // --- Pairwise measures -----------------------------------------
+        let mut pivot_ids: FxHashMap<PivotPair, usize> = FxHashMap::default();
+        for (i, &p) in affine.pivots().iter().enumerate() {
+            pivot_ids.insert(p, i);
+        }
+        let pivot_stats: Vec<PivotStats> = affine
+            .pivots()
+            .iter()
+            .map(|&p| {
+                let (common, center) = affine.pivot_columns(data, p);
+                PivotStats::compute(common, center)
+            })
+            .collect();
+        // Normalizer components (exact per-series variances and self
+        // dot products — the "separable normalizers" of Sec. 2.3).
+        let variances: Vec<f64> = (0..data.series_count())
+            .map(|v| vector::variance(data.series(v)))
+            .collect();
+        let self_dots: Vec<f64> = (0..data.series_count())
+            .map(|v| {
+                let s = data.series(v);
+                vector::dot(s, s)
+            })
+            .collect();
+
+        let build_pair = |measure: PairwiseMeasure| -> Vec<PairPivotNode> {
+            let mut nodes: Vec<PairPivotNode> = pivot_stats
+                .iter()
+                .map(|st| PairPivotNode {
+                    alpha_norm: norm3(&st.alpha(measure)),
+                    tree: BPlusTree::new(),
+                    u_bounds: [(f64::INFINITY, f64::NEG_INFINITY); NORM_SLOTS],
+                })
+                .collect();
+            for rel in affine.relationships() {
+                let q = pivot_ids[&rel.pivot];
+                let st = &pivot_stats[q];
+                let alpha = st.alpha(measure);
+                let node = &mut nodes[q];
+                let beta = rel.beta();
+                // ξ = (α·β)/‖α‖; a zero α (e.g. constant common series)
+                // degenerates to ξ = 0, which still orders consistently
+                // because the reconstructed value is 0 too.
+                let xi = if node.alpha_norm > 0.0 {
+                    dot3(&alpha, &beta) / node.alpha_norm
+                } else {
+                    0.0
+                };
+                let (u, v) = (rel.pair.u, rel.pair.v);
+                let normalizers = match measure {
+                    // Covariance family: slot 0 = correlation normalizer.
+                    PairwiseMeasure::Covariance => {
+                        [(variances[u] * variances[v]).sqrt(), 0.0]
+                    }
+                    // Dot family: slot 0 = cosine, slot 1 = Dice.
+                    _ => [
+                        (self_dots[u] * self_dots[v]).sqrt(),
+                        0.5 * (self_dots[u] + self_dots[v]),
+                    ],
+                };
+                for (slot, &n) in normalizers.iter().enumerate() {
+                    node.u_bounds[slot].0 = node.u_bounds[slot].0.min(n);
+                    node.u_bounds[slot].1 = node.u_bounds[slot].1.max(n);
+                }
+                node.tree.insert(
+                    xi,
+                    SeqNode {
+                        pair: rel.pair,
+                        normalizers,
+                    },
+                );
+            }
+            nodes
+        };
+
+        let cov = want_cov.then(|| build_pair(PairwiseMeasure::Covariance));
+        let dot = want_dot.then(|| build_pair(PairwiseMeasure::DotProduct));
+        for nodes in cov.iter().chain(dot.iter()) {
+            stats.pair_pivot_nodes += nodes.len();
+            stats.pair_sequence_nodes += nodes.iter().map(|n| n.tree.len()).sum::<usize>();
+        }
+
+        // --- Location measures ------------------------------------------
+        let clusters = affine.clusters();
+        let mut loc: [Option<Vec<LocPivotNode>>; 3] = [None, None, None];
+        for (tag, wanted) in want_loc.iter().enumerate() {
+            if !wanted {
+                continue;
+            }
+            let measure = match tag {
+                0 => LocationMeasure::Mean,
+                1 => LocationMeasure::Median,
+                _ => LocationMeasure::Mode,
+            };
+            let center_loc: Vec<f64> = (0..clusters.k())
+                .map(|l| measures::location(measure, clusters.center(l)))
+                .collect();
+            let mut nodes: Vec<LocPivotNode> = center_loc
+                .iter()
+                .map(|&lv| LocPivotNode {
+                    alpha_norm: (lv * lv + 1.0).sqrt(),
+                    tree: BPlusTree::new(),
+                })
+                .collect();
+            for sr in affine.series_relationships() {
+                let node = &mut nodes[sr.cluster];
+                let value = sr.propagate(center_loc[sr.cluster]);
+                let xi = value / node.alpha_norm;
+                node.tree.insert(xi, sr.series);
+            }
+            stats.location_pivot_nodes += nodes.len();
+            stats.location_series_nodes +=
+                nodes.iter().map(|n| n.tree.len()).sum::<usize>();
+            loc[tag] = Some(nodes);
+        }
+
+        ScapeIndex {
+            cov,
+            dot,
+            correlation: want_corr || want_cov,
+            loc,
+            stats,
+        }
+    }
+
+    /// Size statistics of the built index.
+    pub fn stats(&self) -> IndexStats {
+        self.stats
+    }
+
+    /// `true` if the given measure can be queried.
+    pub fn supports(&self, measure: Measure) -> bool {
+        match measure {
+            Measure::Pairwise(PairwiseMeasure::Covariance) => self.cov.is_some(),
+            Measure::Pairwise(PairwiseMeasure::DotProduct) => self.dot.is_some(),
+            Measure::Pairwise(PairwiseMeasure::Correlation) => {
+                self.correlation && self.cov.is_some()
+            }
+            Measure::Pairwise(PairwiseMeasure::Cosine)
+            | Measure::Pairwise(PairwiseMeasure::Dice) => self.dot.is_some(),
+            Measure::Location(l) => self.loc[loc_tag(l)].is_some(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use affinity_core::prelude::*;
+    use affinity_data::generator::{sensor_dataset, SensorConfig};
+
+    fn fixture(n: usize, m: usize) -> (DataMatrix, AffineSet) {
+        let data = sensor_dataset(&SensorConfig::reduced(n, m));
+        let affine = Symex::new(SymexParams::default()).run(&data).unwrap();
+        (data, affine)
+    }
+
+    #[test]
+    fn builds_all_measures() {
+        let (data, affine) = fixture(14, 40);
+        let idx = ScapeIndex::build(&data, &affine, &Measure::ALL);
+        for m in Measure::ALL {
+            assert!(idx.supports(m), "{} unsupported", m.name());
+        }
+        let st = idx.stats();
+        // cov + dot sequence nodes: 2 * n(n-1)/2.
+        assert_eq!(st.pair_sequence_nodes, 2 * data.pair_count());
+        // 3 location measures × n series.
+        assert_eq!(st.location_series_nodes, 3 * data.series_count());
+    }
+
+    #[test]
+    fn partial_build_rejects_unindexed() {
+        let (data, affine) = fixture(10, 32);
+        let idx = ScapeIndex::build(
+            &data,
+            &affine,
+            &[Measure::Pairwise(PairwiseMeasure::DotProduct)],
+        );
+        assert!(idx.supports(Measure::Pairwise(PairwiseMeasure::DotProduct)));
+        assert!(!idx.supports(Measure::Pairwise(PairwiseMeasure::Covariance)));
+        assert!(!idx.supports(Measure::Location(LocationMeasure::Mean)));
+    }
+
+    #[test]
+    fn correlation_implies_covariance_nodes() {
+        let (data, affine) = fixture(10, 32);
+        let idx = ScapeIndex::build(
+            &data,
+            &affine,
+            &[Measure::Pairwise(PairwiseMeasure::Correlation)],
+        );
+        assert!(idx.supports(Measure::Pairwise(PairwiseMeasure::Correlation)));
+        assert!(idx.supports(Measure::Pairwise(PairwiseMeasure::Covariance)));
+    }
+
+    #[test]
+    fn normalizer_bounds_are_consistent() {
+        let (data, affine) = fixture(12, 36);
+        let idx = ScapeIndex::build(
+            &data,
+            &affine,
+            &[Measure::Pairwise(PairwiseMeasure::Covariance)],
+        );
+        for node in idx.cov.as_ref().unwrap() {
+            if node.tree.is_empty() {
+                continue;
+            }
+            let (u_min, u_max) = node.u_bounds[0];
+            assert!(u_min <= u_max);
+            for (_, sn) in node.tree.iter() {
+                assert!(sn.normalizers[0] >= u_min - 1e-12);
+                assert!(sn.normalizers[0] <= u_max + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn every_pair_lands_in_exactly_one_pivot_tree() {
+        let (data, affine) = fixture(13, 36);
+        let idx = ScapeIndex::build(
+            &data,
+            &affine,
+            &[Measure::Pairwise(PairwiseMeasure::Covariance)],
+        );
+        let mut seen = std::collections::HashSet::new();
+        for node in idx.cov.as_ref().unwrap() {
+            for (_, sn) in node.tree.iter() {
+                assert!(seen.insert(sn.pair), "duplicate {:?}", sn.pair);
+            }
+        }
+        assert_eq!(seen.len(), data.pair_count());
+    }
+}

@@ -1,0 +1,51 @@
+//! # affinity-scape
+//!
+//! The SCAPE (SCAlar ProjEction) index — paper Sec. 5 — and the MET/MER
+//! query processing built on it.
+//!
+//! For every pivot pair `p_q` the index keeps a B+ tree of *sequence
+//! nodes*, keyed by the scalar projection
+//!
+//! ```text
+//! ξ_qd = (α_q · β_qd) / ‖α_q‖
+//! ```
+//!
+//! where `β_qd = (a₁₂, a₂₂, b₂)` comes from the affine relationship only
+//! (measure-independent), and `α_q` encodes the pivot statistics of the
+//! indexed measure (paper Table 2). A threshold query over any L- or
+//! T-measure becomes a per-pivot B-tree search with the modified threshold
+//! `τ' = τ/‖α_q‖`; D-measures (correlation) are processed with
+//! normalizer-bound pruning (`U_q^min`, `U_q^max`, Sec. 5.3), touching the
+//! raw series never and per-node arithmetic only inside the unpruned band.
+//!
+//! One structural clarification relative to the paper (DESIGN.md §2): the
+//! *ordering* of `ξ` depends on the angle to `α_q`, so each indexed
+//! measure keeps its own sorted container per pivot. The stored `β`
+//! vectors and node payloads are shared conceptually; the paper's claims
+//! (measure-independent `β`, single index machinery for all measures)
+//! carry over unchanged.
+//!
+//! ```
+//! use affinity_core::prelude::*;
+//! use affinity_data::generator::{sensor_dataset, SensorConfig};
+//! use affinity_scape::{ScapeIndex, ThresholdOp};
+//!
+//! let data = sensor_dataset(&SensorConfig::reduced(16, 48));
+//! let affine = Symex::new(SymexParams::default()).run(&data).unwrap();
+//! let index = ScapeIndex::build(&data, &affine, &Measure::ALL);
+//! let hot = index
+//!     .threshold_pairs(PairwiseMeasure::Correlation, ThresholdOp::Greater, 0.9)
+//!     .unwrap();
+//! assert!(hot.len() <= data.pair_count());
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+mod error;
+mod index;
+mod query;
+
+pub use error::ScapeError;
+pub use index::{IndexStats, ScapeIndex};
+pub use query::ThresholdOp;

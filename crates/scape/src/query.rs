@@ -1,0 +1,621 @@
+//! MET / MER query processing over the SCAPE index (paper Secs. 5.2–5.3).
+
+use crate::error::ScapeError;
+use crate::index::{loc_tag, PairPivotNode, ScapeIndex};
+use affinity_core::measures::{LocationMeasure, PairwiseMeasure};
+use affinity_data::{SequencePair, SeriesId};
+use std::ops::Bound;
+
+/// Direction of a measure-threshold (MET) query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThresholdOp {
+    /// Return entries with measure value `> τ`.
+    Greater,
+    /// Return entries with measure value `< τ`.
+    Less,
+}
+
+impl ScapeIndex {
+    /// Resolve a pairwise measure to its pivot-node family and — for
+    /// derived measures — the normalizer slot within the sequence nodes.
+    fn pair_nodes(
+        &self,
+        measure: PairwiseMeasure,
+    ) -> Result<(&Vec<PairPivotNode>, Option<usize>), ScapeError> {
+        let missing = ScapeError::MeasureNotIndexed {
+            measure: measure.name(),
+        };
+        match measure {
+            PairwiseMeasure::Covariance => Ok((self.cov.as_ref().ok_or(missing)?, None)),
+            PairwiseMeasure::DotProduct => Ok((self.dot.as_ref().ok_or(missing)?, None)),
+            PairwiseMeasure::Correlation => {
+                if !self.correlation {
+                    return Err(missing);
+                }
+                Ok((self.cov.as_ref().ok_or(missing)?, Some(0)))
+            }
+            PairwiseMeasure::Cosine => Ok((self.dot.as_ref().ok_or(missing)?, Some(0))),
+            PairwiseMeasure::Dice => Ok((self.dot.as_ref().ok_or(missing)?, Some(1))),
+        }
+    }
+
+    /// MET query over a T-measure or the correlation D-measure
+    /// (paper Query 2): all sequence pairs whose measure is `> τ`
+    /// (or `< τ`). The result set `Λ_T`, in no particular order.
+    ///
+    /// # Errors
+    /// [`ScapeError::MeasureNotIndexed`] if the measure was not built.
+    pub fn threshold_pairs(
+        &self,
+        measure: PairwiseMeasure,
+        op: ThresholdOp,
+        tau: f64,
+    ) -> Result<Vec<SequencePair>, ScapeError> {
+        let (nodes, slot) = self.pair_nodes(measure)?;
+        let mut out = Vec::new();
+        match slot {
+            Some(slot) => {
+                for node in nodes {
+                    derived_threshold(node, slot, op, tau, &mut out);
+                }
+            }
+            None => {
+                for node in nodes {
+                    // Modified threshold τ' = τ/‖α‖ (Sec. 5.2); zero-α
+                    // pivots store ξ = 0 for a reconstructed value of 0.
+                    if node.alpha_norm > 0.0 {
+                        let tau_p = tau / node.alpha_norm;
+                        let (lo, hi) = match op {
+                            ThresholdOp::Greater => (Bound::Excluded(tau_p), Bound::Unbounded),
+                            ThresholdOp::Less => (Bound::Unbounded, Bound::Excluded(tau_p)),
+                        };
+                        out.extend(node.tree.range(lo, hi).map(|(_, sn)| sn.pair));
+                    } else {
+                        // Every stored value is exactly 0.
+                        let include = match op {
+                            ThresholdOp::Greater => 0.0 > tau,
+                            ThresholdOp::Less => 0.0 < tau,
+                        };
+                        if include {
+                            out.extend(node.tree.iter().map(|(_, sn)| sn.pair));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// MER query over a T-measure or the correlation D-measure
+    /// (paper Query 3): all sequence pairs with `τ_l < value < τ_u`
+    /// (exclusive bounds, matching the paper's `τ'_l < ξ < τ'_u`).
+    ///
+    /// # Errors
+    /// [`ScapeError::MeasureNotIndexed`] or [`ScapeError::EmptyRange`].
+    pub fn range_pairs(
+        &self,
+        measure: PairwiseMeasure,
+        tau_l: f64,
+        tau_u: f64,
+    ) -> Result<Vec<SequencePair>, ScapeError> {
+        if tau_l > tau_u {
+            return Err(ScapeError::EmptyRange);
+        }
+        let (nodes, slot) = self.pair_nodes(measure)?;
+        let mut out = Vec::new();
+        match slot {
+            Some(slot) => {
+                for node in nodes {
+                    derived_range(node, slot, tau_l, tau_u, &mut out);
+                }
+            }
+            None => {
+                for node in nodes {
+                    if node.alpha_norm > 0.0 {
+                        let lo = Bound::Excluded(tau_l / node.alpha_norm);
+                        let hi = Bound::Excluded(tau_u / node.alpha_norm);
+                        out.extend(node.tree.range(lo, hi).map(|(_, sn)| sn.pair));
+                    } else if tau_l < 0.0 && 0.0 < tau_u {
+                        out.extend(node.tree.iter().map(|(_, sn)| sn.pair));
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// MET query over an L-measure: all series whose measure is `> τ`
+    /// (or `< τ`).
+    ///
+    /// # Errors
+    /// [`ScapeError::MeasureNotIndexed`] if the measure was not built.
+    pub fn threshold_series(
+        &self,
+        measure: LocationMeasure,
+        op: ThresholdOp,
+        tau: f64,
+    ) -> Result<Vec<SeriesId>, ScapeError> {
+        let nodes = self.loc[loc_tag(measure)]
+            .as_ref()
+            .ok_or(ScapeError::MeasureNotIndexed {
+                measure: measure.name(),
+            })?;
+        let mut out = Vec::new();
+        for node in nodes {
+            // ‖α‖ = √(L(r)² + 1) ≥ 1 > 0 always.
+            let tau_p = tau / node.alpha_norm;
+            let (lo, hi) = match op {
+                ThresholdOp::Greater => (Bound::Excluded(tau_p), Bound::Unbounded),
+                ThresholdOp::Less => (Bound::Unbounded, Bound::Excluded(tau_p)),
+            };
+            out.extend(node.tree.range(lo, hi).map(|(_, v)| *v));
+        }
+        Ok(out)
+    }
+
+    /// MER query over an L-measure: all series with `τ_l < value < τ_u`.
+    ///
+    /// # Errors
+    /// [`ScapeError::MeasureNotIndexed`] or [`ScapeError::EmptyRange`].
+    pub fn range_series(
+        &self,
+        measure: LocationMeasure,
+        tau_l: f64,
+        tau_u: f64,
+    ) -> Result<Vec<SeriesId>, ScapeError> {
+        if tau_l > tau_u {
+            return Err(ScapeError::EmptyRange);
+        }
+        let nodes = self.loc[loc_tag(measure)]
+            .as_ref()
+            .ok_or(ScapeError::MeasureNotIndexed {
+                measure: measure.name(),
+            })?;
+        let mut out = Vec::new();
+        for node in nodes {
+            let lo = Bound::Excluded(tau_l / node.alpha_norm);
+            let hi = Bound::Excluded(tau_u / node.alpha_norm);
+            out.extend(node.tree.range(lo, hi).map(|(_, v)| *v));
+        }
+        Ok(out)
+    }
+}
+
+/// A derived measure reconstructed from a sequence node:
+/// `value = ξ·‖α‖ / U_e`, with the framework-wide convention `0` for
+/// zero normalizers.
+#[inline]
+fn derived_value(xi: f64, alpha_norm: f64, normalizer: f64) -> f64 {
+    if normalizer > 0.0 {
+        xi * alpha_norm / normalizer
+    } else {
+        0.0
+    }
+}
+
+/// The pruning band of Sec. 5.3 for one bound `τ`: nodes with
+/// `ξ > hi` satisfy `ξ·‖α‖ > τ·U` for **every** normalizer in
+/// `[u_min, u_max]`; nodes with `ξ < lo` satisfy the complement. Written
+/// with min/max so negative thresholds (where `τ·U_min ≥ τ·U_max`) work
+/// unchanged.
+#[inline]
+fn prune_band(node: &PairPivotNode, slot: usize, tau: f64) -> (f64, f64) {
+    let (u_min, u_max) = node.u_bounds[slot];
+    let a = tau * u_min / node.alpha_norm;
+    let b = tau * u_max / node.alpha_norm;
+    (a.min(b), a.max(b))
+}
+
+// `!(u_min > 0.0)` deliberately treats NaN bounds as degenerate.
+#[allow(clippy::neg_cmp_op_on_partial_ord)]
+fn derived_threshold(
+    node: &PairPivotNode,
+    slot: usize,
+    op: ThresholdOp,
+    tau: f64,
+    out: &mut Vec<SequencePair>,
+) {
+    if node.tree.is_empty() {
+        return;
+    }
+    // Degenerate pivots (zero α or a zero normalizer present) lose the
+    // monotone pruning argument; fall back to verifying every node.
+    if node.alpha_norm <= 0.0 || !(node.u_bounds[slot].0 > 0.0) {
+        for (xi, sn) in node.tree.iter() {
+            let r = derived_value(xi, node.alpha_norm.max(0.0), sn.normalizers[slot]);
+            let keep = match op {
+                ThresholdOp::Greater => r > tau,
+                ThresholdOp::Less => r < tau,
+            };
+            if keep {
+                out.push(sn.pair);
+            }
+        }
+        return;
+    }
+    let (lo, hi) = prune_band(node, slot, tau);
+    match op {
+        ThresholdOp::Greater => {
+            // ξ > hi ⇒ definitely in (paper Eq. 19).
+            out.extend(
+                node.tree
+                    .range(Bound::Excluded(hi), Bound::Unbounded)
+                    .map(|(_, sn)| sn.pair),
+            );
+            // lo ≤ ξ ≤ hi ⇒ verify from the stored normalizer.
+            for (xi, sn) in node.tree.range(Bound::Included(lo), Bound::Included(hi)) {
+                if derived_value(xi, node.alpha_norm, sn.normalizers[slot]) > tau {
+                    out.push(sn.pair);
+                }
+            }
+            // ξ < lo ⇒ definitely out.
+        }
+        ThresholdOp::Less => {
+            out.extend(
+                node.tree
+                    .range(Bound::Unbounded, Bound::Excluded(lo))
+                    .map(|(_, sn)| sn.pair),
+            );
+            for (xi, sn) in node.tree.range(Bound::Included(lo), Bound::Included(hi)) {
+                if derived_value(xi, node.alpha_norm, sn.normalizers[slot]) < tau {
+                    out.push(sn.pair);
+                }
+            }
+        }
+    }
+}
+
+// See derived_threshold for the NaN-aware comparison rationale.
+#[allow(clippy::neg_cmp_op_on_partial_ord)]
+fn derived_range(
+    node: &PairPivotNode,
+    slot: usize,
+    tau_l: f64,
+    tau_u: f64,
+    out: &mut Vec<SequencePair>,
+) {
+    if node.tree.is_empty() {
+        return;
+    }
+    if node.alpha_norm <= 0.0 || !(node.u_bounds[slot].0 > 0.0) {
+        for (xi, sn) in node.tree.iter() {
+            let r = derived_value(xi, node.alpha_norm.max(0.0), sn.normalizers[slot]);
+            if tau_l < r && r < tau_u {
+                out.push(sn.pair);
+            }
+        }
+        return;
+    }
+    // Four modified thresholds (paper Sec. 5.3). Below lo(τ_l): definitely
+    // out. Above hi(τ_u): definitely out. Inside (hi(τ_l), lo(τ_u)):
+    // definitely in — the paper's case I; when that interval is empty
+    // (case II) only verification remains.
+    let (l_lo, l_hi) = prune_band(node, slot, tau_l);
+    let (u_lo, u_hi) = prune_band(node, slot, tau_u);
+    if l_hi < u_lo {
+        // Case I: a definite-in core exists.
+        out.extend(
+            node.tree
+                .range(Bound::Excluded(l_hi), Bound::Excluded(u_lo))
+                .map(|(_, sn)| sn.pair),
+        );
+        for (xi, sn) in node.tree.range(Bound::Included(l_lo), Bound::Included(l_hi)) {
+            let r = derived_value(xi, node.alpha_norm, sn.normalizers[slot]);
+            if tau_l < r && r < tau_u {
+                out.push(sn.pair);
+            }
+        }
+        for (xi, sn) in node.tree.range(Bound::Included(u_lo), Bound::Included(u_hi)) {
+            let r = derived_value(xi, node.alpha_norm, sn.normalizers[slot]);
+            if tau_l < r && r < tau_u {
+                out.push(sn.pair);
+            }
+        }
+    } else {
+        // Case II: verify the whole unpruned band [l_lo, u_hi].
+        for (xi, sn) in node.tree.range(Bound::Included(l_lo), Bound::Included(u_hi)) {
+            let r = derived_value(xi, node.alpha_norm, sn.normalizers[slot]);
+            if tau_l < r && r < tau_u {
+                out.push(sn.pair);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use affinity_core::prelude::*;
+    use affinity_data::generator::{sensor_dataset, stock_dataset, SensorConfig, StockConfig};
+    use affinity_data::DataMatrix;
+
+    /// Oracle: filter the W_A values (the same values SCAPE stores) by
+    /// brute force.
+    struct Oracle<'a> {
+        engine: MecEngine<'a>,
+        data: &'a DataMatrix,
+    }
+
+    impl<'a> Oracle<'a> {
+        fn new(data: &'a DataMatrix, affine: &'a AffineSet) -> Self {
+            Oracle {
+                engine: MecEngine::new(data, affine),
+                data,
+            }
+        }
+
+        fn pairs_threshold(
+            &self,
+            m: PairwiseMeasure,
+            op: ThresholdOp,
+            tau: f64,
+        ) -> Vec<SequencePair> {
+            self.data
+                .sequence_pairs()
+                .into_iter()
+                .filter(|&p| {
+                    let v = self.engine.pair_value(m, p).unwrap();
+                    match op {
+                        ThresholdOp::Greater => v > tau,
+                        ThresholdOp::Less => v < tau,
+                    }
+                })
+                .collect()
+        }
+
+        fn pairs_range(&self, m: PairwiseMeasure, lo: f64, hi: f64) -> Vec<SequencePair> {
+            self.data
+                .sequence_pairs()
+                .into_iter()
+                .filter(|&p| {
+                    let v = self.engine.pair_value(m, p).unwrap();
+                    lo < v && v < hi
+                })
+                .collect()
+        }
+
+        fn series_threshold(
+            &self,
+            m: LocationMeasure,
+            op: ThresholdOp,
+            tau: f64,
+        ) -> Vec<SeriesId> {
+            (0..self.data.series_count())
+                .filter(|&v| {
+                    let val = self.engine.location_value(m, v).unwrap();
+                    match op {
+                        ThresholdOp::Greater => val > tau,
+                        ThresholdOp::Less => val < tau,
+                    }
+                })
+                .collect()
+        }
+    }
+
+    fn sorted<T: Ord>(mut v: Vec<T>) -> Vec<T> {
+        v.sort();
+        v
+    }
+
+    fn fixture(n: usize, m: usize) -> (DataMatrix, AffineSet) {
+        let data = sensor_dataset(&SensorConfig::reduced(n, m));
+        let affine = Symex::new(SymexParams::default()).run(&data).unwrap();
+        (data, affine)
+    }
+
+    #[test]
+    fn covariance_threshold_matches_oracle() {
+        let (data, affine) = fixture(18, 48);
+        let idx = ScapeIndex::build(&data, &affine, &Measure::ALL);
+        let oracle = Oracle::new(&data, &affine);
+        for tau in [-0.5, 0.0, 0.01, 0.2, 1.0] {
+            for op in [ThresholdOp::Greater, ThresholdOp::Less] {
+                let got = sorted(
+                    idx.threshold_pairs(PairwiseMeasure::Covariance, op, tau)
+                        .unwrap(),
+                );
+                let want = sorted(oracle.pairs_threshold(PairwiseMeasure::Covariance, op, tau));
+                assert_eq!(got, want, "tau {tau}, op {op:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn dot_threshold_matches_oracle() {
+        let (data, affine) = fixture(15, 40);
+        let idx = ScapeIndex::build(&data, &affine, &Measure::ALL);
+        let oracle = Oracle::new(&data, &affine);
+        // Dot products of offset sensor data are large positive numbers.
+        let all: Vec<f64> = data
+            .sequence_pairs()
+            .iter()
+            .map(|&p| oracle.engine.pair_value(PairwiseMeasure::DotProduct, p).unwrap())
+            .collect();
+        let mid = all.iter().sum::<f64>() / all.len() as f64;
+        for tau in [mid * 0.5, mid, mid * 1.5] {
+            let got = sorted(
+                idx.threshold_pairs(PairwiseMeasure::DotProduct, ThresholdOp::Greater, tau)
+                    .unwrap(),
+            );
+            let want =
+                sorted(oracle.pairs_threshold(PairwiseMeasure::DotProduct, ThresholdOp::Greater, tau));
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn correlation_threshold_matches_oracle_incl_negative_taus() {
+        let (data, affine) = fixture(20, 64);
+        let idx = ScapeIndex::build(&data, &affine, &Measure::ALL);
+        let oracle = Oracle::new(&data, &affine);
+        for tau in [-0.95, -0.5, 0.0, 0.3, 0.7, 0.9, 0.99] {
+            for op in [ThresholdOp::Greater, ThresholdOp::Less] {
+                let got = sorted(
+                    idx.threshold_pairs(PairwiseMeasure::Correlation, op, tau)
+                        .unwrap(),
+                );
+                let want =
+                    sorted(oracle.pairs_threshold(PairwiseMeasure::Correlation, op, tau));
+                assert_eq!(got, want, "tau {tau}, op {op:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn correlation_range_matches_oracle_both_cases() {
+        let (data, affine) = fixture(20, 64);
+        let idx = ScapeIndex::build(&data, &affine, &Measure::ALL);
+        let oracle = Oracle::new(&data, &affine);
+        // Wide range triggers case I (definite-in core), narrow range
+        // triggers case II.
+        for (lo, hi) in [(-1.5, 1.5), (0.2, 0.9), (0.59, 0.61), (-0.9, -0.1), (0.0, 0.0001)] {
+            let got = sorted(idx.range_pairs(PairwiseMeasure::Correlation, lo, hi).unwrap());
+            let want = sorted(oracle.pairs_range(PairwiseMeasure::Correlation, lo, hi));
+            assert_eq!(got, want, "range ({lo}, {hi})");
+        }
+    }
+
+    #[test]
+    fn covariance_range_matches_oracle() {
+        let (data, affine) = fixture(16, 48);
+        let idx = ScapeIndex::build(&data, &affine, &Measure::ALL);
+        let oracle = Oracle::new(&data, &affine);
+        for (lo, hi) in [(-1.0, 1.0), (0.0, 0.5), (-0.2, 0.0)] {
+            let got = sorted(idx.range_pairs(PairwiseMeasure::Covariance, lo, hi).unwrap());
+            let want = sorted(oracle.pairs_range(PairwiseMeasure::Covariance, lo, hi));
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn location_threshold_and_range_match_oracle() {
+        let (data, affine) = fixture(25, 48);
+        let idx = ScapeIndex::build(&data, &affine, &Measure::ALL);
+        let oracle = Oracle::new(&data, &affine);
+        for measure in LocationMeasure::ALL {
+            let vals: Vec<f64> = oracle.engine.location_all(measure);
+            let mid = vals.iter().sum::<f64>() / vals.len() as f64;
+            for op in [ThresholdOp::Greater, ThresholdOp::Less] {
+                let got = sorted(idx.threshold_series(measure, op, mid).unwrap());
+                let want = sorted(oracle.series_threshold(measure, op, mid));
+                assert_eq!(got, want, "{} {op:?}", measure.name());
+            }
+            let lo = mid - 1.0;
+            let hi = mid + 1.0;
+            let got = sorted(idx.range_series(measure, lo, hi).unwrap());
+            let want: Vec<SeriesId> = (0..data.series_count())
+                .filter(|&v| {
+                    let x = oracle.engine.location_value(measure, v).unwrap();
+                    lo < x && x < hi
+                })
+                .collect();
+            assert_eq!(got, want, "{} range", measure.name());
+        }
+    }
+
+    #[test]
+    fn stock_data_correlation_queries_also_match() {
+        let data = stock_dataset(&StockConfig::reduced(16, 96));
+        let affine = Symex::new(SymexParams::default()).run(&data).unwrap();
+        let idx = ScapeIndex::build(&data, &affine, &Measure::ALL);
+        let oracle = Oracle::new(&data, &affine);
+        for tau in [0.5, 0.8, 0.95] {
+            let got = sorted(
+                idx.threshold_pairs(PairwiseMeasure::Correlation, ThresholdOp::Greater, tau)
+                    .unwrap(),
+            );
+            let want = sorted(oracle.pairs_threshold(
+                PairwiseMeasure::Correlation,
+                ThresholdOp::Greater,
+                tau,
+            ));
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn cosine_and_dice_match_oracle() {
+        // The dot-product-derived extensions (paper Sec. 2.1) go through
+        // the same normalizer-bound pruning machinery as correlation.
+        let (data, affine) = fixture(18, 48);
+        let idx = ScapeIndex::build(&data, &affine, &Measure::EXTENDED);
+        let oracle = Oracle::new(&data, &affine);
+        for measure in [PairwiseMeasure::Cosine, PairwiseMeasure::Dice] {
+            for tau in [-0.5, 0.0, 0.5, 0.9, 0.99] {
+                for op in [ThresholdOp::Greater, ThresholdOp::Less] {
+                    let got = sorted(idx.threshold_pairs(measure, op, tau).unwrap());
+                    let want = sorted(oracle.pairs_threshold(measure, op, tau));
+                    assert_eq!(got, want, "{} tau {tau} {op:?}", measure.name());
+                }
+            }
+            for (lo, hi) in [(0.0, 0.9), (0.89, 0.91), (-1.0, 1.0)] {
+                let got = sorted(idx.range_pairs(measure, lo, hi).unwrap());
+                let want = sorted(oracle.pairs_range(measure, lo, hi));
+                assert_eq!(got, want, "{} range ({lo}, {hi})", measure.name());
+            }
+        }
+    }
+
+    #[test]
+    fn dot_index_serves_cosine_and_dice() {
+        let (data, affine) = fixture(10, 32);
+        let idx = ScapeIndex::build(
+            &data,
+            &affine,
+            &[Measure::Pairwise(PairwiseMeasure::Cosine)],
+        );
+        assert!(idx.supports(Measure::Pairwise(PairwiseMeasure::Cosine)));
+        assert!(idx.supports(Measure::Pairwise(PairwiseMeasure::Dice)));
+        assert!(idx.supports(Measure::Pairwise(PairwiseMeasure::DotProduct)));
+        assert!(!idx.supports(Measure::Pairwise(PairwiseMeasure::Correlation)));
+        assert!(idx
+            .threshold_pairs(PairwiseMeasure::Dice, ThresholdOp::Greater, 0.9)
+            .is_ok());
+    }
+
+    #[test]
+    fn unindexed_measures_error() {
+        let (data, affine) = fixture(8, 24);
+        let idx = ScapeIndex::build(
+            &data,
+            &affine,
+            &[Measure::Pairwise(PairwiseMeasure::Covariance)],
+        );
+        assert!(matches!(
+            idx.threshold_pairs(PairwiseMeasure::DotProduct, ThresholdOp::Greater, 0.0),
+            Err(ScapeError::MeasureNotIndexed { .. })
+        ));
+        assert!(matches!(
+            idx.threshold_series(LocationMeasure::Mean, ThresholdOp::Greater, 0.0),
+            Err(ScapeError::MeasureNotIndexed { .. })
+        ));
+    }
+
+    #[test]
+    fn inverted_range_errors() {
+        let (data, affine) = fixture(8, 24);
+        let idx = ScapeIndex::build(&data, &affine, &Measure::ALL);
+        assert_eq!(
+            idx.range_pairs(PairwiseMeasure::Covariance, 1.0, -1.0),
+            Err(ScapeError::EmptyRange)
+        );
+        assert_eq!(
+            idx.range_series(LocationMeasure::Mean, 1.0, -1.0),
+            Err(ScapeError::EmptyRange)
+        );
+    }
+
+    #[test]
+    fn extreme_thresholds_return_all_or_nothing() {
+        let (data, affine) = fixture(10, 24);
+        let idx = ScapeIndex::build(&data, &affine, &Measure::ALL);
+        let all = idx
+            .threshold_pairs(PairwiseMeasure::Correlation, ThresholdOp::Greater, -2.0)
+            .unwrap();
+        assert_eq!(all.len(), data.pair_count());
+        let none = idx
+            .threshold_pairs(PairwiseMeasure::Correlation, ThresholdOp::Greater, 2.0)
+            .unwrap();
+        assert!(none.is_empty());
+    }
+}

@@ -1,0 +1,29 @@
+//! # affinity-storage
+//!
+//! Columnar binary storage for time-series data matrices — the
+//! `data_matrix` table of the paper's architecture figure (Fig. 2).
+//!
+//! The on-disk layout is column-oriented because AFFINITY's access
+//! pattern is whole-series scans: AFCLST, SYMEX and the measure kernels
+//! all stream one series at a time. Each column chunk carries its own
+//! CRC32 so partial writes and bit rot are detected at read time, and
+//! single series can be read without touching the rest of the file.
+//!
+//! ```no_run
+//! use affinity_data::generator::{sensor_dataset, SensorConfig};
+//! use affinity_storage::MatrixStore;
+//!
+//! let data = sensor_dataset(&SensorConfig::reduced(8, 32));
+//! MatrixStore::create("sensors.afn", &data).unwrap();
+//! let store = MatrixStore::open("sensors.afn").unwrap();
+//! let series3 = store.read_series(3).unwrap();
+//! assert_eq!(series3, data.series(3));
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod crc;
+mod store;
+
+pub use store::{MatrixStore, StorageError, FORMAT_VERSION};

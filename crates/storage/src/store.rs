@@ -1,0 +1,381 @@
+//! The matrix store file format and reader/writer.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic   8 bytes  "AFNSTORE"
+//! version u32
+//! samples u64      (m)
+//! series  u64      (n)
+//! labels  n × (u32 length + utf8 bytes), crc32 over the whole block
+//! columns n × (m × f64 + u32 crc32 of the column bytes)
+//! ```
+//!
+//! Columns are fixed-size, so series `v` lives at a computable offset —
+//! random access without an index block.
+
+use crate::crc::{crc32, Crc32};
+use affinity_data::DataMatrix;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Current on-disk format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+const MAGIC: &[u8; 8] = b"AFNSTORE";
+
+/// Errors raised by the matrix store.
+#[derive(Debug)]
+pub enum StorageError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file does not start with the expected magic.
+    BadMagic,
+    /// Unsupported format version.
+    UnsupportedVersion(u32),
+    /// A checksum did not match; carries a description of the block.
+    ChecksumMismatch(String),
+    /// A series index outside `0..n`.
+    SeriesOutOfRange {
+        /// Requested index.
+        requested: usize,
+        /// Stored series count.
+        available: usize,
+    },
+    /// Structurally invalid file (truncated, bad label encoding, …).
+    Corrupt(String),
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "storage i/o error: {e}"),
+            StorageError::BadMagic => write!(f, "not an AFNSTORE file"),
+            StorageError::UnsupportedVersion(v) => write!(f, "unsupported format version {v}"),
+            StorageError::ChecksumMismatch(what) => write!(f, "checksum mismatch in {what}"),
+            StorageError::SeriesOutOfRange {
+                requested,
+                available,
+            } => write!(f, "series {requested} out of range ({available} stored)"),
+            StorageError::Corrupt(msg) => write!(f, "corrupt store: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<io::Error> for StorageError {
+    fn from(e: io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+/// A read handle on a stored data matrix.
+#[derive(Debug)]
+pub struct MatrixStore {
+    path: PathBuf,
+    samples: usize,
+    series: usize,
+    labels: Vec<String>,
+    /// Byte offset of the first column chunk.
+    columns_start: u64,
+}
+
+impl MatrixStore {
+    /// Serialize a data matrix to `path` (overwrites).
+    ///
+    /// # Errors
+    /// I/O failures.
+    pub fn create<P: AsRef<Path>>(path: P, data: &DataMatrix) -> Result<(), StorageError> {
+        let f = File::create(path.as_ref())?;
+        let mut w = BufWriter::new(f);
+        w.write_all(MAGIC)?;
+        w.write_all(&FORMAT_VERSION.to_le_bytes())?;
+        w.write_all(&(data.samples() as u64).to_le_bytes())?;
+        w.write_all(&(data.series_count() as u64).to_le_bytes())?;
+        // Label block with trailing crc.
+        let mut label_block = Vec::new();
+        for v in 0..data.series_count() {
+            let bytes = data.label(v).as_bytes();
+            label_block.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+            label_block.extend_from_slice(bytes);
+        }
+        w.write_all(&(label_block.len() as u64).to_le_bytes())?;
+        w.write_all(&label_block)?;
+        w.write_all(&crc32(&label_block).to_le_bytes())?;
+        // Column chunks.
+        let mut buf = Vec::with_capacity(data.samples() * 8);
+        for v in 0..data.series_count() {
+            buf.clear();
+            for x in data.series(v) {
+                buf.extend_from_slice(&x.to_le_bytes());
+            }
+            w.write_all(&buf)?;
+            w.write_all(&crc32(&buf).to_le_bytes())?;
+        }
+        w.flush()?;
+        Ok(())
+    }
+
+    /// Open a store and parse its header and labels.
+    ///
+    /// # Errors
+    /// See [`StorageError`].
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<Self, StorageError> {
+        let f = File::open(path.as_ref())?;
+        let mut r = BufReader::new(f);
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(StorageError::BadMagic);
+        }
+        let version = read_u32(&mut r)?;
+        if version != FORMAT_VERSION {
+            return Err(StorageError::UnsupportedVersion(version));
+        }
+        let samples = read_u64(&mut r)? as usize;
+        let series = read_u64(&mut r)? as usize;
+        if samples == 0 || series == 0 {
+            return Err(StorageError::Corrupt("zero dimensions".into()));
+        }
+        let label_len = read_u64(&mut r)? as usize;
+        let mut label_block = vec![0u8; label_len];
+        r.read_exact(&mut label_block)?;
+        let stored_crc = read_u32(&mut r)?;
+        if crc32(&label_block) != stored_crc {
+            return Err(StorageError::ChecksumMismatch("label block".into()));
+        }
+        let mut labels = Vec::with_capacity(series);
+        let mut cursor = 0usize;
+        for i in 0..series {
+            if cursor + 4 > label_block.len() {
+                return Err(StorageError::Corrupt(format!("label {i} truncated")));
+            }
+            let len = u32::from_le_bytes(label_block[cursor..cursor + 4].try_into().unwrap())
+                as usize;
+            cursor += 4;
+            if cursor + len > label_block.len() {
+                return Err(StorageError::Corrupt(format!("label {i} truncated")));
+            }
+            let s = std::str::from_utf8(&label_block[cursor..cursor + len])
+                .map_err(|_| StorageError::Corrupt(format!("label {i} not utf-8")))?;
+            labels.push(s.to_string());
+            cursor += len;
+        }
+        if cursor != label_block.len() {
+            return Err(StorageError::Corrupt("trailing bytes in label block".into()));
+        }
+        let columns_start = 8 + 4 + 8 + 8 + 8 + label_len as u64 + 4;
+        Ok(MatrixStore {
+            path: path.as_ref().to_path_buf(),
+            samples,
+            series,
+            labels,
+            columns_start,
+        })
+    }
+
+    /// Samples per series (`m`).
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// Number of stored series (`n`).
+    pub fn series_count(&self) -> usize {
+        self.series
+    }
+
+    /// Stored labels.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// Read one series, verifying its checksum.
+    ///
+    /// # Errors
+    /// See [`StorageError`].
+    pub fn read_series(&self, v: usize) -> Result<Vec<f64>, StorageError> {
+        if v >= self.series {
+            return Err(StorageError::SeriesOutOfRange {
+                requested: v,
+                available: self.series,
+            });
+        }
+        let chunk = self.samples as u64 * 8 + 4;
+        let mut f = File::open(&self.path)?;
+        f.seek(SeekFrom::Start(self.columns_start + v as u64 * chunk))?;
+        let mut buf = vec![0u8; self.samples * 8];
+        f.read_exact(&mut buf)?;
+        let stored_crc = {
+            let mut b = [0u8; 4];
+            f.read_exact(&mut b)?;
+            u32::from_le_bytes(b)
+        };
+        if crc32(&buf) != stored_crc {
+            return Err(StorageError::ChecksumMismatch(format!("series {v}")));
+        }
+        Ok(buf
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    /// Read the whole matrix back, verifying every chunk.
+    ///
+    /// # Errors
+    /// See [`StorageError`].
+    pub fn read_all(&self) -> Result<DataMatrix, StorageError> {
+        let mut f = BufReader::new(File::open(&self.path)?);
+        f.seek(SeekFrom::Start(self.columns_start))?;
+        let mut columns = Vec::with_capacity(self.series);
+        let mut buf = vec![0u8; self.samples * 8];
+        for v in 0..self.series {
+            f.read_exact(&mut buf)?;
+            let mut crcb = [0u8; 4];
+            f.read_exact(&mut crcb)?;
+            let mut h = Crc32::new();
+            h.update(&buf);
+            if h.finalize() != u32::from_le_bytes(crcb) {
+                return Err(StorageError::ChecksumMismatch(format!("series {v}")));
+            }
+            columns.push(
+                buf.chunks_exact(8)
+                    .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+                    .collect(),
+            );
+        }
+        let mut dm = DataMatrix::from_series(columns);
+        dm.set_labels(self.labels.clone());
+        Ok(dm)
+    }
+}
+
+fn read_u32<R: Read>(r: &mut R) -> Result<u32, StorageError> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> Result<u64, StorageError> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use affinity_data::generator::{sensor_dataset, SensorConfig};
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("affinity-storage-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn roundtrip_whole_matrix() {
+        let data = sensor_dataset(&SensorConfig::reduced(6, 40));
+        let path = tmp("roundtrip.afn");
+        MatrixStore::create(&path, &data).unwrap();
+        let store = MatrixStore::open(&path).unwrap();
+        assert_eq!(store.samples(), 40);
+        assert_eq!(store.series_count(), 6);
+        let back = store.read_all().unwrap();
+        assert_eq!(back, data);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn random_access_single_series() {
+        let data = sensor_dataset(&SensorConfig::reduced(9, 24));
+        let path = tmp("random.afn");
+        MatrixStore::create(&path, &data).unwrap();
+        let store = MatrixStore::open(&path).unwrap();
+        for v in [0usize, 4, 8] {
+            assert_eq!(store.read_series(v).unwrap(), data.series(v));
+        }
+        assert!(matches!(
+            store.read_series(9),
+            Err(StorageError::SeriesOutOfRange { requested: 9, .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn labels_survive() {
+        let mut data = sensor_dataset(&SensorConfig::reduced(3, 8));
+        data.set_labels(vec!["α-temp".into(), "β-hum".into(), "γ".into()]);
+        let path = tmp("labels.afn");
+        MatrixStore::create(&path, &data).unwrap();
+        let store = MatrixStore::open(&path).unwrap();
+        assert_eq!(store.labels()[0], "α-temp");
+        assert_eq!(store.read_all().unwrap().label(1), "β-hum");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let data = sensor_dataset(&SensorConfig::reduced(4, 16));
+        let path = tmp("corrupt.afn");
+        MatrixStore::create(&path, &data).unwrap();
+        // Flip one byte inside the third column chunk.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let store = MatrixStore::open(&path).unwrap();
+        let offset = store.columns_start as usize + 2 * (16 * 8 + 4) + 7;
+        bytes[offset] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let store = MatrixStore::open(&path).unwrap();
+        assert!(store.read_series(0).is_ok());
+        assert!(matches!(
+            store.read_series(2),
+            Err(StorageError::ChecksumMismatch(_))
+        ));
+        assert!(matches!(
+            store.read_all(),
+            Err(StorageError::ChecksumMismatch(_))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_magic_and_version() {
+        let path = tmp("magic.afn");
+        std::fs::write(&path, b"NOTAFILE________").unwrap();
+        assert!(matches!(MatrixStore::open(&path), Err(StorageError::BadMagic)));
+        // Valid magic, bogus version.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&99u32.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 32]);
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            MatrixStore::open(&path),
+            Err(StorageError::UnsupportedVersion(99))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_file_is_corrupt_not_panicky() {
+        let data = sensor_dataset(&SensorConfig::reduced(4, 16));
+        let path = tmp("trunc.afn");
+        MatrixStore::create(&path, &data).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 40]).unwrap();
+        let store = MatrixStore::open(&path).unwrap();
+        match store.read_all() {
+            Err(StorageError::Io(_)) | Err(StorageError::ChecksumMismatch(_)) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn error_display() {
+        let e = StorageError::ChecksumMismatch("series 3".into());
+        assert!(e.to_string().contains("series 3"));
+        assert!(StorageError::BadMagic.to_string().contains("AFNSTORE"));
+    }
+}

@@ -1,0 +1,304 @@
+//! The streaming engine: ingestion + periodic model refresh.
+//!
+//! AFFINITY's relationships are computed once and amortized over many
+//! queries (paper Sec. 3: "the affine transformations need to be computed
+//! only once"). In a streaming setting the window drifts, so the model
+//! (clusters → relationships → SCAPE index) is refreshed every
+//! `refresh_every` ticks; between refreshes the rolling statistics stay
+//! exact tick by tick and queries run against the last snapshot.
+
+use crate::rolling::RollingStats;
+use crate::window::SlidingWindow;
+use affinity_core::error::CoreError;
+use affinity_core::measures::Measure;
+use affinity_core::mec::MecEngine;
+use affinity_core::symex::{AffineSet, Symex, SymexParams};
+use affinity_data::DataMatrix;
+use affinity_scape::ScapeIndex;
+
+/// Streaming configuration.
+#[derive(Debug, Clone)]
+pub struct StreamingConfig {
+    /// Window width `m`.
+    pub window: usize,
+    /// Refresh the model every this many ticks (after warm-up).
+    pub refresh_every: u64,
+    /// SYMEX parameters for each refresh.
+    pub symex: SymexParams,
+    /// Measures to index at each refresh.
+    pub indexed: Vec<Measure>,
+}
+
+impl StreamingConfig {
+    /// A sensible default: window of `m`, refresh every `m/2` ticks, the
+    /// paper's six measures indexed.
+    pub fn new(window: usize) -> Self {
+        StreamingConfig {
+            window,
+            refresh_every: (window as u64 / 2).max(1),
+            symex: SymexParams::default(),
+            indexed: Measure::ALL.to_vec(),
+        }
+    }
+}
+
+/// A refreshed model snapshot: the window contents at refresh time, the
+/// affine relationships over them, and the SCAPE index.
+///
+/// MET/MER queries can go straight to [`Model::index`]; MEC batches
+/// construct a [`MecEngine`] via [`Model::mec_engine`] (one `O(n·k·m)`
+/// pre-processing pass, amortize it over a batch).
+#[derive(Debug)]
+pub struct Model {
+    data: DataMatrix,
+    affine: AffineSet,
+    index: ScapeIndex,
+    /// Tick count at which this model was built.
+    pub built_at: u64,
+}
+
+impl Model {
+    /// The window snapshot the model was built from.
+    pub fn data(&self) -> &DataMatrix {
+        &self.data
+    }
+
+    /// The affine relationships.
+    pub fn affine(&self) -> &AffineSet {
+        &self.affine
+    }
+
+    /// The SCAPE index for MET/MER queries.
+    pub fn index(&self) -> &ScapeIndex {
+        &self.index
+    }
+
+    /// Build a MEC engine over this snapshot.
+    pub fn mec_engine(&self) -> MecEngine<'_> {
+        MecEngine::new(&self.data, &self.affine)
+    }
+}
+
+/// Streaming ingestion with periodic model refresh.
+#[derive(Debug)]
+pub struct StreamingEngine {
+    cfg: StreamingConfig,
+    window: SlidingWindow,
+    rolling: RollingStats,
+    model: Option<Model>,
+    ticks_at_last_refresh: u64,
+    refreshes: u64,
+}
+
+impl StreamingEngine {
+    /// Create an engine for `series` series.
+    ///
+    /// # Panics
+    /// Panics if `series` or the configured window is zero.
+    pub fn new(series: usize, cfg: StreamingConfig) -> Self {
+        let window = SlidingWindow::new(series, cfg.window);
+        let rolling = RollingStats::new(series, cfg.window);
+        StreamingEngine {
+            cfg,
+            window,
+            rolling,
+            model: None,
+            ticks_at_last_refresh: 0,
+            refreshes: 0,
+        }
+    }
+
+    /// Ingest one tick (one sample per series). Returns `true` if the
+    /// model was refreshed as a result.
+    ///
+    /// # Errors
+    /// Propagates clustering/relationship errors from a refresh attempt.
+    ///
+    /// # Panics
+    /// Panics on tick arity mismatch.
+    pub fn push(&mut self, tick: &[f64]) -> Result<bool, CoreError> {
+        self.rolling.on_tick(&self.window, tick);
+        self.window.push(tick);
+        if !self.window.is_warm() {
+            return Ok(false);
+        }
+        let due = match self.model {
+            None => true,
+            Some(_) => {
+                self.window.ticks() - self.ticks_at_last_refresh >= self.cfg.refresh_every
+            }
+        };
+        if due {
+            self.refresh()?;
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    /// Force a model refresh from the current window.
+    ///
+    /// # Errors
+    /// Propagates clustering/relationship errors.
+    ///
+    /// # Panics
+    /// Panics if the window is not warm yet.
+    pub fn refresh(&mut self) -> Result<(), CoreError> {
+        assert!(self.window.is_warm(), "cannot refresh before warm-up");
+        let data = self.window.snapshot();
+        let mut params = self.cfg.symex.clone();
+        // Clamp k to the series count (small deployments).
+        params.afclst.k = params.afclst.k.min(data.series_count().saturating_sub(1)).max(1);
+        let affine = Symex::new(params).run(&data)?;
+        let index = ScapeIndex::build(&data, &affine, &self.cfg.indexed);
+        self.model = Some(Model {
+            data,
+            affine,
+            index,
+            built_at: self.window.ticks(),
+        });
+        self.ticks_at_last_refresh = self.window.ticks();
+        self.refreshes += 1;
+        Ok(())
+    }
+
+    /// The current model snapshot, if the warm-up has completed.
+    pub fn model(&self) -> Option<&Model> {
+        self.model.as_ref()
+    }
+
+    /// Live (per-tick exact) rolling statistics.
+    pub fn rolling(&self) -> &RollingStats {
+        &self.rolling
+    }
+
+    /// The live window.
+    pub fn window(&self) -> &SlidingWindow {
+        &self.window
+    }
+
+    /// Number of model refreshes so far.
+    pub fn refreshes(&self) -> u64 {
+        self.refreshes
+    }
+
+    /// Ticks since the current model was built (staleness metric).
+    pub fn model_age(&self) -> Option<u64> {
+        self.model
+            .as_ref()
+            .map(|m| self.window.ticks() - m.built_at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use affinity_core::measures::PairwiseMeasure;
+    use affinity_scape::ThresholdOp;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn tick_source(n: usize, seed: u64) -> impl FnMut() -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut t = 0usize;
+        move || {
+            t += 1;
+            (0..n)
+                .map(|v| {
+                    let base = ((t as f64) * 0.12 + v as f64).sin();
+                    base * (1.0 + v as f64 * 0.2) + 10.0 + rng.gen_range(-0.05..0.05)
+                })
+                .collect()
+        }
+    }
+
+    #[test]
+    fn warms_up_then_refreshes_on_schedule() {
+        let n = 8;
+        let mut cfg = StreamingConfig::new(32);
+        cfg.refresh_every = 16;
+        let mut eng = StreamingEngine::new(n, cfg);
+        let mut next = tick_source(n, 1);
+        let mut refreshed_at = Vec::new();
+        for i in 1..=96u64 {
+            if eng.push(&next()).unwrap() {
+                refreshed_at.push(i);
+            }
+        }
+        // First refresh at warm-up (tick 32), then every 16 ticks.
+        assert_eq!(refreshed_at[0], 32);
+        assert!(refreshed_at.windows(2).all(|w| w[1] - w[0] == 16));
+        assert_eq!(eng.refreshes() as usize, refreshed_at.len());
+        assert!(eng.model_age().unwrap() < 16);
+    }
+
+    #[test]
+    fn model_answers_queries_on_window_data() {
+        let n = 10;
+        let mut eng = StreamingEngine::new(n, StreamingConfig::new(48));
+        let mut next = tick_source(n, 2);
+        for _ in 0..60 {
+            eng.push(&next()).unwrap();
+        }
+        let model = eng.model().expect("model after warm-up");
+        assert_eq!(model.data().series_count(), n);
+        assert_eq!(model.data().samples(), 48);
+        let hot = model
+            .index()
+            .threshold_pairs(PairwiseMeasure::Correlation, ThresholdOp::Greater, 0.5)
+            .unwrap();
+        // Shared sinusoid phase: plenty of correlated pairs.
+        assert!(!hot.is_empty());
+        // MEC through a fresh engine over the snapshot.
+        let engine = model.mec_engine();
+        let rho = engine.pairwise(PairwiseMeasure::Correlation, &[0, 1, 2]);
+        assert_eq!(rho.rows(), 3);
+    }
+
+    #[test]
+    fn rolling_stats_track_window_exactly_between_refreshes() {
+        let n = 4;
+        let mut eng = StreamingEngine::new(n, StreamingConfig::new(24));
+        let mut next = tick_source(n, 3);
+        for _ in 0..100 {
+            eng.push(&next()).unwrap();
+        }
+        for v in 0..n {
+            let s = eng.window().series(v);
+            let exact = affinity_linalg::vector::variance(s);
+            assert!(
+                (eng.rolling().variance(v) - exact).abs() < 1e-9,
+                "series {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn model_is_stale_until_refresh_and_updates_after() {
+        let n = 6;
+        let mut cfg = StreamingConfig::new(16);
+        cfg.refresh_every = 1000; // effectively never
+        let mut eng = StreamingEngine::new(n, cfg);
+        let mut next = tick_source(n, 4);
+        for _ in 0..40 {
+            eng.push(&next()).unwrap();
+        }
+        let built = eng.model().unwrap().built_at;
+        assert_eq!(built, 16, "built at warm-up");
+        assert_eq!(eng.model_age(), Some(40 - 16));
+        eng.refresh().unwrap();
+        assert_eq!(eng.model_age(), Some(0));
+        assert_eq!(eng.refreshes(), 2);
+    }
+
+    #[test]
+    fn small_deployments_clamp_k() {
+        // 3 series with default k = 6 must not error.
+        let mut eng = StreamingEngine::new(3, StreamingConfig::new(8));
+        let mut next = tick_source(3, 5);
+        for _ in 0..12 {
+            eng.push(&next()).unwrap();
+        }
+        assert!(eng.model().is_some());
+    }
+}

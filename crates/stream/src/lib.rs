@@ -1,0 +1,32 @@
+//! # affinity-stream
+//!
+//! Sliding-window streaming support for the AFFINITY framework.
+//!
+//! The paper motivates AFFINITY with *"efficient querying and analysis of
+//! large amounts of time-series data in real-time and archival settings"*
+//! (Sec. 1) and its `W_F` baseline descends from StatStream, a streaming
+//! system. This crate supplies the streaming half:
+//!
+//! * [`window::SlidingWindow`] — fixed-width per-series ring buffers with
+//!   always-contiguous window slices (double-write trick), so the batch
+//!   kernels run on the live window without copies;
+//! * [`rolling::RollingStats`] — exact O(1)-per-tick maintenance of the
+//!   separable normalizer components (sum, sum of squares ⇒ mean,
+//!   variance, self dot product) with periodic renormalization against
+//!   drift;
+//! * [`engine::StreamingEngine`] — ingestion plus a refresh policy:
+//!   affine relationships are recomputed (AFCLST + SYMEX+) and the SCAPE
+//!   index rebuilt every `refresh_every` ticks, which matches the paper's
+//!   observation that relationships are computed once and reused while
+//!   queries run continuously.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod engine;
+pub mod rolling;
+pub mod window;
+
+pub use engine::{Model, StreamingConfig, StreamingEngine};
+pub use rolling::RollingStats;
+pub use window::SlidingWindow;

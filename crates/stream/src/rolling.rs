@@ -1,0 +1,252 @@
+//! Exact rolling statistics over sliding windows.
+//!
+//! Maintains, per series, the running *shifted* moments
+//! `Σ (x − c)` and `Σ (x − c)²` around a per-series reference point `c`.
+//! Shifting is what makes the classic sum-of-squares variance formula
+//! numerically safe: with `c` near the data, the `E[x*x] - E[x]*E[x]` cancellation
+//! that destroys precision for large-offset series (think stock prices in
+//! the hundreds or sensor baselines in the tens) never materializes.
+//!
+//! These moments answer mean, population variance, and self dot product —
+//! the separable normalizer components of correlation, cosine and Dice —
+//! in O(1) per tick. The reference point and the accumulated drift from
+//! the add/subtract cycle are reset by a full recompute every
+//! `renorm_every` ticks.
+
+use crate::window::SlidingWindow;
+
+/// Rolling per-series moments over a sliding window.
+#[derive(Debug, Clone)]
+pub struct RollingStats {
+    /// Samples currently accounted for (< width during warm-up).
+    filled: usize,
+    /// Per-series reference points `c`.
+    refs: Vec<f64>,
+    /// `Σ (x − c)` over the window.
+    sums: Vec<f64>,
+    /// `Σ (x − c)²` over the window.
+    sum_sqs: Vec<f64>,
+    /// Whether `refs[v]` has been initialized from data.
+    initialized: Vec<bool>,
+    ticks_since_renorm: u64,
+    renorm_every: u64,
+}
+
+/// Default renormalization period (ticks).
+pub const DEFAULT_RENORM_EVERY: u64 = 4096;
+
+impl RollingStats {
+    /// Fresh statistics for `series` series over windows of `width`.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn new(series: usize, width: usize) -> Self {
+        assert!(series > 0 && width > 0);
+        RollingStats {
+            filled: 0,
+            refs: vec![0.0; series],
+            sums: vec![0.0; series],
+            sum_sqs: vec![0.0; series],
+            initialized: vec![false; series],
+            ticks_since_renorm: 0,
+            renorm_every: DEFAULT_RENORM_EVERY,
+        }
+    }
+
+    /// Override the renormalization period (mostly for tests).
+    ///
+    /// # Panics
+    /// Panics if `every == 0`.
+    pub fn with_renorm_every(mut self, every: u64) -> Self {
+        assert!(every > 0);
+        self.renorm_every = every;
+        self
+    }
+
+    /// Account one tick: `incoming[v]` enters every window, `window`
+    /// provides the evicted samples. Call **before** pushing the tick
+    /// into the window (so `oldest()` still refers to the evicted value).
+    ///
+    /// # Panics
+    /// Panics on arity mismatch.
+    pub fn on_tick(&mut self, window: &SlidingWindow, incoming: &[f64]) {
+        assert_eq!(incoming.len(), self.sums.len(), "tick arity mismatch");
+        let evicting = window.is_warm();
+        if !evicting {
+            self.filled += 1;
+        }
+        for v in 0..incoming.len() {
+            if !self.initialized[v] {
+                // Anchor the reference at the first observed value.
+                self.refs[v] = incoming[v];
+                self.initialized[v] = true;
+            }
+            let c = self.refs[v];
+            let x = incoming[v] - c;
+            self.sums[v] += x;
+            self.sum_sqs[v] += x * x;
+            if evicting {
+                let old = window.oldest(v) - c;
+                self.sums[v] -= old;
+                self.sum_sqs[v] -= old * old;
+            }
+        }
+        self.ticks_since_renorm += 1;
+        if self.ticks_since_renorm >= self.renorm_every {
+            self.renormalize_from(window, incoming);
+        }
+    }
+
+    /// Full recompute from the window contents plus the not-yet-pushed
+    /// incoming tick: re-anchors the reference at the current mean and
+    /// zeroes accumulated drift.
+    fn renormalize_from(&mut self, window: &SlidingWindow, incoming: &[f64]) {
+        for v in 0..self.sums.len() {
+            let s = window.series(v);
+            let skip = usize::from(window.is_warm());
+            let live = &s[skip..];
+            // New reference: the mean of the post-push window.
+            let count = (live.len() + 1) as f64;
+            let c = (incoming[v] + live.iter().sum::<f64>()) / count;
+            let mut sum = incoming[v] - c;
+            let mut sq = (incoming[v] - c) * (incoming[v] - c);
+            for &x in live {
+                let d = x - c;
+                sum += d;
+                sq += d * d;
+            }
+            self.refs[v] = c;
+            self.sums[v] = sum;
+            self.sum_sqs[v] = sq;
+        }
+        self.ticks_since_renorm = 0;
+    }
+
+    /// Samples currently accounted for (`width` once warm).
+    pub fn filled(&self) -> usize {
+        self.filled
+    }
+
+    /// In-window mean of series `v` (partial sums during warm-up).
+    pub fn mean(&self, v: usize) -> f64 {
+        self.refs[v] + self.sums[v] / self.filled.max(1) as f64
+    }
+
+    /// In-window population variance of series `v`.
+    pub fn variance(&self, v: usize) -> f64 {
+        let n = self.filled.max(1) as f64;
+        let m = self.sums[v] / n;
+        (self.sum_sqs[v] / n - m * m).max(0.0)
+    }
+
+    /// In-window self dot product `Σ x²` of series `v`, reconstructed
+    /// from the shifted moments:
+    /// `Σ x² = Σ(x−c)² + 2c·Σ(x−c) + n·c²`.
+    pub fn self_dot(&self, v: usize) -> f64 {
+        let c = self.refs[v];
+        self.sum_sqs[v] + 2.0 * c * self.sums[v] + self.filled as f64 * c * c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use affinity_linalg::vector;
+
+    fn drive(values: &[Vec<f64>], width: usize, renorm: u64) -> (SlidingWindow, RollingStats) {
+        let n = values.len();
+        let mut w = SlidingWindow::new(n, width);
+        let mut r = RollingStats::new(n, width).with_renorm_every(renorm);
+        let ticks = values[0].len();
+        for i in 0..ticks {
+            let tick: Vec<f64> = values.iter().map(|s| s[i]).collect();
+            r.on_tick(&w, &tick);
+            w.push(&tick);
+        }
+        (w, r)
+    }
+
+    #[test]
+    fn rolling_matches_batch_recompute() {
+        let series: Vec<Vec<f64>> = (0..3)
+            .map(|v| {
+                (0..200)
+                    .map(|i| ((i + v * 37) as f64 * 0.21).sin() * 3.0 + v as f64)
+                    .collect()
+            })
+            .collect();
+        let (w, r) = drive(&series, 16, u64::MAX);
+        for v in 0..3 {
+            let s = w.series(v);
+            assert!((r.mean(v) - vector::mean(s)).abs() < 1e-10, "mean v={v}");
+            assert!(
+                (r.variance(v) - vector::variance(s)).abs() < 1e-9,
+                "variance v={v}"
+            );
+            assert!(
+                (r.self_dot(v) - vector::dot(s, s)).abs() < 1e-8,
+                "self dot v={v}"
+            );
+        }
+    }
+
+    #[test]
+    fn large_offsets_stay_accurate() {
+        // Offsets of 1e9 destroy the unshifted E[x²]−E[x]² formula; the
+        // shifted moments keep full relative precision.
+        let series: Vec<Vec<f64>> = vec![(0..5000)
+            .map(|i| 1e9 + (i as f64 * 0.37).sin())
+            .collect()];
+        let (w, r) = drive(&series, 32, 64);
+        let s = w.series(0);
+        let exact_var = vector::variance(s);
+        assert!(
+            (r.variance(0) - exact_var).abs() <= 1e-6 * exact_var.max(1.0),
+            "variance drifted: {} vs {}",
+            r.variance(0),
+            exact_var
+        );
+        let exact_mean = vector::mean(s);
+        assert!((r.mean(0) - exact_mean).abs() < 1e-5);
+        let exact_dot = vector::dot(s, s);
+        assert!((r.self_dot(0) - exact_dot).abs() <= 1e-9 * exact_dot);
+    }
+
+    #[test]
+    fn long_run_without_renorm_still_tracks() {
+        // The shifted form alone (renorm effectively off) should hold
+        // tight tolerances over a long, drifting stream.
+        let series: Vec<Vec<f64>> = vec![(0..20_000)
+            .map(|i| 100.0 + 0.001 * i as f64 + (i as f64 * 0.7).sin())
+            .collect()];
+        let (w, r) = drive(&series, 64, u64::MAX);
+        let s = w.series(0);
+        let exact = vector::variance(s);
+        assert!(
+            (r.variance(0) - exact).abs() <= 1e-6 * exact.max(1.0),
+            "{} vs {exact}",
+            r.variance(0)
+        );
+    }
+
+    #[test]
+    fn warmup_phase_counts_partial_sums() {
+        let series: Vec<Vec<f64>> = vec![vec![2.0, 4.0]];
+        let n = series[0].len();
+        let mut w = SlidingWindow::new(1, 4);
+        let mut r = RollingStats::new(1, 4);
+        for i in 0..n {
+            r.on_tick(&w, &[series[0][i]]);
+            w.push(&[series[0][i]]);
+        }
+        assert!(!w.is_warm());
+        assert!((r.self_dot(0) - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let w = SlidingWindow::new(2, 4);
+        RollingStats::new(2, 4).on_tick(&w, &[1.0]);
+    }
+}

@@ -1,0 +1,115 @@
+//! End-to-end integration: generate → persist → reload → cluster →
+//! relationships → MEC engine → SCAPE queries, asserting the paper's
+//! qualitative claims along the way.
+
+use affinity::prelude::*;
+use affinity::core::measures;
+
+#[test]
+fn full_pipeline_sensor() {
+    // Generate and persist.
+    let data = sensor_dataset(&SensorConfig::reduced(48, 96));
+    let path = std::env::temp_dir().join("affinity_e2e_sensor.afn");
+    MatrixStore::create(&path, &data).unwrap();
+    let data = MatrixStore::open(&path).unwrap().read_all().unwrap();
+    std::fs::remove_file(&path).ok();
+
+    // Relationships.
+    let affine = Symex::new(SymexParams::default()).run(&data).unwrap();
+    assert_eq!(affine.len(), data.pair_count());
+    assert!(affine.pivots().len() <= data.series_count() * affine.clusters().k());
+
+    // MEC correctness: exact measures are exact, approximate ones close.
+    let engine = MecEngine::new(&data, &affine);
+    let exact_mean = measures::location_all(LocationMeasure::Mean, &data);
+    let wa_mean = engine.location_all(LocationMeasure::Mean);
+    assert!(percent_rmse(&exact_mean, &wa_mean) < 1e-8);
+
+    let exact_dot = measures::pairwise_all(PairwiseMeasure::DotProduct, &data);
+    let wa_dot = engine.pairwise_all(PairwiseMeasure::DotProduct);
+    assert!(percent_rmse(&exact_dot, &wa_dot) < 1e-6);
+
+    let exact_cov = measures::pairwise_all(PairwiseMeasure::Covariance, &data);
+    let wa_cov = engine.pairwise_all(PairwiseMeasure::Covariance);
+    assert!(percent_rmse(&exact_cov, &wa_cov) < 5.0);
+
+    // SCAPE equals WA-filtering for every measure and several taus.
+    let index = ScapeIndex::build(&data, &affine, &Measure::ALL);
+    let wa = AffineExecutor::new(&data, &affine);
+    for tau in [0.0, 0.5, 0.9] {
+        let mut a = index
+            .threshold_pairs(PairwiseMeasure::Correlation, ThresholdOp::Greater, tau)
+            .unwrap();
+        let mut b = wa.met_pairs(PairwiseMeasure::Correlation, ThresholdOp::Greater, tau);
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "tau {tau}");
+    }
+}
+
+#[test]
+fn full_pipeline_stock() {
+    let data = stock_dataset(&StockConfig::reduced(40, 120));
+    let affine = Symex::new(SymexParams::default()).run(&data).unwrap();
+    let engine = MecEngine::new(&data, &affine);
+
+    // Factor-model stocks are heavily cross-correlated; the framework
+    // must see that through affine relationships.
+    let rho = engine.pairwise_all(PairwiseMeasure::Correlation);
+    let strong = rho.iter().filter(|r| r.abs() > 0.5).count();
+    assert!(
+        strong > rho.len() / 10,
+        "expected many correlated pairs, got {strong}/{}",
+        rho.len()
+    );
+
+    // And SCAPE must find the same positive tail as brute force over W_A
+    // values.
+    let index = ScapeIndex::build(&data, &affine, &Measure::ALL);
+    let wa = AffineExecutor::new(&data, &affine);
+    let mut a = index
+        .range_pairs(PairwiseMeasure::Correlation, 0.5, 0.99)
+        .unwrap();
+    let mut b = wa.mer_pairs(PairwiseMeasure::Correlation, 0.5, 0.99);
+    a.sort();
+    b.sort();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn table3_shapes_at_full_scale_config() {
+    // The default configs must reproduce Table 3 exactly (shape only; we
+    // do not generate the full data here to keep the test fast).
+    let s = SensorConfig::default();
+    assert_eq!((s.series, s.samples), (670, 720));
+    assert_eq!(670 * 669 / 2, 224_115); // "max. affine relationships"
+    let k = StockConfig::default();
+    assert_eq!((k.series, k.samples), (996, 1950));
+    assert_eq!(996 * 995 / 2, 495_510);
+}
+
+#[test]
+fn mode_speedup_is_dramatic() {
+    // The paper's headline mode result: W_N computes an O(m²) KDE per
+    // series, W_A touches only k cluster centres. Check work, not wall
+    // clock (robust in CI): count series-level KDE invocations implied.
+    let data = sensor_dataset(&SensorConfig::reduced(60, 200));
+    let affine = Symex::new(SymexParams::default()).run(&data).unwrap();
+    let engine = MecEngine::new(&data, &affine);
+
+    let t0 = std::time::Instant::now();
+    let exact = measures::location_all(LocationMeasure::Mode, &data);
+    let naive_time = t0.elapsed();
+
+    let t0 = std::time::Instant::now();
+    let approx = engine.location_all(LocationMeasure::Mode);
+    let affine_time = t0.elapsed();
+
+    assert!(
+        affine_time < naive_time,
+        "affine mode ({affine_time:?}) should beat naive ({naive_time:?})"
+    );
+    // Accuracy stays reasonable (paper Fig. 9c: up to ~8% RMSE).
+    let err = percent_rmse(&exact, &approx);
+    assert!(err < 20.0, "mode %RMSE {err}");
+}

@@ -1,0 +1,163 @@
+//! Property-based cross-crate tests: the algebraic invariants the paper's
+//! correctness rests on, checked over randomized inputs.
+
+use affinity::core::lsfd::lsfd;
+use affinity::core::measures;
+use affinity::prelude::*;
+use proptest::prelude::*;
+
+/// Random series of a given length with values in a tame range.
+fn series_strategy(m: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-100.0f64..100.0, m)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Thm. 1: LSFD obeys the triangle inequality.
+    #[test]
+    fn lsfd_triangle_inequality(
+        x1 in series_strategy(24), x2 in series_strategy(24),
+        y1 in series_strategy(24), y2 in series_strategy(24),
+        z1 in series_strategy(24), z2 in series_strategy(24),
+    ) {
+        let dxy = lsfd(&x1, &x2, &y1, &y2).unwrap();
+        let dxz = lsfd(&x1, &x2, &z1, &z2).unwrap();
+        let dzy = lsfd(&z1, &z2, &y1, &y2).unwrap();
+        // Absolute slack covers the √ε·σ floor of Gram-based singular
+        // values.
+        let scale = dxy.max(dxz).max(dzy).max(1.0);
+        prop_assert!(dxy <= dxz + dzy + 1e-6 * scale,
+            "triangle violated: {dxy} > {dxz} + {dzy}");
+    }
+
+    /// LSFD symmetry and non-negativity.
+    #[test]
+    fn lsfd_symmetry(
+        x1 in series_strategy(16), x2 in series_strategy(16),
+        y1 in series_strategy(16), y2 in series_strategy(16),
+    ) {
+        let a = lsfd(&x1, &x2, &y1, &y2).unwrap();
+        let b = lsfd(&y1, &y2, &x1, &x2).unwrap();
+        prop_assert!(a >= 0.0);
+        prop_assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0));
+    }
+
+    /// Lemma 1: dot products with the common series are preserved by any
+    /// least-squares affine fit, for arbitrary targets.
+    #[test]
+    fn dot_product_preservation(
+        common in series_strategy(32),
+        center in series_strategy(32),
+        target in series_strategy(32),
+    ) {
+        use affinity::core::affine::{design_matrix, solve_relationship, PivotStats};
+        use affinity::linalg::qr::QrFactorization;
+        use affinity::linalg::vector;
+
+        let design = design_matrix(&common, &center);
+        let Ok(qr) = QrFactorization::new(&design) else { return Ok(()); };
+        let Ok((a, b)) = solve_relationship(&qr, &common, &target) else { return Ok(()); };
+        let beta = [a[0][1], a[1][1], b[1]];
+        let stats = PivotStats::compute(&common, &center);
+        let prop = stats.propagate_dot(&beta);
+        let exact = vector::dot(&common, &target);
+        prop_assert!((prop - exact).abs() <= 1e-6 * exact.abs().max(1.0),
+            "dot {prop} vs {exact}");
+    }
+
+    /// Affine propagation of covariance is exact when the target IS an
+    /// affine image of the pivot columns (Eq. 6).
+    #[test]
+    fn covariance_propagation_exact_on_affine_images(
+        common in series_strategy(24),
+        center in series_strategy(24),
+        a12 in -3.0f64..3.0, a22 in -3.0f64..3.0, b2 in -10.0f64..10.0,
+    ) {
+        use affinity::core::affine::{design_matrix, solve_relationship, PivotStats};
+        use affinity::linalg::qr::QrFactorization;
+
+        let target: Vec<f64> = common.iter().zip(&center)
+            .map(|(c, r)| a12 * c + a22 * r + b2)
+            .collect();
+        let design = design_matrix(&common, &center);
+        let Ok(qr) = QrFactorization::new(&design) else { return Ok(()); };
+        let Ok((a, b)) = solve_relationship(&qr, &common, &target) else { return Ok(()); };
+        let beta = [a[0][1], a[1][1], b[1]];
+        let stats = PivotStats::compute(&common, &center);
+        let prop = stats.propagate_covariance(&beta);
+        let exact = measures::covariance(&common, &target);
+        let scale = exact.abs().max(stats.cov11.abs()).max(1.0);
+        prop_assert!((prop - exact).abs() <= 1e-7 * scale, "{prop} vs {exact}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// SYMEX covers all pairs exactly once for arbitrary n, and SCAPE
+    /// MET results equal brute-force filtering of W_A values.
+    #[test]
+    fn symex_coverage_and_scape_equivalence(n in 2usize..26, seed in 0u64..500) {
+        let mut cfg = SensorConfig::reduced(n, 32);
+        cfg.seed = seed;
+        let data = sensor_dataset(&cfg);
+        let mut params = SymexParams::default();
+        params.afclst.k = params.afclst.k.min(n - 1).max(1);
+        let affine = Symex::new(params).run(&data).unwrap();
+        prop_assert_eq!(affine.len(), n * (n - 1) / 2);
+
+        let index = ScapeIndex::build(&data, &affine, &Measure::ALL);
+        let wa = AffineExecutor::new(&data, &affine);
+        for tau in [-0.4, 0.2, 0.85] {
+            let mut a = index
+                .threshold_pairs(PairwiseMeasure::Correlation, ThresholdOp::Greater, tau)
+                .unwrap();
+            let mut b = wa.met_pairs(PairwiseMeasure::Correlation, ThresholdOp::Greater, tau);
+            a.sort();
+            b.sort();
+            prop_assert_eq!(a, b, "tau {}", tau);
+        }
+    }
+}
+
+/// Exact-affine datasets: when every series is literally an affine image
+/// of a latent pair, all pairwise measures reconstruct exactly.
+#[test]
+fn exact_affine_world_reconstructs_exactly() {
+    let m = 64;
+    let base1: Vec<f64> = (0..m).map(|i| (i as f64 * 0.21).sin()).collect();
+    let base2: Vec<f64> = (0..m).map(|i| (i as f64 * 0.08).cos()).collect();
+    let mut cols = Vec::new();
+    for j in 0..12 {
+        let a = 0.5 + 0.3 * j as f64;
+        let b = 1.5 - 0.2 * j as f64;
+        let c = j as f64;
+        cols.push(
+            base1
+                .iter()
+                .zip(&base2)
+                .map(|(x, y)| a * x + b * y + c)
+                .collect::<Vec<f64>>(),
+        );
+    }
+    let data = DataMatrix::from_series(cols);
+    let affine = Symex::new(SymexParams {
+        afclst: affinity::core::afclst::AfclstParams {
+            k: 2,
+            gamma_max: 20,
+            delta_min: 0,
+            seed: 5,
+        },
+        ..Default::default()
+    })
+    .run(&data)
+    .unwrap();
+    let engine = MecEngine::new(&data, &affine);
+    let exact = measures::pairwise_all(PairwiseMeasure::Covariance, &data);
+    let approx = engine.pairwise_all(PairwiseMeasure::Covariance);
+    // Everything lives in a 2-D latent space + offsets: after clustering,
+    // every pivot plane contains each series, so propagation is exact.
+    let err = percent_rmse(&exact, &approx);
+    assert!(err < 1e-5, "%RMSE {err}");
+}

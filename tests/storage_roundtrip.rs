@@ -1,0 +1,72 @@
+//! Property tests for the persistence layers: binary store and CSV.
+
+use affinity::data::csv;
+use affinity::prelude::*;
+use proptest::prelude::*;
+
+fn matrix_strategy() -> impl Strategy<Value = DataMatrix> {
+    (1usize..8, 1usize..40).prop_flat_map(|(n, m)| {
+        proptest::collection::vec(
+            proptest::collection::vec(-1e6f64..1e6, m),
+            n..=n,
+        )
+        .prop_map(DataMatrix::from_series)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn binary_store_roundtrip(dm in matrix_strategy(), tag in 0u64..1_000_000) {
+        let path = std::env::temp_dir()
+            .join(format!("affinity_prop_{tag}_{}.afn", std::process::id()));
+        MatrixStore::create(&path, &dm).unwrap();
+        let store = MatrixStore::open(&path).unwrap();
+        prop_assert_eq!(store.samples(), dm.samples());
+        prop_assert_eq!(store.series_count(), dm.series_count());
+        let back = store.read_all().unwrap();
+        std::fs::remove_file(&path).ok();
+        prop_assert_eq!(back, dm);
+    }
+
+    #[test]
+    fn csv_roundtrip(dm in matrix_strategy()) {
+        let mut buf = Vec::new();
+        csv::write_csv(&dm, &mut buf).unwrap();
+        let back = csv::read_csv(&buf[..]).unwrap();
+        prop_assert_eq!(back.samples(), dm.samples());
+        prop_assert_eq!(back.series_count(), dm.series_count());
+        for v in 0..dm.series_count() {
+            for (a, b) in back.series(v).iter().zip(dm.series(v)) {
+                prop_assert_eq!(a, b, "exact f64 text roundtrip");
+            }
+        }
+    }
+
+    #[test]
+    fn single_series_random_access(dm in matrix_strategy(), pick in any::<prop::sample::Index>()) {
+        let path = std::env::temp_dir()
+            .join(format!("affinity_pick_{}.afn", std::process::id()));
+        MatrixStore::create(&path, &dm).unwrap();
+        let store = MatrixStore::open(&path).unwrap();
+        let v = pick.index(dm.series_count());
+        let got = store.read_series(v).unwrap();
+        std::fs::remove_file(&path).ok();
+        prop_assert_eq!(got.as_slice(), dm.series(v));
+    }
+}
+
+#[test]
+fn generated_datasets_survive_storage_bit_exact() {
+    for (name, dm) in [
+        ("sensor", sensor_dataset(&SensorConfig::reduced(20, 50))),
+        ("stock", stock_dataset(&StockConfig::reduced(20, 50))),
+    ] {
+        let path = std::env::temp_dir().join(format!("affinity_gen_{name}.afn"));
+        MatrixStore::create(&path, &dm).unwrap();
+        let back = MatrixStore::open(&path).unwrap().read_all().unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back, dm, "{name}");
+    }
+}
