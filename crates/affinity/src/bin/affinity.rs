@@ -52,8 +52,16 @@ fn generate(args: &[String]) -> Result<(), String> {
     let [kind, path, rest @ ..] = args else {
         return Err("generate needs <sensor|stock> <path.afn>".into());
     };
-    let n: Option<usize> = rest.first().map(|s| s.parse()).transpose().map_err(|_| "bad n")?;
-    let m: Option<usize> = rest.get(1).map(|s| s.parse()).transpose().map_err(|_| "bad m")?;
+    let n: Option<usize> = rest
+        .first()
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|_| "bad n")?;
+    let m: Option<usize> = rest
+        .get(1)
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|_| "bad m")?;
     let data = match kind.as_str() {
         "sensor" => {
             let mut cfg = SensorConfig::default();
@@ -105,7 +113,11 @@ fn info(args: &[String]) -> Result<(), String> {
     println!(
         "labels:  {}{}",
         labels.join(", "),
-        if data.series_count() > shown { ", …" } else { "" }
+        if data.series_count() > shown {
+            ", …"
+        } else {
+            ""
+        }
     );
     Ok(())
 }

@@ -73,12 +73,10 @@ pub use affinity_stream as stream;
 /// Everything a typical application needs.
 pub mod prelude {
     pub use affinity_core::prelude::*;
-    pub use affinity_data::generator::{
-        sensor_dataset, stock_dataset, SensorConfig, StockConfig,
-    };
+    pub use affinity_data::generator::{sensor_dataset, stock_dataset, SensorConfig, StockConfig};
     pub use affinity_data::{DataMatrix, SequencePair, SeriesId, ZipfSampler};
-    pub use affinity_query::{AffineExecutor, DftExecutor, NaiveExecutor};
     pub use affinity_ql::Session;
+    pub use affinity_query::{AffineExecutor, DftExecutor, NaiveExecutor};
     pub use affinity_scape::{ScapeIndex, ThresholdOp};
     pub use affinity_storage::MatrixStore;
     pub use affinity_stream::{StreamingConfig, StreamingEngine};

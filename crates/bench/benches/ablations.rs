@@ -59,8 +59,14 @@ fn main() {
     let exact_cov = measures::pairwise_all(PairwiseMeasure::Covariance, &data);
     println!(
         "    covariance stays machine-exact under both: {:.1e} vs {:.1e}",
-        percent_rmse(&exact_cov, &engine.pairwise_all(PairwiseMeasure::Covariance)),
-        percent_rmse(&exact_cov, &engine_deg.pairwise_all(PairwiseMeasure::Covariance))
+        percent_rmse(
+            &exact_cov,
+            &engine.pairwise_all(PairwiseMeasure::Covariance)
+        ),
+        percent_rmse(
+            &exact_cov,
+            &engine_deg.pairwise_all(PairwiseMeasure::Covariance)
+        )
     );
 
     // ----- 2. Common series vs centre-only pivots (Lemma 1) ------------
@@ -91,7 +97,9 @@ fn main() {
                 Ok(q) => q,
                 Err(_) => continue,
             };
-            let Ok((a, b)) = solve_relationship(&qr, su, sv) else { continue };
+            let Ok((a, b)) = solve_relationship(&qr, su, sv) else {
+                continue;
+            };
             let stats = PivotStats::compute(cu, cv);
             // Π₁₂ ≈ β₂ᵀ Π(O_p) β₁ + translation terms (Eq. 7 general
             // form); evaluate the reconstruction y₂ᵀy₁ from fitted

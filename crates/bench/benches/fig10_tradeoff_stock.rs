@@ -8,7 +8,11 @@ use affinity_bench::{header, stock, tradeoff, Scale};
 
 fn main() {
     let scale = Scale::from_env();
-    header("Fig. 10", "Efficiency and accuracy tradeoff, stock-data", scale);
+    header(
+        "Fig. 10",
+        "Efficiency and accuracy tradeoff, stock-data",
+        scale,
+    );
     let data = stock(scale);
     println!(
         "dataset: {} series x {} samples",

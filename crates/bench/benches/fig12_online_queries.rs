@@ -12,7 +12,11 @@ use affinity_query::workload::{generate, run_affine, run_naive, WorkloadConfig};
 use affinity_query::{AffineExecutor, NaiveExecutor};
 
 fn run_dataset(name: &str, data: &DataMatrix, counts: &[usize]) {
-    println!("\n--- {name} ({} series x {} samples) ---", data.series_count(), data.samples());
+    println!(
+        "\n--- {name} ({} series x {} samples) ---",
+        data.series_count(),
+        data.samples()
+    );
     println!(
         "{:>10} {:>12} {:>12} {:>9}",
         "#queries", "W_N", "W_A(+setup)", "speedup"

@@ -28,8 +28,7 @@ fn run_dataset(name: &str, data: &DataMatrix) -> Vec<f64> {
         let slice = data.prefix(n);
         let basic = Symex::new(symex_params(6.min(n - 1).max(1), SymexVariant::Basic));
         let plus = Symex::new(symex_params(6.min(n - 1).max(1), SymexVariant::Plus));
-        let ((set, stats_b), t_basic) =
-            time(|| basic.run_with_stats(&slice).expect("symex basic"));
+        let ((set, stats_b), t_basic) = time(|| basic.run_with_stats(&slice).expect("symex basic"));
         let ((_, stats_p), t_plus) = time(|| plus.run_with_stats(&slice).expect("symex plus"));
         assert_eq!(stats_b.pinv_cache_hits, 0);
         assert!(stats_p.pinv_cache_hits > 0 || n < 4);
@@ -54,10 +53,7 @@ fn main() {
     let r1 = run_dataset("sensor-data", &s);
     let k = stock(scale);
     let r2 = run_dataset("stock-data", &k);
-    let max_ratio = r1
-        .iter()
-        .chain(r2.iter())
-        .fold(0.0f64, |m, &v| m.max(v));
+    let max_ratio = r1.iter().chain(r2.iter()).fold(0.0f64, |m, &v| m.max(v));
     println!(
         "\nshape check: both variants scale ~linearly in relationships; SYMEX+ up to {max_ratio:.1}x faster (paper: 3.5-4x)"
     );

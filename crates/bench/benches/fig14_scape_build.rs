@@ -11,7 +11,11 @@ use affinity_scape::ScapeIndex;
 
 fn main() {
     let scale = Scale::from_env();
-    header("Fig. 14", "SCAPE index construction scalability, sensor-data", scale);
+    header(
+        "Fig. 14",
+        "SCAPE index construction scalability, sensor-data",
+        scale,
+    );
     let data = sensor(scale);
     let n = data.series_count();
     println!(

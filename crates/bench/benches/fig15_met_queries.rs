@@ -8,9 +8,7 @@
 //! paper's setup. Paper shape: SCAPE is orders of magnitude faster
 //! everywhere except median, where only O(n) relationships exist.
 
-use affinity_bench::{
-    default_symex, fmt_secs, header, quantile_thresholds, sensor, time, Scale,
-};
+use affinity_bench::{default_symex, fmt_secs, header, quantile_thresholds, sensor, time, Scale};
 use affinity_core::measures::{self, LocationMeasure, Measure, PairwiseMeasure};
 use affinity_query::{AffineExecutor, DftExecutor, NaiveExecutor};
 use affinity_scape::{ScapeIndex, ThresholdOp};
@@ -83,8 +81,11 @@ fn main() {
         for tau in quantile_thresholds(&values, &FRACTIONS) {
             let (_, t_n) = time(|| wn.met_pairs(measure, ThresholdOp::Greater, tau));
             let (_, t_a) = time(|| wa.met_pairs(measure, ThresholdOp::Greater, tau));
-            let (r_s, t_s) =
-                time(|| index.threshold_pairs(measure, ThresholdOp::Greater, tau).unwrap());
+            let (r_s, t_s) = time(|| {
+                index
+                    .threshold_pairs(measure, ThresholdOp::Greater, tau)
+                    .unwrap()
+            });
             println!(
                 "{:>10} {:>12} {:>12} {:>12} {:>9.0}x",
                 r_s.len(),

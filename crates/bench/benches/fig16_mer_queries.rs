@@ -4,9 +4,7 @@
 //! (W_N/W_A/SCAPE). Ranges are centred on the value distribution and
 //! widened to sweep the result size, per the paper's x-axis.
 
-use affinity_bench::{
-    default_symex, fmt_secs, header, quantile_thresholds, sensor, time, Scale,
-};
+use affinity_bench::{default_symex, fmt_secs, header, quantile_thresholds, sensor, time, Scale};
 use affinity_core::measures::{self, Measure, PairwiseMeasure};
 use affinity_query::{AffineExecutor, DftExecutor, NaiveExecutor};
 use affinity_scape::ScapeIndex;
@@ -47,8 +45,11 @@ fn main() {
         let (_, t_n) = time(|| wn.mer_pairs(PairwiseMeasure::Correlation, lo, hi));
         let (_, t_a) = time(|| wa.mer_pairs(PairwiseMeasure::Correlation, lo, hi));
         let (_, t_f) = time(|| wf.mer_pairs(lo, hi));
-        let (r_s, t_s) =
-            time(|| index.range_pairs(PairwiseMeasure::Correlation, lo, hi).unwrap());
+        let (r_s, t_s) = time(|| {
+            index
+                .range_pairs(PairwiseMeasure::Correlation, lo, hi)
+                .unwrap()
+        });
         println!(
             "{:>10} {:>22} {:>12} {:>12} {:>12} {:>12}",
             r_s.len(),
@@ -71,8 +72,11 @@ fn main() {
         let hi = quantile_thresholds(&cov_values, &[0.5 - w / 2.0])[0];
         let (_, t_n) = time(|| wn.mer_pairs(PairwiseMeasure::Covariance, lo, hi));
         let (_, t_a) = time(|| wa.mer_pairs(PairwiseMeasure::Covariance, lo, hi));
-        let (r_s, t_s) =
-            time(|| index.range_pairs(PairwiseMeasure::Covariance, lo, hi).unwrap());
+        let (r_s, t_s) = time(|| {
+            index
+                .range_pairs(PairwiseMeasure::Covariance, lo, hi)
+                .unwrap()
+        });
         println!(
             "{:>10} {:>22} {:>12} {:>12} {:>12} {:>9.0}x",
             r_s.len(),

@@ -11,7 +11,11 @@ use affinity_bench::{header, sensor, tradeoff, Scale};
 
 fn main() {
     let scale = Scale::from_env();
-    header("Fig. 9", "Efficiency and accuracy tradeoff, sensor-data", scale);
+    header(
+        "Fig. 9",
+        "Efficiency and accuracy tradeoff, sensor-data",
+        scale,
+    );
     let data = sensor(scale);
     println!(
         "dataset: {} series x {} samples",

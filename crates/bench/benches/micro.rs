@@ -2,12 +2,12 @@
 //! ablation-level numbers behind the figure-level harnesses.
 
 use affinity_bench::{sensor, Scale};
+use affinity_core::afclst::{afclst, AfclstParams};
 use affinity_core::affine::{design_matrix, PivotStats};
 use affinity_core::lsfd::lsfd;
 use affinity_core::measures;
 use affinity_core::mec::MecEngine;
 use affinity_core::symex::{pivot_pseudo_inverse, Symex, SymexParams, SymexVariant};
-use affinity_core::afclst::{afclst, AfclstParams};
 use affinity_data::SequencePair;
 use affinity_dft::{fft, Complex64, DftSketch};
 use affinity_index::BPlusTree;
@@ -18,7 +18,9 @@ use std::ops::Bound;
 use std::time::Duration;
 
 fn series(m: usize, p: f64) -> Vec<f64> {
-    (0..m).map(|i| (i as f64 * p).sin() + 0.1 * (i as f64 * p * 3.3).cos()).collect()
+    (0..m)
+        .map(|i| (i as f64 * p).sin() + 0.1 * (i as f64 * p * 3.3).cos())
+        .collect()
 }
 
 fn bench_linalg(c: &mut Criterion) {
@@ -71,7 +73,9 @@ fn bench_dft(c: &mut Criterion) {
 
 fn bench_btree(c: &mut Criterion) {
     c.bench_function("bptree_insert_10k", |b| {
-        let keys: Vec<f64> = (0..10_000).map(|i| ((i * 2654435761_u64 as usize) % 99991) as f64).collect();
+        let keys: Vec<f64> = (0..10_000)
+            .map(|i| ((i * 2654435761_u64 as usize) % 99991) as f64)
+            .collect();
         b.iter_batched(
             BPlusTree::<u32>::new,
             |mut t| {

@@ -13,10 +13,7 @@ fn main() {
     let sensor_dm = sensor(scale);
     let stock_dm = stock(scale);
 
-    println!(
-        "\n{:<28} {:>14} {:>14}",
-        "", "sensor-data", "stock-data"
-    );
+    println!("\n{:<28} {:>14} {:>14}", "", "sensor-data", "stock-data");
     println!(
         "{:<28} {:>14} {:>14}",
         "sampling interval", "2 min.", "1 min."

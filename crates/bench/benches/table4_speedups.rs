@@ -23,7 +23,11 @@ fn timed_median<T>(mut f: impl FnMut() -> T, reps: usize) -> f64 {
 
 fn main() {
     let scale = Scale::from_env();
-    header("Table 4", "Speedups at maximum result size, sensor-data", scale);
+    header(
+        "Table 4",
+        "Speedups at maximum result size, sensor-data",
+        scale,
+    );
     let data = sensor(scale);
     let affine = default_symex().run(&data).expect("symex");
     let index = ScapeIndex::build(&data, &affine, &Measure::ALL);

@@ -232,8 +232,11 @@ pub mod tradeoff {
             let (engine, prep_secs) = time(|| MecEngine::new(data, &affine));
             let prep_share = prep_secs / 2.0;
 
-            for measure in [LocationMeasure::Mean, LocationMeasure::Median, LocationMeasure::Mode]
-            {
+            for measure in [
+                LocationMeasure::Mean,
+                LocationMeasure::Median,
+                LocationMeasure::Mode,
+            ] {
                 let (exact, naive_secs) = time(|| measures::location_all(measure, data));
                 let (approx, wa_secs) = time(|| engine.location_all(measure));
                 let affine_secs = wa_secs;

@@ -23,7 +23,6 @@
 //! Empty clusters are re-seeded from a random series, so the model always
 //! returns exactly `k` usable centres.
 
-
 // Index-based loops over matrix coordinates are the clearest notation
 // for these kernels.
 #![allow(clippy::needless_range_loop)]
@@ -416,15 +415,33 @@ mod tests {
     fn parameter_validation() {
         let data = planted(2, 16);
         assert!(matches!(
-            afclst(&data, &AfclstParams { k: 0, ..Default::default() }),
+            afclst(
+                &data,
+                &AfclstParams {
+                    k: 0,
+                    ..Default::default()
+                }
+            ),
             Err(CoreError::InvalidParameter(_))
         ));
         assert!(matches!(
-            afclst(&data, &AfclstParams { gamma_max: 0, ..Default::default() }),
+            afclst(
+                &data,
+                &AfclstParams {
+                    gamma_max: 0,
+                    ..Default::default()
+                }
+            ),
             Err(CoreError::InvalidParameter(_))
         ));
         assert!(matches!(
-            afclst(&data, &AfclstParams { k: 100, ..Default::default() }),
+            afclst(
+                &data,
+                &AfclstParams {
+                    k: 100,
+                    ..Default::default()
+                }
+            ),
             Err(CoreError::TooManyClusters { .. })
         ));
     }

@@ -16,7 +16,6 @@
 //! statistics with the measure-independent vector `β = (a₁₂, a₂₂, b₂)` —
 //! which is precisely the decoupling the SCAPE index builds on (Sec. 5.1).
 
-
 // Index-based loops over matrix coordinates are the clearest notation
 // for these kernels.
 #![allow(clippy::needless_range_loop)]
@@ -136,10 +135,7 @@ pub fn solve_relationship(
 ) -> Result<([[f64; 2]; 2], [f64; 2]), CoreError> {
     let t1 = design.solve(target_common)?;
     let t2 = design.solve(target_other)?;
-    Ok((
-        [[t1[0], t2[0]], [t1[1], t2[1]]],
-        [t1[2], t2[2]],
-    ))
+    Ok(([[t1[0], t2[0]], [t1[1], t2[1]]], [t1[2], t2[2]]))
 }
 
 /// Solve for `(A, b)` using a cached pseudo-inverse (`3×m`), the SYMEX+
@@ -162,10 +158,7 @@ pub fn solve_relationship_pinv(
             t[col][r] = acc;
         }
     }
-    (
-        [[t[0][0], t[1][0]], [t[0][1], t[1][1]]],
-        [t[0][2], t[1][2]],
-    )
+    ([[t[0][0], t[1][0]], [t[0][1], t[1][1]]], [t[0][2], t[1][2]])
 }
 
 /// Statistics of a pivot pair matrix `O_p = [o₁, o₂]` needed to propagate
@@ -359,7 +352,10 @@ mod tests {
         let (a, b) = solve_relationship(&design, &o1, &t2).unwrap();
         let rel = AffineRelationship {
             pair: SequencePair::new(0, 1),
-            pivot: PivotPair { common: 0, cluster: 0 },
+            pivot: PivotPair {
+                common: 0,
+                cluster: 0,
+            },
             common: 0,
             a,
             b,
@@ -408,11 +404,7 @@ mod tests {
         let design = QrFactorization::new(&design_matrix(&o1, &o2)).unwrap();
         let (a, b) = solve_relationship(&design, &o1, &t2).unwrap();
         let beta = [a[0][1], a[1][1], b[1]];
-        let prop = PivotStats::propagate_location(
-            measures::mean(&o1),
-            measures::mean(&o2),
-            &beta,
-        );
+        let prop = PivotStats::propagate_location(measures::mean(&o1), measures::mean(&o2), &beta);
         assert!((prop - measures::mean(&t2)).abs() < 1e-9);
     }
 
@@ -442,7 +434,10 @@ mod tests {
     fn relationship_accessors() {
         let rel = AffineRelationship {
             pair: SequencePair::new(2, 7),
-            pivot: PivotPair { common: 7, cluster: 3 },
+            pivot: PivotPair {
+                common: 7,
+                cluster: 3,
+            },
             common: 7,
             a: [[1.0, 0.5], [0.0, 2.0]],
             b: [0.0, -1.0],

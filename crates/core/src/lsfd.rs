@@ -23,12 +23,7 @@ use affinity_linalg::{vector, Matrix};
 ///
 /// # Panics
 /// Panics if the columns differ in length or are empty.
-pub fn lsfd(
-    x1: &[f64],
-    x2: &[f64],
-    y1: &[f64],
-    y2: &[f64],
-) -> Result<f64, CoreError> {
+pub fn lsfd(x1: &[f64], x2: &[f64], y1: &[f64], y2: &[f64]) -> Result<f64, CoreError> {
     let m = x1.len();
     assert!(m > 0, "lsfd: empty columns");
     assert!(
@@ -73,7 +68,11 @@ mod tests {
         let x2 = series(40, |i| (i as f64 * 0.45).cos());
         // Affine combinations (translations vanish after centring).
         let y1: Vec<f64> = x1.iter().zip(&x2).map(|(a, b)| 2.0 * a - b + 5.0).collect();
-        let y2: Vec<f64> = x1.iter().zip(&x2).map(|(a, b)| -a + 0.5 * b - 1.0).collect();
+        let y2: Vec<f64> = x1
+            .iter()
+            .zip(&x2)
+            .map(|(a, b)| -a + 0.5 * b - 1.0)
+            .collect();
         let d = lsfd(&x1, &x2, &y1, &y2).unwrap();
         assert!(d < 1e-6, "LSFD of exact affine images was {d}");
     }
@@ -85,7 +84,10 @@ mod tests {
         let y1 = series(60, |i| (i as f64 * 1.3).sin());
         let y2 = series(60, |i| ((i * i) as f64 * 0.01).cos());
         let d = lsfd(&x1, &x2, &y1, &y2).unwrap();
-        assert!(d > 0.1, "independent signals should have LSFD >> 0, got {d}");
+        assert!(
+            d > 0.1,
+            "independent signals should have LSFD >> 0, got {d}"
+        );
     }
 
     #[test]

@@ -387,8 +387,16 @@ mod tests {
     #[test]
     fn mode_of_bimodal_picks_heavier() {
         let mut x = vec![];
-        x.extend(std::iter::repeat(1.0).take(10).enumerate().map(|(i, v)| v + i as f64 * 0.01));
-        x.extend(std::iter::repeat(8.0).take(4).enumerate().map(|(i, v)| v + i as f64 * 0.01));
+        x.extend(
+            std::iter::repeat_n(1.0, 10)
+                .enumerate()
+                .map(|(i, v)| v + i as f64 * 0.01),
+        );
+        x.extend(
+            std::iter::repeat_n(8.0, 4)
+                .enumerate()
+                .map(|(i, v)| v + i as f64 * 0.01),
+        );
         let m = mode(&x);
         assert!(m < 2.0, "mode {m} should be near the heavier cluster");
     }

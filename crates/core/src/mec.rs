@@ -8,7 +8,6 @@
 //! D-measures. After that, every measure value is reconstructed from a
 //! hash-map lookup and a 3-term scalar product — no raw series access.
 
-
 // Index-based loops over matrix coordinates are the clearest notation
 // for these kernels.
 #![allow(clippy::needless_range_loop)]
@@ -121,9 +120,7 @@ impl<'a> MecEngine<'a> {
     pub fn derived_normalizer(&self, measure: PairwiseMeasure, pair: SequencePair) -> f64 {
         match measure {
             PairwiseMeasure::Correlation => self.normalizer(pair),
-            PairwiseMeasure::Cosine => {
-                (self.self_dots[pair.u] * self.self_dots[pair.v]).sqrt()
-            }
+            PairwiseMeasure::Cosine => (self.self_dots[pair.u] * self.self_dots[pair.v]).sqrt(),
             PairwiseMeasure::Dice => 0.5 * (self.self_dots[pair.u] + self.self_dots[pair.v]),
             _ => 0.0,
         }
@@ -145,11 +142,7 @@ impl<'a> MecEngine<'a> {
     ///
     /// # Errors
     /// [`CoreError::UnknownSeries`] for out-of-range identifiers.
-    pub fn location_value(
-        &self,
-        measure: LocationMeasure,
-        v: SeriesId,
-    ) -> Result<f64, CoreError> {
+    pub fn location_value(&self, measure: LocationMeasure, v: SeriesId) -> Result<f64, CoreError> {
         if v >= self.data.series_count() {
             return Err(CoreError::UnknownSeries {
                 id: v,
@@ -176,10 +169,7 @@ impl<'a> MecEngine<'a> {
     ) -> Result<Vec<f64>, CoreError> {
         let n = self.data.series_count();
         if let Some(&bad) = ids.iter().find(|&&v| v >= n) {
-            return Err(CoreError::UnknownSeries {
-                id: bad,
-                series: n,
-            });
+            return Err(CoreError::UnknownSeries { id: bad, series: n });
         }
         let centers = self.center_locations_for(measure);
         Ok(ids
@@ -317,9 +307,9 @@ impl<'a> MecEngine<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::afclst::AfclstParams;
     use crate::rmse::percent_rmse;
     use crate::symex::{Symex, SymexParams, SymexVariant};
-    use crate::afclst::AfclstParams;
     use affinity_data::generator::{sensor_dataset, SensorConfig};
 
     fn engine_fixture(n: usize, m: usize, k: usize) -> (DataMatrix, AffineSet) {
@@ -379,7 +369,10 @@ mod tests {
     fn median_and_mode_are_approximate_but_close() {
         let (data, affine) = engine_fixture(24, 96, 6);
         let engine = MecEngine::new(&data, &affine);
-        for (measure, tol) in [(LocationMeasure::Median, 8.0), (LocationMeasure::Mode, 15.0)] {
+        for (measure, tol) in [
+            (LocationMeasure::Median, 8.0),
+            (LocationMeasure::Mode, 15.0),
+        ] {
             let approx = engine.location_all(measure);
             let exact = measures::location_all(measure, &data);
             let err = percent_rmse(&exact, &approx);

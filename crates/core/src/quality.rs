@@ -56,11 +56,7 @@ impl QualityReport {
 /// `[s_common, r_ω(other)]`.
 ///
 /// Returns `None` if the pair has no stored relationship.
-pub fn relationship_lsfd(
-    data: &DataMatrix,
-    affine: &AffineSet,
-    pair: SequencePair,
-) -> Option<f64> {
+pub fn relationship_lsfd(data: &DataMatrix, affine: &AffineSet, pair: SequencePair) -> Option<f64> {
     let rel = affine.relationship(pair)?;
     let common = data.series(rel.common);
     let other = data.series(rel.pair.other(rel.common));
@@ -108,8 +104,7 @@ pub fn quality_report(
     };
     let mean = scores.iter().map(|s| s.lsfd).sum::<f64>() / n as f64;
     let p95 = scores[((n - 1) as f64 * 0.95).round() as usize].lsfd;
-    let worst: Vec<RelationshipQuality> =
-        scores.iter().rev().take(worst_k).copied().collect();
+    let worst: Vec<RelationshipQuality> = scores.iter().rev().take(worst_k).copied().collect();
     QualityReport {
         scored: n,
         min,
@@ -171,7 +166,10 @@ mod tests {
             .map(|j| {
                 let a = 1.0 + j as f64 * 0.2;
                 let c = 0.5 - j as f64 * 0.1;
-                b1.iter().zip(&b2).map(|(x, y)| a * x + c * y + j as f64).collect()
+                b1.iter()
+                    .zip(&b2)
+                    .map(|(x, y)| a * x + c * y + j as f64)
+                    .collect()
             })
             .collect();
         let data = DataMatrix::from_series(cols);

@@ -13,11 +13,7 @@
 /// # Panics
 /// Panics if the slices differ in length.
 pub fn percent_rmse(exact: &[f64], approx: &[f64]) -> f64 {
-    assert_eq!(
-        exact.len(),
-        approx.len(),
-        "percent_rmse: length mismatch"
-    );
+    assert_eq!(exact.len(), approx.len(), "percent_rmse: length mismatch");
     if exact.is_empty() {
         return 0.0;
     }

@@ -24,9 +24,7 @@
 //! coverage either way.
 
 use crate::afclst::{afclst, AfclstParams, ClusterModel};
-use crate::affine::{
-    solve_relationship_pinv, AffineRelationship, PivotPair, SeriesRelationship,
-};
+use crate::affine::{solve_relationship_pinv, AffineRelationship, PivotPair, SeriesRelationship};
 use crate::error::CoreError;
 use crate::hash::FxHashMap;
 use affinity_data::{DataMatrix, SequencePair, SeriesId};
@@ -150,7 +148,10 @@ impl AffineSet {
         data: &'a DataMatrix,
         pivot: PivotPair,
     ) -> (&'a [f64], &'a [f64]) {
-        (data.series(pivot.common), self.clusters.center(pivot.cluster))
+        (
+            data.series(pivot.common),
+            self.clusters.center(pivot.cluster),
+        )
     }
 }
 
@@ -167,11 +168,7 @@ pub fn pivot_pseudo_inverse(common: &[f64], center: &[f64]) -> Matrix {
     let g22 = vector::dot(center, center);
     let h1 = vector::sum(common);
     let h2 = vector::sum(center);
-    let gram = Matrix::from_rows(&[
-        vec![g11, g12, h1],
-        vec![g12, g22, h2],
-        vec![h1, h2, mf],
-    ]);
+    let gram = Matrix::from_rows(&[vec![g11, g12, h1], vec![g12, g22, h2], vec![h1, h2, mf]]);
     let chol = match Cholesky::new(&gram) {
         Ok(c) => c,
         Err(_) => {
@@ -233,10 +230,7 @@ impl Symex {
     ///
     /// # Errors
     /// Propagates clustering errors; see [`afclst`].
-    pub fn run_with_stats(
-        &self,
-        data: &DataMatrix,
-    ) -> Result<(AffineSet, SymexStats), CoreError> {
+    pub fn run_with_stats(&self, data: &DataMatrix) -> Result<(AffineSet, SymexStats), CoreError> {
         let clusters = afclst(data, &self.params.afclst)?;
         self.explore(data, clusters)
     }
@@ -482,7 +476,9 @@ mod tests {
     fn pivot_count_is_at_most_nk() {
         let data = sensor_dataset(&SensorConfig::reduced(30, 48));
         let k = 4;
-        let set = Symex::new(params(SymexVariant::Plus, k, 2)).run(&data).unwrap();
+        let set = Symex::new(params(SymexVariant::Plus, k, 2))
+            .run(&data)
+            .unwrap();
         assert!(
             set.pivots().len() <= 30 * k,
             "pivots {} > nk {}",
@@ -495,8 +491,12 @@ mod tests {
     #[test]
     fn variants_agree_on_relationships() {
         let data = sensor_dataset(&SensorConfig::reduced(12, 40));
-        let basic = Symex::new(params(SymexVariant::Basic, 3, 7)).run(&data).unwrap();
-        let plus = Symex::new(params(SymexVariant::Plus, 3, 7)).run(&data).unwrap();
+        let basic = Symex::new(params(SymexVariant::Basic, 3, 7))
+            .run(&data)
+            .unwrap();
+        let plus = Symex::new(params(SymexVariant::Plus, 3, 7))
+            .run(&data)
+            .unwrap();
         assert_eq!(basic.len(), plus.len());
         for r in basic.relationships() {
             let p = plus.relationship(r.pair).unwrap();
@@ -539,7 +539,9 @@ mod tests {
         // The common series is in the design span, so the LS fit recovers
         // column one of (A, b) as (1, 0, 0).
         let data = sensor_dataset(&SensorConfig::reduced(10, 64));
-        let set = Symex::new(params(SymexVariant::Plus, 3, 4)).run(&data).unwrap();
+        let set = Symex::new(params(SymexVariant::Plus, 3, 4))
+            .run(&data)
+            .unwrap();
         for r in set.relationships() {
             assert!((r.a[0][0] - 1.0).abs() < 1e-6, "a11 = {}", r.a[0][0]);
             assert!(r.a[1][0].abs() < 1e-6, "a21 = {}", r.a[1][0]);
@@ -550,7 +552,9 @@ mod tests {
     #[test]
     fn series_relationships_cover_all_series() {
         let data = sensor_dataset(&SensorConfig::reduced(15, 32));
-        let set = Symex::new(params(SymexVariant::Plus, 3, 9)).run(&data).unwrap();
+        let set = Symex::new(params(SymexVariant::Plus, 3, 9))
+            .run(&data)
+            .unwrap();
         assert_eq!(set.series_relationships().len(), 15);
         for v in 0..15 {
             let sr = set.series_relationship(v);
@@ -562,7 +566,9 @@ mod tests {
     #[test]
     fn pivot_columns_borrow_correct_slices() {
         let data = sensor_dataset(&SensorConfig::reduced(8, 24));
-        let set = Symex::new(params(SymexVariant::Plus, 2, 3)).run(&data).unwrap();
+        let set = Symex::new(params(SymexVariant::Plus, 2, 3))
+            .run(&data)
+            .unwrap();
         let pivot = set.pivots()[0];
         let (common, center) = set.pivot_columns(&data, pivot);
         assert_eq!(common.len(), 24);
@@ -573,8 +579,12 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let data = sensor_dataset(&SensorConfig::reduced(12, 32));
-        let a = Symex::new(params(SymexVariant::Plus, 3, 11)).run(&data).unwrap();
-        let b = Symex::new(params(SymexVariant::Plus, 3, 11)).run(&data).unwrap();
+        let a = Symex::new(params(SymexVariant::Plus, 3, 11))
+            .run(&data)
+            .unwrap();
+        let b = Symex::new(params(SymexVariant::Plus, 3, 11))
+            .run(&data)
+            .unwrap();
         assert_eq!(a.relationships().len(), b.relationships().len());
         for (x, y) in a.relationships().iter().zip(b.relationships()) {
             assert_eq!(x, y);
@@ -606,7 +616,9 @@ mod tests {
     #[test]
     fn two_series_edge_case() {
         let data = sensor_dataset(&SensorConfig::reduced(2, 16));
-        let set = Symex::new(params(SymexVariant::Plus, 1, 1)).run(&data).unwrap();
+        let set = Symex::new(params(SymexVariant::Plus, 1, 1))
+            .run(&data)
+            .unwrap();
         assert_eq!(set.len(), 1);
         assert!(set.relationship(SequencePair::new(0, 1)).is_some());
     }

@@ -112,13 +112,10 @@ pub fn read_csv<R: Read>(r: R) -> Result<DataMatrix, CsvError> {
             if c >= n {
                 return Err(CsvError::Ragged { line: lineno });
             }
-            let v: f64 = cell
-                .trim()
-                .parse()
-                .map_err(|_| CsvError::BadNumber {
-                    line: lineno,
-                    column: c,
-                })?;
+            let v: f64 = cell.trim().parse().map_err(|_| CsvError::BadNumber {
+                line: lineno,
+                column: c,
+            })?;
             columns[c].push(v);
             count += 1;
         }
@@ -148,10 +145,7 @@ mod tests {
     use super::*;
 
     fn sample_matrix() -> DataMatrix {
-        let mut dm = DataMatrix::from_series(vec![
-            vec![1.0, 2.5, -3.0],
-            vec![0.125, 1e-9, 4.0],
-        ]);
+        let mut dm = DataMatrix::from_series(vec![vec![1.0, 2.5, -3.0], vec![0.125, 1e-9, 4.0]]);
         dm.set_labels(vec!["INTC".into(), "AMD".into()]);
         dm
     }

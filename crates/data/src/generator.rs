@@ -135,9 +135,7 @@ pub fn sensor_dataset(cfg: &SensorConfig) -> DataMatrix {
         let base: Vec<f64> = (0..m)
             .map(|i| {
                 let t = i as f64 / m as f64;
-                a1 * (2.0 * PI * t + p1).sin()
-                    + a2 * (4.0 * PI * t + p2).sin()
-                    + trend * t
+                a1 * (2.0 * PI * t + p1).sin() + a2 * (4.0 * PI * t + p2).sin() + trend * t
             })
             .collect();
         bases.push(base);
@@ -184,7 +182,11 @@ pub fn stock_dataset(cfg: &StockConfig) -> DataMatrix {
     let market: Vec<f64> = (0..m).map(|_| cfg.market_vol * randn(&mut rng)).collect();
     // Sector factor returns.
     let sectors: Vec<Vec<f64>> = (0..cfg.sectors)
-        .map(|_| (0..m).map(|_| 0.7 * cfg.market_vol * randn(&mut rng)).collect())
+        .map(|_| {
+            (0..m)
+                .map(|_| 0.7 * cfg.market_vol * randn(&mut rng))
+                .collect()
+        })
         .collect();
 
     let mut columns = Vec::with_capacity(cfg.series);
@@ -198,9 +200,7 @@ pub fn stock_dataset(cfg: &StockConfig) -> DataMatrix {
         let sec = &sectors[sector];
         let col: Vec<f64> = (0..m)
             .map(|i| {
-                let ret = beta_m * market[i]
-                    + beta_s * sec[i]
-                    + cfg.idio_vol * randn(&mut rng);
+                let ret = beta_m * market[i] + beta_s * sec[i] + cfg.idio_vol * randn(&mut rng);
                 log_price += ret;
                 log_price.exp()
             })

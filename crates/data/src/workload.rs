@@ -52,10 +52,7 @@ impl ZipfSampler {
     pub fn sample(&mut self) -> usize {
         let u: f64 = self.rng.gen_range(0.0..1.0);
         // First index with cdf >= u.
-        match self
-            .cdf
-            .binary_search_by(|c| c.partial_cmp(&u).unwrap())
-        {
+        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).unwrap()) {
             Ok(i) => i,
             Err(i) => i.min(self.cdf.len() - 1),
         }
@@ -140,7 +137,10 @@ mod tests {
             counts[z.sample()] += 1;
         }
         for c in counts {
-            assert!((c as i64 - 2000).abs() < 400, "count {c} too far from uniform");
+            assert!(
+                (c as i64 - 2000).abs() < 400,
+                "count {c} too far from uniform"
+            );
         }
     }
 

@@ -193,7 +193,10 @@ mod tests {
 
     #[test]
     fn scale_and_constants() {
-        assert_eq!(Complex64::from_real(2.0).scale(3.0), Complex64::new(6.0, 0.0));
+        assert_eq!(
+            Complex64::from_real(2.0).scale(3.0),
+            Complex64::new(6.0, 0.0)
+        );
         assert_eq!(Complex64::ZERO + Complex64::ONE, Complex64::ONE);
         assert_eq!(Complex64::default(), Complex64::ZERO);
     }

@@ -251,7 +251,10 @@ mod tests {
     fn fft_real_matches_complex_path() {
         let x: Vec<f64> = (0..30).map(|i| (i as f64 * 0.4).sin()).collect();
         let a = fft_real(&x);
-        let b = fft(&x.iter().map(|&v| Complex64::from_real(v)).collect::<Vec<_>>());
+        let b = fft(&x
+            .iter()
+            .map(|&v| Complex64::from_real(v))
+            .collect::<Vec<_>>());
         assert_close(&a, &b, 1e-15);
     }
 

@@ -59,9 +59,8 @@ impl DftSketch {
         let spectrum = fft_real(&z);
         // Candidate bins 1..=m/2 with their magnitudes.
         let half = m / 2;
-        let mut candidates: Vec<(u32, f64)> = (1..=half)
-            .map(|b| (b as u32, spectrum[b].abs()))
-            .collect();
+        let mut candidates: Vec<(u32, f64)> =
+            (1..=half).map(|b| (b as u32, spectrum[b].abs())).collect();
         candidates.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
         let mut keep: Vec<(u32, Complex64)> = candidates
             .into_iter()
@@ -114,7 +113,7 @@ impl DftSketch {
         let m = self.len as f64;
         let mut captured = 0.0;
         for &(b, c) in &self.bins {
-            let w = if self.len % 2 == 0 && b as usize == self.len / 2 {
+            let w = if self.len.is_multiple_of(2) && b as usize == self.len / 2 {
                 1.0
             } else {
                 2.0
@@ -152,7 +151,7 @@ impl DftSketch {
                 std::cmp::Ordering::Less => i += 1,
                 std::cmp::Ordering::Greater => j += 1,
                 std::cmp::Ordering::Equal => {
-                    let w = if self.len % 2 == 0 && bi as usize == self.len / 2 {
+                    let w = if self.len.is_multiple_of(2) && bi as usize == self.len / 2 {
                         1.0
                     } else {
                         2.0
@@ -275,7 +274,10 @@ mod tests {
             .map(|i| ((i * 2654435761_usize) % 101) as f64 / 101.0)
             .collect();
         let sn = DftSketch::build(&noise, 5);
-        assert!(sn.energy_fraction() < 0.9, "white-ish noise is uncooperative");
+        assert!(
+            sn.energy_fraction() < 0.9,
+            "white-ish noise is uncooperative"
+        );
     }
 
     #[test]

@@ -5,8 +5,11 @@ use affinity_dft::{fft, ifft, naive_dft, Complex64};
 use proptest::prelude::*;
 
 fn signal(max_len: usize) -> impl Strategy<Value = Vec<Complex64>> {
-    proptest::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 1..max_len)
-        .prop_map(|v| v.into_iter().map(|(re, im)| Complex64::new(re, im)).collect())
+    proptest::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 1..max_len).prop_map(|v| {
+        v.into_iter()
+            .map(|(re, im)| Complex64::new(re, im))
+            .collect()
+    })
 }
 
 proptest! {

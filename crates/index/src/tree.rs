@@ -409,7 +409,9 @@ mod tests {
         // Deterministic pseudo-random sequence.
         let mut x: u64 = 0x12345678;
         for i in 0..5000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let k = ((x >> 33) as i64) - (1 << 30);
             t.insert(k as f64, i);
             oracle.push((k, i));
@@ -422,11 +424,7 @@ mod tests {
         assert_eq!(got, want);
     }
 
-    fn range_oracle(
-        entries: &[(f64, usize)],
-        lo: Bound<f64>,
-        hi: Bound<f64>,
-    ) -> Vec<(f64, usize)> {
+    fn range_oracle(entries: &[(f64, usize)], lo: Bound<f64>, hi: Bound<f64>) -> Vec<(f64, usize)> {
         let mut v: Vec<(f64, usize)> = entries
             .iter()
             .filter(|(k, _)| {
@@ -454,7 +452,9 @@ mod tests {
         let mut entries = Vec::new();
         let mut x: u64 = 42;
         for i in 0..2000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let k = ((x >> 40) as f64) / 256.0; // many duplicates
             t.insert(k, i);
             entries.push((k, i));
@@ -497,7 +497,10 @@ mod tests {
         let t: BPlusTree<u8> = BPlusTree::bulk_build(vec![]);
         assert!(t.is_empty());
         let t = BPlusTree::bulk_build(vec![(1.5, 7u8)]);
-        assert_eq!(t.iter().map(|(k, v)| (k, *v)).collect::<Vec<_>>(), vec![(1.5, 7)]);
+        assert_eq!(
+            t.iter().map(|(k, v)| (k, *v)).collect::<Vec<_>>(),
+            vec![(1.5, 7)]
+        );
     }
 
     #[test]

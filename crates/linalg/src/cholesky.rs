@@ -3,7 +3,6 @@
 //! Used as an alternative least-squares path (normal equations) and by
 //! tests as an independent oracle for the QR solver.
 
-
 // Index-based loops over matrix coordinates are the clearest notation
 // for these kernels.
 #![allow(clippy::needless_range_loop)]

@@ -62,7 +62,9 @@ mod tests {
         assert!(e.to_string().contains("column 2"));
         let e = LinalgError::NoConvergence { iterations: 30 };
         assert!(e.to_string().contains("30"));
-        assert!(LinalgError::NotPositiveDefinite.to_string().contains("positive"));
+        assert!(LinalgError::NotPositiveDefinite
+            .to_string()
+            .contains("positive"));
         assert!(LinalgError::Empty.to_string().contains("non-empty"));
     }
 

@@ -261,7 +261,9 @@ impl Matrix {
                 x.len()
             )));
         }
-        Ok((0..self.cols).map(|c| vector::dot(self.col(c), x)).collect())
+        Ok((0..self.cols)
+            .map(|c| vector::dot(self.col(c), x))
+            .collect())
     }
 
     /// Gram matrix `selfᵀ·self` (`cols×cols`), exploiting symmetry.
@@ -283,7 +285,9 @@ impl Matrix {
     /// Produces the "zero-mean counterpart" `X̂` used by the LSFD metric
     /// (paper Def. 1).
     pub fn center_columns(&mut self) -> Vec<f64> {
-        (0..self.cols).map(|c| vector::center(self.col_mut(c))).collect()
+        (0..self.cols)
+            .map(|c| vector::center(self.col_mut(c)))
+            .collect()
     }
 
     /// Frobenius norm.

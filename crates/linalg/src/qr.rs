@@ -7,7 +7,6 @@
 //! factorization yields the Moore–Penrose pseudo-inverse that SYMEX+
 //! caches per pivot pair.
 
-
 // Index-based loops over matrix coordinates are the clearest notation
 // for these kernels.
 #![allow(clippy::needless_range_loop)]
@@ -321,7 +320,9 @@ mod tests {
         // Overdetermined noisy fit; cross-check against the normal
         // equations solved by hand.
         let xs: Vec<f64> = (0..50).map(|i| i as f64 / 7.0).collect();
-        let noise: Vec<f64> = (0..50).map(|i| ((i * 2654435761_usize) % 97) as f64 / 97.0 - 0.5).collect();
+        let noise: Vec<f64> = (0..50)
+            .map(|i| ((i * 2654435761_usize) % 97) as f64 / 97.0 - 0.5)
+            .collect();
         let ys: Vec<f64> = xs
             .iter()
             .zip(noise.iter())
@@ -346,10 +347,8 @@ mod tests {
 
     #[test]
     fn residual_is_orthogonal_to_column_space() {
-        let a = Matrix::from_columns(&[
-            vec![1.0, 2.0, 3.0, 4.0, 5.0],
-            vec![1.0, 1.0, 1.0, 1.0, 1.0],
-        ]);
+        let a =
+            Matrix::from_columns(&[vec![1.0, 2.0, 3.0, 4.0, 5.0], vec![1.0, 1.0, 1.0, 1.0, 1.0]]);
         let b = vec![1.0, 0.5, 2.0, -1.0, 3.0];
         let x = QrFactorization::new(&a).unwrap().solve(&b).unwrap();
         let fitted = a.matvec(&x).unwrap();
@@ -423,7 +422,10 @@ mod tests {
     #[test]
     fn square_system_solves_exactly() {
         let a = Matrix::from_rows(&[vec![4.0, 1.0], vec![1.0, 3.0]]);
-        let x = QrFactorization::new(&a).unwrap().solve(&[1.0, 2.0]).unwrap();
+        let x = QrFactorization::new(&a)
+            .unwrap()
+            .solve(&[1.0, 2.0])
+            .unwrap();
         // Verify A x = b.
         let b = a.matvec(&x).unwrap();
         assert!(vector::max_abs_diff(&b, &[1.0, 2.0]) < 1e-12);

@@ -6,11 +6,8 @@ use affinity_linalg::{vector, LinalgError, Matrix};
 use proptest::prelude::*;
 
 fn tall_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
-    proptest::collection::vec(
-        proptest::collection::vec(-10.0f64..10.0, rows),
-        cols..=cols,
-    )
-    .prop_map(|cols| Matrix::from_columns(&cols))
+    proptest::collection::vec(proptest::collection::vec(-10.0f64..10.0, rows), cols..=cols)
+        .prop_map(|cols| Matrix::from_columns(&cols))
 }
 
 proptest! {

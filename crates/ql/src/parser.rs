@@ -126,8 +126,7 @@ fn parse_number(tok: Option<&String>) -> Result<f64, ParseError> {
         what: "a number",
         found: "<end>".into(),
     })?;
-    tok.parse()
-        .map_err(|_| ParseError::BadNumber(tok.clone()))
+    tok.parse().map_err(|_| ParseError::BadNumber(tok.clone()))
 }
 
 /// Parse a single statement.
@@ -320,19 +319,28 @@ mod tests {
             Statement::Explain(inner) => assert!(matches!(*inner, Statement::Met { .. })),
             other => panic!("unexpected {other:?}"),
         }
-        assert!(matches!(parse("explain nonsense"), Err(ParseError::UnknownStatement(_))));
+        assert!(matches!(
+            parse("explain nonsense"),
+            Err(ParseError::UnknownStatement(_))
+        ));
         assert_eq!(parse("EXPLAIN"), Err(ParseError::Empty));
     }
 
     #[test]
     fn rejects_garbage() {
         assert_eq!(parse(""), Err(ParseError::Empty));
-        assert!(matches!(parse("SELECT *"), Err(ParseError::UnknownStatement(_))));
+        assert!(matches!(
+            parse("SELECT *"),
+            Err(ParseError::UnknownStatement(_))
+        ));
         assert!(matches!(
             parse("MET sharpe > 1"),
             Err(ParseError::UnknownMeasure(_))
         ));
-        assert!(matches!(parse("MET corr >"), Err(ParseError::Expected { .. })));
+        assert!(matches!(
+            parse("MET corr >"),
+            Err(ParseError::Expected { .. })
+        ));
         assert!(matches!(
             parse("MET corr > banana"),
             Err(ParseError::BadNumber(_))
@@ -349,8 +357,14 @@ mod tests {
             parse("MER corr BETWEEN 0.5 OR 0.6"),
             Err(ParseError::Expected { .. })
         ));
-        assert!(matches!(parse("MEC mean"), Err(ParseError::Expected { .. })));
-        assert!(matches!(parse("MEC mean OF"), Err(ParseError::Expected { .. })));
+        assert!(matches!(
+            parse("MEC mean"),
+            Err(ParseError::Expected { .. })
+        ));
+        assert!(matches!(
+            parse("MEC mean OF"),
+            Err(ParseError::Expected { .. })
+        ));
         assert!(matches!(
             parse("MEC mean FROM a b"),
             Err(ParseError::Expected { .. })

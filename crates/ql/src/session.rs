@@ -327,11 +327,7 @@ impl<'a> Session<'a> {
     }
 
     /// Fallback plan: filter `W_A` values over all series.
-    fn scan_series(
-        &self,
-        measure: LocationMeasure,
-        keep: impl Fn(f64) -> bool,
-    ) -> Vec<SeriesId> {
+    fn scan_series(&self, measure: LocationMeasure, keep: impl Fn(f64) -> bool) -> Vec<SeriesId> {
         (0..self.data.series_count())
             .filter(|&v| keep(self.engine.location_value(measure, v).expect("in range")))
             .collect()
@@ -386,7 +382,11 @@ mod tests {
         let (data, affine) = fixture();
         let indexed = Session::new(&data, &affine, &Measure::ALL);
         let bare = Session::new(&data, &affine, &[]);
-        for q in ["MET correlation > 0.8", "MET covariance < 0", "MET median > 100"] {
+        for q in [
+            "MET correlation > 0.8",
+            "MET covariance < 0",
+            "MET median > 100",
+        ] {
             let a = indexed.execute(q).unwrap();
             let b = bare.execute(q).unwrap();
             let norm = |o: QueryOutput| match o {
@@ -470,7 +470,10 @@ mod tests {
         assert!(text.contains("pairs"));
         let text = s.execute("MEC mean OF STK0").unwrap().to_string();
         assert!(text.contains("STK0"));
-        let text = s.execute("MEC covariance OF STK0 STK1").unwrap().to_string();
+        let text = s
+            .execute("MEC covariance OF STK0 STK1")
+            .unwrap()
+            .to_string();
         assert!(text.contains('\t'));
         let text = s.execute("MET mean > -1e18").unwrap().to_string();
         assert!(text.contains("series"));

@@ -47,11 +47,8 @@ impl<'a> NaiveExecutor<'a> {
                 measures::pairwise_self(measure, self.data.series(ids[i])),
             );
             for j in i + 1..q {
-                let v = measures::pairwise(
-                    measure,
-                    self.data.series(ids[i]),
-                    self.data.series(ids[j]),
-                );
+                let v =
+                    measures::pairwise(measure, self.data.series(ids[i]), self.data.series(ids[j]));
                 out.set(i, j, v);
                 out.set(j, i, v);
             }
@@ -76,12 +73,7 @@ impl<'a> NaiveExecutor<'a> {
     }
 
     /// MER over sequence pairs (`τ_l < value < τ_u`).
-    pub fn mer_pairs(
-        &self,
-        measure: PairwiseMeasure,
-        tau_l: f64,
-        tau_u: f64,
-    ) -> Vec<SequencePair> {
+    pub fn mer_pairs(&self, measure: PairwiseMeasure, tau_l: f64, tau_u: f64) -> Vec<SequencePair> {
         let values = measures::pairwise_all(measure, self.data);
         self.data
             .sequence_pairs()
@@ -92,12 +84,7 @@ impl<'a> NaiveExecutor<'a> {
     }
 
     /// MET over series (L-measures).
-    pub fn met_series(
-        &self,
-        measure: LocationMeasure,
-        op: ThresholdOp,
-        tau: f64,
-    ) -> Vec<SeriesId> {
+    pub fn met_series(&self, measure: LocationMeasure, op: ThresholdOp, tau: f64) -> Vec<SeriesId> {
         (0..self.data.series_count())
             .filter(|&v| keep(op, measures::location(measure, self.data.series(v)), tau))
             .collect()
@@ -169,12 +156,7 @@ impl<'a> AffineExecutor<'a> {
     }
 
     /// MER over sequence pairs.
-    pub fn mer_pairs(
-        &self,
-        measure: PairwiseMeasure,
-        tau_l: f64,
-        tau_u: f64,
-    ) -> Vec<SequencePair> {
+    pub fn mer_pairs(&self, measure: PairwiseMeasure, tau_l: f64, tau_u: f64) -> Vec<SequencePair> {
         self.data
             .sequence_pairs()
             .into_iter()
@@ -186,12 +168,7 @@ impl<'a> AffineExecutor<'a> {
     }
 
     /// MET over series.
-    pub fn met_series(
-        &self,
-        measure: LocationMeasure,
-        op: ThresholdOp,
-        tau: f64,
-    ) -> Vec<SeriesId> {
+    pub fn met_series(&self, measure: LocationMeasure, op: ThresholdOp, tau: f64) -> Vec<SeriesId> {
         (0..self.data.series_count())
             .filter(|&v| {
                 keep(
@@ -386,7 +363,11 @@ mod tests {
             .iter()
             .map(|&p| measures::correlation(data.series(p.u), data.series(p.v)))
             .collect();
-        let approx: Vec<f64> = data.sequence_pairs().iter().map(|&p| wf.correlation(p)).collect();
+        let approx: Vec<f64> = data
+            .sequence_pairs()
+            .iter()
+            .map(|&p| wf.correlation(p))
+            .collect();
         let err = percent_rmse(&exact, &approx);
         assert!(err < 20.0, "WF %RMSE {err}");
         // Threshold queries should broadly agree with WN on extreme taus.
@@ -411,11 +392,19 @@ mod tests {
         let large = DftExecutor::with_coefficients(&data, 32);
         let err_small = percent_rmse(
             &exact,
-            &data.sequence_pairs().iter().map(|&p| small.correlation(p)).collect::<Vec<_>>(),
+            &data
+                .sequence_pairs()
+                .iter()
+                .map(|&p| small.correlation(p))
+                .collect::<Vec<_>>(),
         );
         let err_large = percent_rmse(
             &exact,
-            &data.sequence_pairs().iter().map(|&p| large.correlation(p)).collect::<Vec<_>>(),
+            &data
+                .sequence_pairs()
+                .iter()
+                .map(|&p| large.correlation(p))
+                .collect::<Vec<_>>(),
         );
         assert!(
             err_large <= err_small + 1e-9,

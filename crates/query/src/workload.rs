@@ -157,7 +157,10 @@ mod tests {
             .filter(|q| matches!(q.measure, Measure::Location(_)))
             .count();
         // Half the measure space is location measures; allow wide slack.
-        assert!(location > 150 && location < 450, "location count {location}");
+        assert!(
+            location > 150 && location < 450,
+            "location count {location}"
+        );
     }
 
     #[test]

@@ -190,9 +190,7 @@ impl ScapeIndex {
                 let (u, v) = (rel.pair.u, rel.pair.v);
                 let normalizers = match measure {
                     // Covariance family: slot 0 = correlation normalizer.
-                    PairwiseMeasure::Covariance => {
-                        [(variances[u] * variances[v]).sqrt(), 0.0]
-                    }
+                    PairwiseMeasure::Covariance => [(variances[u] * variances[v]).sqrt(), 0.0],
                     // Dot family: slot 0 = cosine, slot 1 = Dice.
                     _ => [
                         (self_dots[u] * self_dots[v]).sqrt(),
@@ -250,8 +248,7 @@ impl ScapeIndex {
                 node.tree.insert(xi, sr.series);
             }
             stats.location_pivot_nodes += nodes.len();
-            stats.location_series_nodes +=
-                nodes.iter().map(|n| n.tree.len()).sum::<usize>();
+            stats.location_series_nodes += nodes.iter().map(|n| n.tree.len()).sum::<usize>();
             loc[tag] = Some(nodes);
         }
 

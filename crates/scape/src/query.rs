@@ -299,13 +299,19 @@ fn derived_range(
                 .range(Bound::Excluded(l_hi), Bound::Excluded(u_lo))
                 .map(|(_, sn)| sn.pair),
         );
-        for (xi, sn) in node.tree.range(Bound::Included(l_lo), Bound::Included(l_hi)) {
+        for (xi, sn) in node
+            .tree
+            .range(Bound::Included(l_lo), Bound::Included(l_hi))
+        {
             let r = derived_value(xi, node.alpha_norm, sn.normalizers[slot]);
             if tau_l < r && r < tau_u {
                 out.push(sn.pair);
             }
         }
-        for (xi, sn) in node.tree.range(Bound::Included(u_lo), Bound::Included(u_hi)) {
+        for (xi, sn) in node
+            .tree
+            .range(Bound::Included(u_lo), Bound::Included(u_hi))
+        {
             let r = derived_value(xi, node.alpha_norm, sn.normalizers[slot]);
             if tau_l < r && r < tau_u {
                 out.push(sn.pair);
@@ -313,7 +319,10 @@ fn derived_range(
         }
     } else {
         // Case II: verify the whole unpruned band [l_lo, u_hi].
-        for (xi, sn) in node.tree.range(Bound::Included(l_lo), Bound::Included(u_hi)) {
+        for (xi, sn) in node
+            .tree
+            .range(Bound::Included(l_lo), Bound::Included(u_hi))
+        {
             let r = derived_value(xi, node.alpha_norm, sn.normalizers[slot]);
             if tau_l < r && r < tau_u {
                 out.push(sn.pair);
@@ -374,12 +383,7 @@ mod tests {
                 .collect()
         }
 
-        fn series_threshold(
-            &self,
-            m: LocationMeasure,
-            op: ThresholdOp,
-            tau: f64,
-        ) -> Vec<SeriesId> {
+        fn series_threshold(&self, m: LocationMeasure, op: ThresholdOp, tau: f64) -> Vec<SeriesId> {
             (0..self.data.series_count())
                 .filter(|&v| {
                     let val = self.engine.location_value(m, v).unwrap();
@@ -429,7 +433,12 @@ mod tests {
         let all: Vec<f64> = data
             .sequence_pairs()
             .iter()
-            .map(|&p| oracle.engine.pair_value(PairwiseMeasure::DotProduct, p).unwrap())
+            .map(|&p| {
+                oracle
+                    .engine
+                    .pair_value(PairwiseMeasure::DotProduct, p)
+                    .unwrap()
+            })
             .collect();
         let mid = all.iter().sum::<f64>() / all.len() as f64;
         for tau in [mid * 0.5, mid, mid * 1.5] {
@@ -437,8 +446,11 @@ mod tests {
                 idx.threshold_pairs(PairwiseMeasure::DotProduct, ThresholdOp::Greater, tau)
                     .unwrap(),
             );
-            let want =
-                sorted(oracle.pairs_threshold(PairwiseMeasure::DotProduct, ThresholdOp::Greater, tau));
+            let want = sorted(oracle.pairs_threshold(
+                PairwiseMeasure::DotProduct,
+                ThresholdOp::Greater,
+                tau,
+            ));
             assert_eq!(got, want);
         }
     }
@@ -454,8 +466,7 @@ mod tests {
                     idx.threshold_pairs(PairwiseMeasure::Correlation, op, tau)
                         .unwrap(),
                 );
-                let want =
-                    sorted(oracle.pairs_threshold(PairwiseMeasure::Correlation, op, tau));
+                let want = sorted(oracle.pairs_threshold(PairwiseMeasure::Correlation, op, tau));
                 assert_eq!(got, want, "tau {tau}, op {op:?}");
             }
         }
@@ -468,8 +479,17 @@ mod tests {
         let oracle = Oracle::new(&data, &affine);
         // Wide range triggers case I (definite-in core), narrow range
         // triggers case II.
-        for (lo, hi) in [(-1.5, 1.5), (0.2, 0.9), (0.59, 0.61), (-0.9, -0.1), (0.0, 0.0001)] {
-            let got = sorted(idx.range_pairs(PairwiseMeasure::Correlation, lo, hi).unwrap());
+        for (lo, hi) in [
+            (-1.5, 1.5),
+            (0.2, 0.9),
+            (0.59, 0.61),
+            (-0.9, -0.1),
+            (0.0, 0.0001),
+        ] {
+            let got = sorted(
+                idx.range_pairs(PairwiseMeasure::Correlation, lo, hi)
+                    .unwrap(),
+            );
             let want = sorted(oracle.pairs_range(PairwiseMeasure::Correlation, lo, hi));
             assert_eq!(got, want, "range ({lo}, {hi})");
         }
@@ -481,7 +501,10 @@ mod tests {
         let idx = ScapeIndex::build(&data, &affine, &Measure::ALL);
         let oracle = Oracle::new(&data, &affine);
         for (lo, hi) in [(-1.0, 1.0), (0.0, 0.5), (-0.2, 0.0)] {
-            let got = sorted(idx.range_pairs(PairwiseMeasure::Covariance, lo, hi).unwrap());
+            let got = sorted(
+                idx.range_pairs(PairwiseMeasure::Covariance, lo, hi)
+                    .unwrap(),
+            );
             let want = sorted(oracle.pairs_range(PairwiseMeasure::Covariance, lo, hi));
             assert_eq!(got, want);
         }

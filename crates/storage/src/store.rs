@@ -152,8 +152,8 @@ impl MatrixStore {
             if cursor + 4 > label_block.len() {
                 return Err(StorageError::Corrupt(format!("label {i} truncated")));
             }
-            let len = u32::from_le_bytes(label_block[cursor..cursor + 4].try_into().unwrap())
-                as usize;
+            let len =
+                u32::from_le_bytes(label_block[cursor..cursor + 4].try_into().unwrap()) as usize;
             cursor += 4;
             if cursor + len > label_block.len() {
                 return Err(StorageError::Corrupt(format!("label {i} truncated")));
@@ -164,7 +164,9 @@ impl MatrixStore {
             cursor += len;
         }
         if cursor != label_block.len() {
-            return Err(StorageError::Corrupt("trailing bytes in label block".into()));
+            return Err(StorageError::Corrupt(
+                "trailing bytes in label block".into(),
+            ));
         }
         let columns_start = 8 + 4 + 8 + 8 + 8 + label_len as u64 + 4;
         Ok(MatrixStore {
@@ -343,7 +345,10 @@ mod tests {
     fn bad_magic_and_version() {
         let path = tmp("magic.afn");
         std::fs::write(&path, b"NOTAFILE________").unwrap();
-        assert!(matches!(MatrixStore::open(&path), Err(StorageError::BadMagic)));
+        assert!(matches!(
+            MatrixStore::open(&path),
+            Err(StorageError::BadMagic)
+        ));
         // Valid magic, bogus version.
         let mut bytes = Vec::new();
         bytes.extend_from_slice(MAGIC);

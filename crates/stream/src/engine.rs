@@ -124,9 +124,7 @@ impl StreamingEngine {
         }
         let due = match self.model {
             None => true,
-            Some(_) => {
-                self.window.ticks() - self.ticks_at_last_refresh >= self.cfg.refresh_every
-            }
+            Some(_) => self.window.ticks() - self.ticks_at_last_refresh >= self.cfg.refresh_every,
         };
         if due {
             self.refresh()?;
@@ -148,7 +146,11 @@ impl StreamingEngine {
         let data = self.window.snapshot();
         let mut params = self.cfg.symex.clone();
         // Clamp k to the series count (small deployments).
-        params.afclst.k = params.afclst.k.min(data.series_count().saturating_sub(1)).max(1);
+        params.afclst.k = params
+            .afclst
+            .k
+            .min(data.series_count().saturating_sub(1))
+            .max(1);
         let affine = Symex::new(params).run(&data)?;
         let index = ScapeIndex::build(&data, &affine, &self.cfg.indexed);
         self.model = Some(Model {

@@ -75,14 +75,14 @@ impl RollingStats {
         if !evicting {
             self.filled += 1;
         }
-        for v in 0..incoming.len() {
+        for (v, &inc) in incoming.iter().enumerate() {
             if !self.initialized[v] {
                 // Anchor the reference at the first observed value.
-                self.refs[v] = incoming[v];
+                self.refs[v] = inc;
                 self.initialized[v] = true;
             }
             let c = self.refs[v];
-            let x = incoming[v] - c;
+            let x = inc - c;
             self.sums[v] += x;
             self.sum_sqs[v] += x * x;
             if evicting {
@@ -101,15 +101,15 @@ impl RollingStats {
     /// incoming tick: re-anchors the reference at the current mean and
     /// zeroes accumulated drift.
     fn renormalize_from(&mut self, window: &SlidingWindow, incoming: &[f64]) {
-        for v in 0..self.sums.len() {
+        for (v, &inc) in incoming.iter().enumerate().take(self.sums.len()) {
             let s = window.series(v);
             let skip = usize::from(window.is_warm());
             let live = &s[skip..];
             // New reference: the mean of the post-push window.
             let count = (live.len() + 1) as f64;
-            let c = (incoming[v] + live.iter().sum::<f64>()) / count;
-            let mut sum = incoming[v] - c;
-            let mut sq = (incoming[v] - c) * (incoming[v] - c);
+            let c = (inc + live.iter().sum::<f64>()) / count;
+            let mut sum = inc - c;
+            let mut sq = (inc - c) * (inc - c);
             for &x in live {
                 let d = x - c;
                 sum += d;
@@ -194,9 +194,8 @@ mod tests {
     fn large_offsets_stay_accurate() {
         // Offsets of 1e9 destroy the unshifted E[x²]−E[x]² formula; the
         // shifted moments keep full relative precision.
-        let series: Vec<Vec<f64>> = vec![(0..5000)
-            .map(|i| 1e9 + (i as f64 * 0.37).sin())
-            .collect()];
+        let series: Vec<Vec<f64>> =
+            vec![(0..5000).map(|i| 1e9 + (i as f64 * 0.37).sin()).collect()];
         let (w, r) = drive(&series, 32, 64);
         let s = w.series(0);
         let exact_var = vector::variance(s);
@@ -235,9 +234,9 @@ mod tests {
         let n = series[0].len();
         let mut w = SlidingWindow::new(1, 4);
         let mut r = RollingStats::new(1, 4);
-        for i in 0..n {
-            r.on_tick(&w, &[series[0][i]]);
-            w.push(&[series[0][i]]);
+        for &x in series[0].iter().take(n) {
+            r.on_tick(&w, &[x]);
+            w.push(&[x]);
         }
         assert!(!w.is_warm());
         assert!((r.self_dot(0) - 20.0).abs() < 1e-12);

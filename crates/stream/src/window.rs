@@ -28,7 +28,10 @@ impl SlidingWindow {
     /// # Panics
     /// Panics if either dimension is zero.
     pub fn new(series: usize, width: usize) -> Self {
-        assert!(series > 0 && width > 0, "window dimensions must be positive");
+        assert!(
+            series > 0 && width > 0,
+            "window dimensions must be positive"
+        );
         SlidingWindow {
             series,
             width,

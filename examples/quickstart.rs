@@ -36,7 +36,12 @@ fn main() {
     println!("means of {ids:?} (via affine relationships): {means:.3?}");
 
     let rho = engine.pairwise(PairwiseMeasure::Correlation, &ids);
-    println!("correlation of ({}, {}): {:.4}", ids[0], ids[1], rho.get(0, 1));
+    println!(
+        "correlation of ({}, {}): {:.4}",
+        ids[0],
+        ids[1],
+        rho.get(0, 1)
+    );
 
     // Error vs exact computation across ALL pairs (Eq. 16 of the paper).
     let exact = affinity::core::measures::pairwise_all(PairwiseMeasure::Covariance, &data);

@@ -37,7 +37,9 @@ fn main() {
 
     // One-time preparation: relationships + index.
     let t0 = Instant::now();
-    let affine = Symex::new(SymexParams::default()).run(&data).expect("symex");
+    let affine = Symex::new(SymexParams::default())
+        .run(&data)
+        .expect("symex");
     let index = ScapeIndex::build(&data, &affine, &Measure::ALL);
     println!(
         "prep: {} relationships, {} pivot nodes, built in {:.3?}",
@@ -66,12 +68,20 @@ fn main() {
     let medians = engine.location_all(LocationMeasure::Median);
     let mean_med = medians.iter().sum::<f64>() / medians.len() as f64;
     let high = index
-        .threshold_series(LocationMeasure::Median, ThresholdOp::Greater, mean_med + 5.0)
+        .threshold_series(
+            LocationMeasure::Median,
+            ThresholdOp::Greater,
+            mean_med + 5.0,
+        )
         .unwrap();
     let low = index
         .threshold_series(LocationMeasure::Median, ThresholdOp::Less, mean_med - 5.0)
         .unwrap();
-    println!("median alerts: {} high, {} low (band centre {mean_med:.2})", high.len(), low.len());
+    println!(
+        "median alerts: {} high, {} low (band centre {mean_med:.2})",
+        high.len(),
+        low.len()
+    );
     for v in high.iter().take(5) {
         println!("  high: {} (median {:.2})", data.label(*v), medians[*v]);
     }

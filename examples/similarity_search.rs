@@ -24,7 +24,9 @@ fn main() {
     );
 
     // One set of relationships serves every measure.
-    let affine = Symex::new(SymexParams::default()).run(&data).expect("symex");
+    let affine = Symex::new(SymexParams::default())
+        .run(&data)
+        .expect("symex");
     let engine = MecEngine::new(&data, &affine);
     let index = ScapeIndex::build(&data, &affine, &Measure::EXTENDED);
 
@@ -58,7 +60,12 @@ fn main() {
         .collect();
     ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
     for (p, c) in ranked.iter().take(5) {
-        println!("  {:>6} ~ {:<6} cosine = {:.6}", data.label(p.u), data.label(p.v), c);
+        println!(
+            "  {:>6} ~ {:<6} cosine = {:.6}",
+            data.label(p.u),
+            data.label(p.v),
+            c
+        );
     }
 
     // Dice-coefficient band query: pairs of comparable "mass" overlap.

@@ -49,7 +49,9 @@ fn main() {
 
     // W_A: one-time SYMEX+ pass, then reconstruct every pair.
     let t0 = Instant::now();
-    let affine = Symex::new(SymexParams::default()).run(&data).expect("symex");
+    let affine = Symex::new(SymexParams::default())
+        .run(&data)
+        .expect("symex");
     let t_setup = t0.elapsed();
     let engine = MecEngine::new(&data, &affine);
     let t0 = Instant::now();
@@ -59,10 +61,7 @@ fn main() {
     println!("W_N  (from scratch):        {:>9.3?}", t_naive);
     println!("W_A  (affine, setup):       {:>9.3?}", t_setup);
     println!("W_A  (affine, all pairs):   {:>9.3?}", t_affine);
-    println!(
-        "accuracy: %RMSE = {:.3}\n",
-        percent_rmse(&exact, &approx)
-    );
+    println!("accuracy: %RMSE = {:.3}\n", percent_rmse(&exact, &approx));
 
     // The trader's threshold query, answered through affine values.
     let tau = 0.95;
@@ -76,6 +75,11 @@ fn main() {
     hot.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
     println!("pairs with correlation > {tau}: {}", hot.len());
     for (p, r) in hot.iter().take(10) {
-        println!("  {:>6} ~ {:<6} rho = {:.4}", data.label(p.u), data.label(p.v), r);
+        println!(
+            "  {:>6} ~ {:<6} rho = {:.4}",
+            data.label(p.u),
+            data.label(p.v),
+            r
+        );
     }
 }

@@ -24,7 +24,9 @@ fn main() {
     // Setup costs, reported separately (the paper's W_A numbers include
     // SYMEX+ time; SCAPE additionally pays index construction).
     let t0 = Instant::now();
-    let affine = Symex::new(SymexParams::default()).run(&data).expect("symex");
+    let affine = Symex::new(SymexParams::default())
+        .run(&data)
+        .expect("symex");
     let t_symex = t0.elapsed();
     let t0 = Instant::now();
     let index = ScapeIndex::build(&data, &affine, &Measure::ALL);
@@ -84,7 +86,12 @@ fn main() {
     let d_s = t0.elapsed();
     println!(
         "{:<34} {:>12.3?} {:>12.3?} {:>12} {:>12.3?} {:>9}",
-        "MET covariance > 0.1", d_n, d_a, "-", d_s, r_s.len()
+        "MET covariance > 0.1",
+        d_n,
+        d_a,
+        "-",
+        d_s,
+        r_s.len()
     );
 
     // MER: correlation in (0.6, 0.9).
@@ -98,11 +105,18 @@ fn main() {
     let _ = wf.mer_pairs(0.6, 0.9);
     let d_f = t0.elapsed();
     let t0 = Instant::now();
-    let r_s = index.range_pairs(PairwiseMeasure::Correlation, 0.6, 0.9).unwrap();
+    let r_s = index
+        .range_pairs(PairwiseMeasure::Correlation, 0.6, 0.9)
+        .unwrap();
     let d_s = t0.elapsed();
     println!(
         "{:<34} {:>12.3?} {:>12.3?} {:>12.3?} {:>12.3?} {:>9}",
-        "MER correlation in (0.6, 0.9)", d_n, d_a, d_f, d_s, r_s.len()
+        "MER correlation in (0.6, 0.9)",
+        d_n,
+        d_a,
+        d_f,
+        d_s,
+        r_s.len()
     );
 
     // MET on a location measure: median (W_F not applicable).

@@ -2,8 +2,8 @@
 //! relationships → MEC engine → SCAPE queries, asserting the paper's
 //! qualitative claims along the way.
 
-use affinity::prelude::*;
 use affinity::core::measures;
+use affinity::prelude::*;
 
 #[test]
 fn full_pipeline_sensor() {

@@ -111,7 +111,10 @@ fn wf_only_handles_correlation_and_degrades_gracefully() {
     assert!(err_wa < 25.0, "W_A %RMSE {err_wa}");
     assert!(err_wf < 60.0, "W_F %RMSE {err_wf}");
     for v in &wf_vals {
-        assert!((-1.0..=1.0).contains(v), "W_F correlation out of range: {v}");
+        assert!(
+            (-1.0..=1.0).contains(v),
+            "W_F correlation out of range: {v}"
+        );
     }
 }
 

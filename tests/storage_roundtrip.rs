@@ -6,11 +6,8 @@ use proptest::prelude::*;
 
 fn matrix_strategy() -> impl Strategy<Value = DataMatrix> {
     (1usize..8, 1usize..40).prop_flat_map(|(n, m)| {
-        proptest::collection::vec(
-            proptest::collection::vec(-1e6f64..1e6, m),
-            n..=n,
-        )
-        .prop_map(DataMatrix::from_series)
+        proptest::collection::vec(proptest::collection::vec(-1e6f64..1e6, m), n..=n)
+            .prop_map(DataMatrix::from_series)
     })
 }
 
@@ -55,6 +52,79 @@ proptest! {
         std::fs::remove_file(&path).ok();
         prop_assert_eq!(got.as_slice(), dm.series(v));
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Flipping any single byte anywhere in the column region — data or
+    /// stored CRC — is detected as a checksum mismatch, never silently
+    /// returned as data.
+    #[test]
+    fn corrupted_column_byte_is_detected(
+        dm in matrix_strategy(),
+        pick in any::<prop::sample::Index>(),
+        tag in 0u64..1_000_000,
+    ) {
+        use affinity::storage::StorageError;
+        let path = std::env::temp_dir()
+            .join(format!("affinity_crc_{tag}_{}.afn", std::process::id()));
+        MatrixStore::create(&path, &dm).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let col_region = dm.series_count() * (dm.samples() * 8 + 4);
+        let start = bytes.len() - col_region;
+        bytes[start + pick.index(col_region)] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let store = MatrixStore::open(&path).unwrap();
+        let res = store.read_all();
+        std::fs::remove_file(&path).ok();
+        prop_assert!(
+            matches!(res, Err(StorageError::ChecksumMismatch(_))),
+            "corrupted byte not caught: {res:?}"
+        );
+    }
+
+    /// Truncating the file anywhere inside the column region makes
+    /// `read_all` (and reading the last series) fail cleanly instead of
+    /// panicking or fabricating values.
+    #[test]
+    fn truncated_column_region_errors(
+        dm in matrix_strategy(),
+        pick in any::<prop::sample::Index>(),
+        tag in 0u64..1_000_000,
+    ) {
+        let path = std::env::temp_dir()
+            .join(format!("affinity_trunc_{tag}_{}.afn", std::process::id()));
+        MatrixStore::create(&path, &dm).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let col_region = dm.series_count() * (dm.samples() * 8 + 4);
+        let keep = bytes.len() - col_region + pick.index(col_region);
+        std::fs::write(&path, &bytes[..keep]).unwrap();
+        let store = MatrixStore::open(&path).unwrap();
+        let all = store.read_all();
+        let last = store.read_series(dm.series_count() - 1);
+        std::fs::remove_file(&path).ok();
+        prop_assert!(all.is_err(), "read_all on truncated file: {all:?}");
+        prop_assert!(last.is_err(), "read_series on truncated file: {last:?}");
+    }
+}
+
+/// Truncation inside the header/label block fails at `open` time.
+#[test]
+fn truncated_header_fails_to_open() {
+    let dm = sensor_dataset(&SensorConfig::reduced(5, 12));
+    let path = std::env::temp_dir().join(format!("affinity_hdr_{}.afn", std::process::id()));
+    MatrixStore::create(&path, &dm).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    // Cut in the middle of the label block (header is 36 bytes + labels).
+    for keep in [4usize, 12, 30, 40] {
+        std::fs::write(&path, &bytes[..keep.min(bytes.len())]).unwrap();
+        assert!(
+            MatrixStore::open(&path).is_err(),
+            "open succeeded on a {keep}-byte prefix"
+        );
+    }
+    std::fs::remove_file(&path).ok();
 }
 
 #[test]

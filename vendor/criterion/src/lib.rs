@@ -1,0 +1,240 @@
+//! Workspace-local shim for the subset of the `criterion` API this
+//! repo's microbenchmarks use: `Criterion`, `Bencher::iter` /
+//! `iter_batched`, `BatchSize`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! The build environment has no crates.io access, so instead of the full
+//! statistical harness this shim does honest but simple wall-clock
+//! timing: a warm-up phase, then `sample_size` samples whose per-
+//! iteration mean/min are printed. Good enough to spot order-of-
+//! magnitude regressions; not a substitute for upstream criterion's
+//! outlier analysis.
+
+#![deny(missing_docs)]
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost; only a hint in this shim.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many iterations per setup batch upstream.
+    SmallInput,
+    /// Large inputs: few iterations per batch upstream.
+    LargeInput,
+    /// Fresh setup for every iteration.
+    PerIteration,
+}
+
+/// Passed to the closure given to [`Criterion::bench_function`]; runs
+/// and times the measured routine.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    samples: Vec<Duration>, // per-sample mean cost of one iteration
+    iters_done: u64,
+}
+
+impl Bencher {
+    /// Time `routine`, called repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm up and estimate the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            std_black_box(routine());
+            iters += 1;
+        }
+        let per_iter = warm_start
+            .elapsed()
+            .checked_div(iters.max(1) as u32)
+            .unwrap_or_default();
+
+        // Split the measurement budget into `sample_size` samples.
+        let per_sample = self.measurement / self.sample_size as u32;
+        let iters_per_sample =
+            (per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 24) as u64;
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                std_black_box(routine());
+            }
+            self.samples.push(t.elapsed() / iters_per_sample as u32);
+            self.iters_done += iters_per_sample;
+        }
+    }
+
+    /// Time `routine` on inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up {
+            let input = setup();
+            std_black_box(routine(input));
+        }
+
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t = Instant::now();
+            std_black_box(routine(input));
+            self.samples.push(t.elapsed());
+            self.iters_done += 1;
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Benchmark driver, mirroring `criterion::Criterion`'s builder API.
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be >= 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Warm-up duration before measurement starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+            iters_done: 0,
+        };
+        f(&mut b);
+        if b.samples.is_empty() {
+            println!("{name:<40} (no samples)");
+            return self;
+        }
+        b.samples.sort();
+        let min = b.samples[0];
+        let median = b.samples[b.samples.len() / 2];
+        let total: Duration = b.samples.iter().sum();
+        let mean = total / b.samples.len() as u32;
+        println!(
+            "{name:<40} time: [min {} / median {} / mean {}]  ({} iters)",
+            fmt_duration(min),
+            fmt_duration(median),
+            fmt_duration(mean),
+            b.iters_done,
+        );
+        self
+    }
+
+    /// Upstream prints a summary here; the shim prints per-bench already.
+    pub fn final_summary(&mut self) {}
+}
+
+/// Group benchmark functions, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Produce `fn main` running the given groups, mirroring
+/// `criterion::criterion_main!`. Cargo's extra CLI args (`--bench`,
+/// filters) are accepted and ignored.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(4))
+    }
+
+    #[test]
+    fn iter_runs_and_reports() {
+        quick().bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn iter_batched_consumes_inputs() {
+        quick().bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u32, 2, 3], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(12)), "12.000 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(12)), "12.000 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.000 s");
+    }
+}

@@ -1,0 +1,112 @@
+//! `any::<T>()` over a minimal [`Arbitrary`] trait.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// Types with a canonical strategy, mirroring `proptest::arbitrary`.
+pub trait Arbitrary: Sized {
+    /// The canonical strategy for this type.
+    type Strategy: Strategy<Value = Self>;
+
+    /// Build the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+macro_rules! impl_arbitrary_uniform {
+    ($($t:ty => $r:expr),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            type Strategy = UniformStrategy<$t>;
+            fn arbitrary() -> Self::Strategy {
+                UniformStrategy(std::marker::PhantomData)
+            }
+        }
+        impl Strategy for UniformStrategy<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let f: fn(&mut TestRng) -> $t = $r;
+                f(rng)
+            }
+        }
+    )*};
+}
+
+/// Full-domain uniform strategy backing [`Arbitrary`] for primitives.
+#[derive(Clone, Copy, Debug)]
+pub struct UniformStrategy<T>(std::marker::PhantomData<T>);
+
+impl_arbitrary_uniform! {
+    bool => |rng| rng.gen_range(0u8..2) == 1,
+    usize => |rng| rng.gen_range(0usize..=usize::MAX),
+    u64 => |rng| rng.gen_range(0u64..=u64::MAX),
+    u32 => |rng| rng.gen_range(0u32..=u32::MAX),
+    i64 => |rng| rng.gen_range(i64::MIN..=i64::MAX),
+    i32 => |rng| rng.gen_range(i32::MIN..=i32::MAX),
+}
+
+/// `proptest::sample`: value types for picking indices/subsets.
+pub mod sample {
+    use super::{Arbitrary, UniformStrategy};
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// An index into a collection whose length is only known at use
+    /// site; mirrors `proptest::sample::Index`.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct Index(usize);
+
+    impl Index {
+        /// Map this abstract index into `0..len`. Panics if `len == 0`.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            self.0 % len
+        }
+    }
+
+    impl Arbitrary for Index {
+        type Strategy = UniformStrategy<Index>;
+        fn arbitrary() -> Self::Strategy {
+            UniformStrategy(std::marker::PhantomData)
+        }
+    }
+
+    impl Strategy for UniformStrategy<Index> {
+        type Value = Index;
+        fn generate(&self, rng: &mut TestRng) -> Index {
+            Index(rng.gen_range(0usize..=usize::MAX))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sample::Index;
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn index_maps_into_bounds() {
+        let mut rng = TestRng::seed_from_u64(2);
+        for len in [1usize, 2, 7, 1000] {
+            for _ in 0..64 {
+                let idx = any::<Index>().generate(&mut rng);
+                assert!(idx.index(len) < len);
+            }
+        }
+    }
+
+    #[test]
+    fn primitives_generate() {
+        let mut rng = TestRng::seed_from_u64(4);
+        let _ = any::<bool>().generate(&mut rng);
+        let _ = any::<u64>().generate(&mut rng);
+        let v = any::<i32>().generate(&mut rng);
+        let _ = v.checked_abs();
+    }
+}

@@ -1,0 +1,87 @@
+//! Collection strategies: `vec` with flexible size specifications.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use core::ops::{Range, RangeInclusive};
+use rand::Rng;
+
+/// Inclusive-exclusive length bounds for a generated collection.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // exclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end() + 1,
+        }
+    }
+}
+
+/// Strategy producing `Vec`s of values from an element strategy.
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let len = if self.size.lo + 1 == self.size.hi {
+            self.size.lo
+        } else {
+            rng.gen_range(self.size.lo..self.size.hi)
+        };
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// `Vec` strategy over `element` with `size` elements (a fixed `usize`,
+/// `Range<usize>` or `RangeInclusive<usize>`).
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fixed_and_ranged_sizes() {
+        let mut rng = TestRng::seed_from_u64(1);
+        assert_eq!(vec(0.0f64..1.0, 7).generate(&mut rng).len(), 7);
+        for _ in 0..50 {
+            let v = vec(0.0f64..1.0, 2..5).generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+        for _ in 0..50 {
+            let v = vec(0.0f64..1.0, 3..=3).generate(&mut rng);
+            assert_eq!(v.len(), 3);
+        }
+    }
+}

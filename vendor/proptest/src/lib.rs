@@ -1,0 +1,154 @@
+//! Workspace-local shim for the subset of `proptest` this repo uses.
+//!
+//! The build environment has no crates.io access, so the property-test
+//! suites run on this small deterministic re-implementation: strategies
+//! over primitive ranges, tuples, `Just`, `prop_map`, unions
+//! (`prop_oneof!`), `collection::vec`, and the `proptest!`/`prop_assert*`
+//! macros.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **No shrinking.** A failing case reports its seed and case number;
+//!   cases are deterministic, so a failure replays identically.
+//! * **Fixed seeding.** Every test's RNG stream is derived from the test
+//!   name via FNV-1a plus the case index — no environment, time or OS
+//!   entropy — so CI runs are bit-for-bit reproducible (and no
+//!   `proptest-regressions` files are needed).
+
+#![deny(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use arbitrary::sample;
+
+/// Everything a property-test file needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Define property tests. Mirrors `proptest::proptest!`.
+///
+/// Supported form: an optional `#![proptest_config(expr)]` header
+/// followed by `#[test]` functions whose arguments are
+/// `pattern in strategy` bindings.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($bind:pat_param in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                let mut runner =
+                    $crate::test_runner::TestRunner::new(config, stringify!($name));
+                runner.run(|prop_rng| {
+                    $(
+                        let $bind =
+                            $crate::strategy::Strategy::generate(&($strat), prop_rng);
+                    )+
+                    let mut prop_case = move || ->
+                        ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::core::result::Result::Ok(())
+                    };
+                    prop_case()
+                });
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($bind:pat_param in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::Config::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($bind in $strat),+) $body
+            )*
+        }
+    };
+}
+
+/// Assert a condition inside a `proptest!` body; on failure the current
+/// case returns a [`test_runner::TestCaseError`] instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (prop_lhs, prop_rhs) = (&$a, &$b);
+        $crate::prop_assert!(
+            prop_lhs == prop_rhs,
+            "assertion failed: `{:?} == {:?}`",
+            prop_lhs,
+            prop_rhs
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (prop_lhs, prop_rhs) = (&$a, &$b);
+        if !(prop_lhs == prop_rhs) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!(
+                    "assertion failed: `{:?} == {:?}`: {}",
+                    prop_lhs,
+                    prop_rhs,
+                    format!($($fmt)+)
+                )),
+            );
+        }
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (prop_lhs, prop_rhs) = (&$a, &$b);
+        $crate::prop_assert!(
+            prop_lhs != prop_rhs,
+            "assertion failed: `{:?} != {:?}`",
+            prop_lhs,
+            prop_rhs
+        );
+    }};
+}
+
+/// Choose uniformly between several strategies producing the same value
+/// type. Mirrors `proptest::prop_oneof!` (without weights).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {{
+        let options: ::std::vec::Vec<
+            ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>,
+        > = vec![$(::std::boxed::Box::new($strat)),+];
+        $crate::strategy::Union::new(options)
+    }};
+}

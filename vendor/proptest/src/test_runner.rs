@@ -1,0 +1,153 @@
+//! The deterministic case runner behind the `proptest!` macro.
+
+use std::fmt;
+
+/// RNG driving value generation; deterministic per (test name, case).
+pub type TestRng = rand::rngs::StdRng;
+
+/// Runner configuration. Mirrors `proptest::test_runner::Config`.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of cases to run per test.
+    pub cases: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 64 }
+    }
+}
+
+impl Config {
+    /// Config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+/// A failed (or rejected) test case.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The property did not hold.
+    Fail(String),
+    /// The input was rejected (counts against no budget in this shim).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Fail the current case with a message.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// Reject the current case's input.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(r) => write!(f, "{r}"),
+            TestCaseError::Reject(r) => write!(f, "input rejected: {r}"),
+        }
+    }
+}
+
+/// Runs a closure over `config.cases` deterministic RNG streams.
+pub struct TestRunner {
+    config: Config,
+    seed: u64,
+    name: &'static str,
+}
+
+/// FNV-1a so the per-test base seed depends only on the test's name.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl TestRunner {
+    /// Build a runner for the named test.
+    pub fn new(config: Config, name: &'static str) -> Self {
+        TestRunner {
+            config,
+            seed: fnv1a(name),
+            name,
+        }
+    }
+
+    /// Run `case` once per configured case; panics on the first failure,
+    /// reporting the case number and seed so it can be replayed.
+    pub fn run<F>(&mut self, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        use rand::SeedableRng;
+        for i in 0..self.config.cases {
+            let case_seed = self.seed.wrapping_add(i as u64);
+            let mut rng = TestRng::seed_from_u64(case_seed);
+            match case(&mut rng) {
+                Ok(()) => {}
+                Err(TestCaseError::Reject(_)) => {}
+                Err(TestCaseError::Fail(reason)) => panic!(
+                    "proptest: test `{}` failed at case {i}/{} (seed {case_seed:#x}): {reason}",
+                    self.name, self.config.cases,
+                ),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_all_cases() {
+        let mut n = 0;
+        TestRunner::new(Config::with_cases(17), "runs_all_cases").run(|_| {
+            n += 1;
+            Ok(())
+        });
+        assert_eq!(n, 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case 3")]
+    fn reports_failing_case_number() {
+        let mut n = 0;
+        TestRunner::new(Config::with_cases(10), "reports_failing_case_number").run(|_| {
+            if n == 3 {
+                return Err(TestCaseError::fail("boom"));
+            }
+            n += 1;
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn rejects_do_not_fail() {
+        TestRunner::new(Config::default(), "rejects_do_not_fail")
+            .run(|_| Err(TestCaseError::reject("always")));
+    }
+
+    #[test]
+    fn streams_are_deterministic() {
+        use rand::{Rng, SeedableRng};
+        let a: Vec<u64> = {
+            let mut rng = TestRng::seed_from_u64(fnv1a("x"));
+            (0..4).map(|_| rng.gen_range(0u64..1000)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = TestRng::seed_from_u64(fnv1a("x"));
+            (0..4).map(|_| rng.gen_range(0u64..1000)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}
