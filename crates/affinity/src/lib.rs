@@ -30,7 +30,7 @@
 //!
 //! // Measure computation through affine relationships (the W_A method).
 //! let engine = MecEngine::new(&data, &affine);
-//! let rho = engine.pairwise(PairwiseMeasure::Correlation, &[0, 1, 2, 3]);
+//! let rho = engine.pairwise(PairwiseMeasure::Correlation, &[0, 1, 2, 3]).unwrap();
 //! assert_eq!(rho.rows(), 4);
 //!
 //! // Indexed threshold queries (the SCAPE index).
@@ -53,6 +53,7 @@
 //! | [`stream`] | `affinity-stream` | sliding windows, rolling stats, periodic model refresh |
 //! | [`storage`] | `affinity-storage` | columnar binary store with checksums |
 //! | [`linalg`] | `affinity-linalg` | QR, Jacobi eigen, power iteration |
+//! | [`par`] | `affinity-par` | work-stealing thread pool behind parallel SYMEX + batched MEC |
 //! | [`dft`] | `affinity-dft` | FFT (radix-2 + Bluestein), coefficient sketches |
 //! | [`index`] | `affinity-index` | the B+ tree behind SCAPE |
 
@@ -64,6 +65,7 @@ pub use affinity_data as data;
 pub use affinity_dft as dft;
 pub use affinity_index as index;
 pub use affinity_linalg as linalg;
+pub use affinity_par as par;
 pub use affinity_ql as ql;
 pub use affinity_query as query;
 pub use affinity_scape as scape;
@@ -75,6 +77,7 @@ pub mod prelude {
     pub use affinity_core::prelude::*;
     pub use affinity_data::generator::{sensor_dataset, stock_dataset, SensorConfig, StockConfig};
     pub use affinity_data::{DataMatrix, SequencePair, SeriesId, ZipfSampler};
+    pub use affinity_par::ThreadPool;
     pub use affinity_ql::Session;
     pub use affinity_query::{AffineExecutor, DftExecutor, NaiveExecutor};
     pub use affinity_scape::{ScapeIndex, ThresholdOp};

@@ -61,11 +61,15 @@ fn main() {
         "    covariance stays machine-exact under both: {:.1e} vs {:.1e}",
         percent_rmse(
             &exact_cov,
-            &engine.pairwise_all(PairwiseMeasure::Covariance)
+            &engine
+                .pairwise_all(PairwiseMeasure::Covariance)
+                .expect("full affine set")
         ),
         percent_rmse(
             &exact_cov,
-            &engine_deg.pairwise_all(PairwiseMeasure::Covariance)
+            &engine_deg
+                .pairwise_all(PairwiseMeasure::Covariance)
+                .expect("full affine set")
         )
     );
 

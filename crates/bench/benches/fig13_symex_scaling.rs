@@ -1,12 +1,29 @@
-//! Fig. 13 — scalability of SYMEX vs SYMEX+.
+//! Fig. 13 — scalability of SYMEX vs SYMEX+, plus the parallel build and
+//! batched-sweep scaling the pool crate adds on top.
 //!
-//! Runtime of both variants as the number of affine relationships grows
-//! (series prefixes of each dataset). Paper: both scale linearly, with
-//! SYMEX+ a factor 3.5–4 faster thanks to the pseudo-inverse cache.
+//! Three sections per dataset:
+//!
+//! 1. the paper's comparison — runtime of both variants as the number of
+//!    affine relationships grows (series prefixes; paper: both scale
+//!    linearly, SYMEX+ a factor 3.5–4 faster via the pseudo-inverse
+//!    cache);
+//! 2. SYMEX+ build wall-clock across `threads ∈ {1, 2, 4, 8}` (the
+//!    pivot-sharded fit phase; bit-identical output asserted);
+//! 3. MEC measure sweeps — the scalar per-pair `pair_value` loop vs the
+//!    batched GEMV-per-pivot `pairwise_all`, serial and parallel.
+//!
+//! Set `AFFINITY_BENCH_JSON=<path>` to also write the measurements as a
+//! JSON baseline (CI commits/uploads `BENCH_symex.json` so every PR has
+//! a perf trajectory).
 
-use affinity_bench::{fmt_secs, header, sensor, stock, symex_params, time, Scale};
+use affinity_bench::{fmt_secs, header, sensor, stock, symex_params_threads, time, Scale};
+use affinity_core::measures::PairwiseMeasure;
+use affinity_core::mec::MecEngine;
 use affinity_core::symex::{Symex, SymexVariant};
-use affinity_data::DataMatrix;
+use affinity_data::{DataMatrix, SequencePair};
+use std::fmt::Write as _;
+
+const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
 
 fn prefix_sizes(n: usize) -> Vec<usize> {
     // Five prefixes, quadratically spaced so relationship counts spread
@@ -17,44 +34,234 @@ fn prefix_sizes(n: usize) -> Vec<usize> {
         .collect()
 }
 
-fn run_dataset(name: &str, data: &DataMatrix) -> Vec<f64> {
+/// The pre-batching reference: one scalar `pair_value` per pair.
+fn scalar_sweep(engine: &MecEngine<'_>, measure: PairwiseMeasure, n: usize) -> Vec<f64> {
+    let mut out = Vec::with_capacity(n * (n - 1) / 2);
+    for u in 0..n {
+        for v in u + 1..n {
+            out.push(
+                engine
+                    .pair_value(measure, SequencePair::new(u, v))
+                    .expect("full affine set"),
+            );
+        }
+    }
+    out
+}
+
+struct DatasetReport {
+    name: &'static str,
+    series: usize,
+    samples: usize,
+    basic_secs: f64,
+    plus_secs: f64,
+    build_by_threads: Vec<(usize, f64)>,
+    sweep_rows: Vec<SweepRow>,
+}
+
+struct SweepRow {
+    measure: &'static str,
+    scalar_secs: f64,
+    batched_serial_secs: f64,
+    batched_parallel_secs: f64,
+}
+
+fn run_dataset(name: &'static str, data: &DataMatrix) -> DatasetReport {
     println!("\n--- {name} ---");
+    let n = data.series_count();
+    let k = |n: usize| 6.min(n - 1).max(1);
+
+    // (1) Paper comparison over prefixes, serial (threads = 1) so the
+    // variant ratio is apples to apples.
     println!(
         "{:>8} {:>14} {:>12} {:>12} {:>8}",
         "#series", "#relationships", "SYMEX", "SYMEX+", "ratio"
     );
-    let mut ratios = Vec::new();
-    for n in prefix_sizes(data.series_count()) {
-        let slice = data.prefix(n);
-        let basic = Symex::new(symex_params(6.min(n - 1).max(1), SymexVariant::Basic));
-        let plus = Symex::new(symex_params(6.min(n - 1).max(1), SymexVariant::Plus));
+    let mut basic_secs = 0.0;
+    let mut plus_secs = 0.0;
+    for p in prefix_sizes(n) {
+        let slice = data.prefix(p);
+        let basic = Symex::new(symex_params_threads(k(p), SymexVariant::Basic, 1));
+        let plus = Symex::new(symex_params_threads(k(p), SymexVariant::Plus, 1));
         let ((set, stats_b), t_basic) = time(|| basic.run_with_stats(&slice).expect("symex basic"));
         let ((_, stats_p), t_plus) = time(|| plus.run_with_stats(&slice).expect("symex plus"));
         assert_eq!(stats_b.pinv_cache_hits, 0);
-        assert!(stats_p.pinv_cache_hits > 0 || n < 4);
-        let ratio = t_basic / t_plus;
-        ratios.push(ratio);
+        assert!(stats_p.pinv_cache_hits > 0 || p < 4);
         println!(
             "{:>8} {:>14} {:>12} {:>12} {:>7.1}x",
-            n,
+            p,
             set.len(),
             fmt_secs(t_basic),
             fmt_secs(t_plus),
-            ratio
+            t_basic / t_plus
         );
+        basic_secs = t_basic; // keep the full-prefix numbers
+        plus_secs = t_plus;
     }
-    ratios
+
+    // (2) SYMEX+ build across thread counts on the full dataset; results
+    // must be bit-identical to the serial build.
+    println!("\nSYMEX+ build, threads sweep ({n} series):");
+    println!("{:>8} {:>12} {:>8}", "threads", "build", "speedup");
+    let mut build_by_threads = Vec::new();
+    let mut serial_set = None;
+    let mut serial_secs = 0.0;
+    for &t in THREAD_SWEEP.iter() {
+        let symex = Symex::new(symex_params_threads(k(n), SymexVariant::Plus, t));
+        let (set, secs) = time(|| symex.run(data).expect("symex plus"));
+        if t == 1 {
+            serial_secs = secs;
+            serial_set = Some(set);
+        } else {
+            let base = serial_set.as_ref().expect("serial ran first");
+            assert_eq!(base.relationships(), set.relationships(), "threads = {t}");
+        }
+        println!(
+            "{:>8} {:>12} {:>7.1}x",
+            t,
+            fmt_secs(secs),
+            serial_secs / secs
+        );
+        build_by_threads.push((t, secs));
+    }
+    let affine = serial_set.expect("serial build");
+
+    // (3) MEC sweeps: scalar per-pair loop vs batched GEMV per pivot.
+    println!("\nMEC pairwise_all sweep ({} pairs):", n * (n - 1) / 2);
+    println!(
+        "{:>12} {:>12} {:>14} {:>14} {:>8}",
+        "measure", "scalar", "batched(t=1)", "batched(auto)", "speedup"
+    );
+    let serial_engine = MecEngine::with_threads(data, &affine, 1);
+    let auto_engine = MecEngine::new(data, &affine);
+    // Warm the lazily-built β-batches so the rows time steady-state
+    // sweeps (batch construction is one-time preprocessing, charged
+    // separately in the paper's W_A accounting).
+    let _ = serial_engine.pairwise_all(PairwiseMeasure::Covariance);
+    let _ = auto_engine.pairwise_all(PairwiseMeasure::Covariance);
+    let mut sweep_rows = Vec::new();
+    for measure in [
+        PairwiseMeasure::Covariance,
+        PairwiseMeasure::DotProduct,
+        PairwiseMeasure::Correlation,
+    ] {
+        let (scalar, t_scalar) = time(|| scalar_sweep(&serial_engine, measure, n));
+        let (batched, t_serial) = time(|| {
+            serial_engine
+                .pairwise_all(measure)
+                .expect("full affine set")
+        });
+        let (_, t_auto) = time(|| auto_engine.pairwise_all(measure).expect("full affine set"));
+        assert_eq!(scalar.len(), batched.len());
+        for (s, b) in scalar.iter().zip(&batched) {
+            assert!((s - b).abs() <= 1e-12 * s.abs().max(1.0));
+        }
+        println!(
+            "{:>12} {:>12} {:>14} {:>14} {:>7.1}x",
+            measure.name(),
+            fmt_secs(t_scalar),
+            fmt_secs(t_serial),
+            fmt_secs(t_auto),
+            t_scalar / t_serial.min(t_auto)
+        );
+        sweep_rows.push(SweepRow {
+            measure: measure.name(),
+            scalar_secs: t_scalar,
+            batched_serial_secs: t_serial,
+            batched_parallel_secs: t_auto,
+        });
+    }
+
+    DatasetReport {
+        name,
+        series: n,
+        samples: data.samples(),
+        basic_secs,
+        plus_secs,
+        build_by_threads,
+        sweep_rows,
+    }
+}
+
+fn json_escape_free(reports: &[DatasetReport], scale: Scale) -> String {
+    // All strings are static identifiers — no escaping needed.
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"bench\": \"fig13_symex_scaling\",");
+    let _ = writeln!(
+        s,
+        "  \"scale\": \"{}\",",
+        scale.tag().split(' ').next().unwrap()
+    );
+    let _ = writeln!(
+        s,
+        "  \"hardware_threads\": {},",
+        affinity_par::resolve_threads(0)
+    );
+    let _ = writeln!(s, "  \"datasets\": [");
+    for (i, r) in reports.iter().enumerate() {
+        let _ = writeln!(s, "    {{");
+        let _ = writeln!(s, "      \"name\": \"{}\",", r.name);
+        let _ = writeln!(s, "      \"series\": {},", r.series);
+        let _ = writeln!(s, "      \"samples\": {},", r.samples);
+        let _ = writeln!(s, "      \"symex_basic_secs\": {:.6},", r.basic_secs);
+        let _ = writeln!(s, "      \"symex_plus_secs\": {:.6},", r.plus_secs);
+        let _ = writeln!(s, "      \"symex_plus_build_by_threads\": [");
+        for (j, (t, secs)) in r.build_by_threads.iter().enumerate() {
+            let comma = if j + 1 < r.build_by_threads.len() {
+                ","
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                s,
+                "        {{\"threads\": {t}, \"secs\": {secs:.6}}}{comma}"
+            );
+        }
+        let _ = writeln!(s, "      ],");
+        let _ = writeln!(s, "      \"pairwise_all_sweeps\": [");
+        for (j, row) in r.sweep_rows.iter().enumerate() {
+            let comma = if j + 1 < r.sweep_rows.len() { "," } else { "" };
+            let _ = writeln!(
+                s,
+                "        {{\"measure\": \"{}\", \"scalar_secs\": {:.6}, \"batched_serial_secs\": {:.6}, \"batched_parallel_secs\": {:.6}, \"batched_speedup\": {:.2}}}{comma}",
+                row.measure,
+                row.scalar_secs,
+                row.batched_serial_secs,
+                row.batched_parallel_secs,
+                row.scalar_secs / row.batched_serial_secs.min(row.batched_parallel_secs)
+            );
+        }
+        let _ = writeln!(s, "      ]");
+        let _ = writeln!(s, "    }}{}", if i + 1 < reports.len() { "," } else { "" });
+    }
+    let _ = writeln!(s, "  ]");
+    let _ = writeln!(s, "}}");
+    s
 }
 
 fn main() {
     let scale = Scale::from_env();
-    header("Fig. 13", "Scalability of SYMEX vs SYMEX+", scale);
+    header(
+        "Fig. 13",
+        "Scalability of SYMEX vs SYMEX+ (+ threads, batched MEC)",
+        scale,
+    );
     let s = sensor(scale);
     let r1 = run_dataset("sensor-data", &s);
     let k = stock(scale);
     let r2 = run_dataset("stock-data", &k);
-    let max_ratio = r1.iter().chain(r2.iter()).fold(0.0f64, |m, &v| m.max(v));
+    let reports = [r1, r2];
+    let max_ratio = reports
+        .iter()
+        .map(|r| r.basic_secs / r.plus_secs)
+        .fold(0.0f64, f64::max);
     println!(
         "\nshape check: both variants scale ~linearly in relationships; SYMEX+ up to {max_ratio:.1}x faster (paper: 3.5-4x)"
     );
+    if let Ok(path) = std::env::var("AFFINITY_BENCH_JSON") {
+        let json = json_escape_free(&reports, scale);
+        std::fs::write(&path, json).expect("write bench JSON");
+        println!("wrote baseline to {path}");
+    }
 }

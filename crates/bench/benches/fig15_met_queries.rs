@@ -8,7 +8,9 @@
 //! paper's setup. Paper shape: SCAPE is orders of magnitude faster
 //! everywhere except median, where only O(n) relationships exist.
 
-use affinity_bench::{default_symex, fmt_secs, header, quantile_thresholds, sensor, time, Scale};
+use affinity_bench::{
+    default_symex, fmt_secs, header, quantile_thresholds, sensor, threads_from_env, time, Scale,
+};
 use affinity_core::measures::{self, LocationMeasure, Measure, PairwiseMeasure};
 use affinity_query::{AffineExecutor, DftExecutor, NaiveExecutor};
 use affinity_scape::{ScapeIndex, ThresholdOp};
@@ -20,9 +22,11 @@ fn main() {
     header("Fig. 15", "MET query efficiency, sensor-data", scale);
     let data = sensor(scale);
     println!(
-        "dataset: {} series, {} pairs",
+        "dataset: {} series, {} pairs; threads = {} (AFFINITY_THREADS, 0 = auto -> {})",
         data.series_count(),
-        data.pair_count()
+        data.pair_count(),
+        threads_from_env(),
+        affinity_par::resolve_threads(threads_from_env())
     );
 
     let (affine, t_setup) = time(|| default_symex().run(&data).expect("symex"));

@@ -92,9 +92,26 @@ pub fn stock(scale: Scale) -> DataMatrix {
 /// The paper's cluster sweep `k ∈ {6, 10, 14, 18, 22}` (Figs. 9–11).
 pub const CLUSTER_SWEEP: [usize; 5] = [6, 10, 14, 18, 22];
 
+/// Worker-lane count for the parallel phases, from `AFFINITY_THREADS`
+/// (`0`/unset = `available_parallelism`) — the bench-side face of the
+/// `threads` knob.
+pub fn threads_from_env() -> usize {
+    std::env::var("AFFINITY_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
 /// SYMEX parameters with the paper's evaluation defaults
-/// (`γ_max = 10`, `δ_min = 10`) and the given `k`.
+/// (`γ_max = 10`, `δ_min = 10`), the given `k`, and the thread count
+/// from [`threads_from_env`].
 pub fn symex_params(k: usize, variant: SymexVariant) -> SymexParams {
+    symex_params_threads(k, variant, threads_from_env())
+}
+
+/// [`symex_params`] with an explicit thread count (fig. 13's scaling
+/// sweep drives this directly).
+pub fn symex_params_threads(k: usize, variant: SymexVariant, threads: usize) -> SymexParams {
     SymexParams {
         afclst: AfclstParams {
             k,
@@ -103,6 +120,7 @@ pub fn symex_params(k: usize, variant: SymexVariant) -> SymexParams {
             seed: 0x00AF_F157,
         },
         variant,
+        threads,
     }
 }
 
@@ -251,7 +269,8 @@ pub mod tradeoff {
             }
             for measure in [PairwiseMeasure::Covariance, PairwiseMeasure::DotProduct] {
                 let (exact, naive_secs) = time(|| measures::pairwise_all(measure, data));
-                let (approx, wa_secs) = time(|| engine.pairwise_all(measure));
+                let (approx, wa_secs) =
+                    time(|| engine.pairwise_all(measure).expect("full affine set"));
                 let affine_secs = wa_secs + prep_share;
                 rows.push(Row {
                     k,

@@ -28,7 +28,7 @@
 //! let affine = Symex::new(SymexParams::default()).run(&data).unwrap();
 //! let engine = MecEngine::new(&data, &affine);
 //! let ids: Vec<usize> = (0..6).collect();
-//! let cov = engine.pairwise(PairwiseMeasure::Covariance, &ids);
+//! let cov = engine.pairwise(PairwiseMeasure::Covariance, &ids).unwrap();
 //! assert_eq!(cov.rows(), 6);
 //! ```
 

@@ -7,6 +7,21 @@
 //! plus the separable normalizers (per-series variances) for the
 //! D-measures. After that, every measure value is reconstructed from a
 //! hash-map lookup and a 3-term scalar product — no raw series access.
+//!
+//! ## Batched sweeps
+//!
+//! Whole-sweep queries ([`MecEngine::pairwise_all`], and
+//! [`MecEngine::pairwise`] above a small size threshold) do not walk the
+//! relationship hash pair by pair. The first sweep stacks the β-vectors
+//! of every pair anchored at one pivot into a `g×3`
+//! [`Matrix`] (cached thereafter); a sweep is then **one GEMV-shaped
+//! pass per pivot** —
+//! `values = B·α` via the allocation-free [`Matrix::matvec_into`] —
+//! followed by the separable normalizers, parallelized across pivots on
+//! an [`affinity_par::ThreadPool`]. Per-pivot work items write disjoint
+//! output slots (each pair has a fixed lexicographic index), so results
+//! are merged deterministically and match the scalar
+//! [`MecEngine::pair_value`] path exactly.
 
 // Index-based loops over matrix coordinates are the clearest notation
 // for these kernels.
@@ -18,7 +33,39 @@ use crate::measures::{self, LocationMeasure, PairwiseMeasure};
 use crate::symex::AffineSet;
 use affinity_data::{DataMatrix, SequencePair, SeriesId};
 use affinity_linalg::{vector, Matrix};
+use affinity_par::{DisjointWriter, ThreadPool};
 use parking_lot::Mutex;
+use std::sync::OnceLock;
+
+/// Below this many requested pair values, [`MecEngine::pairwise`] uses the
+/// scalar per-pair path: grouping by pivot costs more than it saves.
+const BATCH_THRESHOLD: usize = 64;
+
+/// The batched query plan of one pivot: every pair anchored there, with
+/// the β-vectors stacked into a `g×3` matrix (three contiguous
+/// coefficient columns, so `B·α` is three `axpy` passes).
+struct PivotBatch {
+    pivot: PivotPair,
+    /// `g×3`; row `j` is the β of `members[j]`.
+    betas: Matrix,
+    /// `(u, v, lexicographic pair index)` per member.
+    members: Vec<(u32, u32, u32)>,
+}
+
+/// Lexicographic index of pair `(u, v)` (`u < v`) in the
+/// [`DataMatrix::sequence_pairs`] order.
+#[inline]
+fn pair_rank(n: usize, u: usize, v: usize) -> usize {
+    u * n - u * (u + 1) / 2 + (v - u - 1)
+}
+
+/// β-rows plus `(u, v, lexicographic index)` members accumulated for one
+/// pivot while building the construction-time batches.
+type RawBatch = (Vec<[f64; 3]>, Vec<(u32, u32, u32)>);
+
+/// β-rows plus `(i, j)` output cells of one pivot group in an ad-hoc
+/// [`MecEngine::pairwise`] subset sweep.
+type SubsetGroup = (Vec<[f64; 3]>, Vec<(u32, u32)>);
 
 /// MEC query engine answering measure computations through affine
 /// relationships.
@@ -35,6 +82,13 @@ pub struct MecEngine<'a> {
     /// Lazily computed location values of cluster centres, keyed by
     /// (measure tag, cluster).
     center_locations: Mutex<FxHashMap<(u8, usize), f64>>,
+    /// Per-pivot β-matrices for GEMV-shaped sweeps, in pivot order;
+    /// built lazily on the first whole-sweep query so engines that only
+    /// answer scalar/location queries skip the O(n²) batch build.
+    batches: OnceLock<Vec<PivotBatch>>,
+    /// Pool for sweep parallelism; sized from the `threads` knob, or
+    /// shared across engines via [`MecEngine::with_pool`].
+    pool: std::sync::Arc<ThreadPool>,
 }
 
 fn measure_tag(m: LocationMeasure) -> u8 {
@@ -47,11 +101,35 @@ fn measure_tag(m: LocationMeasure) -> u8 {
 
 impl<'a> MecEngine<'a> {
     /// Build the engine, running the pre-processing step (pivot statistics
-    /// + normalizers).
+    /// + normalizers), with the thread count resolved automatically.
     ///
     /// # Panics
     /// Panics if `affine` was produced from a differently-shaped matrix.
     pub fn new(data: &'a DataMatrix, affine: &'a AffineSet) -> Self {
+        Self::with_threads(data, affine, 0)
+    }
+
+    /// Like [`MecEngine::new`] with an explicit worker-lane count for the
+    /// batched sweeps; `0` means [`std::thread::available_parallelism`].
+    /// Results are bit-identical for every setting.
+    ///
+    /// # Panics
+    /// Panics if `affine` was produced from a differently-shaped matrix.
+    pub fn with_threads(data: &'a DataMatrix, affine: &'a AffineSet, threads: usize) -> Self {
+        Self::with_pool(data, affine, std::sync::Arc::new(ThreadPool::new(threads)))
+    }
+
+    /// Like [`MecEngine::new`] but sharing an existing pool — short-lived
+    /// engines (e.g. one per streaming-window snapshot) reuse one set of
+    /// worker lanes instead of spawning their own.
+    ///
+    /// # Panics
+    /// Panics if `affine` was produced from a differently-shaped matrix.
+    pub fn with_pool(
+        data: &'a DataMatrix,
+        affine: &'a AffineSet,
+        pool: std::sync::Arc<ThreadPool>,
+    ) -> Self {
         assert_eq!(
             data.series_count(),
             affine.series_count(),
@@ -84,7 +162,52 @@ impl<'a> MecEngine<'a> {
             variances,
             self_dots,
             center_locations: Mutex::new(FxHashMap::default()),
+            batches: OnceLock::new(),
+            pool,
         }
+    }
+
+    /// The per-pivot β-batches, built on first use: the β-vectors of each
+    /// pivot's pairs stacked into one `g×3` matrix (pivot order follows
+    /// the affine set, so the batches are deterministic).
+    fn batches(&self) -> &[PivotBatch] {
+        self.batches.get_or_init(|| {
+            let affine = self.affine;
+            let n = self.data.series_count();
+            let mut pivot_ids: FxHashMap<PivotPair, u32> = FxHashMap::default();
+            pivot_ids.reserve(affine.pivots().len());
+            for (i, &p) in affine.pivots().iter().enumerate() {
+                pivot_ids.insert(p, i as u32);
+            }
+            let mut raw_batches: Vec<RawBatch> = (0..affine.pivots().len())
+                .map(|_| Default::default())
+                .collect();
+            for rel in affine.relationships() {
+                let id = pivot_ids[&rel.pivot] as usize;
+                let (betas, members) = &mut raw_batches[id];
+                betas.push(rel.beta());
+                members.push((
+                    rel.pair.u as u32,
+                    rel.pair.v as u32,
+                    pair_rank(n, rel.pair.u, rel.pair.v) as u32,
+                ));
+            }
+            affine
+                .pivots()
+                .iter()
+                .zip(raw_batches)
+                .map(|(&pivot, (betas, members))| {
+                    let cols: Vec<Vec<f64>> = (0..3)
+                        .map(|c| betas.iter().map(|b| b[c]).collect())
+                        .collect();
+                    PivotBatch {
+                        pivot,
+                        betas: Matrix::from_columns(&cols),
+                        members,
+                    }
+                })
+                .collect()
+        })
     }
 
     /// The underlying affine set.
@@ -250,16 +373,65 @@ impl<'a> MecEngine<'a> {
         })
     }
 
+    /// Apply a measure's separable normalizer to a propagated raw value
+    /// (covariance or dot product, matching [`PivotStats::alpha`]).
+    #[inline]
+    fn finalize(&self, measure: PairwiseMeasure, u: usize, v: usize, raw: f64) -> f64 {
+        match measure {
+            PairwiseMeasure::Covariance | PairwiseMeasure::DotProduct => raw,
+            PairwiseMeasure::Correlation => {
+                let norm = (self.variances[u] * self.variances[v]).sqrt();
+                if norm > 0.0 {
+                    raw / norm
+                } else {
+                    0.0
+                }
+            }
+            PairwiseMeasure::Cosine => {
+                let norm = (self.self_dots[u] * self.self_dots[v]).sqrt();
+                if norm > 0.0 {
+                    raw / norm
+                } else {
+                    0.0
+                }
+            }
+            PairwiseMeasure::Dice => {
+                let norm = 0.5 * (self.self_dots[u] + self.self_dots[v]);
+                if norm > 0.0 {
+                    raw / norm
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
     /// MEC query for a pairwise measure over a set of identifiers
     /// (paper Query 1, T/D-measure case): returns the `|ψ|×|ψ|` matrix.
     ///
     /// Diagonal entries are the exact self-values (variance / self dot
-    /// product / 1).
+    /// product / 1). Large requests are answered through the per-pivot
+    /// β-batches (one GEMV per touched pivot); small ones through the
+    /// scalar [`MecEngine::pair_value`] path — the two are numerically
+    /// identical.
+    ///
+    /// # Errors
+    /// [`CoreError::UnknownSeries`] for out-of-range identifiers,
+    /// [`CoreError::MissingRelationship`] if the affine set does not
+    /// cover a requested pair (a partial set).
     ///
     /// # Panics
-    /// Panics on out-of-range or duplicate-free violations via the
-    /// underlying accessors.
-    pub fn pairwise(&self, measure: PairwiseMeasure, ids: &[SeriesId]) -> Matrix {
+    /// Panics if `ids` contains the same identifier twice
+    /// (`SequencePair` requires distinct members).
+    pub fn pairwise(
+        &self,
+        measure: PairwiseMeasure,
+        ids: &[SeriesId],
+    ) -> Result<Matrix, CoreError> {
+        let n = self.data.series_count();
+        if let Some(&bad) = ids.iter().find(|&&v| v >= n) {
+            return Err(CoreError::UnknownSeries { id: bad, series: n });
+        }
         let q = ids.len();
         let mut out = Matrix::zeros(q, q);
         for i in 0..q {
@@ -274,33 +446,120 @@ impl<'a> MecEngine<'a> {
                     | PairwiseMeasure::Dice => 1.0,
                 },
             );
+        }
+        if q < 2 {
+            return Ok(out);
+        }
+        if q * (q - 1) / 2 < BATCH_THRESHOLD {
+            for i in 0..q {
+                for j in i + 1..q {
+                    let v = self.pair_value(measure, SequencePair::new(ids[i], ids[j]))?;
+                    out.set(i, j, v);
+                    out.set(j, i, v);
+                }
+            }
+            return Ok(out);
+        }
+        // Group the requested pairs by pivot, then one GEMV per group.
+        let mut groups: FxHashMap<PivotPair, SubsetGroup> = FxHashMap::default();
+        for i in 0..q {
             for j in i + 1..q {
-                let v = self
-                    .pair_value(measure, SequencePair::new(ids[i], ids[j]))
-                    .expect("full affine set");
-                out.set(i, j, v);
-                out.set(j, i, v);
+                let pair = SequencePair::new(ids[i], ids[j]);
+                let rel = self
+                    .affine
+                    .relationship(pair)
+                    .ok_or(CoreError::MissingRelationship {
+                        u: pair.u,
+                        v: pair.v,
+                    })?;
+                let (betas, cells) = groups.entry(rel.pivot).or_default();
+                betas.push(rel.beta());
+                cells.push((i as u32, j as u32));
             }
         }
-        out
+        let groups: Vec<(PivotPair, SubsetGroup)> = {
+            let mut v: Vec<_> = groups.into_iter().collect();
+            // Deterministic order (hash maps iterate arbitrarily).
+            v.sort_by_key(|&(p, _)| p);
+            v
+        };
+        let values: Vec<Vec<f64>> = self.pool.parallel_map(groups.len(), |g| {
+            let (pivot, (betas, cells)) = &groups[g];
+            let stats = &self.pivot_stats[pivot];
+            let alpha = stats.alpha(measure);
+            cells
+                .iter()
+                .zip(betas)
+                .map(|(&(i, j), b)| {
+                    // Same accumulation order as matvec_into: k ascending,
+                    // zero coefficients skipped — bit-identical to the
+                    // GEMV and to pair_value.
+                    let mut raw = 0.0;
+                    for (k, &a) in alpha.iter().enumerate() {
+                        if a != 0.0 {
+                            raw += a * b[k];
+                        }
+                    }
+                    self.finalize(measure, ids[i as usize], ids[j as usize], raw)
+                })
+                .collect()
+        });
+        for ((_, (_, cells)), vals) in groups.iter().zip(values) {
+            for (&(i, j), v) in cells.iter().zip(vals) {
+                out.set(i as usize, j as usize, v);
+                out.set(j as usize, i as usize, v);
+            }
+        }
+        Ok(out)
     }
 
     /// A pairwise measure for every sequence pair, in the lexicographic
     /// order of [`DataMatrix::sequence_pairs`] — the `W_A` counterpart of
     /// [`measures::pairwise_all`], used for the tradeoff experiments
     /// (Figs. 9–11).
-    pub fn pairwise_all(&self, measure: PairwiseMeasure) -> Vec<f64> {
+    ///
+    /// The sweep is one GEMV-shaped pass per pivot over the cached
+    /// β-batches, parallelized across pivots; every pair
+    /// writes its own lexicographic slot, so the output is deterministic
+    /// and identical to a scalar [`MecEngine::pair_value`] loop.
+    ///
+    /// # Errors
+    /// [`CoreError::MissingRelationship`] if the affine set does not
+    /// cover every pair (a partial set).
+    pub fn pairwise_all(&self, measure: PairwiseMeasure) -> Result<Vec<f64>, CoreError> {
         let n = self.data.series_count();
-        let mut out = Vec::with_capacity(n * (n - 1) / 2);
-        for u in 0..n {
-            for v in u + 1..n {
-                out.push(
-                    self.pair_value(measure, SequencePair { u, v })
-                        .expect("full affine set"),
-                );
+        let total = n * (n - 1) / 2;
+        if self.affine.len() != total {
+            for u in 0..n {
+                for v in u + 1..n {
+                    if self.affine.relationship(SequencePair::new(u, v)).is_none() {
+                        return Err(CoreError::MissingRelationship { u, v });
+                    }
+                }
             }
         }
-        out
+        let mut out = vec![0.0; total];
+        {
+            let batches = self.batches();
+            let writer = DisjointWriter::new(&mut out);
+            self.pool.parallel_for(batches.len(), |b| {
+                let batch = &batches[b];
+                let stats = &self.pivot_stats[&batch.pivot];
+                let alpha = stats.alpha(measure);
+                let mut raw = vec![0.0; batch.members.len()];
+                batch
+                    .betas
+                    .matvec_into(&alpha, &mut raw)
+                    .expect("batch shapes agree");
+                for (&(u, v, idx), &r) in batch.members.iter().zip(&raw) {
+                    let value = self.finalize(measure, u as usize, v as usize, r);
+                    // SAFETY: each pair has exactly one lexicographic
+                    // index and appears in exactly one pivot batch.
+                    unsafe { writer.write(idx as usize, value) };
+                }
+            });
+        }
+        Ok(out)
     }
 }
 
@@ -322,6 +581,7 @@ mod tests {
                 seed: 42,
             },
             variant: SymexVariant::Plus,
+            threads: 0,
         })
         .run(&data)
         .unwrap();
@@ -337,7 +597,7 @@ mod tests {
         // reports in Figs. 9d/10d.
         let (data, affine) = engine_fixture(20, 96, 4);
         let engine = MecEngine::new(&data, &affine);
-        let approx = engine.pairwise_all(PairwiseMeasure::Covariance);
+        let approx = engine.pairwise_all(PairwiseMeasure::Covariance).unwrap();
         let exact = measures::pairwise_all(PairwiseMeasure::Covariance, &data);
         let err = percent_rmse(&exact, &approx);
         assert!(err < 1e-6, "%RMSE {err}");
@@ -348,7 +608,7 @@ mod tests {
         // Lemma 1: dot products with the common series survive any LS fit.
         let (data, affine) = engine_fixture(16, 80, 4);
         let engine = MecEngine::new(&data, &affine);
-        let approx = engine.pairwise_all(PairwiseMeasure::DotProduct);
+        let approx = engine.pairwise_all(PairwiseMeasure::DotProduct).unwrap();
         let exact = measures::pairwise_all(PairwiseMeasure::DotProduct, &data);
         let err = percent_rmse(&exact, &approx);
         assert!(err < 1e-6, "%RMSE {err}");
@@ -387,7 +647,7 @@ mod tests {
         // covariance_is_essentially_exact.
         let (data, affine) = engine_fixture(20, 96, 4);
         let engine = MecEngine::new(&data, &affine);
-        let approx = engine.pairwise_all(PairwiseMeasure::Correlation);
+        let approx = engine.pairwise_all(PairwiseMeasure::Correlation).unwrap();
         let exact = measures::pairwise_all(PairwiseMeasure::Correlation, &data);
         let err = percent_rmse(&exact, &approx);
         assert!(err < 1e-6, "%RMSE {err}");
@@ -403,13 +663,13 @@ mod tests {
         let (data, affine) = engine_fixture(16, 80, 4);
         let engine = MecEngine::new(&data, &affine);
         for measure in [PairwiseMeasure::Cosine, PairwiseMeasure::Dice] {
-            let approx = engine.pairwise_all(measure);
+            let approx = engine.pairwise_all(measure).unwrap();
             let exact = measures::pairwise_all(measure, &data);
             let err = percent_rmse(&exact, &approx);
             assert!(err < 1e-5, "{} %RMSE {err}", measure.name());
         }
         // Self values are 1 by definition.
-        let m = engine.pairwise(PairwiseMeasure::Cosine, &[0, 1]);
+        let m = engine.pairwise(PairwiseMeasure::Cosine, &[0, 1]).unwrap();
         assert_eq!(m.get(0, 0), 1.0);
     }
 
@@ -440,7 +700,7 @@ mod tests {
         let (data, affine) = engine_fixture(12, 48, 3);
         let engine = MecEngine::new(&data, &affine);
         let ids = vec![1, 3, 5, 7];
-        let cov = engine.pairwise(PairwiseMeasure::Covariance, &ids);
+        let cov = engine.pairwise(PairwiseMeasure::Covariance, &ids).unwrap();
         assert_eq!(cov.rows(), 4);
         for i in 0..4 {
             assert!((cov.get(i, i) - engine.variance(ids[i])).abs() < 1e-12);
@@ -448,7 +708,7 @@ mod tests {
                 assert_eq!(cov.get(i, j), cov.get(j, i));
             }
         }
-        let rho = engine.pairwise(PairwiseMeasure::Correlation, &ids);
+        let rho = engine.pairwise(PairwiseMeasure::Correlation, &ids).unwrap();
         for i in 0..4 {
             assert_eq!(rho.get(i, i), 1.0);
         }

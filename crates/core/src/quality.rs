@@ -134,6 +134,7 @@ mod tests {
                 seed: 11,
             },
             variant: SymexVariant::Plus,
+            threads: 0,
         })
         .run(&data)
         .unwrap();
@@ -181,6 +182,7 @@ mod tests {
                 seed: 4,
             },
             variant: SymexVariant::Plus,
+            threads: 0,
         })
         .run(&data)
         .unwrap();

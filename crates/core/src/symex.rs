@@ -22,6 +22,19 @@
 //! as soon as every pair is assigned (tracked exactly) with a defensive
 //! linear sweep as backstop; a test asserts full single-assignment
 //! coverage either way.
+//!
+//! ## Parallel execution
+//!
+//! [`Symex::explore`] is split into two phases. The *assignment* phase
+//! runs the marching cursors exactly as before, but only records which
+//! pivot each pair is anchored at — no floating-point work. The *fit*
+//! phase then shards the pairs **by pivot** onto an
+//! [`affinity_par::ThreadPool`]: one parallel work item is one pivot
+//! group, the SYMEX+ pseudo-inverse is computed once per group by the
+//! lane that owns it (thread-local by construction — no shared cache, no
+//! locks), and results are merged back in assignment order by pair index.
+//! The output is therefore bit-identical for every
+//! [`SymexParams::threads`] setting, including the serial `threads = 1`.
 
 use crate::afclst::{afclst, AfclstParams, ClusterModel};
 use crate::affine::{solve_relationship_pinv, AffineRelationship, PivotPair, SeriesRelationship};
@@ -30,6 +43,7 @@ use crate::hash::FxHashMap;
 use affinity_data::{DataMatrix, SequencePair, SeriesId};
 use affinity_linalg::cholesky::Cholesky;
 use affinity_linalg::{vector, Matrix};
+use affinity_par::ThreadPool;
 
 /// Which SYMEX variant to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,6 +64,10 @@ pub struct SymexParams {
     /// Variant selection; `Plus` is the default and what queries should
     /// use.
     pub variant: SymexVariant,
+    /// Worker lanes for the parallel fit phase; `0` (the default) means
+    /// [`std::thread::available_parallelism`]. The result is bit-identical
+    /// for every setting — `1` is the plain serial code path.
+    pub threads: usize,
 }
 
 impl Default for SymexParams {
@@ -57,14 +75,18 @@ impl Default for SymexParams {
         SymexParams {
             afclst: AfclstParams::default(),
             variant: SymexVariant::Plus,
+            threads: 0,
         }
     }
 }
 
-/// The SYMEX runner.
+/// The SYMEX runner. Owns its thread pool (workers spawn lazily on the
+/// first parallel fit), so repeated builds — e.g. the streaming engine's
+/// periodic model refresh — reuse one set of lanes.
 #[derive(Debug, Clone)]
 pub struct Symex {
     params: SymexParams,
+    pool: std::sync::Arc<ThreadPool>,
 }
 
 /// Everything SYMEX produces: the paper's `affHash` (pairwise affine
@@ -210,7 +232,15 @@ pub struct SymexStats {
 impl Symex {
     /// Create a runner with the given parameters.
     pub fn new(params: SymexParams) -> Self {
-        Symex { params }
+        let pool = std::sync::Arc::new(ThreadPool::new(params.threads));
+        Self::with_pool(params, pool)
+    }
+
+    /// Create a runner that shares an existing pool (e.g. one pool per
+    /// streaming engine instead of one per refresh). The pool's lane
+    /// count takes precedence over [`SymexParams::threads`].
+    pub fn with_pool(params: SymexParams, pool: std::sync::Arc<ThreadPool>) -> Self {
+        Symex { params, pool }
     }
 
     /// Parameters in use.
@@ -238,6 +268,11 @@ impl Symex {
     /// Run SYMEX against a pre-computed cluster model (lets experiments
     /// reuse one clustering across variants, as Fig. 13 does).
     ///
+    /// Pair→pivot assignment runs the serial marching traversal (cheap,
+    /// no float work); the least-squares fits are then sharded by pivot
+    /// across [`SymexParams::threads`] lanes and merged back by pair
+    /// index, so the result is bit-identical for every thread count.
+    ///
     /// # Errors
     /// Currently infallible beyond clustering, kept as `Result` for parity.
     pub fn explore(
@@ -248,34 +283,40 @@ impl Symex {
         let n = data.series_count();
         let total = n * (n - 1) / 2;
         let mut stats = SymexStats::default();
+        let pool = &self.pool;
 
-        // Per-series relationships for the L-measures.
-        let series_rels: Vec<SeriesRelationship> = (0..n)
-            .map(|v| {
-                let l = clusters.cluster_of(v);
-                let (c, d) = crate::affine::fit_series(clusters.center(l), data.series(v));
-                SeriesRelationship {
-                    series: v,
-                    cluster: l,
-                    c,
-                    d,
-                }
-            })
-            .collect();
+        // Per-series relationships for the L-measures; pure per-index
+        // fits, collected in series order.
+        let series_rels: Vec<SeriesRelationship> = pool.parallel_map(n, |v| {
+            let l = clusters.cluster_of(v);
+            let (c, d) = crate::affine::fit_series(clusters.center(l), data.series(v));
+            SeriesRelationship {
+                series: v,
+                cluster: l,
+                c,
+                d,
+            }
+        });
 
-        let mut relationships: Vec<AffineRelationship> = Vec::with_capacity(total);
+        // --- Assignment phase (serial marching cursors) ---------------
+        // At most n·k distinct pivots exist (paper Sec. 4); pre-sizing
+        // from the cluster count avoids rehash churn in the marching hot
+        // loop.
+        let pivot_cap = n.saturating_mul(clusters.k()).min(total.max(1));
         let mut pair_index: FxHashMap<(u32, u32), u32> = FxHashMap::default();
         pair_index.reserve(total);
-        let mut pivots: Vec<PivotPair> = Vec::new();
+        let mut pivots: Vec<PivotPair> = Vec::with_capacity(pivot_cap);
         let mut pivot_seen: FxHashMap<PivotPair, u32> = FxHashMap::default();
-        // SYMEX+ pseudo-inverse cache (paper Sec. 4).
-        let mut pinv_cache: FxHashMap<PivotPair, Matrix> = FxHashMap::default();
+        pivot_seen.reserve(pivot_cap);
+        // Pair assignments in traversal order, and the members of each
+        // pivot group (as assignment indices) in first-seen pivot order.
+        let mut assigned: Vec<(SequencePair, SeriesId)> = Vec::with_capacity(total);
+        let mut group_members: Vec<Vec<u32>> = Vec::with_capacity(pivot_cap);
 
-        let mut solve_insert = |e: SequencePair,
-                                common: SeriesId,
-                                relationships: &mut Vec<AffineRelationship>,
-                                pair_index: &mut FxHashMap<(u32, u32), u32>,
-                                stats: &mut SymexStats|
+        let mut assign_insert = |e: SequencePair,
+                                 common: SeriesId,
+                                 assigned: &mut Vec<(SequencePair, SeriesId)>,
+                                 pair_index: &mut FxHashMap<(u32, u32), u32>|
          -> bool {
             let key = (e.u as u32, e.v as u32);
             if pair_index.contains_key(&key) {
@@ -286,69 +327,36 @@ impl Symex {
                 common,
                 cluster: clusters.cluster_of(other),
             };
-            let s_common = data.series(common);
-            let center = clusters.center(pivot.cluster);
-            let (a, b) = match self.params.variant {
-                SymexVariant::Basic => {
-                    stats.pinv_computed += 1;
-                    let pinv = pivot_pseudo_inverse(s_common, center);
-                    solve_relationship_pinv(&pinv, s_common, data.series(other))
-                }
-                SymexVariant::Plus => {
-                    let pinv = match pinv_cache.entry(pivot) {
-                        std::collections::hash_map::Entry::Occupied(o) => {
-                            stats.pinv_cache_hits += 1;
-                            o.into_mut()
-                        }
-                        std::collections::hash_map::Entry::Vacant(v) => {
-                            stats.pinv_computed += 1;
-                            v.insert(pivot_pseudo_inverse(s_common, center))
-                        }
-                    };
-                    solve_relationship_pinv(pinv, s_common, data.series(other))
+            let group = match pivot_seen.entry(pivot) {
+                std::collections::hash_map::Entry::Occupied(o) => *o.get(),
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    let id = pivots.len() as u32;
+                    v.insert(id);
+                    pivots.push(pivot);
+                    group_members.push(Vec::new());
+                    id
                 }
             };
-            if let std::collections::hash_map::Entry::Vacant(e) = pivot_seen.entry(pivot) {
-                e.insert(pivots.len() as u32);
-                pivots.push(pivot);
-            }
-            pair_index.insert(key, relationships.len() as u32);
-            relationships.push(AffineRelationship {
-                pair: e,
-                pivot,
-                common,
-                a,
-                b,
-            });
+            pair_index.insert(key, assigned.len() as u32);
+            group_members[group as usize].push(assigned.len() as u32);
+            assigned.push((e, common));
             true
         };
 
         // CreatePivots(e_z): scan row u_z (second components) and column
         // v_z (first components), exactly as Alg. 2's two loops.
         let mut create_pivots = |ez: (usize, usize),
-                                 relationships: &mut Vec<AffineRelationship>,
+                                 assigned: &mut Vec<(SequencePair, SeriesId)>,
                                  pair_index: &mut FxHashMap<(u32, u32), u32>,
                                  stats: &mut SymexStats| {
             let (uz, vz) = ez;
             for v in uz + 1..n {
-                if solve_insert(
-                    SequencePair::new(uz, v),
-                    uz,
-                    relationships,
-                    pair_index,
-                    stats,
-                ) {
+                if assign_insert(SequencePair::new(uz, v), uz, assigned, pair_index) {
                     stats.assigned_in_march += 1;
                 }
             }
             for u in 0..vz {
-                if solve_insert(
-                    SequencePair::new(u, vz),
-                    vz,
-                    relationships,
-                    pair_index,
-                    stats,
-                ) {
+                if assign_insert(SequencePair::new(u, vz), vz, assigned, pair_index) {
                     stats.assigned_in_march += 1;
                 }
             }
@@ -359,18 +367,18 @@ impl Symex {
             let mut ee = (0usize, n - 1);
             let mid = (n - 1) / 2;
             let mut ew = (mid, mid + 1);
-            create_pivots(ee, &mut relationships, &mut pair_index, &mut stats);
+            create_pivots(ee, &mut assigned, &mut pair_index, &mut stats);
             if ew != ee {
-                create_pivots(ew, &mut relationships, &mut pair_index, &mut stats);
+                create_pivots(ew, &mut assigned, &mut pair_index, &mut stats);
             }
             let mut flip = false;
-            while relationships.len() < total {
+            while assigned.len() < total {
                 let advanced = if !flip {
                     // Move e_e towards e_w.
                     if ee.0 + 1 < ee.1 {
                         ee = (ee.0 + 1, ee.1 - 1);
                         if ee.0 < ee.1 {
-                            create_pivots(ee, &mut relationships, &mut pair_index, &mut stats);
+                            create_pivots(ee, &mut assigned, &mut pair_index, &mut stats);
                         }
                         true
                     } else {
@@ -380,7 +388,7 @@ impl Symex {
                     // Move e_w towards e_e.
                     if ew.0 > 0 && ew.1 + 1 < n {
                         ew = (ew.0 - 1, ew.1 + 1);
-                        create_pivots(ew, &mut relationships, &mut pair_index, &mut stats);
+                        create_pivots(ew, &mut assigned, &mut pair_index, &mut stats);
                         true
                     } else {
                         false
@@ -402,22 +410,82 @@ impl Symex {
             }
             // Defensive sweep: guarantees full coverage regardless of the
             // marching pattern's parity quirks.
-            if relationships.len() < total {
+            if assigned.len() < total {
                 for u in 0..n {
                     for v in u + 1..n {
-                        if solve_insert(
-                            SequencePair::new(u, v),
-                            u,
-                            &mut relationships,
-                            &mut pair_index,
-                            &mut stats,
-                        ) {
+                        if assign_insert(SequencePair::new(u, v), u, &mut assigned, &mut pair_index)
+                        {
                             stats.assigned_in_sweep += 1;
                         }
                     }
                 }
             }
         }
+        debug_assert_eq!(assigned.len(), total);
+
+        // --- Fit phase (parallel, sharded by pivot) -------------------
+        // Each work item is one pivot group; its pseudo-inverse is
+        // computed once, thread-locally, by the lane that owns the group
+        // (`Plus`), or per pair to stay faithful to Alg. 2's cost model
+        // (`Basic`). Fits are pure functions of the pivot columns and the
+        // target series, so the merged output below does not depend on
+        // the schedule.
+        let variant = self.params.variant;
+        let fitted: Vec<Vec<AffineRelationship>> = pool.parallel_map(group_members.len(), |g| {
+            let pivot = pivots[g];
+            let s_common = data.series(pivot.common);
+            let center = clusters.center(pivot.cluster);
+            let shared_pinv = match variant {
+                SymexVariant::Plus => Some(pivot_pseudo_inverse(s_common, center)),
+                SymexVariant::Basic => None,
+            };
+            group_members[g]
+                .iter()
+                .map(|&idx| {
+                    let (pair, common) = assigned[idx as usize];
+                    let target_other = data.series(pair.other(common));
+                    let (a, b) = match &shared_pinv {
+                        Some(pinv) => solve_relationship_pinv(pinv, s_common, target_other),
+                        None => {
+                            let pinv = pivot_pseudo_inverse(s_common, center);
+                            solve_relationship_pinv(&pinv, s_common, target_other)
+                        }
+                    };
+                    AffineRelationship {
+                        pair,
+                        pivot,
+                        common,
+                        a,
+                        b,
+                    }
+                })
+                .collect()
+        });
+        match variant {
+            SymexVariant::Plus => {
+                // One pseudo-inverse per distinct pivot; every further
+                // member of a group is the moral equivalent of a cache
+                // hit — the counters match the serial cache exactly.
+                stats.pinv_computed = pivots.len();
+                stats.pinv_cache_hits = total - pivots.len();
+            }
+            SymexVariant::Basic => {
+                stats.pinv_computed = total;
+                stats.pinv_cache_hits = 0;
+            }
+        }
+
+        // --- Deterministic merge by pair index ------------------------
+        let mut slots: Vec<Option<AffineRelationship>> = vec![None; total];
+        for (group, rels) in fitted.into_iter().enumerate() {
+            for (rel, &idx) in rels.into_iter().zip(&group_members[group]) {
+                slots[idx as usize] = Some(rel);
+            }
+        }
+        let relationships: Vec<AffineRelationship> = slots
+            .into_iter()
+            .map(|slot| slot.expect("every assigned pair is fitted"))
+            .collect();
 
         debug_assert_eq!(relationships.len(), total);
         Ok((
@@ -449,6 +517,7 @@ mod tests {
                 seed,
             },
             variant,
+            threads: 0,
         }
     }
 
@@ -588,6 +657,23 @@ mod tests {
         assert_eq!(a.relationships().len(), b.relationships().len());
         for (x, y) in a.relationships().iter().zip(b.relationships()) {
             assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn parallel_fit_is_bit_identical_to_serial() {
+        let data = sensor_dataset(&SensorConfig::reduced(20, 48));
+        for variant in [SymexVariant::Plus, SymexVariant::Basic] {
+            let mut serial = params(variant, 3, 5);
+            serial.threads = 1;
+            let mut parallel = params(variant, 3, 5);
+            parallel.threads = 4;
+            let (a, sa) = Symex::new(serial).run_with_stats(&data).unwrap();
+            let (b, sb) = Symex::new(parallel).run_with_stats(&data).unwrap();
+            assert_eq!(sa, sb);
+            assert_eq!(a.pivots(), b.pivots());
+            assert_eq!(a.relationships(), b.relationships());
+            assert_eq!(a.series_relationships(), b.series_relationships());
         }
     }
 

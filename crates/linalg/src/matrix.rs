@@ -239,12 +239,39 @@ impl Matrix {
             )));
         }
         let mut out = vec![0.0; self.rows];
+        self.matvec_into(x, &mut out)?;
+        Ok(out)
+    }
+
+    /// Allocation-free matrix-vector product: write `self · x` into `out`.
+    ///
+    /// This is the GEMV kernel behind the batched MEC sweeps: with one
+    /// β-matrix per pivot, a whole measure sweep is one call per pivot
+    /// into a reusable scratch buffer. Zero entries of `x` skip their
+    /// column entirely, so the accumulation order (and hence the exact
+    /// floating-point result) matches a scalar `Σ_k x_k·col_k` loop over
+    /// the non-zero coefficients.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::DimensionMismatch`] if `x.len() != cols` or
+    /// `out.len() != rows`.
+    pub fn matvec_into(&self, x: &[f64], out: &mut [f64]) -> Result<()> {
+        if x.len() != self.cols || out.len() != self.rows {
+            return Err(LinalgError::DimensionMismatch(format!(
+                "matvec_into of {}x{} with x of length {} into buffer of length {}",
+                self.rows,
+                self.cols,
+                x.len(),
+                out.len()
+            )));
+        }
+        out.fill(0.0);
         for (k, &xk) in x.iter().enumerate() {
             if xk != 0.0 {
-                vector::axpy(xk, self.col(k), &mut out);
+                vector::axpy(xk, self.col(k), out);
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Transposed matrix-vector product `selfᵀ · x` without forming the
@@ -369,6 +396,17 @@ mod tests {
         assert_eq!(yt, yt2);
         assert!(a.matvec(&[1.0]).is_err());
         assert!(a.matvec_t(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn matvec_into_matches_matvec_and_checks_shapes() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 0.0], vec![4.0, 5.0, -1.0]]);
+        let x = vec![0.5, -2.0, 3.0];
+        let mut out = vec![7.0; 2]; // stale contents must be overwritten
+        a.matvec_into(&x, &mut out).unwrap();
+        assert_eq!(out, a.matvec(&x).unwrap());
+        assert!(a.matvec_into(&x, &mut [0.0; 3]).is_err());
+        assert!(a.matvec_into(&[1.0], &mut out).is_err());
     }
 
     #[test]

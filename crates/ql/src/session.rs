@@ -198,7 +198,10 @@ impl<'a> Session<'a> {
                     }
                     Measure::Pairwise(p) => Ok(QueryOutput::PairMatrix {
                         labels: ids.iter().map(|&v| self.label(v)).collect(),
-                        matrix: self.engine.pairwise(p, &ids),
+                        matrix: self
+                            .engine
+                            .pairwise(p, &ids)
+                            .map_err(|e| QlError::Engine(e.to_string()))?,
                     }),
                 }
             }

@@ -131,8 +131,13 @@ impl<'a> AffineExecutor<'a> {
     }
 
     /// MEC: pairwise measure matrix for a set of identifiers.
+    ///
+    /// # Panics
+    /// Panics on out-of-range identifiers (full sets cannot miss pairs).
     pub fn mec_pairwise(&self, measure: PairwiseMeasure, ids: &[SeriesId]) -> Matrix {
-        self.engine.pairwise(measure, ids)
+        self.engine
+            .pairwise(measure, ids)
+            .expect("ids in range and full set")
     }
 
     /// MET over sequence pairs.

@@ -14,7 +14,9 @@ use affinity_core::measures::Measure;
 use affinity_core::mec::MecEngine;
 use affinity_core::symex::{AffineSet, Symex, SymexParams};
 use affinity_data::DataMatrix;
+use affinity_par::ThreadPool;
 use affinity_scape::ScapeIndex;
+use std::sync::Arc;
 
 /// Streaming configuration.
 #[derive(Debug, Clone)]
@@ -53,6 +55,9 @@ pub struct Model {
     data: DataMatrix,
     affine: AffineSet,
     index: ScapeIndex,
+    /// The streaming engine's shared worker pool, so per-snapshot MEC
+    /// engines reuse one set of lanes.
+    pool: Arc<ThreadPool>,
     /// Tick count at which this model was built.
     pub built_at: u64,
 }
@@ -73,9 +78,10 @@ impl Model {
         &self.index
     }
 
-    /// Build a MEC engine over this snapshot.
+    /// Build a MEC engine over this snapshot, sharing the streaming
+    /// engine's worker pool.
     pub fn mec_engine(&self) -> MecEngine<'_> {
-        MecEngine::new(&self.data, &self.affine)
+        MecEngine::with_pool(&self.data, &self.affine, Arc::clone(&self.pool))
     }
 }
 
@@ -86,6 +92,9 @@ pub struct StreamingEngine {
     window: SlidingWindow,
     rolling: RollingStats,
     model: Option<Model>,
+    /// One worker pool for the engine's lifetime, shared by every
+    /// refresh's SYMEX run and every snapshot's MEC engine.
+    pool: Arc<ThreadPool>,
     ticks_at_last_refresh: u64,
     refreshes: u64,
 }
@@ -98,11 +107,13 @@ impl StreamingEngine {
     pub fn new(series: usize, cfg: StreamingConfig) -> Self {
         let window = SlidingWindow::new(series, cfg.window);
         let rolling = RollingStats::new(series, cfg.window);
+        let pool = Arc::new(ThreadPool::new(cfg.symex.threads));
         StreamingEngine {
             cfg,
             window,
             rolling,
             model: None,
+            pool,
             ticks_at_last_refresh: 0,
             refreshes: 0,
         }
@@ -151,12 +162,13 @@ impl StreamingEngine {
             .k
             .min(data.series_count().saturating_sub(1))
             .max(1);
-        let affine = Symex::new(params).run(&data)?;
+        let affine = Symex::with_pool(params, Arc::clone(&self.pool)).run(&data)?;
         let index = ScapeIndex::build(&data, &affine, &self.cfg.indexed);
         self.model = Some(Model {
             data,
             affine,
             index,
+            pool: Arc::clone(&self.pool),
             built_at: self.window.ticks(),
         });
         self.ticks_at_last_refresh = self.window.ticks();
@@ -253,7 +265,9 @@ mod tests {
         assert!(!hot.is_empty());
         // MEC through a fresh engine over the snapshot.
         let engine = model.mec_engine();
-        let rho = engine.pairwise(PairwiseMeasure::Correlation, &[0, 1, 2]);
+        let rho = engine
+            .pairwise(PairwiseMeasure::Correlation, &[0, 1, 2])
+            .unwrap();
         assert_eq!(rho.rows(), 3);
     }
 

@@ -35,7 +35,7 @@ fn main() {
     let means = engine.location(LocationMeasure::Mean, &ids).unwrap();
     println!("means of {ids:?} (via affine relationships): {means:.3?}");
 
-    let rho = engine.pairwise(PairwiseMeasure::Correlation, &ids);
+    let rho = engine.pairwise(PairwiseMeasure::Correlation, &ids).unwrap();
     println!(
         "correlation of ({}, {}): {:.4}",
         ids[0],
@@ -45,7 +45,9 @@ fn main() {
 
     // Error vs exact computation across ALL pairs (Eq. 16 of the paper).
     let exact = affinity::core::measures::pairwise_all(PairwiseMeasure::Covariance, &data);
-    let approx = engine.pairwise_all(PairwiseMeasure::Covariance);
+    let approx = engine
+        .pairwise_all(PairwiseMeasure::Covariance)
+        .expect("full affine set");
     println!(
         "covariance %RMSE over {} pairs: {:.2e}",
         exact.len(),

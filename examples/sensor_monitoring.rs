@@ -51,7 +51,9 @@ fn main() {
 
     // Alert 1: strongly co-varying sensor pairs.
     let t0 = Instant::now();
-    let covs = engine.pairwise_all(PairwiseMeasure::Covariance);
+    let covs = engine
+        .pairwise_all(PairwiseMeasure::Covariance)
+        .expect("full affine set");
     let mut sorted = covs.clone();
     sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let tau = sorted[sorted.len() * 95 / 100]; // 95th percentile

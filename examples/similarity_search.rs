@@ -35,7 +35,7 @@ fn main() {
     // at machine precision.
     for measure in [PairwiseMeasure::Cosine, PairwiseMeasure::Dice] {
         let exact = measures::pairwise_all(measure, &data);
-        let approx = engine.pairwise_all(measure);
+        let approx = engine.pairwise_all(measure).expect("full affine set");
         println!(
             "{:<8} %RMSE vs from-scratch: {:.2e}",
             measure.name(),

@@ -55,7 +55,9 @@ fn main() {
     let t_setup = t0.elapsed();
     let engine = MecEngine::new(&data, &affine);
     let t0 = Instant::now();
-    let approx = engine.pairwise_all(PairwiseMeasure::Correlation);
+    let approx = engine
+        .pairwise_all(PairwiseMeasure::Correlation)
+        .expect("full affine set");
     let t_affine = t0.elapsed();
 
     println!("W_N  (from scratch):        {:>9.3?}", t_naive);

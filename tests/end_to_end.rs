@@ -26,11 +26,15 @@ fn full_pipeline_sensor() {
     assert!(percent_rmse(&exact_mean, &wa_mean) < 1e-8);
 
     let exact_dot = measures::pairwise_all(PairwiseMeasure::DotProduct, &data);
-    let wa_dot = engine.pairwise_all(PairwiseMeasure::DotProduct);
+    let wa_dot = engine
+        .pairwise_all(PairwiseMeasure::DotProduct)
+        .expect("full affine set");
     assert!(percent_rmse(&exact_dot, &wa_dot) < 1e-6);
 
     let exact_cov = measures::pairwise_all(PairwiseMeasure::Covariance, &data);
-    let wa_cov = engine.pairwise_all(PairwiseMeasure::Covariance);
+    let wa_cov = engine
+        .pairwise_all(PairwiseMeasure::Covariance)
+        .expect("full affine set");
     assert!(percent_rmse(&exact_cov, &wa_cov) < 5.0);
 
     // SCAPE equals WA-filtering for every measure and several taus.
@@ -55,7 +59,9 @@ fn full_pipeline_stock() {
 
     // Factor-model stocks are heavily cross-correlated; the framework
     // must see that through affine relationships.
-    let rho = engine.pairwise_all(PairwiseMeasure::Correlation);
+    let rho = engine
+        .pairwise_all(PairwiseMeasure::Correlation)
+        .expect("full affine set");
     let strong = rho.iter().filter(|r| r.abs() > 0.5).count();
     assert!(
         strong > rho.len() / 10,

@@ -155,7 +155,9 @@ fn exact_affine_world_reconstructs_exactly() {
     .unwrap();
     let engine = MecEngine::new(&data, &affine);
     let exact = measures::pairwise_all(PairwiseMeasure::Covariance, &data);
-    let approx = engine.pairwise_all(PairwiseMeasure::Covariance);
+    let approx = engine
+        .pairwise_all(PairwiseMeasure::Covariance)
+        .expect("full affine set");
     // Everything lives in a 2-D latent space + offsets: after clustering,
     // every pivot plane contains each series, so propagation is exact.
     let err = percent_rmse(&exact, &approx);

@@ -100,7 +100,9 @@ fn wf_only_handles_correlation_and_degrades_gracefully() {
     let wf = DftExecutor::new(&data);
 
     let exact = measures::pairwise_all(PairwiseMeasure::Correlation, &data);
-    let wa: Vec<f64> = engine.pairwise_all(PairwiseMeasure::Correlation);
+    let wa: Vec<f64> = engine
+        .pairwise_all(PairwiseMeasure::Correlation)
+        .expect("full affine set");
     let wf_vals: Vec<f64> = data
         .sequence_pairs()
         .iter()
@@ -143,7 +145,7 @@ fn degenerate_data_is_survivable_everywhere() {
     .unwrap();
     let engine = MecEngine::new(&data, &affine);
     for measure in PairwiseMeasure::ALL {
-        for v in engine.pairwise_all(measure) {
+        for v in engine.pairwise_all(measure).expect("full affine set") {
             assert!(v.is_finite(), "{} produced {v}", measure.name());
         }
     }
