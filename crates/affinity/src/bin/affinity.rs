@@ -143,7 +143,7 @@ fn query(args: &[String]) -> Result<(), String> {
     let affine = Symex::new(SymexParams::default())
         .run(&data)
         .map_err(|e| e.to_string())?;
-    let session = Session::new(&data, &affine, &Measure::EXTENDED);
+    let session = Session::new(&data, &affine, &Measure::EXTENDED).map_err(|e| e.to_string())?;
     for stmt in statements {
         println!("> {stmt}");
         match session.execute(stmt) {

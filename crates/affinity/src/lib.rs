@@ -34,7 +34,7 @@
 //! assert_eq!(rho.rows(), 4);
 //!
 //! // Indexed threshold queries (the SCAPE index).
-//! let index = ScapeIndex::build(&data, &affine, &Measure::ALL);
+//! let index = ScapeIndex::build(&data, &affine, &Measure::ALL).expect("index");
 //! let hot = index
 //!     .threshold_pairs(PairwiseMeasure::Correlation, ThresholdOp::Greater, 0.95)
 //!     .unwrap();
@@ -46,16 +46,16 @@
 //! | Module | Backing crate | Contents |
 //! |---|---|---|
 //! | [`core`] | `affinity-core` | measures, LSFD, AFCLST, SYMEX/SYMEX+, MEC engine |
-//! | [`scape`] | `affinity-scape` | the SCAPE index, MET/MER queries |
+//! | [`scape`] | `affinity-scape` | the SCAPE index: bulk construction, MET/MER/count queries, delta patching |
 //! | [`data`] | `affinity-data` | data matrix, dataset generators, CSV, Zipf |
 //! | [`query`] | `affinity-query` | `W_N`/`W_A`/`W_F` executors, online workloads |
 //! | [`ql`] | `affinity-ql` | textual MEC/MET/MER query language + planner |
-//! | [`stream`] | `affinity-stream` | sliding windows, rolling stats, periodic model refresh |
+//! | [`stream`] | `affinity-stream` | sliding windows, rolling stats, drift-driven delta refresh |
 //! | [`storage`] | `affinity-storage` | columnar binary store with checksums |
 //! | [`linalg`] | `affinity-linalg` | QR, Jacobi eigen, power iteration |
 //! | [`par`] | `affinity-par` | work-stealing thread pool behind parallel SYMEX + batched MEC |
 //! | [`dft`] | `affinity-dft` | FFT (radix-2 + Bluestein), coefficient sketches |
-//! | [`index`] | `affinity-index` | the B+ tree behind SCAPE |
+//! | [`index`] | `affinity-index` | the B+ tree behind SCAPE (duplicate-aware, counted, bulk-loadable) |
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]

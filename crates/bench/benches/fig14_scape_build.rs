@@ -1,54 +1,330 @@
-//! Fig. 14 — scalability of SCAPE index construction on sensor-data.
+//! Fig. 14 — scalability of SCAPE index construction on sensor-data,
+//! extended with the bulk-load and delta-refresh paths.
 //!
-//! Build time of the index as the number of indexed affine relationships
-//! grows, separately for a T-measure (covariance) and an L-measure
-//! (mean). Paper: linear scaling; the L-measure is far cheaper because
-//! only O(n) per-series relationships exist.
+//! Three sections:
+//!
+//! 1. the paper's figure — index build time as the number of indexed
+//!    affine relationships grows (linear scaling), per-key insert vs
+//!    sorted bulk load for a T-measure (covariance), plus the far
+//!    cheaper L-measure (mean, O(n) relationships). Both paths must
+//!    answer threshold queries identically. At paper scale each pivot's
+//!    tree holds only ~n/2k entries, so the end-to-end gap is bounded
+//!    by the shared ξ-gather cost — reported honestly;
+//! 2. the B+ tree primitive in isolation — per-key insert vs
+//!    `bulk_build` on single large duplicate-heavy trees, where the
+//!    bottom-up load's advantage actually lives;
+//! 3. streaming amortization — wall-clock of a full model rebuild
+//!    (AFCLST + SYMEX+ + index) vs a policy-driven delta refresh on a
+//!    stationary stream where a small fraction of series drifts (the
+//!    workload delta maintenance targets: re-fit only what moved).
+//!
+//! Set `AFFINITY_BENCH_JSON=<path>` to also write the measurements as a
+//! JSON baseline (CI uploads `BENCH_scape.json` so every PR has a perf
+//! trajectory).
 
 use affinity_bench::{default_symex, fmt_secs, header, sensor, time, Scale};
 use affinity_core::measures::{LocationMeasure, Measure, PairwiseMeasure};
-use affinity_scape::ScapeIndex;
+use affinity_index::BPlusTree;
+use affinity_scape::{ScapeIndex, ThresholdOp};
+use affinity_stream::{DeltaPolicy, RefreshKind, StreamingConfig, StreamingEngine};
+use std::fmt::Write as _;
+
+struct BuildRow {
+    series: usize,
+    relationships: usize,
+    cov_insert_secs: f64,
+    cov_bulk_secs: f64,
+    mean_bulk_secs: f64,
+}
+
+struct TreeRow {
+    entries: usize,
+    insert_secs: f64,
+    bulk_secs: f64,
+}
+
+struct StreamingReport {
+    series: usize,
+    window: usize,
+    full_refresh_secs: f64,
+    delta_refresh_secs: f64,
+    drifted_series: usize,
+    refit_pairs: usize,
+}
+
+fn equal_queries(a: &ScapeIndex, b: &ScapeIndex, taus: &[f64]) -> bool {
+    taus.iter().all(|&tau| {
+        let sort = |mut v: Vec<_>| {
+            v.sort();
+            v
+        };
+        sort(
+            a.threshold_pairs(PairwiseMeasure::Covariance, ThresholdOp::Greater, tau)
+                .expect("query"),
+        ) == sort(
+            b.threshold_pairs(PairwiseMeasure::Covariance, ThresholdOp::Greater, tau)
+                .expect("query"),
+        )
+    })
+}
 
 fn main() {
     let scale = Scale::from_env();
     header(
         "Fig. 14",
-        "SCAPE index construction scalability, sensor-data",
+        "SCAPE index construction: insert vs bulk load, full vs delta refresh",
         scale,
     );
     let data = sensor(scale);
     let n = data.series_count();
+
+    // (1) + (2): build-path comparison over series prefixes.
     println!(
-        "{:>8} {:>14} {:>14} {:>14}",
-        "#series", "#relationships", "covariance", "mean"
+        "{:>8} {:>14} {:>14} {:>14} {:>8} {:>14}",
+        "#series", "#relationships", "cov insert", "cov bulk", "speedup", "mean bulk"
     );
-    let mut prev_cov = 0.0;
+    let mut rows = Vec::new();
     for i in 1..=5usize {
         let sz = ((n as f64) * (i as f64 / 5.0).sqrt()).round() as usize;
         let slice = data.prefix(sz.max(8));
         let affine = default_symex().run(&slice).expect("symex");
-        let (cov_idx, t_cov) = time(|| {
-            ScapeIndex::build(
-                &slice,
-                &affine,
-                &[Measure::Pairwise(PairwiseMeasure::Covariance)],
-            )
-        });
-        let (_, t_mean) = time(|| {
-            ScapeIndex::build(&slice, &affine, &[Measure::Location(LocationMeasure::Mean)])
-        });
+        let cov_only = [Measure::Pairwise(PairwiseMeasure::Covariance)];
+        // Best of 3 per path: single-shot build timings are noisy.
+        let mut t_insert = f64::INFINITY;
+        let mut t_bulk = f64::INFINITY;
+        let mut t_mean = f64::INFINITY;
+        let mut built = None;
+        for _ in 0..3 {
+            let (ins_idx, ti) =
+                time(|| ScapeIndex::build_insert(&slice, &affine, &cov_only).expect("index"));
+            let (bulk_idx, tb) =
+                time(|| ScapeIndex::build(&slice, &affine, &cov_only).expect("index"));
+            let (_, tm) = time(|| {
+                ScapeIndex::build(&slice, &affine, &[Measure::Location(LocationMeasure::Mean)])
+                    .expect("index")
+            });
+            t_insert = t_insert.min(ti);
+            t_bulk = t_bulk.min(tb);
+            t_mean = t_mean.min(tm);
+            built = Some((ins_idx, bulk_idx));
+        }
+        let (ins_idx, bulk_idx) = built.expect("three reps ran");
+        assert!(
+            equal_queries(&ins_idx, &bulk_idx, &[-0.1, 0.0, 0.05, 0.3]),
+            "insert- and bulk-built indexes disagree"
+        );
         println!(
-            "{:>8} {:>14} {:>14} {:>14}",
+            "{:>8} {:>14} {:>14} {:>14} {:>7.1}x {:>14}",
             slice.series_count(),
-            cov_idx.stats().pair_sequence_nodes,
-            fmt_secs(t_cov),
+            bulk_idx.stats().pair_sequence_nodes,
+            fmt_secs(t_insert),
+            fmt_secs(t_bulk),
+            t_insert / t_bulk,
             fmt_secs(t_mean)
         );
-        prev_cov = t_cov.max(prev_cov);
+        rows.push(BuildRow {
+            series: slice.series_count(),
+            relationships: bulk_idx.stats().pair_sequence_nodes,
+            cov_insert_secs: t_insert,
+            cov_bulk_secs: t_bulk,
+            mean_bulk_secs: t_mean,
+        });
     }
+    let last = rows.last().expect("rows");
     println!(
-        "\nshape check: covariance build grows ~linearly with relationships (largest {:.3}s);",
-        prev_cov
+        "\nshape check: both paths scale ~linearly with relationships; end-to-end gap {:.1}x at n = {}",
+        last.cov_insert_secs / last.cov_bulk_secs,
+        last.series
     );
+    println!("(per-pivot trees hold only ~n/2k entries at paper scale, so the shared xi-gather dominates;");
+    println!(" the tree primitive below is where bulk loading pays.)");
     println!("mean indexes only O(n) per-series relationships, so it stays near-constant (paper shows the same gap).");
+
+    // (2) The B+ tree primitive in isolation: one large duplicate-heavy
+    // tree per row, sorted input, per-key insert vs bottom-up load.
+    println!(
+        "\nB+ tree load (sorted input, 4 duplicates per key):\n{:>10} {:>12} {:>12} {:>8}",
+        "#entries", "insert", "bulk", "speedup"
+    );
+    let mut tree_rows = Vec::new();
+    for &size in &[10_000usize, 100_000, 400_000] {
+        let entries: Vec<(f64, u32)> = (0..size)
+            .map(|i| ((i / 4) as f64 * 0.25, i as u32))
+            .collect();
+        // Best of 3: single-shot timings of large allocations are noisy.
+        let mut t_insert = f64::INFINITY;
+        let mut t_bulk = f64::INFINITY;
+        let mut lens = (0usize, 0usize);
+        for _ in 0..3 {
+            let (ins_tree, ti) = time(|| {
+                let mut t = BPlusTree::new();
+                for &(k, v) in &entries {
+                    t.insert(k, v);
+                }
+                t
+            });
+            let (bulk_tree, tb) = time(|| BPlusTree::bulk_build(entries.clone()));
+            t_insert = t_insert.min(ti);
+            t_bulk = t_bulk.min(tb);
+            lens = (ins_tree.len(), bulk_tree.len());
+        }
+        assert_eq!(lens.0, lens.1);
+        println!(
+            "{:>10} {:>12} {:>12} {:>7.1}x",
+            size,
+            fmt_secs(t_insert),
+            fmt_secs(t_bulk),
+            t_insert / t_bulk
+        );
+        tree_rows.push(TreeRow {
+            entries: size,
+            insert_secs: t_insert,
+            bulk_secs: t_bulk,
+        });
+    }
+
+    // (3) Streaming: full rebuild vs delta refresh. The stream is
+    // stationary (the reference window's columns replayed cyclically —
+    // identical in-window statistics) except for a small subset of
+    // series that level-shifts; only their relationships need re-fits.
+    let window = data.samples() / 2;
+    let mut cfg = StreamingConfig::new(window);
+    cfg.refresh_every = u64::MAX; // refreshes are driven manually below
+    cfg.delta = Some(DeltaPolicy {
+        drift_tolerance: 0.05,
+        max_drift_fraction: 0.5,
+        full_every: u64::MAX, // refreshes are driven manually below
+    });
+    let mut eng = StreamingEngine::new(n, cfg);
+    let shifted = |v: usize| v.is_multiple_of(20); // 5% of series drift
+    let tick_at = |t: usize, shift: bool| -> Vec<f64> {
+        (0..n)
+            .map(|v| {
+                let x = data.series(v)[t % window];
+                if shift && shifted(v) {
+                    x * 1.05 + 1.0
+                } else {
+                    x
+                }
+            })
+            .collect()
+    };
+    for t in 0..window {
+        eng.push(&tick_at(t, false)).expect("push");
+    }
+    // Warm-up built the first model; time a forced full rebuild, then
+    // replay half a window with the shifted subset and time the
+    // policy's delta refresh.
+    let (_, t_full) = time(|| eng.refresh().expect("full refresh"));
+    for t in window..window + window / 2 {
+        eng.push(&tick_at(t, true)).expect("push");
+    }
+    let (kind, t_delta) = time(|| eng.refresh_auto().expect("delta refresh"));
+    // The baseline must record a real delta refresh; if the policy fell
+    // back to a full rebuild the scenario itself is broken — fail loudly
+    // instead of committing a wrong number.
+    let RefreshKind::Delta {
+        drifted_series,
+        refit_pairs,
+    } = kind
+    else {
+        panic!("expected a delta refresh, policy chose {kind:?}");
+    };
+    println!(
+        "\nstreaming refresh ({n} series, window {window}): full rebuild {} vs delta {} ({:.1}x; {} drifted series, {} pairs re-fit, kind {:?})",
+        fmt_secs(t_full),
+        fmt_secs(t_delta),
+        t_full / t_delta,
+        drifted_series,
+        refit_pairs,
+        kind,
+    );
+    let streaming = StreamingReport {
+        series: n,
+        window,
+        full_refresh_secs: t_full,
+        delta_refresh_secs: t_delta,
+        drifted_series,
+        refit_pairs,
+    };
+
+    if let Ok(path) = std::env::var("AFFINITY_BENCH_JSON") {
+        let json = to_json(&rows, &tree_rows, &streaming, scale);
+        std::fs::write(&path, json).expect("write bench JSON");
+        println!("wrote baseline to {path}");
+    }
+}
+
+fn to_json(
+    rows: &[BuildRow],
+    tree_rows: &[TreeRow],
+    streaming: &StreamingReport,
+    scale: Scale,
+) -> String {
+    // All strings are static identifiers — no escaping needed.
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"bench\": \"fig14_scape_build\",");
+    let _ = writeln!(
+        s,
+        "  \"scale\": \"{}\",",
+        scale.tag().split(' ').next().expect("tag")
+    );
+    let _ = writeln!(
+        s,
+        "  \"hardware_threads\": {},",
+        affinity_par::resolve_threads(0)
+    );
+    let _ = writeln!(s, "  \"dataset\": \"sensor-data\",");
+    let _ = writeln!(s, "  \"build\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "    {{\"series\": {}, \"relationships\": {}, \"cov_insert_secs\": {:.6}, \"cov_bulk_secs\": {:.6}, \"bulk_speedup\": {:.2}, \"mean_bulk_secs\": {:.6}}}{comma}",
+            r.series,
+            r.relationships,
+            r.cov_insert_secs,
+            r.cov_bulk_secs,
+            r.cov_insert_secs / r.cov_bulk_secs,
+            r.mean_bulk_secs
+        );
+    }
+    let _ = writeln!(s, "  ],");
+    let _ = writeln!(s, "  \"tree_bulk_load\": [");
+    for (i, r) in tree_rows.iter().enumerate() {
+        let comma = if i + 1 < tree_rows.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "    {{\"entries\": {}, \"insert_secs\": {:.6}, \"bulk_secs\": {:.6}, \"bulk_speedup\": {:.2}}}{comma}",
+            r.entries,
+            r.insert_secs,
+            r.bulk_secs,
+            r.insert_secs / r.bulk_secs
+        );
+    }
+    let _ = writeln!(s, "  ],");
+    let _ = writeln!(s, "  \"streaming\": {{");
+    let _ = writeln!(s, "    \"series\": {},", streaming.series);
+    let _ = writeln!(s, "    \"window\": {},", streaming.window);
+    let _ = writeln!(
+        s,
+        "    \"full_refresh_secs\": {:.6},",
+        streaming.full_refresh_secs
+    );
+    let _ = writeln!(
+        s,
+        "    \"delta_refresh_secs\": {:.6},",
+        streaming.delta_refresh_secs
+    );
+    let _ = writeln!(
+        s,
+        "    \"delta_speedup\": {:.2},",
+        streaming.full_refresh_secs / streaming.delta_refresh_secs
+    );
+    let _ = writeln!(s, "    \"drifted_series\": {},", streaming.drifted_series);
+    let _ = writeln!(s, "    \"refit_pairs\": {}", streaming.refit_pairs);
+    let _ = writeln!(s, "  }}");
+    let _ = writeln!(s, "}}");
+    s
 }

@@ -30,7 +30,8 @@ fn main() {
     );
 
     let (affine, t_setup) = time(|| default_symex().run(&data).expect("symex"));
-    let (index, t_index) = time(|| ScapeIndex::build(&data, &affine, &Measure::ALL));
+    let (index, t_index) =
+        time(|| ScapeIndex::build(&data, &affine, &Measure::ALL).expect("index"));
     let (wf, t_wf) = time(|| DftExecutor::new(&data));
     println!(
         "setup (excluded from per-query times, as in the paper): SYMEX+ {}, SCAPE build {}, W_F sketches {}",

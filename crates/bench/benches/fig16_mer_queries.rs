@@ -20,7 +20,8 @@ fn main() {
     );
 
     let (affine, t_setup) = time(|| default_symex().run(&data).expect("symex"));
-    let (index, t_index) = time(|| ScapeIndex::build(&data, &affine, &Measure::ALL));
+    let (index, t_index) =
+        time(|| ScapeIndex::build(&data, &affine, &Measure::ALL).expect("index"));
     let wf = DftExecutor::new(&data);
     println!(
         "setup: SYMEX+ {}, SCAPE build {}",

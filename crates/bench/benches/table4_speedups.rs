@@ -30,7 +30,7 @@ fn main() {
     );
     let data = sensor(scale);
     let affine = default_symex().run(&data).expect("symex");
-    let index = ScapeIndex::build(&data, &affine, &Measure::ALL);
+    let index = ScapeIndex::build(&data, &affine, &Measure::ALL).expect("index");
     let wn = NaiveExecutor::new(&data);
     let wa = AffineExecutor::new(&data, &affine);
     let wf = DftExecutor::new(&data);

@@ -160,6 +160,41 @@ impl AffineSet {
         &self.series_rels
     }
 
+    /// Replace the stored relationship for `rel.pair` with a re-fit
+    /// against the **same pivot** (delta maintenance: the streaming
+    /// engine re-solves drifted pairs against retained pivots). Returns
+    /// the previous relationship.
+    ///
+    /// Returns `None` — without modifying anything — when the pair is
+    /// unknown or when `rel` is anchored at a different pivot/common
+    /// series than the stored relationship: changing pivot membership
+    /// requires a full SYMEX re-run, not a patch.
+    pub fn replace_relationship(&mut self, rel: AffineRelationship) -> Option<AffineRelationship> {
+        let idx = *self
+            .pair_index
+            .get(&(rel.pair.u as u32, rel.pair.v as u32))? as usize;
+        let slot = &mut self.relationships[idx];
+        if slot.pivot != rel.pivot || slot.common != rel.common {
+            return None;
+        }
+        Some(std::mem::replace(slot, rel))
+    }
+
+    /// Replace the per-series relationship for `sr.series` with a re-fit
+    /// against the **same cluster centre**. Returns the previous
+    /// relationship, or `None` (unknown series / different cluster)
+    /// without modifying anything.
+    pub fn replace_series_relationship(
+        &mut self,
+        sr: SeriesRelationship,
+    ) -> Option<SeriesRelationship> {
+        let slot = self.series_rels.get_mut(sr.series)?;
+        if slot.cluster != sr.cluster {
+            return None;
+        }
+        Some(std::mem::replace(slot, sr))
+    }
+
     /// The two pivot-matrix columns of a pivot pair: the common series
     /// borrowed from `data` and the cluster centre from the model.
     ///

@@ -7,13 +7,17 @@
 //!
 //! * keys are `f64` scalar projections (`ξ`); NaN keys are rejected,
 //!   duplicate keys are allowed (distinct sequence pairs can share a
-//!   projection value);
+//!   projection value — zero-α pivots store ξ = 0 for *every* pair) and
+//!   runs of equal keys may span node boundaries, so every descent is
+//!   duplicate-aware;
 //! * values live only in leaves; internal nodes hold copies of separator
-//!   keys, classic B+-tree style;
-//! * the SCAPE workload is *build once, search many*, so the tree is
-//!   append-only: `insert`, ordered iteration, and range scans over
-//!   arbitrary [`std::ops::Bound`]s. Range scans drive the MET/MER
-//!   binary-search step of the paper;
+//!   keys plus subtree entry counts, classic B+-tree style — the counts
+//!   answer `count_range` in `O(log n)` without materializing a scan;
+//! * the SCAPE workload is *build once, search many, patch rarely*:
+//!   `insert`, ordered iteration, range scans over arbitrary
+//!   [`std::ops::Bound`]s (the MET/MER binary-search step of the paper),
+//!   and predicate-targeted `remove` for delta maintenance (removals
+//!   don't rebalance; the delta path pairs each with a reinsertion);
 //! * `bulk_build` constructs a tree from pre-sorted entries bottom-up in
 //!   `O(n)` — used when the relationship set is known up front.
 //!

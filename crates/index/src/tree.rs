@@ -15,12 +15,27 @@ enum Node<V> {
         entries: Vec<(f64, V)>,
     },
     Internal {
-        /// `keys[i]` separates `children[i]` (keys `<= keys[i]`… strictly:
-        /// keys of `children[i]` are `< keys[i]`, duplicates of a
-        /// separator may live right of it) from `children[i+1]`.
+        /// `keys[i]` bounds the split between `children[i]` and
+        /// `children[i+1]`: every key in `children[i]` is `<= keys[i]`
+        /// and every key in `children[i+1]` is `>= keys[i]`. A run of
+        /// duplicates may span the separator (live on **both** sides),
+        /// so descents for a lower bound must go left of an equal
+        /// separator — see [`RangeIter::seek`].
         keys: Vec<f64>,
         children: Vec<Node<V>>,
+        /// Total entries stored in this subtree; answers
+        /// [`BPlusTree::count_range`] rank descents in `O(log n)`.
+        count: usize,
     },
+}
+
+/// Entries stored under `node`.
+#[inline]
+fn subtree_count<V>(node: &Node<V>) -> usize {
+    match node {
+        Node::Leaf { entries } => entries.len(),
+        Node::Internal { count, .. } => *count,
+    }
 }
 
 /// Append-only B+ tree with `f64` keys and arbitrary values.
@@ -91,8 +106,30 @@ impl<V> BPlusTree<V> {
             self.root = Node::Internal {
                 keys: vec![sep],
                 children: vec![old_root, right],
+                count: self.len,
             };
         }
+    }
+
+    /// Remove and return the first entry (in stored order among
+    /// duplicates) whose key equals `key` and whose value satisfies
+    /// `pred`. Returns `None` when no such entry exists.
+    ///
+    /// Removal does not rebalance: a leaf may underflow (or empty out)
+    /// and separators stay behind as bounds, which keeps every search
+    /// correct. The SCAPE delta path pairs each removal with a
+    /// reinsertion, so occupancy stays stable in the intended workload;
+    /// unmatched heavy deletion merely degrades space, not correctness.
+    ///
+    /// # Panics
+    /// Panics if `key` is NaN.
+    pub fn remove<F: FnMut(&V) -> bool>(&mut self, key: f64, mut pred: F) -> Option<V> {
+        assert!(!key.is_nan(), "B+ tree keys must not be NaN");
+        let removed = remove_rec(&mut self.root, key, &mut pred);
+        if removed.is_some() {
+            self.len -= 1;
+        }
+        removed
     }
 
     /// Build a tree from entries already sorted by key, bottom-up.
@@ -114,29 +151,38 @@ impl<V> BPlusTree<V> {
         if len == 0 {
             return BPlusTree::new();
         }
+        let fanout = HALF.max(2);
         // Leaf level.
-        let mut level: Vec<Node<V>> = Vec::new();
-        let mut firsts: Vec<f64> = Vec::new();
+        let mut level: Vec<Node<V>> = Vec::with_capacity(len.div_ceil(fanout));
+        let mut firsts: Vec<f64> = Vec::with_capacity(len.div_ceil(fanout));
         let mut iter = entries.into_iter().peekable();
         while iter.peek().is_some() {
-            let chunk: Vec<(f64, V)> = iter.by_ref().take(HALF.max(2)).collect();
+            let chunk: Vec<(f64, V)> = iter.by_ref().take(fanout).collect();
             firsts.push(chunk[0].0);
             level.push(Node::Leaf { entries: chunk });
         }
-        // Internal levels.
+        // Internal levels: chunk by index (each node is moved exactly
+        // once, so a level costs O(level), not the quadratic re-shift a
+        // front drain would pay).
         while level.len() > 1 {
-            let mut next_level = Vec::new();
-            let mut next_firsts = Vec::new();
-            let i = 0;
-            while i < level.len() {
-                let take = (level.len() - i).min(HALF.max(2));
-                let children: Vec<Node<V>> = level.drain(i..i + take).collect();
-                // After drain, indices shift; keep i at same position.
-                let keys: Vec<f64> = firsts[i + 1..i + take].to_vec();
-                next_firsts.push(firsts[i]);
-                firsts.drain(i..i + take);
-                next_level.push(Node::Internal { children, keys });
-                // level and firsts shrank in place; i stays.
+            let total = level.len();
+            let groups = total.div_ceil(fanout);
+            let mut next_level: Vec<Node<V>> = Vec::with_capacity(groups);
+            let mut next_firsts: Vec<f64> = Vec::with_capacity(groups);
+            let mut nodes = level.into_iter();
+            let mut start = 0;
+            while start < total {
+                let take = (total - start).min(fanout);
+                let children: Vec<Node<V>> = nodes.by_ref().take(take).collect();
+                let count = children.iter().map(subtree_count).sum();
+                let keys: Vec<f64> = firsts[start + 1..start + take].to_vec();
+                next_firsts.push(firsts[start]);
+                next_level.push(Node::Internal {
+                    keys,
+                    children,
+                    count,
+                });
+                start += take;
             }
             level = next_level;
             firsts = next_firsts;
@@ -161,9 +207,29 @@ impl<V> BPlusTree<V> {
         RangeIter::new(&self.root, lo, hi)
     }
 
-    /// Count entries in the given key range without materializing them.
+    /// Count entries in the given key range without materializing them:
+    /// two rank descents over the per-node subtree counts, `O(log n)`
+    /// regardless of how many entries fall inside the range.
+    ///
+    /// NaN bounds are rejected in debug builds; keys themselves can
+    /// never be NaN.
     pub fn count_range(&self, lo: Bound<f64>, hi: Bound<f64>) -> usize {
-        self.range(lo, hi).count()
+        debug_assert!(
+            !matches!(lo, Bound::Included(b) | Bound::Excluded(b) if b.is_nan())
+                && !matches!(hi, Bound::Included(b) | Bound::Excluded(b) if b.is_nan()),
+            "count_range bounds must not be NaN"
+        );
+        let below_lo = match lo {
+            Bound::Unbounded => 0,
+            Bound::Included(b) => rank(&self.root, b, true),
+            Bound::Excluded(b) => rank(&self.root, b, false),
+        };
+        let upto_hi = match hi {
+            Bound::Unbounded => self.len,
+            Bound::Included(b) => rank(&self.root, b, false),
+            Bound::Excluded(b) => rank(&self.root, b, true),
+        };
+        upto_hi.saturating_sub(below_lo)
     }
 
     /// Smallest key, if any.
@@ -180,6 +246,37 @@ impl<V> BPlusTree<V> {
                 Node::Internal { children, .. } => {
                     node = children.last().expect("internal node has children");
                 }
+            }
+        }
+    }
+}
+
+/// Number of entries under `node` with key `< bound` (`strict`) or
+/// `<= bound` (`!strict`). A single root-to-leaf descent: at each
+/// internal node every child left of the descent index is fully below
+/// the bound (its keys are `<=` its right separator, which is below the
+/// bound) and every child right of it is fully above (its keys are `>=`
+/// its left separator), so only one child needs recursion.
+fn rank<V>(mut node: &Node<V>, bound: f64, strict: bool) -> usize {
+    let mut acc = 0;
+    loop {
+        match node {
+            Node::Leaf { entries } => {
+                return acc
+                    + if strict {
+                        entries.partition_point(|(k, _)| *k < bound)
+                    } else {
+                        entries.partition_point(|(k, _)| *k <= bound)
+                    };
+            }
+            Node::Internal { keys, children, .. } => {
+                let idx = if strict {
+                    keys.partition_point(|k| *k < bound)
+                } else {
+                    keys.partition_point(|k| *k <= bound)
+                };
+                acc += children[..idx].iter().map(subtree_count).sum::<usize>();
+                node = &children[idx];
             }
         }
     }
@@ -207,7 +304,13 @@ fn insert_rec<V>(node: &mut Node<V>, key: f64, value: V) -> Option<(f64, Node<V>
                 None
             }
         }
-        Node::Internal { keys, children } => {
+        Node::Internal {
+            keys,
+            children,
+            count,
+        } => {
+            // The new entry lands somewhere in this subtree either way.
+            *count += 1;
             let idx = keys.partition_point(|k| *k <= key);
             let split = insert_rec(&mut children[idx], key, value);
             if let Some((sep, right)) = split {
@@ -217,13 +320,51 @@ fn insert_rec<V>(node: &mut Node<V>, key: f64, value: V) -> Option<(f64, Node<V>
                     let right_children = children.split_off(HALF + 1);
                     let mut right_keys = keys.split_off(HALF);
                     let sep_up = right_keys.remove(0);
+                    let right_count: usize = right_children.iter().map(subtree_count).sum();
+                    *count -= right_count;
                     return Some((
                         sep_up,
                         Node::Internal {
                             keys: right_keys,
                             children: right_children,
+                            count: right_count,
                         },
                     ));
+                }
+            }
+            None
+        }
+    }
+}
+
+/// Recursive remove: duplicates of `key` may span several children (a
+/// run can straddle separators), so every child between the first and
+/// last separator position that can hold `key` is probed in order.
+fn remove_rec<V, F: FnMut(&V) -> bool>(node: &mut Node<V>, key: f64, pred: &mut F) -> Option<V> {
+    match node {
+        Node::Leaf { entries } => {
+            let start = entries.partition_point(|(k, _)| *k < key);
+            for i in start..entries.len() {
+                if entries[i].0 != key {
+                    break;
+                }
+                if pred(&entries[i].1) {
+                    return Some(entries.remove(i).1);
+                }
+            }
+            None
+        }
+        Node::Internal {
+            keys,
+            children,
+            count,
+        } => {
+            let lo = keys.partition_point(|k| *k < key);
+            let hi = keys.partition_point(|k| *k <= key).min(children.len() - 1);
+            for child in &mut children[lo..=hi] {
+                if let Some(v) = remove_rec(child, key, pred) {
+                    *count -= 1;
+                    return Some(v);
                 }
             }
             None
@@ -288,12 +429,17 @@ impl<'a, V> RangeIter<'a, V> {
                     self.leaf = Some((entries.as_slice(), start));
                     return;
                 }
-                Node::Internal { keys, children } => {
+                Node::Internal { keys, children, .. } => {
+                    // Duplicate-aware descent: a run of keys equal to a
+                    // separator may extend *left* of it (both insert
+                    // splits and bulk-load chunk boundaries can land
+                    // inside a run), so descend at the first separator
+                    // `>=` the bound — never skip past an equal one.
+                    // Landing a leaf early is fine: the iterator skips
+                    // below-bound prefixes and advances across leaves.
                     let idx = match self.lo {
                         Bound::Unbounded => 0,
-                        Bound::Included(b) | Bound::Excluded(b) => {
-                            keys.partition_point(|k| *k <= b)
-                        }
+                        Bound::Included(b) | Bound::Excluded(b) => keys.partition_point(|k| *k < b),
                     };
                     self.stack.push((node, idx + 1));
                     node = &children[idx];
@@ -342,8 +488,17 @@ impl<'a, V> Iterator for RangeIter<'a, V> {
             if pos < entries.len() {
                 let (k, v) = &entries[pos];
                 if self.key_below_lo(*k) {
-                    // Only possible at the very start boundary; skip.
-                    self.leaf = Some((entries, pos + 1));
+                    // Only possible at the start boundary (the
+                    // duplicate-aware descent may land left of the
+                    // bound); binary-search past the below-bound prefix
+                    // instead of stepping entry by entry.
+                    let lo = self.lo;
+                    let skip = entries[pos..].partition_point(|(k2, _)| match lo {
+                        Bound::Unbounded => false,
+                        Bound::Included(b) => *k2 < b,
+                        Bound::Excluded(b) => *k2 <= b,
+                    });
+                    self.leaf = Some((entries, pos + skip.max(1)));
                     continue;
                 }
                 if self.key_above_hi(*k) {
@@ -490,6 +645,169 @@ mod tests {
         let a: Vec<(f64, usize)> = bulk.iter().map(|(k, v)| (k, *v)).collect();
         let b: Vec<(f64, usize)> = inc.iter().map(|(k, v)| (k, *v)).collect();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bulk_build_keeps_duplicate_run_spanning_chunks() {
+        // The original bug: 20 copies of one key span a leaf-chunk
+        // boundary, the separator equals the key, and an Included range
+        // silently dropped the left chunk's copies.
+        let entries: Vec<(f64, usize)> = (0..20).map(|i| (1.0, i)).collect();
+        let t = BPlusTree::bulk_build(entries);
+        assert_eq!(t.range(Bound::Included(1.0), Bound::Unbounded).count(), 20);
+        assert_eq!(
+            t.range(Bound::Included(1.0), Bound::Included(1.0)).count(),
+            20
+        );
+        assert_eq!(
+            t.count_range(Bound::Included(1.0), Bound::Included(1.0)),
+            20
+        );
+        // Insertion order of duplicates survives the bulk load.
+        let vals: Vec<usize> = t.iter().map(|(_, v)| *v).collect();
+        assert_eq!(vals, (0..20).collect::<Vec<_>>());
+    }
+
+    /// Randomized duplicate-heavy oracle: bulk-built and insert-built
+    /// trees answer every range/count query identically, and both match
+    /// a brute-force filter — including bounds placed exactly on
+    /// duplicated keys.
+    #[test]
+    fn bulk_build_equals_incremental_randomized_duplicates() {
+        let mut x: u64 = 0xDEC0DE;
+        let mut step = move || {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            x >> 33
+        };
+        for trial in 0..20 {
+            let n = 1 + (step() % 700) as usize;
+            let distinct = 1 + (step() % 12) as usize; // heavy duplication
+            let mut entries: Vec<(f64, usize)> = (0..n)
+                .map(|i| (((step() % distinct as u64) as f64) * 0.25 - 1.0, i))
+                .collect();
+            entries.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            let bulk = BPlusTree::bulk_build(entries.clone());
+            let mut inc = BPlusTree::new();
+            for (k, v) in &entries {
+                inc.insert(*k, *v);
+            }
+            assert_eq!(bulk.len(), inc.len());
+            // Bounds at every distinct key plus off-key probes.
+            let mut probes: Vec<f64> = entries.iter().map(|(k, _)| *k).collect();
+            probes.dedup();
+            probes.extend([-10.0, 10.0, 0.125]);
+            for &a in &probes {
+                for &b in &probes {
+                    for (lo, hi) in [
+                        (Bound::Included(a), Bound::Included(b)),
+                        (Bound::Excluded(a), Bound::Included(b)),
+                        (Bound::Included(a), Bound::Excluded(b)),
+                        (Bound::Excluded(a), Bound::Excluded(b)),
+                        (Bound::Unbounded, Bound::Included(b)),
+                        (Bound::Included(a), Bound::Unbounded),
+                    ] {
+                        let want = range_oracle(&entries, lo, hi);
+                        let got_bulk: Vec<(f64, usize)> =
+                            bulk.range(lo, hi).map(|(k, v)| (k, *v)).collect();
+                        let got_inc: Vec<(f64, usize)> =
+                            inc.range(lo, hi).map(|(k, v)| (k, *v)).collect();
+                        assert_eq!(got_bulk, want, "trial {trial} bulk {lo:?}..{hi:?}");
+                        assert_eq!(got_inc, want, "trial {trial} inc {lo:?}..{hi:?}");
+                        assert_eq!(bulk.count_range(lo, hi), want.len());
+                        assert_eq!(inc.count_range(lo, hi), want.len());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn remove_respects_predicate_and_duplicate_order() {
+        let mut t = BPlusTree::new();
+        for i in 0..50 {
+            t.insert(2.0, i);
+        }
+        t.insert(1.0, 100);
+        t.insert(3.0, 200);
+        // First duplicate matching the predicate goes, others stay.
+        assert_eq!(t.remove(2.0, |v| *v % 10 == 7), Some(7));
+        assert_eq!(t.remove(2.0, |v| *v % 10 == 7), Some(17));
+        assert_eq!(t.remove(9.0, |_| true), None);
+        assert_eq!(t.remove(2.0, |v| *v == 7), None);
+        assert_eq!(t.len(), 50);
+        assert_eq!(
+            t.count_range(Bound::Included(2.0), Bound::Included(2.0)),
+            48
+        );
+        let vals: Vec<i32> = t
+            .range(Bound::Included(2.0), Bound::Included(2.0))
+            .map(|(_, v)| *v)
+            .collect();
+        assert!(!vals.contains(&7) && !vals.contains(&17));
+        assert_eq!(vals.len(), 48);
+    }
+
+    #[test]
+    fn remove_reinsert_matches_oracle() {
+        // Interleaved removes + reinserts (the SCAPE delta pattern) stay
+        // consistent with a vector oracle, counts included.
+        let mut t = BPlusTree::new();
+        let mut oracle: Vec<(f64, usize)> = Vec::new();
+        let mut x: u64 = 99;
+        let mut step = move || {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            x >> 33
+        };
+        for i in 0..2000 {
+            let k = (step() % 40) as f64 * 0.5;
+            t.insert(k, i);
+            oracle.push((k, i));
+        }
+        for _ in 0..1200 {
+            let k = (step() % 40) as f64 * 0.5;
+            let v = (step() % 2000) as usize;
+            let got = t.remove(k, |x| *x == v);
+            let pos = oracle.iter().position(|&(ok, ov)| ok == k && ov == v);
+            assert_eq!(got, pos.map(|p| oracle.remove(p).1));
+            if got.is_some() {
+                // Reinsert under a fresh key half the time.
+                if step() % 2 == 0 {
+                    let nk = (step() % 40) as f64 * 0.5;
+                    t.insert(nk, v);
+                    oracle.push((nk, v));
+                }
+            }
+            assert_eq!(t.len(), oracle.len());
+        }
+        let mut want: Vec<f64> = oracle.iter().map(|(k, _)| *k).collect();
+        want.sort_by(f64::total_cmp);
+        let got: Vec<f64> = t.iter().map(|(k, _)| k).collect();
+        assert_eq!(got, want);
+        for probe in 0..40 {
+            let b = probe as f64 * 0.5;
+            let want = oracle.iter().filter(|(k, _)| *k <= b).count();
+            assert_eq!(t.count_range(Bound::Unbounded, Bound::Included(b)), want);
+        }
+    }
+
+    #[test]
+    fn counts_stay_consistent_through_splits() {
+        let mut t = BPlusTree::new();
+        for i in 0..10_000 {
+            t.insert((i % 257) as f64, i);
+            if i % 1013 == 0 {
+                assert_eq!(t.count_range(Bound::Unbounded, Bound::Unbounded), t.len());
+            }
+        }
+        assert_eq!(t.count_range(Bound::Unbounded, Bound::Unbounded), 10_000);
+        assert_eq!(
+            t.count_range(Bound::Included(0.0), Bound::Excluded(10.0)),
+            t.range(Bound::Included(0.0), Bound::Excluded(10.0)).count()
+        );
     }
 
     #[test]

@@ -87,4 +87,79 @@ proptest! {
         let b: Vec<f64> = inc.iter().map(|(k, _)| k).collect();
         prop_assert_eq!(a, b);
     }
+
+    /// Duplicate-heavy keys (quantized to a handful of values, so runs
+    /// routinely span leaf chunks) with bounds drawn from the same grid:
+    /// bulk-built and insert-built trees must agree with the oracle on
+    /// every range scan and count.
+    #[test]
+    fn duplicate_heavy_bulk_and_insert_match_oracle(
+        raw in proptest::collection::vec(0u8..8, 1..500),
+        lo_q in 0u8..10,
+        hi_q in 0u8..10,
+        lo_incl in 0u8..2,
+        hi_incl in 0u8..2,
+    ) {
+        let mut entries: Vec<(f64, usize)> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, &q)| (q as f64 * 0.5 - 2.0, i))
+            .collect();
+        entries.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let bulk = BPlusTree::bulk_build(entries.clone());
+        let mut inc = BPlusTree::new();
+        for (k, v) in &entries {
+            inc.insert(*k, *v);
+        }
+        let lo_b = lo_q as f64 * 0.5 - 2.5;
+        let hi_b = hi_q as f64 * 0.5 - 2.5;
+        let lo = if lo_incl == 0 { Bound::Included(lo_b) } else { Bound::Excluded(lo_b) };
+        let hi = if hi_incl == 0 { Bound::Included(hi_b) } else { Bound::Excluded(hi_b) };
+        let want: Vec<(f64, usize)> = entries
+            .iter()
+            .filter(|(k, _)| in_range(*k, &lo, &hi))
+            .cloned()
+            .collect();
+        let got_bulk: Vec<(f64, usize)> = bulk.range(lo, hi).map(|(k, v)| (k, *v)).collect();
+        let got_inc: Vec<(f64, usize)> = inc.range(lo, hi).map(|(k, v)| (k, *v)).collect();
+        prop_assert_eq!(&got_bulk, &want);
+        prop_assert_eq!(&got_inc, &want);
+        prop_assert_eq!(bulk.count_range(lo, hi), want.len());
+        prop_assert_eq!(inc.count_range(lo, hi), want.len());
+    }
+
+    /// Removal oracle: targeted removes (by key + value predicate) take
+    /// out exactly the first stored match, and counts/scans stay
+    /// consistent afterwards.
+    #[test]
+    fn remove_matches_oracle(
+        raw in proptest::collection::vec(0u8..6, 0..300),
+        picks in proptest::collection::vec((0u8..6, 0usize..300), 0..80),
+    ) {
+        let mut tree = BPlusTree::new();
+        let mut oracle: Vec<(f64, usize)> = Vec::new();
+        for (i, &q) in raw.iter().enumerate() {
+            let k = q as f64;
+            tree.insert(k, i);
+            oracle.push((k, i));
+        }
+        for &(q, v) in &picks {
+            let k = q as f64;
+            let got = tree.remove(k, |x| *x == v);
+            let pos = oracle.iter().position(|&(ok, ov)| ok == k && ov == v);
+            prop_assert_eq!(got, pos.map(|p| oracle.remove(p).1));
+            prop_assert_eq!(tree.len(), oracle.len());
+        }
+        let got: Vec<f64> = tree.iter().map(|(k, _)| k).collect();
+        let mut want: Vec<f64> = oracle.iter().map(|(k, _)| *k).collect();
+        want.sort_by(f64::total_cmp);
+        prop_assert_eq!(got, want);
+        for q in 0..6 {
+            let b = q as f64;
+            prop_assert_eq!(
+                tree.count_range(Bound::Included(b), Bound::Included(b)),
+                oracle.iter().filter(|(k, _)| *k == b).count()
+            );
+        }
+    }
 }

@@ -29,7 +29,7 @@
 //!
 //! let data = sensor_dataset(&SensorConfig::reduced(12, 32));
 //! let affine = Symex::new(SymexParams::default()).run(&data).unwrap();
-//! let session = Session::new(&data, &affine, &Measure::ALL);
+//! let session = Session::new(&data, &affine, &Measure::ALL).unwrap();
 //! let result = session.execute("MET correlation > 0.9").unwrap();
 //! println!("{result}");
 //! ```

@@ -128,12 +128,21 @@ impl<'a> Session<'a> {
     /// Open a session, building the MEC engine and a SCAPE index over
     /// `indexed` measures (pass `&Measure::ALL` or `&Measure::EXTENDED`
     /// for everything, `&[]` for no index).
-    pub fn new(data: &'a DataMatrix, affine: &'a AffineSet, indexed: &[Measure]) -> Self {
-        Session {
+    ///
+    /// # Errors
+    /// [`QlError::Engine`] when the index cannot be built (e.g. `affine`
+    /// was not computed over `data`).
+    pub fn new(
+        data: &'a DataMatrix,
+        affine: &'a AffineSet,
+        indexed: &[Measure],
+    ) -> Result<Self, QlError> {
+        Ok(Session {
             data,
             engine: MecEngine::new(data, affine),
-            index: ScapeIndex::build(data, affine, indexed),
-        }
+            index: ScapeIndex::build(data, affine, indexed)
+                .map_err(|e| QlError::Engine(e.to_string()))?,
+        })
     }
 
     /// Resolve a series reference: exact label match first, then numeric
@@ -352,7 +361,7 @@ mod tests {
     #[test]
     fn mec_location_by_label_and_id() {
         let (data, affine) = fixture();
-        let s = Session::new(&data, &affine, &Measure::ALL);
+        let s = Session::new(&data, &affine, &Measure::ALL).unwrap();
         let out = s.execute("MEC mean OF STK0, 3").unwrap();
         match out {
             QueryOutput::Values(vs) => {
@@ -367,7 +376,7 @@ mod tests {
     #[test]
     fn mec_pairwise_returns_symmetric_matrix() {
         let (data, affine) = fixture();
-        let s = Session::new(&data, &affine, &Measure::ALL);
+        let s = Session::new(&data, &affine, &Measure::ALL).unwrap();
         let out = s.execute("MEC correlation OF STK0 STK1 STK2").unwrap();
         match out {
             QueryOutput::PairMatrix { labels, matrix } => {
@@ -383,8 +392,8 @@ mod tests {
     #[test]
     fn met_uses_index_and_matches_fallback() {
         let (data, affine) = fixture();
-        let indexed = Session::new(&data, &affine, &Measure::ALL);
-        let bare = Session::new(&data, &affine, &[]);
+        let indexed = Session::new(&data, &affine, &Measure::ALL).unwrap();
+        let bare = Session::new(&data, &affine, &[]).unwrap();
         for q in [
             "MET correlation > 0.8",
             "MET covariance < 0",
@@ -410,7 +419,7 @@ mod tests {
     #[test]
     fn mer_and_extended_measures() {
         let (data, affine) = fixture();
-        let s = Session::new(&data, &affine, &Measure::EXTENDED);
+        let s = Session::new(&data, &affine, &Measure::EXTENDED).unwrap();
         let out = s.execute("MER cosine BETWEEN 0.999 AND 1.0").unwrap();
         assert!(matches!(out, QueryOutput::Pairs(_)));
         let out = s.execute("MET dice > 0.99").unwrap();
@@ -425,7 +434,7 @@ mod tests {
     #[test]
     fn errors_are_reported() {
         let (data, affine) = fixture();
-        let s = Session::new(&data, &affine, &Measure::ALL);
+        let s = Session::new(&data, &affine, &Measure::ALL).unwrap();
         assert!(matches!(
             s.execute("MEC mean OF NOPE"),
             Err(QlError::UnknownSeries(_))
@@ -442,8 +451,8 @@ mod tests {
     #[test]
     fn explain_reports_plan_choice() {
         let (data, affine) = fixture();
-        let indexed = Session::new(&data, &affine, &Measure::ALL);
-        let bare = Session::new(&data, &affine, &[]);
+        let indexed = Session::new(&data, &affine, &Measure::ALL).unwrap();
+        let bare = Session::new(&data, &affine, &[]).unwrap();
         let p1 = indexed.execute("EXPLAIN MET correlation > 0.9").unwrap();
         match &p1 {
             QueryOutput::Plan(text) => {
@@ -468,7 +477,7 @@ mod tests {
     #[test]
     fn display_renders_output() {
         let (data, affine) = fixture();
-        let s = Session::new(&data, &affine, &Measure::ALL);
+        let s = Session::new(&data, &affine, &Measure::ALL).unwrap();
         let text = s.execute("MET correlation > 0.99").unwrap().to_string();
         assert!(text.contains("pairs"));
         let text = s.execute("MEC mean OF STK0").unwrap().to_string();

@@ -1,0 +1,65 @@
+//! Delta maintenance of a built SCAPE index.
+//!
+//! A [`ScapeDelta`] describes a set of re-fitted affine relationships
+//! whose **pivots are retained**: only the measure-independent `β`
+//! vectors (and per-series `(c, d)` fits) changed. Because the pivot
+//! statistics `α` and the separable normalizers are anchored at the
+//! index's reference data, each change moves exactly one sequence/series
+//! node to a new scalar projection — an `O(log g)` remove + reinsert per
+//! affected tree instead of a from-scratch rebuild. This is the paper's
+//! "computed only once" amortization argument carried into the windowed
+//! setting: the streaming engine re-fits only drifted relationships and
+//! patches the index in place.
+
+use affinity_core::affine::PivotPair;
+use affinity_data::{SequencePair, SeriesId};
+
+/// A re-fit of one pairwise relationship against its retained pivot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairDelta {
+    /// The sequence pair whose relationship was re-fitted.
+    pub pair: SequencePair,
+    /// Its (unchanged) pivot.
+    pub pivot: PivotPair,
+    /// `β` currently stored in the index (locates the old node key).
+    pub old_beta: [f64; 3],
+    /// The re-fitted `β`.
+    pub new_beta: [f64; 3],
+}
+
+/// A re-fit of one per-series relationship `s ≈ c·r + d` against its
+/// retained cluster centre.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeriesDelta {
+    /// The series whose relationship was re-fitted.
+    pub series: SeriesId,
+    /// Its (unchanged) cluster.
+    pub cluster: usize,
+    /// `(c, d)` currently stored in the index.
+    pub old: (f64, f64),
+    /// The re-fitted `(c, d)`.
+    pub new: (f64, f64),
+}
+
+/// A batch of relationship re-fits to apply to a built index via
+/// [`crate::ScapeIndex::apply_delta`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ScapeDelta {
+    /// Pairwise re-fits (T- and D-measure trees).
+    pub pairs: Vec<PairDelta>,
+    /// Per-series re-fits (L-measure trees).
+    pub series: Vec<SeriesDelta>,
+}
+
+impl ScapeDelta {
+    /// `true` when the delta carries no changes.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty() && self.series.is_empty()
+    }
+
+    /// Number of node moves the delta will perform per indexed tree
+    /// family.
+    pub fn len(&self) -> usize {
+        self.pairs.len() + self.series.len()
+    }
+}

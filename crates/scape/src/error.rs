@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-/// Errors raised by SCAPE queries.
+/// Errors raised by SCAPE construction, maintenance, and queries.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ScapeError {
     /// The queried measure was not included when the index was built.
@@ -12,6 +12,20 @@ pub enum ScapeError {
     },
     /// A range query with `τ_l > τ_u`.
     EmptyRange,
+    /// `build` inputs disagree: the affine set was not computed over the
+    /// given data matrix (series count or sample count differ).
+    ShapeMismatch {
+        /// `(series, samples)` of the data matrix.
+        data: (usize, usize),
+        /// `(series, samples)` the affine set was computed over.
+        affine: (usize, usize),
+    },
+    /// `apply_delta` referenced a pivot, pair, or series the index does
+    /// not hold (a stale or foreign delta).
+    DeltaMismatch {
+        /// What failed to resolve.
+        detail: &'static str,
+    },
 }
 
 impl fmt::Display for ScapeError {
@@ -21,6 +35,14 @@ impl fmt::Display for ScapeError {
                 write!(f, "measure '{measure}' was not indexed at build time")
             }
             ScapeError::EmptyRange => write!(f, "range query requires tau_l <= tau_u"),
+            ScapeError::ShapeMismatch { data, affine } => write!(
+                f,
+                "affine set (series {}, samples {}) does not match the data matrix (series {}, samples {})",
+                affine.0, affine.1, data.0, data.1
+            ),
+            ScapeError::DeltaMismatch { detail } => {
+                write!(f, "delta does not match the index: {detail}")
+            }
         }
     }
 }
@@ -36,5 +58,12 @@ mod tests {
         let e = ScapeError::MeasureNotIndexed { measure: "mode" };
         assert!(e.to_string().contains("mode"));
         assert!(ScapeError::EmptyRange.to_string().contains("tau_l"));
+        let e = ScapeError::ShapeMismatch {
+            data: (10, 64),
+            affine: (12, 64),
+        };
+        assert!(e.to_string().contains("10") && e.to_string().contains("12"));
+        let e = ScapeError::DeltaMismatch { detail: "pivot" };
+        assert!(e.to_string().contains("pivot"));
     }
 }

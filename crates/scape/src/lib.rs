@@ -32,20 +32,29 @@
 //!
 //! let data = sensor_dataset(&SensorConfig::reduced(16, 48));
 //! let affine = Symex::new(SymexParams::default()).run(&data).unwrap();
-//! let index = ScapeIndex::build(&data, &affine, &Measure::ALL);
+//! let index = ScapeIndex::build(&data, &affine, &Measure::ALL).unwrap();
 //! let hot = index
 //!     .threshold_pairs(PairwiseMeasure::Correlation, ThresholdOp::Greater, 0.9)
 //!     .unwrap();
 //! assert!(hot.len() <= data.pair_count());
 //! ```
+//!
+//! Construction gathers per-pivot `(ξ, node)` arrays, sorts them (in
+//! parallel across pivots under [`ScapeIndex::build_with_pool`]) and
+//! bulk-loads each B+ tree bottom-up; [`ScapeIndex::apply_delta`]
+//! relocates individual nodes when relationships are re-fitted against
+//! retained pivots, which is what the streaming engine's delta refresh
+//! rides on.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+mod delta;
 mod error;
 mod index;
 mod query;
 
+pub use delta::{PairDelta, ScapeDelta, SeriesDelta};
 pub use error::ScapeError;
 pub use index::{IndexStats, ScapeIndex};
 pub use query::ThresholdOp;

@@ -124,6 +124,145 @@ impl ScapeIndex {
         Ok(out)
     }
 
+    /// Count of the MET result set `|Λ_T|` without materializing it.
+    ///
+    /// T-measures answer from the per-node subtree counts of each
+    /// pivot's B+ tree (`O(log g)` per pivot); D-measures count the
+    /// definitely-in region the same way and verify only the pruning
+    /// band of Sec. 5.3.
+    ///
+    /// # Errors
+    /// [`ScapeError::MeasureNotIndexed`] if the measure was not built.
+    pub fn count_threshold_pairs(
+        &self,
+        measure: PairwiseMeasure,
+        op: ThresholdOp,
+        tau: f64,
+    ) -> Result<usize, ScapeError> {
+        let (nodes, slot) = self.pair_nodes(measure)?;
+        let mut total = 0usize;
+        match slot {
+            Some(slot) => {
+                for node in nodes {
+                    total += derived_threshold_count(node, slot, op, tau);
+                }
+            }
+            None => {
+                for node in nodes {
+                    if node.alpha_norm > 0.0 {
+                        let tau_p = tau / node.alpha_norm;
+                        let (lo, hi) = match op {
+                            ThresholdOp::Greater => (Bound::Excluded(tau_p), Bound::Unbounded),
+                            ThresholdOp::Less => (Bound::Unbounded, Bound::Excluded(tau_p)),
+                        };
+                        total += node.tree.count_range(lo, hi);
+                    } else {
+                        let include = match op {
+                            ThresholdOp::Greater => 0.0 > tau,
+                            ThresholdOp::Less => 0.0 < tau,
+                        };
+                        if include {
+                            total += node.tree.len();
+                        }
+                    }
+                }
+            }
+        }
+        Ok(total)
+    }
+
+    /// Count of the MER result set without materializing it; see
+    /// [`ScapeIndex::count_threshold_pairs`] for the cost model.
+    ///
+    /// # Errors
+    /// [`ScapeError::MeasureNotIndexed`] or [`ScapeError::EmptyRange`].
+    pub fn count_range_pairs(
+        &self,
+        measure: PairwiseMeasure,
+        tau_l: f64,
+        tau_u: f64,
+    ) -> Result<usize, ScapeError> {
+        if tau_l > tau_u {
+            return Err(ScapeError::EmptyRange);
+        }
+        let (nodes, slot) = self.pair_nodes(measure)?;
+        let mut total = 0usize;
+        match slot {
+            Some(slot) => {
+                for node in nodes {
+                    total += derived_range_count(node, slot, tau_l, tau_u);
+                }
+            }
+            None => {
+                for node in nodes {
+                    if node.alpha_norm > 0.0 {
+                        let lo = Bound::Excluded(tau_l / node.alpha_norm);
+                        let hi = Bound::Excluded(tau_u / node.alpha_norm);
+                        total += node.tree.count_range(lo, hi);
+                    } else if tau_l < 0.0 && 0.0 < tau_u {
+                        total += node.tree.len();
+                    }
+                }
+            }
+        }
+        Ok(total)
+    }
+
+    /// Count of series with measure `> τ` (or `< τ`) from subtree
+    /// counts, `O(log n)` per cluster node.
+    ///
+    /// # Errors
+    /// [`ScapeError::MeasureNotIndexed`] if the measure was not built.
+    pub fn count_threshold_series(
+        &self,
+        measure: LocationMeasure,
+        op: ThresholdOp,
+        tau: f64,
+    ) -> Result<usize, ScapeError> {
+        let nodes = self.loc[loc_tag(measure)]
+            .as_ref()
+            .ok_or(ScapeError::MeasureNotIndexed {
+                measure: measure.name(),
+            })?;
+        let mut total = 0usize;
+        for node in nodes {
+            let tau_p = tau / node.alpha_norm;
+            let (lo, hi) = match op {
+                ThresholdOp::Greater => (Bound::Excluded(tau_p), Bound::Unbounded),
+                ThresholdOp::Less => (Bound::Unbounded, Bound::Excluded(tau_p)),
+            };
+            total += node.tree.count_range(lo, hi);
+        }
+        Ok(total)
+    }
+
+    /// Count of series with `τ_l < value < τ_u` from subtree counts.
+    ///
+    /// # Errors
+    /// [`ScapeError::MeasureNotIndexed`] or [`ScapeError::EmptyRange`].
+    pub fn count_range_series(
+        &self,
+        measure: LocationMeasure,
+        tau_l: f64,
+        tau_u: f64,
+    ) -> Result<usize, ScapeError> {
+        if tau_l > tau_u {
+            return Err(ScapeError::EmptyRange);
+        }
+        let nodes = self.loc[loc_tag(measure)]
+            .as_ref()
+            .ok_or(ScapeError::MeasureNotIndexed {
+                measure: measure.name(),
+            })?;
+        let mut total = 0usize;
+        for node in nodes {
+            let lo = Bound::Excluded(tau_l / node.alpha_norm);
+            let hi = Bound::Excluded(tau_u / node.alpha_norm);
+            total += node.tree.count_range(lo, hi);
+        }
+        Ok(total)
+    }
+
     /// MET query over an L-measure: all series whose measure is `> τ`
     /// (or `< τ`).
     ///
@@ -331,6 +470,86 @@ fn derived_range(
     }
 }
 
+/// Counting twin of [`derived_threshold`]: the definitely-in region is
+/// answered from subtree counts; only the pruning band is verified
+/// node by node.
+#[allow(clippy::neg_cmp_op_on_partial_ord)]
+fn derived_threshold_count(node: &PairPivotNode, slot: usize, op: ThresholdOp, tau: f64) -> usize {
+    if node.tree.is_empty() {
+        return 0;
+    }
+    if node.alpha_norm <= 0.0 || !(node.u_bounds[slot].0 > 0.0) {
+        return node
+            .tree
+            .iter()
+            .filter(|(xi, sn)| {
+                let r = derived_value(*xi, node.alpha_norm.max(0.0), sn.normalizers[slot]);
+                match op {
+                    ThresholdOp::Greater => r > tau,
+                    ThresholdOp::Less => r < tau,
+                }
+            })
+            .count();
+    }
+    let (lo, hi) = prune_band(node, slot, tau);
+    let definite = match op {
+        ThresholdOp::Greater => node.tree.count_range(Bound::Excluded(hi), Bound::Unbounded),
+        ThresholdOp::Less => node.tree.count_range(Bound::Unbounded, Bound::Excluded(lo)),
+    };
+    definite
+        + node
+            .tree
+            .range(Bound::Included(lo), Bound::Included(hi))
+            .filter(|(xi, sn)| {
+                let r = derived_value(*xi, node.alpha_norm, sn.normalizers[slot]);
+                match op {
+                    ThresholdOp::Greater => r > tau,
+                    ThresholdOp::Less => r < tau,
+                }
+            })
+            .count()
+}
+
+/// Counting twin of [`derived_range`].
+#[allow(clippy::neg_cmp_op_on_partial_ord)]
+fn derived_range_count(node: &PairPivotNode, slot: usize, tau_l: f64, tau_u: f64) -> usize {
+    if node.tree.is_empty() {
+        return 0;
+    }
+    let in_range = |xi: f64, norm: f64| {
+        let r = derived_value(xi, node.alpha_norm.max(0.0), norm);
+        tau_l < r && r < tau_u
+    };
+    if node.alpha_norm <= 0.0 || !(node.u_bounds[slot].0 > 0.0) {
+        return node
+            .tree
+            .iter()
+            .filter(|(xi, sn)| in_range(*xi, sn.normalizers[slot]))
+            .count();
+    }
+    let (l_lo, l_hi) = prune_band(node, slot, tau_l);
+    let (u_lo, u_hi) = prune_band(node, slot, tau_u);
+    if l_hi < u_lo {
+        node.tree
+            .count_range(Bound::Excluded(l_hi), Bound::Excluded(u_lo))
+            + node
+                .tree
+                .range(Bound::Included(l_lo), Bound::Included(l_hi))
+                .filter(|(xi, sn)| in_range(*xi, sn.normalizers[slot]))
+                .count()
+            + node
+                .tree
+                .range(Bound::Included(u_lo), Bound::Included(u_hi))
+                .filter(|(xi, sn)| in_range(*xi, sn.normalizers[slot]))
+                .count()
+    } else {
+        node.tree
+            .range(Bound::Included(l_lo), Bound::Included(u_hi))
+            .filter(|(xi, sn)| in_range(*xi, sn.normalizers[slot]))
+            .count()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -410,7 +629,7 @@ mod tests {
     #[test]
     fn covariance_threshold_matches_oracle() {
         let (data, affine) = fixture(18, 48);
-        let idx = ScapeIndex::build(&data, &affine, &Measure::ALL);
+        let idx = ScapeIndex::build(&data, &affine, &Measure::ALL).unwrap();
         let oracle = Oracle::new(&data, &affine);
         for tau in [-0.5, 0.0, 0.01, 0.2, 1.0] {
             for op in [ThresholdOp::Greater, ThresholdOp::Less] {
@@ -427,7 +646,7 @@ mod tests {
     #[test]
     fn dot_threshold_matches_oracle() {
         let (data, affine) = fixture(15, 40);
-        let idx = ScapeIndex::build(&data, &affine, &Measure::ALL);
+        let idx = ScapeIndex::build(&data, &affine, &Measure::ALL).unwrap();
         let oracle = Oracle::new(&data, &affine);
         // Dot products of offset sensor data are large positive numbers.
         let all: Vec<f64> = data
@@ -458,7 +677,7 @@ mod tests {
     #[test]
     fn correlation_threshold_matches_oracle_incl_negative_taus() {
         let (data, affine) = fixture(20, 64);
-        let idx = ScapeIndex::build(&data, &affine, &Measure::ALL);
+        let idx = ScapeIndex::build(&data, &affine, &Measure::ALL).unwrap();
         let oracle = Oracle::new(&data, &affine);
         for tau in [-0.95, -0.5, 0.0, 0.3, 0.7, 0.9, 0.99] {
             for op in [ThresholdOp::Greater, ThresholdOp::Less] {
@@ -475,7 +694,7 @@ mod tests {
     #[test]
     fn correlation_range_matches_oracle_both_cases() {
         let (data, affine) = fixture(20, 64);
-        let idx = ScapeIndex::build(&data, &affine, &Measure::ALL);
+        let idx = ScapeIndex::build(&data, &affine, &Measure::ALL).unwrap();
         let oracle = Oracle::new(&data, &affine);
         // Wide range triggers case I (definite-in core), narrow range
         // triggers case II.
@@ -498,7 +717,7 @@ mod tests {
     #[test]
     fn covariance_range_matches_oracle() {
         let (data, affine) = fixture(16, 48);
-        let idx = ScapeIndex::build(&data, &affine, &Measure::ALL);
+        let idx = ScapeIndex::build(&data, &affine, &Measure::ALL).unwrap();
         let oracle = Oracle::new(&data, &affine);
         for (lo, hi) in [(-1.0, 1.0), (0.0, 0.5), (-0.2, 0.0)] {
             let got = sorted(
@@ -513,7 +732,7 @@ mod tests {
     #[test]
     fn location_threshold_and_range_match_oracle() {
         let (data, affine) = fixture(25, 48);
-        let idx = ScapeIndex::build(&data, &affine, &Measure::ALL);
+        let idx = ScapeIndex::build(&data, &affine, &Measure::ALL).unwrap();
         let oracle = Oracle::new(&data, &affine);
         for measure in LocationMeasure::ALL {
             let vals: Vec<f64> = oracle.engine.location_all(measure);
@@ -540,7 +759,7 @@ mod tests {
     fn stock_data_correlation_queries_also_match() {
         let data = stock_dataset(&StockConfig::reduced(16, 96));
         let affine = Symex::new(SymexParams::default()).run(&data).unwrap();
-        let idx = ScapeIndex::build(&data, &affine, &Measure::ALL);
+        let idx = ScapeIndex::build(&data, &affine, &Measure::ALL).unwrap();
         let oracle = Oracle::new(&data, &affine);
         for tau in [0.5, 0.8, 0.95] {
             let got = sorted(
@@ -561,7 +780,7 @@ mod tests {
         // The dot-product-derived extensions (paper Sec. 2.1) go through
         // the same normalizer-bound pruning machinery as correlation.
         let (data, affine) = fixture(18, 48);
-        let idx = ScapeIndex::build(&data, &affine, &Measure::EXTENDED);
+        let idx = ScapeIndex::build(&data, &affine, &Measure::EXTENDED).unwrap();
         let oracle = Oracle::new(&data, &affine);
         for measure in [PairwiseMeasure::Cosine, PairwiseMeasure::Dice] {
             for tau in [-0.5, 0.0, 0.5, 0.9, 0.99] {
@@ -586,7 +805,8 @@ mod tests {
             &data,
             &affine,
             &[Measure::Pairwise(PairwiseMeasure::Cosine)],
-        );
+        )
+        .unwrap();
         assert!(idx.supports(Measure::Pairwise(PairwiseMeasure::Cosine)));
         assert!(idx.supports(Measure::Pairwise(PairwiseMeasure::Dice)));
         assert!(idx.supports(Measure::Pairwise(PairwiseMeasure::DotProduct)));
@@ -603,7 +823,8 @@ mod tests {
             &data,
             &affine,
             &[Measure::Pairwise(PairwiseMeasure::Covariance)],
-        );
+        )
+        .unwrap();
         assert!(matches!(
             idx.threshold_pairs(PairwiseMeasure::DotProduct, ThresholdOp::Greater, 0.0),
             Err(ScapeError::MeasureNotIndexed { .. })
@@ -617,7 +838,7 @@ mod tests {
     #[test]
     fn inverted_range_errors() {
         let (data, affine) = fixture(8, 24);
-        let idx = ScapeIndex::build(&data, &affine, &Measure::ALL);
+        let idx = ScapeIndex::build(&data, &affine, &Measure::ALL).unwrap();
         assert_eq!(
             idx.range_pairs(PairwiseMeasure::Covariance, 1.0, -1.0),
             Err(ScapeError::EmptyRange)
@@ -629,9 +850,117 @@ mod tests {
     }
 
     #[test]
+    fn count_queries_match_materialized_results() {
+        let (data, affine) = fixture(18, 48);
+        let idx = ScapeIndex::build(&data, &affine, &Measure::EXTENDED).unwrap();
+        for measure in [
+            PairwiseMeasure::Covariance,
+            PairwiseMeasure::DotProduct,
+            PairwiseMeasure::Correlation,
+            PairwiseMeasure::Cosine,
+            PairwiseMeasure::Dice,
+        ] {
+            for tau in [-0.9, -0.1, 0.0, 0.3, 0.8, 5.0] {
+                for op in [ThresholdOp::Greater, ThresholdOp::Less] {
+                    assert_eq!(
+                        idx.count_threshold_pairs(measure, op, tau).unwrap(),
+                        idx.threshold_pairs(measure, op, tau).unwrap().len(),
+                        "{} tau {tau} {op:?}",
+                        measure.name()
+                    );
+                }
+            }
+            for (lo, hi) in [(-1.0, 1.0), (0.0, 0.5), (0.29, 0.31), (-5.0, 20.0)] {
+                assert_eq!(
+                    idx.count_range_pairs(measure, lo, hi).unwrap(),
+                    idx.range_pairs(measure, lo, hi).unwrap().len(),
+                    "{} range ({lo}, {hi})",
+                    measure.name()
+                );
+            }
+        }
+        for measure in LocationMeasure::ALL {
+            for tau in [-100.0, 0.0, 20.0, 100.0] {
+                for op in [ThresholdOp::Greater, ThresholdOp::Less] {
+                    assert_eq!(
+                        idx.count_threshold_series(measure, op, tau).unwrap(),
+                        idx.threshold_series(measure, op, tau).unwrap().len()
+                    );
+                }
+            }
+            assert_eq!(
+                idx.count_range_series(measure, 0.0, 50.0).unwrap(),
+                idx.range_series(measure, 0.0, 50.0).unwrap().len()
+            );
+        }
+        assert!(matches!(
+            idx.count_range_pairs(PairwiseMeasure::Covariance, 1.0, -1.0),
+            Err(ScapeError::EmptyRange)
+        ));
+    }
+
+    /// Zero-α pivots (constant common series ⇒ covariance α = 0) store
+    /// ξ = 0 for *every* member pair — exactly the duplicate-run shape
+    /// that broke `bulk_build`. Bulk- and insert-built indexes must
+    /// agree with each other and the oracle, and counts must match.
+    #[test]
+    fn zero_alpha_duplicate_projections_survive_bulk_build() {
+        // Series 0 is constant; the rest are noisy affine images of a
+        // shared sinusoid. The marching traversal anchors every pair
+        // (0, v) at a pivot whose common series is the constant one.
+        let m = 48;
+        let mut columns: Vec<Vec<f64>> = vec![vec![3.5; m]];
+        for v in 1..24usize {
+            columns.push(
+                (0..m)
+                    .map(|i| {
+                        let t = i as f64 * 0.21;
+                        t.sin() * (1.0 + v as f64 * 0.1) + v as f64 + (i as f64 * 0.77).cos() * 0.01
+                    })
+                    .collect(),
+            );
+        }
+        let data = DataMatrix::from_series(columns);
+        let affine = Symex::new(SymexParams::default()).run(&data).unwrap();
+        let bulk = ScapeIndex::build(&data, &affine, &Measure::ALL).unwrap();
+        let ins = ScapeIndex::build_insert(&data, &affine, &Measure::ALL).unwrap();
+        // At least one covariance pivot must be degenerate for the test
+        // to bite.
+        assert!(
+            bulk.cov
+                .as_ref()
+                .unwrap()
+                .iter()
+                .any(|n| n.alpha_norm == 0.0 && n.tree.len() > 1),
+            "expected a zero-alpha pivot with a duplicate xi run"
+        );
+        let oracle = Oracle::new(&data, &affine);
+        for tau in [-1.0, -0.01, 0.0, 0.01, 1.0] {
+            for op in [ThresholdOp::Greater, ThresholdOp::Less] {
+                let got_bulk = sorted(
+                    bulk.threshold_pairs(PairwiseMeasure::Covariance, op, tau)
+                        .unwrap(),
+                );
+                let got_ins = sorted(
+                    ins.threshold_pairs(PairwiseMeasure::Covariance, op, tau)
+                        .unwrap(),
+                );
+                let want = sorted(oracle.pairs_threshold(PairwiseMeasure::Covariance, op, tau));
+                assert_eq!(got_bulk, want, "bulk tau {tau} {op:?}");
+                assert_eq!(got_ins, want, "insert tau {tau} {op:?}");
+                assert_eq!(
+                    bulk.count_threshold_pairs(PairwiseMeasure::Covariance, op, tau)
+                        .unwrap(),
+                    want.len()
+                );
+            }
+        }
+    }
+
+    #[test]
     fn extreme_thresholds_return_all_or_nothing() {
         let (data, affine) = fixture(10, 24);
-        let idx = ScapeIndex::build(&data, &affine, &Measure::ALL);
+        let idx = ScapeIndex::build(&data, &affine, &Measure::ALL).unwrap();
         let all = idx
             .threshold_pairs(PairwiseMeasure::Correlation, ThresholdOp::Greater, -2.0)
             .unwrap();

@@ -6,17 +6,118 @@
 //! (clusters → relationships → SCAPE index) is refreshed every
 //! `refresh_every` ticks; between refreshes the rolling statistics stay
 //! exact tick by tick and queries run against the last snapshot.
+//!
+//! With a [`DeltaPolicy`] configured (the default), a due refresh first
+//! checks the exact rolling statistics against the reference snapshot of
+//! the last *full* rebuild. Series whose mean/variance stayed within the
+//! drift tolerance keep their relationships; drifted series get their
+//! relationships **re-fitted against the retained pivots** (one cached
+//! pseudo-inverse per touched pivot) and the SCAPE index is patched in
+//! place via [`ScapeIndex::apply_delta`] — clustering, pivot selection,
+//! and the untouched fits are never re-paid. Only when too many series
+//! drift does the engine fall back to a full AFCLST + SYMEX rebuild.
 
 use crate::rolling::RollingStats;
 use crate::window::SlidingWindow;
+use affinity_core::affine::{
+    fit_series, solve_relationship_pinv, AffineRelationship, PivotPair, SeriesRelationship,
+};
 use affinity_core::error::CoreError;
+use affinity_core::hash::FxHashMap;
 use affinity_core::measures::Measure;
 use affinity_core::mec::MecEngine;
-use affinity_core::symex::{AffineSet, Symex, SymexParams};
-use affinity_data::DataMatrix;
+use affinity_core::symex::{pivot_pseudo_inverse, AffineSet, Symex, SymexParams};
+use affinity_data::{DataMatrix, SeriesId};
+use affinity_linalg::{vector, Matrix};
 use affinity_par::ThreadPool;
-use affinity_scape::ScapeIndex;
+use affinity_scape::{PairDelta, ScapeDelta, ScapeIndex, SeriesDelta};
+use std::fmt;
 use std::sync::Arc;
+
+/// Errors raised by streaming ingestion and refresh.
+#[derive(Debug)]
+pub enum StreamError {
+    /// Clustering / relationship computation failed.
+    Core(CoreError),
+    /// Index construction or delta application failed.
+    Scape(affinity_scape::ScapeError),
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::Core(e) => write!(f, "model refresh failed: {e}"),
+            StreamError::Scape(e) => write!(f, "index maintenance failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StreamError::Core(e) => Some(e),
+            StreamError::Scape(e) => Some(e),
+        }
+    }
+}
+
+impl From<CoreError> for StreamError {
+    fn from(e: CoreError) -> Self {
+        StreamError::Core(e)
+    }
+}
+
+impl From<affinity_scape::ScapeError> for StreamError {
+    fn from(e: affinity_scape::ScapeError) -> Self {
+        StreamError::Scape(e)
+    }
+}
+
+/// When to patch the model instead of rebuilding it from scratch.
+#[derive(Debug, Clone)]
+pub struct DeltaPolicy {
+    /// A series counts as drifted when its in-window mean moved by more
+    /// than `drift_tolerance` standard deviations (of the reference
+    /// window), or its variance changed by more than that relative
+    /// fraction.
+    pub drift_tolerance: f64,
+    /// Fall back to a full AFCLST + SYMEX rebuild when more than this
+    /// fraction of series drifted — the retained clustering (pivot
+    /// membership / fit quality) is assumed decayed at that point.
+    pub max_drift_fraction: f64,
+    /// Force a full rebuild once this many consecutive delta refreshes
+    /// have run since the last full one. Marginal statistics cannot see
+    /// *pairwise*-structure drift (two series can keep their means and
+    /// variances while their relative phase — and correlation — swings),
+    /// so delta maintenance alone could serve stale answers forever;
+    /// this caps that staleness. `0` disables the delta path entirely.
+    pub full_every: u64,
+}
+
+impl Default for DeltaPolicy {
+    fn default() -> Self {
+        DeltaPolicy {
+            drift_tolerance: 0.05,
+            max_drift_fraction: 0.25,
+            full_every: 8,
+        }
+    }
+}
+
+/// What a policy-driven refresh actually did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefreshKind {
+    /// Full AFCLST + SYMEX rebuild and a fresh index.
+    Full,
+    /// Delta maintenance against retained pivots.
+    Delta {
+        /// Series whose statistics left the tolerance band.
+        drifted_series: usize,
+        /// Pairwise relationships re-fitted (pairs touching a drifted
+        /// series).
+        refit_pairs: usize,
+    },
+}
 
 /// Streaming configuration.
 #[derive(Debug, Clone)]
@@ -29,23 +130,29 @@ pub struct StreamingConfig {
     pub symex: SymexParams,
     /// Measures to index at each refresh.
     pub indexed: Vec<Measure>,
+    /// Delta-refresh policy; `None` rebuilds from scratch on every due
+    /// refresh (the pre-delta behavior).
+    pub delta: Option<DeltaPolicy>,
 }
 
 impl StreamingConfig {
     /// A sensible default: window of `m`, refresh every `m/2` ticks, the
-    /// paper's six measures indexed.
+    /// paper's six measures indexed, delta maintenance on.
     pub fn new(window: usize) -> Self {
         StreamingConfig {
             window,
             refresh_every: (window as u64 / 2).max(1),
             symex: SymexParams::default(),
             indexed: Measure::ALL.to_vec(),
+            delta: Some(DeltaPolicy::default()),
         }
     }
 }
 
-/// A refreshed model snapshot: the window contents at refresh time, the
-/// affine relationships over them, and the SCAPE index.
+/// A refreshed model snapshot: the reference window contents (captured
+/// at the last **full** rebuild), the affine relationships over them —
+/// possibly delta-patched since — and the SCAPE index, kept in exact
+/// sync with the relationships.
 ///
 /// MET/MER queries can go straight to [`Model::index`]; MEC batches
 /// construct a [`MecEngine`] via [`Model::mec_engine`] (one `O(n·k·m)`
@@ -58,17 +165,25 @@ pub struct Model {
     /// The streaming engine's shared worker pool, so per-snapshot MEC
     /// engines reuse one set of lanes.
     pool: Arc<ThreadPool>,
-    /// Tick count at which this model was built.
+    /// Per-series reference statistics of `data`, the drift baseline.
+    ref_means: Vec<f64>,
+    ref_vars: Vec<f64>,
+    /// Tick count of the last refresh of any kind (full or delta).
     pub built_at: u64,
+    /// Tick count of the last full rebuild (reference snapshot age).
+    pub full_built_at: u64,
 }
 
 impl Model {
-    /// The window snapshot the model was built from.
+    /// The reference window snapshot (captured at the last full
+    /// rebuild; delta refreshes re-fit relationships but keep this
+    /// anchor, so pivot statistics and the index stay consistent).
     pub fn data(&self) -> &DataMatrix {
         &self.data
     }
 
-    /// The affine relationships.
+    /// The affine relationships (delta-patched in place between full
+    /// rebuilds).
     pub fn affine(&self) -> &AffineSet {
         &self.affine
     }
@@ -97,6 +212,9 @@ pub struct StreamingEngine {
     pool: Arc<ThreadPool>,
     ticks_at_last_refresh: u64,
     refreshes: u64,
+    full_rebuilds: u64,
+    delta_refreshes: u64,
+    deltas_since_full: u64,
 }
 
 impl StreamingEngine {
@@ -116,18 +234,23 @@ impl StreamingEngine {
             pool,
             ticks_at_last_refresh: 0,
             refreshes: 0,
+            full_rebuilds: 0,
+            delta_refreshes: 0,
+            deltas_since_full: 0,
         }
     }
 
     /// Ingest one tick (one sample per series). Returns `true` if the
-    /// model was refreshed as a result.
+    /// model was refreshed as a result (fully rebuilt or delta-patched,
+    /// per the configured [`DeltaPolicy`]).
     ///
     /// # Errors
-    /// Propagates clustering/relationship errors from a refresh attempt.
+    /// Propagates clustering/relationship/index errors from a refresh
+    /// attempt.
     ///
     /// # Panics
     /// Panics on tick arity mismatch.
-    pub fn push(&mut self, tick: &[f64]) -> Result<bool, CoreError> {
+    pub fn push(&mut self, tick: &[f64]) -> Result<bool, StreamError> {
         self.rolling.on_tick(&self.window, tick);
         self.window.push(tick);
         if !self.window.is_warm() {
@@ -138,21 +261,60 @@ impl StreamingEngine {
             Some(_) => self.window.ticks() - self.ticks_at_last_refresh >= self.cfg.refresh_every,
         };
         if due {
-            self.refresh()?;
+            self.refresh_auto()?;
             Ok(true)
         } else {
             Ok(false)
         }
     }
 
-    /// Force a model refresh from the current window.
+    /// Refresh the model per the configured policy: delta-patch against
+    /// retained pivots when drift is within tolerance, full rebuild
+    /// otherwise (or when no [`DeltaPolicy`] / no model exists yet).
     ///
     /// # Errors
-    /// Propagates clustering/relationship errors.
+    /// Propagates clustering/relationship/index errors.
     ///
     /// # Panics
     /// Panics if the window is not warm yet.
-    pub fn refresh(&mut self) -> Result<(), CoreError> {
+    pub fn refresh_auto(&mut self) -> Result<RefreshKind, StreamError> {
+        if let (Some(_), Some(policy)) = (&self.model, &self.cfg.delta) {
+            let policy = policy.clone();
+            if self.deltas_since_full < policy.full_every {
+                let drifted = self.drifted_series(&policy);
+                let n = self.window.series_count();
+                if (drifted.len() as f64) <= policy.max_drift_fraction * n as f64 {
+                    match self.refresh_delta(&drifted) {
+                        Ok(refit_pairs) => {
+                            return Ok(RefreshKind::Delta {
+                                drifted_series: drifted.len(),
+                                refit_pairs,
+                            });
+                        }
+                        // A failed patch can leave affine set and index
+                        // desynced; a full rebuild re-derives both, so
+                        // recover instead of wedging every future
+                        // refresh on the same mismatch.
+                        Err(StreamError::Scape(_)) => {}
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
+        }
+        self.refresh()?;
+        Ok(RefreshKind::Full)
+    }
+
+    /// Force a full model rebuild from the current window: AFCLST +
+    /// SYMEX, a freshly bulk-loaded SCAPE index, and a new drift
+    /// reference snapshot.
+    ///
+    /// # Errors
+    /// Propagates clustering/relationship/index errors.
+    ///
+    /// # Panics
+    /// Panics if the window is not warm yet.
+    pub fn refresh(&mut self) -> Result<(), StreamError> {
         assert!(self.window.is_warm(), "cannot refresh before warm-up");
         let data = self.window.snapshot();
         let mut params = self.cfg.symex.clone();
@@ -163,17 +325,150 @@ impl StreamingEngine {
             .min(data.series_count().saturating_sub(1))
             .max(1);
         let affine = Symex::with_pool(params, Arc::clone(&self.pool)).run(&data)?;
-        let index = ScapeIndex::build(&data, &affine, &self.cfg.indexed);
+        let index = ScapeIndex::build_with_pool(&data, &affine, &self.cfg.indexed, &self.pool)?;
+        let n = data.series_count();
+        let ref_means = (0..n).map(|v| vector::mean(data.series(v))).collect();
+        let ref_vars = (0..n).map(|v| vector::variance(data.series(v))).collect();
         self.model = Some(Model {
             data,
             affine,
             index,
             pool: Arc::clone(&self.pool),
+            ref_means,
+            ref_vars,
             built_at: self.window.ticks(),
+            full_built_at: self.window.ticks(),
         });
         self.ticks_at_last_refresh = self.window.ticks();
         self.refreshes += 1;
+        self.full_rebuilds += 1;
+        self.deltas_since_full = 0;
         Ok(())
+    }
+
+    /// Series whose exact rolling statistics left the policy's tolerance
+    /// band relative to the model's reference snapshot.
+    fn drifted_series(&self, policy: &DeltaPolicy) -> Vec<SeriesId> {
+        let model = self.model.as_ref().expect("drift check requires a model");
+        (0..self.window.series_count())
+            .filter(|&v| {
+                let mean0 = model.ref_means[v];
+                let var0 = model.ref_vars[v];
+                let sd0 = var0.sqrt().max(1e-12);
+                let mean_shift = (self.rolling.mean(v) - mean0).abs() / sd0;
+                let var_shift = (self.rolling.variance(v) - var0).abs() / var0.max(1e-12);
+                mean_shift > policy.drift_tolerance || var_shift > policy.drift_tolerance
+            })
+            .collect()
+    }
+
+    /// Delta refresh: re-fit the relationships of `drifted` series
+    /// against the retained pivots (one cached pseudo-inverse per
+    /// touched pivot, solved over the **current** window) and patch the
+    /// affine set + SCAPE index in lockstep. Returns the number of
+    /// pairwise relationships re-fitted.
+    ///
+    /// After this call the index still answers every query identically
+    /// to `ScapeIndex::build(model.data(), model.affine(), ..)` — the
+    /// delta-vs-full equivalence the tests pin down.
+    ///
+    /// # Errors
+    /// Propagates index patch errors (a [`ScapeError::DeltaMismatch`]
+    /// here would indicate a model/index desync and is a bug). On error
+    /// the affine set may already hold the re-fitted relationships while
+    /// the index does not — call [`StreamingEngine::refresh`] to restore
+    /// consistency; [`StreamingEngine::refresh_auto`] does exactly that
+    /// automatically.
+    ///
+    /// [`ScapeError::DeltaMismatch`]: affinity_scape::ScapeError
+    ///
+    /// # Panics
+    /// Panics if no model exists yet.
+    pub fn refresh_delta(&mut self, drifted: &[SeriesId]) -> Result<usize, StreamError> {
+        let ticks = self.window.ticks();
+        let model = self.model.as_mut().expect("delta refresh requires a model");
+        let mut refit_pairs = 0usize;
+        if !drifted.is_empty() {
+            let current = self.window.snapshot();
+            let mut is_drifted = vec![false; current.series_count()];
+            for &v in drifted {
+                is_drifted[v] = true;
+            }
+            let mut delta = ScapeDelta::default();
+            // Per-series relationships (L-measure trees).
+            let mut new_series: Vec<SeriesRelationship> = Vec::with_capacity(drifted.len());
+            for &v in drifted {
+                let old = *model.affine.series_relationship(v);
+                let center = model.affine.clusters().center(old.cluster);
+                let (c, d) = fit_series(center, current.series(v));
+                delta.series.push(SeriesDelta {
+                    series: v,
+                    cluster: old.cluster,
+                    old: (old.c, old.d),
+                    new: (c, d),
+                });
+                new_series.push(SeriesRelationship {
+                    series: v,
+                    cluster: old.cluster,
+                    c,
+                    d,
+                });
+            }
+            // Pairwise relationships touching a drifted series, re-fit
+            // against their retained pivot over the current window.
+            let mut pinv_cache: FxHashMap<PivotPair, Matrix> = FxHashMap::default();
+            let mut new_rels: Vec<AffineRelationship> = Vec::new();
+            for rel in model.affine.relationships() {
+                if !(is_drifted[rel.pair.u] || is_drifted[rel.pair.v]) {
+                    continue;
+                }
+                let pivot = rel.pivot;
+                let pinv = pinv_cache.entry(pivot).or_insert_with(|| {
+                    pivot_pseudo_inverse(
+                        current.series(pivot.common),
+                        model.affine.clusters().center(pivot.cluster),
+                    )
+                });
+                let (a, b) = solve_relationship_pinv(
+                    pinv,
+                    current.series(rel.common),
+                    current.series(rel.pair.other(rel.common)),
+                );
+                delta.pairs.push(PairDelta {
+                    pair: rel.pair,
+                    pivot,
+                    old_beta: rel.beta(),
+                    new_beta: [a[0][1], a[1][1], b[1]],
+                });
+                new_rels.push(AffineRelationship {
+                    pair: rel.pair,
+                    pivot,
+                    common: rel.common,
+                    a,
+                    b,
+                });
+            }
+            refit_pairs = new_rels.len();
+            for rel in new_rels {
+                model
+                    .affine
+                    .replace_relationship(rel)
+                    .expect("refit keeps pair and pivot");
+            }
+            for sr in new_series {
+                model
+                    .affine
+                    .replace_series_relationship(sr)
+                    .expect("refit keeps series and cluster");
+            }
+            model.index.apply_delta(&delta)?;
+        }
+        model.built_at = ticks;
+        self.ticks_at_last_refresh = ticks;
+        self.refreshes += 1;
+        self.delta_refreshes += 1;
+        self.deltas_since_full += 1;
+        Ok(refit_pairs)
     }
 
     /// The current model snapshot, if the warm-up has completed.
@@ -191,9 +486,19 @@ impl StreamingEngine {
         &self.window
     }
 
-    /// Number of model refreshes so far.
+    /// Number of model refreshes so far (full + delta).
     pub fn refreshes(&self) -> u64 {
         self.refreshes
+    }
+
+    /// Number of full AFCLST + SYMEX rebuilds so far.
+    pub fn full_rebuilds(&self) -> u64 {
+        self.full_rebuilds
+    }
+
+    /// Number of delta refreshes (retained-pivot re-fits) so far.
+    pub fn delta_refreshes(&self) -> u64 {
+        self.delta_refreshes
     }
 
     /// Ticks since the current model was built (staleness metric).
@@ -305,6 +610,34 @@ mod tests {
         eng.refresh().unwrap();
         assert_eq!(eng.model_age(), Some(0));
         assert_eq!(eng.refreshes(), 2);
+    }
+
+    #[test]
+    fn staleness_cap_forces_periodic_full_rebuilds() {
+        // Marginal stats cannot see pairwise drift, so `full_every`
+        // bounds how long delta refreshes may run back to back.
+        let n = 6;
+        let mut cfg = StreamingConfig::new(16);
+        cfg.refresh_every = 4;
+        cfg.delta = Some(DeltaPolicy {
+            drift_tolerance: f64::INFINITY, // nothing ever drifts
+            max_drift_fraction: 1.0,
+            full_every: 2,
+        });
+        let mut eng = StreamingEngine::new(n, cfg);
+        let mut next = tick_source(n, 6);
+        for _ in 0..64 {
+            eng.push(&next()).unwrap();
+        }
+        // Warm-up full, then the pattern delta, delta, full, repeating.
+        assert!(eng.delta_refreshes() > 0);
+        assert!(
+            eng.full_rebuilds() >= eng.refreshes() / 3,
+            "{} fulls of {} refreshes",
+            eng.full_rebuilds(),
+            eng.refreshes()
+        );
+        assert!(eng.full_rebuilds() > 1, "cap must force later fulls");
     }
 
     #[test]

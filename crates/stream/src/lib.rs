@@ -15,10 +15,13 @@
 //!   variance, self dot product) with periodic renormalization against
 //!   drift;
 //! * [`engine::StreamingEngine`] — ingestion plus a refresh policy:
-//!   affine relationships are recomputed (AFCLST + SYMEX+) and the SCAPE
-//!   index rebuilt every `refresh_every` ticks, which matches the paper's
-//!   observation that relationships are computed once and reused while
-//!   queries run continuously.
+//!   every `refresh_every` ticks the model is either **delta-patched**
+//!   (drifted relationships re-fitted against retained pivots, the SCAPE
+//!   index updated in place — the default, see [`engine::DeltaPolicy`])
+//!   or fully rebuilt (AFCLST + SYMEX+ + a bulk-loaded index) when drift
+//!   exceeds tolerance. This carries the paper's observation that
+//!   relationships are computed once and reused while queries run
+//!   continuously into the windowed setting.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -27,6 +30,6 @@ pub mod engine;
 pub mod rolling;
 pub mod window;
 
-pub use engine::{Model, StreamingConfig, StreamingEngine};
+pub use engine::{DeltaPolicy, Model, RefreshKind, StreamError, StreamingConfig, StreamingEngine};
 pub use rolling::RollingStats;
 pub use window::SlidingWindow;

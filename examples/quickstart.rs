@@ -55,7 +55,7 @@ fn main() {
     );
 
     // 4. SCAPE: indexed threshold and range queries over any measure.
-    let index = ScapeIndex::build(&data, &affine, &Measure::ALL);
+    let index = ScapeIndex::build(&data, &affine, &Measure::ALL).expect("index");
     let hot = index
         .threshold_pairs(PairwiseMeasure::Correlation, ThresholdOp::Greater, 0.9)
         .unwrap();

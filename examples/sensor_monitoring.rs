@@ -40,7 +40,7 @@ fn main() {
     let affine = Symex::new(SymexParams::default())
         .run(&data)
         .expect("symex");
-    let index = ScapeIndex::build(&data, &affine, &Measure::ALL);
+    let index = ScapeIndex::build(&data, &affine, &Measure::ALL).expect("index");
     println!(
         "prep: {} relationships, {} pivot nodes, built in {:.3?}",
         affine.len(),

@@ -28,7 +28,7 @@ fn main() {
         .run(&data)
         .expect("symex");
     let engine = MecEngine::new(&data, &affine);
-    let index = ScapeIndex::build(&data, &affine, &Measure::EXTENDED);
+    let index = ScapeIndex::build(&data, &affine, &Measure::EXTENDED).expect("index");
 
     // Accuracy: the dot product propagates exactly (Lemma 1) and the
     // normalizers are exact and separable, so cosine and Dice reconstruct

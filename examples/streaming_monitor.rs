@@ -71,7 +71,9 @@ fn main() {
         mec.variance(0),
     );
     println!(
-        "model age: {} ticks since last refresh",
-        engine.model_age().unwrap()
+        "model age: {} ticks since last refresh ({} full rebuilds, {} delta refreshes)",
+        engine.model_age().unwrap(),
+        engine.full_rebuilds(),
+        engine.delta_refreshes(),
     );
 }

@@ -29,7 +29,7 @@ fn main() {
         .expect("symex");
     let t_symex = t0.elapsed();
     let t0 = Instant::now();
-    let index = ScapeIndex::build(&data, &affine, &Measure::ALL);
+    let index = ScapeIndex::build(&data, &affine, &Measure::ALL).expect("index");
     let t_index = t0.elapsed();
     let t0 = Instant::now();
     let wf = DftExecutor::new(&data);

@@ -38,7 +38,7 @@ fn full_pipeline_sensor() {
     assert!(percent_rmse(&exact_cov, &wa_cov) < 5.0);
 
     // SCAPE equals WA-filtering for every measure and several taus.
-    let index = ScapeIndex::build(&data, &affine, &Measure::ALL);
+    let index = ScapeIndex::build(&data, &affine, &Measure::ALL).expect("index");
     let wa = AffineExecutor::new(&data, &affine);
     for tau in [0.0, 0.5, 0.9] {
         let mut a = index
@@ -71,7 +71,7 @@ fn full_pipeline_stock() {
 
     // And SCAPE must find the same positive tail as brute force over W_A
     // values.
-    let index = ScapeIndex::build(&data, &affine, &Measure::ALL);
+    let index = ScapeIndex::build(&data, &affine, &Measure::ALL).expect("index");
     let wa = AffineExecutor::new(&data, &affine);
     let mut a = index
         .range_pairs(PairwiseMeasure::Correlation, 0.5, 0.99)

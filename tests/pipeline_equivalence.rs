@@ -107,7 +107,7 @@ proptest! {
         let affine = Symex::new(params).run(&data).unwrap();
         prop_assert_eq!(affine.len(), n * (n - 1) / 2);
 
-        let index = ScapeIndex::build(&data, &affine, &Measure::ALL);
+        let index = ScapeIndex::build(&data, &affine, &Measure::ALL).expect("index");
         let wa = AffineExecutor::new(&data, &affine);
         for tau in [-0.4, 0.2, 0.85] {
             let mut a = index

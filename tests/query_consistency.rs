@@ -31,7 +31,7 @@ fn met_result_sets_nest_with_tau() {
     // for every method.
     let data = sensor_dataset(&SensorConfig::reduced(24, 64));
     let affine = Symex::new(SymexParams::default()).run(&data).unwrap();
-    let index = ScapeIndex::build(&data, &affine, &Measure::ALL);
+    let index = ScapeIndex::build(&data, &affine, &Measure::ALL).expect("index");
     let wn = NaiveExecutor::new(&data);
     let wa = AffineExecutor::new(&data, &affine);
     let wf = DftExecutor::new(&data);
@@ -60,7 +60,7 @@ fn met_result_sets_nest_with_tau() {
 fn scape_and_wa_are_identical_wn_is_close() {
     let data = stock_dataset(&StockConfig::reduced(26, 120));
     let affine = Symex::new(SymexParams::default()).run(&data).unwrap();
-    let index = ScapeIndex::build(&data, &affine, &Measure::ALL);
+    let index = ScapeIndex::build(&data, &affine, &Measure::ALL).expect("index");
     let wn = NaiveExecutor::new(&data);
     let wa = AffineExecutor::new(&data, &affine);
 
@@ -159,7 +159,7 @@ fn degenerate_data_is_survivable_everywhere() {
         .pair_value(PairwiseMeasure::Correlation, SequencePair::new(0, 1))
         .unwrap();
     assert_eq!(rho_const, 0.0);
-    let index = ScapeIndex::build(&data, &affine, &Measure::ALL);
+    let index = ScapeIndex::build(&data, &affine, &Measure::ALL).expect("index");
     let res = index
         .threshold_pairs(PairwiseMeasure::Correlation, ThresholdOp::Greater, 0.99)
         .unwrap();
