@@ -1,27 +1,34 @@
 //! `affinity` — command-line front end to the framework.
 //!
 //! ```text
-//! affinity generate <sensor|stock> <path.afn> [n] [m]   seeded synthetic dataset
-//! affinity info     <path.afn>                          shape + labels
-//! affinity csv      <path.afn> <out.csv>                export to CSV
-//! affinity query    <path.afn> "<statement>" [...]      run MEC/MET/MER statements
-//! affinity quality  <path.afn>                          LSFD quality report
+//! affinity generate <sensor|stock> <path.afn> [n] [m]        seeded synthetic dataset
+//! affinity info     <path.afn>                               shape + labels
+//! affinity csv      <path.afn> <out.csv>                     export to CSV
+//! affinity query    [--ooc[=MB]] <path.afn> "<stmt>" [...]   run MEC/MET/MER statements
+//! affinity quality  <path.afn>                               LSFD quality report
 //! ```
 //!
 //! Query statements use the `affinity-ql` grammar, e.g.
 //! `"MET correlation > 0.9"`, `"MEC mean OF STK0, STK1"`,
 //! `"MER covariance BETWEEN 0 AND 1"`.
+//!
+//! With `--ooc` the model (AFCLST + SYMEX + MEC engine + SCAPE index)
+//! is built by *streaming* columns through a bounded-memory
+//! [`CachedStore`] — the matrix is never materialized, so stores far
+//! larger than RAM work; the answers are bit-for-bit identical to the
+//! resident path. The optional `=MB` sets the column-cache budget
+//! (default 64 MB).
 
 use affinity::core::prelude::*;
 use affinity::core::quality::quality_report;
 use affinity::data::generator::{sensor_dataset, stock_dataset, SensorConfig, StockConfig};
 use affinity::ql::Session;
-use affinity::storage::MatrixStore;
+use affinity::storage::{CachedStore, MatrixStore};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  affinity generate <sensor|stock> <path.afn> [n] [m]\n  affinity info <path.afn>\n  affinity csv <path.afn> <out.csv>\n  affinity query <path.afn> \"<statement>\" [more statements...]\n  affinity quality <path.afn>"
+        "usage:\n  affinity generate <sensor|stock> <path.afn> [n] [m]\n  affinity info <path.afn>\n  affinity csv <path.afn> <out.csv>\n  affinity query [--ooc[=MB]] <path.afn> \"<statement>\" [more statements...]\n  affinity quality <path.afn>"
     );
     ExitCode::from(2)
 }
@@ -133,23 +140,57 @@ fn csv(args: &[String]) -> Result<(), String> {
 }
 
 fn query(args: &[String]) -> Result<(), String> {
-    let [path, statements @ ..] = args else {
+    // Optional leading `--ooc[=MB]`: stream the build through a
+    // bounded-memory column cache instead of materializing the matrix.
+    let (ooc_budget, rest) = match args.first().map(String::as_str) {
+        Some("--ooc") => (Some(64usize << 20), &args[1..]),
+        Some(flag) if flag.starts_with("--ooc=") => {
+            let mb: usize = flag["--ooc=".len()..]
+                .parse()
+                .map_err(|_| "bad --ooc=<MB> value")?;
+            (Some(mb << 20), &args[1..])
+        }
+        _ => (None, args),
+    };
+    let [path, statements @ ..] = rest else {
         return Err("query needs <path.afn> and at least one statement".into());
     };
     if statements.is_empty() {
         return Err("query needs at least one statement".into());
     }
-    let data = open(path)?;
-    let affine = Symex::new(SymexParams::default())
-        .run(&data)
-        .map_err(|e| e.to_string())?;
-    let session = Session::new(&data, &affine, &Measure::EXTENDED).map_err(|e| e.to_string())?;
-    for stmt in statements {
-        println!("> {stmt}");
-        match session.execute(stmt) {
-            Ok(out) => print!("{out}"),
-            Err(e) => eprintln!("error: {e}"),
+    let run_statements = |session: &Session| {
+        for stmt in statements {
+            println!("> {stmt}");
+            match session.execute(stmt) {
+                Ok(out) => print!("{out}"),
+                Err(e) => eprintln!("error: {e}"),
+            }
         }
+    };
+    if let Some(budget) = ooc_budget {
+        let store = MatrixStore::open(path).map_err(|e| e.to_string())?;
+        let labels = store.labels().to_vec();
+        let source = CachedStore::with_budget_bytes(store, budget);
+        eprintln!(
+            "out-of-core: caching up to {} of {} columns ({} MB budget)",
+            source.capacity().min(source.store().series_count()),
+            source.store().series_count(),
+            budget >> 20
+        );
+        let affine = Symex::new(SymexParams::default())
+            .run(&source)
+            .map_err(|e| e.to_string())?;
+        let session = Session::from_source(&source, labels, &affine, &Measure::EXTENDED)
+            .map_err(|e| e.to_string())?;
+        run_statements(&session);
+    } else {
+        let data = open(path)?;
+        let affine = Symex::new(SymexParams::default())
+            .run(&data)
+            .map_err(|e| e.to_string())?;
+        let session =
+            Session::new(&data, &affine, &Measure::EXTENDED).map_err(|e| e.to_string())?;
+        run_statements(&session);
     }
     Ok(())
 }

@@ -41,17 +41,43 @@
 //! assert!(hot.len() <= data.pair_count());
 //! ```
 //!
+//! ## Out of core
+//!
+//! Model construction is generic over [`data::SeriesSource`], so the
+//! same pipeline runs against an on-disk [`storage::MatrixStore`] — or a
+//! bounded-memory [`storage::CachedStore`] — without ever materializing
+//! the matrix, producing bit-for-bit the resident result:
+//!
+//! ```
+//! use affinity::prelude::*;
+//!
+//! let data = sensor_dataset(&SensorConfig::reduced(16, 64));
+//! let path = std::env::temp_dir().join("affinity-facade-ooc-doc.afn");
+//! MatrixStore::create(&path, &data).unwrap();
+//!
+//! // Budget: at most 4 columns resident at any time.
+//! let source = CachedStore::new(MatrixStore::open(&path).unwrap(), 4);
+//! let affine = Symex::new(SymexParams::default()).run(&source).unwrap();
+//! let index = ScapeIndex::build_from_source(
+//!     &source, &affine, &Measure::ALL, &ThreadPool::new(1)).unwrap();
+//! let resident = Symex::new(SymexParams::default()).run(&data).unwrap();
+//! assert_eq!(affine.relationships(), resident.relationships());
+//! # std::fs::remove_file(&path).ok();
+//! ```
+//!
+//! See `ARCHITECTURE.md` for the end-to-end data flow.
+//!
 //! ## Crate map
 //!
 //! | Module | Backing crate | Contents |
 //! |---|---|---|
 //! | [`core`] | `affinity-core` | measures, LSFD, AFCLST, SYMEX/SYMEX+, MEC engine |
 //! | [`scape`] | `affinity-scape` | the SCAPE index: bulk construction, MET/MER/count queries, delta patching |
-//! | [`data`] | `affinity-data` | data matrix, dataset generators, CSV, Zipf |
+//! | [`data`] | `affinity-data` | data matrix, `SeriesSource` column access, dataset generators, CSV, Zipf |
 //! | [`query`] | `affinity-query` | `W_N`/`W_A`/`W_F` executors, online workloads |
 //! | [`ql`] | `affinity-ql` | textual MEC/MET/MER query language + planner |
 //! | [`stream`] | `affinity-stream` | sliding windows, rolling stats, drift-driven delta refresh |
-//! | [`storage`] | `affinity-storage` | columnar binary store with checksums |
+//! | [`storage`] | `affinity-storage` | columnar binary store with checksums, LRU `CachedStore` |
 //! | [`linalg`] | `affinity-linalg` | QR, Jacobi eigen, power iteration |
 //! | [`par`] | `affinity-par` | work-stealing thread pool behind parallel SYMEX + batched MEC |
 //! | [`dft`] | `affinity-dft` | FFT (radix-2 + Bluestein), coefficient sketches |
@@ -76,11 +102,13 @@ pub use affinity_stream as stream;
 pub mod prelude {
     pub use affinity_core::prelude::*;
     pub use affinity_data::generator::{sensor_dataset, stock_dataset, SensorConfig, StockConfig};
-    pub use affinity_data::{DataMatrix, SequencePair, SeriesId, ZipfSampler};
+    pub use affinity_data::{
+        DataMatrix, SequencePair, SeriesId, SeriesSource, SourceError, ZipfSampler,
+    };
     pub use affinity_par::ThreadPool;
     pub use affinity_ql::Session;
     pub use affinity_query::{AffineExecutor, DftExecutor, NaiveExecutor};
     pub use affinity_scape::{ScapeIndex, ThresholdOp};
-    pub use affinity_storage::MatrixStore;
+    pub use affinity_storage::{CachedStore, MatrixStore};
     pub use affinity_stream::{StreamingConfig, StreamingEngine};
 }

@@ -1,0 +1,306 @@
+//! Fig. 17 (repo extension) — out-of-core model construction.
+//!
+//! Builds the full model (AFCLST + SYMEX+ + SCAPE index) twice over the
+//! same long-series dataset:
+//!
+//! 1. **resident** — the classical path over an in-memory `DataMatrix`;
+//! 2. **streamed** — through a [`CachedStore`] holding only a small,
+//!    fixed number of columns (the cache budget), with the matrix on
+//!    disk and dropped from memory.
+//!
+//! A counting global allocator tracks the **peak live heap** of each
+//! phase; the point of the figure is that the streamed peak is bounded
+//! by the cache budget plus model size — *not* by `n·m` — while the
+//! produced model is asserted bit-for-bit identical to the resident
+//! one. The dataset shape is deliberately long (`m ≫ n`): the matrix
+//! dwarfs the model, which is the regime where out-of-core matters.
+//!
+//! Set `AFFINITY_BENCH_JSON=<path>` to write the measurements as a JSON
+//! baseline (CI uploads `BENCH_outofcore.json`).
+
+use affinity_bench::{fmt_secs, header, time, Scale};
+use affinity_core::symex::{AffineSet, Symex};
+use affinity_data::generator::{sensor_dataset, SensorConfig};
+use affinity_par::ThreadPool;
+use affinity_scape::ScapeIndex;
+use affinity_storage::{CachedStore, MatrixStore};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Counting allocator: live bytes + high-water mark, resettable between
+/// phases. Counts every allocation in the process, so a phase's peak is
+/// its true heap footprint (model, caches, scratch — everything).
+struct PeakAlloc;
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+fn note_alloc(size: usize) {
+    let live = LIVE.fetch_add(size, Ordering::Relaxed) + size;
+    PEAK.fetch_max(live, Ordering::Relaxed);
+}
+
+unsafe impl GlobalAlloc for PeakAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            note_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc_zeroed(layout);
+        if !p.is_null() {
+            note_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+            note_alloc(new_size);
+        }
+        p
+    }
+}
+
+#[global_allocator]
+static ALLOC: PeakAlloc = PeakAlloc;
+
+/// Reset the high-water mark to the current live bytes.
+fn reset_peak() {
+    PEAK.store(LIVE.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+fn peak_bytes() -> usize {
+    PEAK.load(Ordering::Relaxed)
+}
+
+/// `VmHWM` (peak resident set of the whole process) in kB, if readable.
+/// Monotonic over the process lifetime — reported for context only; the
+/// per-phase comparison uses the resettable heap counter above.
+fn vm_hwm_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find(|l| l.starts_with("VmHWM:"))?
+        .split_whitespace()
+        .nth(1)?
+        .parse()
+        .ok()
+}
+
+fn mb(bytes: usize) -> f64 {
+    bytes as f64 / (1024.0 * 1024.0)
+}
+
+struct Phase {
+    secs: f64,
+    peak_heap: usize,
+}
+
+fn build_resident(data: &affinity_data::DataMatrix, symex: &Symex) -> (AffineSet, ScapeIndex) {
+    let affine = symex.run(data).expect("resident symex");
+    let index = ScapeIndex::build(data, &affine, &affinity_core::measures::Measure::ALL)
+        .expect("resident index");
+    (affine, index)
+}
+
+fn build_streamed(source: &CachedStore, symex: &Symex) -> (AffineSet, ScapeIndex) {
+    let affine = symex.run(source).expect("streamed symex");
+    let index = ScapeIndex::build_from_source(
+        source,
+        &affine,
+        &affinity_core::measures::Measure::ALL,
+        &ThreadPool::new(affinity_bench::threads_from_env()),
+    )
+    .expect("streamed index");
+    (affine, index)
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    header(
+        "Fig. 17",
+        "out-of-core model construction: peak memory bounded by the cache budget",
+        scale,
+    );
+    // Long-series shapes: the matrix (n·m·8 bytes) dwarfs the O(n²)
+    // model, which is the out-of-core regime.
+    let (n, m) = match scale {
+        Scale::Quick => (32, 16_000),
+        Scale::Mid => (48, 60_000),
+        Scale::Full => (96, 250_000),
+    };
+    let cache_cols = (n / 8).max(4);
+    let matrix_bytes = n * m * 8;
+    let cache_bytes = cache_cols * m * 8;
+    println!(
+        "dataset: {n} series x {m} samples = {:.1} MB; cache budget: {cache_cols} columns = {:.1} MB\n",
+        mb(matrix_bytes),
+        mb(cache_bytes)
+    );
+
+    let dir = std::env::temp_dir().join("affinity-fig17");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(format!("outofcore-{}.afn", std::process::id()));
+
+    let symex = affinity_bench::default_symex();
+
+    // --- Resident phase -------------------------------------------------
+    let data = sensor_dataset(&SensorConfig::reduced(n, m));
+    MatrixStore::create(&path, &data).expect("write store");
+    reset_peak();
+    let ((resident_affine, resident_index), resident_secs) = time(|| build_resident(&data, &symex));
+    let resident = Phase {
+        secs: resident_secs,
+        peak_heap: peak_bytes(),
+    };
+    drop(data);
+
+    // --- Streamed phase -------------------------------------------------
+    let source = CachedStore::new(MatrixStore::open(&path).expect("open store"), cache_cols);
+    reset_peak();
+    let ((streamed_affine, streamed_index), streamed_secs) =
+        time(|| build_streamed(&source, &symex));
+    let streamed = Phase {
+        secs: streamed_secs,
+        peak_heap: peak_bytes(),
+    };
+    let cache_stats = source.stats();
+    std::fs::remove_file(&path).ok();
+
+    // --- Equivalence (the whole point: same model, bounded memory) ------
+    assert_eq!(
+        resident_affine.relationships(),
+        streamed_affine.relationships(),
+        "streamed relationships must be bit-identical"
+    );
+    assert_eq!(
+        resident_affine.series_relationships(),
+        streamed_affine.series_relationships()
+    );
+    assert_eq!(resident_affine.pivots(), streamed_affine.pivots());
+    assert_eq!(resident_index.stats(), streamed_index.stats());
+
+    // The resident peak necessarily carries the matrix; the streamed
+    // peak must not scale with it.
+    assert!(
+        resident.peak_heap >= matrix_bytes,
+        "resident peak {} below the matrix itself {}",
+        resident.peak_heap,
+        matrix_bytes
+    );
+    if scale != Scale::Quick {
+        assert!(
+            streamed.peak_heap < matrix_bytes,
+            "streamed peak {:.1} MB is not below the {:.1} MB matrix — out-of-core regression",
+            mb(streamed.peak_heap),
+            mb(matrix_bytes)
+        );
+    }
+
+    println!(
+        "{:>10} {:>12} {:>16} {:>16}",
+        "path", "build", "peak heap", "vs matrix"
+    );
+    for (name, phase) in [("resident", &resident), ("streamed", &streamed)] {
+        println!(
+            "{:>10} {:>12} {:>13.1} MB {:>15.2}x",
+            name,
+            fmt_secs(phase.secs),
+            mb(phase.peak_heap),
+            phase.peak_heap as f64 / matrix_bytes as f64
+        );
+    }
+    println!(
+        "\ncache: {} hits, {} misses, {} evictions, {} bypasses ({:.1}% hit rate)",
+        cache_stats.hits,
+        cache_stats.misses,
+        cache_stats.evictions,
+        cache_stats.bypasses,
+        100.0 * cache_stats.hits as f64 / (cache_stats.hits + cache_stats.misses).max(1) as f64
+    );
+    if let Some(hwm) = vm_hwm_kb() {
+        println!(
+            "process VmHWM (monotonic, both phases): {:.1} MB",
+            hwm as f64 / 1024.0
+        );
+    }
+    println!("\nstreamed == resident: bit-for-bit (asserted)");
+
+    if let Ok(out) = std::env::var("AFFINITY_BENCH_JSON") {
+        let json = to_json(
+            scale,
+            n,
+            m,
+            matrix_bytes,
+            cache_cols,
+            cache_bytes,
+            &resident,
+            &streamed,
+            &cache_stats,
+        );
+        std::fs::write(&out, json).expect("write bench JSON");
+        println!("wrote baseline to {out}");
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn to_json(
+    scale: Scale,
+    n: usize,
+    m: usize,
+    matrix_bytes: usize,
+    cache_cols: usize,
+    cache_bytes: usize,
+    resident: &Phase,
+    streamed: &Phase,
+    cache: &affinity_storage::CacheStats,
+) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"bench\": \"fig17_outofcore\",");
+    let _ = writeln!(
+        s,
+        "  \"scale\": \"{}\",",
+        scale.tag().split(' ').next().expect("tag")
+    );
+    let _ = writeln!(
+        s,
+        "  \"hardware_threads\": {},",
+        affinity_par::resolve_threads(0)
+    );
+    let _ = writeln!(s, "  \"series\": {n},");
+    let _ = writeln!(s, "  \"samples\": {m},");
+    let _ = writeln!(s, "  \"matrix_bytes\": {matrix_bytes},");
+    let _ = writeln!(s, "  \"cache_columns\": {cache_cols},");
+    let _ = writeln!(s, "  \"cache_budget_bytes\": {cache_bytes},");
+    let _ = writeln!(
+        s,
+        "  \"resident\": {{\"build_secs\": {:.6}, \"peak_heap_bytes\": {}}},",
+        resident.secs, resident.peak_heap
+    );
+    let _ = writeln!(
+        s,
+        "  \"streamed\": {{\"build_secs\": {:.6}, \"peak_heap_bytes\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \"cache_evictions\": {}}},",
+        streamed.secs, streamed.peak_heap, cache.hits, cache.misses, cache.evictions
+    );
+    let _ = writeln!(
+        s,
+        "  \"streamed_peak_over_matrix\": {:.4},",
+        streamed.peak_heap as f64 / matrix_bytes as f64
+    );
+    let _ = writeln!(s, "  \"bit_identical\": true");
+    let _ = writeln!(s, "}}");
+    s
+}

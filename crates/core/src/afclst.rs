@@ -22,12 +22,28 @@
 //!
 //! Empty clusters are re-seeded from a random series, so the model always
 //! returns exactly `k` usable centres.
+//!
+//! ## Streaming
+//!
+//! [`afclst`] is generic over [`SeriesSource`], so it runs identically
+//! over a resident [`DataMatrix`](affinity_data::DataMatrix) (fetches
+//! are zero-copy borrows) and an out-of-core store. Every phase is a
+//! sequential **pass over columns, each column fetched once per pass**:
+//! marginal statistics (`‖s‖²`), each assignment sweep, and — the
+//! restructured part — the centre update, where all clusters advance
+//! their power iterations *together*: one pass accumulates
+//! `w_ℓ = Σ_{v∈ℓ} (s_vᵀ u_ℓ) s_v` for every still-unconverged cluster,
+//! instead of iterating each cluster's members separately. Per cluster
+//! the accumulation order (ascending `v`) and the per-step arithmetic
+//! are unchanged, so the result is **bit-for-bit identical** to the
+//! resident per-cluster formulation — and the working set is the `k`
+//! centre/iterate vectors plus one column buffer, never the matrix.
 
 // Index-based loops over matrix coordinates are the clearest notation
 // for these kernels.
 #![allow(clippy::needless_range_loop)]
 use crate::error::CoreError;
-use affinity_data::DataMatrix;
+use affinity_data::SeriesSource;
 use affinity_linalg::vector;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -117,15 +133,22 @@ impl ClusterModel {
 
     /// Mean orthogonal projection error of every series onto its centre —
     /// the quantity AFCLST descends on; useful to compare `k` choices.
-    pub fn mean_projection_error(&self, data: &DataMatrix) -> f64 {
-        let n = data.series_count();
-        let total: f64 = (0..n)
-            .map(|v| {
-                let s = data.series(v);
-                projection_error(s, vector::dot(s, s), &self.centers[self.assignment[v]])
-            })
-            .sum();
-        total / n as f64
+    /// One streamed pass over the columns.
+    ///
+    /// # Errors
+    /// Propagates fetch failures from the source.
+    pub fn mean_projection_error<S: SeriesSource + ?Sized>(
+        &self,
+        source: &S,
+    ) -> Result<f64, CoreError> {
+        let n = source.series_count();
+        let mut buf = Vec::new();
+        let mut total = 0.0;
+        for v in 0..n {
+            let s = source.read_into(v, &mut buf)?;
+            total += projection_error(s, vector::dot(s, s), &self.centers[self.assignment[v]]);
+        }
+        Ok(total / n as f64)
     }
 }
 
@@ -136,55 +159,169 @@ fn projection_error(s: &[f64], s_norm_sq: f64, r: &[f64]) -> f64 {
     (s_norm_sq - c * c).max(0.0).sqrt()
 }
 
-/// Dominant direction of a set of member series via power iteration on
-/// `R Rᵀ` using only `Rᵀu` / `R z` products.
-fn dominant_direction(members: &[&[f64]], m: usize, rng: &mut StdRng) -> Vec<f64> {
-    debug_assert!(!members.is_empty());
-    if members.len() == 1 {
-        let mut r = members[0].to_vec();
-        if vector::normalize(&mut r) == 0.0 {
-            r[0] = 1.0;
+/// Index of the centre minimizing the projection error of `s`.
+#[inline]
+fn best_center(s: &[f64], s_norm_sq: f64, centers: &[Vec<f64>]) -> usize {
+    let mut best = 0;
+    let mut best_err = f64::INFINITY;
+    for (l, r) in centers.iter().enumerate() {
+        let e = projection_error(s, s_norm_sq, r);
+        if e < best_err {
+            best_err = e;
+            best = l;
         }
-        return r;
     }
-    let mut u: Vec<f64> = (0..m).map(|_| rng.gen_range(-0.5..0.5)).collect();
-    if vector::normalize(&mut u) == 0.0 {
-        u[0] = 1.0;
+    best
+}
+
+/// Fetch series `v` and return it normalized (the arbitrary `e₀`
+/// direction for an all-zero column) — shared by centre initialization,
+/// empty-cluster re-seeding, and singleton clusters.
+fn normalized_column<S: SeriesSource + ?Sized>(
+    source: &S,
+    v: usize,
+    buf: &mut Vec<f64>,
+) -> Result<Vec<f64>, CoreError> {
+    let s = source.read_into(v, buf)?;
+    let mut c = s.to_vec();
+    if vector::normalize(&mut c) == 0.0 {
+        c[0] = 1.0; // constant-zero series: arbitrary direction
     }
-    const MAX_IT: usize = 60;
-    const TOL: f64 = 1e-9;
-    for _ in 0..MAX_IT {
-        // w = Σ_j (s_jᵀ u) s_j
-        let mut w = vec![0.0; m];
-        for s in members {
-            let c = vector::dot(s, u.as_slice());
-            if c != 0.0 {
-                vector::axpy(c, s, &mut w);
+    Ok(c)
+}
+
+/// The update phase (`SVDLV`): every cluster's centre becomes the
+/// dominant left singular vector of its member matrix, by power
+/// iteration. All multi-member clusters iterate **together**: each power
+/// step is one sequential pass over the columns, accumulating
+/// `w_ℓ = Σ_{v∈ℓ} (s_vᵀ u_ℓ) s_v` for every still-active cluster.
+/// Per cluster this performs the exact floating-point sequence of the
+/// classical per-cluster loop (members visited in ascending `v`,
+/// identical normalize/convergence arithmetic, per-cluster iteration
+/// counts preserved), so the restructure is invisible in the output —
+/// it only changes the access pattern from per-cluster random access to
+/// shared sequential passes, which is what an out-of-core source needs.
+///
+/// RNG draws happen in cluster order during setup (re-seeds and initial
+/// iterates), matching the per-cluster formulation whenever no
+/// degenerate re-randomization occurs (re-randomizing is only hit when
+/// every member is exactly orthogonal to the iterate).
+fn update_centers<S: SeriesSource + ?Sized>(
+    source: &S,
+    centers: &mut [Vec<f64>],
+    assignment: &[usize],
+    n: usize,
+    m: usize,
+    rng: &mut StdRng,
+    buf: &mut Vec<f64>,
+) -> Result<(), CoreError> {
+    let k = centers.len();
+    let mut counts = vec![0usize; k];
+    for &l in assignment {
+        counts[l] += 1;
+    }
+    let mut active = vec![false; k];
+    let mut iterates: Vec<Vec<f64>> = vec![Vec::new(); k];
+    for l in 0..k {
+        match counts[l] {
+            0 => {
+                // Re-seed an empty cluster from a random series.
+                let v = rng.gen_range(0..n);
+                centers[l] = normalized_column(source, v, buf)?;
+            }
+            1 => {
+                let v = assignment
+                    .iter()
+                    .position(|&c| c == l)
+                    .expect("count says one member");
+                centers[l] = normalized_column(source, v, buf)?;
+            }
+            _ => {
+                let mut u: Vec<f64> = (0..m).map(|_| rng.gen_range(-0.5..0.5)).collect();
+                if vector::normalize(&mut u) == 0.0 {
+                    u[0] = 1.0;
+                }
+                iterates[l] = u;
+                active[l] = true;
             }
         }
-        if vector::normalize(&mut w) == 0.0 {
-            // All members orthogonal to u (or zero); re-randomize.
-            u = (0..m).map(|_| rng.gen_range(-0.5..0.5)).collect();
-            vector::normalize(&mut u);
-            continue;
+    }
+    if !active.iter().any(|&a| a) {
+        return Ok(());
+    }
+
+    const MAX_IT: usize = 60;
+    const TOL: f64 = 1e-9;
+    let mut accums: Vec<Vec<f64>> = (0..k)
+        .map(|l| if active[l] { vec![0.0; m] } else { Vec::new() })
+        .collect();
+    for _step in 0..MAX_IT {
+        for l in 0..k {
+            if active[l] {
+                accums[l].iter_mut().for_each(|x| *x = 0.0);
+            }
         }
-        let cos = vector::dot(&w, &u).abs().min(1.0);
-        u = w;
-        if (1.0 - cos * cos).sqrt() < TOL {
+        // One pass over the columns: every active cluster advances one
+        // power step.
+        for v in 0..n {
+            let l = assignment[v];
+            if !active[l] {
+                continue;
+            }
+            let s = source.read_into(v, buf)?;
+            let c = vector::dot(s, &iterates[l]);
+            if c != 0.0 {
+                vector::axpy(c, s, &mut accums[l]);
+            }
+        }
+        let mut any_active = false;
+        for l in 0..k {
+            if !active[l] {
+                continue;
+            }
+            let w = &mut accums[l];
+            if vector::normalize(w) == 0.0 {
+                // All members orthogonal to the iterate; re-randomize.
+                iterates[l] = (0..m).map(|_| rng.gen_range(-0.5..0.5)).collect();
+                vector::normalize(&mut iterates[l]);
+                any_active = true;
+                continue;
+            }
+            let cos = vector::dot(w, &iterates[l]).abs().min(1.0);
+            std::mem::swap(&mut iterates[l], w);
+            if (1.0 - cos * cos).sqrt() < TOL {
+                active[l] = false;
+            } else {
+                any_active = true;
+            }
+        }
+        if !any_active {
             break;
         }
     }
-    u
+    for l in 0..k {
+        if !iterates[l].is_empty() {
+            centers[l] = std::mem::take(&mut iterates[l]);
+        }
+    }
+    Ok(())
 }
 
-/// Run AFCLST on the data matrix.
+/// Run AFCLST over any column source — a resident
+/// [`DataMatrix`](affinity_data::DataMatrix), an on-disk
+/// `MatrixStore`, or a bounded-memory cache. The result is bit-for-bit
+/// independent of the source backing (see the module docs).
 ///
 /// # Errors
 /// * [`CoreError::TooManyClusters`] if `k > n`;
-/// * [`CoreError::InvalidParameter`] if `k == 0` or `γ_max == 0`.
-pub fn afclst(data: &DataMatrix, params: &AfclstParams) -> Result<ClusterModel, CoreError> {
-    let n = data.series_count();
-    let m = data.samples();
+/// * [`CoreError::InvalidParameter`] if `k == 0` or `γ_max == 0`;
+/// * [`CoreError::Source`] if a column fetch fails.
+pub fn afclst<S: SeriesSource + ?Sized>(
+    source: &S,
+    params: &AfclstParams,
+) -> Result<ClusterModel, CoreError> {
+    let n = source.series_count();
+    let m = source.samples();
     if params.k == 0 {
         return Err(CoreError::InvalidParameter("k must be >= 1".into()));
     }
@@ -199,6 +336,7 @@ pub fn afclst(data: &DataMatrix, params: &AfclstParams) -> Result<ClusterModel, 
     }
     let k = params.k;
     let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut buf = Vec::new();
 
     // Initialization: k distinct random columns, normalized (Alg. 1
     // lines 1–3; distinctness avoids immediately-duplicate centres).
@@ -207,23 +345,17 @@ pub fn afclst(data: &DataMatrix, params: &AfclstParams) -> Result<ClusterModel, 
         let j = rng.gen_range(i..n);
         picks.swap(i, j);
     }
-    let mut centers: Vec<Vec<f64>> = picks[..k]
-        .iter()
-        .map(|&v| {
-            let mut c = data.series(v).to_vec();
-            if vector::normalize(&mut c) == 0.0 {
-                c[0] = 1.0; // constant-zero series: arbitrary direction
-            }
-            c
-        })
-        .collect();
+    let mut centers: Vec<Vec<f64>> = Vec::with_capacity(k);
+    for i in 0..k {
+        centers.push(normalized_column(source, picks[i], &mut buf)?);
+    }
 
-    let norms_sq: Vec<f64> = (0..n)
-        .map(|v| {
-            let s = data.series(v);
-            vector::dot(s, s)
-        })
-        .collect();
+    // Marginal statistics in a single pass over the columns.
+    let mut norms_sq: Vec<f64> = Vec::with_capacity(n);
+    for v in 0..n {
+        let s = source.read_into(v, &mut buf)?;
+        norms_sq.push(vector::dot(s, s));
+    }
 
     let mut assignment = vec![usize::MAX; n];
     let mut iterations = 0;
@@ -231,19 +363,11 @@ pub fn afclst(data: &DataMatrix, params: &AfclstParams) -> Result<ClusterModel, 
 
     for _iter in 0..params.gamma_max {
         iterations += 1;
-        // Assignment phase.
+        // Assignment phase: one pass, each column fetched once.
         let mut changes = 0;
         for v in 0..n {
-            let s = data.series(v);
-            let mut best = 0;
-            let mut best_err = f64::INFINITY;
-            for (l, r) in centers.iter().enumerate() {
-                let e = projection_error(s, norms_sq[v], r);
-                if e < best_err {
-                    best_err = e;
-                    best = l;
-                }
-            }
+            let s = source.read_into(v, &mut buf)?;
+            let best = best_center(s, norms_sq[v], &centers);
             if assignment[v] != best {
                 assignment[v] = best;
                 changes += 1;
@@ -253,39 +377,14 @@ pub fn afclst(data: &DataMatrix, params: &AfclstParams) -> Result<ClusterModel, 
             converged = true;
             break;
         }
-        // Update phase.
-        for l in 0..k {
-            let members: Vec<&[f64]> = (0..n)
-                .filter(|&v| assignment[v] == l)
-                .map(|v| data.series(v))
-                .collect();
-            if members.is_empty() {
-                // Re-seed an empty cluster from a random series.
-                let v = rng.gen_range(0..n);
-                let mut c = data.series(v).to_vec();
-                if vector::normalize(&mut c) == 0.0 {
-                    c[0] = 1.0;
-                }
-                centers[l] = c;
-            } else {
-                centers[l] = dominant_direction(&members, m, &mut rng);
-            }
-        }
+        update_centers(source, &mut centers, &assignment, n, m, &mut rng, &mut buf)?;
     }
 
-    // Make the returned assignment consistent with the returned centres.
+    // Make the returned assignment consistent with the returned centres
+    // (one final pass).
     for v in 0..n {
-        let s = data.series(v);
-        let mut best = 0;
-        let mut best_err = f64::INFINITY;
-        for (l, r) in centers.iter().enumerate() {
-            let e = projection_error(s, norms_sq[v], r);
-            if e < best_err {
-                best_err = e;
-                best = l;
-            }
-        }
-        assignment[v] = best;
+        let s = source.read_into(v, &mut buf)?;
+        assignment[v] = best_center(s, norms_sq[v], &centers);
     }
 
     Ok(ClusterModel {
@@ -299,6 +398,7 @@ pub fn afclst(data: &DataMatrix, params: &AfclstParams) -> Result<ClusterModel, 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use affinity_data::DataMatrix;
 
     /// Two planted linear clusters: multiples of two orthogonal-ish bases.
     fn planted(n_per: usize, m: usize) -> DataMatrix {
@@ -361,7 +461,8 @@ mod tests {
             },
         )
         .unwrap()
-        .mean_projection_error(&data);
+        .mean_projection_error(&data)
+        .unwrap();
         let err_k8 = afclst(
             &data,
             &AfclstParams {
@@ -372,7 +473,8 @@ mod tests {
             },
         )
         .unwrap()
-        .mean_projection_error(&data);
+        .mean_projection_error(&data)
+        .unwrap();
         assert!(
             err_k8 <= err_k2 * 1.05,
             "k=8 error {err_k8} not better than k=2 error {err_k2}"

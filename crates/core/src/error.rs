@@ -1,5 +1,6 @@
 //! Error type for the framework core.
 
+use affinity_data::SourceError;
 use affinity_linalg::LinalgError;
 use std::fmt;
 
@@ -9,6 +10,17 @@ use std::fmt;
 pub enum CoreError {
     /// A numerical kernel failed; wraps the underlying error.
     Numerical(LinalgError),
+    /// A [`SeriesSource`](affinity_data::SeriesSource) fetch failed
+    /// during a streamed build (I/O error, checksum mismatch, bad
+    /// index).
+    Source(SourceError),
+    /// A model and a data source disagree on the matrix shape.
+    ShapeMismatch {
+        /// `(series, samples)` of the data source.
+        data: (usize, usize),
+        /// `(series, samples)` the model was computed over.
+        model: (usize, usize),
+    },
     /// Clustering was asked for more clusters than there are series.
     TooManyClusters {
         /// Requested cluster count `k`.
@@ -39,6 +51,12 @@ impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CoreError::Numerical(e) => write!(f, "numerical kernel failed: {e}"),
+            CoreError::Source(e) => write!(f, "series source fetch failed: {e}"),
+            CoreError::ShapeMismatch { data, model } => write!(
+                f,
+                "model (series {}, samples {}) does not match the data source (series {}, samples {})",
+                model.0, model.1, data.0, data.1
+            ),
             CoreError::TooManyClusters {
                 requested,
                 available,
@@ -61,6 +79,7 @@ impl std::error::Error for CoreError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             CoreError::Numerical(e) => Some(e),
+            CoreError::Source(e) => Some(e),
             _ => None,
         }
     }
@@ -69,6 +88,12 @@ impl std::error::Error for CoreError {
 impl From<LinalgError> for CoreError {
     fn from(e: LinalgError) -> Self {
         CoreError::Numerical(e)
+    }
+}
+
+impl From<SourceError> for CoreError {
+    fn from(e: SourceError) -> Self {
+        CoreError::Source(e)
     }
 }
 

@@ -31,7 +31,8 @@ use crate::error::CoreError;
 use crate::hash::FxHashMap;
 use crate::measures::{self, LocationMeasure, PairwiseMeasure};
 use crate::symex::AffineSet;
-use affinity_data::{DataMatrix, SequencePair, SeriesId};
+use affinity_data::source::with_column_buffers;
+use affinity_data::{DataMatrix, SequencePair, SeriesId, SeriesSource};
 use affinity_linalg::{vector, Matrix};
 use affinity_par::{DisjointWriter, ThreadPool};
 use parking_lot::Mutex;
@@ -69,8 +70,14 @@ type SubsetGroup = (Vec<[f64; 3]>, Vec<(u32, u32)>);
 
 /// MEC query engine answering measure computations through affine
 /// relationships.
+///
+/// Construction is the only phase that reads raw series — it is generic
+/// over [`SeriesSource`] ([`MecEngine::from_source`]), so the
+/// pre-processing pass can stream columns from disk. After that, every
+/// query is answered from pivot statistics, normalizers and β-vectors
+/// alone; the engine holds **no reference to the data**.
 pub struct MecEngine<'a> {
-    data: &'a DataMatrix,
+    series_count: usize,
     affine: &'a AffineSet,
     /// `pivotHash` with values filled in (paper Sec. 4.1).
     pivot_stats: FxHashMap<PivotPair, PivotStats>,
@@ -105,7 +112,7 @@ impl<'a> MecEngine<'a> {
     ///
     /// # Panics
     /// Panics if `affine` was produced from a differently-shaped matrix.
-    pub fn new(data: &'a DataMatrix, affine: &'a AffineSet) -> Self {
+    pub fn new(data: &DataMatrix, affine: &'a AffineSet) -> Self {
         Self::with_threads(data, affine, 0)
     }
 
@@ -115,7 +122,7 @@ impl<'a> MecEngine<'a> {
     ///
     /// # Panics
     /// Panics if `affine` was produced from a differently-shaped matrix.
-    pub fn with_threads(data: &'a DataMatrix, affine: &'a AffineSet, threads: usize) -> Self {
+    pub fn with_threads(data: &DataMatrix, affine: &'a AffineSet, threads: usize) -> Self {
         Self::with_pool(data, affine, std::sync::Arc::new(ThreadPool::new(threads)))
     }
 
@@ -126,37 +133,78 @@ impl<'a> MecEngine<'a> {
     /// # Panics
     /// Panics if `affine` was produced from a differently-shaped matrix.
     pub fn with_pool(
-        data: &'a DataMatrix,
+        data: &DataMatrix,
         affine: &'a AffineSet,
         pool: std::sync::Arc<ThreadPool>,
     ) -> Self {
-        assert_eq!(
-            data.series_count(),
-            affine.series_count(),
-            "affine set does not match the data matrix"
-        );
-        assert_eq!(
-            data.samples(),
-            affine.samples(),
-            "affine set does not match the data matrix"
-        );
+        Self::from_source_with_pool(data, affine, pool)
+            .expect("affine set does not match the data matrix")
+    }
+
+    /// Build the engine by streaming the pre-processing pass through any
+    /// [`SeriesSource`] — an on-disk store or bounded cache works as
+    /// well as a resident matrix, and the result is bit-for-bit
+    /// identical. Raw series are touched only here: one fetch per pivot
+    /// common column (pivot statistics) and one per series (separable
+    /// normalizers), in parallel with per-lane buffers.
+    ///
+    /// # Errors
+    /// [`CoreError::ShapeMismatch`] if `affine` was not computed over a
+    /// source of this shape; [`CoreError::Source`] on fetch failures.
+    pub fn from_source<S: SeriesSource + ?Sized>(
+        source: &S,
+        affine: &'a AffineSet,
+    ) -> Result<Self, CoreError> {
+        Self::from_source_with_pool(source, affine, std::sync::Arc::new(ThreadPool::new(0)))
+    }
+
+    /// [`MecEngine::from_source`] with a shared worker pool.
+    ///
+    /// # Errors
+    /// As for [`MecEngine::from_source`].
+    pub fn from_source_with_pool<S: SeriesSource + ?Sized>(
+        source: &S,
+        affine: &'a AffineSet,
+        pool: std::sync::Arc<ThreadPool>,
+    ) -> Result<Self, CoreError> {
+        let n = source.series_count();
+        if n != affine.series_count() || source.samples() != affine.samples() {
+            return Err(CoreError::ShapeMismatch {
+                data: (n, source.samples()),
+                model: (affine.series_count(), affine.samples()),
+            });
+        }
+        let clusters = affine.clusters();
+        let stats: Vec<Result<PivotStats, CoreError>> =
+            pool.parallel_map(affine.pivots().len(), |q| {
+                with_column_buffers(|buf, _| {
+                    let p = affine.pivots()[q];
+                    let common = source.read_into(p.common, buf)?;
+                    Ok(PivotStats::compute(common, clusters.center(p.cluster)))
+                })
+            });
         let mut pivot_stats = FxHashMap::default();
         pivot_stats.reserve(affine.pivots().len());
-        for &p in affine.pivots() {
-            let (common, center) = affine.pivot_columns(data, p);
-            pivot_stats.insert(p, PivotStats::compute(common, center));
+        for (&p, s) in affine.pivots().iter().zip(stats) {
+            pivot_stats.insert(p, s?);
         }
-        let variances = (0..data.series_count())
-            .map(|v| vector::variance(data.series(v)))
-            .collect();
-        let self_dots = (0..data.series_count())
-            .map(|v| {
-                let s = data.series(v);
-                vector::dot(s, s)
+        // Separable normalizers: both marginal moments from one fetch
+        // per column.
+        let marginals: Vec<Result<(f64, f64), CoreError>> = pool.parallel_map(n, |v| {
+            with_column_buffers(|buf, _| {
+                let s = source.read_into(v, buf)?;
+                Ok((vector::variance(s), vector::dot(s, s)))
             })
-            .collect();
-        MecEngine {
-            data,
+        });
+        let mut variances = Vec::with_capacity(n);
+        let mut self_dots = Vec::with_capacity(n);
+        for r in marginals {
+            let (var, sd) = r?;
+            variances.push(var);
+            self_dots.push(sd);
+        }
+        Ok(MecEngine {
+            series_count: n,
             affine,
             pivot_stats,
             variances,
@@ -164,7 +212,7 @@ impl<'a> MecEngine<'a> {
             center_locations: Mutex::new(FxHashMap::default()),
             batches: OnceLock::new(),
             pool,
-        }
+        })
     }
 
     /// The per-pivot β-batches, built on first use: the β-vectors of each
@@ -173,7 +221,7 @@ impl<'a> MecEngine<'a> {
     fn batches(&self) -> &[PivotBatch] {
         self.batches.get_or_init(|| {
             let affine = self.affine;
-            let n = self.data.series_count();
+            let n = self.series_count;
             let mut pivot_ids: FxHashMap<PivotPair, u32> = FxHashMap::default();
             pivot_ids.reserve(affine.pivots().len());
             for (i, &p) in affine.pivots().iter().enumerate() {
@@ -266,10 +314,10 @@ impl<'a> MecEngine<'a> {
     /// # Errors
     /// [`CoreError::UnknownSeries`] for out-of-range identifiers.
     pub fn location_value(&self, measure: LocationMeasure, v: SeriesId) -> Result<f64, CoreError> {
-        if v >= self.data.series_count() {
+        if v >= self.series_count {
             return Err(CoreError::UnknownSeries {
                 id: v,
-                series: self.data.series_count(),
+                series: self.series_count,
             });
         }
         let sr = self.affine.series_relationship(v);
@@ -290,7 +338,7 @@ impl<'a> MecEngine<'a> {
         measure: LocationMeasure,
         ids: &[SeriesId],
     ) -> Result<Vec<f64>, CoreError> {
-        let n = self.data.series_count();
+        let n = self.series_count;
         if let Some(&bad) = ids.iter().find(|&&v| v >= n) {
             return Err(CoreError::UnknownSeries { id: bad, series: n });
         }
@@ -428,7 +476,7 @@ impl<'a> MecEngine<'a> {
         measure: PairwiseMeasure,
         ids: &[SeriesId],
     ) -> Result<Matrix, CoreError> {
-        let n = self.data.series_count();
+        let n = self.series_count;
         if let Some(&bad) = ids.iter().find(|&&v| v >= n) {
             return Err(CoreError::UnknownSeries { id: bad, series: n });
         }
@@ -527,7 +575,7 @@ impl<'a> MecEngine<'a> {
     /// [`CoreError::MissingRelationship`] if the affine set does not
     /// cover every pair (a partial set).
     pub fn pairwise_all(&self, measure: PairwiseMeasure) -> Result<Vec<f64>, CoreError> {
-        let n = self.data.series_count();
+        let n = self.series_count;
         let total = n * (n - 1) / 2;
         if self.affine.len() != total {
             for u in 0..n {

@@ -35,12 +35,43 @@
 //! locks), and results are merged back in assignment order by pair index.
 //! The output is therefore bit-identical for every
 //! [`SymexParams::threads`] setting, including the serial `threads = 1`.
+//!
+//! ## Streaming
+//!
+//! [`Symex::run`] / [`Symex::explore`] are generic over
+//! [`SeriesSource`], so the whole relationship-extraction pipeline can
+//! pull columns from an on-disk store instead of a resident matrix. The
+//! assignment phase touches no data at all; the fit phase fetches each
+//! pivot's common column once per group and each member column once per
+//! pair, through **per-lane thread-local buffers** (allocation-free
+//! after warm-up), with each group's pivot column *pinned* in caching
+//! sources while its members sweep. Since fetched bytes are identical,
+//! the streamed build is bit-for-bit equal to the resident build —
+//! `tests/outofcore_equivalence.rs` asserts this end to end.
+//!
+//! ```
+//! use affinity_core::symex::{Symex, SymexParams};
+//! use affinity_data::generator::{sensor_dataset, SensorConfig};
+//! use affinity_storage::MatrixStore;
+//!
+//! let data = sensor_dataset(&SensorConfig::reduced(10, 32));
+//! let path = std::env::temp_dir().join("affinity-symex-stream-doc.afn");
+//! MatrixStore::create(&path, &data).unwrap();
+//!
+//! // Build the affine set straight from disk — `data` is not used.
+//! let store = MatrixStore::open(&path).unwrap();
+//! let streamed = Symex::new(SymexParams::default()).run(&store).unwrap();
+//! let resident = Symex::new(SymexParams::default()).run(&data).unwrap();
+//! assert_eq!(streamed.relationships(), resident.relationships());
+//! # std::fs::remove_file(&path).ok();
+//! ```
 
 use crate::afclst::{afclst, AfclstParams, ClusterModel};
 use crate::affine::{solve_relationship_pinv, AffineRelationship, PivotPair, SeriesRelationship};
 use crate::error::CoreError;
 use crate::hash::FxHashMap;
-use affinity_data::{DataMatrix, SequencePair, SeriesId};
+use affinity_data::source::with_column_buffers;
+use affinity_data::{DataMatrix, SequencePair, SeriesId, SeriesSource};
 use affinity_linalg::cholesky::Cholesky;
 use affinity_linalg::{vector, Matrix};
 use affinity_par::ThreadPool;
@@ -283,55 +314,70 @@ impl Symex {
         &self.params
     }
 
-    /// Run AFCLST + SYMEX over the data matrix.
+    /// Run AFCLST + SYMEX over any column source (resident matrix,
+    /// on-disk store, bounded cache); the result does not depend on the
+    /// source backing.
     ///
     /// # Errors
-    /// Propagates clustering errors; see [`afclst`].
-    pub fn run(&self, data: &DataMatrix) -> Result<AffineSet, CoreError> {
-        self.run_with_stats(data).map(|(set, _)| set)
+    /// Propagates clustering errors (see [`afclst`]) and source fetch
+    /// failures.
+    pub fn run<S: SeriesSource + ?Sized>(&self, source: &S) -> Result<AffineSet, CoreError> {
+        self.run_with_stats(source).map(|(set, _)| set)
     }
 
     /// Like [`Symex::run`] but also returns traversal counters.
     ///
     /// # Errors
     /// Propagates clustering errors; see [`afclst`].
-    pub fn run_with_stats(&self, data: &DataMatrix) -> Result<(AffineSet, SymexStats), CoreError> {
-        let clusters = afclst(data, &self.params.afclst)?;
-        self.explore(data, clusters)
+    pub fn run_with_stats<S: SeriesSource + ?Sized>(
+        &self,
+        source: &S,
+    ) -> Result<(AffineSet, SymexStats), CoreError> {
+        let clusters = afclst(source, &self.params.afclst)?;
+        self.explore(source, clusters)
     }
 
     /// Run SYMEX against a pre-computed cluster model (lets experiments
     /// reuse one clustering across variants, as Fig. 13 does).
     ///
     /// Pair→pivot assignment runs the serial marching traversal (cheap,
-    /// no float work); the least-squares fits are then sharded by pivot
-    /// across [`SymexParams::threads`] lanes and merged back by pair
-    /// index, so the result is bit-identical for every thread count.
+    /// no float work — and no data access); the least-squares fits are
+    /// then sharded by pivot across [`SymexParams::threads`] lanes and
+    /// merged back by pair index, so the result is bit-identical for
+    /// every thread count. Each lane fetches columns through its own
+    /// thread-local buffers; a group's pivot common column is pinned in
+    /// caching sources while that group is being fitted.
     ///
     /// # Errors
-    /// Currently infallible beyond clustering, kept as `Result` for parity.
-    pub fn explore(
+    /// Propagates source fetch failures.
+    pub fn explore<S: SeriesSource + ?Sized>(
         &self,
-        data: &DataMatrix,
+        source: &S,
         clusters: ClusterModel,
     ) -> Result<(AffineSet, SymexStats), CoreError> {
-        let n = data.series_count();
+        let n = source.series_count();
         let total = n * (n - 1) / 2;
         let mut stats = SymexStats::default();
         let pool = &self.pool;
 
         // Per-series relationships for the L-measures; pure per-index
         // fits, collected in series order.
-        let series_rels: Vec<SeriesRelationship> = pool.parallel_map(n, |v| {
-            let l = clusters.cluster_of(v);
-            let (c, d) = crate::affine::fit_series(clusters.center(l), data.series(v));
-            SeriesRelationship {
-                series: v,
-                cluster: l,
-                c,
-                d,
-            }
-        });
+        let series_rels: Vec<SeriesRelationship> = pool
+            .parallel_map(n, |v| {
+                with_column_buffers(|buf, _| {
+                    let s = source.read_into(v, buf)?;
+                    let l = clusters.cluster_of(v);
+                    let (c, d) = crate::affine::fit_series(clusters.center(l), s);
+                    Ok(SeriesRelationship {
+                        series: v,
+                        cluster: l,
+                        c,
+                        d,
+                    })
+                })
+            })
+            .into_iter()
+            .collect::<Result<_, CoreError>>()?;
 
         // --- Assignment phase (serial marching cursors) ---------------
         // At most n·k distinct pivots exist (paper Sec. 4); pre-sizing
@@ -464,38 +510,58 @@ impl Symex {
         // (`Plus`), or per pair to stay faithful to Alg. 2's cost model
         // (`Basic`). Fits are pure functions of the pivot columns and the
         // target series, so the merged output below does not depend on
-        // the schedule.
+        // the schedule. Column access goes through the source with
+        // per-lane buffers: the common column is fetched once per group
+        // and held, member columns are fetched once per pair. Each lane
+        // pins its group's common column for the duration of the group
+        // — at most one pin per lane at a time, so small caches keep
+        // unpinned slots for the member sweep — which lets later groups
+        // sharing the same common hit the cache instead of the disk.
         let variant = self.params.variant;
-        let fitted: Vec<Vec<AffineRelationship>> = pool.parallel_map(group_members.len(), |g| {
-            let pivot = pivots[g];
-            let s_common = data.series(pivot.common);
-            let center = clusters.center(pivot.cluster);
-            let shared_pinv = match variant {
-                SymexVariant::Plus => Some(pivot_pseudo_inverse(s_common, center)),
-                SymexVariant::Basic => None,
-            };
-            group_members[g]
-                .iter()
-                .map(|&idx| {
-                    let (pair, common) = assigned[idx as usize];
-                    let target_other = data.series(pair.other(common));
-                    let (a, b) = match &shared_pinv {
-                        Some(pinv) => solve_relationship_pinv(pinv, s_common, target_other),
-                        None => {
-                            let pinv = pivot_pseudo_inverse(s_common, center);
-                            solve_relationship_pinv(&pinv, s_common, target_other)
-                        }
+        let fitted: Vec<Result<Vec<AffineRelationship>, CoreError>> =
+            pool.parallel_map(group_members.len(), |g| {
+                with_column_buffers(|buf_common, buf_other| {
+                    let pivot = pivots[g];
+                    let s_common = source.read_into(pivot.common, buf_common)?;
+                    source.pin(pivot.common);
+                    let mut fit_group = || {
+                        let center = clusters.center(pivot.cluster);
+                        let shared_pinv = match variant {
+                            SymexVariant::Plus => Some(pivot_pseudo_inverse(s_common, center)),
+                            SymexVariant::Basic => None,
+                        };
+                        group_members[g]
+                            .iter()
+                            .map(|&idx| {
+                                let (pair, common) = assigned[idx as usize];
+                                let target_other =
+                                    source.read_into(pair.other(common), buf_other)?;
+                                let (a, b) = match &shared_pinv {
+                                    Some(pinv) => {
+                                        solve_relationship_pinv(pinv, s_common, target_other)
+                                    }
+                                    None => {
+                                        let pinv = pivot_pseudo_inverse(s_common, center);
+                                        solve_relationship_pinv(&pinv, s_common, target_other)
+                                    }
+                                };
+                                Ok(AffineRelationship {
+                                    pair,
+                                    pivot,
+                                    common,
+                                    a,
+                                    b,
+                                })
+                            })
+                            .collect::<Result<Vec<_>, CoreError>>()
                     };
-                    AffineRelationship {
-                        pair,
-                        pivot,
-                        common,
-                        a,
-                        b,
-                    }
+                    let result = fit_group();
+                    source.unpin(pivot.common);
+                    result
                 })
-                .collect()
-        });
+            });
+        let fitted: Vec<Vec<AffineRelationship>> =
+            fitted.into_iter().collect::<Result<_, CoreError>>()?;
         match variant {
             SymexVariant::Plus => {
                 // One pseudo-inverse per distinct pivot; every further
@@ -531,7 +597,7 @@ impl Symex {
                 pivots,
                 series_rels,
                 series_count: n,
-                samples: data.samples(),
+                samples: source.samples(),
             },
             stats,
         ))

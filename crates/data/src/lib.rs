@@ -17,9 +17,10 @@
 //!
 //! [`matrix`] defines the [`DataMatrix`] (`m×n`, one series per column)
 //! with the identifier conventions of paper Sec. 2 ([`SeriesId`],
-//! [`SequencePair`]), [`csv`] round-trips matrices through CSV, and
-//! [`workload`] hosts the power-law sampler behind the online experiment
-//! (Sec. 6.2).
+//! [`SequencePair`]), [`source`] defines the [`SeriesSource`] column
+//! access abstraction the out-of-core pipeline streams through, [`csv`]
+//! round-trips matrices through CSV, and [`workload`] hosts the
+//! power-law sampler behind the online experiment (Sec. 6.2).
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -27,8 +28,10 @@
 pub mod csv;
 pub mod generator;
 pub mod matrix;
+pub mod source;
 pub mod workload;
 
 pub use generator::{sensor_dataset, stock_dataset, SensorConfig, StockConfig};
 pub use matrix::{DataMatrix, SequencePair, SeriesId};
+pub use source::{SeriesSource, SourceError};
 pub use workload::ZipfSampler;

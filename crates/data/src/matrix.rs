@@ -137,6 +137,11 @@ impl DataMatrix {
         &self.labels[v]
     }
 
+    /// All labels, in series order (`n` entries).
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
     /// Replace all labels.
     ///
     /// # Panics

@@ -1,0 +1,264 @@
+//! The [`SeriesSource`] abstraction: column access without residency.
+//!
+//! Every model-construction kernel in this workspace (AFCLST, SYMEX,
+//! MEC preprocessing, SCAPE construction) touches the data matrix the
+//! same way: *fetch one series, scan it, move on*. [`SeriesSource`]
+//! captures exactly that contract, so the kernels can run unchanged
+//! over
+//!
+//! * a fully resident [`DataMatrix`] (fetches are zero-copy borrows),
+//! * an on-disk `affinity_storage::MatrixStore` (each fetch is one
+//!   checksummed column read into a caller-provided buffer), or
+//! * a bounded-memory `affinity_storage::CachedStore` (an LRU of
+//!   recently fetched columns with pinning for hot pivot columns).
+//!
+//! The streamed and resident paths execute the same floating-point
+//! operations in the same order, so a model built through any source
+//! is **bit-for-bit identical** to the resident build — the workspace
+//! equivalence suite (`tests/outofcore_equivalence.rs`) pins this.
+//!
+//! ```
+//! use affinity_data::{DataMatrix, SeriesSource};
+//!
+//! let dm = DataMatrix::from_series(vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+//! let mut buf = Vec::new();
+//! // The resident source hands back a borrow; `buf` stays untouched.
+//! let col = dm.read_into(1, &mut buf).unwrap();
+//! assert_eq!(col, &[3.0, 4.0]);
+//! assert!(dm.read_into(2, &mut buf).is_err());
+//! ```
+
+use crate::matrix::{DataMatrix, SeriesId};
+use std::cell::RefCell;
+use std::fmt;
+
+/// Errors raised while fetching series from a [`SeriesSource`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SourceError {
+    /// A series index outside `0..series_count()`.
+    OutOfRange {
+        /// Requested index.
+        requested: usize,
+        /// Number of series the source holds.
+        available: usize,
+    },
+    /// A backend failure (I/O error, checksum mismatch, …); carries the
+    /// backend's description.
+    Backend(String),
+}
+
+impl fmt::Display for SourceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SourceError::OutOfRange {
+                requested,
+                available,
+            } => write!(f, "series {requested} out of range ({available} available)"),
+            SourceError::Backend(msg) => write!(f, "series source backend: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SourceError {}
+
+/// Column access for the model-construction kernels: resident matrices,
+/// on-disk stores, and caches all implement this.
+///
+/// Implementations must be [`Sync`]: the SYMEX fit phase and the SCAPE
+/// pivot-statistics pass fetch columns from several worker lanes at
+/// once (each lane with its own buffer).
+pub trait SeriesSource: Sync {
+    /// Samples per series (`m`).
+    fn samples(&self) -> usize;
+
+    /// Number of series (`n`).
+    fn series_count(&self) -> usize;
+
+    /// Fetch series `v`.
+    ///
+    /// Resident sources return a borrow of their own storage and leave
+    /// `buf` untouched; streaming sources fill `buf` (reusing its
+    /// allocation) and return a borrow of it. Either way the returned
+    /// slice has [`SeriesSource::samples`] elements.
+    ///
+    /// # Errors
+    /// [`SourceError::OutOfRange`] for bad indices,
+    /// [`SourceError::Backend`] for backend failures.
+    fn read_into<'a>(
+        &'a self,
+        v: SeriesId,
+        buf: &'a mut Vec<f64>,
+    ) -> Result<&'a [f64], SourceError>;
+
+    /// Advisory hint that series `v` is about to be fetched repeatedly
+    /// (e.g. a pivot's common series during the SYMEX fit phase).
+    /// Caching sources keep pinned columns resident; the default is a
+    /// no-op. Pins nest: every `pin` should be paired with an
+    /// [`SeriesSource::unpin`].
+    fn pin(&self, _v: SeriesId) {}
+
+    /// Release one [`SeriesSource::pin`] of series `v`. No-op by default.
+    fn unpin(&self, _v: SeriesId) {}
+
+    /// Read every column and assemble a resident [`DataMatrix`]
+    /// (generic fallback; prefer backend-specific bulk reads when
+    /// available).
+    ///
+    /// # Errors
+    /// Propagates fetch errors.
+    fn materialize(&self) -> Result<DataMatrix, SourceError> {
+        let mut buf = Vec::new();
+        let columns = (0..self.series_count())
+            .map(|v| self.read_into(v, &mut buf).map(<[f64]>::to_vec))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(DataMatrix::from_series(columns))
+    }
+}
+
+impl SeriesSource for DataMatrix {
+    fn samples(&self) -> usize {
+        DataMatrix::samples(self)
+    }
+
+    fn series_count(&self) -> usize {
+        DataMatrix::series_count(self)
+    }
+
+    fn read_into<'a>(
+        &'a self,
+        v: SeriesId,
+        _buf: &'a mut Vec<f64>,
+    ) -> Result<&'a [f64], SourceError> {
+        if v >= DataMatrix::series_count(self) {
+            return Err(SourceError::OutOfRange {
+                requested: v,
+                available: DataMatrix::series_count(self),
+            });
+        }
+        Ok(self.series(v))
+    }
+}
+
+impl<S: SeriesSource + ?Sized> SeriesSource for &S {
+    fn samples(&self) -> usize {
+        (**self).samples()
+    }
+
+    fn series_count(&self) -> usize {
+        (**self).series_count()
+    }
+
+    fn read_into<'a>(
+        &'a self,
+        v: SeriesId,
+        buf: &'a mut Vec<f64>,
+    ) -> Result<&'a [f64], SourceError> {
+        (**self).read_into(v, buf)
+    }
+
+    fn pin(&self, v: SeriesId) {
+        (**self).pin(v)
+    }
+
+    fn unpin(&self, v: SeriesId) {
+        (**self).unpin(v)
+    }
+}
+
+thread_local! {
+    /// Two per-thread column buffers, reused across every streamed fetch
+    /// this thread performs (worker lanes are long-lived, so after
+    /// warm-up the streaming hot paths are allocation-free per column).
+    static COLUMN_BUFS: RefCell<(Vec<f64>, Vec<f64>)> = const { RefCell::new((Vec::new(), Vec::new())) };
+}
+
+/// Run `f` with this thread's two reusable column buffers — the
+/// "per-lane buffers" of the parallel streamed phases (one for a pivot
+/// column held across a group, one for the member column of the moment).
+///
+/// Nested calls fall back to fresh buffers instead of panicking on the
+/// `RefCell`, so reentrancy is safe (just unamortized).
+pub fn with_column_buffers<R>(f: impl FnOnce(&mut Vec<f64>, &mut Vec<f64>) -> R) -> R {
+    COLUMN_BUFS.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut bufs) => {
+            let (a, b) = &mut *bufs;
+            f(a, b)
+        }
+        Err(_) => f(&mut Vec::new(), &mut Vec::new()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix() -> DataMatrix {
+        DataMatrix::from_series(vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]])
+    }
+
+    #[test]
+    fn resident_source_borrows_without_copy() {
+        let dm = matrix();
+        let mut buf = Vec::new();
+        let s = dm.read_into(0, &mut buf).unwrap();
+        assert_eq!(s, dm.series(0));
+        assert!(buf.is_empty(), "resident fetch must not touch the buffer");
+        assert_eq!(SeriesSource::samples(&dm), 3);
+        assert_eq!(SeriesSource::series_count(&dm), 2);
+    }
+
+    #[test]
+    fn out_of_range_is_an_error_not_a_panic() {
+        let dm = matrix();
+        let mut buf = Vec::new();
+        assert!(matches!(
+            dm.read_into(2, &mut buf),
+            Err(SourceError::OutOfRange {
+                requested: 2,
+                available: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn materialize_round_trips() {
+        let dm = matrix();
+        let back = SeriesSource::materialize(&dm).unwrap();
+        assert_eq!(back.series(0), dm.series(0));
+        assert_eq!(back.series(1), dm.series(1));
+    }
+
+    #[test]
+    fn reference_delegation() {
+        let dm = matrix();
+        let r: &DataMatrix = &dm;
+        let mut buf = Vec::new();
+        assert_eq!(SeriesSource::series_count(&r), 2);
+        assert_eq!(r.read_into(1, &mut buf).unwrap(), dm.series(1));
+        r.pin(0);
+        r.unpin(0);
+    }
+
+    #[test]
+    fn column_buffers_are_reentrant() {
+        with_column_buffers(|a, _| {
+            a.push(1.0);
+            with_column_buffers(|inner_a, _| {
+                assert!(inner_a.is_empty(), "nested call gets fresh buffers");
+            });
+            assert_eq!(a.len(), 1);
+        });
+    }
+
+    #[test]
+    fn error_display() {
+        let e = SourceError::OutOfRange {
+            requested: 9,
+            available: 4,
+        };
+        assert!(e.to_string().contains('9'));
+        assert!(SourceError::Backend("disk on fire".into())
+            .to_string()
+            .contains("disk on fire"));
+    }
+}

@@ -4,7 +4,7 @@ use crate::parser::{parse, ParseError, Statement};
 use affinity_core::measures::{LocationMeasure, Measure, PairwiseMeasure};
 use affinity_core::mec::MecEngine;
 use affinity_core::symex::AffineSet;
-use affinity_data::{DataMatrix, SequencePair, SeriesId};
+use affinity_data::{DataMatrix, SequencePair, SeriesId, SeriesSource};
 use affinity_linalg::Matrix;
 use affinity_scape::{ScapeIndex, ThresholdOp};
 use std::fmt;
@@ -112,14 +112,19 @@ impl fmt::Display for QueryOutput {
     }
 }
 
-/// A query session: a data matrix, its affine relationships, the MEC
-/// engine, and a SCAPE index over a chosen measure set.
+/// A query session: series labels, the MEC engine over the affine
+/// relationships, and a SCAPE index over a chosen measure set.
 ///
 /// Planning rule: MET/MER statements run on the SCAPE index when the
 /// measure was indexed, and fall back to scanning `W_A` values otherwise;
 /// MEC statements always run on the MEC engine.
+///
+/// The session holds **no reference to raw series data** — after
+/// construction every query is answered from the model alone, which is
+/// what makes [`Session::from_source`] (fully out-of-core construction)
+/// possible.
 pub struct Session<'a> {
-    data: &'a DataMatrix,
+    labels: Vec<String>,
     engine: MecEngine<'a>,
     index: ScapeIndex,
 }
@@ -133,28 +138,59 @@ impl<'a> Session<'a> {
     /// [`QlError::Engine`] when the index cannot be built (e.g. `affine`
     /// was not computed over `data`).
     pub fn new(
-        data: &'a DataMatrix,
+        data: &DataMatrix,
         affine: &'a AffineSet,
         indexed: &[Measure],
     ) -> Result<Self, QlError> {
+        Self::from_source(data, data.labels().to_vec(), affine, indexed)
+    }
+
+    /// Open a session whose model construction streams columns through
+    /// any [`SeriesSource`] — e.g. an on-disk `MatrixStore` or a
+    /// bounded-memory `CachedStore` — so the matrix is never resident.
+    /// `labels` provides the series names statements resolve against
+    /// (a store keeps them in its header).
+    ///
+    /// # Errors
+    /// [`QlError::Engine`] on label/shape mismatches, fetch failures,
+    /// or index-construction failures.
+    pub fn from_source<S: SeriesSource + ?Sized>(
+        source: &S,
+        labels: Vec<String>,
+        affine: &'a AffineSet,
+        indexed: &[Measure],
+    ) -> Result<Self, QlError> {
+        if labels.len() != affine.series_count() {
+            return Err(QlError::Engine(format!(
+                "{} labels for {} series",
+                labels.len(),
+                affine.series_count()
+            )));
+        }
         Ok(Session {
-            data,
-            engine: MecEngine::new(data, affine),
-            index: ScapeIndex::build(data, affine, indexed)
+            labels,
+            engine: MecEngine::from_source(source, affine)
                 .map_err(|e| QlError::Engine(e.to_string()))?,
+            index: ScapeIndex::build_from_source(
+                source,
+                affine,
+                indexed,
+                &affinity_par::ThreadPool::new(1),
+            )
+            .map_err(|e| QlError::Engine(e.to_string()))?,
         })
     }
 
     /// Resolve a series reference: exact label match first, then numeric
     /// id.
     fn resolve(&self, reference: &str) -> Result<SeriesId, QlError> {
-        for v in 0..self.data.series_count() {
-            if self.data.label(v) == reference {
+        for (v, label) in self.labels.iter().enumerate() {
+            if label == reference {
                 return Ok(v);
             }
         }
         if let Ok(id) = reference.parse::<usize>() {
-            if id < self.data.series_count() {
+            if id < self.labels.len() {
                 return Ok(id);
             }
         }
@@ -162,7 +198,7 @@ impl<'a> Session<'a> {
     }
 
     fn label(&self, v: SeriesId) -> String {
-        self.data.label(v).to_string()
+        self.labels[v].clone()
     }
 
     fn pair_labels(&self, pairs: Vec<SequencePair>) -> Vec<(String, String)> {
@@ -331,16 +367,22 @@ impl<'a> Session<'a> {
         measure: PairwiseMeasure,
         keep: impl Fn(f64) -> bool,
     ) -> Vec<SequencePair> {
-        self.data
-            .sequence_pairs()
-            .into_iter()
-            .filter(|&p| keep(self.engine.pair_value(measure, p).expect("full set")))
-            .collect()
+        let n = self.labels.len();
+        let mut out = Vec::new();
+        for u in 0..n {
+            for v in u + 1..n {
+                let p = SequencePair::new(u, v);
+                if keep(self.engine.pair_value(measure, p).expect("full set")) {
+                    out.push(p);
+                }
+            }
+        }
+        out
     }
 
     /// Fallback plan: filter `W_A` values over all series.
     fn scan_series(&self, measure: LocationMeasure, keep: impl Fn(f64) -> bool) -> Vec<SeriesId> {
-        (0..self.data.series_count())
+        (0..self.labels.len())
             .filter(|&v| keep(self.engine.location_value(measure, v).expect("in range")))
             .collect()
     }

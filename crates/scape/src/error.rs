@@ -1,10 +1,14 @@
 //! SCAPE error type.
 
+use affinity_data::SourceError;
 use std::fmt;
 
 /// Errors raised by SCAPE construction, maintenance, and queries.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ScapeError {
+    /// A column fetch failed during a streamed
+    /// [`build_from_source`](crate::ScapeIndex::build_from_source).
+    Source(SourceError),
     /// The queried measure was not included when the index was built.
     MeasureNotIndexed {
         /// Name of the missing measure.
@@ -31,6 +35,7 @@ pub enum ScapeError {
 impl fmt::Display for ScapeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            ScapeError::Source(e) => write!(f, "series source fetch failed: {e}"),
             ScapeError::MeasureNotIndexed { measure } => {
                 write!(f, "measure '{measure}' was not indexed at build time")
             }
@@ -47,7 +52,20 @@ impl fmt::Display for ScapeError {
     }
 }
 
-impl std::error::Error for ScapeError {}
+impl std::error::Error for ScapeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ScapeError::Source(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SourceError> for ScapeError {
+    fn from(e: SourceError) -> Self {
+        ScapeError::Source(e)
+    }
+}
 
 #[cfg(test)]
 mod tests {

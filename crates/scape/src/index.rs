@@ -6,7 +6,8 @@ use affinity_core::affine::{PivotPair, PivotStats};
 use affinity_core::hash::FxHashMap;
 use affinity_core::measures::{self, LocationMeasure, Measure, PairwiseMeasure};
 use affinity_core::symex::AffineSet;
-use affinity_data::{DataMatrix, SequencePair, SeriesId};
+use affinity_data::source::with_column_buffers;
+use affinity_data::{DataMatrix, SequencePair, SeriesId, SeriesSource};
 use affinity_index::BPlusTree;
 use affinity_linalg::vector;
 use affinity_par::ThreadPool;
@@ -190,16 +191,36 @@ impl ScapeIndex {
         Self::build_impl(data, affine, measures_list, &ThreadPool::new(1), false)
     }
 
-    fn build_impl(
-        data: &DataMatrix,
+    /// Build the index by streaming columns through any
+    /// [`SeriesSource`] — an on-disk `MatrixStore` or bounded-memory
+    /// `CachedStore` works as well as a resident matrix, and the result
+    /// is bit-for-bit identical (pivot statistics and normalizers are
+    /// the only raw-data reads; everything else comes from the affine
+    /// set). Per-pivot work is sharded across `pool`'s lanes with
+    /// per-lane column buffers.
+    ///
+    /// # Errors
+    /// [`ScapeError::ShapeMismatch`] if `affine` was not computed over a
+    /// source of this shape; [`ScapeError::Source`] on fetch failures.
+    pub fn build_from_source<S: SeriesSource + ?Sized>(
+        source: &S,
+        affine: &AffineSet,
+        measures_list: &[Measure],
+        pool: &ThreadPool,
+    ) -> Result<Self, ScapeError> {
+        Self::build_impl(source, affine, measures_list, pool, true)
+    }
+
+    fn build_impl<S: SeriesSource + ?Sized>(
+        source: &S,
         affine: &AffineSet,
         measures_list: &[Measure],
         pool: &ThreadPool,
         bulk: bool,
     ) -> Result<Self, ScapeError> {
-        if data.series_count() != affine.series_count() || data.samples() != affine.samples() {
+        if source.series_count() != affine.series_count() || source.samples() != affine.samples() {
             return Err(ScapeError::ShapeMismatch {
-                data: (data.series_count(), data.samples()),
+                data: (source.series_count(), source.samples()),
                 affine: (affine.series_count(), affine.samples()),
             });
         }
@@ -238,34 +259,52 @@ impl ScapeIndex {
         let pivot_count = affine.pivots().len();
         // Pairwise-only preprocessing, skipped for location-only builds
         // (all of it is O(pivots·m) / O(n·m) / O(n²) work that only the
-        // pairwise families consume).
+        // pairwise families consume). Raw columns are pulled through the
+        // source with per-lane buffers — the only data access in the
+        // whole build.
         let want_pair = want_cov || want_dot;
         let pivot_stats: Vec<PivotStats> = if want_pair {
+            let clusters = affine.clusters();
             pool.parallel_map(pivot_count, |q| {
-                let (common, center) = affine.pivot_columns(data, affine.pivots()[q]);
-                PivotStats::compute(common, center)
+                with_column_buffers(|buf, _| {
+                    let p = affine.pivots()[q];
+                    let common = source.read_into(p.common, buf)?;
+                    Ok(PivotStats::compute(common, clusters.center(p.cluster)))
+                })
             })
+            .into_iter()
+            .collect::<Result<_, ScapeError>>()?
         } else {
             Vec::new()
         };
         // Normalizer components (exact per-series variances and self
-        // dot products — the "separable normalizers" of Sec. 2.3).
-        let variances: Vec<f64> = if want_cov {
-            (0..data.series_count())
-                .map(|v| vector::variance(data.series(v)))
-                .collect()
+        // dot products — the "separable normalizers" of Sec. 2.3), both
+        // marginal moments from one fetch per column.
+        let (variances, self_dots): (Vec<f64>, Vec<f64>) = if want_cov || want_dot {
+            let marginals: Vec<Result<(f64, f64), ScapeError>> =
+                pool.parallel_map(source.series_count(), |v| {
+                    with_column_buffers(|buf, _| {
+                        let s = source.read_into(v, buf)?;
+                        Ok((
+                            if want_cov { vector::variance(s) } else { 0.0 },
+                            if want_dot { vector::dot(s, s) } else { 0.0 },
+                        ))
+                    })
+                });
+            let mut variances = Vec::new();
+            let mut self_dots = Vec::new();
+            for r in marginals {
+                let (var, sd) = r?;
+                if want_cov {
+                    variances.push(var);
+                }
+                if want_dot {
+                    self_dots.push(sd);
+                }
+            }
+            (variances, self_dots)
         } else {
-            Vec::new()
-        };
-        let self_dots: Vec<f64> = if want_dot {
-            (0..data.series_count())
-                .map(|v| {
-                    let s = data.series(v);
-                    vector::dot(s, s)
-                })
-                .collect()
-        } else {
-            Vec::new()
+            (Vec::new(), Vec::new())
         };
         // Bucket relationship indices by pivot once, in traversal order;
         // both pairwise families shard over these groups.

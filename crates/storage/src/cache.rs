@@ -1,0 +1,364 @@
+//! A bounded-memory column cache over a [`MatrixStore`].
+//!
+//! [`CachedStore`] is the out-of-core middle ground between a fully
+//! resident [`DataMatrix`](affinity_data::DataMatrix) and raw per-fetch
+//! disk reads: it keeps at most `capacity` recently used columns in
+//! memory (LRU), **reusing the evicted column's buffer** for the
+//! incoming one, so steady-state misses cost one disk read plus one
+//! memcpy and zero allocations. Pivot columns — fetched once per
+//! sequence pair during the SYMEX fit phase — can be *pinned* so the
+//! sweep over member columns never evicts them.
+//!
+//! Reads happen outside the cache lock, so parallel lanes fetch
+//! distinct columns from disk concurrently; the lock is held only for
+//! the in-memory bookkeeping and memcpys.
+
+use crate::store::MatrixStore;
+use affinity_data::{SeriesSource, SourceError};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Hit/miss counters of a [`CachedStore`], for benchmarks and tuning.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Fetches served from memory.
+    pub hits: u64,
+    /// Fetches that went to disk.
+    pub misses: u64,
+    /// Cached columns displaced to make room.
+    pub evictions: u64,
+    /// Fetches that bypassed the cache because every slot was pinned.
+    pub bypasses: u64,
+}
+
+/// One cached column.
+#[derive(Debug)]
+struct Slot {
+    series: usize,
+    data: Vec<f64>,
+    last_used: u64,
+    pins: u32,
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    /// series → index into `slots`.
+    map: HashMap<usize, usize>,
+    slots: Vec<Slot>,
+    tick: u64,
+    stats: CacheStats,
+}
+
+/// An LRU column cache wrapping a [`MatrixStore`]; implements
+/// [`SeriesSource`], so the whole model-construction pipeline can run
+/// over it with memory bounded by `capacity` columns instead of the
+/// full `n·m` matrix.
+///
+/// ```
+/// use affinity_data::generator::{sensor_dataset, SensorConfig};
+/// use affinity_data::SeriesSource;
+/// use affinity_storage::{CachedStore, MatrixStore};
+///
+/// let path = std::env::temp_dir().join("affinity-cached-doc.afn");
+/// let data = sensor_dataset(&SensorConfig::reduced(8, 64));
+/// MatrixStore::create(&path, &data).unwrap();
+///
+/// // Hold at most 2 of the 8 columns in memory.
+/// let cached = CachedStore::new(MatrixStore::open(&path).unwrap(), 2);
+/// let mut buf = Vec::new();
+/// for v in [0, 1, 0, 1, 5, 0] {
+///     assert_eq!(cached.read_into(v, &mut buf).unwrap(), data.series(v));
+/// }
+/// let stats = cached.stats();
+/// assert_eq!(stats.hits, 2);   // the repeated 0, 1 pair
+/// assert_eq!(stats.misses, 4); // 0, 1, 5, and 0 again after eviction
+/// # std::fs::remove_file(&path).ok();
+/// ```
+#[derive(Debug)]
+pub struct CachedStore {
+    store: MatrixStore,
+    capacity: usize,
+    inner: Mutex<CacheInner>,
+}
+
+impl CachedStore {
+    /// Wrap `store` with room for at most `capacity` cached columns
+    /// (clamped to at least 1).
+    pub fn new(store: MatrixStore, capacity: usize) -> Self {
+        CachedStore {
+            store,
+            capacity: capacity.max(1),
+            inner: Mutex::new(CacheInner::default()),
+        }
+    }
+
+    /// Wrap `store` with a cache budget in **bytes**, converted to
+    /// whole columns (`budget / (samples · 8)`, at least 1).
+    pub fn with_budget_bytes(store: MatrixStore, budget: usize) -> Self {
+        let col_bytes = store.samples().saturating_mul(8).max(1);
+        let capacity = budget / col_bytes;
+        Self::new(store, capacity)
+    }
+
+    /// The wrapped store.
+    pub fn store(&self) -> &MatrixStore {
+        &self.store
+    }
+
+    /// Maximum number of cached columns.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The cache budget in bytes (`capacity · samples · 8`).
+    pub fn budget_bytes(&self) -> usize {
+        self.capacity * self.store.samples() * 8
+    }
+
+    /// Hit/miss counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().expect("cache mutex").stats
+    }
+
+    /// Index of the least-recently-used unpinned slot, if any.
+    fn victim(inner: &CacheInner) -> Option<usize> {
+        inner
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.pins == 0)
+            .min_by_key(|(_, s)| s.last_used)
+            .map(|(i, _)| i)
+    }
+
+    /// Install the freshly read column in `buf` into the cache (slot
+    /// reuse on eviction). Called with the lock held, after a miss.
+    fn admit(&self, inner: &mut CacheInner, v: usize, buf: &[f64]) {
+        if inner.slots.len() < self.capacity {
+            let slot = inner.slots.len();
+            inner.slots.push(Slot {
+                series: v,
+                data: buf.to_vec(),
+                last_used: inner.tick,
+                pins: 0,
+            });
+            inner.map.insert(v, slot);
+        } else if let Some(slot) = Self::victim(inner) {
+            let old = inner.slots[slot].series;
+            inner.map.remove(&old);
+            inner.stats.evictions += 1;
+            let s = &mut inner.slots[slot];
+            s.series = v;
+            s.data.clear();
+            s.data.extend_from_slice(buf); // reuses the evicted buffer
+            s.last_used = inner.tick;
+            s.pins = 0;
+            inner.map.insert(v, slot);
+        } else {
+            // Every slot pinned: serve without caching.
+            inner.stats.bypasses += 1;
+        }
+    }
+}
+
+impl SeriesSource for CachedStore {
+    fn samples(&self) -> usize {
+        self.store.samples()
+    }
+
+    fn series_count(&self) -> usize {
+        self.store.series_count()
+    }
+
+    fn read_into<'a>(&'a self, v: usize, buf: &'a mut Vec<f64>) -> Result<&'a [f64], SourceError> {
+        {
+            let mut inner = self.inner.lock().expect("cache mutex");
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some(&slot) = inner.map.get(&v) {
+                inner.stats.hits += 1;
+                let s = &mut inner.slots[slot];
+                s.last_used = tick;
+                buf.clear();
+                buf.extend_from_slice(&s.data);
+                return Ok(&buf[..]);
+            }
+            inner.stats.misses += 1;
+        }
+        // Miss: read from disk *outside* the lock so parallel lanes
+        // overlap their I/O, then admit the column.
+        self.store.read_series_into(v, buf)?;
+        let mut inner = self.inner.lock().expect("cache mutex");
+        if !inner.map.contains_key(&v) {
+            self.admit(&mut inner, v, buf);
+        }
+        Ok(&buf[..])
+    }
+
+    /// Pin series `v`: load it (evicting if needed) and protect it from
+    /// eviction until unpinned. Advisory — if the column is absent and
+    /// no slot could admit it (cache full of pins), the call returns
+    /// without touching the disk, and fetch correctness never depends
+    /// on a pin succeeding.
+    fn pin(&self, v: usize) {
+        if v >= self.store.series_count() {
+            return;
+        }
+        {
+            let mut inner = self.inner.lock().expect("cache mutex");
+            if let Some(&slot) = inner.map.get(&v) {
+                inner.slots[slot].pins += 1;
+                return;
+            }
+            // Don't pay a disk read for a column that could not be
+            // admitted anyway.
+            if inner.slots.len() >= self.capacity && Self::victim(&inner).is_none() {
+                return;
+            }
+        }
+        let mut buf = Vec::new();
+        if self.store.read_series_into(v, &mut buf).is_err() {
+            return; // advisory: leave the error for the actual fetch
+        }
+        let mut inner = self.inner.lock().expect("cache mutex");
+        inner.tick += 1;
+        if let Some(&slot) = inner.map.get(&v) {
+            inner.slots[slot].pins += 1; // raced with a concurrent fetch
+            return;
+        }
+        inner.stats.misses += 1;
+        self.admit(&mut inner, v, &buf);
+        if let Some(&slot) = inner.map.get(&v) {
+            inner.slots[slot].pins += 1;
+        }
+    }
+
+    fn unpin(&self, v: usize) {
+        let mut inner = self.inner.lock().expect("cache mutex");
+        if let Some(&slot) = inner.map.get(&v) {
+            let s = &mut inner.slots[slot];
+            s.pins = s.pins.saturating_sub(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use affinity_data::generator::{sensor_dataset, SensorConfig};
+    use affinity_data::DataMatrix;
+    use std::path::PathBuf;
+
+    fn fixture(name: &str, n: usize, m: usize) -> (DataMatrix, CachedStore, PathBuf) {
+        let dir = std::env::temp_dir().join("affinity-cache-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        let data = sensor_dataset(&SensorConfig::reduced(n, m));
+        MatrixStore::create(&path, &data).unwrap();
+        let cached = CachedStore::new(MatrixStore::open(&path).unwrap(), 3);
+        (data, cached, path)
+    }
+
+    #[test]
+    fn serves_correct_columns_under_churn() {
+        let (data, cached, path) = fixture("churn.afn", 10, 40);
+        let mut buf = Vec::new();
+        // A access pattern larger than the 3-column capacity.
+        for pass in 0..3 {
+            for v in 0..10 {
+                let got = cached.read_into((v * 7 + pass) % 10, &mut buf).unwrap();
+                assert_eq!(got, data.series((v * 7 + pass) % 10));
+            }
+        }
+        let stats = cached.stats();
+        assert_eq!(stats.hits + stats.misses, 30);
+        assert!(stats.evictions > 0, "capacity 3 must evict: {stats:?}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn repeated_access_hits_the_cache() {
+        let (data, cached, path) = fixture("hits.afn", 6, 24);
+        let mut buf = Vec::new();
+        for _ in 0..5 {
+            assert_eq!(cached.read_into(2, &mut buf).unwrap(), data.series(2));
+        }
+        let stats = cached.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 4);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn pinned_columns_survive_eviction_pressure() {
+        let (data, cached, path) = fixture("pin.afn", 8, 24);
+        cached.pin(0);
+        let mut buf = Vec::new();
+        // Thrash the other two slots.
+        for v in 1..8 {
+            cached.read_into(v, &mut buf).unwrap();
+        }
+        let before = cached.stats();
+        assert_eq!(cached.read_into(0, &mut buf).unwrap(), data.series(0));
+        let after = cached.stats();
+        assert_eq!(after.hits, before.hits + 1, "pinned column stayed cached");
+        cached.unpin(0);
+        // Now it can be evicted again.
+        for v in 1..8 {
+            cached.read_into(v, &mut buf).unwrap();
+        }
+        cached.read_into(0, &mut buf).unwrap();
+        assert_eq!(cached.stats().hits, after.hits, "unpinned column evicted");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn all_slots_pinned_degrades_to_passthrough() {
+        let (data, cached, path) = fixture("allpin.afn", 8, 16);
+        for v in 0..3 {
+            cached.pin(v);
+        }
+        let mut buf = Vec::new();
+        for v in 3..8 {
+            assert_eq!(cached.read_into(v, &mut buf).unwrap(), data.series(v));
+        }
+        let stats = cached.stats();
+        assert_eq!(stats.bypasses, 5);
+        assert_eq!(stats.evictions, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn out_of_range_and_budget_helpers() {
+        let (_, cached, path) = fixture("oor.afn", 4, 32);
+        let mut buf = Vec::new();
+        assert!(matches!(
+            cached.read_into(4, &mut buf),
+            Err(SourceError::OutOfRange { requested: 4, .. })
+        ));
+        cached.pin(99); // out of range pin is a no-op
+        assert_eq!(cached.capacity(), 3);
+        assert_eq!(cached.budget_bytes(), 3 * 32 * 8);
+        let store = MatrixStore::open(&path).unwrap();
+        let by_bytes = CachedStore::with_budget_bytes(store, 2 * 32 * 8 + 7);
+        assert_eq!(by_bytes.capacity(), 2);
+        let store = MatrixStore::open(&path).unwrap();
+        assert_eq!(CachedStore::with_budget_bytes(store, 0).capacity(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn parallel_fetches_agree_with_the_data() {
+        let (data, cached, path) = fixture("par.afn", 12, 48);
+        let pool = affinity_par::ThreadPool::new(4);
+        let cols: Vec<Vec<f64>> = pool.parallel_map(48, |i| {
+            let mut buf = Vec::new();
+            cached.read_into(i % 12, &mut buf).unwrap();
+            buf
+        });
+        for (i, col) in cols.iter().enumerate() {
+            assert_eq!(col, data.series(i % 12));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

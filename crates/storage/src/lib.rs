@@ -9,6 +9,12 @@
 //! CRC32 so partial writes and bit rot are detected at read time, and
 //! single series can be read without touching the rest of the file.
 //!
+//! Both [`MatrixStore`] and the LRU-bounded [`CachedStore`] implement
+//! [`affinity_data::SeriesSource`], so the whole model-construction
+//! pipeline (AFCLST → SYMEX → MEC/SCAPE) can stream columns from disk
+//! without ever materializing the `n·m` matrix — see
+//! `ARCHITECTURE.md` at the repository root for the data-flow picture.
+//!
 //! ```no_run
 //! use affinity_data::generator::{sensor_dataset, SensorConfig};
 //! use affinity_storage::MatrixStore;
@@ -23,7 +29,9 @@
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+mod cache;
 pub mod crc;
 mod store;
 
+pub use cache::{CacheStats, CachedStore};
 pub use store::{MatrixStore, StorageError, FORMAT_VERSION};

@@ -15,7 +15,7 @@
 //! random access without an index block.
 
 use crate::crc::{crc32, Crc32};
-use affinity_data::DataMatrix;
+use affinity_data::{DataMatrix, SeriesSource, SourceError};
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
@@ -71,6 +71,25 @@ impl From<io::Error> for StorageError {
     }
 }
 
+/// The [`SeriesSource`] view of a storage failure: bad indices map to
+/// [`SourceError::OutOfRange`], everything else (I/O, checksum,
+/// corruption) to [`SourceError::Backend`]. Shared by every source in
+/// this crate.
+impl From<StorageError> for SourceError {
+    fn from(e: StorageError) -> Self {
+        match e {
+            StorageError::SeriesOutOfRange {
+                requested,
+                available,
+            } => SourceError::OutOfRange {
+                requested,
+                available,
+            },
+            other => SourceError::Backend(other.to_string()),
+        }
+    }
+}
+
 /// A read handle on a stored data matrix.
 #[derive(Debug)]
 pub struct MatrixStore {
@@ -84,6 +103,18 @@ pub struct MatrixStore {
 
 impl MatrixStore {
     /// Serialize a data matrix to `path` (overwrites).
+    ///
+    /// ```
+    /// use affinity_data::generator::{sensor_dataset, SensorConfig};
+    /// use affinity_storage::MatrixStore;
+    ///
+    /// let path = std::env::temp_dir().join("affinity-create-doc.afn");
+    /// let data = sensor_dataset(&SensorConfig::reduced(5, 24));
+    /// MatrixStore::create(&path, &data).unwrap();
+    /// let back = MatrixStore::open(&path).unwrap().read_all().unwrap();
+    /// assert_eq!(back, data);
+    /// # std::fs::remove_file(&path).ok();
+    /// ```
     ///
     /// # Errors
     /// I/O failures.
@@ -120,10 +151,29 @@ impl MatrixStore {
 
     /// Open a store and parse its header and labels.
     ///
+    /// The header's dimensions are validated against the file's actual
+    /// size *before* any size-dependent allocation, so a corrupted
+    /// length field (absurd `samples`, `series` or label-block length)
+    /// is reported as [`StorageError::Corrupt`] instead of attempting a
+    /// huge allocation or reading garbage offsets.
+    ///
+    /// ```
+    /// use affinity_data::generator::{sensor_dataset, SensorConfig};
+    /// use affinity_storage::MatrixStore;
+    ///
+    /// let path = std::env::temp_dir().join("affinity-open-doc.afn");
+    /// let data = sensor_dataset(&SensorConfig::reduced(4, 16));
+    /// MatrixStore::create(&path, &data).unwrap();
+    /// let store = MatrixStore::open(&path).unwrap();
+    /// assert_eq!((store.series_count(), store.samples()), (4, 16));
+    /// # std::fs::remove_file(&path).ok();
+    /// ```
+    ///
     /// # Errors
     /// See [`StorageError`].
     pub fn open<P: AsRef<Path>>(path: P) -> Result<Self, StorageError> {
         let f = File::open(path.as_ref())?;
+        let file_len = f.metadata()?.len();
         let mut r = BufReader::new(f);
         let mut magic = [0u8; 8];
         r.read_exact(&mut magic)?;
@@ -134,12 +184,31 @@ impl MatrixStore {
         if version != FORMAT_VERSION {
             return Err(StorageError::UnsupportedVersion(version));
         }
-        let samples = read_u64(&mut r)? as usize;
-        let series = read_u64(&mut r)? as usize;
-        if samples == 0 || series == 0 {
+        let samples64 = read_u64(&mut r)?;
+        let series64 = read_u64(&mut r)?;
+        if samples64 == 0 || series64 == 0 {
             return Err(StorageError::Corrupt("zero dimensions".into()));
         }
-        let label_len = read_u64(&mut r)? as usize;
+        let label_len64 = read_u64(&mut r)?;
+        // Whole-file size check from the four header integers alone
+        // (checked arithmetic: a corrupted count must not overflow into
+        // a "valid" size). Layout: fixed header (36 bytes), label block
+        // + crc, then `series` column chunks of `samples·8 + 4` bytes.
+        let expected = samples64
+            .checked_mul(8)
+            .and_then(|col| col.checked_add(4))
+            .and_then(|chunk| chunk.checked_mul(series64))
+            .and_then(|cols| cols.checked_add(label_len64))
+            .and_then(|v| v.checked_add(8 + 4 + 8 + 8 + 8 + 4))
+            .ok_or_else(|| StorageError::Corrupt("header dimensions overflow".into()))?;
+        if expected != file_len {
+            return Err(StorageError::Corrupt(format!(
+                "header promises {expected} bytes, file has {file_len}"
+            )));
+        }
+        let samples = samples64 as usize;
+        let series = series64 as usize;
+        let label_len = label_len64 as usize;
         let mut label_block = vec![0u8; label_len];
         r.read_exact(&mut label_block)?;
         let stored_crc = read_u32(&mut r)?;
@@ -193,11 +262,45 @@ impl MatrixStore {
         &self.labels
     }
 
-    /// Read one series, verifying its checksum.
+    /// Read one series into a fresh vector, verifying its checksum.
+    /// Thin wrapper over [`MatrixStore::read_series_into`]; streaming
+    /// callers should pass their own buffer to avoid the per-column
+    /// allocation.
     ///
     /// # Errors
     /// See [`StorageError`].
     pub fn read_series(&self, v: usize) -> Result<Vec<f64>, StorageError> {
+        let mut out = Vec::new();
+        self.read_series_into(v, &mut out)?;
+        Ok(out)
+    }
+
+    /// Read one series into `out` (cleared and refilled, reusing its
+    /// allocation), verifying its checksum. This is the allocation-free
+    /// primitive the streamed model-construction path runs on: bytes
+    /// are decoded through a fixed stack scratch, so a fetch costs one
+    /// `open` + `seek` + sequential read and zero heap traffic once
+    /// `out` has warmed up to `samples()` capacity.
+    ///
+    /// ```
+    /// use affinity_data::generator::{sensor_dataset, SensorConfig};
+    /// use affinity_storage::MatrixStore;
+    ///
+    /// let path = std::env::temp_dir().join("affinity-read-into-doc.afn");
+    /// let data = sensor_dataset(&SensorConfig::reduced(3, 32));
+    /// MatrixStore::create(&path, &data).unwrap();
+    /// let store = MatrixStore::open(&path).unwrap();
+    /// let mut buf = Vec::new();
+    /// for v in 0..3 {
+    ///     store.read_series_into(v, &mut buf).unwrap();
+    ///     assert_eq!(buf, data.series(v));
+    /// }
+    /// # std::fs::remove_file(&path).ok();
+    /// ```
+    ///
+    /// # Errors
+    /// See [`StorageError`].
+    pub fn read_series_into(&self, v: usize, out: &mut Vec<f64>) -> Result<(), StorageError> {
         if v >= self.series {
             return Err(StorageError::SeriesOutOfRange {
                 requested: v,
@@ -207,20 +310,33 @@ impl MatrixStore {
         let chunk = self.samples as u64 * 8 + 4;
         let mut f = File::open(&self.path)?;
         f.seek(SeekFrom::Start(self.columns_start + v as u64 * chunk))?;
-        let mut buf = vec![0u8; self.samples * 8];
-        f.read_exact(&mut buf)?;
+        out.clear();
+        out.reserve(self.samples);
+        let mut hasher = Crc32::new();
+        let mut remaining = self.samples * 8;
+        // Multiple of 8 so no f64 straddles a scratch boundary.
+        let mut scratch = [0u8; 8192];
+        while remaining > 0 {
+            let take = remaining.min(scratch.len());
+            f.read_exact(&mut scratch[..take])?;
+            hasher.update(&scratch[..take]);
+            out.extend(
+                scratch[..take]
+                    .chunks_exact(8)
+                    .map(|c| f64::from_le_bytes(c.try_into().unwrap())),
+            );
+            remaining -= take;
+        }
         let stored_crc = {
             let mut b = [0u8; 4];
             f.read_exact(&mut b)?;
             u32::from_le_bytes(b)
         };
-        if crc32(&buf) != stored_crc {
+        if hasher.finalize() != stored_crc {
+            out.clear(); // don't hand corrupt data back
             return Err(StorageError::ChecksumMismatch(format!("series {v}")));
         }
-        Ok(buf
-            .chunks_exact(8)
-            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
-            .collect())
+        Ok(())
     }
 
     /// Read the whole matrix back, verifying every chunk.
@@ -250,6 +366,26 @@ impl MatrixStore {
         let mut dm = DataMatrix::from_series(columns);
         dm.set_labels(self.labels.clone());
         Ok(dm)
+    }
+}
+
+/// A [`MatrixStore`] is a streaming [`SeriesSource`]: each fetch is one
+/// checksummed column read straight from disk, so model construction
+/// can run without ever materializing the matrix. Wrap it in a
+/// [`crate::CachedStore`] to amortize repeated fetches under a memory
+/// budget.
+impl SeriesSource for MatrixStore {
+    fn samples(&self) -> usize {
+        self.samples
+    }
+
+    fn series_count(&self) -> usize {
+        self.series
+    }
+
+    fn read_into<'a>(&'a self, v: usize, buf: &'a mut Vec<f64>) -> Result<&'a [f64], SourceError> {
+        self.read_series_into(v, buf)?;
+        Ok(&buf[..])
     }
 }
 
@@ -369,11 +505,118 @@ mod tests {
         MatrixStore::create(&path, &data).unwrap();
         let bytes = std::fs::read(&path).unwrap();
         std::fs::write(&path, &bytes[..bytes.len() - 40]).unwrap();
+        // The whole-file size check catches the truncation at open time.
+        assert!(matches!(
+            MatrixStore::open(&path),
+            Err(StorageError::Corrupt(_))
+        ));
+        // A file truncated *after* a successful open (e.g. concurrent
+        // rewrite) still fails cleanly at read time.
+        std::fs::write(&path, &bytes).unwrap();
         let store = MatrixStore::open(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 40]).unwrap();
         match store.read_all() {
             Err(StorageError::Io(_)) | Err(StorageError::ChecksumMismatch(_)) => {}
             other => panic!("unexpected: {other:?}"),
         }
+        match store.read_series(3) {
+            Err(StorageError::Io(_)) | Err(StorageError::ChecksumMismatch(_)) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Overwrite the 8-byte little-endian field at `offset` in the
+    /// header of a valid store file.
+    fn patch_header_u64(path: &PathBuf, offset: usize, value: u64) {
+        let mut bytes = std::fs::read(path).unwrap();
+        bytes[offset..offset + 8].copy_from_slice(&value.to_le_bytes());
+        std::fs::write(path, &bytes).unwrap();
+    }
+
+    #[test]
+    fn corrupted_length_headers_are_rejected_without_allocation() {
+        // Header layout: magic 8, version 4, samples u64 @12,
+        // series u64 @20, label_len u64 @28.
+        let data = sensor_dataset(&SensorConfig::reduced(4, 16));
+        for (offset, bogus) in [
+            (12, 0u64),           // zero samples
+            (20, 0),              // zero series
+            (12, u64::MAX / 9),   // absurd samples: would overflow offsets
+            (20, u64::MAX / 5),   // absurd series
+            (28, u64::MAX - 100), // absurd label block: would OOM if allocated
+            (12, 17),             // plausible but wrong samples
+            (20, 40),             // plausible but wrong series
+            (28, 1 << 20),        // plausible but wrong label length
+        ] {
+            let path = tmp(&format!("hdr-{offset}-{bogus}.afn"));
+            MatrixStore::create(&path, &data).unwrap();
+            patch_header_u64(&path, offset, bogus);
+            assert!(
+                matches!(MatrixStore::open(&path), Err(StorageError::Corrupt(_))),
+                "offset {offset} value {bogus} must be Corrupt"
+            );
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    #[test]
+    fn zero_sample_header_is_corrupt() {
+        // A zero-sample matrix cannot be created through the API
+        // (`DataMatrix` forbids it), so a file claiming one is corrupt
+        // by construction — the streamed pipeline must see an error,
+        // not a 0-length column.
+        let data = sensor_dataset(&SensorConfig::reduced(3, 8));
+        let path = tmp("zero-samples.afn");
+        MatrixStore::create(&path, &data).unwrap();
+        patch_header_u64(&path, 12, 0);
+        let err = MatrixStore::open(&path).unwrap_err();
+        assert!(matches!(err, StorageError::Corrupt(_)), "{err:?}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn read_series_into_reuses_the_buffer() {
+        let data = sensor_dataset(&SensorConfig::reduced(6, 2000));
+        let path = tmp("reuse.afn");
+        MatrixStore::create(&path, &data).unwrap();
+        let store = MatrixStore::open(&path).unwrap();
+        let mut buf = Vec::new();
+        store.read_series_into(0, &mut buf).unwrap();
+        assert_eq!(buf, data.series(0));
+        let cap = buf.capacity();
+        let ptr = buf.as_ptr();
+        for v in 1..6 {
+            store.read_series_into(v, &mut buf).unwrap();
+            assert_eq!(buf, data.series(v));
+        }
+        assert_eq!(buf.capacity(), cap, "no reallocation across columns");
+        assert_eq!(buf.as_ptr(), ptr, "same backing allocation");
+        assert!(matches!(
+            store.read_series_into(6, &mut buf),
+            Err(StorageError::SeriesOutOfRange { requested: 6, .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn store_is_a_series_source() {
+        let data = sensor_dataset(&SensorConfig::reduced(5, 33));
+        let path = tmp("source.afn");
+        MatrixStore::create(&path, &data).unwrap();
+        let store = MatrixStore::open(&path).unwrap();
+        assert_eq!(SeriesSource::samples(&store), 33);
+        assert_eq!(SeriesSource::series_count(&store), 5);
+        let mut buf = Vec::new();
+        for v in 0..5 {
+            assert_eq!(store.read_into(v, &mut buf).unwrap(), data.series(v));
+        }
+        assert!(matches!(
+            store.read_into(5, &mut buf),
+            Err(SourceError::OutOfRange { requested: 5, .. })
+        ));
+        let back = SeriesSource::materialize(&store).unwrap();
+        assert_eq!(back.as_slice(), data.as_slice());
         std::fs::remove_file(&path).ok();
     }
 

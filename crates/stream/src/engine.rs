@@ -27,7 +27,7 @@ use affinity_core::hash::FxHashMap;
 use affinity_core::measures::Measure;
 use affinity_core::mec::MecEngine;
 use affinity_core::symex::{pivot_pseudo_inverse, AffineSet, Symex, SymexParams};
-use affinity_data::{DataMatrix, SeriesId};
+use affinity_data::{DataMatrix, SeriesId, SeriesSource};
 use affinity_linalg::{vector, Matrix};
 use affinity_par::ThreadPool;
 use affinity_scape::{PairDelta, ScapeDelta, ScapeIndex, SeriesDelta};
@@ -41,6 +41,9 @@ pub enum StreamError {
     Core(CoreError),
     /// Index construction or delta application failed.
     Scape(affinity_scape::ScapeError),
+    /// A column fetch failed while warm-starting from a
+    /// [`SeriesSource`].
+    Source(affinity_data::SourceError),
 }
 
 impl fmt::Display for StreamError {
@@ -48,6 +51,7 @@ impl fmt::Display for StreamError {
         match self {
             StreamError::Core(e) => write!(f, "model refresh failed: {e}"),
             StreamError::Scape(e) => write!(f, "index maintenance failed: {e}"),
+            StreamError::Source(e) => write!(f, "warm-start fetch failed: {e}"),
         }
     }
 }
@@ -57,7 +61,14 @@ impl std::error::Error for StreamError {
         match self {
             StreamError::Core(e) => Some(e),
             StreamError::Scape(e) => Some(e),
+            StreamError::Source(e) => Some(e),
         }
+    }
+}
+
+impl From<affinity_data::SourceError> for StreamError {
+    fn from(e: affinity_data::SourceError) -> Self {
+        StreamError::Source(e)
     }
 }
 
@@ -238,6 +249,43 @@ impl StreamingEngine {
             delta_refreshes: 0,
             deltas_since_full: 0,
         }
+    }
+
+    /// Boot an engine from the trailing `cfg.window` samples of any
+    /// [`SeriesSource`] — e.g. an on-disk `MatrixStore` holding more
+    /// history than fits in memory. Columns are fetched one at a time
+    /// (only the window itself is materialized), the rolling statistics
+    /// are recomputed exactly, and a full model (AFCLST + SYMEX + SCAPE
+    /// index) is built immediately, so [`StreamingEngine::model`] is
+    /// `Some` on return and live ticks can be pushed from there.
+    ///
+    /// The resulting model is bit-for-bit the model a resident engine
+    /// would build after ingesting the same trailing window tick by
+    /// tick.
+    ///
+    /// # Errors
+    /// Propagates fetch failures and model-construction errors.
+    pub fn from_source<S: SeriesSource + ?Sized>(
+        cfg: StreamingConfig,
+        source: &S,
+    ) -> Result<Self, StreamError> {
+        let window = SlidingWindow::warm_from_source(cfg.window, source)?;
+        let rolling = RollingStats::from_window(&window);
+        let pool = Arc::new(ThreadPool::new(cfg.symex.threads));
+        let mut engine = StreamingEngine {
+            cfg,
+            window,
+            rolling,
+            model: None,
+            pool,
+            ticks_at_last_refresh: 0,
+            refreshes: 0,
+            full_rebuilds: 0,
+            delta_refreshes: 0,
+            deltas_since_full: 0,
+        };
+        engine.refresh()?;
+        Ok(engine)
     }
 
     /// Ingest one tick (one sample per series). Returns `true` if the

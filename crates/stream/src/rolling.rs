@@ -63,6 +63,39 @@ impl RollingStats {
         self
     }
 
+    /// Exact statistics recomputed from a warm window's contents —
+    /// the warm-start counterpart of ticking [`RollingStats::on_tick`]
+    /// through every sample: references anchor at the in-window means
+    /// (as a renormalization would) and the shifted moments are summed
+    /// fresh, so subsequent ticks continue incrementally from an
+    /// exact state.
+    ///
+    /// # Panics
+    /// Panics if the window is not warm.
+    pub fn from_window(window: &SlidingWindow) -> Self {
+        assert!(window.is_warm(), "warm-start requires a full window");
+        let n = window.series_count();
+        let width = window.width();
+        let mut stats = RollingStats::new(n, width);
+        stats.filled = width;
+        for v in 0..n {
+            let s = window.series(v);
+            let c = s.iter().sum::<f64>() / width as f64;
+            let mut sum = 0.0;
+            let mut sq = 0.0;
+            for &x in s {
+                let d = x - c;
+                sum += d;
+                sq += d * d;
+            }
+            stats.refs[v] = c;
+            stats.sums[v] = sum;
+            stats.sum_sqs[v] = sq;
+            stats.initialized[v] = true;
+        }
+        stats
+    }
+
     /// Account one tick: `incoming[v]` enters every window, `window`
     /// provides the evicted samples. Call **before** pushing the tick
     /// into the window (so `oldest()` still refers to the evicted value).

@@ -7,7 +7,7 @@
 //! arithmetic in inner loops — the standard double-write ring-buffer
 //! trick, paid for with 2× memory.
 
-use affinity_data::DataMatrix;
+use affinity_data::{DataMatrix, SeriesSource, SourceError};
 
 /// Per-series sliding windows over a fixed number of series.
 #[derive(Debug, Clone)]
@@ -61,6 +61,44 @@ impl SlidingWindow {
             w.push(&tick);
         }
         w
+    }
+
+    /// Warm-start a window from the trailing `width` samples of any
+    /// [`SeriesSource`], one column at a time — so a streaming engine
+    /// can boot from an on-disk store whose full history never fits in
+    /// memory: only the window itself (the engine's working set anyway)
+    /// is materialized. The result is exactly the state `width` pushes
+    /// of the trailing ticks would have produced.
+    ///
+    /// # Errors
+    /// Propagates fetch failures; rejects sources with fewer than
+    /// `width` samples (as a [`SourceError::Backend`]).
+    ///
+    /// # Panics
+    /// Panics if `width` is zero.
+    pub fn warm_from_source<S: SeriesSource + ?Sized>(
+        width: usize,
+        source: &S,
+    ) -> Result<Self, SourceError> {
+        let m = source.samples();
+        if m < width {
+            return Err(SourceError::Backend(format!(
+                "source has {m} samples, window needs {width}"
+            )));
+        }
+        let mut w = SlidingWindow::new(source.series_count(), width);
+        let mut buf = Vec::new();
+        for v in 0..source.series_count() {
+            let s = source.read_into(v, &mut buf)?;
+            let tail = &s[m - width..];
+            w.bufs[v][..width].copy_from_slice(tail);
+            w.bufs[v][width..].copy_from_slice(tail);
+        }
+        // Equivalent to `width` pushes from a fresh window: pos wrapped
+        // back to 0, every slot double-written, tick count = width.
+        w.pos = 0;
+        w.ticks = width as u64;
+        Ok(w)
     }
 
     /// Number of series.
