@@ -4,7 +4,7 @@
 //! affinity generate <sensor|stock> <path.afn> [n] [m]        seeded synthetic dataset
 //! affinity info     <path.afn>                               shape + labels
 //! affinity csv      <path.afn> <out.csv>                     export to CSV
-//! affinity query    [--ooc[=MB]] <path.afn> "<stmt>" [...]   run MEC/MET/MER statements
+//! affinity query    [--ooc[=MB]] [--prefetch[=K]] <path.afn> "<stmt>" [...]
 //! affinity quality  <path.afn>                               LSFD quality report
 //! ```
 //!
@@ -17,7 +17,11 @@
 //! [`CachedStore`] — the matrix is never materialized, so stores far
 //! larger than RAM work; the answers are bit-for-bit identical to the
 //! resident path. The optional `=MB` sets the column-cache budget
-//! (default 64 MB).
+//! (default 64 MB). Adding `--prefetch` spawns the cache's background
+//! readahead worker (depth `K`, default 8): the build passes announce
+//! their column sequences and the worker pulls them from disk — region
+//! reads for contiguous runs — while the current column computes.
+//! Purely a wall-clock knob; the model is identical at every depth.
 
 use affinity::core::prelude::*;
 use affinity::core::quality::quality_report;
@@ -28,7 +32,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  affinity generate <sensor|stock> <path.afn> [n] [m]\n  affinity info <path.afn>\n  affinity csv <path.afn> <out.csv>\n  affinity query [--ooc[=MB]] <path.afn> \"<statement>\" [more statements...]\n  affinity quality <path.afn>"
+        "usage:\n  affinity generate <sensor|stock> <path.afn> [n] [m]\n  affinity info <path.afn>\n  affinity csv <path.afn> <out.csv>\n  affinity query [--ooc[=MB]] [--prefetch[=K]] <path.afn> \"<statement>\" [more statements...]\n  affinity quality <path.afn>"
     );
     ExitCode::from(2)
 }
@@ -140,18 +144,31 @@ fn csv(args: &[String]) -> Result<(), String> {
 }
 
 fn query(args: &[String]) -> Result<(), String> {
-    // Optional leading `--ooc[=MB]`: stream the build through a
-    // bounded-memory column cache instead of materializing the matrix.
-    let (ooc_budget, rest) = match args.first().map(String::as_str) {
-        Some("--ooc") => (Some(64usize << 20), &args[1..]),
-        Some(flag) if flag.starts_with("--ooc=") => {
-            let mb: usize = flag["--ooc=".len()..]
-                .parse()
-                .map_err(|_| "bad --ooc=<MB> value")?;
-            (Some(mb << 20), &args[1..])
+    // Optional leading flags (any order): `--ooc[=MB]` streams the
+    // build through a bounded-memory column cache instead of
+    // materializing the matrix; `--prefetch[=K]` adds the cache's
+    // background readahead worker.
+    let mut ooc_budget: Option<usize> = None;
+    let mut prefetch_depth: Option<usize> = None;
+    let mut rest: &[String] = args;
+    while let Some(flag) = rest.first().map(String::as_str) {
+        if flag == "--ooc" {
+            ooc_budget = Some(64usize << 20);
+        } else if let Some(mb) = flag.strip_prefix("--ooc=") {
+            let mb: usize = mb.parse().map_err(|_| "bad --ooc=<MB> value")?;
+            ooc_budget = Some(mb << 20);
+        } else if flag == "--prefetch" {
+            prefetch_depth = Some(8);
+        } else if let Some(k) = flag.strip_prefix("--prefetch=") {
+            prefetch_depth = Some(k.parse().map_err(|_| "bad --prefetch=<K> value")?);
+        } else {
+            break;
         }
-        _ => (None, args),
-    };
+        rest = &rest[1..];
+    }
+    if prefetch_depth.is_some() && ooc_budget.is_none() {
+        return Err("--prefetch only applies to the --ooc streamed build".into());
+    }
     let [path, statements @ ..] = rest else {
         return Err("query needs <path.afn> and at least one statement".into());
     };
@@ -170,12 +187,17 @@ fn query(args: &[String]) -> Result<(), String> {
     if let Some(budget) = ooc_budget {
         let store = MatrixStore::open(path).map_err(|e| e.to_string())?;
         let labels = store.labels().to_vec();
-        let source = CachedStore::with_budget_bytes(store, budget);
+        let source =
+            CachedStore::with_budget_bytes(store, budget).prefetching(prefetch_depth.unwrap_or(0));
         eprintln!(
-            "out-of-core: caching up to {} of {} columns ({} MB budget)",
+            "out-of-core: caching up to {} of {} columns ({} MB budget{})",
             source.capacity().min(source.store().series_count()),
             source.store().series_count(),
-            budget >> 20
+            budget >> 20,
+            match source.prefetch_depth() {
+                0 => String::new(),
+                k => format!(", prefetch depth {k}"),
+            }
         );
         let affine = Symex::new(SymexParams::default())
             .run(&source)

@@ -15,18 +15,38 @@
 //! one. The dataset shape is deliberately long (`m ≫ n`): the matrix
 //! dwarfs the model, which is the regime where out-of-core matters.
 //!
+//! A third section measures the **cold-read** regime the OS page cache
+//! hides on a developer box: the store is wrapped in a latency-injecting
+//! [`SlowSource`] (per-request delay, `AFFINITY_LATENCY_US`, default
+//! 2500 — a contended spinning disk or a networked store) and the
+//! streamed build runs twice — prefetch off, then prefetch on
+//! (`AFFINITY_PREFETCH` readahead depth, default 12), best of three
+//! attempts each against host steal-time noise. The cold section
+//! uses its own dataset shape (many, shorter columns) because that is
+//! the regime where per-request latency — not per-sample arithmetic —
+//! dominates the build. With the delay standing in for seek-dominated
+//! media, the announced-pattern prefetcher overlaps reads with compute
+//! and batches contiguous runs into single region requests; both
+//! builds are asserted bit-identical to a resident build of the same
+//! data, and the off/on wall-clock ratio is the headline number.
+//! `AFFINITY_LATENCY_US=0` skips the section; `AFFINITY_CACHE_COLS`
+//! overrides the cache budget (CI runs a starved 2-column config).
+//!
 //! Set `AFFINITY_BENCH_JSON=<path>` to write the measurements as a JSON
 //! baseline (CI uploads `BENCH_outofcore.json`).
 
 use affinity_bench::{fmt_secs, header, time, Scale};
 use affinity_core::symex::{AffineSet, Symex};
 use affinity_data::generator::{sensor_dataset, SensorConfig};
+use affinity_data::slow::SlowSource;
+use affinity_data::ColumnRead;
 use affinity_par::ThreadPool;
 use affinity_scape::ScapeIndex;
-use affinity_storage::{CachedStore, MatrixStore};
+use affinity_storage::{CacheStats, CachedStore, MatrixStore};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
 
 /// Counting allocator: live bytes + high-water mark, resettable between
 /// phases. Counts every allocation in the process, so a phase's peak is
@@ -115,7 +135,10 @@ fn build_resident(data: &affinity_data::DataMatrix, symex: &Symex) -> (AffineSet
     (affine, index)
 }
 
-fn build_streamed(source: &CachedStore, symex: &Symex) -> (AffineSet, ScapeIndex) {
+fn build_streamed<B: ColumnRead>(
+    source: &CachedStore<B>,
+    symex: &Symex,
+) -> (AffineSet, ScapeIndex) {
     let affine = symex.run(source).expect("streamed symex");
     let index = ScapeIndex::build_from_source(
         source,
@@ -125,6 +148,34 @@ fn build_streamed(source: &CachedStore, symex: &Symex) -> (AffineSet, ScapeIndex
     )
     .expect("streamed index");
     (affine, index)
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn assert_same_model(
+    resident_affine: &AffineSet,
+    resident_index: &ScapeIndex,
+    affine: &AffineSet,
+    index: &ScapeIndex,
+    what: &str,
+) {
+    assert_eq!(
+        resident_affine.relationships(),
+        affine.relationships(),
+        "{what}: relationships must be bit-identical"
+    );
+    assert_eq!(
+        resident_affine.series_relationships(),
+        affine.series_relationships(),
+        "{what}"
+    );
+    assert_eq!(resident_affine.pivots(), affine.pivots(), "{what}");
+    assert_eq!(resident_index.stats(), index.stats(), "{what}");
 }
 
 fn main() {
@@ -141,7 +192,7 @@ fn main() {
         Scale::Mid => (48, 60_000),
         Scale::Full => (96, 250_000),
     };
-    let cache_cols = (n / 8).max(4);
+    let cache_cols = env_usize("AFFINITY_CACHE_COLS", (n / 8).max(4));
     let matrix_bytes = n * m * 8;
     let cache_bytes = cache_cols * m * 8;
     println!(
@@ -177,20 +228,17 @@ fn main() {
         peak_heap: peak_bytes(),
     };
     let cache_stats = source.stats();
-    std::fs::remove_file(&path).ok();
+    drop(source);
 
     // --- Equivalence (the whole point: same model, bounded memory) ------
-    assert_eq!(
-        resident_affine.relationships(),
-        streamed_affine.relationships(),
-        "streamed relationships must be bit-identical"
+    assert_same_model(
+        &resident_affine,
+        &resident_index,
+        &streamed_affine,
+        &streamed_index,
+        "streamed",
     );
-    assert_eq!(
-        resident_affine.series_relationships(),
-        streamed_affine.series_relationships()
-    );
-    assert_eq!(resident_affine.pivots(), streamed_affine.pivots());
-    assert_eq!(resident_index.stats(), streamed_index.stats());
+    drop((streamed_affine, streamed_index));
 
     // The resident peak necessarily carries the matrix; the streamed
     // peak must not scale with it.
@@ -208,35 +256,163 @@ fn main() {
             mb(matrix_bytes)
         );
     }
+    // The long-series model is no longer needed; free it so the cold
+    // section's heap floor is its own models only.
+    drop((resident_affine, resident_index));
+
+    // --- Cold-read section: injected latency, prefetch off vs on --------
+    // The OS page cache serves the store reads above from RAM, which
+    // hides exactly the latency asynchronous prefetching overlaps; a
+    // per-read sleep stands in for seek-dominated media. The section
+    // runs its own dataset *shape* — many short columns — because that
+    // is the regime where per-request latency (not per-sample
+    // arithmetic) dominates the build; the long-series dataset above
+    // answers the memory-bound question, this one the I/O-scheduling
+    // question.
+    // 2.5 ms per request models a contended spinning disk or a networked
+    // store; depth 12 keeps one span in flight while the rest of the
+    // readahead buffers the consumer (the cache clamps the depth to its
+    // capacity − 1 either way).
+    let latency_us = env_usize("AFFINITY_LATENCY_US", 2500);
+    let prefetch_depth = env_usize("AFFINITY_PREFETCH", 12);
+    let (default_cold_n, default_cold_m) = match scale {
+        Scale::Quick => (48, 3_000),
+        Scale::Mid => (96, 10_000),
+        Scale::Full => (192, 25_000),
+    };
+    let cold_n = env_usize("AFFINITY_COLD_SERIES", default_cold_n);
+    let cold_m = env_usize("AFFINITY_COLD_SAMPLES", default_cold_m);
+    // A sixth of the columns: headroom for the readahead depth while
+    // the budget stays well under the matrix (the assertion below) and
+    // the prefetch-off baseline still misses like cold storage.
+    let cold_cache_cols = env_usize("AFFINITY_CACHE_COLS", (cold_n / 6).max(8));
+    let cold_matrix_bytes = cold_n * cold_m * 8;
+    let cold = (latency_us > 0).then(|| {
+        let delay = Duration::from_micros(latency_us as u64);
+        let cold_path = dir.join(format!("outofcore-cold-{}.afn", std::process::id()));
+        let cold_data = sensor_dataset(&SensorConfig::reduced(cold_n, cold_m));
+        MatrixStore::create(&cold_path, &cold_data).expect("write cold store");
+        let (cold_affine, cold_index) = build_resident(&cold_data, &symex);
+        drop(cold_data);
+        let mut phases = Vec::new();
+        // AFFINITY_PREFETCH=0 degenerates to the off-phase alone (no
+        // duplicate JSON key, no off-vs-off "speedup").
+        let depths: &[usize] = if prefetch_depth == 0 {
+            &[0]
+        } else {
+            &[0, prefetch_depth]
+        };
+        for &depth in depths {
+            // Best of 3: the wall clock of a sleep-heavy phase is at
+            // the mercy of host steal time on shared boxes; the min of
+            // a few runs is robust against an intermittent burst while
+            // still honest (a burst can only inflate, never deflate).
+            let mut best: Option<(Phase, CacheStats, u64)> = None;
+            for _attempt in 0..3 {
+                let slow =
+                    SlowSource::new(MatrixStore::open(&cold_path).expect("open store"), delay);
+                let source = CachedStore::with_prefetch(slow, cold_cache_cols, depth);
+                reset_peak();
+                let ((affine, index), secs) = time(|| build_streamed(&source, &symex));
+                let phase = Phase {
+                    secs,
+                    peak_heap: peak_bytes(),
+                };
+                assert_same_model(
+                    &cold_affine,
+                    &cold_index,
+                    &affine,
+                    &index,
+                    &format!("cold, prefetch depth {depth}"),
+                );
+                // As for the long-series phases: at quick scale the
+                // O(n²) model rivals the deliberately tiny matrix, so
+                // the bound is only meaningful at mid/full.
+                if scale != Scale::Quick {
+                    assert!(
+                        phase.peak_heap < cold_matrix_bytes,
+                        "cold streamed peak (depth {depth}) {:.1} MB exceeds the {:.1} MB matrix",
+                        mb(phase.peak_heap),
+                        mb(cold_matrix_bytes)
+                    );
+                }
+                source.quiesce();
+                let stats = source.stats();
+                let reads = source.store().reads();
+                if best.as_ref().is_none_or(|(b, _, _)| phase.secs < b.secs) {
+                    best = Some((phase, stats, reads));
+                }
+            }
+            let (phase, stats, reads) = best.expect("two attempts ran");
+            phases.push((depth, phase, stats, reads));
+        }
+        std::fs::remove_file(&cold_path).ok();
+        phases
+    });
+    std::fs::remove_file(&path).ok();
 
     println!(
-        "{:>10} {:>12} {:>16} {:>16}",
+        "{:>22} {:>12} {:>16} {:>16}",
         "path", "build", "peak heap", "vs matrix"
     );
-    for (name, phase) in [("resident", &resident), ("streamed", &streamed)] {
+    let mut rows: Vec<(String, &Phase)> = vec![
+        ("resident".into(), &resident),
+        ("streamed (page cache)".into(), &streamed),
+    ];
+    if let Some(cold) = &cold {
+        for (depth, phase, _, _) in cold {
+            rows.push((format!("cold, prefetch={depth}"), phase));
+        }
+    }
+    for (name, phase) in rows {
         println!(
-            "{:>10} {:>12} {:>13.1} MB {:>15.2}x",
-            name,
+            "{name:>22} {:>12} {:>13.1} MB {:>15.2}x",
             fmt_secs(phase.secs),
             mb(phase.peak_heap),
             phase.peak_heap as f64 / matrix_bytes as f64
         );
     }
     println!(
-        "\ncache: {} hits, {} misses, {} evictions, {} bypasses ({:.1}% hit rate)",
+        "\nwarm cache: {} hits, {} misses, {} evictions, {} bypasses ({:.1}% hit rate)",
         cache_stats.hits,
         cache_stats.misses,
         cache_stats.evictions,
         cache_stats.bypasses,
         100.0 * cache_stats.hits as f64 / (cache_stats.hits + cache_stats.misses).max(1) as f64
     );
+    if let Some(cold) = &cold {
+        println!(
+            "cold reads: {cold_n} series x {cold_m} samples ({:.1} MB), {latency_us} us per read \
+             request, {cold_cache_cols} columns cached",
+            mb(cold_matrix_bytes)
+        );
+        for (depth, phase, stats, reads) in cold {
+            println!(
+                "  prefetch={depth}: {} build, {reads} read requests; cache {} hits / {} misses; \
+                 prefetcher issued {} (hits {}, wasted {}, queue-full events {})",
+                fmt_secs(phase.secs),
+                stats.hits,
+                stats.misses,
+                stats.prefetch.issued,
+                stats.prefetch.hits,
+                stats.prefetch.wasted,
+                stats.prefetch.queue_full
+            );
+        }
+        if let [(_, off, _, _), (_, on, _, _)] = cold.as_slice() {
+            println!(
+                "  cold-build speedup, prefetch on vs off: {:.2}x",
+                off.secs / on.secs
+            );
+        }
+    }
     if let Some(hwm) = vm_hwm_kb() {
         println!(
-            "process VmHWM (monotonic, both phases): {:.1} MB",
+            "process VmHWM (monotonic, all phases): {:.1} MB",
             hwm as f64 / 1024.0
         );
     }
-    println!("\nstreamed == resident: bit-for-bit (asserted)");
+    println!("\nstreamed == resident: bit-for-bit (asserted, every variant)");
 
     if let Ok(out) = std::env::var("AFFINITY_BENCH_JSON") {
         let json = to_json(
@@ -249,6 +425,9 @@ fn main() {
             &resident,
             &streamed,
             &cache_stats,
+            latency_us,
+            (cold_n, cold_m, cold_cache_cols),
+            cold.as_deref(),
         );
         std::fs::write(&out, json).expect("write bench JSON");
         println!("wrote baseline to {out}");
@@ -265,7 +444,10 @@ fn to_json(
     cache_bytes: usize,
     resident: &Phase,
     streamed: &Phase,
-    cache: &affinity_storage::CacheStats,
+    cache: &CacheStats,
+    latency_us: usize,
+    cold_shape: (usize, usize, usize),
+    cold: Option<&[(usize, Phase, CacheStats, u64)]>,
 ) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "{{");
@@ -300,6 +482,35 @@ fn to_json(
         "  \"streamed_peak_over_matrix\": {:.4},",
         streamed.peak_heap as f64 / matrix_bytes as f64
     );
+    if let Some(cold) = cold {
+        let (cold_n, cold_m, cold_cache_cols) = cold_shape;
+        let _ = writeln!(s, "  \"cold_latency_us\": {latency_us},");
+        let _ = writeln!(s, "  \"cold_series\": {cold_n},");
+        let _ = writeln!(s, "  \"cold_samples\": {cold_m},");
+        let _ = writeln!(s, "  \"cold_cache_columns\": {cold_cache_cols},");
+        for (depth, phase, stats, reads) in cold {
+            let key = if *depth == 0 {
+                "cold_prefetch_off".to_string()
+            } else {
+                format!("cold_prefetch_on_depth_{depth}")
+            };
+            let _ = writeln!(
+                s,
+                "  \"{key}\": {{\"build_secs\": {:.6}, \"peak_heap_bytes\": {}, \"read_requests\": {reads}, \"cache_hits\": {}, \"cache_misses\": {}, \"prefetch_issued\": {}, \"prefetch_hits\": {}, \"prefetch_wasted\": {}, \"prefetch_queue_full\": {}}},",
+                phase.secs,
+                phase.peak_heap,
+                stats.hits,
+                stats.misses,
+                stats.prefetch.issued,
+                stats.prefetch.hits,
+                stats.prefetch.wasted,
+                stats.prefetch.queue_full
+            );
+        }
+        if let [(_, off, _, _), (_, on, _, _)] = cold {
+            let _ = writeln!(s, "  \"cold_prefetch_speedup\": {:.4},", off.secs / on.secs);
+        }
+    }
     let _ = writeln!(s, "  \"bit_identical\": true");
     let _ = writeln!(s, "}}");
     s

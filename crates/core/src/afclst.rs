@@ -29,20 +29,30 @@
 //! over a resident [`DataMatrix`](affinity_data::DataMatrix) (fetches
 //! are zero-copy borrows) and an out-of-core store. Every phase is a
 //! sequential **pass over columns, each column fetched once per pass**:
-//! marginal statistics (`‖s‖²`), each assignment sweep, and — the
-//! restructured part — the centre update, where all clusters advance
-//! their power iterations *together*: one pass accumulates
+//! the marginal statistics (`‖s‖²`) are computed during the *first*
+//! assignment sweep (the two passes share one column scan, so a cold
+//! column is touched one fewer time per build), each further assignment
+//! sweep is its own pass, and — the restructured part — the centre
+//! update, where all clusters advance their power iterations
+//! *together*: one pass accumulates
 //! `w_ℓ = Σ_{v∈ℓ} (s_vᵀ u_ℓ) s_v` for every still-unconverged cluster,
 //! instead of iterating each cluster's members separately. Per cluster
 //! the accumulation order (ascending `v`) and the per-step arithmetic
 //! are unchanged, so the result is **bit-for-bit identical** to the
 //! resident per-cluster formulation — and the working set is the `k`
 //! centre/iterate vectors plus one column buffer, never the matrix.
+//!
+//! Because each pass knows its column sequence up front, it *announces*
+//! it to the source ([`SeriesSource::prefetch`], a sliding window ahead
+//! of the scan): a prefetching cache overlaps the next columns' I/O
+//! with the current column's arithmetic, while resident sources ignore
+//! the hint entirely.
 
 // Index-based loops over matrix coordinates are the clearest notation
 // for these kernels.
 #![allow(clippy::needless_range_loop)]
 use crate::error::CoreError;
+use affinity_data::source::{prefetch_window, scan_sequence};
 use affinity_data::SeriesSource;
 use affinity_linalg::vector;
 use rand::rngs::StdRng;
@@ -142,9 +152,11 @@ impl ClusterModel {
         source: &S,
     ) -> Result<f64, CoreError> {
         let n = source.series_count();
+        let scan = scan_sequence(n);
         let mut buf = Vec::new();
         let mut total = 0.0;
         for v in 0..n {
+            prefetch_window(source, &scan, v);
             let s = source.read_into(v, &mut buf)?;
             total += projection_error(s, vector::dot(s, s), &self.centers[self.assignment[v]]);
         }
@@ -262,12 +274,17 @@ fn update_centers<S: SeriesSource + ?Sized>(
             }
         }
         // One pass over the columns: every active cluster advances one
-        // power step.
-        for v in 0..n {
+        // power step. The pass's exact column sequence (members of
+        // still-active clusters, ascending) is known up front, so it is
+        // announced to the source a sliding window ahead.
+        let seq: Vec<u32> = (0..n)
+            .filter(|&v| active[assignment[v]])
+            .map(|v| v as u32)
+            .collect();
+        for (pos, &v32) in seq.iter().enumerate() {
+            let v = v32 as usize;
             let l = assignment[v];
-            if !active[l] {
-                continue;
-            }
+            prefetch_window(source, &seq, pos);
             let s = source.read_into(v, buf)?;
             let c = vector::dot(s, &iterates[l]);
             if c != 0.0 {
@@ -345,17 +362,21 @@ pub fn afclst<S: SeriesSource + ?Sized>(
         let j = rng.gen_range(i..n);
         picks.swap(i, j);
     }
+    let init_seq: Vec<u32> = picks[..k].iter().map(|&v| v as u32).collect();
+    source.prefetch(&init_seq);
     let mut centers: Vec<Vec<f64>> = Vec::with_capacity(k);
     for i in 0..k {
         centers.push(normalized_column(source, picks[i], &mut buf)?);
     }
 
-    // Marginal statistics in a single pass over the columns.
+    // Marginal statistics (‖s_v‖²) are filled during the *first*
+    // assignment sweep below — the two passes share one column scan, so
+    // a cold out-of-core column is touched once, not twice. The fused
+    // form performs the exact per-column arithmetic of the separate
+    // passes (each dot product depends only on its own column), so the
+    // output is unchanged.
     let mut norms_sq: Vec<f64> = Vec::with_capacity(n);
-    for v in 0..n {
-        let s = source.read_into(v, &mut buf)?;
-        norms_sq.push(vector::dot(s, s));
-    }
+    let scan = scan_sequence(n);
 
     let mut assignment = vec![usize::MAX; n];
     let mut iterations = 0;
@@ -363,10 +384,15 @@ pub fn afclst<S: SeriesSource + ?Sized>(
 
     for _iter in 0..params.gamma_max {
         iterations += 1;
-        // Assignment phase: one pass, each column fetched once.
+        // Assignment phase: one pass, each column fetched once (the
+        // first doubles as the marginal-statistics pass).
         let mut changes = 0;
         for v in 0..n {
+            prefetch_window(source, &scan, v);
             let s = source.read_into(v, &mut buf)?;
+            if norms_sq.len() <= v {
+                norms_sq.push(vector::dot(s, s));
+            }
             let best = best_center(s, norms_sq[v], &centers);
             if assignment[v] != best {
                 assignment[v] = best;
@@ -383,6 +409,7 @@ pub fn afclst<S: SeriesSource + ?Sized>(
     // Make the returned assignment consistent with the returned centres
     // (one final pass).
     for v in 0..n {
+        prefetch_window(source, &scan, v);
         let s = source.read_into(v, &mut buf)?;
         assignment[v] = best_center(s, norms_sq[v], &centers);
     }

@@ -31,7 +31,7 @@ use crate::error::CoreError;
 use crate::hash::FxHashMap;
 use crate::measures::{self, LocationMeasure, PairwiseMeasure};
 use crate::symex::AffineSet;
-use affinity_data::source::with_column_buffers;
+use affinity_data::source::{prefetch_window, scan_sequence, with_column_buffers};
 use affinity_data::{DataMatrix, SequencePair, SeriesId, SeriesSource};
 use affinity_linalg::{vector, Matrix};
 use affinity_par::{DisjointWriter, ThreadPool};
@@ -175,10 +175,15 @@ impl<'a> MecEngine<'a> {
             });
         }
         let clusters = affine.clusters();
+        // Both construction passes know their column sequence up front
+        // (pivot commons in pivot order, then every column); each lane
+        // announces a sliding window ahead of its position.
+        let commons: Vec<u32> = affine.pivots().iter().map(|p| p.common as u32).collect();
         let stats: Vec<Result<PivotStats, CoreError>> =
             pool.parallel_map(affine.pivots().len(), |q| {
                 with_column_buffers(|buf, _| {
                     let p = affine.pivots()[q];
+                    prefetch_window(source, &commons, q);
                     let common = source.read_into(p.common, buf)?;
                     Ok(PivotStats::compute(common, clusters.center(p.cluster)))
                 })
@@ -190,8 +195,10 @@ impl<'a> MecEngine<'a> {
         }
         // Separable normalizers: both marginal moments from one fetch
         // per column.
+        let scan = scan_sequence(n);
         let marginals: Vec<Result<(f64, f64), CoreError>> = pool.parallel_map(n, |v| {
             with_column_buffers(|buf, _| {
+                prefetch_window(source, &scan, v);
                 let s = source.read_into(v, buf)?;
                 Ok((vector::variance(s), vector::dot(s, s)))
             })

@@ -70,7 +70,7 @@ use crate::afclst::{afclst, AfclstParams, ClusterModel};
 use crate::affine::{solve_relationship_pinv, AffineRelationship, PivotPair, SeriesRelationship};
 use crate::error::CoreError;
 use crate::hash::FxHashMap;
-use affinity_data::source::with_column_buffers;
+use affinity_data::source::{prefetch_range, prefetch_window, with_column_buffers};
 use affinity_data::{DataMatrix, SequencePair, SeriesId, SeriesSource};
 use affinity_linalg::cholesky::Cholesky;
 use affinity_linalg::{vector, Matrix};
@@ -361,7 +361,10 @@ impl Symex {
         let pool = &self.pool;
 
         // Per-series relationships for the L-measures; pure per-index
-        // fits, collected in series order.
+        // fits, collected in series order. Lanes pull scattered index
+        // ranges, so the whole pass is announced up front rather than
+        // window-by-window.
+        prefetch_range(source, 0..n);
         let series_rels: Vec<SeriesRelationship> = pool
             .parallel_map(n, |v| {
                 with_column_buffers(|buf, _| {
@@ -522,6 +525,17 @@ impl Symex {
             pool.parallel_map(group_members.len(), |g| {
                 with_column_buffers(|buf_common, buf_other| {
                     let pivot = pivots[g];
+                    // The group's column sequence is fully known before
+                    // any fetch: the pivot's common column, then each
+                    // member pair's other series in assignment order —
+                    // announced a sliding window ahead of the sweep.
+                    let seq: Vec<u32> = std::iter::once(pivot.common as u32)
+                        .chain(group_members[g].iter().map(|&idx| {
+                            let (pair, common) = assigned[idx as usize];
+                            pair.other(common) as u32
+                        }))
+                        .collect();
+                    prefetch_window(source, &seq, 0);
                     let s_common = source.read_into(pivot.common, buf_common)?;
                     source.pin(pivot.common);
                     let mut fit_group = || {
@@ -532,8 +546,10 @@ impl Symex {
                         };
                         group_members[g]
                             .iter()
-                            .map(|&idx| {
+                            .enumerate()
+                            .map(|(pos, &idx)| {
                                 let (pair, common) = assigned[idx as usize];
+                                prefetch_window(source, &seq, pos + 1);
                                 let target_other =
                                     source.read_into(pair.other(common), buf_other)?;
                                 let (a, b) = match &shared_pinv {

@@ -28,10 +28,12 @@
 pub mod csv;
 pub mod generator;
 pub mod matrix;
+pub mod slow;
 pub mod source;
 pub mod workload;
 
 pub use generator::{sensor_dataset, stock_dataset, SensorConfig, StockConfig};
 pub use matrix::{DataMatrix, SequencePair, SeriesId};
-pub use source::{SeriesSource, SourceError};
+pub use slow::SlowSource;
+pub use source::{ColumnRead, SeriesSource, SourceError};
 pub use workload::ZipfSampler;

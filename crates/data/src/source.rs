@@ -97,6 +97,18 @@ pub trait SeriesSource: Sync {
     /// [`SeriesSource::unpin`].
     fn pin(&self, _v: SeriesId) {}
 
+    /// Advisory announcement that the caller is about to read `cols`,
+    /// **in this order**. Resident sources ignore it (the default
+    /// no-op); caching sources may start pulling the columns from their
+    /// backing store ahead of the consumer so compute overlaps I/O.
+    ///
+    /// Purely a scheduling hint: it must not change what any fetch
+    /// returns, and callers never need to announce to be correct. Every
+    /// model-construction pass in this workspace knows its column
+    /// sequence up front and announces it before iterating (see
+    /// [`prefetch_range`]).
+    fn prefetch(&self, _cols: &[u32]) {}
+
     /// Release one [`SeriesSource::pin`] of series `v`. No-op by default.
     fn unpin(&self, _v: SeriesId) {}
 
@@ -162,6 +174,124 @@ impl<S: SeriesSource + ?Sized> SeriesSource for &S {
 
     fn unpin(&self, v: SeriesId) {
         (**self).unpin(v)
+    }
+
+    fn prefetch(&self, cols: &[u32]) {
+        (**self).prefetch(cols)
+    }
+}
+
+/// Announce the column range `range` to `source` (ascending order) —
+/// the one-shot announcement shape of scattered parallel passes (e.g.
+/// per-series fits sharded across lanes), where no single consumer
+/// walks the sequence in order.
+pub fn prefetch_range<S: SeriesSource + ?Sized>(source: &S, range: std::ops::Range<usize>) {
+    let cols: Vec<u32> = range.map(|v| v as u32).collect();
+    source.prefetch(&cols);
+}
+
+/// The identity column sequence `0..n` as announcement entries — the
+/// plan of every full sequential pass (AFCLST's fused
+/// marginal/assignment sweeps, MEC/SCAPE normalizer scans, streaming
+/// warm start), fed to [`prefetch_window`] one position at a time.
+pub fn scan_sequence(n: usize) -> Vec<u32> {
+    (0..n).map(|v| v as u32).collect()
+}
+
+/// How far ahead of the consumer's position [`prefetch_window`]
+/// announces. Comfortably larger than any realistic readahead depth
+/// *plus* one in-flight span (columns already prefetched are
+/// deduplicated away, so only the window's tail past the resident
+/// readahead actually feeds the queue) — the bounded queue, not the
+/// window, is what limits readahead.
+pub const PREFETCH_WINDOW: usize = 64;
+
+/// Announce the next [`PREFETCH_WINDOW`] entries of a planned column
+/// sequence, starting at the entry about to be consumed.
+///
+/// Sequential passes call this once per iteration, *before* fetching
+/// `seq[pos]`. Caching sources dedup entries that are already queued,
+/// cached, or in flight, so the repeated overlap costs a few hash
+/// probes per column — and entries a bounded readahead queue had to
+/// drop earlier are naturally re-announced as the window slides over
+/// them, so queue pressure never punches permanent holes in coverage.
+pub fn prefetch_window<S: SeriesSource + ?Sized>(source: &S, seq: &[u32], pos: usize) {
+    let end = (pos + PREFETCH_WINDOW).min(seq.len());
+    if pos < end {
+        source.prefetch(&seq[pos..end]);
+    }
+}
+
+/// Owned-buffer column access — the contract cache layers need from
+/// their *backing* store.
+///
+/// [`SeriesSource::read_into`] lets resident sources hand out borrows
+/// of their own storage, which is what the kernels want but exactly
+/// what a cache cannot store away. `ColumnRead` is the narrower
+/// backing-side contract: every read lands in a caller-owned buffer, so
+/// `affinity_storage::CachedStore` can wrap any implementor — the
+/// on-disk `MatrixStore`, a resident [`DataMatrix`] (for tests), or a
+/// latency-injecting [`SlowSource`](crate::slow::SlowSource) double.
+pub trait ColumnRead: Send + Sync {
+    /// Samples per series (`m`).
+    fn samples(&self) -> usize;
+
+    /// Number of series (`n`).
+    fn series_count(&self) -> usize;
+
+    /// Read series `v` into `out` (cleared and refilled, reusing its
+    /// allocation).
+    ///
+    /// # Errors
+    /// [`SourceError::OutOfRange`] / [`SourceError::Backend`] as for
+    /// [`SeriesSource::read_into`].
+    fn read_column(&self, v: SeriesId, out: &mut Vec<f64>) -> Result<(), SourceError>;
+
+    /// Read the contiguous region `first .. first + count`, handing
+    /// each decoded column to `sink(v, column)` in ascending order.
+    ///
+    /// The default loops [`ColumnRead::read_column`]; backends whose
+    /// layout is contiguous (the `MatrixStore` file format) override it
+    /// to fetch the whole region in **one** read request, which is what
+    /// makes readahead batching worthwhile on high-latency media.
+    ///
+    /// # Errors
+    /// Propagates per-column read failures; `sink` is only called for
+    /// columns that decoded successfully.
+    fn read_column_range(
+        &self,
+        first: usize,
+        count: usize,
+        sink: &mut dyn FnMut(SeriesId, &[f64]),
+    ) -> Result<(), SourceError> {
+        let mut buf = Vec::new();
+        for v in first..first + count {
+            self.read_column(v, &mut buf)?;
+            sink(v, &buf);
+        }
+        Ok(())
+    }
+}
+
+impl ColumnRead for DataMatrix {
+    fn samples(&self) -> usize {
+        DataMatrix::samples(self)
+    }
+
+    fn series_count(&self) -> usize {
+        DataMatrix::series_count(self)
+    }
+
+    fn read_column(&self, v: SeriesId, out: &mut Vec<f64>) -> Result<(), SourceError> {
+        if v >= DataMatrix::series_count(self) {
+            return Err(SourceError::OutOfRange {
+                requested: v,
+                available: DataMatrix::series_count(self),
+            });
+        }
+        out.clear();
+        out.extend_from_slice(self.series(v));
+        Ok(())
     }
 }
 
@@ -248,6 +378,41 @@ mod tests {
             });
             assert_eq!(a.len(), 1);
         });
+    }
+
+    #[test]
+    fn prefetch_is_a_noop_on_resident_sources() {
+        let dm = matrix();
+        dm.prefetch(&[0, 1, 99]); // advisory; bad indices must be harmless
+        prefetch_range(&dm, 0..2);
+        let r: &DataMatrix = &dm;
+        r.prefetch(&[1]); // reference delegation compiles and is a no-op
+    }
+
+    #[test]
+    fn column_read_copies_into_the_buffer() {
+        let dm = matrix();
+        let mut out = Vec::new();
+        ColumnRead::read_column(&dm, 1, &mut out).unwrap();
+        assert_eq!(out, dm.series(1));
+        assert!(matches!(
+            ColumnRead::read_column(&dm, 2, &mut out),
+            Err(SourceError::OutOfRange { requested: 2, .. })
+        ));
+        assert_eq!(ColumnRead::samples(&dm), 3);
+        assert_eq!(ColumnRead::series_count(&dm), 2);
+    }
+
+    #[test]
+    fn column_range_default_visits_in_ascending_order() {
+        let dm = matrix();
+        let mut seen = Vec::new();
+        dm.read_column_range(0, 2, &mut |v, col| seen.push((v, col.to_vec())))
+            .unwrap();
+        assert_eq!(seen.len(), 2);
+        assert_eq!(seen[0], (0, dm.series(0).to_vec()));
+        assert_eq!(seen[1], (1, dm.series(1).to_vec()));
+        assert!(dm.read_column_range(1, 2, &mut |_, _| {}).is_err());
     }
 
     #[test]

@@ -151,6 +151,13 @@ impl<'a> Session<'a> {
     /// `labels` provides the series names statements resolve against
     /// (a store keeps them in its header).
     ///
+    /// The construction passes announce their column sequences via
+    /// [`SeriesSource::prefetch`], so handing this a `CachedStore`
+    /// built with a prefetch worker (the CLI's `--ooc --prefetch`
+    /// combination) overlaps the session's cold reads with its
+    /// preprocessing arithmetic; the session built is bit-for-bit the
+    /// same either way.
+    ///
     /// # Errors
     /// [`QlError::Engine`] on label/shape mismatches, fetch failures,
     /// or index-construction failures.

@@ -6,7 +6,7 @@ use affinity_core::affine::{PivotPair, PivotStats};
 use affinity_core::hash::FxHashMap;
 use affinity_core::measures::{self, LocationMeasure, Measure, PairwiseMeasure};
 use affinity_core::symex::AffineSet;
-use affinity_data::source::with_column_buffers;
+use affinity_data::source::{prefetch_window, scan_sequence, with_column_buffers};
 use affinity_data::{DataMatrix, SequencePair, SeriesId, SeriesSource};
 use affinity_index::BPlusTree;
 use affinity_linalg::vector;
@@ -265,9 +265,13 @@ impl ScapeIndex {
         let want_pair = want_cov || want_dot;
         let pivot_stats: Vec<PivotStats> = if want_pair {
             let clusters = affine.clusters();
+            // Pivot commons in pivot order — known before any fetch, so
+            // each lane announces a sliding window ahead of itself.
+            let commons: Vec<u32> = affine.pivots().iter().map(|p| p.common as u32).collect();
             pool.parallel_map(pivot_count, |q| {
                 with_column_buffers(|buf, _| {
                     let p = affine.pivots()[q];
+                    prefetch_window(source, &commons, q);
                     let common = source.read_into(p.common, buf)?;
                     Ok(PivotStats::compute(common, clusters.center(p.cluster)))
                 })
@@ -281,16 +285,18 @@ impl ScapeIndex {
         // dot products — the "separable normalizers" of Sec. 2.3), both
         // marginal moments from one fetch per column.
         let (variances, self_dots): (Vec<f64>, Vec<f64>) = if want_cov || want_dot {
-            let marginals: Vec<Result<(f64, f64), ScapeError>> =
-                pool.parallel_map(source.series_count(), |v| {
-                    with_column_buffers(|buf, _| {
-                        let s = source.read_into(v, buf)?;
-                        Ok((
-                            if want_cov { vector::variance(s) } else { 0.0 },
-                            if want_dot { vector::dot(s, s) } else { 0.0 },
-                        ))
-                    })
-                });
+            let n = source.series_count();
+            let scan = scan_sequence(n);
+            let marginals: Vec<Result<(f64, f64), ScapeError>> = pool.parallel_map(n, |v| {
+                with_column_buffers(|buf, _| {
+                    prefetch_window(source, &scan, v);
+                    let s = source.read_into(v, buf)?;
+                    Ok((
+                        if want_cov { vector::variance(s) } else { 0.0 },
+                        if want_dot { vector::dot(s, s) } else { 0.0 },
+                    ))
+                })
+            });
             let mut variances = Vec::new();
             let mut self_dots = Vec::new();
             for r in marginals {

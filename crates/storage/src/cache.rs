@@ -1,4 +1,4 @@
-//! A bounded-memory column cache over a [`MatrixStore`].
+//! A bounded-memory column cache over any [`ColumnRead`] backing.
 //!
 //! [`CachedStore`] is the out-of-core middle ground between a fully
 //! resident [`DataMatrix`](affinity_data::DataMatrix) and raw per-fetch
@@ -11,48 +11,211 @@
 //!
 //! Reads happen outside the cache lock, so parallel lanes fetch
 //! distinct columns from disk concurrently; the lock is held only for
-//! the in-memory bookkeeping and memcpys.
+//! the in-memory bookkeeping and memcpys. Concurrent fetches of the
+//! *same* column are deduplicated: the second reader waits for the
+//! first (or for the prefetcher) instead of decoding the column twice.
+//!
+//! ## Asynchronous prefetching
+//!
+//! Construct with [`CachedStore::with_prefetch`] (or upgrade with
+//! [`CachedStore::prefetching`]) and the cache spawns one background
+//! worker that services [`SeriesSource::prefetch`] announcements: the
+//! model-construction passes announce their upcoming column sequence,
+//! and the worker pulls those columns from the backing store — batching
+//! contiguous runs into one region read — while the consumer computes,
+//! staying at most `depth` unconsumed columns ahead. See the
+//! [`prefetch`](crate::prefetch) module docs for the pipeline
+//! lifecycle, and [`PrefetchStats`] (inside [`CacheStats`]) for the
+//! counters.
+//!
+//! The backing is any [`ColumnRead`]: the on-disk [`MatrixStore`] in
+//! production, or e.g. a latency-injecting
+//! [`SlowSource`](affinity_data::slow::SlowSource) in I/O-overlap
+//! experiments.
 
+use crate::prefetch::{self, PrefetchStats};
 use crate::store::MatrixStore;
-use affinity_data::{SeriesSource, SourceError};
-use std::collections::HashMap;
-use std::sync::Mutex;
+use affinity_data::{ColumnRead, SeriesSource, SourceError};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Hit/miss counters of a [`CachedStore`], for benchmarks and tuning.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Fetches served from memory.
     pub hits: u64,
-    /// Fetches that went to disk.
+    /// Fetches that went to the backing store.
     pub misses: u64,
     /// Cached columns displaced to make room.
     pub evictions: u64,
     /// Fetches that bypassed the cache because every slot was pinned.
     pub bypasses: u64,
+    /// Counters of the background prefetcher (all zero when prefetching
+    /// is disabled).
+    pub prefetch: PrefetchStats,
 }
 
 /// One cached column.
 #[derive(Debug)]
-struct Slot {
-    series: usize,
-    data: Vec<f64>,
-    last_used: u64,
-    pins: u32,
+pub(crate) struct Slot {
+    pub(crate) series: usize,
+    pub(crate) data: Vec<f64>,
+    pub(crate) last_used: u64,
+    pub(crate) pins: u32,
+    /// Brought in by the prefetcher and not consumed yet; cleared (and
+    /// counted as a prefetch hit) on first touch.
+    pub(crate) prefetched: bool,
 }
 
 #[derive(Debug, Default)]
-struct CacheInner {
+pub(crate) struct CacheInner {
     /// series → index into `slots`.
-    map: HashMap<usize, usize>,
-    slots: Vec<Slot>,
-    tick: u64,
-    stats: CacheStats,
+    pub(crate) map: HashMap<usize, usize>,
+    pub(crate) slots: Vec<Slot>,
+    pub(crate) tick: u64,
+    pub(crate) stats: CacheStats,
+    /// Announced upcoming columns, consumed front-to-back by the
+    /// prefetch worker (bounded by `Shared::plan_cap`).
+    pub(crate) plan: VecDeque<u32>,
+    /// Membership mirror of `plan`, for O(1) dedup of announcements.
+    pub(crate) planned: HashSet<u32>,
+    /// Columns currently being read from the backing store (by the
+    /// worker or a consumer); other readers wait instead of re-reading.
+    pub(crate) inflight: HashSet<usize>,
+    /// Prefetched-but-unconsumed columns resident right now — the
+    /// worker's readahead credit; it stalls at `Shared::depth`.
+    pub(crate) ahead: usize,
+    /// `stats.prefetch.issued` as of the last plan restart — rate-limits
+    /// restarts so parallel lanes announcing disjoint windows cannot
+    /// ping-pong-clear each other's plan on every call.
+    pub(crate) issued_at_restart: u64,
 }
 
-/// An LRU column cache wrapping a [`MatrixStore`]; implements
-/// [`SeriesSource`], so the whole model-construction pipeline can run
-/// over it with memory bounded by `capacity` columns instead of the
-/// full `n·m` matrix.
+/// State shared between the cache handle and the prefetch worker.
+#[derive(Debug)]
+pub(crate) struct Shared<B> {
+    pub(crate) backing: B,
+    pub(crate) capacity: usize,
+    /// Effective readahead depth; 0 = prefetching disabled.
+    pub(crate) depth: usize,
+    /// Bound on `CacheInner::plan`; announcements beyond it are dropped
+    /// and counted in [`PrefetchStats::queue_full`].
+    pub(crate) plan_cap: usize,
+    pub(crate) inner: Mutex<CacheInner>,
+    /// Signals the worker: plan entries added or readahead credit freed.
+    pub(crate) work: Condvar,
+    /// Signals waiters of in-flight columns: a fetch completed.
+    pub(crate) served: Condvar,
+    pub(crate) shutdown: AtomicBool,
+}
+
+impl<B: ColumnRead> Shared<B> {
+    pub(crate) fn lock(&self) -> std::sync::MutexGuard<'_, CacheInner> {
+        self.inner.lock().expect("cache mutex")
+    }
+
+    /// Minimum free readahead credit before the worker issues another
+    /// fetch (half the depth, at least one). Waiting for credit to
+    /// accumulate lets the worker batch a contiguous *run* into one
+    /// region read instead of trickling one column per freed slot —
+    /// on seek-dominated media that amortizes the per-request latency
+    /// across the batch, which is most of the prefetch win. Half, not
+    /// all: the other half stays resident as the consumer's buffer, so
+    /// it keeps computing (draining credits) while the next span is in
+    /// flight — double buffering.
+    pub(crate) fn hysteresis(&self) -> usize {
+        (self.depth / 2).max(1)
+    }
+
+    /// The worker's wait predicate: nothing to do, or not enough free
+    /// credit accumulated yet to make a batch worthwhile.
+    pub(crate) fn worker_must_wait(&self, inner: &CacheInner) -> bool {
+        inner.plan.is_empty() || self.depth.saturating_sub(inner.ahead) < self.hysteresis()
+    }
+
+    /// Index of the least-recently-used unpinned slot, if any.
+    pub(crate) fn victim(inner: &CacheInner) -> Option<usize> {
+        inner
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.pins == 0)
+            .min_by_key(|(_, s)| s.last_used)
+            .map(|(i, _)| i)
+    }
+
+    /// Install the freshly read column in `buf` into the cache (slot
+    /// reuse on eviction). Called with the lock held, after a miss.
+    /// Returns `false` when every slot is pinned and the column could
+    /// not be admitted. Never evicts a pinned column; evicting a
+    /// prefetched-but-unconsumed one counts it as wasted and returns
+    /// its readahead credit.
+    pub(crate) fn admit(
+        &self,
+        inner: &mut CacheInner,
+        v: usize,
+        buf: &[f64],
+        prefetched: bool,
+    ) -> bool {
+        if inner.slots.len() < self.capacity {
+            let slot = inner.slots.len();
+            inner.slots.push(Slot {
+                series: v,
+                data: buf.to_vec(),
+                last_used: inner.tick,
+                pins: 0,
+                prefetched,
+            });
+            inner.map.insert(v, slot);
+            true
+        } else if let Some(slot) = Self::victim(inner) {
+            let old = inner.slots[slot].series;
+            inner.map.remove(&old);
+            inner.stats.evictions += 1;
+            if inner.slots[slot].prefetched {
+                // Evicted before anyone read it: the prefetch was wasted.
+                inner.stats.prefetch.wasted += 1;
+                inner.ahead -= 1;
+                self.work.notify_all();
+            }
+            let s = &mut inner.slots[slot];
+            s.series = v;
+            s.data.clear();
+            s.data.extend_from_slice(buf); // reuses the evicted buffer
+            s.last_used = inner.tick;
+            s.pins = 0;
+            s.prefetched = prefetched;
+            inner.map.insert(v, slot);
+            true
+        } else {
+            // Every slot pinned: serve without caching. `bypasses`
+            // counts *consumer* fetches that had to skip the cache; a
+            // dropped prefetch admission is the worker's problem and is
+            // already counted as wasted by its caller.
+            if !prefetched {
+                inner.stats.bypasses += 1;
+            }
+            false
+        }
+    }
+
+    /// First-touch accounting for a cached slot: a hit on a column the
+    /// prefetcher brought in consumes its readahead credit.
+    pub(crate) fn touch(&self, inner: &mut CacheInner, slot: usize) {
+        if inner.slots[slot].prefetched {
+            inner.slots[slot].prefetched = false;
+            inner.stats.prefetch.hits += 1;
+            inner.ahead -= 1;
+            self.work.notify_all();
+        }
+    }
+}
+
+/// An LRU column cache wrapping a [`ColumnRead`] backing (the on-disk
+/// [`MatrixStore`] by default); implements [`SeriesSource`], so the
+/// whole model-construction pipeline can run over it with memory
+/// bounded by `capacity` columns instead of the full `n·m` matrix.
 ///
 /// ```
 /// use affinity_data::generator::{sensor_dataset, SensorConfig};
@@ -75,169 +238,322 @@ struct CacheInner {
 /// # std::fs::remove_file(&path).ok();
 /// ```
 #[derive(Debug)]
-pub struct CachedStore {
-    store: MatrixStore,
-    capacity: usize,
-    inner: Mutex<CacheInner>,
+pub struct CachedStore<B: ColumnRead = MatrixStore> {
+    shared: Arc<Shared<B>>,
+    worker: Option<std::thread::JoinHandle<()>>,
 }
 
-impl CachedStore {
-    /// Wrap `store` with room for at most `capacity` cached columns
-    /// (clamped to at least 1).
-    pub fn new(store: MatrixStore, capacity: usize) -> Self {
+impl<B: ColumnRead> CachedStore<B> {
+    /// Wrap `backing` with room for at most `capacity` cached columns
+    /// (clamped to at least 1). Prefetching is off; see
+    /// [`CachedStore::with_prefetch`].
+    pub fn new(backing: B, capacity: usize) -> Self {
+        let capacity = capacity.max(1);
         CachedStore {
-            store,
-            capacity: capacity.max(1),
-            inner: Mutex::new(CacheInner::default()),
+            shared: Arc::new(Shared {
+                backing,
+                capacity,
+                depth: 0,
+                plan_cap: 0, // set when a prefetch worker spawns
+                inner: Mutex::new(CacheInner::default()),
+                work: Condvar::new(),
+                served: Condvar::new(),
+                shutdown: AtomicBool::new(false),
+            }),
+            worker: None,
         }
     }
 
-    /// Wrap `store` with a cache budget in **bytes**, converted to
-    /// whole columns (`budget / (samples · 8)`, at least 1).
-    pub fn with_budget_bytes(store: MatrixStore, budget: usize) -> Self {
-        let col_bytes = store.samples().saturating_mul(8).max(1);
-        let capacity = budget / col_bytes;
-        Self::new(store, capacity)
+    /// Wrap `backing` with a cache budget in **bytes**, converted to
+    /// whole columns (`budget / (samples · 8)`). A budget smaller than
+    /// one column — including 0 — is clamped to a single slot: the
+    /// cache never silently degrades to a capacity-0 pass-through.
+    pub fn with_budget_bytes(backing: B, budget: usize) -> Self {
+        let col_bytes = backing.samples().saturating_mul(8).max(1);
+        let capacity = (budget / col_bytes).max(1);
+        Self::new(backing, capacity)
     }
 
-    /// The wrapped store.
-    pub fn store(&self) -> &MatrixStore {
-        &self.store
+    /// The wrapped backing store.
+    pub fn store(&self) -> &B {
+        &self.shared.backing
     }
 
     /// Maximum number of cached columns.
     pub fn capacity(&self) -> usize {
-        self.capacity
+        self.shared.capacity
     }
 
     /// The cache budget in bytes (`capacity · samples · 8`).
     pub fn budget_bytes(&self) -> usize {
-        self.capacity * self.store.samples() * 8
+        self.shared.capacity * self.shared.backing.samples() * 8
     }
 
-    /// Hit/miss counters so far.
+    /// Effective readahead depth of the prefetcher (0 when disabled).
+    pub fn prefetch_depth(&self) -> usize {
+        self.shared.depth
+    }
+
+    /// Hit/miss counters so far (including prefetcher counters).
     pub fn stats(&self) -> CacheStats {
-        self.inner.lock().expect("cache mutex").stats
+        self.shared.lock().stats
     }
 
-    /// Index of the least-recently-used unpinned slot, if any.
-    fn victim(inner: &CacheInner) -> Option<usize> {
-        inner
-            .slots
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| s.pins == 0)
-            .min_by_key(|(_, s)| s.last_used)
-            .map(|(i, _)| i)
+    /// Prefetched-but-unconsumed columns resident right now — for
+    /// stats-consistency assertions in tests (`issued` splits exactly
+    /// into `hits + wasted + prefetched_unconsumed`).
+    pub fn prefetched_unconsumed(&self) -> usize {
+        self.shared.lock().ahead
     }
 
-    /// Install the freshly read column in `buf` into the cache (slot
-    /// reuse on eviction). Called with the lock held, after a miss.
-    fn admit(&self, inner: &mut CacheInner, v: usize, buf: &[f64]) {
-        if inner.slots.len() < self.capacity {
-            let slot = inner.slots.len();
-            inner.slots.push(Slot {
-                series: v,
-                data: buf.to_vec(),
-                last_used: inner.tick,
-                pins: 0,
-            });
-            inner.map.insert(v, slot);
-        } else if let Some(slot) = Self::victim(inner) {
-            let old = inner.slots[slot].series;
-            inner.map.remove(&old);
-            inner.stats.evictions += 1;
-            let s = &mut inner.slots[slot];
-            s.series = v;
-            s.data.clear();
-            s.data.extend_from_slice(buf); // reuses the evicted buffer
-            s.last_used = inner.tick;
-            s.pins = 0;
-            inner.map.insert(v, slot);
-        } else {
-            // Every slot pinned: serve without caching.
-            inner.stats.bypasses += 1;
+    /// Block until the prefetch worker is parked: nothing in flight,
+    /// and its wait predicate holds (plan drained, or readahead credit
+    /// below the batching hysteresis). Test/bench helper (returns
+    /// immediately when prefetching is off); the stats identity above
+    /// is only stable after quiescing.
+    pub fn quiesce(&self) {
+        if self.shared.depth == 0 {
+            return;
+        }
+        loop {
+            {
+                let inner = self.shared.lock();
+                if inner.inflight.is_empty() && self.shared.worker_must_wait(&inner) {
+                    return;
+                }
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
         }
     }
 }
 
-impl SeriesSource for CachedStore {
+impl<B: ColumnRead + Send + 'static> CachedStore<B> {
+    /// Like [`CachedStore::new`], plus a background prefetch worker
+    /// with readahead depth `depth` (0 leaves prefetching off; larger
+    /// depths are clamped so readahead can never flush the whole
+    /// cache: at most `capacity − 1` unconsumed columns, one slot
+    /// always left for the consumer's own misses).
+    pub fn with_prefetch(backing: B, capacity: usize, depth: usize) -> Self {
+        Self::new(backing, capacity).prefetching(depth)
+    }
+
+    /// Enable the background prefetcher on an existing cache (builder
+    /// style). A no-op for `depth == 0` or when a worker already runs.
+    pub fn prefetching(mut self, depth: usize) -> Self {
+        if depth == 0 || self.worker.is_some() {
+            return self;
+        }
+        let effective = depth.min(self.shared.capacity.saturating_sub(1)).max(1);
+        let shared =
+            Arc::get_mut(&mut self.shared).expect("no other handles before the worker spawns");
+        shared.depth = effective;
+        // The bounded readahead queue: announced-but-unfetched columns
+        // pend here, sized at a few multiples of the depth so the
+        // worker can always see a whole span's worth of upcoming
+        // sequence (a plan as small as the depth starves batching — the
+        // front run can never exceed what is queued). Consumers
+        // announce through a sliding window (`prefetch_window`), so
+        // entries dropped under pressure are simply re-announced as the
+        // scan advances.
+        shared.plan_cap = 4 * effective;
+        let shared = Arc::clone(&self.shared);
+        self.worker = Some(
+            std::thread::Builder::new()
+                .name("affinity-prefetch".into())
+                .spawn(move || prefetch::run(&shared))
+                .expect("spawn prefetch worker"),
+        );
+        self
+    }
+}
+
+impl<B: ColumnRead> Drop for CachedStore<B> {
+    fn drop(&mut self) {
+        if let Some(worker) = self.worker.take() {
+            self.shared.shutdown.store(true, Ordering::Release);
+            self.shared.work.notify_all();
+            worker.join().ok();
+        }
+    }
+}
+
+impl<B: ColumnRead> SeriesSource for CachedStore<B> {
     fn samples(&self) -> usize {
-        self.store.samples()
+        self.shared.backing.samples()
     }
 
     fn series_count(&self) -> usize {
-        self.store.series_count()
+        self.shared.backing.series_count()
     }
 
     fn read_into<'a>(&'a self, v: usize, buf: &'a mut Vec<f64>) -> Result<&'a [f64], SourceError> {
+        let shared = &self.shared;
         {
-            let mut inner = self.inner.lock().expect("cache mutex");
-            inner.tick += 1;
-            let tick = inner.tick;
-            if let Some(&slot) = inner.map.get(&v) {
-                inner.stats.hits += 1;
-                let s = &mut inner.slots[slot];
-                s.last_used = tick;
-                buf.clear();
-                buf.extend_from_slice(&s.data);
-                return Ok(&buf[..]);
+            let mut inner = shared.lock();
+            loop {
+                inner.tick += 1;
+                let tick = inner.tick;
+                if let Some(&slot) = inner.map.get(&v) {
+                    inner.stats.hits += 1;
+                    shared.touch(&mut inner, slot);
+                    let s = &mut inner.slots[slot];
+                    s.last_used = tick;
+                    buf.clear();
+                    buf.extend_from_slice(&s.data);
+                    return Ok(&buf[..]);
+                }
+                if inner.inflight.contains(&v) {
+                    // The prefetcher (or another lane) is already reading
+                    // this column; wait for it instead of decoding twice.
+                    inner = shared.served.wait(inner).expect("cache mutex");
+                    continue;
+                }
+                inner.stats.misses += 1;
+                inner.inflight.insert(v);
+                break;
             }
-            inner.stats.misses += 1;
         }
-        // Miss: read from disk *outside* the lock so parallel lanes
-        // overlap their I/O, then admit the column.
-        self.store.read_series_into(v, buf)?;
-        let mut inner = self.inner.lock().expect("cache mutex");
-        if !inner.map.contains_key(&v) {
-            self.admit(&mut inner, v, buf);
+        // Miss: read from the backing store *outside* the lock so
+        // parallel lanes overlap their I/O, then admit the column.
+        let result = shared.backing.read_column(v, buf);
+        let mut inner = shared.lock();
+        inner.inflight.remove(&v);
+        if result.is_ok() && !inner.map.contains_key(&v) {
+            shared.admit(&mut inner, v, buf, false);
         }
+        drop(inner);
+        shared.served.notify_all();
+        result?;
         Ok(&buf[..])
     }
 
     /// Pin series `v`: load it (evicting if needed) and protect it from
     /// eviction until unpinned. Advisory — if the column is absent and
     /// no slot could admit it (cache full of pins), the call returns
-    /// without touching the disk, and fetch correctness never depends
-    /// on a pin succeeding.
+    /// without touching the backing store, and fetch correctness never
+    /// depends on a pin succeeding. Pinning a column the prefetcher
+    /// already brought in consumes it (a prefetch hit) instead of
+    /// re-reading it.
     fn pin(&self, v: usize) {
-        if v >= self.store.series_count() {
+        let shared = &self.shared;
+        if v >= shared.backing.series_count() {
             return;
         }
         {
-            let mut inner = self.inner.lock().expect("cache mutex");
-            if let Some(&slot) = inner.map.get(&v) {
-                inner.slots[slot].pins += 1;
-                return;
-            }
-            // Don't pay a disk read for a column that could not be
-            // admitted anyway.
-            if inner.slots.len() >= self.capacity && Self::victim(&inner).is_none() {
-                return;
+            let mut inner = shared.lock();
+            loop {
+                if let Some(&slot) = inner.map.get(&v) {
+                    shared.touch(&mut inner, slot);
+                    inner.slots[slot].pins += 1;
+                    return;
+                }
+                // Don't pay a backing read for a column that could not
+                // be admitted anyway.
+                if inner.slots.len() >= shared.capacity && Shared::<B>::victim(&inner).is_none() {
+                    return;
+                }
+                if inner.inflight.contains(&v) {
+                    inner = shared.served.wait(inner).expect("cache mutex");
+                    continue;
+                }
+                inner.inflight.insert(v);
+                break;
             }
         }
         let mut buf = Vec::new();
-        if self.store.read_series_into(v, &mut buf).is_err() {
-            return; // advisory: leave the error for the actual fetch
+        let result = shared.backing.read_column(v, &mut buf);
+        let mut inner = shared.lock();
+        inner.inflight.remove(&v);
+        if result.is_ok() {
+            inner.tick += 1;
+            if let Some(&slot) = inner.map.get(&v) {
+                inner.slots[slot].pins += 1; // raced with a concurrent fetch
+            } else {
+                inner.stats.misses += 1;
+                shared.admit(&mut inner, v, &buf, false);
+                if let Some(&slot) = inner.map.get(&v) {
+                    inner.slots[slot].pins += 1;
+                }
+            }
         }
-        let mut inner = self.inner.lock().expect("cache mutex");
-        inner.tick += 1;
-        if let Some(&slot) = inner.map.get(&v) {
-            inner.slots[slot].pins += 1; // raced with a concurrent fetch
-            return;
-        }
-        inner.stats.misses += 1;
-        self.admit(&mut inner, v, &buf);
-        if let Some(&slot) = inner.map.get(&v) {
-            inner.slots[slot].pins += 1;
-        }
+        // else: advisory — leave the error for the actual fetch.
+        drop(inner);
+        shared.served.notify_all();
     }
 
     fn unpin(&self, v: usize) {
-        let mut inner = self.inner.lock().expect("cache mutex");
+        let mut inner = self.shared.lock();
         if let Some(&slot) = inner.map.get(&v) {
             let s = &mut inner.slots[slot];
             s.pins = s.pins.saturating_sub(1);
+        }
+    }
+
+    /// Queue `cols` for background readahead (in announcement order).
+    /// A no-op unless the cache was built with
+    /// [`CachedStore::with_prefetch`]; columns already cached, already
+    /// queued, already being read, or out of range are skipped. The
+    /// readahead queue holds a small multiple of `depth` pending
+    /// columns (enough for the worker to see whole spans of upcoming
+    /// sequence).
+    ///
+    /// On pressure, the *nearest* announced work wins: a steady sliding
+    /// window simply has its excess tail dropped (the window will offer
+    /// it again), but when a full queue contains none of the
+    /// announcer's first actionable column, its content is a stale past
+    /// — a new pass started, or the consumer outran the worker past
+    /// everything queued — and the queue restarts from this
+    /// announcement. Either way one [`PrefetchStats::queue_full`] event
+    /// is counted per call that discarded something.
+    fn prefetch(&self, cols: &[u32]) {
+        let shared = &self.shared;
+        if shared.depth == 0 {
+            return;
+        }
+        let n = shared.backing.series_count();
+        let mut added = false;
+        let mut dropped = false;
+        {
+            let mut inner = shared.lock();
+            let actionable = |inner: &CacheInner, c: u32| {
+                let v = c as usize;
+                v < n && !inner.map.contains_key(&v) && !inner.inflight.contains(&v)
+            };
+            if inner.plan.len() >= shared.plan_cap {
+                if let Some(&head) = cols.iter().find(|&&c| actionable(&inner, c)) {
+                    // Rate limit: a restart is only allowed once the
+                    // worker has fetched a depth's worth of the current
+                    // plan — otherwise parallel lanes announcing
+                    // disjoint windows would clear each other's plan on
+                    // every call and readahead would degrade to churn.
+                    let served_enough = inner.stats.prefetch.issued
+                        >= inner.issued_at_restart + shared.depth as u64;
+                    if !inner.planned.contains(&head) && served_enough {
+                        inner.plan.clear();
+                        inner.planned.clear();
+                        inner.issued_at_restart = inner.stats.prefetch.issued;
+                        dropped = true;
+                    }
+                }
+            }
+            for &c in cols {
+                if !actionable(&inner, c) || inner.planned.contains(&c) {
+                    continue;
+                }
+                if inner.plan.len() >= shared.plan_cap {
+                    dropped = true;
+                    break;
+                }
+                inner.plan.push_back(c);
+                inner.planned.insert(c);
+                added = true;
+            }
+            if dropped {
+                inner.stats.prefetch.queue_full += 1;
+            }
+        }
+        if added {
+            shared.work.notify_all();
         }
     }
 }
@@ -246,8 +562,10 @@ impl SeriesSource for CachedStore {
 mod tests {
     use super::*;
     use affinity_data::generator::{sensor_dataset, SensorConfig};
+    use affinity_data::slow::SlowSource;
     use affinity_data::DataMatrix;
     use std::path::PathBuf;
+    use std::time::Duration;
 
     fn fixture(name: &str, n: usize, m: usize) -> (DataMatrix, CachedStore, PathBuf) {
         let dir = std::env::temp_dir().join("affinity-cache-tests");
@@ -342,8 +660,23 @@ mod tests {
         let store = MatrixStore::open(&path).unwrap();
         let by_bytes = CachedStore::with_budget_bytes(store, 2 * 32 * 8 + 7);
         assert_eq!(by_bytes.capacity(), 2);
-        let store = MatrixStore::open(&path).unwrap();
-        assert_eq!(CachedStore::with_budget_bytes(store, 0).capacity(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sub_column_budgets_clamp_to_one_slot() {
+        // Regression: a byte budget smaller than one column (or zero)
+        // must still yield a working single-slot cache, not capacity 0.
+        let (data, _, path) = fixture("clamp.afn", 4, 32);
+        for budget in [0usize, 1, 7, 32 * 8 - 1] {
+            let store = MatrixStore::open(&path).unwrap();
+            let tiny = CachedStore::with_budget_bytes(store, budget);
+            assert_eq!(tiny.capacity(), 1, "budget {budget}");
+            let mut buf = Vec::new();
+            assert_eq!(tiny.read_into(2, &mut buf).unwrap(), data.series(2));
+            assert_eq!(tiny.read_into(2, &mut buf).unwrap(), data.series(2));
+            assert_eq!(tiny.stats().hits, 1, "single slot still caches");
+        }
         std::fs::remove_file(&path).ok();
     }
 
@@ -360,5 +693,112 @@ mod tests {
             assert_eq!(col, data.series(i % 12));
         }
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn prefetched_columns_become_hits() {
+        let data = sensor_dataset(&SensorConfig::reduced(10, 32));
+        let cached = CachedStore::with_prefetch(data.clone(), 6, 4);
+        assert_eq!(cached.prefetch_depth(), 4);
+        let cols: Vec<u32> = (0..10).collect();
+        cached.prefetch(&cols);
+        let mut buf = Vec::new();
+        for v in 0..10usize {
+            assert_eq!(cached.read_into(v, &mut buf).unwrap(), data.series(v));
+        }
+        cached.quiesce();
+        let stats = cached.stats();
+        assert!(
+            stats.prefetch.issued > 0,
+            "worker must have fetched something: {stats:?}"
+        );
+        assert!(
+            stats.hits >= stats.prefetch.hits,
+            "prefetch hits are cache hits: {stats:?}"
+        );
+        // Everything fetched was either consumed, wasted, or is still
+        // resident — the stats identity.
+        assert_eq!(
+            stats.prefetch.issued,
+            stats.prefetch.hits + stats.prefetch.wasted + cached.prefetched_unconsumed() as u64,
+            "{stats:?}"
+        );
+    }
+
+    #[test]
+    fn prefetch_depth_is_clamped_below_capacity() {
+        let data = sensor_dataset(&SensorConfig::reduced(6, 16));
+        let cached = CachedStore::with_prefetch(data, 3, 100);
+        assert_eq!(cached.prefetch_depth(), 2, "clamped to capacity - 1");
+        let data = sensor_dataset(&SensorConfig::reduced(6, 16));
+        let cached = CachedStore::with_prefetch(data, 1, 5);
+        assert_eq!(cached.prefetch_depth(), 1, "never below 1 when enabled");
+        let data = sensor_dataset(&SensorConfig::reduced(6, 16));
+        let cached = CachedStore::with_prefetch(data, 8, 0);
+        assert_eq!(cached.prefetch_depth(), 0, "0 leaves prefetching off");
+    }
+
+    #[test]
+    fn prefetch_is_a_noop_without_a_worker() {
+        let (data, cached, path) = fixture("noop.afn", 6, 24);
+        cached.prefetch(&[0, 1, 2, 3]);
+        let mut buf = Vec::new();
+        assert_eq!(cached.read_into(1, &mut buf).unwrap(), data.series(1));
+        let stats = cached.stats();
+        assert_eq!(stats.prefetch, PrefetchStats::default());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn announcements_beyond_the_queue_bound_are_counted() {
+        let data = sensor_dataset(&SensorConfig::reduced(40, 8));
+        // Delay keeps the worker busy so the queue actually fills.
+        let slow = SlowSource::new(data, Duration::from_millis(20));
+        let cached = CachedStore::with_prefetch(slow, 4, 2);
+        // The readahead queue holds `depth = 2` pending columns; a
+        // 40-column announcement must overflow it immediately.
+        let all: Vec<u32> = (0..40).collect();
+        cached.prefetch(&all);
+        assert!(
+            cached.stats().prefetch.queue_full > 0,
+            "a 40-column announcement must overflow a depth-2 queue: {:?}",
+            cached.stats()
+        );
+    }
+
+    #[test]
+    fn wasted_prefetches_are_counted_under_thrash() {
+        let data = sensor_dataset(&SensorConfig::reduced(12, 16));
+        let cached = CachedStore::with_prefetch(data.clone(), 3, 2);
+        let mut buf = Vec::new();
+        // Announce one thing, read other things: the prefetched columns
+        // get evicted untouched by the consumer's own misses.
+        let mut stats = cached.stats();
+        for round in 0..50u32 {
+            let a = (round * 2) % 11;
+            cached.prefetch(&[a, a + 1]);
+            cached.quiesce();
+            for v in 0..12usize {
+                if v % 2 == 1 && v != a as usize && v != a as usize + 1 {
+                    cached.read_into(v, &mut buf).unwrap();
+                }
+            }
+            stats = cached.stats();
+            if stats.prefetch.wasted > 0 {
+                break;
+            }
+        }
+        assert!(
+            stats.prefetch.wasted > 0,
+            "thrashing an announced-but-unread column must waste: {stats:?}"
+        );
+        // The stats identity still holds under waste.
+        cached.quiesce();
+        let stats = cached.stats();
+        assert_eq!(
+            stats.prefetch.issued,
+            stats.prefetch.hits + stats.prefetch.wasted + cached.prefetched_unconsumed() as u64,
+            "{stats:?}"
+        );
     }
 }

@@ -31,7 +31,9 @@
 
 mod cache;
 pub mod crc;
+pub mod prefetch;
 mod store;
 
 pub use cache::{CacheStats, CachedStore};
+pub use prefetch::PrefetchStats;
 pub use store::{MatrixStore, StorageError, FORMAT_VERSION};

@@ -1,0 +1,186 @@
+//! The background column prefetcher behind [`CachedStore`](crate::CachedStore).
+//!
+//! The model-construction kernels know their column access pattern
+//! ahead of every pass (AFCLST scans `0..n`, a SYMEX fit group scans
+//! its pivot's members, …) and announce it through
+//! [`SeriesSource::prefetch`](affinity_data::SeriesSource::prefetch).
+//! This module turns those announcements into overlapped I/O:
+//!
+//! 1. Announcements land in a bounded **plan** queue (dropped and
+//!    counted once the bound is hit — announcing is always O(1) and
+//!    never blocks the consumer).
+//! 2. One background worker pops the plan front-to-back, **batching
+//!    contiguous runs** into a single
+//!    [`ColumnRead::read_column_range`] region read (one request on
+//!    seek-dominated media), decoding outside the cache lock.
+//! 3. Fetched columns are admitted into the LRU with a
+//!    `prefetched` mark and the worker *throttles*: at most `depth`
+//!    prefetched-but-unconsumed columns are resident at a time, so
+//!    readahead can never flush a small cache. The mark clears on
+//!    first touch (a [`PrefetchStats::hits`]); eviction before any
+//!    touch counts as [`PrefetchStats::wasted`].
+//!
+//! Columns being prefetched are registered as *in-flight*: a consumer
+//! that misses on one waits for the worker instead of decoding the
+//! column a second time (and vice versa — the worker skips columns a
+//! consumer is already reading). Pinned columns are never evicted by
+//! prefetch admissions; when every slot is pinned the fetched column
+//! is dropped (counted as wasted) rather than forced in.
+//!
+//! The whole layer is advisory: every fetched byte still comes from
+//! the same checksummed backing reads, so a streamed build is
+//! **bit-for-bit identical** at every prefetch depth, including 0
+//! (disabled) — the workspace equivalence suite pins this.
+
+use crate::cache::Shared;
+use affinity_data::ColumnRead;
+use std::sync::atomic::Ordering;
+
+/// Counters of the background prefetcher, nested inside
+/// [`CacheStats`](crate::CacheStats).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrefetchStats {
+    /// Columns the worker actually fetched from the backing store.
+    pub issued: u64,
+    /// Consumer fetches (or pins) served by a prefetched column's
+    /// first touch — reads that would otherwise have gone to disk.
+    pub hits: u64,
+    /// Prefetched columns thrown away untouched (evicted first, or
+    /// not admittable because every slot was pinned).
+    pub wasted: u64,
+    /// Announced columns dropped because the plan queue was full.
+    pub queue_full: u64,
+}
+
+/// Upper bound on one readahead batch, independent of depth — keeps
+/// the worker's decode scratch (and its single region read) modest
+/// even for deep queues over long series.
+const MAX_BATCH: usize = 8;
+
+/// Batches coalesce across plan gaps of up to this many columns: a
+/// fragmented announcement (e.g. an AFCLST power pass visiting only
+/// the active clusters' members, interleaved with inactive ones) is
+/// fetched as one contiguous span, gap columns included. On
+/// seek-dominated media the extra contiguous bytes are nearly free,
+/// while splitting the span would pay the per-request latency per
+/// fragment; the gap columns enter the cache as ordinary prefetched
+/// columns (often wanted by the very next pass — and counted wasted
+/// if not).
+const MAX_SPAN_GAP: u32 = 8;
+
+/// The worker loop: runs on its own thread until
+/// [`Shared::shutdown`] flips. See the module docs for the pipeline.
+pub(crate) fn run<B: ColumnRead>(shared: &Shared<B>) {
+    let mut batch: Vec<u32> = Vec::with_capacity(MAX_BATCH);
+    loop {
+        // --- Plan one batch (lock held) -------------------------------
+        {
+            let mut inner = shared.lock();
+            loop {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                // Discard plan entries that became pointless while they
+                // waited: already cached, or being read by a consumer.
+                while let Some(&c) = inner.plan.front() {
+                    let v = c as usize;
+                    if inner.map.contains_key(&v) || inner.inflight.contains(&v) {
+                        inner.plan.pop_front();
+                        inner.planned.remove(&c);
+                    } else {
+                        break;
+                    }
+                }
+                if shared.worker_must_wait(&inner) {
+                    inner = shared.work.wait(inner).expect("cache mutex");
+                    continue;
+                }
+                break;
+            }
+            // Take an ascending run off the plan front and coalesce it
+            // into one contiguous span, bridging gaps of up to
+            // MAX_SPAN_GAP uncached columns; bounded by the free
+            // readahead credit (at least the hysteresis threshold, by
+            // the wait predicate above).
+            let budget = (shared.depth - inner.ahead).min(MAX_BATCH);
+            batch.clear();
+            let first = inner.plan.pop_front().expect("plan non-empty");
+            inner.planned.remove(&first);
+            batch.push(first);
+            'extend: while batch.len() < budget {
+                let last = *batch.last().expect("non-empty");
+                let Some(&c) = inner.plan.front() else { break };
+                // Plan entries are deduplicated but not sorted; only
+                // coalesce a front that continues the span forward.
+                if c <= last || (c - last) as usize > MAX_SPAN_GAP as usize + 1 {
+                    break;
+                }
+                if batch.len() + (c - last) as usize > budget {
+                    break;
+                }
+                // The whole bridge (gap columns + the planned one) must
+                // be fetchable: not cached, not already being read.
+                for x in last + 1..=c {
+                    if inner.map.contains_key(&(x as usize))
+                        || inner.inflight.contains(&(x as usize))
+                    {
+                        break 'extend;
+                    }
+                }
+                inner.plan.pop_front();
+                inner.planned.remove(&c);
+                batch.extend(last + 1..=c);
+            }
+            // Reserve the credit and claim the columns up front so
+            // consumers wait for us instead of double-reading.
+            for &c in &batch {
+                inner.inflight.insert(c as usize);
+            }
+            inner.ahead += batch.len();
+        }
+
+        // --- Fetch + decode (no lock) ---------------------------------
+        let first = batch[0] as usize;
+        let count = batch.len();
+        // Columns the sink resolved (a prefix of `batch`: the
+        // `read_column_range` contract sinks in ascending order). The
+        // cleanup below must only touch the unseen suffix — a resolved
+        // column's in-flight entry may already have been *re-claimed by
+        // a consumer* whose own miss started after ours completed, and
+        // removing that claim would both strip its dedup protection and
+        // double-return readahead credit.
+        let mut resolved = 0usize;
+        let result = shared
+            .backing
+            .read_column_range(first, count, &mut |v, col| {
+                let mut inner = shared.lock();
+                inner.inflight.remove(&v);
+                resolved += 1;
+                inner.stats.prefetch.issued += 1;
+                inner.tick += 1;
+                let admitted = if inner.map.contains_key(&v) {
+                    false // raced with a pin/consumer admit; keep theirs
+                } else {
+                    shared.admit(&mut inner, v, col, true)
+                };
+                if !admitted {
+                    inner.stats.prefetch.wasted += 1;
+                    inner.ahead -= 1;
+                }
+                drop(inner);
+                shared.served.notify_all();
+            });
+
+        // Release whatever the sink never saw (early read error), so
+        // waiting consumers fall back to their own read — which is the
+        // path that will surface the backing error to the caller.
+        let mut inner = shared.lock();
+        for &c in &batch[resolved..] {
+            inner.inflight.remove(&(c as usize));
+            inner.ahead -= 1;
+        }
+        drop(inner);
+        shared.served.notify_all();
+        drop(result); // advisory: errors are the consumer's to report
+    }
+}

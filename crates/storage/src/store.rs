@@ -15,7 +15,7 @@
 //! random access without an index block.
 
 use crate::crc::{crc32, Crc32};
-use affinity_data::{DataMatrix, SeriesSource, SourceError};
+use affinity_data::{ColumnRead, DataMatrix, SeriesSource, SourceError};
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
@@ -339,6 +339,82 @@ impl MatrixStore {
         Ok(())
     }
 
+    /// Read the contiguous column region `first .. first + count` with
+    /// **one read request**, verifying each column's checksum; `out` is
+    /// cleared and refilled with the `count · samples` values, column
+    /// after column (column `first + c` occupies
+    /// `out[c·samples .. (c+1)·samples]`).
+    ///
+    /// Column chunks are fixed-size and adjacent on disk, so the whole
+    /// region is one seek plus one `read_exact` into a reusable
+    /// thread-local byte buffer — on seek-dominated media a `count`-column
+    /// region costs about the same as a single column. This is the bulk
+    /// primitive behind the cache prefetcher's readahead batches and the
+    /// out-of-core warm-start path.
+    ///
+    /// ```
+    /// use affinity_data::generator::{sensor_dataset, SensorConfig};
+    /// use affinity_storage::MatrixStore;
+    ///
+    /// let path = std::env::temp_dir().join("affinity-range-doc.afn");
+    /// let data = sensor_dataset(&SensorConfig::reduced(6, 16));
+    /// MatrixStore::create(&path, &data).unwrap();
+    /// let store = MatrixStore::open(&path).unwrap();
+    /// let mut buf = Vec::new();
+    /// store.read_series_range(2, 3, &mut buf).unwrap();
+    /// assert_eq!(&buf[..16], data.series(2));
+    /// assert_eq!(&buf[32..], data.series(4));
+    /// # std::fs::remove_file(&path).ok();
+    /// ```
+    ///
+    /// # Errors
+    /// [`StorageError::SeriesOutOfRange`] if the region exceeds the
+    /// stored series (or `count` is zero); I/O and checksum errors as
+    /// for [`MatrixStore::read_series_into`]. On a checksum mismatch
+    /// `out` is cleared — no partially verified data is handed back.
+    pub fn read_series_range(
+        &self,
+        first: usize,
+        count: usize,
+        out: &mut Vec<f64>,
+    ) -> Result<(), StorageError> {
+        let end = first
+            .checked_add(count)
+            .filter(|&e| e <= self.series && count > 0)
+            .ok_or(StorageError::SeriesOutOfRange {
+                requested: first.saturating_add(count.max(1)) - 1,
+                available: self.series,
+            })?;
+        let chunk = self.samples * 8 + 4;
+        let mut f = File::open(&self.path)?;
+        f.seek(SeekFrom::Start(self.columns_start + (first * chunk) as u64))?;
+        RANGE_SCRATCH.with(|cell| {
+            let bytes = &mut *cell.borrow_mut();
+            bytes.clear();
+            bytes.resize(chunk * count, 0);
+            f.read_exact(bytes)?;
+            out.clear();
+            out.reserve(self.samples * count);
+            for (c, chunk_bytes) in bytes.chunks_exact(chunk).enumerate() {
+                let (col, crcb) = chunk_bytes.split_at(self.samples * 8);
+                if crc32(col) != u32::from_le_bytes(crcb.try_into().unwrap()) {
+                    out.clear(); // don't hand corrupt data back
+                    return Err(StorageError::ChecksumMismatch(format!(
+                        "series {}",
+                        first + c
+                    )));
+                }
+                out.extend(
+                    col.chunks_exact(8)
+                        .map(|b| f64::from_le_bytes(b.try_into().unwrap())),
+                );
+            }
+            Ok(())
+        })?;
+        debug_assert_eq!(out.len(), self.samples * (end - first));
+        Ok(())
+    }
+
     /// Read the whole matrix back, verifying every chunk.
     ///
     /// # Errors
@@ -386,6 +462,49 @@ impl SeriesSource for MatrixStore {
     fn read_into<'a>(&'a self, v: usize, buf: &'a mut Vec<f64>) -> Result<&'a [f64], SourceError> {
         self.read_series_into(v, buf)?;
         Ok(&buf[..])
+    }
+}
+
+thread_local! {
+    /// Reusable scratch for [`MatrixStore::read_series_range`]'s raw
+    /// region bytes (one per thread: the prefetch worker reuses it for
+    /// every readahead batch) and for the decoded columns of the
+    /// [`ColumnRead::read_column_range`] bulk path.
+    static RANGE_SCRATCH: std::cell::RefCell<Vec<u8>> = const { std::cell::RefCell::new(Vec::new()) };
+    static RANGE_COLUMNS: std::cell::RefCell<Vec<f64>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// The owned-buffer backing contract cache layers consume: single reads
+/// delegate to [`MatrixStore::read_series_into`], region reads to the
+/// one-request [`MatrixStore::read_series_range`].
+impl ColumnRead for MatrixStore {
+    fn samples(&self) -> usize {
+        self.samples
+    }
+
+    fn series_count(&self) -> usize {
+        self.series
+    }
+
+    fn read_column(&self, v: usize, out: &mut Vec<f64>) -> Result<(), SourceError> {
+        self.read_series_into(v, out)?;
+        Ok(())
+    }
+
+    fn read_column_range(
+        &self,
+        first: usize,
+        count: usize,
+        sink: &mut dyn FnMut(usize, &[f64]),
+    ) -> Result<(), SourceError> {
+        RANGE_COLUMNS.with(|cell| {
+            let cols = &mut *cell.borrow_mut();
+            self.read_series_range(first, count, cols)?;
+            for (c, col) in cols.chunks_exact(self.samples).enumerate() {
+                sink(first + c, col);
+            }
+            Ok(())
+        })
     }
 }
 
@@ -596,6 +715,85 @@ mod tests {
             store.read_series_into(6, &mut buf),
             Err(StorageError::SeriesOutOfRange { requested: 6, .. })
         ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn range_read_matches_single_reads() {
+        let data = sensor_dataset(&SensorConfig::reduced(7, 30));
+        let path = tmp("range.afn");
+        MatrixStore::create(&path, &data).unwrap();
+        let store = MatrixStore::open(&path).unwrap();
+        let mut buf = Vec::new();
+        // Every valid (first, count) region.
+        for first in 0..7 {
+            for count in 1..=7 - first {
+                store.read_series_range(first, count, &mut buf).unwrap();
+                assert_eq!(buf.len(), count * 30);
+                for c in 0..count {
+                    assert_eq!(
+                        &buf[c * 30..(c + 1) * 30],
+                        data.series(first + c),
+                        "region ({first}, {count}) column {c}"
+                    );
+                }
+            }
+        }
+        // Out-of-range and empty regions are errors, not panics.
+        for (first, count) in [(0, 8), (6, 2), (7, 1), (3, 0)] {
+            assert!(matches!(
+                store.read_series_range(first, count, &mut buf),
+                Err(StorageError::SeriesOutOfRange { .. })
+            ));
+        }
+        assert!(matches!(
+            store.read_series_range(usize::MAX, 2, &mut buf),
+            Err(StorageError::SeriesOutOfRange { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn range_read_detects_corruption_and_clears_the_buffer() {
+        let data = sensor_dataset(&SensorConfig::reduced(5, 16));
+        let path = tmp("range-corrupt.afn");
+        MatrixStore::create(&path, &data).unwrap();
+        let store = MatrixStore::open(&path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let offset = store.columns_start as usize + 3 * (16 * 8 + 4) + 5;
+        bytes[offset] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let mut buf = Vec::new();
+        // Region before the corruption is fine.
+        store.read_series_range(0, 3, &mut buf).unwrap();
+        // Region covering column 3 fails and hands nothing back.
+        assert!(matches!(
+            store.read_series_range(2, 3, &mut buf),
+            Err(StorageError::ChecksumMismatch(_))
+        ));
+        assert!(buf.is_empty(), "no partially verified data");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn column_read_range_goes_through_the_bulk_path() {
+        let data = sensor_dataset(&SensorConfig::reduced(6, 24));
+        let path = tmp("colread.afn");
+        MatrixStore::create(&path, &data).unwrap();
+        let store = MatrixStore::open(&path).unwrap();
+        let mut seen = Vec::new();
+        ColumnRead::read_column_range(&store, 1, 4, &mut |v, col| {
+            seen.push((v, col.to_vec()));
+        })
+        .unwrap();
+        assert_eq!(seen.len(), 4);
+        for (i, (v, col)) in seen.iter().enumerate() {
+            assert_eq!(*v, 1 + i);
+            assert_eq!(col, data.series(1 + i));
+        }
+        let mut out = Vec::new();
+        ColumnRead::read_column(&store, 5, &mut out).unwrap();
+        assert_eq!(out, data.series(5));
         std::fs::remove_file(&path).ok();
     }
 

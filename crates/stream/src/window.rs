@@ -86,9 +86,15 @@ impl SlidingWindow {
                 "source has {m} samples, window needs {width}"
             )));
         }
-        let mut w = SlidingWindow::new(source.series_count(), width);
+        let n = source.series_count();
+        let mut w = SlidingWindow::new(n, width);
         let mut buf = Vec::new();
-        for v in 0..source.series_count() {
+        // One strictly sequential sweep over every column — announce it
+        // a sliding window ahead so a prefetching cache batches the
+        // contiguous trailing region while this loop copies.
+        let scan = affinity_data::source::scan_sequence(n);
+        for v in 0..n {
+            affinity_data::source::prefetch_window(source, &scan, v);
             let s = source.read_into(v, &mut buf)?;
             let tail = &s[m - width..];
             w.bufs[v][..width].copy_from_slice(tail);

@@ -306,6 +306,119 @@ fn streaming_engine_warm_start_matches_resident_build() {
     }
 }
 
+/// Every model artifact, built through a cache-starved `CachedStore`
+/// whose background prefetcher runs at depth 0 (disabled), 2, and 8:
+/// asynchronous readahead must be invisible in the output — the same
+/// checksummed bytes arrive whichever thread fetched them — while the
+/// consumers' announced access patterns race the LRU's evictions.
+#[test]
+fn prefetched_builds_are_bit_identical_at_every_depth() {
+    for (name, data) in workloads() {
+        let path = store_path(&format!("prefetch-{name}"));
+        MatrixStore::create(&path, &data).unwrap();
+        let symex = Symex::new(SymexParams::default());
+        let resident_affine = symex.run(&data).unwrap();
+        let resident_engine = MecEngine::new(&data, &resident_affine);
+        let resident_index = ScapeIndex::build(&data, &resident_affine, &Measure::ALL).unwrap();
+        let resident_session = Session::new(&data, &resident_affine, &Measure::EXTENDED).unwrap();
+
+        for depth in [0usize, 2, 8] {
+            let tag = format!("{name}/depth-{depth}");
+            let cached =
+                CachedStore::with_prefetch(MatrixStore::open(&path).unwrap(), cache_cols(), depth);
+
+            // SYMEX (incl. AFCLST inside).
+            let affine = symex.run(&cached).unwrap();
+            assert_affine_bits_eq(&resident_affine, &affine, &tag);
+
+            // MEC engine answers, every measure.
+            let engine = MecEngine::from_source(&cached, &affine).unwrap();
+            for measure in PairwiseMeasure::EXTENDED {
+                let a = resident_engine.pairwise_all(measure).unwrap();
+                let b = engine.pairwise_all(measure).unwrap();
+                assert_slice_bits_eq(&a, &b, &format!("{tag}: {}", measure.name()));
+            }
+            for measure in LocationMeasure::ALL {
+                let a = resident_engine.location_all(measure);
+                let b = engine.location_all(measure);
+                assert_slice_bits_eq(&a, &b, &format!("{tag}: {}", measure.name()));
+            }
+
+            // SCAPE index.
+            let index =
+                ScapeIndex::build_from_source(&cached, &affine, &Measure::ALL, &ThreadPool::new(2))
+                    .unwrap();
+            assert_eq!(resident_index.stats(), index.stats(), "{tag}");
+            for measure in PairwiseMeasure::ALL {
+                for &tau in &taus(measure) {
+                    assert_eq!(
+                        resident_index
+                            .threshold_pairs(measure, ThresholdOp::Greater, tau)
+                            .unwrap(),
+                        index
+                            .threshold_pairs(measure, ThresholdOp::Greater, tau)
+                            .unwrap(),
+                        "{tag}: {} > {tau}",
+                        measure.name()
+                    );
+                }
+            }
+
+            // QL session outputs.
+            let labels = cached.store().labels().to_vec();
+            let session =
+                Session::from_source(&cached, labels, &affine, &Measure::EXTENDED).unwrap();
+            for stmt in [
+                "MET correlation > 0.9",
+                "MER covariance BETWEEN -0.5 AND 0.5",
+                "MEC mean OF 0, 1",
+            ] {
+                assert_eq!(
+                    resident_session.execute(stmt).unwrap(),
+                    session.execute(stmt).unwrap(),
+                    "{tag}: `{stmt}`"
+                );
+            }
+
+            // Streaming warm start off the prefetching cache.
+            let window = data.samples() / 2;
+            let engine =
+                StreamingEngine::from_source(StreamingConfig::new(window), &cached).unwrap();
+            let model = engine.model().expect("warm start builds a model");
+            let trailing = DataMatrix::from_series(
+                (0..data.series_count())
+                    .map(|v| data.series(v)[data.samples() - window..].to_vec())
+                    .collect(),
+            );
+            let mut params = StreamingConfig::new(window).symex.clone();
+            params.afclst.k = params
+                .afclst
+                .k
+                .min(trailing.series_count().saturating_sub(1))
+                .max(1);
+            let expected = Symex::new(params).run(&trailing).unwrap();
+            assert_affine_bits_eq(model.affine(), &expected, &tag);
+
+            if depth > 0 {
+                cached.quiesce();
+                let stats = cached.stats();
+                assert!(
+                    stats.prefetch.issued > 0,
+                    "{tag}: the announced passes must have driven the prefetcher ({stats:?})"
+                );
+                assert_eq!(
+                    stats.prefetch.issued,
+                    stats.prefetch.hits
+                        + stats.prefetch.wasted
+                        + cached.prefetched_unconsumed() as u64,
+                    "{tag}: prefetch stats identity ({stats:?})"
+                );
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}
+
 #[test]
 fn streamed_build_from_store_without_cache_matches_cli_path() {
     // The `affinity query --ooc` path: Symex + Session straight from a
