@@ -5,6 +5,8 @@
 //! affinity info     <path.afn>                               shape + labels
 //! affinity csv      <path.afn> <out.csv>                     export to CSV
 //! affinity query    [--ooc[=MB]] [--prefetch[=K]] <path.afn> "<stmt>" [...]
+//! affinity query    --snapshot <dir> "<stmt>" [...]          query a persisted model
+//! affinity snapshot <path.afn> <dir>                         build + persist a model
 //! affinity quality  <path.afn>                               LSFD quality report
 //! ```
 //!
@@ -22,17 +24,28 @@
 //! their column sequences and the worker pulls them from disk — region
 //! reads for contiguous runs — while the current column computes.
 //! Purely a wall-clock knob; the model is identical at every depth.
+//!
+//! `affinity snapshot` builds the full model once (AFCLST + SYMEX +
+//! SCAPE index over the store's trailing window) and commits it to a
+//! crash-safe snapshot directory (atomic-rename snapshot + delta
+//! journal — see `affinity_stream::persist`). `affinity query
+//! --snapshot <dir>` then answers statements by *opening* that model in
+//! O(model bytes) — no clustering, fitting, or index build — replaying
+//! any journaled refreshes and reporting what recovery did on stderr.
+//! Snapshots store no labels, so statements address series as `S<id>`
+//! or by bare numeric id.
 
 use affinity::core::prelude::*;
 use affinity::core::quality::quality_report;
 use affinity::data::generator::{sensor_dataset, stock_dataset, SensorConfig, StockConfig};
 use affinity::ql::Session;
 use affinity::storage::{CachedStore, MatrixStore};
+use affinity::stream::{StreamingConfig, StreamingEngine};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  affinity generate <sensor|stock> <path.afn> [n] [m]\n  affinity info <path.afn>\n  affinity csv <path.afn> <out.csv>\n  affinity query [--ooc[=MB]] [--prefetch[=K]] <path.afn> \"<statement>\" [more statements...]\n  affinity quality <path.afn>"
+        "usage:\n  affinity generate <sensor|stock> <path.afn> [n] [m]\n  affinity info <path.afn>\n  affinity csv <path.afn> <out.csv>\n  affinity query [--ooc[=MB]] [--prefetch[=K]] <path.afn> \"<statement>\" [more statements...]\n  affinity query --snapshot <snapshot-dir> \"<statement>\" [more statements...]\n  affinity snapshot <path.afn> <snapshot-dir>\n  affinity quality <path.afn>"
     );
     ExitCode::from(2)
 }
@@ -47,6 +60,7 @@ fn main() -> ExitCode {
         "info" => info(&args[1..]),
         "csv" => csv(&args[1..]),
         "query" => query(&args[1..]),
+        "snapshot" => snapshot(&args[1..]),
         "quality" => quality(&args[1..]),
         _ => return usage(),
     };
@@ -150,9 +164,12 @@ fn query(args: &[String]) -> Result<(), String> {
     // background readahead worker.
     let mut ooc_budget: Option<usize> = None;
     let mut prefetch_depth: Option<usize> = None;
+    let mut from_snapshot = false;
     let mut rest: &[String] = args;
     while let Some(flag) = rest.first().map(String::as_str) {
-        if flag == "--ooc" {
+        if flag == "--snapshot" {
+            from_snapshot = true;
+        } else if flag == "--ooc" {
             ooc_budget = Some(64usize << 20);
         } else if let Some(mb) = flag.strip_prefix("--ooc=") {
             let mb: usize = mb.parse().map_err(|_| "bad --ooc=<MB> value")?;
@@ -169,6 +186,9 @@ fn query(args: &[String]) -> Result<(), String> {
     if prefetch_depth.is_some() && ooc_budget.is_none() {
         return Err("--prefetch only applies to the --ooc streamed build".into());
     }
+    if from_snapshot && ooc_budget.is_some() {
+        return Err("--snapshot opens a persisted model; --ooc does not apply".into());
+    }
     let [path, statements @ ..] = rest else {
         return Err("query needs <path.afn> and at least one statement".into());
     };
@@ -184,6 +204,27 @@ fn query(args: &[String]) -> Result<(), String> {
             }
         }
     };
+    if from_snapshot {
+        let (model, report) = affinity::stream::open_model(path).map_err(|e| e.to_string())?;
+        eprintln!(
+            "snapshot: generation {}, {} series, {} journaled refresh(es) replayed{}{}",
+            model.generation,
+            model.affine.series_count(),
+            report.replayed_records,
+            match report.torn_bytes_dropped {
+                0 => String::new(),
+                b => format!(", {b} torn journal byte(s) ignored"),
+            },
+            if report.stale_journal_discarded {
+                ", stale journal discarded"
+            } else {
+                ""
+            }
+        );
+        let session = Session::open_snapshot(&model, Vec::new()).map_err(|e| e.to_string())?;
+        run_statements(&session);
+        return Ok(());
+    }
     if let Some(budget) = ooc_budget {
         let store = MatrixStore::open(path).map_err(|e| e.to_string())?;
         let labels = store.labels().to_vec();
@@ -214,6 +255,31 @@ fn query(args: &[String]) -> Result<(), String> {
             Session::new(&data, &affine, &Measure::EXTENDED).map_err(|e| e.to_string())?;
         run_statements(&session);
     }
+    Ok(())
+}
+
+fn snapshot(args: &[String]) -> Result<(), String> {
+    let [path, dir] = args else {
+        return Err("snapshot needs <path.afn> <snapshot-dir>".into());
+    };
+    let store = MatrixStore::open(path).map_err(|e| e.to_string())?;
+    let (n, m) = (store.series_count(), store.samples());
+    // The model window is the store's full history; the extended measure
+    // set matches what `affinity query` indexes, so `query --snapshot`
+    // answers the same statements the same way.
+    let mut cfg = StreamingConfig::new(m);
+    cfg.indexed = Measure::EXTENDED.to_vec();
+    let t0 = std::time::Instant::now();
+    let mut engine = StreamingEngine::from_source(cfg, &store).map_err(|e| e.to_string())?;
+    let built = t0.elapsed();
+    let t1 = std::time::Instant::now();
+    let id = engine.persist_to(dir).map_err(|e| e.to_string())?;
+    println!(
+        "persisted model over {n} series x {m} samples to {dir} \
+         (snapshot id {id:#018x}; built in {:.2?}, committed in {:.2?})",
+        built,
+        t1.elapsed()
+    );
     Ok(())
 }
 

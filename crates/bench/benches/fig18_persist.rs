@@ -1,0 +1,175 @@
+//! Fig. 18 (repo extension) — crash-safe model persistence: cold build
+//! vs snapshot open.
+//!
+//! The paper's premise is that relationships are computed **once** and
+//! reused while queries run continuously (Sec. 1); persistence extends
+//! that economy across process restarts. This bench measures the two
+//! ways to get a queryable model into memory:
+//!
+//! 1. **cold build** — AFCLST + SYMEX+ + SCAPE index from the raw
+//!    window, the price every restart pays without persistence;
+//! 2. **snapshot open** — decode the persisted snapshot and replay the
+//!    delta journal (`open_model`, read-only) or warm-restart the full
+//!    engine (`StreamingEngine::resume`), O(model bytes) either way.
+//!
+//! The opened model is asserted bit-identical to the live one (affine
+//! set and index compared by their canonical encodings), and at mid/
+//! full scale the headline ratio — cold build over snapshot open — is
+//! asserted to be at least 10×: if decoding ever gets within an order
+//! of magnitude of re-deriving the model, persistence has regressed
+//! into pointlessness.
+//!
+//! Set `AFFINITY_BENCH_JSON=<path>` to write the measurements as a JSON
+//! baseline (CI uploads `BENCH_persist.json`).
+
+use affinity_bench::{fmt_secs, header, symex_params, time, Scale};
+use affinity_core::symex::SymexVariant;
+use affinity_data::generator::{sensor_dataset, SensorConfig};
+use affinity_stream::{open_model, StreamingConfig, StreamingEngine, JOURNAL_FILE, SNAPSHOT_FILE};
+use std::fmt::Write as _;
+
+/// Journaled delta refreshes between snapshot and "crash".
+const JOURNALED_REFRESHES: u64 = 4;
+
+fn main() {
+    let scale = Scale::from_env();
+    header(
+        "Fig. 18",
+        "crash-safe persistence: cold model build vs snapshot open",
+        scale,
+    );
+    // The acceptance shape is n = 400 (mid); quick keeps CI smokes
+    // short and full doubles the pair count again.
+    let (n, window) = match scale {
+        Scale::Quick => (120, 240),
+        Scale::Mid => (400, 480),
+        Scale::Full => (800, 480),
+    };
+    println!(
+        "dataset: {n} series x {window}-tick window ({} pairs)\n",
+        n * (n - 1) / 2
+    );
+    let data = sensor_dataset(&SensorConfig {
+        series: n,
+        samples: window,
+        ..SensorConfig::default()
+    });
+
+    let cfg = || {
+        let mut c = StreamingConfig::new(window);
+        c.refresh_every = 8;
+        c.symex = symex_params(6, SymexVariant::Plus);
+        c
+    };
+
+    let dir = std::env::temp_dir().join(format!("affinity-fig18-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // --- Cold build: the no-persistence restart price --------------------
+    let (engine, cold_secs) = time(|| StreamingEngine::from_source(cfg(), &data).expect("build"));
+    let mut engine = engine;
+    println!(
+        "cold build (AFCLST + SYMEX+ + SCAPE): {}",
+        fmt_secs(cold_secs)
+    );
+
+    // --- Commit + journaled tail ----------------------------------------
+    let (_, commit_secs) = time(|| engine.persist_to(&dir).expect("persist"));
+    // Keep streaming: each due refresh journals a delta record, so the
+    // open below replays a realistic journal, not just a bare snapshot.
+    let journaled_from = engine.delta_refreshes();
+    let mut t = 0u64;
+    while engine.delta_refreshes() - journaled_from < JOURNALED_REFRESHES {
+        t += 1;
+        let tick: Vec<f64> = (0..n)
+            .map(|v| data.series(v)[(t as usize) % window] * (1.0 + 1e-3 * ((t % 7) as f64)))
+            .collect();
+        engine.push(&tick).expect("push");
+    }
+    let journal_records = engine.delta_refreshes() - journaled_from;
+    let snapshot_bytes = std::fs::metadata(dir.join(SNAPSHOT_FILE))
+        .expect("snap")
+        .len();
+    let journal_bytes = std::fs::metadata(dir.join(JOURNAL_FILE))
+        .expect("journal")
+        .len();
+    println!(
+        "snapshot commit: {} ({:.1} MB on disk, + {journal_records} journal records, {:.1} KB)",
+        fmt_secs(commit_secs),
+        snapshot_bytes as f64 / (1024.0 * 1024.0),
+        journal_bytes as f64 / 1024.0
+    );
+
+    // --- Snapshot open: read-only, then full engine resume ---------------
+    // Best of 3 against page-cache and scheduler noise; first iteration
+    // also carries the model-equality assertion.
+    let mut open_secs = f64::INFINITY;
+    for attempt in 0..3 {
+        let ((model, report), secs) = time(|| open_model(&dir).expect("open"));
+        open_secs = open_secs.min(secs);
+        assert_eq!(report.replayed_records as u64, journal_records);
+        if attempt == 0 {
+            let live = engine.model().expect("live model");
+            assert_eq!(
+                model.affine.to_bytes(),
+                live.affine().to_bytes(),
+                "opened affine set must be bit-identical to the live one"
+            );
+            assert_eq!(
+                model.index.to_bytes(),
+                live.index().to_bytes(),
+                "opened index must be bit-identical to the live one"
+            );
+        }
+    }
+    let mut resume_secs = f64::INFINITY;
+    for _ in 0..3 {
+        let ((resumed, _), secs) = time(|| StreamingEngine::resume(cfg(), &dir).expect("resume"));
+        resume_secs = resume_secs.min(secs);
+        drop(resumed);
+    }
+
+    let speedup = cold_secs / open_secs;
+    println!("snapshot open (read-only):  {}", fmt_secs(open_secs));
+    println!("engine resume (warm-start): {}", fmt_secs(resume_secs));
+    println!("\ncold build / snapshot open: {speedup:.1}x");
+    println!("opened == live: bit-for-bit (asserted)");
+    if scale != Scale::Quick {
+        assert!(
+            speedup >= 10.0,
+            "snapshot open must beat the cold build by >= 10x, got {speedup:.1}x"
+        );
+    }
+
+    if let Ok(out) = std::env::var("AFFINITY_BENCH_JSON") {
+        let mut s = String::new();
+        let _ = writeln!(s, "{{");
+        let _ = writeln!(s, "  \"bench\": \"fig18_persist\",");
+        let _ = writeln!(
+            s,
+            "  \"scale\": \"{}\",",
+            scale.tag().split(' ').next().expect("tag")
+        );
+        let _ = writeln!(
+            s,
+            "  \"hardware_threads\": {},",
+            affinity_par::resolve_threads(0)
+        );
+        let _ = writeln!(s, "  \"series\": {n},");
+        let _ = writeln!(s, "  \"window\": {window},");
+        let _ = writeln!(s, "  \"snapshot_bytes\": {snapshot_bytes},");
+        let _ = writeln!(s, "  \"journal_bytes\": {journal_bytes},");
+        let _ = writeln!(s, "  \"journal_records\": {journal_records},");
+        let _ = writeln!(s, "  \"cold_build_secs\": {cold_secs:.6},");
+        let _ = writeln!(s, "  \"snapshot_commit_secs\": {commit_secs:.6},");
+        let _ = writeln!(s, "  \"snapshot_open_secs\": {open_secs:.6},");
+        let _ = writeln!(s, "  \"engine_resume_secs\": {resume_secs:.6},");
+        let _ = writeln!(s, "  \"cold_over_open\": {speedup:.4},");
+        let _ = writeln!(s, "  \"bit_identical\": true");
+        let _ = writeln!(s, "}}");
+        std::fs::write(&out, s).expect("write bench JSON");
+        println!("wrote baseline to {out}");
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}

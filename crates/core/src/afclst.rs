@@ -141,6 +141,22 @@ impl ClusterModel {
         self.converged
     }
 
+    /// Reassemble a [`ClusterModel`] from decoded parts (the
+    /// persistence codec's constructor).
+    pub(crate) fn from_parts(
+        centers: Vec<Vec<f64>>,
+        assignment: Vec<usize>,
+        iterations: usize,
+        converged: bool,
+    ) -> ClusterModel {
+        ClusterModel {
+            centers,
+            assignment,
+            iterations,
+            converged,
+        }
+    }
+
     /// Mean orthogonal projection error of every series onto its centre —
     /// the quantity AFCLST descends on; useful to compare `k` choices.
     /// One streamed pass over the columns.

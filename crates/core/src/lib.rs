@@ -42,6 +42,7 @@ pub mod hash;
 pub mod lsfd;
 pub mod measures;
 pub mod mec;
+pub mod persist;
 pub mod quality;
 pub mod rmse;
 pub mod symex;

@@ -226,6 +226,34 @@ impl AffineSet {
         Some(std::mem::replace(slot, sr))
     }
 
+    /// Reassemble an [`AffineSet`] from decoded parts (the persistence
+    /// codec's constructor). The pair index is rebuilt from the
+    /// relationship list, exactly as the traversal builds it — entry
+    /// `i` of `relationships` is the `i`-th assigned pair.
+    pub(crate) fn assemble(
+        clusters: ClusterModel,
+        relationships: Vec<AffineRelationship>,
+        pivots: Vec<PivotPair>,
+        series_rels: Vec<SeriesRelationship>,
+        series_count: usize,
+        samples: usize,
+    ) -> AffineSet {
+        let mut pair_index: FxHashMap<(u32, u32), u32> = FxHashMap::default();
+        pair_index.reserve(relationships.len());
+        for (i, rel) in relationships.iter().enumerate() {
+            pair_index.insert((rel.pair.u as u32, rel.pair.v as u32), i as u32);
+        }
+        AffineSet {
+            clusters,
+            relationships,
+            pair_index,
+            pivots,
+            series_rels,
+            series_count,
+            samples,
+        }
+    }
+
     /// The two pivot-matrix columns of a pivot pair: the common series
     /// borrowed from `data` and the cluster centre from the model.
     ///

@@ -1,0 +1,119 @@
+//! Properties of the affine-set codec: encoding is a bijection on the
+//! models SYMEX actually produces (decode ∘ encode = identity,
+//! bit-for-bit, for randomized dataset shapes from both generators),
+//! and *no* byte-level damage — truncation at any length, a bit flip at
+//! any offset — can make the decoder panic: it either rejects with a
+//! typed `DecodeError` or yields a structurally valid set.
+
+use affinity_core::afclst::AfclstParams;
+use affinity_core::symex::{AffineSet, Symex, SymexParams, SymexVariant};
+use affinity_data::generator::{sensor_dataset, stock_dataset, SensorConfig, StockConfig};
+use affinity_data::DataMatrix;
+use proptest::prelude::*;
+
+fn build_affine(data: &DataMatrix, k: usize, seed: u64) -> AffineSet {
+    let n = data.series_count();
+    Symex::new(SymexParams {
+        afclst: AfclstParams {
+            k: k.min(n - 1).max(1),
+            gamma_max: 10,
+            delta_min: 0,
+            seed,
+        },
+        variant: SymexVariant::Plus,
+        threads: 1,
+    })
+    .run(data)
+    .unwrap()
+}
+
+/// Decode ∘ encode = identity, checked bit-for-bit via re-encoding
+/// (the encoder is deterministic, so equal bytes ⇒ equal models) plus
+/// direct field comparison of every relationship.
+fn check_roundtrip(affine: &AffineSet) {
+    let bytes = affine.to_bytes();
+    let back = AffineSet::from_bytes(&bytes).expect("own encoding must decode");
+    assert_eq!(back.series_count(), affine.series_count());
+    assert_eq!(back.len(), affine.len());
+    for (a, b) in affine.relationships().iter().zip(back.relationships()) {
+        assert_eq!(a.pair, b.pair);
+        assert_eq!(a.pivot, b.pivot);
+        assert_eq!(a.common, b.common);
+        for r in 0..2 {
+            assert_eq!(a.b[r].to_bits(), b.b[r].to_bits(), "b diverges");
+            for c in 0..2 {
+                assert_eq!(a.a[r][c].to_bits(), b.a[r][c].to_bits(), "A diverges");
+            }
+        }
+    }
+    for (a, b) in affine
+        .series_relationships()
+        .iter()
+        .zip(back.series_relationships())
+    {
+        assert_eq!(a.series, b.series);
+        assert_eq!(a.cluster, b.cluster);
+        assert_eq!(a.c.to_bits(), b.c.to_bits());
+        assert_eq!(a.d.to_bits(), b.d.to_bits());
+    }
+    assert_eq!(back.to_bytes(), bytes, "re-encoding diverges");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn affine_set_roundtrips_bit_identically_on_sensor_data(
+        n in 4usize..16,
+        m in 16usize..48,
+        k in 1usize..5,
+        seed in 0u64..1_000_000,
+    ) {
+        let data = sensor_dataset(&SensorConfig::reduced(n, m));
+        check_roundtrip(&build_affine(&data, k, seed));
+    }
+
+    #[test]
+    fn affine_set_roundtrips_bit_identically_on_stock_data(
+        n in 4usize..14,
+        m in 16usize..40,
+        k in 1usize..4,
+        seed in 0u64..1_000_000,
+    ) {
+        let data = stock_dataset(&StockConfig::reduced(n, m));
+        check_roundtrip(&build_affine(&data, k, seed));
+    }
+
+    #[test]
+    fn truncated_affine_bytes_never_panic(
+        n in 4usize..10,
+        m in 16usize..32,
+        seed in 0u64..1_000_000,
+        cut_num in 0u32..1000,
+    ) {
+        let data = sensor_dataset(&SensorConfig::reduced(n, m));
+        let bytes = build_affine(&data, 2, seed).to_bytes();
+        let cut = (cut_num as usize * bytes.len()) / 1000;
+        // Every prefix must be rejected (typed), not panic: the codec
+        // has no trailing slack, so a strict prefix is always invalid.
+        prop_assert!(AffineSet::from_bytes(&bytes[..cut]).is_err());
+    }
+
+    #[test]
+    fn bit_flipped_affine_bytes_never_panic(
+        n in 4usize..10,
+        m in 16usize..32,
+        seed in 0u64..1_000_000,
+        offset_num in 0u32..1000,
+        bit in 0u8..8,
+    ) {
+        let data = sensor_dataset(&SensorConfig::reduced(n, m));
+        let mut bytes = build_affine(&data, 2, seed).to_bytes();
+        let offset = (offset_num as usize * bytes.len()) / 1000;
+        bytes[offset] ^= 1u8 << bit;
+        // A flip may land in an f64 payload (decodes to a different but
+        // structurally valid set) or in structure (typed rejection).
+        // Either way: no panic, no OOM.
+        let _ = AffineSet::from_bytes(&bytes);
+    }
+}

@@ -7,6 +7,7 @@ use affinity_core::symex::AffineSet;
 use affinity_data::{DataMatrix, SequencePair, SeriesId, SeriesSource};
 use affinity_linalg::Matrix;
 use affinity_scape::{ScapeIndex, ThresholdOp};
+use affinity_stream::PersistedModel;
 use std::fmt;
 
 /// Errors raised by query execution.
@@ -185,6 +186,40 @@ impl<'a> Session<'a> {
                 &affinity_par::ThreadPool::new(1),
             )
             .map_err(|e| QlError::Engine(e.to_string()))?,
+        })
+    }
+
+    /// Open a session over a crash-recovered model
+    /// ([`affinity_stream::open_model`]) in O(model bytes): the MEC
+    /// engine is rebuilt from the restored reference data + affine set
+    /// and the persisted SCAPE index is deep-copied — no clustering,
+    /// fitting, or index construction is re-run, and every answer is
+    /// bit-identical to a session over the live engine's model.
+    ///
+    /// `labels` names the series for statement resolution; pass an
+    /// empty vector to auto-generate `S0..S{n-1}` (numeric-id
+    /// references always work).
+    ///
+    /// # Errors
+    /// [`QlError::Engine`] when `labels` is non-empty but does not
+    /// match the model's series count.
+    pub fn open_snapshot(model: &'a PersistedModel, labels: Vec<String>) -> Result<Self, QlError> {
+        let n = model.affine.series_count();
+        let labels = if labels.is_empty() {
+            (0..n).map(|v| format!("S{v}")).collect()
+        } else if labels.len() == n {
+            labels
+        } else {
+            return Err(QlError::Engine(format!(
+                "{} labels for {} series",
+                labels.len(),
+                n
+            )));
+        };
+        Ok(Session {
+            labels,
+            engine: MecEngine::new(&model.data, &model.affine),
+            index: model.index.clone(),
         })
     }
 

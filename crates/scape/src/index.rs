@@ -68,7 +68,11 @@ pub struct IndexStats {
 
 /// The SCAPE index (paper Sec. 5). Build once over an [`AffineSet`], then
 /// run MET/MER queries via the methods in the `query` module.
-#[derive(Debug)]
+///
+/// Cloning is a deep copy of every pivot tree; the snapshot open path
+/// (`Session::open_snapshot`) uses it to hand a decoded index to a
+/// query session without rebuilding.
+#[derive(Debug, Clone)]
 pub struct ScapeIndex {
     /// Covariance pivot nodes, in pivot order; also serves correlation.
     pub(crate) cov: Option<Vec<PairPivotNode>>,
@@ -81,8 +85,8 @@ pub struct ScapeIndex {
     pub(crate) loc: [Option<Vec<LocPivotNode>>; 3],
     /// Pivot pair → node index, shared by every pairwise family; lets
     /// [`ScapeIndex::apply_delta`] resolve a change in `O(1)`.
-    pivot_ids: FxHashMap<PivotPair, usize>,
-    stats: IndexStats,
+    pub(crate) pivot_ids: FxHashMap<PivotPair, usize>,
+    pub(crate) stats: IndexStats,
 }
 
 #[inline]

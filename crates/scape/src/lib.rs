@@ -52,9 +52,11 @@
 mod delta;
 mod error;
 mod index;
+mod persist;
 mod query;
 
 pub use delta::{PairDelta, ScapeDelta, SeriesDelta};
 pub use error::ScapeError;
 pub use index::{IndexStats, ScapeIndex};
+pub use persist::{measure_from_tag, measure_tag, INDEX_CODEC_VERSION};
 pub use query::ThresholdOp;

@@ -1,0 +1,117 @@
+//! Properties of the SCAPE index codec: a built index survives
+//! encode → decode bit-identically (checked by re-encoding — the
+//! encoder walks every pivot node, tree entry and normalizer, so equal
+//! bytes ⇒ equal index structure) for randomized dataset shapes and
+//! randomized indexed-measure subsets, the decoded index answers
+//! threshold and range queries identically, and byte-level damage
+//! (truncation, bit flips) never panics the decoder.
+
+use affinity_core::afclst::AfclstParams;
+use affinity_core::measures::{Measure, PairwiseMeasure};
+use affinity_core::symex::{AffineSet, Symex, SymexParams, SymexVariant};
+use affinity_data::generator::{sensor_dataset, SensorConfig};
+use affinity_data::DataMatrix;
+use affinity_scape::{ScapeIndex, ThresholdOp};
+use proptest::prelude::*;
+
+fn build(n: usize, m: usize, seed: u64) -> (DataMatrix, AffineSet) {
+    let data = sensor_dataset(&SensorConfig::reduced(n, m));
+    let affine = Symex::new(SymexParams {
+        afclst: AfclstParams {
+            k: 2.min(n - 1),
+            gamma_max: 10,
+            delta_min: 0,
+            seed,
+        },
+        variant: SymexVariant::Plus,
+        threads: 1,
+    })
+    .run(&data)
+    .unwrap();
+    (data, affine)
+}
+
+/// Pick a measure subset from the extended list via a bitmask (always
+/// non-empty: an empty index has nothing worth round-tripping here —
+/// the unit tests cover it).
+fn measure_subset(mask: u8) -> Vec<Measure> {
+    let picked: Vec<Measure> = Measure::EXTENDED
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| mask & (1 << i) != 0)
+        .map(|(_, &m)| m)
+        .collect();
+    if picked.is_empty() {
+        vec![Measure::Pairwise(PairwiseMeasure::Correlation)]
+    } else {
+        picked
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn index_roundtrips_bit_identically(
+        n in 4usize..14,
+        m in 16usize..40,
+        seed in 0u64..1_000_000,
+        mask in 1u8..=255,
+    ) {
+        let (data, affine) = build(n, m, seed);
+        let measures = measure_subset(mask);
+        let index = ScapeIndex::build(&data, &affine, &measures).unwrap();
+        let bytes = index.to_bytes();
+        let back = ScapeIndex::from_bytes(&bytes).expect("own encoding must decode");
+        prop_assert_eq!(back.to_bytes(), bytes, "re-encoding diverges");
+        prop_assert_eq!(back.stats(), index.stats());
+
+        // Decoded index answers queries identically (exact pair sets,
+        // same order — both walk identical trees).
+        for &measure in &measures {
+            if let Measure::Pairwise(pm) = measure {
+                let a = index.threshold_pairs(pm, ThresholdOp::Greater, 0.25).unwrap();
+                let b = back.threshold_pairs(pm, ThresholdOp::Greater, 0.25).unwrap();
+                prop_assert_eq!(a, b, "{:?} threshold answers diverge", pm);
+                let a = index.range_pairs(pm, -0.5, 0.75).unwrap();
+                let b = back.range_pairs(pm, -0.5, 0.75).unwrap();
+                prop_assert_eq!(a, b, "{:?} range answers diverge", pm);
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_index_bytes_never_panic(
+        n in 4usize..10,
+        m in 16usize..32,
+        seed in 0u64..1_000_000,
+        cut_num in 0u32..1000,
+    ) {
+        let (data, affine) = build(n, m, seed);
+        let bytes = ScapeIndex::build(&data, &affine, &Measure::EXTENDED)
+            .unwrap()
+            .to_bytes();
+        let cut = (cut_num as usize * bytes.len()) / 1000;
+        prop_assert!(ScapeIndex::from_bytes(&bytes[..cut]).is_err());
+    }
+
+    #[test]
+    fn bit_flipped_index_bytes_never_panic(
+        n in 4usize..10,
+        m in 16usize..32,
+        seed in 0u64..1_000_000,
+        offset_num in 0u32..1000,
+        bit in 0u8..8,
+    ) {
+        let (data, affine) = build(n, m, seed);
+        let mut bytes = ScapeIndex::build(&data, &affine, &Measure::EXTENDED)
+            .unwrap()
+            .to_bytes();
+        let offset = (offset_num as usize * bytes.len()) / 1000;
+        bytes[offset] ^= 1u8 << bit;
+        // Structural damage → typed rejection; a flip inside an f64
+        // payload may decode (different but valid index). Never a
+        // panic, never an unbounded allocation.
+        let _ = ScapeIndex::from_bytes(&bytes);
+    }
+}

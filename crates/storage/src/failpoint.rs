@@ -1,0 +1,224 @@
+//! Fault-injection I/O for crash-safety testing.
+//!
+//! The persistence layer's correctness claim is not "writes succeed"
+//! but "any prefix of the commit protocol leaves a recoverable state".
+//! To test that claim the crash-matrix suite needs to *produce* those
+//! prefixes deterministically: cut power after byte `k`, acknowledge a
+//! write that never reached the platter, flip a bit in flight.
+//!
+//! [`FailpointWriter`] wraps any [`Write`] sink and applies one scripted
+//! [`FailMode`] at an exact byte offset, leaving the sink's contents
+//! exactly as a real crash would. [`CommitFault`] names the coarser
+//! protocol stages of the snapshot commit (staged write → fsync →
+//! rename → directory sync) so a test can stop the protocol *between*
+//! steps, not just mid-write.
+//!
+//! This is the durability sibling of `affinity_data`'s `SlowSource`:
+//! both are deterministic adversaries baked into the library so the
+//! test suite scripts failure instead of hoping for it.
+
+use std::io::{self, Write};
+
+/// A scripted write-path fault, positioned by absolute byte offset
+/// within the stream written through one [`FailpointWriter`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailMode {
+    /// Power cut after exactly `k` bytes: the first `k` bytes reach the
+    /// sink, every write past them fails with an injected I/O error.
+    CutAt(u64),
+    /// Lying short write: the first `k` bytes reach the sink, the rest
+    /// are silently dropped while the writer keeps reporting success —
+    /// the "acknowledged but lost" firmware failure.
+    ShortAt(u64),
+    /// Flip bit `bit` (0–7) of the byte at stream offset `offset` on
+    /// its way to the sink — in-flight bit rot.
+    FlipBitAt {
+        /// Absolute stream offset of the corrupted byte.
+        offset: u64,
+        /// Which bit (0–7) to flip.
+        bit: u8,
+    },
+}
+
+/// The message carried by injected I/O errors; tests can match on it to
+/// tell a scripted crash from a real environmental failure.
+pub const INJECTED_MSG: &str = "failpoint: injected power cut";
+
+fn injected_error() -> io::Error {
+    io::Error::other(INJECTED_MSG)
+}
+
+/// A [`Write`] wrapper that applies one [`FailMode`] at its scripted
+/// byte offset and otherwise forwards everything to the inner sink.
+#[derive(Debug)]
+pub struct FailpointWriter<W: Write> {
+    inner: W,
+    mode: Option<FailMode>,
+    written: u64,
+    tripped: bool,
+}
+
+impl<W: Write> FailpointWriter<W> {
+    /// Wrap `inner`; `mode: None` makes this a transparent passthrough.
+    pub fn new(inner: W, mode: Option<FailMode>) -> Self {
+        FailpointWriter {
+            inner,
+            mode,
+            written: 0,
+            tripped: false,
+        }
+    }
+
+    /// Whether the scripted fault has fired yet.
+    pub fn tripped(&self) -> bool {
+        self.tripped
+    }
+
+    /// Bytes accepted so far (as seen by the caller, including bytes a
+    /// [`FailMode::ShortAt`] silently dropped).
+    pub fn stream_position(&self) -> u64 {
+        self.written
+    }
+
+    /// Unwrap the inner sink.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for FailpointWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        match self.mode {
+            None => {
+                let n = self.inner.write(buf)?;
+                self.written += n as u64;
+                Ok(n)
+            }
+            Some(FailMode::CutAt(k)) => {
+                if self.written >= k {
+                    self.tripped = true;
+                    return Err(injected_error());
+                }
+                // Let the allowed prefix through; the next call trips.
+                let allowed = ((k - self.written) as usize).min(buf.len());
+                let n = self.inner.write(&buf[..allowed])?;
+                self.written += n as u64;
+                Ok(n)
+            }
+            Some(FailMode::ShortAt(k)) => {
+                if self.written < k {
+                    let allowed = ((k - self.written) as usize).min(buf.len());
+                    self.inner.write_all(&buf[..allowed])?;
+                } else {
+                    self.tripped = true;
+                }
+                if self.written + buf.len() as u64 > k {
+                    self.tripped = true;
+                }
+                // Lie: report the whole buffer as written.
+                self.written += buf.len() as u64;
+                Ok(buf.len())
+            }
+            Some(FailMode::FlipBitAt { offset, bit }) => {
+                let start = self.written;
+                let end = start + buf.len() as u64;
+                if offset >= start && offset < end {
+                    let mut owned = buf.to_vec();
+                    owned[(offset - start) as usize] ^= 1u8 << (bit & 7);
+                    self.tripped = true;
+                    self.inner.write_all(&owned)?;
+                } else {
+                    self.inner.write_all(buf)?;
+                }
+                self.written += buf.len() as u64;
+                Ok(buf.len())
+            }
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// A scripted stop inside the snapshot commit protocol
+/// (staged write → fsync → atomic rename → directory sync).
+///
+/// `DuringWrite` composes with any [`FailMode`] for byte-exact faults;
+/// the remaining variants abandon the protocol *between* steps, leaving
+/// the filesystem exactly as a crash at that instant would.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitFault {
+    /// Apply a [`FailMode`] to the staged-file write itself.
+    DuringWrite(FailMode),
+    /// Crash after the staged file is fully written but before `fsync`:
+    /// its contents may be anything from empty to complete.
+    BeforeSync,
+    /// Crash after `fsync` but before the atomic rename: a complete,
+    /// durable staged file that was never published.
+    BeforeRename,
+    /// Crash after the rename but before the parent-directory sync: the
+    /// publish happened, only its durability is in question.
+    AfterRename,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passthrough_when_unarmed() {
+        let mut w = FailpointWriter::new(Vec::new(), None);
+        w.write_all(b"hello").unwrap();
+        w.write_all(b" world").unwrap();
+        assert!(!w.tripped());
+        assert_eq!(w.stream_position(), 11);
+        assert_eq!(w.into_inner(), b"hello world");
+    }
+
+    #[test]
+    fn cut_at_stops_exactly_there() {
+        for k in 0..=12u64 {
+            let mut w = FailpointWriter::new(Vec::new(), Some(FailMode::CutAt(k)));
+            let r = w.write_all(b"0123456789ab");
+            if k < 12 {
+                let e = r.unwrap_err();
+                assert_eq!(e.to_string(), INJECTED_MSG);
+                assert!(w.tripped());
+            } else {
+                r.unwrap();
+                assert!(!w.tripped());
+            }
+            let inner = w.into_inner();
+            assert_eq!(inner.len() as u64, k.min(12), "cut at {k}");
+            assert_eq!(&inner[..], &b"0123456789ab"[..inner.len()]);
+        }
+    }
+
+    #[test]
+    fn short_at_lies_about_success() {
+        let mut w = FailpointWriter::new(Vec::new(), Some(FailMode::ShortAt(4)));
+        w.write_all(b"0123456789").unwrap(); // reports success
+        w.write_all(b"more").unwrap();
+        assert!(w.tripped());
+        assert_eq!(w.into_inner(), b"0123");
+    }
+
+    #[test]
+    fn flip_bit_corrupts_one_bit() {
+        for (offset, bit) in [(0u64, 0u8), (5, 7), (9, 3)] {
+            let mut w = FailpointWriter::new(Vec::new(), Some(FailMode::FlipBitAt { offset, bit }));
+            // Split across two writes to exercise offset accounting.
+            w.write_all(b"01234").unwrap();
+            w.write_all(b"56789").unwrap();
+            assert!(w.tripped());
+            let got = w.into_inner();
+            let mut want = b"0123456789".to_vec();
+            want[offset as usize] ^= 1 << bit;
+            assert_eq!(got, want, "offset {offset} bit {bit}");
+        }
+    }
+}

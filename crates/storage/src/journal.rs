@@ -1,0 +1,378 @@
+//! Append-only delta journal with per-record CRC and torn-tail recovery.
+//!
+//! The journal is the write-ahead half of the snapshot + journal
+//! persistence design: each streaming delta is appended (and fsync'd)
+//! *before* it is applied in memory, so a crash at any instant loses at
+//! most work that was never acknowledged. Layout (little-endian):
+//!
+//! ```text
+//! magic    8 bytes  "AFJRNL01"
+//! version  u32
+//! bound_id u64      snapshot_id of the base snapshot
+//! records  { len u32, crc u32, payload len bytes }*
+//! ```
+//!
+//! `bound_id` ties the journal to exactly one base snapshot
+//! ([`crate::Snapshot::snapshot_id`]). Recovery uses it to detect the
+//! crash-between-checkpoint-and-journal-reset window: if a fresh
+//! snapshot was published but the process died before starting the new
+//! journal, the old journal's `bound_id` no longer matches and its
+//! records — already folded into the snapshot — are discarded instead
+//! of double-applied.
+//!
+//! ## Replay semantics
+//!
+//! [`replay`] returns the **valid prefix**: scanning stops at the first
+//! record whose length prefix overruns the file or whose CRC fails —
+//! the classic torn-tail rule (a crashed append leaves a half-written
+//! last record). Everything before that point is intact by CRC;
+//! everything after it is unreachable because records are
+//! length-prefixed and a corrupt length destroys resynchronization.
+//! The reader reports how many bytes it dropped so recovery can log it
+//! and [`JournalWriter::open_append`] truncates them before appending
+//! again — silent data loss is never an option, torn tails are
+//! *reported* loss.
+
+use crate::crc::crc32;
+use crate::failpoint::{FailMode, FailpointWriter, INJECTED_MSG};
+use crate::snapshot::PersistError;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Current journal format version.
+pub const JOURNAL_VERSION: u32 = 1;
+
+const MAGIC: &[u8; 8] = b"AFJRNL01";
+/// Fixed header bytes before the first record.
+pub const JOURNAL_HEADER_LEN: u64 = 8 + 4 + 8;
+/// Bytes of framing per record (len u32 + crc u32).
+pub const RECORD_OVERHEAD: u64 = 8;
+
+/// Append handle on a journal file. Every append is fsync'd before it
+/// returns — the write-ahead contract the streaming engine relies on.
+#[derive(Debug)]
+pub struct JournalWriter {
+    file: File,
+    path: PathBuf,
+    bound_id: u64,
+}
+
+impl JournalWriter {
+    /// Create (truncate) a journal bound to snapshot `bound_id`,
+    /// fsync'ing the header and the parent directory.
+    ///
+    /// # Errors
+    /// I/O failures.
+    pub fn create<P: AsRef<Path>>(path: P, bound_id: u64) -> Result<Self, PersistError> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = File::create(&path)?;
+        file.write_all(MAGIC)?;
+        file.write_all(&JOURNAL_VERSION.to_le_bytes())?;
+        file.write_all(&bound_id.to_le_bytes())?;
+        file.sync_all()?;
+        if let Some(parent) = path.parent() {
+            let parent = if parent.as_os_str().is_empty() {
+                Path::new(".")
+            } else {
+                parent
+            };
+            if let Ok(dir) = OpenOptions::new().read(true).open(parent) {
+                dir.sync_all()?;
+            }
+        }
+        Ok(JournalWriter {
+            file,
+            path,
+            bound_id,
+        })
+    }
+
+    /// Reopen an existing journal for appending after recovery:
+    /// truncates to `valid_len` (discarding a torn tail reported by
+    /// [`replay`]) and positions at the new end.
+    ///
+    /// # Errors
+    /// I/O failures.
+    pub fn open_append<P: AsRef<Path>>(
+        path: P,
+        bound_id: u64,
+        valid_len: u64,
+    ) -> Result<Self, PersistError> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new().read(true).write(true).open(&path)?;
+        file.set_len(valid_len)?;
+        file.sync_all()?;
+        let mut w = JournalWriter {
+            file,
+            path,
+            bound_id,
+        };
+        w.file.seek(SeekFrom::Start(valid_len))?;
+        Ok(w)
+    }
+
+    /// The snapshot id this journal is bound to.
+    pub fn bound_id(&self) -> u64 {
+        self.bound_id
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Append one record (`len | crc | payload`) and fsync it.
+    ///
+    /// # Errors
+    /// I/O failures.
+    pub fn append(&mut self, payload: &[u8]) -> Result<(), PersistError> {
+        self.append_with(payload, None)
+    }
+
+    /// [`JournalWriter::append`] with a scripted [`FailMode`] whose
+    /// offsets are relative to this record's first framing byte.
+    ///
+    /// `CutAt` aborts with [`PersistError::Injected`], leaving the torn
+    /// record on disk; `ShortAt` / `FlipBitAt` model lying media — the
+    /// append "succeeds" and the damage waits for [`replay`]. After an
+    /// injected fault the writer must be dropped (the crash it
+    /// simulates would have killed the process).
+    ///
+    /// # Errors
+    /// [`PersistError::Injected`] for `CutAt`; real I/O failures
+    /// otherwise.
+    pub fn append_with(
+        &mut self,
+        payload: &[u8],
+        fault: Option<FailMode>,
+    ) -> Result<(), PersistError> {
+        let mut record = Vec::with_capacity(payload.len() + RECORD_OVERHEAD as usize);
+        record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        record.extend_from_slice(&crc32(payload).to_le_bytes());
+        record.extend_from_slice(payload);
+        let mut w = FailpointWriter::new(&self.file, fault);
+        match w.write_all(&record).and_then(|()| w.flush()) {
+            Ok(()) => {}
+            Err(e) if w.tripped() => {
+                debug_assert_eq!(e.to_string(), INJECTED_MSG);
+                // Make the torn bytes durable, as a real crash after a
+                // partial write + device flush would.
+                self.file.sync_all()?;
+                return Err(PersistError::Injected);
+            }
+            Err(e) => return Err(e.into()),
+        }
+        self.file.sync_all()?;
+        Ok(())
+    }
+}
+
+/// The outcome of scanning a journal: its binding, the records of the
+/// valid prefix, and how much torn tail was dropped.
+#[derive(Debug)]
+pub struct JournalReplay {
+    /// `bound_id` from the header — which snapshot these deltas extend.
+    pub bound_id: u64,
+    /// Payloads of every intact record, in append order.
+    pub records: Vec<Vec<u8>>,
+    /// File length of the valid prefix (header + intact records); pass
+    /// to [`JournalWriter::open_append`] to truncate the tail.
+    pub valid_len: u64,
+    /// Bytes past `valid_len` that failed framing or CRC checks.
+    pub torn_bytes: u64,
+}
+
+/// Scan a journal file and return its valid prefix (see module docs).
+///
+/// # Errors
+/// [`PersistError::BadMagic`] / [`PersistError::UnsupportedVersion`] /
+/// [`PersistError::Corrupt`] if the 20-byte header itself is unusable
+/// (a journal that crashed during creation), I/O errors otherwise.
+/// Torn or bit-rotted *records* are not errors: they end the valid
+/// prefix and are reported via [`JournalReplay::torn_bytes`].
+pub fn replay<P: AsRef<Path>>(path: P) -> Result<JournalReplay, PersistError> {
+    let mut f = File::open(path.as_ref())?;
+    let mut bytes = Vec::new();
+    f.read_to_end(&mut bytes)?;
+    if bytes.len() < JOURNAL_HEADER_LEN as usize {
+        return Err(PersistError::Corrupt(format!(
+            "journal shorter than its {JOURNAL_HEADER_LEN}-byte header ({} bytes)",
+            bytes.len()
+        )));
+    }
+    if &bytes[..8] != MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version != JOURNAL_VERSION {
+        return Err(PersistError::UnsupportedVersion(version));
+    }
+    let bound_id = u64::from_le_bytes(bytes[12..20].try_into().unwrap());
+    let mut records = Vec::new();
+    let mut pos = JOURNAL_HEADER_LEN as usize;
+    loop {
+        let remaining = bytes.len() - pos;
+        if remaining < RECORD_OVERHEAD as usize {
+            break; // torn framing (or clean EOF when remaining == 0)
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+        if len > remaining - RECORD_OVERHEAD as usize {
+            break; // torn payload, or a corrupted length prefix
+        }
+        let payload = &bytes[pos + 8..pos + 8 + len];
+        if crc32(payload) != crc {
+            break; // bit rot (or a corrupted length that "fits")
+        }
+        records.push(payload.to_vec());
+        pos += RECORD_OVERHEAD as usize + len;
+    }
+    Ok(JournalReplay {
+        bound_id,
+        records,
+        valid_len: pos as u64,
+        torn_bytes: (bytes.len() - pos) as u64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("affinity-journal-tests-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn roundtrip_records() {
+        let path = tmp("roundtrip.jrnl");
+        let mut w = JournalWriter::create(&path, 42).unwrap();
+        w.append(b"first").unwrap();
+        w.append(b"").unwrap();
+        w.append(&[7u8; 200]).unwrap();
+        let rp = replay(&path).unwrap();
+        assert_eq!(rp.bound_id, 42);
+        assert_eq!(rp.records.len(), 3);
+        assert_eq!(rp.records[0], b"first");
+        assert_eq!(rp.records[1], b"");
+        assert_eq!(rp.records[2], vec![7u8; 200]);
+        assert_eq!(rp.torn_bytes, 0);
+        assert_eq!(rp.valid_len, fs::metadata(&path).unwrap().len());
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_and_reported() {
+        let path = tmp("torn.jrnl");
+        let mut w = JournalWriter::create(&path, 1).unwrap();
+        w.append(b"keep me").unwrap();
+        let keep_len = fs::metadata(&path).unwrap().len();
+        // Crash cutting the next record: once inside the framing, once
+        // inside the payload.
+        for cut in [3u64, 11] {
+            let err = w
+                .append_with(b"torn record", Some(FailMode::CutAt(cut)))
+                .unwrap_err();
+            assert!(matches!(err, PersistError::Injected));
+            let rp = replay(&path).unwrap();
+            assert_eq!(rp.records.len(), 1, "cut at {cut}");
+            assert_eq!(rp.valid_len, keep_len);
+            assert_eq!(rp.torn_bytes, cut);
+            // Recovery: truncate and keep appending.
+            w = JournalWriter::open_append(&path, 1, rp.valid_len).unwrap();
+        }
+        w.append(b"after recovery").unwrap();
+        let rp = replay(&path).unwrap();
+        assert_eq!(rp.records.len(), 2);
+        assert_eq!(rp.records[1], b"after recovery");
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bit_rot_ends_the_valid_prefix() {
+        let path = tmp("rot.jrnl");
+        let mut w = JournalWriter::create(&path, 1).unwrap();
+        w.append(b"record zero").unwrap();
+        let rot_from = fs::metadata(&path).unwrap().len();
+        w.append(b"record one").unwrap();
+        w.append(b"record two").unwrap();
+        // Flip one payload bit in record one: it and everything after
+        // it (no resync possible) drop out of the valid prefix.
+        let mut bytes = fs::read(&path).unwrap();
+        let off = rot_from as usize + RECORD_OVERHEAD as usize + 2;
+        bytes[off] ^= 0x10;
+        fs::write(&path, &bytes).unwrap();
+        let rp = replay(&path).unwrap();
+        assert_eq!(rp.records.len(), 1);
+        assert_eq!(rp.valid_len, rot_from);
+        assert!(rp.torn_bytes > 0);
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn lying_short_append_is_a_torn_tail() {
+        let path = tmp("lying.jrnl");
+        let mut w = JournalWriter::create(&path, 1).unwrap();
+        w.append(b"good").unwrap();
+        let good_len = fs::metadata(&path).unwrap().len();
+        // Media acknowledges the append but only 5 bytes landed.
+        w.append_with(b"vanishing", Some(FailMode::ShortAt(5)))
+            .unwrap();
+        let rp = replay(&path).unwrap();
+        assert_eq!(rp.records.len(), 1);
+        assert_eq!(rp.valid_len, good_len);
+        assert_eq!(rp.torn_bytes, 5);
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupted_length_prefix_cannot_oom() {
+        let path = tmp("hugelen.jrnl");
+        let mut w = JournalWriter::create(&path, 1).unwrap();
+        w.append(b"ok").unwrap();
+        let start = fs::metadata(&path).unwrap().len();
+        w.append(b"victim").unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[start as usize..start as usize + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        fs::write(&path, &bytes).unwrap();
+        let rp = replay(&path).unwrap();
+        assert_eq!(rp.records.len(), 1);
+        assert_eq!(rp.valid_len, start);
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unusable_headers_are_typed_errors() {
+        let path = tmp("hdr.jrnl");
+        fs::write(&path, b"short").unwrap();
+        assert!(matches!(replay(&path), Err(PersistError::Corrupt(_))));
+        fs::write(&path, b"NOTJRNL_____________").unwrap();
+        assert!(matches!(replay(&path), Err(PersistError::BadMagic)));
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&99u32.to_le_bytes());
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            replay(&path),
+            Err(PersistError::UnsupportedVersion(99))
+        ));
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_journal_replays_empty() {
+        let path = tmp("empty.jrnl");
+        JournalWriter::create(&path, 5).unwrap();
+        let rp = replay(&path).unwrap();
+        assert_eq!(rp.bound_id, 5);
+        assert!(rp.records.is_empty());
+        assert_eq!(rp.torn_bytes, 0);
+        fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,105 @@
+//! Checked-arithmetic validation of header-declared file layouts.
+//!
+//! Every reader in this crate follows the same rule (established in the
+//! out-of-core PR): the size a header *promises* is computed with
+//! checked arithmetic from the header integers alone and compared
+//! against the file's real length **before any size-dependent
+//! allocation**. A corrupted count must surface as a clean "corrupt"
+//! error — never as an overflowed offset, a huge allocation, or a read
+//! of garbage bytes.
+//!
+//! [`SizeCheck`] is the one shared implementation of that rule, used by
+//! [`crate::MatrixStore::open`], the snapshot reader and the journal
+//! replayer. It accumulates a promised byte count; any overflow poisons
+//! the accumulator and the final comparison reports it.
+
+/// Accumulator for a header-declared file size. All arithmetic is
+/// checked; overflow is remembered and reported by [`SizeCheck::require`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SizeCheck(Option<u64>);
+
+impl SizeCheck {
+    /// Start from zero promised bytes.
+    pub(crate) fn new() -> Self {
+        SizeCheck(Some(0))
+    }
+
+    /// Add a fixed number of bytes.
+    pub(crate) fn add(self, bytes: u64) -> Self {
+        SizeCheck(self.0.and_then(|t| t.checked_add(bytes)))
+    }
+
+    /// Add `count · each` bytes (both factors header-controlled).
+    pub(crate) fn add_mul(self, count: u64, each: u64) -> Self {
+        SizeCheck(
+            self.0
+                .and_then(|t| count.checked_mul(each).and_then(|b| t.checked_add(b))),
+        )
+    }
+
+    /// Add `count · per · unit` bytes — for layouts whose chunk size is
+    /// itself a product of header integers (e.g. `series · samples · 8`).
+    pub(crate) fn add_mul3(self, count: u64, per: u64, unit: u64) -> Self {
+        SizeCheck(self.0.and_then(|t| {
+            count
+                .checked_mul(per)
+                .and_then(|c| c.checked_mul(unit))
+                .and_then(|b| t.checked_add(b))
+        }))
+    }
+
+    /// The promised size so far, or `None` after an overflow.
+    pub(crate) fn promised(self) -> Option<u64> {
+        self.0
+    }
+
+    /// Require the promised size to equal the file's real length.
+    ///
+    /// Returns a human-readable description of the mismatch (overflow or
+    /// size disagreement) for the caller to wrap in its own `Corrupt`
+    /// variant — the helper stays error-type agnostic so both
+    /// [`crate::StorageError`] and [`crate::PersistError`] readers share
+    /// it.
+    pub(crate) fn require(self, file_len: u64, what: &str) -> Result<(), String> {
+        match self.0 {
+            None => Err(format!("{what}: header dimensions overflow")),
+            Some(expected) if expected != file_len => Err(format!(
+                "{what}: header promises {expected} bytes, file has {file_len}"
+            )),
+            Some(_) => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_match_passes() {
+        let c = SizeCheck::new().add(40).add_mul(3, 12).add_mul3(2, 5, 8);
+        assert_eq!(c.promised(), Some(40 + 36 + 80));
+        assert!(c.require(156, "t").is_ok());
+    }
+
+    #[test]
+    fn mismatch_is_reported() {
+        let err = SizeCheck::new().add(10).require(11, "t").unwrap_err();
+        assert!(err.contains("promises 10"), "{err}");
+        assert!(err.contains("file has 11"), "{err}");
+    }
+
+    #[test]
+    fn overflow_poisons_not_panics() {
+        let c = SizeCheck::new().add_mul(u64::MAX / 2, 3);
+        assert_eq!(c.promised(), None);
+        let err = c.require(100, "t").unwrap_err();
+        assert!(err.contains("overflow"), "{err}");
+        // Overflow in the 3-factor form too.
+        let c = SizeCheck::new().add_mul3(u64::MAX / 9, u64::MAX / 7, 8);
+        assert!(c.require(0, "t").is_err());
+        // And in plain add after a large accumulation.
+        let c = SizeCheck::new().add(u64::MAX).add(1);
+        assert!(c.require(0, "t").is_err());
+    }
+}

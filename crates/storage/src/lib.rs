@@ -15,6 +15,13 @@
 //! without ever materializing the `n·m` matrix — see
 //! `ARCHITECTURE.md` at the repository root for the data-flow picture.
 //!
+//! The crate also houses the crash-safe persistence primitives built
+//! on the same CRC/header-validation discipline: the atomic
+//! [`SnapshotWriter`]/[`Snapshot`] section container, the append-only
+//! [`JournalWriter`] delta journal with torn-tail recovery, and the
+//! [`failpoint`] fault-injection layer the crash-matrix suite uses to
+//! script power cuts, short writes and bit rot.
+//!
 //! ```no_run
 //! use affinity_data::generator::{sensor_dataset, SensorConfig};
 //! use affinity_storage::MatrixStore;
@@ -31,9 +38,16 @@
 
 mod cache;
 pub mod crc;
+pub mod failpoint;
+pub mod journal;
+mod layout;
 pub mod prefetch;
+mod snapshot;
 mod store;
 
 pub use cache::{CacheStats, CachedStore};
+pub use failpoint::{CommitFault, FailMode, FailpointWriter};
+pub use journal::{replay, JournalReplay, JournalWriter};
 pub use prefetch::PrefetchStats;
+pub use snapshot::{staged_path, PersistError, Snapshot, SnapshotWriter, SNAPSHOT_VERSION};
 pub use store::{MatrixStore, StorageError, FORMAT_VERSION};

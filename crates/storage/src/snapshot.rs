@@ -1,0 +1,604 @@
+//! Versioned, CRC'd section-container snapshots with atomic commit.
+//!
+//! A snapshot file is a flat container of opaque byte sections, each
+//! identified by a caller-chosen `u32` id and protected by its own
+//! CRC32 — the model layers above (affine set, index, data window)
+//! each own one section and this crate never interprets their bytes.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic        8 bytes  "AFSNAP01"
+//! version      u32
+//! generation   u64      caller's checkpoint counter
+//! snapshot_id  u64      FNV-1a fold of generation + section table
+//! section_cnt  u32
+//! table        cnt × { id u32, len u64, crc u32 }
+//! payloads     concatenated section bytes
+//! ```
+//!
+//! The `snapshot_id` is deterministic (no clocks, no randomness): it
+//! folds the generation and every table entry, so it both fingerprints
+//! the snapshot for journal binding ([`crate::JournalWriter`]) and
+//! doubles as a checksum over the header's length fields — a bit flip
+//! in the table is caught before any payload is read.
+//!
+//! ## Commit protocol
+//!
+//! [`SnapshotWriter::commit`] never exposes a half-written snapshot:
+//!
+//! 1. serialize everything to `path + ".tmp"`,
+//! 2. `fsync` the staged file,
+//! 3. atomically rename it over `path`,
+//! 4. `fsync` the parent directory (durability of the rename itself).
+//!
+//! A crash before step 3 leaves the previous snapshot untouched; after
+//! step 3 the new one is complete. There is no instant at which `path`
+//! names a torn file. [`SnapshotWriter::commit_with`] drives the same
+//! code with a scripted [`CommitFault`] so the crash-matrix suite can
+//! stop the protocol at every stage.
+//!
+//! Reading ([`Snapshot::open`]) follows the crate's header-validation
+//! rule: every length is checked against the real file size with
+//! checked arithmetic ([`crate::layout::SizeCheck`]) *before* any
+//! size-dependent allocation.
+
+use crate::crc::crc32;
+use crate::failpoint::{CommitFault, FailpointWriter, INJECTED_MSG};
+use crate::layout::SizeCheck;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Seek, Write};
+use std::path::{Path, PathBuf};
+
+/// Current snapshot container format version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+const MAGIC: &[u8; 8] = b"AFSNAP01";
+/// Fixed header bytes before the section table.
+const HEADER_LEN: u64 = 8 + 4 + 8 + 8 + 4;
+/// Bytes per section-table entry (id u32 + len u64 + crc u32).
+const TABLE_ENTRY_LEN: u64 = 16;
+
+/// Errors raised by the persistence layer (snapshots and journals).
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file does not start with the expected magic.
+    BadMagic,
+    /// Unsupported container format version.
+    UnsupportedVersion(u32),
+    /// A checksum did not match; carries a description of the block.
+    ChecksumMismatch(String),
+    /// Structurally invalid file (truncated, inconsistent lengths, …).
+    Corrupt(String),
+    /// A scripted [`CommitFault`] stopped the commit protocol — the
+    /// test-only stand-in for "the machine lost power here".
+    Injected,
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "persist i/o error: {e}"),
+            PersistError::BadMagic => write!(f, "not an AFSNAP/AFJRNL file"),
+            PersistError::UnsupportedVersion(v) => {
+                write!(f, "unsupported persist format version {v}")
+            }
+            PersistError::ChecksumMismatch(what) => write!(f, "checksum mismatch in {what}"),
+            PersistError::Corrupt(msg) => write!(f, "corrupt persist file: {msg}"),
+            PersistError::Injected => write!(f, "{INJECTED_MSG}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+/// Deterministic FNV-1a 64-bit fold used for [`Snapshot::snapshot_id`].
+#[derive(Clone, Copy)]
+struct Fnv64(u64);
+
+impl Fnv64 {
+    fn new() -> Self {
+        Fnv64(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+fn fold_id(generation: u64, table: &[(u32, u64, u32)]) -> u64 {
+    let mut h = Fnv64::new();
+    h.update(&generation.to_le_bytes());
+    for &(id, len, crc) in table {
+        h.update(&id.to_le_bytes());
+        h.update(&len.to_le_bytes());
+        h.update(&crc.to_le_bytes());
+    }
+    h.0
+}
+
+/// The staged-file sibling `commit` writes before the atomic rename.
+/// Exposed so recovery paths can sweep a leftover staged file and tests
+/// can inspect mid-protocol states.
+pub fn staged_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Builder for one snapshot file: add sections, then commit atomically.
+#[derive(Debug)]
+pub struct SnapshotWriter {
+    generation: u64,
+    sections: Vec<(u32, Vec<u8>)>,
+}
+
+impl SnapshotWriter {
+    /// Start a snapshot for checkpoint counter `generation`.
+    pub fn new(generation: u64) -> Self {
+        SnapshotWriter {
+            generation,
+            sections: Vec::new(),
+        }
+    }
+
+    /// Append one section. Ids must be unique per snapshot; the reader
+    /// rejects duplicates.
+    pub fn section(&mut self, id: u32, bytes: Vec<u8>) -> &mut Self {
+        self.sections.push((id, bytes));
+        self
+    }
+
+    fn serialize(&self) -> (Vec<u8>, u64) {
+        let table: Vec<(u32, u64, u32)> = self
+            .sections
+            .iter()
+            .map(|(id, bytes)| (*id, bytes.len() as u64, crc32(bytes)))
+            .collect();
+        let id = fold_id(self.generation, &table);
+        let payload: usize = self.sections.iter().map(|(_, b)| b.len()).sum();
+        let mut out = Vec::with_capacity(
+            HEADER_LEN as usize + table.len() * TABLE_ENTRY_LEN as usize + payload,
+        );
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        out.extend_from_slice(&self.generation.to_le_bytes());
+        out.extend_from_slice(&id.to_le_bytes());
+        out.extend_from_slice(&(table.len() as u32).to_le_bytes());
+        for &(sid, len, crc) in &table {
+            out.extend_from_slice(&sid.to_le_bytes());
+            out.extend_from_slice(&len.to_le_bytes());
+            out.extend_from_slice(&crc.to_le_bytes());
+        }
+        for (_, bytes) in &self.sections {
+            out.extend_from_slice(bytes);
+        }
+        (out, id)
+    }
+
+    /// Atomically commit the snapshot to `path` (staged write → fsync →
+    /// rename → directory sync) and return its `snapshot_id`.
+    ///
+    /// # Errors
+    /// I/O failures; the target is either the previous snapshot or the
+    /// new one, never a torn file.
+    pub fn commit<P: AsRef<Path>>(&self, path: P) -> Result<u64, PersistError> {
+        self.commit_with(path, None)
+    }
+
+    /// [`SnapshotWriter::commit`] with a scripted [`CommitFault`].
+    ///
+    /// `CutAt` and the between-steps faults abort the protocol with
+    /// [`PersistError::Injected`], leaving the filesystem exactly as a
+    /// crash at that instant would. `ShortAt` / `FlipBitAt` model media
+    /// that lies: the protocol runs to completion "successfully" and
+    /// the damage is only discoverable by [`Snapshot::open`].
+    ///
+    /// # Errors
+    /// [`PersistError::Injected`] when the scripted fault aborts the
+    /// protocol; real I/O failures as for `commit`.
+    pub fn commit_with<P: AsRef<Path>>(
+        &self,
+        path: P,
+        fault: Option<CommitFault>,
+    ) -> Result<u64, PersistError> {
+        let path = path.as_ref();
+        let (bytes, id) = self.serialize();
+        let tmp = staged_path(path);
+        let file = File::create(&tmp)?;
+        let write_mode = match fault {
+            Some(CommitFault::DuringWrite(mode)) => Some(mode),
+            _ => None,
+        };
+        let mut w = FailpointWriter::new(&file, write_mode);
+        match w.write_all(&bytes).and_then(|()| w.flush()) {
+            Ok(()) => {}
+            Err(e) if w.tripped() => {
+                // Injected power cut mid-write: the torn staged file
+                // stays on disk, exactly as a crash would leave it.
+                debug_assert_eq!(e.to_string(), INJECTED_MSG);
+                return Err(PersistError::Injected);
+            }
+            Err(e) => return Err(e.into()),
+        }
+        if matches!(fault, Some(CommitFault::BeforeSync)) {
+            return Err(PersistError::Injected);
+        }
+        file.sync_all()?;
+        if matches!(fault, Some(CommitFault::BeforeRename)) {
+            return Err(PersistError::Injected);
+        }
+        fs::rename(&tmp, path)?;
+        if matches!(fault, Some(CommitFault::AfterRename)) {
+            return Err(PersistError::Injected);
+        }
+        sync_parent_dir(path)?;
+        Ok(id)
+    }
+}
+
+/// Best-effort fsync of `path`'s parent directory so the rename that
+/// published `path` is itself durable. On platforms where directories
+/// cannot be opened for sync this is a no-op.
+fn sync_parent_dir(path: &Path) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        let parent = if parent.as_os_str().is_empty() {
+            Path::new(".")
+        } else {
+            parent
+        };
+        if let Ok(dir) = OpenOptions::new().read(true).open(parent) {
+            dir.sync_all()?;
+        }
+    }
+    Ok(())
+}
+
+/// A fully validated, in-memory snapshot: every header length was
+/// checked against the real file size before allocation and every
+/// section CRC verified eagerly at open.
+#[derive(Debug)]
+pub struct Snapshot {
+    generation: u64,
+    id: u64,
+    sections: Vec<(u32, Vec<u8>)>,
+}
+
+impl Snapshot {
+    /// Open and fully validate a snapshot file.
+    ///
+    /// # Errors
+    /// See [`PersistError`]. Corrupted length fields are rejected by
+    /// the checked whole-file size comparison before any allocation.
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<Self, PersistError> {
+        let mut f = File::open(path.as_ref())?;
+        let file_len = f.metadata()?.len();
+        let mut header = [0u8; HEADER_LEN as usize];
+        if file_len < HEADER_LEN {
+            return Err(PersistError::Corrupt(format!(
+                "snapshot shorter than its {HEADER_LEN}-byte header ({file_len} bytes)"
+            )));
+        }
+        f.read_exact(&mut header)?;
+        if &header[..8] != MAGIC {
+            return Err(PersistError::BadMagic);
+        }
+        let version = u32::from_le_bytes(header[8..12].try_into().unwrap());
+        if version != SNAPSHOT_VERSION {
+            return Err(PersistError::UnsupportedVersion(version));
+        }
+        let generation = u64::from_le_bytes(header[12..20].try_into().unwrap());
+        let stored_id = u64::from_le_bytes(header[20..28].try_into().unwrap());
+        let count = u32::from_le_bytes(header[28..32].try_into().unwrap()) as u64;
+        // The table must fit before we allocate it.
+        SizeCheck::new()
+            .add(HEADER_LEN)
+            .add_mul(count, TABLE_ENTRY_LEN)
+            .promised()
+            .filter(|&t| t <= file_len)
+            .ok_or_else(|| {
+                PersistError::Corrupt(format!("section table ({count} entries) exceeds file"))
+            })?;
+        let mut table_bytes = vec![0u8; (count * TABLE_ENTRY_LEN) as usize];
+        f.read_exact(&mut table_bytes)?;
+        let mut table = Vec::with_capacity(count as usize);
+        for entry in table_bytes.chunks_exact(TABLE_ENTRY_LEN as usize) {
+            let id = u32::from_le_bytes(entry[0..4].try_into().unwrap());
+            let len = u64::from_le_bytes(entry[4..12].try_into().unwrap());
+            let crc = u32::from_le_bytes(entry[12..16].try_into().unwrap());
+            table.push((id, len, crc));
+        }
+        // Whole-file size check from the header alone, before any
+        // payload allocation (shared checked-arithmetic helper).
+        let mut check = SizeCheck::new()
+            .add(HEADER_LEN)
+            .add_mul(count, TABLE_ENTRY_LEN);
+        for &(_, len, _) in &table {
+            check = check.add(len);
+        }
+        check
+            .require(file_len, "snapshot header")
+            .map_err(PersistError::Corrupt)?;
+        // The snapshot id folds the table, so it certifies the length
+        // fields the size check just used — a flipped table bit cannot
+        // masquerade as a shorter-but-consistent layout.
+        if fold_id(generation, &table) != stored_id {
+            return Err(PersistError::ChecksumMismatch("snapshot header".into()));
+        }
+        let mut sections = Vec::with_capacity(table.len());
+        for (i, &(id, len, crc)) in table.iter().enumerate() {
+            if sections.iter().any(|(other, _)| *other == id) {
+                return Err(PersistError::Corrupt(format!("duplicate section id {id}")));
+            }
+            let mut bytes = vec![0u8; len as usize];
+            f.read_exact(&mut bytes)?;
+            if crc32(&bytes) != crc {
+                return Err(PersistError::ChecksumMismatch(format!(
+                    "section {id} (#{i})"
+                )));
+            }
+            sections.push((id, bytes));
+        }
+        // The size check above guarantees we are at EOF here.
+        debug_assert_eq!(f.stream_position()?, file_len);
+        Ok(Snapshot {
+            generation,
+            id: stored_id,
+            sections,
+        })
+    }
+
+    /// The checkpoint counter this snapshot was committed under.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Deterministic fingerprint of this snapshot; journals bind to it.
+    pub fn snapshot_id(&self) -> u64 {
+        self.id
+    }
+
+    /// Borrow a section's bytes by id, if present.
+    pub fn section(&self, id: u32) -> Option<&[u8]> {
+        self.sections
+            .iter()
+            .find(|(sid, _)| *sid == id)
+            .map(|(_, b)| b.as_slice())
+    }
+
+    /// All sections in file order.
+    pub fn sections(&self) -> impl Iterator<Item = (u32, &[u8])> {
+        self.sections.iter().map(|(id, b)| (*id, b.as_slice()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::failpoint::FailMode;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("affinity-snapshot-tests-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn sample_writer() -> SnapshotWriter {
+        let mut w = SnapshotWriter::new(7);
+        w.section(1, b"affine set bytes".to_vec());
+        w.section(2, vec![0u8; 300]);
+        w.section(9, b"".to_vec());
+        w
+    }
+
+    #[test]
+    fn roundtrip_sections() {
+        let path = tmp("roundtrip.snap");
+        let id = sample_writer().commit(&path).unwrap();
+        let snap = Snapshot::open(&path).unwrap();
+        assert_eq!(snap.generation(), 7);
+        assert_eq!(snap.snapshot_id(), id);
+        assert_eq!(snap.section(1).unwrap(), b"affine set bytes");
+        assert_eq!(snap.section(2).unwrap().len(), 300);
+        assert_eq!(snap.section(9).unwrap(), b"");
+        assert!(snap.section(3).is_none());
+        assert_eq!(snap.sections().count(), 3);
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn snapshot_id_is_deterministic_and_content_sensitive() {
+        let (_, id1) = sample_writer().serialize();
+        let (_, id2) = sample_writer().serialize();
+        assert_eq!(id1, id2);
+        let mut other = SnapshotWriter::new(7);
+        other.section(1, b"affine set bytez".to_vec());
+        other.section(2, vec![0u8; 300]);
+        other.section(9, b"".to_vec());
+        let (_, id3) = other.serialize();
+        assert_ne!(id1, id3, "payload change must change the id");
+        let (_, id4) = {
+            let mut w = sample_writer();
+            w.generation = 8;
+            w.serialize()
+        };
+        assert_ne!(id1, id4, "generation change must change the id");
+    }
+
+    #[test]
+    fn commit_replaces_previous_snapshot_atomically() {
+        let path = tmp("replace.snap");
+        sample_writer().commit(&path).unwrap();
+        let mut w2 = SnapshotWriter::new(8);
+        w2.section(1, b"second".to_vec());
+        w2.commit(&path).unwrap();
+        let snap = Snapshot::open(&path).unwrap();
+        assert_eq!(snap.generation(), 8);
+        assert_eq!(snap.section(1).unwrap(), b"second");
+        assert!(
+            !staged_path(&path).exists(),
+            "staged file cleaned by rename"
+        );
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn cut_during_write_leaves_previous_snapshot_intact() {
+        let path = tmp("cut.snap");
+        sample_writer().commit(&path).unwrap();
+        let mut w2 = SnapshotWriter::new(8);
+        w2.section(1, b"newer".to_vec());
+        let err = w2
+            .commit_with(&path, Some(CommitFault::DuringWrite(FailMode::CutAt(10))))
+            .unwrap_err();
+        assert!(matches!(err, PersistError::Injected), "{err:?}");
+        // The published snapshot is still generation 7, torn bytes are
+        // confined to the staged sibling.
+        let snap = Snapshot::open(&path).unwrap();
+        assert_eq!(snap.generation(), 7);
+        assert_eq!(fs::metadata(staged_path(&path)).unwrap().len(), 10);
+        fs::remove_file(&path).ok();
+        fs::remove_file(staged_path(&path)).ok();
+    }
+
+    #[test]
+    fn lying_short_write_is_caught_at_open() {
+        let path = tmp("short.snap");
+        // No previous snapshot: the lying commit publishes a torn file.
+        let res = sample_writer()
+            .commit_with(&path, Some(CommitFault::DuringWrite(FailMode::ShortAt(40))));
+        assert!(res.is_ok(), "lying media reports success");
+        let err = Snapshot::open(&path).unwrap_err();
+        assert!(
+            matches!(err, PersistError::Corrupt(_) | PersistError::Io(_)),
+            "{err:?}"
+        );
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn in_flight_bit_flip_is_caught_at_open() {
+        let path = tmp("flip.snap");
+        let len = sample_writer().serialize().0.len() as u64;
+        for offset in [0u64, 9, 13, 21, 29, 33, 40, len - 1] {
+            sample_writer()
+                .commit_with(
+                    &path,
+                    Some(CommitFault::DuringWrite(FailMode::FlipBitAt {
+                        offset,
+                        bit: (offset % 8) as u8,
+                    })),
+                )
+                .unwrap();
+            let err = Snapshot::open(&path).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    PersistError::BadMagic
+                        | PersistError::UnsupportedVersion(_)
+                        | PersistError::ChecksumMismatch(_)
+                        | PersistError::Corrupt(_)
+                ),
+                "offset {offset}: {err:?}"
+            );
+        }
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn between_step_faults_leave_recoverable_states() {
+        for fault in [
+            CommitFault::BeforeSync,
+            CommitFault::BeforeRename,
+            CommitFault::AfterRename,
+        ] {
+            let path = tmp(&format!("stage-{fault:?}.snap"));
+            sample_writer().commit(&path).unwrap();
+            let mut w2 = SnapshotWriter::new(8);
+            w2.section(1, b"newer".to_vec());
+            let err = w2.commit_with(&path, Some(fault)).unwrap_err();
+            assert!(matches!(err, PersistError::Injected));
+            let snap = Snapshot::open(&path).unwrap();
+            match fault {
+                // Rename never ran: previous snapshot still published.
+                CommitFault::BeforeSync | CommitFault::BeforeRename => {
+                    assert_eq!(snap.generation(), 7, "{fault:?}");
+                    assert!(staged_path(&path).exists());
+                }
+                // Rename ran: the new snapshot is published and valid.
+                CommitFault::AfterRename => {
+                    assert_eq!(snap.generation(), 8);
+                    assert!(!staged_path(&path).exists());
+                }
+                CommitFault::DuringWrite(_) => unreachable!(),
+            }
+            fs::remove_file(&path).ok();
+            fs::remove_file(staged_path(&path)).ok();
+        }
+    }
+
+    #[test]
+    fn absurd_section_count_is_rejected_without_allocation() {
+        let path = tmp("absurd-count.snap");
+        sample_writer().commit(&path).unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[28..32].copy_from_slice(&u32::MAX.to_le_bytes());
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            Snapshot::open(&path),
+            Err(PersistError::Corrupt(_))
+        ));
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn absurd_section_length_is_rejected_without_allocation() {
+        let path = tmp("absurd-len.snap");
+        sample_writer().commit(&path).unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        // First table entry's len field lives at header + 4.
+        let off = HEADER_LEN as usize + 4;
+        bytes[off..off + 8].copy_from_slice(&(u64::MAX - 9).to_le_bytes());
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            Snapshot::open(&path),
+            Err(PersistError::Corrupt(_))
+        ));
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn duplicate_section_ids_are_rejected() {
+        let path = tmp("dup.snap");
+        let mut w = SnapshotWriter::new(1);
+        w.section(5, b"a".to_vec());
+        w.section(5, b"b".to_vec());
+        w.commit(&path).unwrap();
+        assert!(matches!(
+            Snapshot::open(&path),
+            Err(PersistError::Corrupt(_))
+        ));
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(PersistError::BadMagic.to_string().contains("AFSNAP"));
+        assert!(PersistError::Injected.to_string().contains("injected"));
+        assert!(PersistError::UnsupportedVersion(9)
+            .to_string()
+            .contains('9'));
+    }
+}

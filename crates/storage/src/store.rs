@@ -15,6 +15,7 @@
 //! random access without an index block.
 
 use crate::crc::{crc32, Crc32};
+use crate::layout::SizeCheck;
 use affinity_data::{ColumnRead, DataMatrix, SeriesSource, SourceError};
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
@@ -190,22 +191,18 @@ impl MatrixStore {
             return Err(StorageError::Corrupt("zero dimensions".into()));
         }
         let label_len64 = read_u64(&mut r)?;
-        // Whole-file size check from the four header integers alone
-        // (checked arithmetic: a corrupted count must not overflow into
-        // a "valid" size). Layout: fixed header (36 bytes), label block
-        // + crc, then `series` column chunks of `samples·8 + 4` bytes.
-        let expected = samples64
-            .checked_mul(8)
-            .and_then(|col| col.checked_add(4))
-            .and_then(|chunk| chunk.checked_mul(series64))
-            .and_then(|cols| cols.checked_add(label_len64))
-            .and_then(|v| v.checked_add(8 + 4 + 8 + 8 + 8 + 4))
-            .ok_or_else(|| StorageError::Corrupt("header dimensions overflow".into()))?;
-        if expected != file_len {
-            return Err(StorageError::Corrupt(format!(
-                "header promises {expected} bytes, file has {file_len}"
-            )));
-        }
+        // Whole-file size check from the four header integers alone,
+        // via the shared checked-arithmetic helper (a corrupted count
+        // must not overflow into a "valid" size). Layout: fixed header
+        // + label crc (40 bytes), label block, then `series` column
+        // chunks of `samples·8 + 4` bytes.
+        SizeCheck::new()
+            .add(8 + 4 + 8 + 8 + 8 + 4)
+            .add(label_len64)
+            .add_mul3(series64, samples64, 8)
+            .add_mul(series64, 4)
+            .require(file_len, "store header")
+            .map_err(StorageError::Corrupt)?;
         let samples = samples64 as usize;
         let series = series64 as usize;
         let label_len = label_len64 as usize;

@@ -17,6 +17,7 @@
 //! and the untouched fits are never re-paid. Only when too many series
 //! drift does the engine fall back to a full AFCLST + SYMEX rebuild.
 
+use crate::persist::Persistence;
 use crate::rolling::RollingStats;
 use crate::window::SlidingWindow;
 use affinity_core::affine::{
@@ -44,6 +45,11 @@ pub enum StreamError {
     /// A column fetch failed while warm-starting from a
     /// [`SeriesSource`].
     Source(affinity_data::SourceError),
+    /// Snapshot/journal I/O or validation failed (atomic-commit
+    /// protocol, CRC framing, injected faults).
+    Persist(affinity_storage::PersistError),
+    /// Persisted model bytes failed structural decoding.
+    Decode(affinity_core::persist::DecodeError),
 }
 
 impl fmt::Display for StreamError {
@@ -52,6 +58,8 @@ impl fmt::Display for StreamError {
             StreamError::Core(e) => write!(f, "model refresh failed: {e}"),
             StreamError::Scape(e) => write!(f, "index maintenance failed: {e}"),
             StreamError::Source(e) => write!(f, "warm-start fetch failed: {e}"),
+            StreamError::Persist(e) => write!(f, "persistence failed: {e}"),
+            StreamError::Decode(e) => write!(f, "persisted model corrupt: {e}"),
         }
     }
 }
@@ -62,6 +70,8 @@ impl std::error::Error for StreamError {
             StreamError::Core(e) => Some(e),
             StreamError::Scape(e) => Some(e),
             StreamError::Source(e) => Some(e),
+            StreamError::Persist(e) => Some(e),
+            StreamError::Decode(e) => Some(e),
         }
     }
 }
@@ -81,6 +91,18 @@ impl From<CoreError> for StreamError {
 impl From<affinity_scape::ScapeError> for StreamError {
     fn from(e: affinity_scape::ScapeError) -> Self {
         StreamError::Scape(e)
+    }
+}
+
+impl From<affinity_storage::PersistError> for StreamError {
+    fn from(e: affinity_storage::PersistError) -> Self {
+        StreamError::Persist(e)
+    }
+}
+
+impl From<affinity_core::persist::DecodeError> for StreamError {
+    fn from(e: affinity_core::persist::DecodeError) -> Self {
+        StreamError::Decode(e)
     }
 }
 
@@ -170,15 +192,15 @@ impl StreamingConfig {
 /// pre-processing pass, amortize it over a batch).
 #[derive(Debug)]
 pub struct Model {
-    data: DataMatrix,
-    affine: AffineSet,
-    index: ScapeIndex,
+    pub(crate) data: DataMatrix,
+    pub(crate) affine: AffineSet,
+    pub(crate) index: ScapeIndex,
     /// The streaming engine's shared worker pool, so per-snapshot MEC
     /// engines reuse one set of lanes.
-    pool: Arc<ThreadPool>,
+    pub(crate) pool: Arc<ThreadPool>,
     /// Per-series reference statistics of `data`, the drift baseline.
-    ref_means: Vec<f64>,
-    ref_vars: Vec<f64>,
+    pub(crate) ref_means: Vec<f64>,
+    pub(crate) ref_vars: Vec<f64>,
     /// Tick count of the last refresh of any kind (full or delta).
     pub built_at: u64,
     /// Tick count of the last full rebuild (reference snapshot age).
@@ -209,23 +231,54 @@ impl Model {
     pub fn mec_engine(&self) -> MecEngine<'_> {
         MecEngine::with_pool(&self.data, &self.affine, Arc::clone(&self.pool))
     }
+
+    /// Assemble a model from restored parts, recomputing the derived
+    /// drift baseline from `data` (bit-identical to the original: the
+    /// same bytes feed the same expressions).
+    pub(crate) fn assemble(
+        data: DataMatrix,
+        affine: AffineSet,
+        index: ScapeIndex,
+        pool: Arc<ThreadPool>,
+        built_at: u64,
+        full_built_at: u64,
+    ) -> Model {
+        let n = data.series_count();
+        let ref_means = (0..n).map(|v| vector::mean(data.series(v))).collect();
+        let ref_vars = (0..n).map(|v| vector::variance(data.series(v))).collect();
+        Model {
+            data,
+            affine,
+            index,
+            pool,
+            ref_means,
+            ref_vars,
+            built_at,
+            full_built_at,
+        }
+    }
 }
 
 /// Streaming ingestion with periodic model refresh.
 #[derive(Debug)]
 pub struct StreamingEngine {
-    cfg: StreamingConfig,
-    window: SlidingWindow,
-    rolling: RollingStats,
-    model: Option<Model>,
+    pub(crate) cfg: StreamingConfig,
+    pub(crate) window: SlidingWindow,
+    pub(crate) rolling: RollingStats,
+    pub(crate) model: Option<Model>,
     /// One worker pool for the engine's lifetime, shared by every
     /// refresh's SYMEX run and every snapshot's MEC engine.
-    pool: Arc<ThreadPool>,
-    ticks_at_last_refresh: u64,
-    refreshes: u64,
-    full_rebuilds: u64,
-    delta_refreshes: u64,
-    deltas_since_full: u64,
+    pub(crate) pool: Arc<ThreadPool>,
+    pub(crate) ticks_at_last_refresh: u64,
+    pub(crate) refreshes: u64,
+    pub(crate) full_rebuilds: u64,
+    pub(crate) delta_refreshes: u64,
+    pub(crate) deltas_since_full: u64,
+    /// Crash-safe persistence, armed by
+    /// [`StreamingEngine::persist_to`]: every delta refresh is
+    /// journaled *before* it is applied, every full rebuild writes a
+    /// fresh snapshot.
+    pub(crate) persistence: Option<Persistence>,
 }
 
 impl StreamingEngine {
@@ -248,6 +301,7 @@ impl StreamingEngine {
             full_rebuilds: 0,
             delta_refreshes: 0,
             deltas_since_full: 0,
+            persistence: None,
         }
     }
 
@@ -283,6 +337,7 @@ impl StreamingEngine {
             full_rebuilds: 0,
             delta_refreshes: 0,
             deltas_since_full: 0,
+            persistence: None,
         };
         engine.refresh()?;
         Ok(engine)
@@ -306,7 +361,15 @@ impl StreamingEngine {
         }
         let due = match self.model {
             None => true,
-            Some(_) => self.window.ticks() - self.ticks_at_last_refresh >= self.cfg.refresh_every,
+            // Saturating: a resumed engine's last-refresh tick can sit
+            // ahead of the restored window (journaled refreshes outlive
+            // unpersisted ticks).
+            Some(_) => {
+                self.window
+                    .ticks()
+                    .saturating_sub(self.ticks_at_last_refresh)
+                    >= self.cfg.refresh_every
+            }
         };
         if due {
             self.refresh_auto()?;
@@ -391,6 +454,13 @@ impl StreamingEngine {
         self.refreshes += 1;
         self.full_rebuilds += 1;
         self.deltas_since_full = 0;
+        // A full rebuild obsoletes the journal: checkpoint the new
+        // model and bind a fresh journal to it. On failure the
+        // in-memory model is already rebuilt; resume falls back to the
+        // previous snapshot + journal (the pre-rebuild state).
+        if self.persistence.is_some() {
+            self.checkpoint()?;
+        }
         Ok(())
     }
 
@@ -433,90 +503,119 @@ impl StreamingEngine {
     /// # Panics
     /// Panics if no model exists yet.
     pub fn refresh_delta(&mut self, drifted: &[SeriesId]) -> Result<usize, StreamError> {
-        let ticks = self.window.ticks();
-        let model = self.model.as_mut().expect("delta refresh requires a model");
-        let mut refit_pairs = 0usize;
-        if !drifted.is_empty() {
-            let current = self.window.snapshot();
-            let mut is_drifted = vec![false; current.series_count()];
-            for &v in drifted {
-                is_drifted[v] = true;
-            }
-            let mut delta = ScapeDelta::default();
-            // Per-series relationships (L-measure trees).
-            let mut new_series: Vec<SeriesRelationship> = Vec::with_capacity(drifted.len());
-            for &v in drifted {
-                let old = *model.affine.series_relationship(v);
-                let center = model.affine.clusters().center(old.cluster);
-                let (c, d) = fit_series(center, current.series(v));
-                delta.series.push(SeriesDelta {
-                    series: v,
-                    cluster: old.cluster,
-                    old: (old.c, old.d),
-                    new: (c, d),
-                });
-                new_series.push(SeriesRelationship {
-                    series: v,
-                    cluster: old.cluster,
-                    c,
-                    d,
-                });
-            }
-            // Pairwise relationships touching a drifted series, re-fit
-            // against their retained pivot over the current window.
-            let mut pinv_cache: FxHashMap<PivotPair, Matrix> = FxHashMap::default();
-            let mut new_rels: Vec<AffineRelationship> = Vec::new();
-            for rel in model.affine.relationships() {
-                if !(is_drifted[rel.pair.u] || is_drifted[rel.pair.v]) {
-                    continue;
-                }
-                let pivot = rel.pivot;
-                let pinv = pinv_cache.entry(pivot).or_insert_with(|| {
-                    pivot_pseudo_inverse(
-                        current.series(pivot.common),
-                        model.affine.clusters().center(pivot.cluster),
-                    )
-                });
-                let (a, b) = solve_relationship_pinv(
-                    pinv,
-                    current.series(rel.common),
-                    current.series(rel.pair.other(rel.common)),
-                );
-                delta.pairs.push(PairDelta {
-                    pair: rel.pair,
-                    pivot,
-                    old_beta: rel.beta(),
-                    new_beta: [a[0][1], a[1][1], b[1]],
-                });
-                new_rels.push(AffineRelationship {
-                    pair: rel.pair,
-                    pivot,
-                    common: rel.common,
-                    a,
-                    b,
-                });
-            }
-            refit_pairs = new_rels.len();
-            for rel in new_rels {
-                model
-                    .affine
-                    .replace_relationship(rel)
-                    .expect("refit keeps pair and pivot");
-            }
-            for sr in new_series {
-                model
-                    .affine
-                    .replace_series_relationship(sr)
-                    .expect("refit keeps series and cluster");
-            }
-            model.index.apply_delta(&delta)?;
+        let plan = self.plan_delta(drifted);
+        // Write-ahead: the journal record must be durable before any
+        // in-memory state changes, so a crash at any later instant
+        // replays this refresh instead of losing it. On append failure
+        // nothing has been applied — engine and disk stay consistent.
+        self.journal_plan(&plan)?;
+        let refit_pairs = plan.new_rels.len();
+        self.apply_delta_plan(&plan)?;
+        Ok(refit_pairs)
+    }
+
+    /// Compute a delta refresh against the current window without
+    /// mutating anything: the [`ScapeDelta`] plus the full re-fitted
+    /// relationships it implies (a delta's `β` values alone do not
+    /// determine the whole affine map, so replay needs the
+    /// replacements verbatim).
+    pub(crate) fn plan_delta(&self, drifted: &[SeriesId]) -> DeltaPlan {
+        let model = self.model.as_ref().expect("delta refresh requires a model");
+        let mut plan = DeltaPlan {
+            at_tick: self.window.ticks(),
+            delta: ScapeDelta::default(),
+            new_rels: Vec::new(),
+            new_series: Vec::with_capacity(drifted.len()),
+        };
+        if drifted.is_empty() {
+            return plan;
         }
-        model.built_at = ticks;
-        self.ticks_at_last_refresh = ticks;
+        let current = self.window.snapshot();
+        let mut is_drifted = vec![false; current.series_count()];
+        for &v in drifted {
+            is_drifted[v] = true;
+        }
+        // Per-series relationships (L-measure trees).
+        for &v in drifted {
+            let old = *model.affine.series_relationship(v);
+            let center = model.affine.clusters().center(old.cluster);
+            let (c, d) = fit_series(center, current.series(v));
+            plan.delta.series.push(SeriesDelta {
+                series: v,
+                cluster: old.cluster,
+                old: (old.c, old.d),
+                new: (c, d),
+            });
+            plan.new_series.push(SeriesRelationship {
+                series: v,
+                cluster: old.cluster,
+                c,
+                d,
+            });
+        }
+        // Pairwise relationships touching a drifted series, re-fit
+        // against their retained pivot over the current window.
+        let mut pinv_cache: FxHashMap<PivotPair, Matrix> = FxHashMap::default();
+        for rel in model.affine.relationships() {
+            if !(is_drifted[rel.pair.u] || is_drifted[rel.pair.v]) {
+                continue;
+            }
+            let pivot = rel.pivot;
+            let pinv = pinv_cache.entry(pivot).or_insert_with(|| {
+                pivot_pseudo_inverse(
+                    current.series(pivot.common),
+                    model.affine.clusters().center(pivot.cluster),
+                )
+            });
+            let (a, b) = solve_relationship_pinv(
+                pinv,
+                current.series(rel.common),
+                current.series(rel.pair.other(rel.common)),
+            );
+            plan.delta.pairs.push(PairDelta {
+                pair: rel.pair,
+                pivot,
+                old_beta: rel.beta(),
+                new_beta: [a[0][1], a[1][1], b[1]],
+            });
+            plan.new_rels.push(AffineRelationship {
+                pair: rel.pair,
+                pivot,
+                common: rel.common,
+                a,
+                b,
+            });
+        }
+        plan
+    }
+
+    /// Apply a planned delta refresh: patch the affine set and the
+    /// SCAPE index in lockstep, then advance the refresh bookkeeping.
+    /// Replay after a crash funnels through this same method, so a
+    /// resumed engine ends in exactly the state the live one was in.
+    pub(crate) fn apply_delta_plan(&mut self, plan: &DeltaPlan) -> Result<(), StreamError> {
+        let model = self.model.as_mut().expect("delta refresh requires a model");
+        for rel in &plan.new_rels {
+            model
+                .affine
+                .replace_relationship(rel.clone())
+                .expect("refit keeps pair and pivot");
+        }
+        for sr in &plan.new_series {
+            model
+                .affine
+                .replace_series_relationship(*sr)
+                .expect("refit keeps series and cluster");
+        }
+        if !plan.delta.is_empty() {
+            model.index.apply_delta(&plan.delta)?;
+        }
+        model.built_at = plan.at_tick;
+        self.ticks_at_last_refresh = plan.at_tick;
         self.refreshes += 1;
         self.delta_refreshes += 1;
         self.deltas_since_full += 1;
-        Ok(refit_pairs)
+        Ok(())
     }
 
     /// The current model snapshot, if the warm-up has completed.
@@ -550,11 +649,28 @@ impl StreamingEngine {
     }
 
     /// Ticks since the current model was built (staleness metric).
+    /// Saturating: a just-resumed engine's model can postdate the
+    /// restored window.
     pub fn model_age(&self) -> Option<u64> {
         self.model
             .as_ref()
-            .map(|m| self.window.ticks() - m.built_at)
+            .map(|m| self.window.ticks().saturating_sub(m.built_at))
     }
+}
+
+/// A planned (not yet applied) delta refresh: the index delta plus the
+/// full affine replacements it implies, exactly what one journal
+/// record carries.
+#[derive(Debug, Clone)]
+pub(crate) struct DeltaPlan {
+    /// Window tick count the plan was computed at.
+    pub at_tick: u64,
+    /// Node relocations for [`ScapeIndex::apply_delta`].
+    pub delta: ScapeDelta,
+    /// Re-fitted pairwise relationships, replacing same-pair entries.
+    pub new_rels: Vec<AffineRelationship>,
+    /// Re-fitted per-series relationships.
+    pub new_series: Vec<SeriesRelationship>,
 }
 
 #[cfg(test)]

@@ -27,9 +27,11 @@
 #![warn(clippy::all)]
 
 pub mod engine;
+pub mod persist;
 pub mod rolling;
 pub mod window;
 
 pub use engine::{DeltaPolicy, Model, RefreshKind, StreamError, StreamingConfig, StreamingEngine};
+pub use persist::{open_model, PersistedModel, RecoveryReport, JOURNAL_FILE, SNAPSHOT_FILE};
 pub use rolling::RollingStats;
 pub use window::SlidingWindow;

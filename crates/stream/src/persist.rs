@@ -1,0 +1,882 @@
+//! Crash-safe persistence for the streaming engine.
+//!
+//! Two files per persisted engine, both under one directory:
+//!
+//! * `model.snap` — an atomic [`SnapshotWriter`] snapshot holding the
+//!   live window, the model's reference data, the affine set and the
+//!   SCAPE index (sections below), committed via staged-write → fsync →
+//!   rename so no crash instant exposes a torn file;
+//! * `model.journal` — an append-only [`JournalWriter`] bound to the
+//!   snapshot's content id, carrying one CRC'd record per delta
+//!   refresh, fsync'd **before** the refresh mutates memory.
+//!
+//! The commit protocol (ARIES in miniature):
+//!
+//! ```text
+//!            persist_to / full refresh            delta refresh
+//!          ┌──────────────────────────┐      ┌─────────────────────┐
+//!          │ write model.snap.tmp     │      │ append record       │
+//!          │ fsync; rename; fsync dir │      │ fsync               │
+//!          │ create journal(bound_id) │      │ apply to affine     │
+//!          └──────────────────────────┘      │ apply to index      │
+//!                                            └─────────────────────┘
+//! ```
+//!
+//! Recovery ([`StreamingEngine::resume`]) is a state machine over what
+//! the crash left behind:
+//!
+//! ```text
+//! model.snap missing/corrupt ──────────────→ typed error (no model)
+//! model.snap ok, journal missing ──────────→ fresh journal  (crashed
+//!                                            between snapshot commit
+//!                                            and journal creation)
+//! journal header unusable ─────────────────→ fresh journal  (crashed
+//!                                            during creation)
+//! journal bound to another snapshot id ────→ discard (stale: its
+//!                                            deltas are folded into
+//!                                            the newer snapshot)
+//! journal ok ──────────────────────────────→ replay valid prefix,
+//!                                            truncate torn tail
+//! ```
+//!
+//! Every branch is reported in a [`RecoveryReport`] — loss is bounded
+//! (ticks since the snapshot, a torn tail's bytes) and never silent.
+
+use crate::engine::{DeltaPlan, Model, StreamError, StreamingConfig, StreamingEngine};
+use crate::rolling::RollingStats;
+use crate::window::SlidingWindow;
+use affinity_core::affine::{AffineRelationship, SeriesRelationship};
+use affinity_core::persist::{
+    get_relationship, get_series_relationship, put_relationship, put_series_relationship,
+    ByteReader, ByteWriter, DecodeError, RELATIONSHIP_BYTES, SERIES_RELATIONSHIP_BYTES,
+};
+use affinity_core::symex::AffineSet;
+use affinity_data::DataMatrix;
+use affinity_par::ThreadPool;
+use affinity_scape::{measure_from_tag, measure_tag, ScapeDelta, ScapeIndex};
+use affinity_storage::{
+    replay, staged_path, CommitFault, FailMode, JournalWriter, PersistError, Snapshot,
+    SnapshotWriter,
+};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Snapshot section: engine metadata (counters, shape, measure list).
+const SEC_META: u32 = 1;
+/// Snapshot section: live window contents.
+const SEC_WINDOW: u32 = 2;
+/// Snapshot section: the model's reference data matrix.
+const SEC_DATA: u32 = 3;
+/// Snapshot section: the affine set ([`AffineSet::to_bytes`]).
+const SEC_AFFINE: u32 = 4;
+/// Snapshot section: the SCAPE index ([`ScapeIndex::to_bytes`]).
+const SEC_INDEX: u32 = 5;
+
+/// Version byte of the META section payload.
+const META_VERSION: u8 = 1;
+/// Version byte of each journal record payload.
+const RECORD_VERSION: u8 = 1;
+
+/// Snapshot filename inside a persistence directory.
+pub const SNAPSHOT_FILE: &str = "model.snap";
+/// Journal filename inside a persistence directory.
+pub const JOURNAL_FILE: &str = "model.journal";
+
+fn snapshot_file(dir: &Path) -> PathBuf {
+    dir.join(SNAPSHOT_FILE)
+}
+
+fn journal_file(dir: &Path) -> PathBuf {
+    dir.join(JOURNAL_FILE)
+}
+
+/// Active persistence state of a [`StreamingEngine`].
+#[derive(Debug)]
+pub(crate) struct Persistence {
+    dir: PathBuf,
+    journal: JournalWriter,
+    generation: u64,
+    /// Scripted fault consumed by the next snapshot commit
+    /// (fault-injection harness).
+    next_commit_fault: Option<CommitFault>,
+    /// Scripted fault consumed by the next journal append.
+    next_journal_fault: Option<FailMode>,
+}
+
+/// What recovery found on disk and what it did about it. Loss is
+/// reported, never silent: `torn_bytes_dropped` and
+/// `stale_journal_discarded` bound exactly what a crash cost.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Generation counter of the snapshot that anchored recovery.
+    pub generation: u64,
+    /// Content id of that snapshot (journal binding).
+    pub snapshot_id: u64,
+    /// Journal records replayed on top of the snapshot.
+    pub replayed_records: usize,
+    /// Torn/bit-rotted journal tail bytes dropped by truncation.
+    pub torn_bytes_dropped: u64,
+    /// The journal belonged to an older snapshot and was discarded
+    /// (crash between a checkpoint's snapshot commit and its journal
+    /// reset — those deltas are already folded into the snapshot).
+    pub stale_journal_discarded: bool,
+    /// The journal was missing or its header unusable; a fresh one was
+    /// created (read-only opens only note it).
+    pub journal_reset: bool,
+    /// A leftover staged `model.snap.tmp` from an interrupted commit
+    /// was found (and removed when resuming).
+    pub staged_file_removed: bool,
+}
+
+/// A model restored from disk, independent of any live engine — what a
+/// query session (`affinity_ql`) opens to serve MET/MER/MEC answers
+/// without rebuilding.
+#[derive(Debug)]
+pub struct PersistedModel {
+    /// The model's reference data (captured at the last full rebuild).
+    pub data: DataMatrix,
+    /// The affine set, journal deltas already applied.
+    pub affine: AffineSet,
+    /// The SCAPE index, journal deltas already applied.
+    pub index: ScapeIndex,
+    /// The live window at snapshot time.
+    pub window: DataMatrix,
+    /// Tick count of the model's last refresh (after replay).
+    pub built_at: u64,
+    /// Tick count of the last full rebuild.
+    pub full_built_at: u64,
+    /// Snapshot generation the model came from.
+    pub generation: u64,
+}
+
+fn matrix_to_bytes(m: &DataMatrix) -> Vec<u8> {
+    let (n, s) = (m.series_count(), m.samples());
+    let mut w = ByteWriter::with_capacity(16 + n * s * 8);
+    w.put_len(n);
+    w.put_len(s);
+    for v in 0..n {
+        w.put_f64_slice(m.series(v));
+    }
+    w.into_vec()
+}
+
+fn matrix_from_bytes(bytes: &[u8]) -> Result<DataMatrix, DecodeError> {
+    let mut r = ByteReader::new(bytes);
+    let n = r.len()?;
+    let samples = r.len()?;
+    if n == 0 || samples == 0 {
+        return Err(DecodeError::Corrupt(format!(
+            "empty matrix ({n} × {samples})"
+        )));
+    }
+    let per = samples
+        .checked_mul(8)
+        .ok_or_else(|| DecodeError::Corrupt(format!("sample count {samples} overflows")))?;
+    let promised = n
+        .checked_mul(per)
+        .ok_or_else(|| DecodeError::Corrupt(format!("matrix {n} × {samples} overflows")))?;
+    if promised > r.remaining() {
+        return Err(DecodeError::Truncated {
+            needed: promised,
+            available: r.remaining(),
+        });
+    }
+    let mut series = Vec::with_capacity(n);
+    for _ in 0..n {
+        series.push(r.f64_vec(samples)?);
+    }
+    r.finish()?;
+    Ok(DataMatrix::from_series(series))
+}
+
+/// Decoded META section plus replay-time bookkeeping updates.
+#[derive(Debug, Clone)]
+struct Meta {
+    series: usize,
+    width: usize,
+    ticks: u64,
+    ticks_at_last_refresh: u64,
+    refreshes: u64,
+    full_rebuilds: u64,
+    delta_refreshes: u64,
+    deltas_since_full: u64,
+    built_at: u64,
+    full_built_at: u64,
+    measure_tags: Vec<u8>,
+}
+
+fn meta_to_bytes(engine: &StreamingEngine) -> Vec<u8> {
+    let model = engine.model.as_ref().expect("persist requires a model");
+    let mut w = ByteWriter::with_capacity(96 + engine.cfg.indexed.len());
+    w.put_u8(META_VERSION);
+    w.put_len(engine.window.series_count());
+    w.put_len(engine.window.width());
+    w.put_u64(engine.window.ticks());
+    w.put_u64(engine.ticks_at_last_refresh);
+    w.put_u64(engine.refreshes);
+    w.put_u64(engine.full_rebuilds);
+    w.put_u64(engine.delta_refreshes);
+    w.put_u64(engine.deltas_since_full);
+    w.put_u64(model.built_at);
+    w.put_u64(model.full_built_at);
+    w.put_len(engine.cfg.indexed.len());
+    for &m in &engine.cfg.indexed {
+        w.put_u8(measure_tag(m));
+    }
+    w.into_vec()
+}
+
+fn meta_from_bytes(bytes: &[u8]) -> Result<Meta, DecodeError> {
+    let mut r = ByteReader::new(bytes);
+    let version = r.u8()?;
+    if version != META_VERSION {
+        return Err(DecodeError::Corrupt(format!(
+            "unsupported meta version {version}"
+        )));
+    }
+    let series = r.len()?;
+    let width = r.len()?;
+    let ticks = r.u64()?;
+    let ticks_at_last_refresh = r.u64()?;
+    let refreshes = r.u64()?;
+    let full_rebuilds = r.u64()?;
+    let delta_refreshes = r.u64()?;
+    let deltas_since_full = r.u64()?;
+    let built_at = r.u64()?;
+    let full_built_at = r.u64()?;
+    let tag_count = r.checked_count(1, "measure tag")?;
+    let mut measure_tags = Vec::with_capacity(tag_count);
+    for _ in 0..tag_count {
+        let tag = r.u8()?;
+        measure_from_tag(tag)?; // must name a real measure
+        measure_tags.push(tag);
+    }
+    r.finish()?;
+    Ok(Meta {
+        series,
+        width,
+        ticks,
+        ticks_at_last_refresh,
+        refreshes,
+        full_rebuilds,
+        delta_refreshes,
+        deltas_since_full,
+        built_at,
+        full_built_at,
+        measure_tags,
+    })
+}
+
+fn record_to_bytes(plan: &DeltaPlan) -> Vec<u8> {
+    let mut w = ByteWriter::with_capacity(
+        32 + plan.delta.len() * 80
+            + plan.new_rels.len() * RELATIONSHIP_BYTES
+            + plan.new_series.len() * SERIES_RELATIONSHIP_BYTES,
+    );
+    w.put_u8(RECORD_VERSION);
+    w.put_u64(plan.at_tick);
+    plan.delta.encode_into(&mut w);
+    w.put_len(plan.new_rels.len());
+    for rel in &plan.new_rels {
+        put_relationship(&mut w, rel);
+    }
+    w.put_len(plan.new_series.len());
+    for sr in &plan.new_series {
+        put_series_relationship(&mut w, sr);
+    }
+    w.into_vec()
+}
+
+fn record_from_bytes(bytes: &[u8]) -> Result<DeltaPlan, DecodeError> {
+    let mut r = ByteReader::new(bytes);
+    let version = r.u8()?;
+    if version != RECORD_VERSION {
+        return Err(DecodeError::Corrupt(format!(
+            "unsupported journal record version {version}"
+        )));
+    }
+    let at_tick = r.u64()?;
+    let delta = ScapeDelta::decode_from(&mut r)?;
+    let rel_count = r.checked_count(RELATIONSHIP_BYTES, "journal relationship")?;
+    let mut new_rels: Vec<AffineRelationship> = Vec::with_capacity(rel_count);
+    for _ in 0..rel_count {
+        new_rels.push(get_relationship(&mut r)?);
+    }
+    let sr_count = r.checked_count(SERIES_RELATIONSHIP_BYTES, "journal series relationship")?;
+    let mut new_series: Vec<SeriesRelationship> = Vec::with_capacity(sr_count);
+    for _ in 0..sr_count {
+        new_series.push(get_series_relationship(&mut r)?);
+    }
+    r.finish()?;
+    Ok(DeltaPlan {
+        at_tick,
+        delta,
+        new_rels,
+        new_series,
+    })
+}
+
+fn corrupt(msg: impl Into<String>) -> StreamError {
+    StreamError::Persist(PersistError::Corrupt(msg.into()))
+}
+
+/// Everything recovered from disk before an engine (or a read-only
+/// session) is assembled around it.
+struct Loaded {
+    meta: Meta,
+    window: DataMatrix,
+    data: DataMatrix,
+    affine: AffineSet,
+    index: ScapeIndex,
+    snapshot_id: u64,
+    generation: u64,
+    /// `Some(valid_len)` when the on-disk journal is the snapshot's own
+    /// and can be reopened; `None` when it must be recreated.
+    journal_keep: Option<u64>,
+    report: RecoveryReport,
+}
+
+/// Open the snapshot, classify the journal, and replay its valid
+/// prefix onto the decoded model. Pure read — no disk mutation — so
+/// both [`StreamingEngine::resume`] and [`open_model`] share it.
+fn load(dir: &Path) -> Result<Loaded, StreamError> {
+    let snap_path = snapshot_file(dir);
+    let staged = staged_path(&snap_path);
+    let staged_present = staged.exists();
+
+    let snapshot = Snapshot::open(&snap_path)?;
+    let section = |id: u32, name: &str| {
+        snapshot
+            .section(id)
+            .ok_or_else(|| corrupt(format!("snapshot missing {name} section")))
+    };
+    let meta = meta_from_bytes(section(SEC_META, "meta")?)?;
+    let window = matrix_from_bytes(section(SEC_WINDOW, "window")?)?;
+    let data = matrix_from_bytes(section(SEC_DATA, "data")?)?;
+    let mut affine = AffineSet::from_bytes(section(SEC_AFFINE, "affine")?)?;
+    let mut index = ScapeIndex::from_bytes(section(SEC_INDEX, "index")?)?;
+
+    // Cross-section consistency: the sections passed their CRCs
+    // individually; now they must also agree with each other.
+    if window.series_count() != meta.series || window.samples() != meta.width {
+        return Err(corrupt("window section disagrees with meta"));
+    }
+    if data.series_count() != meta.series {
+        return Err(corrupt("data section disagrees with meta"));
+    }
+    if affine.series_count() != data.series_count() || affine.samples() != data.samples() {
+        return Err(corrupt("affine section disagrees with data section"));
+    }
+
+    let mut report = RecoveryReport {
+        generation: snapshot.generation(),
+        snapshot_id: snapshot.snapshot_id(),
+        staged_file_removed: staged_present,
+        ..RecoveryReport::default()
+    };
+    let mut meta = meta;
+
+    let journal_keep = match replay(journal_file(dir)) {
+        Ok(rep) if rep.bound_id == snapshot.snapshot_id() => {
+            report.torn_bytes_dropped = rep.torn_bytes;
+            for payload in &rep.records {
+                let plan = record_from_bytes(payload)?;
+                for rel in &plan.new_rels {
+                    if affine.replace_relationship(rel.clone()).is_none() {
+                        return Err(corrupt(format!(
+                            "journal record re-fits unknown pair ({}, {})",
+                            rel.pair.u, rel.pair.v
+                        )));
+                    }
+                }
+                for sr in &plan.new_series {
+                    if affine.replace_series_relationship(*sr).is_none() {
+                        return Err(corrupt(format!(
+                            "journal record re-fits unknown series {}",
+                            sr.series
+                        )));
+                    }
+                }
+                if !plan.delta.is_empty() {
+                    index.apply_delta(&plan.delta).map_err(StreamError::Scape)?;
+                }
+                meta.built_at = plan.at_tick;
+                meta.ticks_at_last_refresh = plan.at_tick;
+                meta.refreshes += 1;
+                meta.delta_refreshes += 1;
+                meta.deltas_since_full += 1;
+                report.replayed_records += 1;
+            }
+            Some(rep.valid_len)
+        }
+        Ok(_) => {
+            // Bound to an older snapshot: a crash hit the window between
+            // a checkpoint's snapshot commit and its journal reset.
+            // Those deltas are already folded into this snapshot.
+            report.stale_journal_discarded = true;
+            None
+        }
+        Err(PersistError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
+            report.journal_reset = true;
+            None
+        }
+        Err(PersistError::Io(e)) => return Err(StreamError::Persist(PersistError::Io(e))),
+        Err(_) => {
+            // Header unusable — the crash interrupted journal creation.
+            report.journal_reset = true;
+            None
+        }
+    };
+
+    Ok(Loaded {
+        meta,
+        window,
+        data,
+        affine,
+        index,
+        snapshot_id: snapshot.snapshot_id(),
+        generation: snapshot.generation(),
+        journal_keep,
+        report,
+    })
+}
+
+/// Open a persisted model read-only: snapshot + journal replay, no
+/// disk mutation (torn tails are *reported*, not truncated). This is
+/// the query-session entry point (`affinity snapshot` / `--snapshot`).
+///
+/// # Errors
+/// Typed [`StreamError`] on any corruption; never panics.
+pub fn open_model(dir: impl AsRef<Path>) -> Result<(PersistedModel, RecoveryReport), StreamError> {
+    let loaded = load(dir.as_ref())?;
+    Ok((
+        PersistedModel {
+            data: loaded.data,
+            affine: loaded.affine,
+            index: loaded.index,
+            window: loaded.window,
+            built_at: loaded.meta.built_at,
+            full_built_at: loaded.meta.full_built_at,
+            generation: loaded.generation,
+        },
+        loaded.report,
+    ))
+}
+
+impl StreamingEngine {
+    /// Arm crash-safe persistence: write an initial snapshot of the
+    /// current model + window into `dir` (created if needed) and bind a
+    /// fresh journal to it. From here on every delta refresh is
+    /// journaled before it is applied and every full rebuild writes a
+    /// new snapshot generation. Returns the snapshot's content id.
+    ///
+    /// # Errors
+    /// [`StreamError::Persist`] if no model exists yet or the commit
+    /// protocol fails.
+    pub fn persist_to(&mut self, dir: impl AsRef<Path>) -> Result<u64, StreamError> {
+        let dir = dir.as_ref().to_path_buf();
+        if self.model.is_none() {
+            return Err(corrupt("cannot persist before the first model build"));
+        }
+        fs::create_dir_all(&dir).map_err(PersistError::Io)?;
+        let generation = self
+            .persistence
+            .as_ref()
+            .map(|p| p.generation + 1)
+            .unwrap_or(1);
+        let (id, journal) = self.write_checkpoint(&dir, generation, None)?;
+        self.persistence = Some(Persistence {
+            dir,
+            journal,
+            generation,
+            next_commit_fault: None,
+            next_journal_fault: None,
+        });
+        Ok(id)
+    }
+
+    /// Write a fresh snapshot generation and bind a new journal to it
+    /// (called automatically after every full rebuild while persistence
+    /// is armed). Returns the new snapshot id.
+    ///
+    /// # Errors
+    /// [`StreamError::Persist`] if persistence is not armed or the
+    /// commit protocol fails. After a failed commit the previous
+    /// snapshot + journal remain the recovery anchor; after a failed
+    /// journal reset the old journal is stale and recovery will
+    /// discard it (reported, bounded loss).
+    pub fn checkpoint(&mut self) -> Result<u64, StreamError> {
+        let Some(p) = self.persistence.as_mut() else {
+            return Err(corrupt("checkpoint without persist_to"));
+        };
+        let dir = p.dir.clone();
+        let generation = p.generation + 1;
+        let fault = p.next_commit_fault.take();
+        let (id, journal) = self.write_checkpoint(&dir, generation, fault)?;
+        let p = self.persistence.as_mut().expect("still armed");
+        p.journal = journal;
+        p.generation = generation;
+        Ok(id)
+    }
+
+    fn write_checkpoint(
+        &self,
+        dir: &Path,
+        generation: u64,
+        fault: Option<CommitFault>,
+    ) -> Result<(u64, JournalWriter), StreamError> {
+        let model = self.model.as_ref().expect("persist requires a model");
+        let mut writer = SnapshotWriter::new(generation);
+        writer
+            .section(SEC_META, meta_to_bytes(self))
+            .section(SEC_WINDOW, matrix_to_bytes(&self.window.snapshot()))
+            .section(SEC_DATA, matrix_to_bytes(&model.data))
+            .section(SEC_AFFINE, model.affine.to_bytes())
+            .section(SEC_INDEX, model.index.to_bytes());
+        let id = writer.commit_with(snapshot_file(dir), fault)?;
+        // Snapshot durable ⇒ the old journal is obsolete; bind a fresh
+        // one. A crash landing exactly here leaves a journal bound to
+        // the previous id — recovery classifies it as stale.
+        let journal = JournalWriter::create(journal_file(dir), id)?;
+        Ok((id, journal))
+    }
+
+    /// Append a planned delta refresh to the journal (no-op when
+    /// persistence is not armed). Called by `refresh_delta` *before*
+    /// any in-memory mutation — the write-ahead contract.
+    pub(crate) fn journal_plan(&mut self, plan: &DeltaPlan) -> Result<(), StreamError> {
+        if let Some(p) = self.persistence.as_mut() {
+            let fault = p.next_journal_fault.take();
+            p.journal.append_with(&record_to_bytes(plan), fault)?;
+        }
+        Ok(())
+    }
+
+    /// Script a [`CommitFault`] into the next snapshot checkpoint
+    /// (fault-injection test harness; no effect unless persistence is
+    /// armed).
+    pub fn inject_commit_fault(&mut self, fault: CommitFault) {
+        if let Some(p) = self.persistence.as_mut() {
+            p.next_commit_fault = Some(fault);
+        }
+    }
+
+    /// Script a [`FailMode`] into the next journal append
+    /// (fault-injection test harness; no effect unless persistence is
+    /// armed).
+    pub fn inject_journal_fault(&mut self, fault: FailMode) {
+        if let Some(p) = self.persistence.as_mut() {
+            p.next_journal_fault = Some(fault);
+        }
+    }
+
+    /// Current snapshot generation, if persistence is armed.
+    pub fn snapshot_generation(&self) -> Option<u64> {
+        self.persistence.as_ref().map(|p| p.generation)
+    }
+
+    /// Warm-restart an engine from a persistence directory: open the
+    /// last durable snapshot, replay the journal's valid prefix,
+    /// truncate any torn tail, and re-arm persistence on the same
+    /// files. O(model bytes) — no clustering, fitting, or index
+    /// construction is re-run; the restored model is bit-identical to
+    /// the state the journal proves durable.
+    ///
+    /// `cfg` must structurally match the persisted engine (window
+    /// width, indexed measures); ticks pushed after the last snapshot
+    /// are not persisted, so the restored window is the snapshot-time
+    /// window (the journal protects the *model*, which may postdate
+    /// it).
+    ///
+    /// # Errors
+    /// Typed [`StreamError`] on any corruption or mismatch; never
+    /// panics, never silently accepts a damaged file.
+    pub fn resume(
+        cfg: StreamingConfig,
+        dir: impl AsRef<Path>,
+    ) -> Result<(Self, RecoveryReport), StreamError> {
+        let dir = dir.as_ref().to_path_buf();
+        let loaded = load(&dir)?;
+
+        if cfg.window != loaded.meta.width {
+            return Err(corrupt(format!(
+                "config window {} != persisted window {}",
+                cfg.window, loaded.meta.width
+            )));
+        }
+        let mut want: Vec<u8> = cfg.indexed.iter().map(|&m| measure_tag(m)).collect();
+        let mut have = loaded.meta.measure_tags.clone();
+        want.sort_unstable();
+        want.dedup();
+        have.sort_unstable();
+        have.dedup();
+        if want != have {
+            return Err(corrupt(
+                "config indexed measures differ from the persisted index",
+            ));
+        }
+
+        // Disk fix-ups resume is allowed to make (read-only opens are
+        // not): drop a leftover staged temp file, truncate the torn
+        // journal tail or recreate an unusable/stale journal.
+        let snap_path = snapshot_file(&dir);
+        let staged = staged_path(&snap_path);
+        if loaded.report.staged_file_removed {
+            fs::remove_file(&staged).map_err(PersistError::Io)?;
+        }
+        let journal = match loaded.journal_keep {
+            Some(valid_len) => {
+                JournalWriter::open_append(journal_file(&dir), loaded.snapshot_id, valid_len)?
+            }
+            None => JournalWriter::create(journal_file(&dir), loaded.snapshot_id)?,
+        };
+
+        let pool = Arc::new(ThreadPool::new(cfg.symex.threads));
+        let mut window = SlidingWindow::from_matrix(&loaded.window, loaded.meta.width);
+        window.restore_ticks(loaded.meta.ticks);
+        let rolling = RollingStats::from_window(&window);
+        let model = Model::assemble(
+            loaded.data,
+            loaded.affine,
+            loaded.index,
+            Arc::clone(&pool),
+            loaded.meta.built_at,
+            loaded.meta.full_built_at,
+        );
+        let engine = StreamingEngine {
+            cfg,
+            window,
+            rolling,
+            model: Some(model),
+            pool,
+            ticks_at_last_refresh: loaded.meta.ticks_at_last_refresh,
+            refreshes: loaded.meta.refreshes,
+            full_rebuilds: loaded.meta.full_rebuilds,
+            delta_refreshes: loaded.meta.delta_refreshes,
+            deltas_since_full: loaded.meta.deltas_since_full,
+            persistence: Some(Persistence {
+                dir,
+                journal,
+                generation: loaded.generation,
+                next_commit_fault: None,
+                next_journal_fault: None,
+            }),
+        };
+        Ok((engine, loaded.report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use affinity_core::measures::PairwiseMeasure;
+    use affinity_scape::ThresholdOp;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "affinity-stream-persist-{}-{name}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn tick(n: usize, t: u64) -> Vec<f64> {
+        (0..n)
+            .map(|v| {
+                let base = ((t as f64) * 0.12 + v as f64).sin();
+                base * (1.0 + v as f64 * 0.2) + 10.0 + ((t * 31 + v as u64 * 7) % 13) as f64 * 0.01
+            })
+            .collect()
+    }
+
+    fn cfg(window: usize, refresh_every: u64) -> StreamingConfig {
+        let mut c = StreamingConfig::new(window);
+        c.refresh_every = refresh_every;
+        if let Some(d) = c.delta.as_mut() {
+            // Make drift certain so delta refreshes touch real nodes.
+            d.drift_tolerance = 1e-9;
+            d.max_drift_fraction = 1.0;
+            d.full_every = 100;
+        }
+        c
+    }
+
+    fn assert_models_equal(a: &Model, b: &Model) {
+        assert_eq!(a.built_at, b.built_at);
+        assert_eq!(a.full_built_at, b.full_built_at);
+        for v in 0..a.data().series_count() {
+            let (sa, sb) = (a.data().series(v), b.data().series(v));
+            assert_eq!(sa.len(), sb.len());
+            for (x, y) in sa.iter().zip(sb) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        let (ba, bb) = (a.affine().to_bytes(), b.affine().to_bytes());
+        assert_eq!(ba, bb, "affine sets diverge");
+        assert_eq!(
+            a.index().to_bytes(),
+            b.index().to_bytes(),
+            "indexes diverge"
+        );
+    }
+
+    #[test]
+    fn resume_equals_live_engine_after_journaled_refreshes() {
+        let n = 8;
+        let dir = tmp_dir("equiv");
+        let mut live = StreamingEngine::new(n, cfg(24, 8));
+        let mut t = 0;
+        for _ in 0..24 {
+            t += 1;
+            live.push(&tick(n, t)).unwrap();
+        }
+        live.persist_to(&dir).unwrap();
+        // Journaled delta refreshes (no full rebuild: full_every=100).
+        for _ in 0..20 {
+            t += 1;
+            live.push(&tick(n, t)).unwrap();
+        }
+        assert!(live.delta_refreshes() > 0);
+        let (resumed, report) = StreamingEngine::resume(cfg(24, 8), &dir).unwrap();
+        assert_eq!(report.replayed_records as u64, live.delta_refreshes());
+        assert_eq!(report.torn_bytes_dropped, 0);
+        assert!(!report.stale_journal_discarded);
+        assert_models_equal(live.model().unwrap(), resumed.model().unwrap());
+        // Query answers agree bit-for-bit.
+        let q = |m: &Model| {
+            m.index()
+                .threshold_pairs(PairwiseMeasure::Correlation, ThresholdOp::Greater, 0.4)
+                .unwrap()
+        };
+        assert_eq!(q(live.model().unwrap()), q(resumed.model().unwrap()));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_on_full_rebuild_discards_old_journal() {
+        let n = 6;
+        let dir = tmp_dir("ckpt");
+        let mut live = StreamingEngine::new(n, cfg(16, 4));
+        let mut t = 0;
+        for _ in 0..16 {
+            t += 1;
+            live.push(&tick(n, t)).unwrap();
+        }
+        live.persist_to(&dir).unwrap();
+        assert_eq!(live.snapshot_generation(), Some(1));
+        live.refresh().unwrap(); // full rebuild → generation 2
+        assert_eq!(live.snapshot_generation(), Some(2));
+        let (resumed, report) = StreamingEngine::resume(cfg(16, 4), &dir).unwrap();
+        assert_eq!(report.generation, 2);
+        assert_eq!(report.replayed_records, 0);
+        assert_models_equal(live.model().unwrap(), resumed.model().unwrap());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_journal_tail_is_truncated_and_reported() {
+        let n = 6;
+        let dir = tmp_dir("torn");
+        let mut live = StreamingEngine::new(n, cfg(16, 4));
+        let mut t = 0;
+        for _ in 0..16 {
+            t += 1;
+            live.push(&tick(n, t)).unwrap();
+        }
+        live.persist_to(&dir).unwrap();
+        for _ in 0..8 {
+            t += 1;
+            live.push(&tick(n, t)).unwrap();
+        }
+        let good = live.delta_refreshes();
+        assert!(good >= 2);
+        // Cut power 9 bytes into the next journal record.
+        live.inject_journal_fault(FailMode::CutAt(9));
+        let drifted: Vec<usize> = (0..n).collect();
+        match live.refresh_delta(&drifted) {
+            Err(StreamError::Persist(PersistError::Injected)) => {}
+            other => panic!("expected injected fault, got {other:?}"),
+        }
+        drop(live);
+        let (resumed, report) = StreamingEngine::resume(cfg(16, 4), &dir).unwrap();
+        assert_eq!(report.replayed_records as u64, good);
+        assert_eq!(report.torn_bytes_dropped, 9);
+        assert!(resumed.model().is_some());
+        // The journal is usable again after truncation.
+        let journal_len = fs::metadata(journal_file(&dir)).unwrap().len();
+        let (resumed2, report2) = StreamingEngine::resume(cfg(16, 4), &dir).unwrap();
+        assert_eq!(report2.torn_bytes_dropped, 0);
+        assert_eq!(fs::metadata(journal_file(&dir)).unwrap().len(), journal_len);
+        assert_models_equal(resumed.model().unwrap(), resumed2.model().unwrap());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_config() {
+        let n = 6;
+        let dir = tmp_dir("cfgmismatch");
+        let mut live = StreamingEngine::new(n, cfg(16, 4));
+        for t in 1..=16 {
+            live.push(&tick(n, t)).unwrap();
+        }
+        live.persist_to(&dir).unwrap();
+        assert!(matches!(
+            StreamingEngine::resume(cfg(32, 4), &dir),
+            Err(StreamError::Persist(PersistError::Corrupt(_)))
+        ));
+        let mut wrong = cfg(16, 4);
+        wrong.indexed = vec![affinity_core::measures::Measure::Pairwise(
+            PairwiseMeasure::Covariance,
+        )];
+        assert!(matches!(
+            StreamingEngine::resume(wrong, &dir),
+            Err(StreamError::Persist(PersistError::Corrupt(_)))
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_model_is_read_only() {
+        let n = 6;
+        let dir = tmp_dir("readonly");
+        let mut live = StreamingEngine::new(n, cfg(16, 4));
+        let mut t = 0;
+        for _ in 0..24 {
+            t += 1;
+            live.push(&tick(n, t)).unwrap();
+        }
+        live.persist_to(&dir).unwrap();
+        let journaled_from = live.delta_refreshes();
+        for _ in 0..8 {
+            t += 1;
+            live.push(&tick(n, t)).unwrap();
+        }
+        let snap_before = fs::read(snapshot_file(&dir)).unwrap();
+        let journal_before = fs::read(journal_file(&dir)).unwrap();
+        let (model, report) = open_model(&dir).unwrap();
+        assert_eq!(
+            report.replayed_records as u64,
+            live.delta_refreshes() - journaled_from
+        );
+        assert_eq!(
+            model.affine.to_bytes(),
+            live.model().unwrap().affine().to_bytes()
+        );
+        assert_eq!(fs::read(snapshot_file(&dir)).unwrap(), snap_before);
+        assert_eq!(fs::read(journal_file(&dir)).unwrap(), journal_before);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_snapshot_is_a_typed_error() {
+        let dir = tmp_dir("missing");
+        assert!(matches!(
+            StreamingEngine::resume(cfg(16, 4), &dir),
+            Err(StreamError::Persist(PersistError::Io(_)))
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

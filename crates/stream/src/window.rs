@@ -107,6 +107,14 @@ impl SlidingWindow {
         Ok(w)
     }
 
+    /// Overwrite the tick counter after restoring contents from a
+    /// snapshot ([`SlidingWindow::from_matrix`] leaves it at `width`;
+    /// the persisted engine had ingested more).
+    pub(crate) fn restore_ticks(&mut self, ticks: u64) {
+        debug_assert!(ticks >= self.width as u64, "restored window must be warm");
+        self.ticks = ticks;
+    }
+
     /// Number of series.
     pub fn series_count(&self) -> usize {
         self.series

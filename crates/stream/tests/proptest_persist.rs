@@ -1,0 +1,155 @@
+//! Properties of the snapshot + journal recovery path, over randomized
+//! engine shapes and tick streams:
+//!
+//! * **Replay = direct application.** An engine that persists, then
+//!   runs a random number of journaled delta refreshes, recovers —
+//!   via both [`StreamingEngine::resume`] and the read-only
+//!   [`open_model`] — to the *same model the live engine holds*,
+//!   bit-for-bit: replaying the journal is equivalent to having
+//!   applied each delta directly.
+//! * **Resume is idempotent.** Recovering twice from the same
+//!   directory yields byte-identical models and a clean second report.
+//!
+//! Tick streams are generated deterministically from a proptest-drawn
+//! seed (splitmix-style), so failures shrink and reproduce.
+
+use affinity_core::measures::PairwiseMeasure;
+use affinity_scape::ThresholdOp;
+use affinity_stream::{open_model, Model, StreamingConfig, StreamingEngine};
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "affinity-proptest-persist-{}-{tag}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn tick(n: usize, rng: &mut u64) -> Vec<f64> {
+    (0..n)
+        .map(|v| {
+            let r = splitmix(rng);
+            // Smooth-ish per-series level + bounded noise in [0, 1).
+            10.0 + v as f64 + (r >> 11) as f64 / (1u64 << 53) as f64
+        })
+        .collect()
+}
+
+fn cfg(window: usize, refresh_every: u64) -> StreamingConfig {
+    let mut c = StreamingConfig::new(window);
+    c.refresh_every = refresh_every;
+    if let Some(d) = c.delta.as_mut() {
+        d.drift_tolerance = 1e-9; // every refresh drifts ⇒ journaled deltas
+        d.max_drift_fraction = 1.0;
+        d.full_every = 1000; // keep the run on the journal, no checkpoints
+    }
+    c
+}
+
+fn assert_models_bit_equal(a: &Model, b: &Model) {
+    assert_eq!(a.built_at, b.built_at);
+    assert_eq!(a.full_built_at, b.full_built_at);
+    assert_eq!(
+        a.affine().to_bytes(),
+        b.affine().to_bytes(),
+        "affine sets diverge"
+    );
+    assert_eq!(
+        a.index().to_bytes(),
+        b.index().to_bytes(),
+        "indexes diverge"
+    );
+    for v in 0..a.data().series_count() {
+        for (x, y) in a.data().series(v).iter().zip(b.data().series(v)) {
+            assert_eq!(x.to_bits(), y.to_bits(), "reference data diverges");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn journal_replay_equals_direct_application(
+        n in 4usize..9,
+        window in 12usize..24,
+        refresh_every in 3u64..7,
+        extra_ticks in 0usize..40,
+        seed in 0u64..1_000_000,
+    ) {
+        let dir = tmp_dir(&format!("replay-{n}-{window}-{refresh_every}-{extra_ticks}-{seed}"));
+        let mut rng = seed;
+        let mut live = StreamingEngine::new(n, cfg(window, refresh_every));
+        for _ in 0..window {
+            live.push(&tick(n, &mut rng)).unwrap();
+        }
+        live.persist_to(&dir).unwrap();
+        let journaled_from = live.delta_refreshes();
+
+        // A random number of post-snapshot ticks ⇒ a random-length
+        // journaled delta sequence (possibly empty).
+        for _ in 0..extra_ticks {
+            live.push(&tick(n, &mut rng)).unwrap();
+        }
+        let journaled = live.delta_refreshes() - journaled_from;
+
+        // Crash (drop) and recover: the recovered model must equal the
+        // live one — every applied delta was durable before it ran.
+        let live_model = live.model().unwrap();
+        let (resumed, report) = StreamingEngine::resume(cfg(window, refresh_every), &dir).unwrap();
+        prop_assert_eq!(report.replayed_records as u64, journaled);
+        prop_assert_eq!(report.torn_bytes_dropped, 0);
+        assert_models_bit_equal(live_model, resumed.model().unwrap());
+
+        // The read-only open agrees with the resumed engine, and both
+        // answer index queries exactly like the live engine.
+        let (opened, report2) = open_model(&dir).unwrap();
+        prop_assert_eq!(report2.replayed_records as u64, journaled);
+        prop_assert_eq!(opened.index.to_bytes(), live_model.index().to_bytes());
+        let q = |m: &Model| {
+            m.index()
+                .threshold_pairs(PairwiseMeasure::Correlation, ThresholdOp::Greater, 0.2)
+                .unwrap()
+        };
+        prop_assert_eq!(q(live_model), q(resumed.model().unwrap()));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_is_idempotent(
+        n in 4usize..8,
+        extra_ticks in 0usize..24,
+        seed in 0u64..1_000_000,
+    ) {
+        let dir = tmp_dir(&format!("idem-{n}-{extra_ticks}-{seed}"));
+        let mut rng = seed;
+        let mut live = StreamingEngine::new(n, cfg(16, 4));
+        for _ in 0..16 {
+            live.push(&tick(n, &mut rng)).unwrap();
+        }
+        live.persist_to(&dir).unwrap();
+        for _ in 0..extra_ticks {
+            live.push(&tick(n, &mut rng)).unwrap();
+        }
+        drop(live);
+        let (a, ra) = StreamingEngine::resume(cfg(16, 4), &dir).unwrap();
+        let (b, rb) = StreamingEngine::resume(cfg(16, 4), &dir).unwrap();
+        prop_assert_eq!(ra.replayed_records, rb.replayed_records);
+        prop_assert_eq!(rb.torn_bytes_dropped, 0);
+        prop_assert!(!rb.stale_journal_discarded);
+        assert_models_bit_equal(a.model().unwrap(), b.model().unwrap());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

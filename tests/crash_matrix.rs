@@ -1,0 +1,329 @@
+//! Crash matrix: scripted power cuts, lying media and bit rot at every
+//! stage of the persistence commit protocol. The correctness claim
+//! under test (ARCHITECTURE.md, "Crash-safe persistence") is:
+//!
+//! > any prefix of the commit protocol leaves a state from which
+//! > recovery produces a consistent model — the last one proven
+//! > durable — or a clean typed error; never a panic, never silent
+//! > corruption.
+//!
+//! Ten injection points:
+//!
+//! | # | fault                                   | durable outcome            |
+//! |---|-----------------------------------------|----------------------------|
+//! | 1 | power cut mid-snapshot write            | previous snapshot + journal|
+//! | 2 | crash after staged write, before fsync  | previous snapshot + journal|
+//! | 3 | crash after fsync, before rename        | previous snapshot + journal|
+//! | 4 | crash after rename, before journal reset| new snapshot, stale journal|
+//! | 5 | lying bit-flip inside the snapshot      | typed corruption error     |
+//! | 6 | power cut mid-journal record            | valid journal prefix       |
+//! | 7 | lying short write of a journal record   | valid journal prefix       |
+//! | 8 | lying bit-flip inside a journal record  | valid journal prefix       |
+//! | 9 | journal file deleted between runs       | snapshot alone, fresh journal|
+//! |10 | snapshot file missing                   | typed I/O error            |
+
+use affinity::core::measures::PairwiseMeasure;
+use affinity::scape::ThresholdOp;
+use affinity::storage::{CommitFault, FailMode, PersistError};
+use affinity::stream::{
+    open_model, Model, StreamError, StreamingConfig, StreamingEngine, JOURNAL_FILE, SNAPSHOT_FILE,
+};
+use std::fs;
+use std::path::PathBuf;
+
+const N: usize = 6;
+const WINDOW: usize = 16;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "affinity-crash-matrix-{}-{tag}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn tick(t: u64) -> Vec<f64> {
+    (0..N)
+        .map(|v| {
+            let base = ((t as f64) * 0.17 + v as f64).sin();
+            base * (1.0 + v as f64 * 0.3) + 20.0 + ((t * 37 + v as u64 * 11) % 17) as f64 * 0.01
+        })
+        .collect()
+}
+
+fn cfg() -> StreamingConfig {
+    let mut c = StreamingConfig::new(WINDOW);
+    c.refresh_every = 4;
+    if let Some(d) = c.delta.as_mut() {
+        d.drift_tolerance = 1e-9; // every refresh drifts ⇒ journaled deltas
+        d.max_drift_fraction = 1.0;
+        d.full_every = 1000; // full rebuilds only when the test asks
+    }
+    c
+}
+
+/// Warm engine, armed persistence, a few journaled delta refreshes on
+/// disk. Returns the engine and the tick counter.
+fn armed_engine(dir: &PathBuf) -> (StreamingEngine, u64) {
+    let mut e = StreamingEngine::new(N, cfg());
+    let mut t = 0;
+    for _ in 0..WINDOW {
+        t += 1;
+        e.push(&tick(t)).unwrap();
+    }
+    e.persist_to(dir).unwrap();
+    for _ in 0..8 {
+        t += 1;
+        e.push(&tick(t)).unwrap();
+    }
+    assert!(e.delta_refreshes() >= 2, "scenario needs journaled deltas");
+    (e, t)
+}
+
+fn assert_models_bit_equal(a: &Model, b: &Model, what: &str) {
+    assert_eq!(
+        a.affine().to_bytes(),
+        b.affine().to_bytes(),
+        "{what}: affine diverges"
+    );
+    assert_eq!(
+        a.index().to_bytes(),
+        b.index().to_bytes(),
+        "{what}: index diverges"
+    );
+    assert_eq!(a.built_at, b.built_at, "{what}: built_at diverges");
+}
+
+fn assert_queries_work(m: &Model) {
+    // The recovered model must be usable, not just decodable.
+    m.index()
+        .threshold_pairs(PairwiseMeasure::Correlation, ThresholdOp::Greater, 0.5)
+        .unwrap();
+}
+
+/// Faults 1–3: the snapshot publish never happened, so recovery lands
+/// on the *previous* snapshot plus every journaled delta — exactly the
+/// durable state captured before the crash.
+fn checkpoint_fault_recovers_previous_state(fault: CommitFault, tag: &str) {
+    let dir = tmp_dir(tag);
+    let (mut live, _t) = armed_engine(&dir);
+    // The durable state the crash must roll back to.
+    let (expect, _) = open_model(&dir).unwrap();
+
+    live.inject_commit_fault(fault);
+    match live.refresh() {
+        Err(StreamError::Persist(PersistError::Injected)) => {}
+        other => panic!("{tag}: expected injected fault, got {other:?}"),
+    }
+    drop(live); // crash
+
+    let (resumed, report) = StreamingEngine::resume(cfg(), &dir).unwrap();
+    assert_eq!(report.generation, 1, "{tag}");
+    assert!(!report.stale_journal_discarded, "{tag}");
+    let model = resumed.model().unwrap();
+    assert_eq!(model.affine().to_bytes(), expect.affine.to_bytes(), "{tag}");
+    assert_eq!(model.index().to_bytes(), expect.index.to_bytes(), "{tag}");
+    assert_queries_work(model);
+    // The directory is fully healed: a second recovery is clean.
+    let (_again, report2) = StreamingEngine::resume(cfg(), &dir).unwrap();
+    assert_eq!(report2.torn_bytes_dropped, 0, "{tag}");
+    assert!(!report2.staged_file_removed, "{tag}");
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn fault_1_power_cut_mid_snapshot_write() {
+    checkpoint_fault_recovers_previous_state(
+        CommitFault::DuringWrite(FailMode::CutAt(64)),
+        "cut-mid-write",
+    );
+}
+
+#[test]
+fn fault_2_crash_before_staged_fsync() {
+    checkpoint_fault_recovers_previous_state(CommitFault::BeforeSync, "before-sync");
+}
+
+#[test]
+fn fault_3_crash_before_rename() {
+    checkpoint_fault_recovers_previous_state(CommitFault::BeforeRename, "before-rename");
+}
+
+#[test]
+fn fault_4_crash_after_rename_discards_stale_journal() {
+    let dir = tmp_dir("after-rename");
+    let (mut live, _t) = armed_engine(&dir);
+    live.inject_commit_fault(CommitFault::AfterRename);
+    match live.refresh() {
+        Err(StreamError::Persist(PersistError::Injected)) => {}
+        other => panic!("expected injected fault, got {other:?}"),
+    }
+    // The rebuild itself succeeded in memory; the new snapshot was
+    // published but the journal never rebound.
+    let expect_affine = live.model().unwrap().affine().to_bytes();
+    let expect_index = live.model().unwrap().index().to_bytes();
+    drop(live); // crash
+
+    let (resumed, report) = StreamingEngine::resume(cfg(), &dir).unwrap();
+    assert_eq!(report.generation, 2);
+    assert!(
+        report.stale_journal_discarded,
+        "old-id journal must be detected"
+    );
+    assert_eq!(report.replayed_records, 0);
+    let model = resumed.model().unwrap();
+    assert_eq!(model.affine().to_bytes(), expect_affine);
+    assert_eq!(model.index().to_bytes(), expect_index);
+    assert_queries_work(model);
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn fault_5_lying_bit_flip_in_snapshot_is_a_typed_error() {
+    let dir = tmp_dir("snap-bit-rot");
+    let (mut live, _t) = armed_engine(&dir);
+    // Flip a bit deep in the payload; the media acknowledges the write.
+    live.inject_commit_fault(CommitFault::DuringWrite(FailMode::FlipBitAt {
+        offset: 200,
+        bit: 3,
+    }));
+    live.refresh().expect("lying media reports success");
+    drop(live); // crash
+
+    // Never silent: both recovery paths refuse the damaged snapshot
+    // with a typed error, no panic.
+    for result in [
+        StreamingEngine::resume(cfg(), &dir).map(|_| ()),
+        open_model(&dir).map(|_| ()),
+    ] {
+        match result {
+            Err(StreamError::Persist(
+                PersistError::ChecksumMismatch(_) | PersistError::Corrupt(_),
+            )) => {}
+            other => panic!("expected corruption error, got {other:?}"),
+        }
+    }
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn fault_6_power_cut_mid_journal_record() {
+    let dir = tmp_dir("journal-cut");
+    let (mut live, _t) = armed_engine(&dir);
+    let good = live.delta_refreshes();
+    let (expect, _) = open_model(&dir).unwrap();
+
+    live.inject_journal_fault(FailMode::CutAt(11));
+    let drifted: Vec<usize> = (0..N).collect();
+    match live.refresh_delta(&drifted) {
+        Err(StreamError::Persist(PersistError::Injected)) => {}
+        other => panic!("expected injected fault, got {other:?}"),
+    }
+    drop(live); // crash
+
+    let (resumed, report) = StreamingEngine::resume(cfg(), &dir).unwrap();
+    assert_eq!(report.replayed_records as u64, good);
+    assert_eq!(report.torn_bytes_dropped, 11);
+    assert_eq!(
+        resumed.model().unwrap().affine().to_bytes(),
+        expect.affine.to_bytes(),
+        "recovery lands on the durable prefix"
+    );
+    assert_queries_work(resumed.model().unwrap());
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn fault_7_lying_short_journal_write() {
+    let dir = tmp_dir("journal-short");
+    let (mut live, _t) = armed_engine(&dir);
+    let good = live.delta_refreshes();
+
+    // The short write is acknowledged, so the engine keeps running and
+    // even appends more records — all after the torn one are garbage.
+    live.inject_journal_fault(FailMode::ShortAt(13));
+    let drifted: Vec<usize> = (0..N).collect();
+    live.refresh_delta(&drifted)
+        .expect("lying media reports success");
+    live.refresh_delta(&drifted)
+        .expect("subsequent appends succeed");
+    drop(live); // crash
+
+    let (resumed, report) = StreamingEngine::resume(cfg(), &dir).unwrap();
+    assert_eq!(
+        report.replayed_records as u64, good,
+        "replay must stop at the torn record"
+    );
+    assert!(report.torn_bytes_dropped > 0);
+    assert_queries_work(resumed.model().unwrap());
+    // Truncation healed the journal: second recovery is clean and equal.
+    let (resumed2, report2) = StreamingEngine::resume(cfg(), &dir).unwrap();
+    assert_eq!(report2.torn_bytes_dropped, 0);
+    assert_models_bit_equal(
+        resumed.model().unwrap(),
+        resumed2.model().unwrap(),
+        "short-write recovery",
+    );
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn fault_8_lying_bit_flip_in_journal_record() {
+    let dir = tmp_dir("journal-bit-rot");
+    let (mut live, _t) = armed_engine(&dir);
+    let good = live.delta_refreshes();
+
+    // Flip one bit inside the record payload (offset past the 8-byte
+    // len+crc framing); the append is acknowledged.
+    live.inject_journal_fault(FailMode::FlipBitAt { offset: 20, bit: 5 });
+    let drifted: Vec<usize> = (0..N).collect();
+    live.refresh_delta(&drifted)
+        .expect("lying media reports success");
+    drop(live); // crash
+
+    let (resumed, report) = StreamingEngine::resume(cfg(), &dir).unwrap();
+    assert_eq!(
+        report.replayed_records as u64, good,
+        "CRC must reject the rotten record"
+    );
+    assert!(report.torn_bytes_dropped > 0);
+    assert_queries_work(resumed.model().unwrap());
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn fault_9_journal_deleted_between_runs() {
+    let dir = tmp_dir("journal-gone");
+    let (live, _t) = armed_engine(&dir);
+    drop(live);
+    fs::remove_file(dir.join(JOURNAL_FILE)).unwrap();
+
+    let (resumed, report) = StreamingEngine::resume(cfg(), &dir).unwrap();
+    assert!(report.journal_reset, "missing journal must be reported");
+    assert_eq!(report.replayed_records, 0);
+    assert_queries_work(resumed.model().unwrap());
+    // Resume recreated the journal bound to the snapshot.
+    assert!(dir.join(JOURNAL_FILE).exists());
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn fault_10_missing_snapshot_is_a_typed_error() {
+    let dir = tmp_dir("snap-gone");
+    let (live, _t) = armed_engine(&dir);
+    drop(live);
+    fs::remove_file(dir.join(SNAPSHOT_FILE)).unwrap();
+
+    for result in [
+        StreamingEngine::resume(cfg(), &dir).map(|_| ()),
+        open_model(&dir).map(|_| ()),
+    ] {
+        match result {
+            Err(StreamError::Persist(PersistError::Io(_))) => {}
+            other => panic!("expected typed I/O error, got {other:?}"),
+        }
+    }
+    fs::remove_dir_all(&dir).unwrap();
+}

@@ -1,0 +1,213 @@
+//! Corruption fuzz over the persisted model files: flip a bit in, or
+//! truncate at, positions covering *every region* of the snapshot and
+//! the journal, then drive both recovery entry points. The contract:
+//!
+//! * **Snapshot damage** → a typed error (`BadMagic`, checksum
+//!   mismatch, `Corrupt`, decode failure) — or, only for flips the
+//!   format genuinely does not interpret, a successful open. Never a
+//!   panic, never an unbounded allocation.
+//! * **Journal damage** → recovery still succeeds on the valid prefix
+//!   (possibly zero records, possibly a discarded journal); only I/O
+//!   level failures may surface as errors. Never a panic.
+//!
+//! Positions are strided so every region (magic, header, section
+//! table, each section payload, record framing, record payloads, torn
+//! tail) is hit while the suite stays fast.
+
+use affinity::stream::{open_model, StreamingConfig, StreamingEngine, JOURNAL_FILE, SNAPSHOT_FILE};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+const N: usize = 6;
+const WINDOW: usize = 16;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "affinity-persist-corruption-{}-{tag}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn tick(t: u64) -> Vec<f64> {
+    (0..N)
+        .map(|v| ((t as f64) * 0.23 + v as f64).sin() * (1.0 + v as f64 * 0.4) + 30.0)
+        .collect()
+}
+
+fn cfg() -> StreamingConfig {
+    let mut c = StreamingConfig::new(WINDOW);
+    c.refresh_every = 4;
+    if let Some(d) = c.delta.as_mut() {
+        d.drift_tolerance = 1e-9;
+        d.max_drift_fraction = 1.0;
+        d.full_every = 1000;
+    }
+    c
+}
+
+/// Persist a model with a few journaled refreshes; returns the dir.
+fn persisted_dir(tag: &str) -> PathBuf {
+    let dir = tmp_dir(tag);
+    let mut e = StreamingEngine::new(N, cfg());
+    let mut t = 0;
+    for _ in 0..WINDOW {
+        t += 1;
+        e.push(&tick(t)).unwrap();
+    }
+    e.persist_to(&dir).unwrap();
+    for _ in 0..8 {
+        t += 1;
+        e.push(&tick(t)).unwrap();
+    }
+    assert!(e.delta_refreshes() >= 2);
+    dir
+}
+
+/// Dense positions in the first `head` bytes (headers, section table),
+/// then strided through the rest so every section payload is covered.
+fn positions(len: usize, head: usize, stride: usize) -> Vec<usize> {
+    let mut p: Vec<usize> = (0..len.min(head)).collect();
+    let mut i = head;
+    while i < len {
+        p.push(i);
+        i += stride;
+    }
+    if len > 0 {
+        p.push(len - 1);
+    }
+    p.dedup();
+    p
+}
+
+fn write_variant(dir: &Path, file: &str, bytes: &[u8]) {
+    fs::write(dir.join(file), bytes).unwrap();
+}
+
+#[test]
+fn bit_flipped_snapshot_never_panics_and_never_lies() {
+    let src = persisted_dir("snap-flip");
+    let pristine_snap = fs::read(src.join(SNAPSHOT_FILE)).unwrap();
+    let pristine_affine = open_model(&src).unwrap().0.affine.to_bytes();
+    let work = tmp_dir("snap-flip-work");
+    fs::copy(src.join(JOURNAL_FILE), work.join(JOURNAL_FILE)).unwrap();
+
+    let mut opened_ok = 0usize;
+    for pos in positions(pristine_snap.len(), 192, 97) {
+        for bit in [0u8, 7] {
+            let mut damaged = pristine_snap.clone();
+            damaged[pos] ^= 1 << bit;
+            write_variant(&work, SNAPSHOT_FILE, &damaged);
+            // Every flip must be *detected*: the snapshot body is fully
+            // covered by CRCs, so an Ok open may only happen when the
+            // flip was rolled back... which it never is. (Err is the
+            // expected outcome — a typed rejection.)
+            if let Ok((model, _)) = open_model(&work) {
+                opened_ok += 1;
+                assert_eq!(
+                    model.affine.to_bytes(),
+                    pristine_affine,
+                    "byte {pos} bit {bit}: silent corruption"
+                );
+            }
+            // Resume on the same damage must agree: error, not panic.
+            let _ = StreamingEngine::resume(cfg(), &work);
+        }
+    }
+    assert_eq!(opened_ok, 0, "CRC coverage must catch every snapshot flip");
+    fs::remove_dir_all(&src).unwrap();
+    fs::remove_dir_all(&work).unwrap();
+}
+
+#[test]
+fn truncated_snapshot_never_panics() {
+    let src = persisted_dir("snap-trunc");
+    let pristine_snap = fs::read(src.join(SNAPSHOT_FILE)).unwrap();
+    let work = tmp_dir("snap-trunc-work");
+    fs::copy(src.join(JOURNAL_FILE), work.join(JOURNAL_FILE)).unwrap();
+
+    for cut in positions(pristine_snap.len(), 128, 131) {
+        write_variant(&work, SNAPSHOT_FILE, &pristine_snap[..cut]);
+        assert!(
+            open_model(&work).is_err(),
+            "cut at {cut}: a strict prefix must be rejected"
+        );
+        assert!(StreamingEngine::resume(cfg(), &work).is_err());
+    }
+    fs::remove_dir_all(&src).unwrap();
+    fs::remove_dir_all(&work).unwrap();
+}
+
+#[test]
+fn bit_flipped_journal_recovers_a_prefix() {
+    let src = persisted_dir("journal-flip");
+    let pristine_journal = fs::read(src.join(JOURNAL_FILE)).unwrap();
+    let full_records = open_model(&src).unwrap().1.replayed_records;
+    assert!(full_records >= 2);
+    let work = tmp_dir("journal-flip-work");
+    fs::copy(src.join(SNAPSHOT_FILE), work.join(SNAPSHOT_FILE)).unwrap();
+
+    for pos in positions(pristine_journal.len(), 64, 29) {
+        for bit in [0u8, 7] {
+            let mut damaged = pristine_journal.clone();
+            damaged[pos] ^= 1 << bit;
+            write_variant(&work, JOURNAL_FILE, &damaged);
+            // The snapshot is intact, so recovery must succeed — on a
+            // possibly shorter (even empty, or discarded-as-stale)
+            // journal prefix — and the recovered model must be usable.
+            let (_, report) = open_model(&work).unwrap();
+            assert!(
+                report.replayed_records <= full_records,
+                "byte {pos} bit {bit}: replay grew records"
+            );
+        }
+    }
+    fs::remove_dir_all(&src).unwrap();
+    fs::remove_dir_all(&work).unwrap();
+}
+
+#[test]
+fn truncated_journal_recovers_a_prefix() {
+    let src = persisted_dir("journal-trunc");
+    let pristine_journal = fs::read(src.join(JOURNAL_FILE)).unwrap();
+    let full_records = open_model(&src).unwrap().1.replayed_records;
+    let work = tmp_dir("journal-trunc-work");
+    fs::copy(src.join(SNAPSHOT_FILE), work.join(SNAPSHOT_FILE)).unwrap();
+
+    for cut in positions(pristine_journal.len(), 48, 23) {
+        write_variant(&work, JOURNAL_FILE, &pristine_journal[..cut]);
+        let (_, report) = open_model(&work).unwrap();
+        assert!(report.replayed_records <= full_records, "cut at {cut}");
+        // Resume additionally heals the file in place; afterwards a
+        // second recovery reports no torn bytes.
+        let (_, r1) = StreamingEngine::resume(cfg(), &work).unwrap();
+        assert!(r1.replayed_records <= full_records);
+        let (_, r2) = StreamingEngine::resume(cfg(), &work).unwrap();
+        assert_eq!(r2.torn_bytes_dropped, 0, "cut at {cut}: not healed");
+    }
+    fs::remove_dir_all(&src).unwrap();
+    fs::remove_dir_all(&work).unwrap();
+}
+
+#[test]
+fn random_garbage_files_are_typed_errors() {
+    let work = tmp_dir("garbage");
+    // Deterministic pseudo-garbage at several sizes, both files.
+    let mut state = 0x5eed_u64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as u8
+    };
+    for size in [0usize, 1, 7, 19, 64, 256, 4096] {
+        let garbage: Vec<u8> = (0..size).map(|_| next()).collect();
+        write_variant(&work, SNAPSHOT_FILE, &garbage);
+        write_variant(&work, JOURNAL_FILE, &garbage);
+        assert!(open_model(&work).is_err(), "garbage snapshot of {size} B");
+        assert!(StreamingEngine::resume(cfg(), &work).is_err());
+    }
+    fs::remove_dir_all(&work).unwrap();
+}

@@ -1,0 +1,148 @@
+//! End-to-end restart equivalence: build a model, persist it, keep
+//! streaming (journaled delta refreshes), kill the process (drop), and
+//! resume. The recovered engine must answer MET, MER and QL statements
+//! **bit-identically** to an engine that ran the same tick stream
+//! uninterrupted — on both paper workloads (sensor and stock).
+//!
+//! This is the user-facing statement of the persistence contract: a
+//! crash between refreshes is invisible in query answers.
+
+use affinity::core::measures::PairwiseMeasure;
+use affinity::data::generator::{sensor_dataset, stock_dataset, SensorConfig, StockConfig};
+use affinity::data::DataMatrix;
+use affinity::ql::Session;
+use affinity::scape::ThresholdOp;
+use affinity::stream::{open_model, Model, StreamingConfig, StreamingEngine};
+use std::fs;
+use std::path::PathBuf;
+
+const WINDOW: usize = 24;
+const PERSIST_AT: usize = 40; // ticks before the snapshot
+const TOTAL: usize = 64; // ticks in the whole run
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "affinity-restart-equivalence-{}-{tag}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn cfg() -> StreamingConfig {
+    let mut c = StreamingConfig::new(WINDOW);
+    c.refresh_every = 6;
+    if let Some(d) = c.delta.as_mut() {
+        d.drift_tolerance = 1e-9; // every refresh drifts ⇒ journaled deltas
+        d.max_drift_fraction = 1.0;
+        d.full_every = 1000; // keep the run on the journal
+    }
+    c
+}
+
+fn push_ticks(engine: &mut StreamingEngine, data: &DataMatrix, from: usize, to: usize) {
+    let n = data.series_count();
+    for t in from..to {
+        let tick: Vec<f64> = (0..n).map(|v| data.series(v)[t]).collect();
+        engine.push(&tick).unwrap();
+    }
+}
+
+fn assert_met_mer_bit_equal(a: &Model, b: &Model) {
+    for pm in PairwiseMeasure::ALL {
+        let (ta, tb) = (
+            a.index()
+                .threshold_pairs(pm, ThresholdOp::Greater, 0.5)
+                .unwrap(),
+            b.index()
+                .threshold_pairs(pm, ThresholdOp::Greater, 0.5)
+                .unwrap(),
+        );
+        assert_eq!(ta, tb, "{pm:?}: MET answers diverge");
+        let (ra, rb) = (
+            a.index().range_pairs(pm, -2.0, 2.0).unwrap(),
+            b.index().range_pairs(pm, -2.0, 2.0).unwrap(),
+        );
+        assert_eq!(ra, rb, "{pm:?}: MER answers diverge");
+        // MEC whole-sweep values, compared bit-for-bit.
+        let (va, vb) = (
+            a.mec_engine().pairwise_all(pm).unwrap(),
+            b.mec_engine().pairwise_all(pm).unwrap(),
+        );
+        assert_eq!(va.len(), vb.len());
+        for (x, y) in va.iter().zip(&vb) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{pm:?}: MEC values diverge");
+        }
+    }
+}
+
+const STATEMENTS: &[&str] = &[
+    "MET correlation > 0.6",
+    "MER covariance BETWEEN 0 AND 10",
+    "MEC mean OF S0, S1, S2",
+    "MEC correlation OF S0, S1, S2, S3",
+];
+
+fn check_restart_equivalence(data: &DataMatrix, tag: &str) {
+    let dir_crashed = tmp_dir(&format!("{tag}-crashed"));
+    let dir_baseline = tmp_dir(&format!("{tag}-baseline"));
+
+    // Uninterrupted run over the full stream.
+    let mut uninterrupted = StreamingEngine::new(data.series_count(), cfg());
+    push_ticks(&mut uninterrupted, data, 0, TOTAL);
+
+    // Interrupted run: snapshot mid-stream, keep going, crash.
+    let mut crashed = StreamingEngine::new(data.series_count(), cfg());
+    push_ticks(&mut crashed, data, 0, PERSIST_AT);
+    crashed.persist_to(&dir_crashed).unwrap();
+    push_ticks(&mut crashed, data, PERSIST_AT, TOTAL);
+    let journaled = crashed.delta_refreshes();
+    drop(crashed); // kill -9
+
+    let (resumed, report) = StreamingEngine::resume(cfg(), &dir_crashed).unwrap();
+    assert!(
+        report.replayed_records > 0,
+        "{tag}: run must have journaled"
+    );
+    assert_eq!(resumed.delta_refreshes(), journaled, "{tag}");
+
+    // Model-level equivalence, then answer-level equivalence.
+    let (a, b) = (uninterrupted.model().unwrap(), resumed.model().unwrap());
+    assert_eq!(a.affine().to_bytes(), b.affine().to_bytes(), "{tag}");
+    assert_eq!(a.index().to_bytes(), b.index().to_bytes(), "{tag}");
+    assert_met_mer_bit_equal(a, b);
+
+    // QL equivalence: a session over the crash-recovered model answers
+    // every statement with byte-identical output to a session over the
+    // uninterrupted engine's model (persisted fresh, then opened).
+    let mut uninterrupted = uninterrupted;
+    uninterrupted.persist_to(&dir_baseline).unwrap();
+    let (baseline_model, _) = open_model(&dir_baseline).unwrap();
+    let (crashed_model, _) = open_model(&dir_crashed).unwrap();
+    let baseline_session = Session::open_snapshot(&baseline_model, Vec::new()).unwrap();
+    let crashed_session = Session::open_snapshot(&crashed_model, Vec::new()).unwrap();
+    for stmt in STATEMENTS {
+        let expected = format!("{}", baseline_session.execute(stmt).unwrap());
+        let recovered = format!("{}", crashed_session.execute(stmt).unwrap());
+        assert_eq!(
+            expected, recovered,
+            "{tag}: `{stmt}` diverges after restart"
+        );
+    }
+
+    fs::remove_dir_all(&dir_crashed).unwrap();
+    fs::remove_dir_all(&dir_baseline).unwrap();
+}
+
+#[test]
+fn sensor_workload_restart_is_invisible() {
+    let data = sensor_dataset(&SensorConfig::reduced(10, TOTAL));
+    check_restart_equivalence(&data, "sensor");
+}
+
+#[test]
+fn stock_workload_restart_is_invisible() {
+    let data = stock_dataset(&StockConfig::reduced(8, TOTAL));
+    check_restart_equivalence(&data, "stock");
+}
