@@ -5,9 +5,10 @@
 //! affinity info     <path.afn>                               shape + labels
 //! affinity csv      <path.afn> <out.csv>                     export to CSV
 //! affinity query    [--ooc[=MB]] [--prefetch[=K]] <path.afn> "<stmt>" [...]
-//! affinity query    --snapshot <dir> "<stmt>" [...]          query a persisted model
+//! affinity query    [--quiet] --snapshot <dir> "<stmt>" [...]  query a persisted model
 //! affinity snapshot <path.afn> <dir>                         build + persist a model
 //! affinity quality  <path.afn>                               LSFD quality report
+//! affinity serve    [flags]                                  concurrent query service
 //! ```
 //!
 //! Query statements use the `affinity-ql` grammar, e.g.
@@ -31,21 +32,73 @@
 //! journal — see `affinity_stream::persist`). `affinity query
 //! --snapshot <dir>` then answers statements by *opening* that model in
 //! O(model bytes) — no clustering, fitting, or index build — replaying
-//! any journaled refreshes and reporting what recovery did on stderr.
-//! Snapshots store no labels, so statements address series as `S<id>`
-//! or by bare numeric id.
+//! any journaled refreshes and reporting what recovery did on stderr
+//! (`--quiet` suppresses the report; the *exit code* still tells
+//! scripts what happened: 0 = clean open, 3 = recovery had to heal
+//! damage — torn journal bytes dropped, stale journal discarded,
+//! journal reset, or a staged temp file removed). Snapshots store no
+//! labels, so statements address series as `S<id>` or by bare numeric
+//! id.
+//!
+//! `affinity serve` runs the long-lived concurrent query service of
+//! `affinity_serve`: epoch-swapped model snapshots, a bounded admission
+//! queue, deadline propagation, graceful drain on SIGINT/SIGTERM or
+//! `.shutdown`, and warm resume from a snapshot directory. See
+//! `serve_usage` below (or run `affinity serve --help`) for flags, and
+//! `affinity_serve::server` for the wire protocol.
+//!
+//! SIGINT/SIGTERM are trapped by the long-running paths (`snapshot`
+//! builds and `serve`): the current commit-protocol stage finishes, the
+//! process exits cleanly, and on-disk state is never torn mid-write.
 
 use affinity::core::prelude::*;
 use affinity::core::quality::quality_report;
 use affinity::data::generator::{sensor_dataset, stock_dataset, SensorConfig, StockConfig};
 use affinity::ql::Session;
+use affinity::serve::{ServeConfig, Server, ShedPolicy};
 use affinity::storage::{CachedStore, MatrixStore};
-use affinity::stream::{StreamingConfig, StreamingEngine};
+use affinity::stream::{RecoveryReport, StreamingConfig, StreamingEngine};
 use std::process::ExitCode;
+use std::time::Duration;
+
+/// Cooperative SIGINT/SIGTERM trapping for the long-running paths: the
+/// handler only flips a flag; commit-protocol stages run to completion
+/// and the main thread exits cleanly at the next stage boundary.
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Async-signal-safe: a single atomic store.
+        REQUESTED.store(true, Ordering::SeqCst);
+    }
+
+    #[cfg(unix)]
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    /// Install the flag-setting handler for SIGINT (2) and SIGTERM (15).
+    pub fn install() {
+        #[cfg(unix)]
+        // SAFETY: installing an async-signal-safe handler function with
+        // the default flags; no state beyond the atomic is touched.
+        unsafe {
+            signal(2, on_signal as *const () as usize);
+            signal(15, on_signal as *const () as usize);
+        }
+    }
+
+    /// Whether a trapped signal has been received.
+    pub fn requested() -> bool {
+        REQUESTED.load(Ordering::SeqCst)
+    }
+}
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  affinity generate <sensor|stock> <path.afn> [n] [m]\n  affinity info <path.afn>\n  affinity csv <path.afn> <out.csv>\n  affinity query [--ooc[=MB]] [--prefetch[=K]] <path.afn> \"<statement>\" [more statements...]\n  affinity query --snapshot <snapshot-dir> \"<statement>\" [more statements...]\n  affinity snapshot <path.afn> <snapshot-dir>\n  affinity quality <path.afn>"
+        "usage:\n  affinity generate <sensor|stock> <path.afn> [n] [m]\n  affinity info <path.afn>\n  affinity csv <path.afn> <out.csv>\n  affinity query [--ooc[=MB]] [--prefetch[=K]] <path.afn> \"<statement>\" [more statements...]\n  affinity query [--quiet] --snapshot <snapshot-dir> \"<statement>\" [more statements...]\n  affinity snapshot <path.afn> <snapshot-dir>\n  affinity quality <path.afn>\n  affinity serve [--gen <sensor|stock>] [--series N] [--samples M] [--window W] [--resume DIR | --persist DIR]\n                 [--port P] [--workers N] [--queue CAP] [--deadline-ms D] [--shed-oldest] [--churn-ms MS] [--chaos] [--quiet]"
     );
     ExitCode::from(2)
 }
@@ -56,16 +109,17 @@ fn main() -> ExitCode {
         return usage();
     };
     let result = match cmd.as_str() {
-        "generate" => generate(&args[1..]),
-        "info" => info(&args[1..]),
-        "csv" => csv(&args[1..]),
+        "generate" => generate(&args[1..]).map(|()| ExitCode::SUCCESS),
+        "info" => info(&args[1..]).map(|()| ExitCode::SUCCESS),
+        "csv" => csv(&args[1..]).map(|()| ExitCode::SUCCESS),
         "query" => query(&args[1..]),
-        "snapshot" => snapshot(&args[1..]),
-        "quality" => quality(&args[1..]),
+        "snapshot" => snapshot(&args[1..]).map(|()| ExitCode::SUCCESS),
+        "quality" => quality(&args[1..]).map(|()| ExitCode::SUCCESS),
+        "serve" => serve(&args[1..]).map(|()| ExitCode::SUCCESS),
         _ => return usage(),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(msg) => {
             eprintln!("error: {msg}");
             ExitCode::FAILURE
@@ -157,7 +211,40 @@ fn csv(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn query(args: &[String]) -> Result<(), String> {
+/// Did recovery have to *heal* damage (as opposed to a routine journal
+/// replay)? This is what distinguishes exit code 3 from 0.
+fn recovery_healed(report: &RecoveryReport) -> bool {
+    report.torn_bytes_dropped > 0
+        || report.stale_journal_discarded
+        || report.journal_reset
+        || report.staged_file_removed
+}
+
+/// Print the full recovery report to stderr, one field per aspect, so
+/// operators see exactly what opening the snapshot found and did.
+fn print_recovery(report: &RecoveryReport, series: usize) {
+    eprintln!(
+        "snapshot: generation {} (id {:#018x}), {} series, {} journaled refresh(es) replayed",
+        report.generation, report.snapshot_id, series, report.replayed_records
+    );
+    if report.torn_bytes_dropped > 0 {
+        eprintln!(
+            "snapshot: {} torn journal byte(s) dropped from the tail",
+            report.torn_bytes_dropped
+        );
+    }
+    if report.stale_journal_discarded {
+        eprintln!("snapshot: stale journal (older snapshot generation) discarded");
+    }
+    if report.journal_reset {
+        eprintln!("snapshot: journal missing or unusable; started fresh");
+    }
+    if report.staged_file_removed {
+        eprintln!("snapshot: leftover staged temp file from an interrupted commit removed");
+    }
+}
+
+fn query(args: &[String]) -> Result<ExitCode, String> {
     // Optional leading flags (any order): `--ooc[=MB]` streams the
     // build through a bounded-memory column cache instead of
     // materializing the matrix; `--prefetch[=K]` adds the cache's
@@ -165,10 +252,13 @@ fn query(args: &[String]) -> Result<(), String> {
     let mut ooc_budget: Option<usize> = None;
     let mut prefetch_depth: Option<usize> = None;
     let mut from_snapshot = false;
+    let mut quiet = false;
     let mut rest: &[String] = args;
     while let Some(flag) = rest.first().map(String::as_str) {
         if flag == "--snapshot" {
             from_snapshot = true;
+        } else if flag == "--quiet" {
+            quiet = true;
         } else if flag == "--ooc" {
             ooc_budget = Some(64usize << 20);
         } else if let Some(mb) = flag.strip_prefix("--ooc=") {
@@ -189,6 +279,9 @@ fn query(args: &[String]) -> Result<(), String> {
     if from_snapshot && ooc_budget.is_some() {
         return Err("--snapshot opens a persisted model; --ooc does not apply".into());
     }
+    if quiet && !from_snapshot {
+        return Err("--quiet only applies to --snapshot (it silences the recovery report)".into());
+    }
     let [path, statements @ ..] = rest else {
         return Err("query needs <path.afn> and at least one statement".into());
     };
@@ -206,24 +299,18 @@ fn query(args: &[String]) -> Result<(), String> {
     };
     if from_snapshot {
         let (model, report) = affinity::stream::open_model(path).map_err(|e| e.to_string())?;
-        eprintln!(
-            "snapshot: generation {}, {} series, {} journaled refresh(es) replayed{}{}",
-            model.generation,
-            model.affine.series_count(),
-            report.replayed_records,
-            match report.torn_bytes_dropped {
-                0 => String::new(),
-                b => format!(", {b} torn journal byte(s) ignored"),
-            },
-            if report.stale_journal_discarded {
-                ", stale journal discarded"
-            } else {
-                ""
-            }
-        );
+        if !quiet {
+            print_recovery(&report, model.affine.series_count());
+        }
         let session = Session::open_snapshot(&model, Vec::new()).map_err(|e| e.to_string())?;
         run_statements(&session);
-        return Ok(());
+        // Scripts watch the exit code even with `--quiet`: 3 means
+        // recovery healed damage, 0 means a clean open.
+        return Ok(if recovery_healed(&report) {
+            ExitCode::from(3)
+        } else {
+            ExitCode::SUCCESS
+        });
     }
     if let Some(budget) = ooc_budget {
         let store = MatrixStore::open(path).map_err(|e| e.to_string())?;
@@ -255,13 +342,17 @@ fn query(args: &[String]) -> Result<(), String> {
             Session::new(&data, &affine, &Measure::EXTENDED).map_err(|e| e.to_string())?;
         run_statements(&session);
     }
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
 fn snapshot(args: &[String]) -> Result<(), String> {
     let [path, dir] = args else {
         return Err("snapshot needs <path.afn> <snapshot-dir>".into());
     };
+    // Long-running path: trap SIGINT/SIGTERM and bail out cleanly at
+    // stage boundaries — never mid-commit, so the directory is either
+    // absent/old or fully committed.
+    sig::install();
     let store = MatrixStore::open(path).map_err(|e| e.to_string())?;
     let (n, m) = (store.series_count(), store.samples());
     // The model window is the store's full history; the extended measure
@@ -272,6 +363,9 @@ fn snapshot(args: &[String]) -> Result<(), String> {
     let t0 = std::time::Instant::now();
     let mut engine = StreamingEngine::from_source(cfg, &store).map_err(|e| e.to_string())?;
     let built = t0.elapsed();
+    if sig::requested() {
+        return Err("interrupted by signal after build; nothing was written".into());
+    }
     let t1 = std::time::Instant::now();
     let id = engine.persist_to(dir).map_err(|e| e.to_string())?;
     println!(
@@ -280,6 +374,178 @@ fn snapshot(args: &[String]) -> Result<(), String> {
         built,
         t1.elapsed()
     );
+    if sig::requested() {
+        // The commit above ran to completion; just acknowledge.
+        eprintln!("signal received; snapshot committed cleanly before exit");
+    }
+    Ok(())
+}
+
+fn serve(args: &[String]) -> Result<(), String> {
+    let mut gen = "sensor".to_string();
+    let mut series = 24usize;
+    let mut samples = 512usize;
+    let mut window = 64usize;
+    let mut resume_dir: Option<String> = None;
+    let mut persist_dir: Option<String> = None;
+    let mut port: u16 = 4243;
+    let mut cfg = ServeConfig::default();
+    let mut quiet = false;
+
+    fn take<'a>(it: &mut std::slice::Iter<'a, String>, name: &str) -> Result<&'a String, String> {
+        it.next().ok_or_else(|| format!("{name} needs a value"))
+    }
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--gen" => gen = take(&mut it, "--gen")?.clone(),
+            "--series" => {
+                series = take(&mut it, "--series")?
+                    .parse()
+                    .map_err(|_| "bad --series")?;
+            }
+            "--samples" => {
+                samples = take(&mut it, "--samples")?
+                    .parse()
+                    .map_err(|_| "bad --samples")?;
+            }
+            "--window" => {
+                window = take(&mut it, "--window")?
+                    .parse()
+                    .map_err(|_| "bad --window")?;
+            }
+            "--resume" => resume_dir = Some(take(&mut it, "--resume")?.clone()),
+            "--persist" => persist_dir = Some(take(&mut it, "--persist")?.clone()),
+            "--port" => {
+                port = take(&mut it, "--port")?.parse().map_err(|_| "bad --port")?;
+            }
+            "--workers" => {
+                cfg.workers = take(&mut it, "--workers")?
+                    .parse()
+                    .map_err(|_| "bad --workers")?;
+                if cfg.workers == 0 {
+                    return Err("--workers must be >= 1".into());
+                }
+            }
+            "--queue" => {
+                cfg.queue.capacity = take(&mut it, "--queue")?
+                    .parse()
+                    .map_err(|_| "bad --queue")?;
+                if cfg.queue.capacity == 0 {
+                    return Err("--queue must be >= 1".into());
+                }
+            }
+            "--deadline-ms" => {
+                let ms: u64 = take(&mut it, "--deadline-ms")?
+                    .parse()
+                    .map_err(|_| "bad --deadline-ms")?;
+                cfg.queue.deadline = (ms > 0).then(|| Duration::from_millis(ms));
+            }
+            "--shed-oldest" => cfg.queue.shed = ShedPolicy::ShedOldest,
+            "--churn-ms" => {
+                let ms: u64 = take(&mut it, "--churn-ms")?
+                    .parse()
+                    .map_err(|_| "bad --churn-ms")?;
+                cfg.churn_every = (ms > 0).then(|| Duration::from_millis(ms));
+            }
+            "--chaos" => cfg.chaos = true,
+            "--quiet" => quiet = true,
+            other => return Err(format!("unknown serve flag '{other}'")),
+        }
+    }
+    if resume_dir.is_some() && persist_dir.is_some() {
+        return Err("--resume and --persist are mutually exclusive \
+                    (--resume re-arms persistence on the same directory)"
+            .into());
+    }
+    if window < 2 {
+        return Err("--window must be >= 2".into());
+    }
+
+    // Deterministic replay source: the seeded synthetic dataset. Both a
+    // fresh server and a resumed one regenerate the identical matrix, so
+    // tick t always carries the same values — the bit-identity anchor.
+    let replay = match gen.as_str() {
+        "sensor" => sensor_dataset(&SensorConfig {
+            series,
+            samples,
+            ..SensorConfig::default()
+        }),
+        "stock" => stock_dataset(&StockConfig {
+            series,
+            samples,
+            ..StockConfig::default()
+        }),
+        other => return Err(format!("unknown dataset kind '{other}'")),
+    };
+    if samples < window {
+        return Err("--samples must be >= --window".into());
+    }
+
+    let mut scfg = StreamingConfig::new(window);
+    scfg.indexed = Measure::EXTENDED.to_vec();
+
+    let engine = if let Some(dir) = &resume_dir {
+        let (engine, report) =
+            StreamingEngine::resume(scfg, dir).map_err(|e| format!("resume {dir}: {e}"))?;
+        if !quiet {
+            print_recovery(&report, series);
+        }
+        if recovery_healed(&report) && !quiet {
+            eprintln!("serve: recovery healed damage; continuing from the last durable state");
+        }
+        engine
+    } else {
+        let mut engine = StreamingEngine::new(series, scfg);
+        // Warm the window so the first model exists before we listen.
+        let mut row = vec![0.0; series];
+        for t in 0..window {
+            for (v, slot) in row.iter_mut().enumerate() {
+                *slot = replay.series(v)[t];
+            }
+            engine.push(&row).map_err(|e| e.to_string())?;
+        }
+        if let Some(dir) = &persist_dir {
+            engine
+                .persist_to(dir)
+                .map_err(|e| format!("persist {dir}: {e}"))?;
+        }
+        engine
+    };
+
+    let (workers, qcap) = (cfg.workers, cfg.queue.capacity);
+    let server = Server::new(engine, replay, cfg).map_err(|e| e.to_string())?;
+    let listener = std::net::TcpListener::bind(("127.0.0.1", port))
+        .map_err(|e| format!("bind 127.0.0.1:{port}: {e}"))?;
+    let addr = listener.local_addr().map_err(|e| e.to_string())?;
+
+    // Long-running path: SIGINT/SIGTERM request a graceful drain — stop
+    // accepting, answer the backlog, checkpoint if persistence is
+    // armed, exit 0. Installed *before* the startup line below: anyone
+    // parsing that line may signal us immediately after reading it.
+    sig::install();
+
+    // Machine-parsable startup line (tests read the ephemeral port off
+    // it when started with --port 0).
+    println!("SERVE addr={addr} workers={workers} queue={qcap}");
+    {
+        let srv = std::sync::Arc::clone(&server);
+        std::thread::Builder::new()
+            .name("affinity-serve-signals".into())
+            .spawn(move || {
+                while !srv.is_shutting_down() {
+                    if sig::requested() {
+                        srv.request_shutdown();
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            })
+            .map_err(|e| e.to_string())?;
+    }
+
+    let ledger = server.serve(listener).map_err(|e| e.to_string())?;
+    println!("SERVE done {ledger}");
     Ok(())
 }
 

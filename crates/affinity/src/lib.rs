@@ -77,6 +77,7 @@
 //! | [`query`] | `affinity-query` | `W_N`/`W_A`/`W_F` executors, online workloads |
 //! | [`ql`] | `affinity-ql` | textual MEC/MET/MER query language + planner |
 //! | [`stream`] | `affinity-stream` | sliding windows, rolling stats, drift-driven delta refresh |
+//! | [`serve`] | `affinity-serve` | concurrent query service: epoch swaps, admission control, chaos hooks |
 //! | [`storage`] | `affinity-storage` | columnar binary store with checksums, LRU `CachedStore` |
 //! | [`linalg`] | `affinity-linalg` | QR, Jacobi eigen, power iteration |
 //! | [`par`] | `affinity-par` | work-stealing thread pool behind parallel SYMEX + batched MEC |
@@ -95,6 +96,7 @@ pub use affinity_par as par;
 pub use affinity_ql as ql;
 pub use affinity_query as query;
 pub use affinity_scape as scape;
+pub use affinity_serve as serve;
 pub use affinity_storage as storage;
 pub use affinity_stream as stream;
 

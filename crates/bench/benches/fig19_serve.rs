@@ -1,0 +1,329 @@
+//! Fig. 19 (repo extension) — the concurrent query service under load.
+//!
+//! The paper's operating model (Sec. 1) is compute-once, query-forever:
+//! relationships are derived up front and a stream of MET/MER/MEC
+//! queries runs against them continuously. `affinity_serve` turns that
+//! into a long-lived TCP service with epoch-swapped model snapshots, so
+//! this bench measures what serving adds to the story:
+//!
+//! 1. **steady state** — closed-loop clients over real sockets; report
+//!    p50/p99 latency and aggregate QPS;
+//! 2. **refresh churn** — the same load while the engine keeps
+//!    re-publishing epochs (readers never block on a swap; the cost
+//!    shows up only as background CPU);
+//! 3. **overload** — an open-loop burst far beyond the admission
+//!    queue's capacity with a short per-request deadline: every request
+//!    is answered (result or typed rejection) and the p99 of *answered*
+//!    requests stays bounded by the deadline, not by the backlog.
+//!
+//! Set `AFFINITY_BENCH_JSON=<path>` to write the measurements as a JSON
+//! baseline (CI uploads `BENCH_serve.json`).
+
+use affinity_bench::{fmt_secs, header, Scale};
+use affinity_data::generator::{sensor_dataset, SensorConfig};
+use affinity_serve::{ServeConfig, Server, ShedPolicy};
+use affinity_stream::{StreamingConfig, StreamingEngine};
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const QUERIES: &[&str] = &[
+    "MET correlation > 0.5",
+    "MER covariance BETWEEN -1000 AND 1000",
+    "MEC mean OF S0, S1, S2",
+    "MET mean > 0",
+];
+
+/// Spawn an in-process server on an ephemeral port; returns the handle,
+/// the bound address, and the join handle of the accept loop.
+fn start_server(
+    n: usize,
+    window: usize,
+    data: &affinity_data::DataMatrix,
+    cfg: ServeConfig,
+) -> (Arc<Server>, String, std::thread::JoinHandle<String>) {
+    let mut scfg = StreamingConfig::new(window);
+    // An aggressive refresh cadence so the churn phase publishes real
+    // epochs within the bench's short load window.
+    scfg.refresh_every = (window as u64 / 8).max(1);
+    let mut engine = StreamingEngine::new(n, scfg);
+    let mut row = vec![0.0; n];
+    for t in 0..window {
+        for (v, slot) in row.iter_mut().enumerate() {
+            *slot = data.series(v)[t];
+        }
+        engine.push(&row).expect("warm-up push");
+    }
+    let server = Server::new(engine, data.clone(), cfg).expect("server");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let accept = {
+        let srv = Arc::clone(&server);
+        std::thread::spawn(move || srv.serve(listener).expect("serve"))
+    };
+    (server, addr, accept)
+}
+
+/// One closed-loop client: `count` sequential request/response round
+/// trips; returns per-request latencies in seconds.
+fn closed_loop(addr: &str, client_id: usize, count: usize) -> Vec<f64> {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).ok();
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    let mut lat = Vec::with_capacity(count);
+    let mut line = String::new();
+    for i in 0..count {
+        let q = QUERIES[i % QUERIES.len()];
+        let t0 = Instant::now();
+        writer
+            .write_all(format!("c{client_id}q{i} {q}\n").as_bytes())
+            .expect("send");
+        line.clear();
+        reader.read_line(&mut line).expect("response header");
+        let mut parts = line.trim_end().splitn(3, ' ');
+        match (parts.next(), parts.next(), parts.next()) {
+            (Some("OK"), _, Some(cnt)) => {
+                let body: usize = cnt.parse().expect("body count");
+                for _ in 0..body {
+                    line.clear();
+                    reader.read_line(&mut line).expect("body line");
+                }
+            }
+            (Some("ERR"), _, Some(rest)) => panic!("steady-state query failed: {rest}"),
+            other => panic!("malformed response {other:?}"),
+        }
+        lat.push(t0.elapsed().as_secs_f64());
+    }
+    lat
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+/// Run `clients` closed-loop clients of `per_client` requests each;
+/// returns (p50, p99, qps).
+fn run_load(addr: &str, clients: usize, per_client: usize) -> (f64, f64, f64) {
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let addr = addr.to_string();
+            std::thread::spawn(move || closed_loop(&addr, c, per_client))
+        })
+        .collect();
+    let mut lat: Vec<f64> = handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("client"))
+        .collect();
+    let wall = t0.elapsed().as_secs_f64();
+    lat.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let qps = lat.len() as f64 / wall;
+    (percentile(&lat, 0.50), percentile(&lat, 0.99), qps)
+}
+
+fn shutdown(addr: &str) {
+    if let Ok(mut s) = TcpStream::connect(addr) {
+        let _ = s.write_all(b".shutdown\n");
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    header(
+        "Fig. 19",
+        "concurrent query service: latency, refresh churn, overload",
+        scale,
+    );
+    let (n, window, clients, per_client) = match scale {
+        Scale::Quick => (16, 48, 2, 150),
+        Scale::Mid => (48, 96, 4, 400),
+        Scale::Full => (96, 128, 8, 600),
+    };
+    println!(
+        "dataset: {n} series x {window}-tick window; {clients} closed-loop clients x {per_client} requests\n"
+    );
+    let data = sensor_dataset(&SensorConfig {
+        series: n,
+        samples: window * 4,
+        ..SensorConfig::default()
+    });
+
+    // --- 1. steady state -------------------------------------------------
+    let cfg = ServeConfig {
+        workers: 4,
+        ..ServeConfig::default()
+    };
+    let (_srv, addr, accept) = start_server(n, window, &data, cfg);
+    let (p50, p99, qps) = run_load(&addr, clients, per_client);
+    shutdown(&addr);
+    accept.join().expect("accept loop");
+    println!(
+        "steady state: p50 {}  p99 {}  {qps:.0} q/s",
+        fmt_secs(p50),
+        fmt_secs(p99)
+    );
+
+    // --- 2. refresh churn ------------------------------------------------
+    let cfg = ServeConfig {
+        workers: 4,
+        churn_every: Some(Duration::from_millis(2)),
+        ..ServeConfig::default()
+    };
+    let (srv, addr, accept) = start_server(n, window, &data, cfg);
+    let (p50_churn, p99_churn, qps_churn) = run_load(&addr, clients, per_client);
+    let epochs = srv.epochs_published();
+    shutdown(&addr);
+    accept.join().expect("accept loop");
+    println!(
+        "with churn:   p50 {}  p99 {}  {qps_churn:.0} q/s  ({epochs} epochs published)",
+        fmt_secs(p50_churn),
+        fmt_secs(p99_churn)
+    );
+
+    // --- 3. overload -----------------------------------------------------
+    // Open-loop burst: everything is fired before anything is read, into
+    // a 4-deep queue with a short deadline and shed-oldest admission.
+    let deadline = Duration::from_millis(250);
+    let cfg = ServeConfig {
+        workers: 2,
+        queue: affinity_serve::QueuePolicy {
+            capacity: 4,
+            deadline: Some(deadline),
+            shed: ShedPolicy::ShedOldest,
+        },
+        ..ServeConfig::default()
+    };
+    let (srv, addr, accept) = start_server(n, window, &data, cfg);
+    let burst = clients * per_client;
+    let stream = TcpStream::connect(&addr).expect("connect");
+    stream.set_nodelay(true).ok();
+    let mut writer = stream.try_clone().expect("clone");
+    let reader = BufReader::new(stream);
+    let t0 = Instant::now();
+
+    // Drain concurrently with the send storm — a one-sided burst would
+    // wedge on full socket buffers once responses back up. The reader
+    // records each response's arrival; latencies are joined with the
+    // send timestamps afterwards.
+    let drain = std::thread::spawn(move || {
+        let mut reader = reader;
+        let mut line = String::new();
+        let mut arrivals: Vec<(usize, bool, Instant)> = Vec::with_capacity(burst);
+        while arrivals.len() < burst {
+            line.clear();
+            reader.read_line(&mut line).expect("burst response");
+            let trimmed = line.trim_end();
+            let mut parts = trimmed.splitn(3, ' ');
+            let (kind, id, rest) = (
+                parts.next().expect("kind"),
+                parts.next().expect("id"),
+                parts.next().unwrap_or("").to_string(),
+            );
+            let idx: usize = id.trim_start_matches('b').parse().expect("burst id");
+            match kind {
+                "OK" => {
+                    let body: usize = rest.parse().expect("body count");
+                    for _ in 0..body {
+                        line.clear();
+                        reader.read_line(&mut line).expect("body line");
+                    }
+                    arrivals.push((idx, true, Instant::now()));
+                }
+                "ERR" => {
+                    let code = rest.split(' ').next().expect("code");
+                    assert!(
+                        matches!(code, "OVERLOADED" | "DEADLINE"),
+                        "overload produced an untyped failure: {kind} {id} {rest}"
+                    );
+                    arrivals.push((idx, false, Instant::now()));
+                }
+                other => panic!("malformed burst response kind {other}"),
+            }
+        }
+        arrivals
+    });
+    let send_times: Vec<Instant> = (0..burst)
+        .map(|i| {
+            let q = QUERIES[i % QUERIES.len()];
+            writer
+                .write_all(format!("b{i} {q}\n").as_bytes())
+                .expect("send burst");
+            Instant::now()
+        })
+        .collect();
+    let arrivals = drain.join().expect("drain thread");
+    let burst_wall = t0.elapsed().as_secs_f64();
+    let answered = arrivals.iter().filter(|(_, ok, _)| *ok).count();
+    let rejected = burst - answered;
+    let mut answer_lat: Vec<f64> = arrivals
+        .iter()
+        .filter(|(_, ok, _)| *ok)
+        .map(|&(idx, _, at)| (at - send_times[idx]).as_secs_f64())
+        .collect();
+    answer_lat.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let p99_overload = percentile(&answer_lat, 0.99);
+    let ledger = srv.ledger();
+    shutdown(&addr);
+    accept.join().expect("accept loop");
+    println!(
+        "overload:     {burst} open-loop requests in {} — {answered} answered, {rejected} typed rejections",
+        fmt_secs(burst_wall)
+    );
+    println!(
+        "              answered p99 {} (deadline {})",
+        fmt_secs(p99_overload),
+        fmt_secs(deadline.as_secs_f64())
+    );
+    println!("              {ledger}");
+    // The admission queue, not the backlog, bounds answered latency:
+    // p99 must sit within the deadline plus execution/transport slack.
+    assert_eq!(answered + rejected, burst, "every request must be answered");
+    assert!(
+        p99_overload <= deadline.as_secs_f64() + 1.0,
+        "overload p99 {p99_overload:.3}s escaped the deadline bound"
+    );
+
+    if let Ok(out) = std::env::var("AFFINITY_BENCH_JSON") {
+        let mut s = String::new();
+        let _ = writeln!(s, "{{");
+        let _ = writeln!(s, "  \"bench\": \"fig19_serve\",");
+        let _ = writeln!(
+            s,
+            "  \"scale\": \"{}\",",
+            scale.tag().split(' ').next().expect("tag")
+        );
+        let _ = writeln!(
+            s,
+            "  \"hardware_threads\": {},",
+            affinity_par::resolve_threads(0)
+        );
+        let _ = writeln!(s, "  \"series\": {n},");
+        let _ = writeln!(s, "  \"window\": {window},");
+        let _ = writeln!(s, "  \"clients\": {clients},");
+        let _ = writeln!(s, "  \"requests_per_client\": {per_client},");
+        let _ = writeln!(s, "  \"steady_p50_secs\": {p50:.6},");
+        let _ = writeln!(s, "  \"steady_p99_secs\": {p99:.6},");
+        let _ = writeln!(s, "  \"steady_qps\": {qps:.1},");
+        let _ = writeln!(s, "  \"churn_p50_secs\": {p50_churn:.6},");
+        let _ = writeln!(s, "  \"churn_p99_secs\": {p99_churn:.6},");
+        let _ = writeln!(s, "  \"churn_qps\": {qps_churn:.1},");
+        let _ = writeln!(s, "  \"churn_epochs_published\": {epochs},");
+        let _ = writeln!(s, "  \"overload_requests\": {burst},");
+        let _ = writeln!(s, "  \"overload_answered\": {answered},");
+        let _ = writeln!(s, "  \"overload_typed_rejections\": {rejected},");
+        let _ = writeln!(s, "  \"overload_answered_p99_secs\": {p99_overload:.6},");
+        let _ = writeln!(
+            s,
+            "  \"overload_deadline_secs\": {:.6},",
+            deadline.as_secs_f64()
+        );
+        let _ = writeln!(s, "  \"every_request_answered\": true");
+        let _ = writeln!(s, "}}");
+        std::fs::write(&out, s).expect("write bench JSON");
+        println!("wrote baseline to {out}");
+    }
+}

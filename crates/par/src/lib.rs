@@ -186,6 +186,39 @@ impl ThreadPool {
         self.lanes
     }
 
+    /// Run `f(lane)` exactly once on every lane — the caller is lane 0 —
+    /// with no work stealing, returning when the last lane finishes. A
+    /// panic in `f` is propagated like
+    /// [`parallel_for`](ThreadPool::parallel_for)'s.
+    ///
+    /// This is the broadcast primitive for long-running cooperative lane
+    /// loops (a server's worker lanes draining a queue until shutdown):
+    /// unlike `parallel_for`, a lane owns its index for the job's whole
+    /// lifetime, so no lane can end up running two loops back to back.
+    pub fn broadcast<F>(&self, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        if self.lanes == 1 || IN_POOL_JOB.with(|in_job| in_job.get()) {
+            f(0);
+            return;
+        }
+        // Lane 0 holds the job published until every lane has taken it;
+        // otherwise a fast caller body could retire the job before a
+        // freshly woken worker ever sees the epoch.
+        let started = AtomicU64::new(0);
+        let lanes = self.lanes as u64;
+        self.run_job(&|lane| {
+            started.fetch_add(1, Ordering::AcqRel);
+            f(lane);
+            if lane == 0 {
+                while started.load(Ordering::Acquire) < lanes {
+                    thread::yield_now();
+                }
+            }
+        });
+    }
+
     /// Run `f(i)` for every `i in 0..len`, work-stealing across lanes.
     ///
     /// Every index is executed exactly once; the call returns after the
@@ -666,5 +699,25 @@ mod tests {
     fn threads_reports_lanes() {
         assert_eq!(ThreadPool::new(5).threads(), 5);
         assert!(ThreadPool::new(0).threads() >= 1);
+    }
+
+    #[test]
+    fn broadcast_runs_each_lane_exactly_once() {
+        let pool = ThreadPool::new(4);
+        let hits: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
+        pool.broadcast(|lane| {
+            hits[lane].fetch_add(1, Ordering::Relaxed);
+        });
+        for h in &hits {
+            assert_eq!(h.load(Ordering::Relaxed), 1);
+        }
+        // Serial pools run the caller lane inline.
+        let serial = ThreadPool::new(1);
+        let count = AtomicUsize::new(0);
+        serial.broadcast(|lane| {
+            assert_eq!(lane, 0);
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 1);
     }
 }

@@ -1,0 +1,136 @@
+//! Cooperative cancellation for query execution.
+//!
+//! A [`CancelToken`] is a cheap, clonable handle carrying an explicit
+//! cancel flag plus an optional wall-clock deadline. Long-running query
+//! plans poll it at natural pruning boundaries (between per-pivot index
+//! bands, between rows of a fallback scan), so a query that has lost its
+//! caller — a shed request, an expired deadline — stops burning CPU
+//! within one band instead of running to completion.
+//!
+//! The token is the serving layer's deadline-propagation primitive: the
+//! admission queue stamps each request with a deadline, and the worker
+//! hands the execution a token derived from it. Cancellation is
+//! cooperative and lossless — a query either completes with a full
+//! answer or returns a typed [`QlError`](crate::QlError), never a
+//! partial result.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why an execution was asked to stop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelCause {
+    /// [`CancelToken::cancel`] was called (caller gave up / shutdown).
+    Cancelled,
+    /// The token's deadline passed.
+    DeadlineExceeded,
+}
+
+/// A clonable cancellation handle checked cooperatively by query
+/// execution.
+///
+/// ```
+/// use affinity_ql::cancel::CancelToken;
+/// use std::time::Duration;
+///
+/// let t = CancelToken::new();
+/// assert!(t.cause().is_none());
+/// t.cancel();
+/// assert!(t.cause().is_some());
+///
+/// let t = CancelToken::with_deadline(Duration::from_secs(3600));
+/// assert!(t.cause().is_none()); // an hour away
+/// ```
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    cancelled: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CancelToken {
+    /// A token that only cancels explicitly (no deadline).
+    pub fn new() -> Self {
+        CancelToken {
+            cancelled: Arc::new(AtomicBool::new(false)),
+            deadline: None,
+        }
+    }
+
+    /// A token that additionally expires `timeout` from now.
+    pub fn with_deadline(timeout: Duration) -> Self {
+        Self::until(Instant::now() + timeout)
+    }
+
+    /// A token that additionally expires at `deadline`.
+    pub fn until(deadline: Instant) -> Self {
+        CancelToken {
+            cancelled: Arc::new(AtomicBool::new(false)),
+            deadline: Some(deadline),
+        }
+    }
+
+    /// Request cancellation; every clone of this token observes it.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Release);
+    }
+
+    /// The token's deadline, if it has one.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Why execution should stop, or `None` to keep going. The explicit
+    /// flag wins over the deadline so a shed request reports shedding
+    /// even after its deadline has also passed.
+    pub fn cause(&self) -> Option<CancelCause> {
+        if self.cancelled.load(Ordering::Acquire) {
+            return Some(CancelCause::Cancelled);
+        }
+        match self.deadline {
+            Some(d) if Instant::now() >= d => Some(CancelCause::DeadlineExceeded),
+            _ => None,
+        }
+    }
+
+    /// `true` when execution should stop — the form the index layer's
+    /// cancellation callbacks take.
+    pub fn should_stop(&self) -> bool {
+        self.cause().is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_cancel_is_shared_across_clones() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!b.should_stop());
+        a.cancel();
+        assert_eq!(b.cause(), Some(CancelCause::Cancelled));
+    }
+
+    #[test]
+    fn deadline_expires() {
+        let t = CancelToken::until(Instant::now() - Duration::from_millis(1));
+        assert_eq!(t.cause(), Some(CancelCause::DeadlineExceeded));
+        let far = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(far.cause().is_none());
+    }
+
+    #[test]
+    fn explicit_cancel_wins_over_expired_deadline() {
+        let t = CancelToken::until(Instant::now() - Duration::from_millis(1));
+        t.cancel();
+        assert_eq!(t.cause(), Some(CancelCause::Cancelled));
+    }
+}

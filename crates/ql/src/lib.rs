@@ -37,8 +37,10 @@
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod cancel;
 mod parser;
 mod session;
 
+pub use cancel::{CancelCause, CancelToken};
 pub use parser::{parse, MeasureName, ParseError, Statement};
 pub use session::{QlError, QueryOutput, Session};

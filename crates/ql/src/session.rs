@@ -1,12 +1,13 @@
 //! Query execution: plan parsed statements against the framework.
 
+use crate::cancel::{CancelCause, CancelToken};
 use crate::parser::{parse, ParseError, Statement};
 use affinity_core::measures::{LocationMeasure, Measure, PairwiseMeasure};
 use affinity_core::mec::MecEngine;
 use affinity_core::symex::AffineSet;
 use affinity_data::{DataMatrix, SequencePair, SeriesId, SeriesSource};
 use affinity_linalg::Matrix;
-use affinity_scape::{ScapeIndex, ThresholdOp};
+use affinity_scape::{ScapeError, ScapeIndex, ThresholdOp};
 use affinity_stream::PersistedModel;
 use std::fmt;
 
@@ -24,6 +25,11 @@ pub enum QlError {
         /// Upper bound as written.
         hi: f64,
     },
+    /// Execution was cancelled via its [`CancelToken`] (the caller gave
+    /// up, the request was shed, or the server is shutting down).
+    Cancelled,
+    /// The [`CancelToken`] deadline passed before execution finished.
+    DeadlineExceeded,
     /// Internal engine error (should not occur for a valid session).
     Engine(String),
 }
@@ -36,6 +42,8 @@ impl fmt::Display for QlError {
             QlError::EmptyRange { lo, hi } => {
                 write!(f, "empty range: {lo} > {hi}")
             }
+            QlError::Cancelled => write!(f, "query cancelled"),
+            QlError::DeadlineExceeded => write!(f, "query deadline exceeded"),
             QlError::Engine(msg) => write!(f, "engine error: {msg}"),
         }
     }
@@ -223,6 +231,43 @@ impl<'a> Session<'a> {
         })
     }
 
+    /// Open a session directly over already-built model parts — the
+    /// constructor the serving layer's epoch publication uses. `data`
+    /// is the reference matrix `affine` was computed over; it is only
+    /// read during engine preprocessing (the session itself keeps no
+    /// reference to it). `index` is an already-built SCAPE index over
+    /// the same model, moved in — no index construction runs.
+    ///
+    /// `labels` may be empty to auto-generate `S0..S{n-1}`.
+    ///
+    /// # Errors
+    /// [`QlError::Engine`] when `labels` is non-empty but does not
+    /// match the affine set's series count.
+    pub fn from_parts(
+        data: &DataMatrix,
+        affine: &'a AffineSet,
+        index: ScapeIndex,
+        labels: Vec<String>,
+    ) -> Result<Self, QlError> {
+        let n = affine.series_count();
+        let labels = if labels.is_empty() {
+            (0..n).map(|v| format!("S{v}")).collect()
+        } else if labels.len() == n {
+            labels
+        } else {
+            return Err(QlError::Engine(format!(
+                "{} labels for {} series",
+                labels.len(),
+                n
+            )));
+        };
+        Ok(Session {
+            labels,
+            engine: MecEngine::new(data, affine),
+            index,
+        })
+    }
+
     /// Resolve a series reference: exact label match first, then numeric
     /// id.
     fn resolve(&self, reference: &str) -> Result<SeriesId, QlError> {
@@ -258,11 +303,55 @@ impl<'a> Session<'a> {
         self.run(parse(query)?)
     }
 
+    /// Parse and execute one statement under a [`CancelToken`]: long
+    /// scans poll the token between pruning bands (indexed plans) or
+    /// rows (fallback scans) and abort with [`QlError::Cancelled`] /
+    /// [`QlError::DeadlineExceeded`] instead of running to completion.
+    ///
+    /// # Errors
+    /// See [`QlError`].
+    pub fn execute_with(&self, query: &str, token: &CancelToken) -> Result<QueryOutput, QlError> {
+        self.run_with(parse(query)?, token)
+    }
+
     /// Execute a pre-parsed statement.
     ///
     /// # Errors
     /// See [`QlError`].
     pub fn run(&self, statement: Statement) -> Result<QueryOutput, QlError> {
+        self.run_with(statement, &CancelToken::new())
+    }
+
+    /// Translate the token's cause into the matching typed error.
+    fn cancel_error(token: &CancelToken) -> QlError {
+        match token.cause() {
+            Some(CancelCause::DeadlineExceeded) => QlError::DeadlineExceeded,
+            _ => QlError::Cancelled,
+        }
+    }
+
+    /// Map an index error, routing [`ScapeError::Cancelled`] to the
+    /// token's cause and everything else to [`QlError::Engine`].
+    fn map_scape(e: ScapeError, token: &CancelToken) -> QlError {
+        match e {
+            ScapeError::Cancelled => Self::cancel_error(token),
+            other => QlError::Engine(other.to_string()),
+        }
+    }
+
+    /// Execute a pre-parsed statement under a [`CancelToken`]; see
+    /// [`execute_with`](Session::execute_with).
+    ///
+    /// # Errors
+    /// See [`QlError`].
+    pub fn run_with(
+        &self,
+        statement: Statement,
+        token: &CancelToken,
+    ) -> Result<QueryOutput, QlError> {
+        if token.should_stop() {
+            return Err(Self::cancel_error(token));
+        }
         match statement {
             Statement::Explain(inner) => Ok(QueryOutput::Plan(self.plan(&inner))),
             Statement::Mec { measure, series } => {
@@ -306,13 +395,17 @@ impl<'a> Session<'a> {
                     Measure::Pairwise(p) => {
                         let pairs = if self.index.supports(measure) {
                             self.index
-                                .threshold_pairs(p, op, tau)
-                                .map_err(|e| QlError::Engine(e.to_string()))?
+                                .threshold_pairs_with(p, op, tau, &|| token.should_stop())
+                                .map_err(|e| Self::map_scape(e, token))?
                         } else {
-                            self.scan_pairs(p, |v| match op {
-                                ThresholdOp::Greater => v > tau,
-                                ThresholdOp::Less => v < tau,
-                            })
+                            self.scan_pairs(
+                                p,
+                                |v| match op {
+                                    ThresholdOp::Greater => v > tau,
+                                    ThresholdOp::Less => v < tau,
+                                },
+                                token,
+                            )?
                         };
                         Ok(QueryOutput::Pairs(self.pair_labels(pairs)))
                     }
@@ -322,10 +415,14 @@ impl<'a> Session<'a> {
                                 .threshold_series(l, op, tau)
                                 .map_err(|e| QlError::Engine(e.to_string()))?
                         } else {
-                            self.scan_series(l, |v| match op {
-                                ThresholdOp::Greater => v > tau,
-                                ThresholdOp::Less => v < tau,
-                            })
+                            self.scan_series(
+                                l,
+                                |v| match op {
+                                    ThresholdOp::Greater => v > tau,
+                                    ThresholdOp::Less => v < tau,
+                                },
+                                token,
+                            )?
                         };
                         Ok(QueryOutput::Series(
                             series.into_iter().map(|v| self.label(v)).collect(),
@@ -341,10 +438,10 @@ impl<'a> Session<'a> {
                     Measure::Pairwise(p) => {
                         let pairs = if self.index.supports(measure) {
                             self.index
-                                .range_pairs(p, lo, hi)
-                                .map_err(|e| QlError::Engine(e.to_string()))?
+                                .range_pairs_with(p, lo, hi, &|| token.should_stop())
+                                .map_err(|e| Self::map_scape(e, token))?
                         } else {
-                            self.scan_pairs(p, |v| lo < v && v < hi)
+                            self.scan_pairs(p, |v| lo < v && v < hi, token)?
                         };
                         Ok(QueryOutput::Pairs(self.pair_labels(pairs)))
                     }
@@ -354,7 +451,7 @@ impl<'a> Session<'a> {
                                 .range_series(l, lo, hi)
                                 .map_err(|e| QlError::Engine(e.to_string()))?
                         } else {
-                            self.scan_series(l, |v| lo < v && v < hi)
+                            self.scan_series(l, |v| lo < v && v < hi, token)?
                         };
                         Ok(QueryOutput::Series(
                             series.into_iter().map(|v| self.label(v)).collect(),
@@ -403,15 +500,20 @@ impl<'a> Session<'a> {
         }
     }
 
-    /// Fallback plan: filter `W_A` values over all pairs.
+    /// Fallback plan: filter `W_A` values over all pairs, polling the
+    /// token once per anchor row.
     fn scan_pairs(
         &self,
         measure: PairwiseMeasure,
         keep: impl Fn(f64) -> bool,
-    ) -> Vec<SequencePair> {
+        token: &CancelToken,
+    ) -> Result<Vec<SequencePair>, QlError> {
         let n = self.labels.len();
         let mut out = Vec::new();
         for u in 0..n {
+            if token.should_stop() {
+                return Err(Self::cancel_error(token));
+            }
             for v in u + 1..n {
                 let p = SequencePair::new(u, v);
                 if keep(self.engine.pair_value(measure, p).expect("full set")) {
@@ -419,14 +521,22 @@ impl<'a> Session<'a> {
                 }
             }
         }
-        out
+        Ok(out)
     }
 
     /// Fallback plan: filter `W_A` values over all series.
-    fn scan_series(&self, measure: LocationMeasure, keep: impl Fn(f64) -> bool) -> Vec<SeriesId> {
-        (0..self.labels.len())
+    fn scan_series(
+        &self,
+        measure: LocationMeasure,
+        keep: impl Fn(f64) -> bool,
+        token: &CancelToken,
+    ) -> Result<Vec<SeriesId>, QlError> {
+        if token.should_stop() {
+            return Err(Self::cancel_error(token));
+        }
+        Ok((0..self.labels.len())
             .filter(|&v| keep(self.engine.location_value(measure, v).expect("in range")))
-            .collect()
+            .collect())
     }
 }
 
@@ -556,6 +666,56 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         assert!(p1.to_string().contains("SCAPE"));
+    }
+
+    #[test]
+    fn cancelled_and_expired_tokens_yield_typed_errors() {
+        let (data, affine) = fixture();
+        let indexed = Session::new(&data, &affine, &Measure::ALL).unwrap();
+        let bare = Session::new(&data, &affine, &[]).unwrap();
+        let cancelled = CancelToken::new();
+        cancelled.cancel();
+        let expired = CancelToken::until(std::time::Instant::now());
+        for s in [&indexed, &bare] {
+            for q in ["MET correlation > 0.5", "MER covariance BETWEEN -1 AND 1"] {
+                assert!(matches!(
+                    s.execute_with(q, &cancelled),
+                    Err(QlError::Cancelled)
+                ));
+                assert!(matches!(
+                    s.execute_with(q, &expired),
+                    Err(QlError::DeadlineExceeded)
+                ));
+            }
+        }
+        // A live token is answer-preserving.
+        let live = CancelToken::with_deadline(std::time::Duration::from_secs(3600));
+        let a = indexed.execute("MET correlation > 0.5").unwrap();
+        let b = indexed
+            .execute_with("MET correlation > 0.5", &live)
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn from_parts_matches_full_session() {
+        let (data, affine) = fixture();
+        let full = Session::new(&data, &affine, &Measure::ALL).unwrap();
+        let index = affinity_scape::ScapeIndex::build(&data, &affine, &Measure::ALL).unwrap();
+        let parts = Session::from_parts(&data, &affine, index, data.labels().to_vec()).unwrap();
+        for q in [
+            "MET correlation > 0.7",
+            "MER covariance BETWEEN -0.5 AND 0.5",
+            "MEC mean OF STK0, STK1",
+        ] {
+            assert_eq!(full.execute(q).unwrap(), parts.execute(q).unwrap(), "{q}");
+        }
+        // Auto-generated labels when none are supplied.
+        let index = affinity_scape::ScapeIndex::build(&data, &affine, &Measure::ALL).unwrap();
+        let anon = Session::from_parts(&data, &affine, index, Vec::new()).unwrap();
+        assert!(anon.execute("MEC mean OF S0").is_ok());
+        let index = affinity_scape::ScapeIndex::build(&data, &affine, &Measure::ALL).unwrap();
+        assert!(Session::from_parts(&data, &affine, index, vec!["x".into()]).is_err());
     }
 
     #[test]

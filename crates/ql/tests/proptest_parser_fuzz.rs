@@ -1,0 +1,148 @@
+//! Parser/session hardening: feeding `Session::execute` arbitrary
+//! bytes, grammar-token soup, or corrupted valid statements must
+//! always produce a *typed* [`QlError`] (or a valid answer) — never a
+//! panic, hang, or unbounded allocation. The server admits untrusted
+//! network input straight into this path, so "no panic for any input"
+//! is a load-bearing property, not a nicety.
+
+use affinity_core::measures::Measure;
+use affinity_core::prelude::*;
+use affinity_data::generator::{sensor_dataset, SensorConfig};
+use affinity_ql::Session;
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// One small shared model: the property is about the *parser and
+/// planner*, not the math, so the cheapest valid session suffices.
+fn session_fixture() -> (affinity_data::DataMatrix, affinity_core::symex::AffineSet) {
+    let data = sensor_dataset(&SensorConfig::reduced(6, 48));
+    let affine = Symex::new(SymexParams::default()).run(&data).unwrap();
+    (data, affine)
+}
+
+/// Execute a statement and assert it returned *something typed* —
+/// panics unwind out and fail the property.
+fn must_not_panic(session: &Session, stmt: &str) -> Result<(), TestCaseError> {
+    let outcome = catch_unwind(AssertUnwindSafe(|| match session.execute(stmt) {
+        Ok(out) => {
+            // Rendering must be total too (the CLI prints it).
+            let _ = out.to_string();
+            true
+        }
+        Err(e) => {
+            // Typed error with a total Display.
+            let _ = e.to_string();
+            true
+        }
+    }));
+    prop_assert!(
+        outcome.unwrap_or(false),
+        "session.execute panicked on {stmt:?}"
+    );
+    Ok(())
+}
+
+/// Grammar fragments a fuzzer recombines into near-miss statements —
+/// the inputs most likely to trip a lexer/planner edge the purely
+/// random bytes never reach.
+const TOKENS: &[&str] = &[
+    "MET",
+    "MER",
+    "MEC",
+    "OF",
+    "BETWEEN",
+    "AND",
+    ">",
+    "<",
+    ">=",
+    "<=",
+    "=",
+    "correlation",
+    "covariance",
+    "mean",
+    "median",
+    "mode",
+    "dot",
+    "S0",
+    "S1",
+    "S99",
+    "s0",
+    ",",
+    ".",
+    "-",
+    "0.5",
+    "-1e308",
+    "1e-308",
+    "NaN",
+    "inf",
+    "9999999999999999999999",
+    "",
+    " ",
+    "\t",
+    "(",
+    ")",
+    "'",
+    "\"",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary bytes (lossily decoded, as the CLI and server do)
+    /// never panic the session.
+    #[test]
+    fn arbitrary_bytes_yield_typed_results(bytes in vec(0u32..=255, 0..120)) {
+        let (data, affine) = session_fixture();
+        let session = Session::new(&data, &affine, &Measure::EXTENDED).unwrap();
+        let bytes: Vec<u8> = bytes.iter().map(|&b| b as u8).collect();
+        let stmt = String::from_utf8_lossy(&bytes);
+        must_not_panic(&session, &stmt)?;
+    }
+
+    /// Token soup — valid keywords in invalid orders, extreme numbers,
+    /// unknown series, stray punctuation — never panics.
+    #[test]
+    fn token_soup_yields_typed_results(picks in vec(0usize..1_000_000, 0..12), glue in 0u32..4) {
+        let (data, affine) = session_fixture();
+        let session = Session::new(&data, &affine, &Measure::EXTENDED).unwrap();
+        let sep = match glue { 0 => " ", 1 => "", 2 => "  ", _ => "\t" };
+        let stmt: String = picks
+            .iter()
+            .map(|&p| TOKENS[p % TOKENS.len()])
+            .collect::<Vec<_>>()
+            .join(sep);
+        must_not_panic(&session, &stmt)?;
+    }
+
+    /// Corrupted valid statements: truncations and single-byte edits of
+    /// statements that parse cleanly never panic, and still execute
+    /// cleanly when the corruption happens to be benign.
+    #[test]
+    fn corrupted_valid_statements_yield_typed_results(
+        which in 0usize..4,
+        cut in 0usize..64,
+        edit in 0u32..=255,
+        at in 0usize..64,
+    ) {
+        const VALID: &[&str] = &[
+            "MET correlation > 0.5",
+            "MER covariance BETWEEN -10 AND 10",
+            "MEC mean OF S0, S1, S2",
+            "MET dot <= 1000",
+        ];
+        let (data, affine) = session_fixture();
+        let session = Session::new(&data, &affine, &Measure::EXTENDED).unwrap();
+        let base = VALID[which % VALID.len()];
+        // Truncation at an arbitrary char boundary.
+        let truncated: String = base.chars().take(cut % (base.len() + 1)).collect();
+        must_not_panic(&session, &truncated)?;
+        // Single-byte substitution (kept on a char boundary by
+        // rebuilding through chars).
+        let mut chars: Vec<char> = base.chars().collect();
+        let pos = at % chars.len();
+        chars[pos] = char::from_u32(edit).unwrap_or('\u{fffd}');
+        let edited: String = chars.into_iter().collect();
+        must_not_panic(&session, &edited)?;
+    }
+}

@@ -30,6 +30,9 @@ pub enum ScapeError {
         /// What failed to resolve.
         detail: &'static str,
     },
+    /// A cooperative cancellation callback asked the query to stop
+    /// (caller deadline expired or the request was shed).
+    Cancelled,
 }
 
 impl fmt::Display for ScapeError {
@@ -48,6 +51,7 @@ impl fmt::Display for ScapeError {
             ScapeError::DeltaMismatch { detail } => {
                 write!(f, "delta does not match the index: {detail}")
             }
+            ScapeError::Cancelled => write!(f, "query cancelled before completion"),
         }
     }
 }

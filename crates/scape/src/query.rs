@@ -51,16 +51,39 @@ impl ScapeIndex {
         op: ThresholdOp,
         tau: f64,
     ) -> Result<Vec<SequencePair>, ScapeError> {
+        self.threshold_pairs_with(measure, op, tau, &|| false)
+    }
+
+    /// [`threshold_pairs`](ScapeIndex::threshold_pairs) with cooperative
+    /// cancellation: `cancel` is polled between per-pivot pruning bands,
+    /// and a `true` return aborts the scan with [`ScapeError::Cancelled`]
+    /// instead of materializing the remaining pivots.
+    ///
+    /// # Errors
+    /// [`ScapeError::MeasureNotIndexed`] or [`ScapeError::Cancelled`].
+    pub fn threshold_pairs_with(
+        &self,
+        measure: PairwiseMeasure,
+        op: ThresholdOp,
+        tau: f64,
+        cancel: &dyn Fn() -> bool,
+    ) -> Result<Vec<SequencePair>, ScapeError> {
         let (nodes, slot) = self.pair_nodes(measure)?;
         let mut out = Vec::new();
         match slot {
             Some(slot) => {
                 for node in nodes {
+                    if cancel() {
+                        return Err(ScapeError::Cancelled);
+                    }
                     derived_threshold(node, slot, op, tau, &mut out);
                 }
             }
             None => {
                 for node in nodes {
+                    if cancel() {
+                        return Err(ScapeError::Cancelled);
+                    }
                     // Modified threshold τ' = τ/‖α‖ (Sec. 5.2); zero-α
                     // pivots store ξ = 0 for a reconstructed value of 0.
                     if node.alpha_norm > 0.0 {
@@ -98,6 +121,23 @@ impl ScapeIndex {
         tau_l: f64,
         tau_u: f64,
     ) -> Result<Vec<SequencePair>, ScapeError> {
+        self.range_pairs_with(measure, tau_l, tau_u, &|| false)
+    }
+
+    /// [`range_pairs`](ScapeIndex::range_pairs) with cooperative
+    /// cancellation; see
+    /// [`threshold_pairs_with`](ScapeIndex::threshold_pairs_with).
+    ///
+    /// # Errors
+    /// [`ScapeError::MeasureNotIndexed`], [`ScapeError::EmptyRange`], or
+    /// [`ScapeError::Cancelled`].
+    pub fn range_pairs_with(
+        &self,
+        measure: PairwiseMeasure,
+        tau_l: f64,
+        tau_u: f64,
+        cancel: &dyn Fn() -> bool,
+    ) -> Result<Vec<SequencePair>, ScapeError> {
         if tau_l > tau_u {
             return Err(ScapeError::EmptyRange);
         }
@@ -106,11 +146,17 @@ impl ScapeIndex {
         match slot {
             Some(slot) => {
                 for node in nodes {
+                    if cancel() {
+                        return Err(ScapeError::Cancelled);
+                    }
                     derived_range(node, slot, tau_l, tau_u, &mut out);
                 }
             }
             None => {
                 for node in nodes {
+                    if cancel() {
+                        return Err(ScapeError::Cancelled);
+                    }
                     if node.alpha_norm > 0.0 {
                         let lo = Bound::Excluded(tau_l / node.alpha_norm);
                         let hi = Bound::Excluded(tau_u / node.alpha_norm);
@@ -955,6 +1001,38 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn cancellation_aborts_between_pivots() {
+        let (data, affine) = fixture(10, 24);
+        let idx = ScapeIndex::build(&data, &affine, &Measure::ALL).unwrap();
+        assert_eq!(
+            idx.threshold_pairs_with(
+                PairwiseMeasure::Correlation,
+                ThresholdOp::Greater,
+                0.0,
+                &|| true
+            ),
+            Err(ScapeError::Cancelled)
+        );
+        assert_eq!(
+            idx.range_pairs_with(PairwiseMeasure::Covariance, -1.0, 1.0, &|| true),
+            Err(ScapeError::Cancelled)
+        );
+        // A never-firing callback is answer-preserving.
+        let a = idx
+            .threshold_pairs(PairwiseMeasure::Correlation, ThresholdOp::Greater, 0.5)
+            .unwrap();
+        let b = idx
+            .threshold_pairs_with(
+                PairwiseMeasure::Correlation,
+                ThresholdOp::Greater,
+                0.5,
+                &|| false,
+            )
+            .unwrap();
+        assert_eq!(sorted(a), sorted(b));
     }
 
     #[test]

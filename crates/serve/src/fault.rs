@@ -1,0 +1,120 @@
+//! Scripted fault injection for the chaos suite.
+//!
+//! A server started with fault injection enabled accepts `.fault`
+//! commands that arm a [`FaultPlan`] — sticky delays (slow workers,
+//! stalled response writers) and one-shot actions (poison the current
+//! epoch, force a refresh mid-query). Production servers leave the plan
+//! disabled and every hook compiles to a relaxed atomic load on the
+//! fast path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// One injectable fault, as parsed off a `.fault` command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeFault {
+    /// Sleep this long in the worker lane before executing each
+    /// request — simulates slow queries to build real overload.
+    SlowWorker(Duration),
+    /// Sleep this long while holding a connection's write lock on each
+    /// response — simulates a slow-reading client backing up a socket.
+    StallWriter(Duration),
+    /// Poison the currently published epoch: queries against it answer
+    /// a typed error instead of a result.
+    PoisonEpoch,
+    /// Force a model refresh + epoch publication right now — the
+    /// refresh-during-query race, on demand.
+    RefreshNow,
+}
+
+impl ServeFault {
+    /// Parse `.fault` operands: `slow-worker <ms>`, `stall-writer <ms>`,
+    /// `poison-epoch`, `refresh`. Duration `0` disarms a sticky fault.
+    ///
+    /// # Errors
+    /// A human-readable message for unknown names or bad arguments.
+    pub fn parse(args: &[&str]) -> Result<ServeFault, String> {
+        let ms = |arg: Option<&&str>| -> Result<Duration, String> {
+            arg.ok_or_else(|| "missing <ms> argument".to_string())?
+                .parse::<u64>()
+                .map(Duration::from_millis)
+                .map_err(|_| "bad <ms> argument".to_string())
+        };
+        match args.first().copied() {
+            Some("slow-worker") => Ok(ServeFault::SlowWorker(ms(args.get(1))?)),
+            Some("stall-writer") => Ok(ServeFault::StallWriter(ms(args.get(1))?)),
+            Some("poison-epoch") => Ok(ServeFault::PoisonEpoch),
+            Some("refresh") => Ok(ServeFault::RefreshNow),
+            Some(other) => Err(format!("unknown fault '{other}'")),
+            None => Err("missing fault name".to_string()),
+        }
+    }
+}
+
+/// The armed sticky faults. One plan per server, shared by every lane.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    slow_worker_ms: AtomicU64,
+    stall_writer_ms: AtomicU64,
+}
+
+impl FaultPlan {
+    /// Arm a sticky fault (one-shot faults are executed by the server,
+    /// not stored).
+    pub fn arm(&self, fault: ServeFault) {
+        match fault {
+            ServeFault::SlowWorker(d) => self
+                .slow_worker_ms
+                .store(d.as_millis() as u64, Ordering::Relaxed),
+            ServeFault::StallWriter(d) => self
+                .stall_writer_ms
+                .store(d.as_millis() as u64, Ordering::Relaxed),
+            ServeFault::PoisonEpoch | ServeFault::RefreshNow => {}
+        }
+    }
+
+    /// The armed pre-execution delay, if any.
+    pub fn slow_worker(&self) -> Option<Duration> {
+        match self.slow_worker_ms.load(Ordering::Relaxed) {
+            0 => None,
+            ms => Some(Duration::from_millis(ms)),
+        }
+    }
+
+    /// The armed response-write delay, if any.
+    pub fn stall_writer(&self) -> Option<Duration> {
+        match self.stall_writer_ms.load(Ordering::Relaxed) {
+            0 => None,
+            ms => Some(Duration::from_millis(ms)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_arm() {
+        let plan = FaultPlan::default();
+        assert!(plan.slow_worker().is_none());
+        plan.arm(ServeFault::parse(&["slow-worker", "25"]).unwrap());
+        assert_eq!(plan.slow_worker(), Some(Duration::from_millis(25)));
+        plan.arm(ServeFault::parse(&["slow-worker", "0"]).unwrap());
+        assert!(plan.slow_worker().is_none());
+        plan.arm(ServeFault::parse(&["stall-writer", "10"]).unwrap());
+        assert_eq!(plan.stall_writer(), Some(Duration::from_millis(10)));
+        assert_eq!(
+            ServeFault::parse(&["poison-epoch"]).unwrap(),
+            ServeFault::PoisonEpoch
+        );
+        assert_eq!(
+            ServeFault::parse(&["refresh"]).unwrap(),
+            ServeFault::RefreshNow
+        );
+        assert!(ServeFault::parse(&["nope"]).is_err());
+        assert!(ServeFault::parse(&[]).is_err());
+        assert!(ServeFault::parse(&["slow-worker"]).is_err());
+        assert!(ServeFault::parse(&["slow-worker", "x"]).is_err());
+    }
+}

@@ -1,0 +1,47 @@
+//! # affinity-serve
+//!
+//! The concurrent query service over the AFFINITY model — the piece
+//! that makes the streaming pipeline *servable*: many readers answering
+//! MEC/MET/MER statements while the stream keeps refreshing the model
+//! underneath them, under explicit overload, deadline, and crash
+//! contracts.
+//!
+//! ## Design
+//!
+//! - **Epoch-swapped snapshots** ([`ModelEpoch`], [`EpochCell`]): every
+//!   query executes against an immutable, self-contained freeze of the
+//!   model. A refresh builds the next epoch off to the side and
+//!   publishes it with one atomic swap — readers never block on a
+//!   rebuild, and in-flight queries finish on the epoch they started
+//!   with. No torn label/relationship/index pairings, by construction.
+//! - **Bounded admission** ([`QueuePolicy`], [`AdmissionQueue`]): a
+//!   hard-capacity queue in front of the worker lanes. Overflow either
+//!   rejects the newcomer or sheds the oldest waiter
+//!   ([`ShedPolicy`]) — always with a typed `OVERLOADED` response,
+//!   never a hang, never unbounded growth.
+//! - **Deadline propagation**: each admitted request carries a
+//!   deadline that becomes a [`CancelToken`](affinity_ql::CancelToken)
+//!   inside query execution; long MET/MER scans abort between pruning
+//!   bands with a typed `DEADLINE` response.
+//! - **Graceful shutdown**: `.shutdown` (or a signal) closes admission,
+//!   drains every admitted request, commits a final crash-safe
+//!   checkpoint when persistence is armed, and exits cleanly.
+//! - **Fault injection** ([`ServeFault`], [`FaultPlan`]): slow workers,
+//!   stalled response writers, poisoned epochs, and forced
+//!   refresh-during-query races, scripted over the wire to drive the
+//!   chaos suite.
+//!
+//! See [`server`] for the wire protocol.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod epoch;
+pub mod fault;
+pub mod queue;
+pub mod server;
+
+pub use epoch::{EpochCell, ModelEpoch};
+pub use fault::{FaultPlan, ServeFault};
+pub use queue::{Admission, AdmissionQueue, QueuePolicy, ServeStats, ShedPolicy};
+pub use server::{ServeConfig, ServeError, Server};

@@ -1,0 +1,293 @@
+//! Bounded admission control: the overload contract.
+//!
+//! Every request enters through an [`AdmissionQueue`] with a hard
+//! capacity and an explicit [`QueuePolicy`]. When offered load exceeds
+//! capacity the queue never grows — it either rejects the newcomer or
+//! sheds the oldest waiter, and in both cases the displaced request
+//! gets a *typed* `OVERLOADED` response instead of a hang. Paired with
+//! per-request deadlines this bounds the tail latency of every admitted
+//! request: a request waits at most `capacity / drain-rate`, and if
+//! that exceeds its deadline it is answered `DEADLINE` the moment a
+//! worker picks it up.
+//!
+//! [`ServeStats`] is the service's conservation ledger. Every request
+//! is counted exactly once on arrival and exactly once at its outcome,
+//! so at quiescence `received = admitted + rejected` and
+//! `admitted = ok + err + deadline + shed` — the invariants the chaos
+//! suite checks under open-loop overload.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// What to do with a new request when the queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedPolicy {
+    /// Reject the incoming request (the queue keeps its oldest work).
+    RejectNewest,
+    /// Admit the incoming request and shed the oldest waiter (the queue
+    /// prefers fresh work — the right default when callers time out
+    /// anyway and old waiters are likely already abandoned).
+    ShedOldest,
+}
+
+/// Admission-control policy for a serving instance.
+#[derive(Debug, Clone)]
+pub struct QueuePolicy {
+    /// Maximum queued (admitted but not yet executing) requests.
+    pub capacity: usize,
+    /// Per-request deadline, measured from admission; `None` disables
+    /// deadline enforcement.
+    pub deadline: Option<Duration>,
+    /// Full-queue behavior.
+    pub shed: ShedPolicy,
+}
+
+impl Default for QueuePolicy {
+    fn default() -> Self {
+        QueuePolicy {
+            capacity: 64,
+            deadline: Some(Duration::from_secs(5)),
+            shed: ShedPolicy::RejectNewest,
+        }
+    }
+}
+
+/// Outcome of offering a request to the queue.
+#[derive(Debug)]
+pub enum Admission<T> {
+    /// Admitted; the caller owes the request exactly one response.
+    Admitted,
+    /// Admitted, and the oldest waiter was displaced to make room — the
+    /// caller must answer the displaced request `OVERLOADED`.
+    AdmittedShedding(T),
+    /// Not admitted (queue full under [`ShedPolicy::RejectNewest`], or
+    /// the queue is closed for shutdown); the request is handed back
+    /// for a typed rejection.
+    Rejected(T),
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded MPMC queue with explicit overload behavior and a
+/// close-then-drain shutdown protocol.
+pub struct AdmissionQueue<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+    capacity: usize,
+    shed: ShedPolicy,
+    high_water: AtomicU64,
+}
+
+impl<T> AdmissionQueue<T> {
+    /// An empty queue with the policy's capacity and shed behavior.
+    pub fn new(policy: &QueuePolicy) -> Self {
+        AdmissionQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(policy.capacity),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity: policy.capacity.max(1),
+            shed: policy.shed,
+            high_water: AtomicU64::new(0),
+        }
+    }
+
+    /// Offer a request. Never blocks.
+    pub fn push(&self, item: T) -> Admission<T> {
+        let mut inner = self.inner.lock().expect("queue mutex");
+        if inner.closed {
+            return Admission::Rejected(item);
+        }
+        let displaced = if inner.items.len() >= self.capacity {
+            match self.shed {
+                ShedPolicy::RejectNewest => return Admission::Rejected(item),
+                ShedPolicy::ShedOldest => inner.items.pop_front(),
+            }
+        } else {
+            None
+        };
+        inner.items.push_back(item);
+        let depth = inner.items.len() as u64;
+        self.high_water.fetch_max(depth, Ordering::Relaxed);
+        drop(inner);
+        self.ready.notify_one();
+        match displaced {
+            Some(old) => Admission::AdmittedShedding(old),
+            None => Admission::Admitted,
+        }
+    }
+
+    /// Take the oldest request, blocking while the queue is open and
+    /// empty. Returns `None` only when the queue is closed **and**
+    /// fully drained — the worker-lane exit signal.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("queue mutex");
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).expect("queue condvar");
+        }
+    }
+
+    /// Close the queue: subsequent [`push`](AdmissionQueue::push)es are
+    /// rejected, already-admitted requests drain normally, and blocked
+    /// [`pop`](AdmissionQueue::pop)s return once the backlog is empty.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue mutex").closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Current backlog depth.
+    pub fn depth(&self) -> usize {
+        self.inner.lock().expect("queue mutex").items.len()
+    }
+
+    /// Deepest backlog ever observed — bounded by `capacity` by
+    /// construction, which is the "no unbounded queue growth" proof.
+    pub fn high_water(&self) -> u64 {
+        self.high_water.load(Ordering::Relaxed)
+    }
+}
+
+/// The request-conservation ledger (all counters monotone).
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    /// Query requests received off sockets.
+    pub received: AtomicU64,
+    /// Requests admitted into the queue.
+    pub admitted: AtomicU64,
+    /// Requests refused at admission (full queue or shutdown).
+    pub rejected: AtomicU64,
+    /// Admitted requests displaced by [`ShedPolicy::ShedOldest`].
+    pub shed: AtomicU64,
+    /// Admitted requests answered with a query result.
+    pub done_ok: AtomicU64,
+    /// Admitted requests answered with a typed query error.
+    pub done_err: AtomicU64,
+    /// Admitted requests whose deadline passed (answered `DEADLINE`).
+    pub done_deadline: AtomicU64,
+}
+
+impl ServeStats {
+    fn get(c: &AtomicU64) -> u64 {
+        c.load(Ordering::Relaxed)
+    }
+
+    /// Add one to a counter.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Render the ledger as `key=value` pairs (the `.stats` wire form).
+    pub fn render(&self, depth: usize, high_water: u64, epochs: u64) -> String {
+        format!(
+            "received={} admitted={} rejected={} shed={} ok={} err={} deadline={} depth={} high_water={} epochs={}",
+            Self::get(&self.received),
+            Self::get(&self.admitted),
+            Self::get(&self.rejected),
+            Self::get(&self.shed),
+            Self::get(&self.done_ok),
+            Self::get(&self.done_err),
+            Self::get(&self.done_deadline),
+            depth,
+            high_water,
+            epochs,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    fn policy(capacity: usize, shed: ShedPolicy) -> QueuePolicy {
+        QueuePolicy {
+            capacity,
+            deadline: None,
+            shed,
+        }
+    }
+
+    #[test]
+    fn reject_newest_on_overflow() {
+        let q = AdmissionQueue::new(&policy(2, ShedPolicy::RejectNewest));
+        assert!(matches!(q.push(1), Admission::Admitted));
+        assert!(matches!(q.push(2), Admission::Admitted));
+        assert!(matches!(q.push(3), Admission::Rejected(3)));
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.high_water(), 2);
+        assert_eq!(q.pop(), Some(1));
+    }
+
+    #[test]
+    fn shed_oldest_on_overflow() {
+        let q = AdmissionQueue::new(&policy(2, ShedPolicy::ShedOldest));
+        q.push(1);
+        q.push(2);
+        match q.push(3) {
+            Admission::AdmittedShedding(old) => assert_eq!(old, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+    }
+
+    #[test]
+    fn close_rejects_new_and_drains_backlog() {
+        let q = AdmissionQueue::new(&policy(8, ShedPolicy::RejectNewest));
+        q.push(1);
+        q.push(2);
+        q.close();
+        assert!(matches!(q.push(3), Admission::Rejected(3)));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn blocked_pop_wakes_on_push_and_on_close() {
+        let q = Arc::new(AdmissionQueue::new(&policy(8, ShedPolicy::RejectNewest)));
+        let q2 = Arc::clone(&q);
+        let popper = thread::spawn(move || (q2.pop(), q2.pop()));
+        thread::sleep(Duration::from_millis(20));
+        q.push(42);
+        thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(popper.join().unwrap(), (Some(42), None));
+    }
+
+    #[test]
+    fn stats_render_contains_every_counter() {
+        let s = ServeStats::default();
+        ServeStats::bump(&s.received);
+        ServeStats::bump(&s.admitted);
+        ServeStats::bump(&s.done_ok);
+        let line = s.render(3, 5, 2);
+        for key in [
+            "received=1",
+            "admitted=1",
+            "rejected=0",
+            "shed=0",
+            "ok=1",
+            "err=0",
+            "deadline=0",
+            "depth=3",
+            "high_water=5",
+            "epochs=2",
+        ] {
+            assert!(line.contains(key), "{line} missing {key}");
+        }
+    }
+}

@@ -1,0 +1,605 @@
+//! The line-protocol TCP server: admission, worker lanes, epoch
+//! publication, graceful shutdown.
+//!
+//! ## Wire protocol
+//!
+//! One request per line. A line starting with `.` is a control command
+//! answered inline on the connection thread; anything else is
+//! `<id> <statement>` — a client-chosen response tag followed by an
+//! `affinity-ql` statement — admitted through the bounded queue and
+//! executed on a worker lane against the epoch current at pickup time.
+//! Responses are tagged, so they may interleave out of order:
+//!
+//! ```text
+//! OK <id> <n>        then n payload lines (the statement's output)
+//! ERR <id> <CODE> <message>
+//! ```
+//!
+//! Error codes: `PARSE`, `UNKNOWN`, `RANGE`, `CANCELLED`, `DEADLINE`,
+//! `OVERLOADED`, `INTERNAL`, `PROTO`. Control commands answer a single
+//! `+...` line on success or `-err <message>`:
+//!
+//! ```text
+//! .ping                 liveness probe
+//! .epoch                current epoch id / model age / tick count
+//! .stats                the conservation ledger (key=value pairs)
+//! .tick <k>             ingest k deterministic replay ticks
+//! .refresh              force a model refresh + epoch publication
+//! .fault <name> [ms]    arm a fault (servers started with chaos only)
+//! .shutdown             graceful shutdown: drain, persist, exit
+//! ```
+
+use crate::epoch::{EpochCell, ModelEpoch};
+use crate::fault::{FaultPlan, ServeFault};
+use crate::queue::{Admission, AdmissionQueue, QueuePolicy, ServeStats};
+use affinity_data::DataMatrix;
+use affinity_par::ThreadPool;
+use affinity_ql::{CancelToken, QlError};
+use affinity_stream::{RefreshKind, StreamError, StreamingEngine};
+use parking_lot::Mutex;
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Longest accepted request line; longer input is answered `PROTO`
+/// piecewise instead of growing an unbounded buffer.
+const MAX_LINE: u64 = 64 * 1024;
+
+/// Poll interval for the accept loop and reader timeouts: bounds how
+/// long shutdown waits on an idle socket.
+const POLL: Duration = Duration::from_millis(50);
+
+/// Server configuration (the CLI flags, structured).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker lanes executing queries (≥ 1).
+    pub workers: usize,
+    /// Admission-control policy.
+    pub queue: QueuePolicy,
+    /// Accept `.fault` commands (chaos testing only).
+    pub chaos: bool,
+    /// Self-driven refresh churn: ingest one replay tick this often.
+    pub churn_every: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 2,
+            queue: QueuePolicy::default(),
+            chaos: false,
+            churn_every: None,
+        }
+    }
+}
+
+/// Errors raised starting or running a server.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// Streaming-engine failure (refresh or persistence).
+    Stream(StreamError),
+    /// Epoch construction failure.
+    Ql(QlError),
+    /// The engine handed to [`Server::new`] has no model yet.
+    NoModel,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "io: {e}"),
+            ServeError::Stream(e) => write!(f, "stream: {e}"),
+            ServeError::Ql(e) => write!(f, "ql: {e}"),
+            ServeError::NoModel => write!(f, "engine has no model (window not warm?)"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<StreamError> for ServeError {
+    fn from(e: StreamError) -> Self {
+        ServeError::Stream(e)
+    }
+}
+
+impl From<QlError> for ServeError {
+    fn from(e: QlError) -> Self {
+        ServeError::Ql(e)
+    }
+}
+
+/// One connection's response half: workers and the reader share it, so
+/// every response is a single locked write of a complete message.
+struct Conn {
+    writer: Mutex<TcpStream>,
+    alive: AtomicBool,
+}
+
+impl Conn {
+    /// Write one complete response (must be newline-terminated). A
+    /// failed or timed-out write marks the connection dead; subsequent
+    /// responses to it are dropped (the requests still count in the
+    /// ledger).
+    fn send(&self, faults: &FaultPlan, text: &str) {
+        if !self.alive.load(Ordering::Acquire) {
+            return;
+        }
+        let mut stream = self.writer.lock();
+        if let Some(stall) = faults.stall_writer() {
+            std::thread::sleep(stall);
+        }
+        if stream.write_all(text.as_bytes()).is_err() {
+            self.alive.store(false, Ordering::Release);
+        }
+    }
+}
+
+/// One admitted query request.
+struct Request {
+    id: String,
+    statement: String,
+    deadline: Option<Instant>,
+    conn: Arc<Conn>,
+}
+
+/// The serving instance. Shared across the accept loop, connection
+/// readers, worker lanes, and the churn thread via `Arc`.
+pub struct Server {
+    engine: Mutex<StreamingEngine>,
+    /// Deterministic tick source: tick `t` replays column `t mod
+    /// samples` of this matrix, so any two runs that reach the same
+    /// tick count hold identical windows — the property the
+    /// kill-9/restart bit-identity check rests on.
+    replay: DataMatrix,
+    cell: EpochCell,
+    queue: AdmissionQueue<Request>,
+    stats: ServeStats,
+    faults: FaultPlan,
+    cfg: ServeConfig,
+    epoch_seq: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+impl Server {
+    /// Wrap a built streaming engine (its current model becomes epoch
+    /// 1). `replay` is the deterministic tick source for `.tick` and
+    /// churn — pass the dataset the engine was warmed from.
+    ///
+    /// Series are addressed as `S<id>` (or bare numeric id) regardless
+    /// of origin, matching snapshot-resumed sessions.
+    ///
+    /// # Errors
+    /// [`ServeError::NoModel`] if the engine has not built a model yet.
+    pub fn new(
+        engine: StreamingEngine,
+        replay: DataMatrix,
+        cfg: ServeConfig,
+    ) -> Result<Arc<Self>, ServeError> {
+        let model = engine.model().ok_or(ServeError::NoModel)?;
+        let first = ModelEpoch::from_model(model, Vec::new(), 1)?;
+        Ok(Arc::new(Server {
+            cell: EpochCell::new(first),
+            queue: AdmissionQueue::new(&cfg.queue),
+            stats: ServeStats::default(),
+            faults: FaultPlan::default(),
+            epoch_seq: AtomicU64::new(1),
+            shutdown: AtomicBool::new(false),
+            engine: Mutex::new(engine),
+            replay,
+            cfg,
+        }))
+    }
+
+    /// The current epoch (tests and embedders; the wire path uses it
+    /// per request).
+    pub fn current_epoch(&self) -> Arc<ModelEpoch> {
+        self.cell.current()
+    }
+
+    /// Total epochs published so far.
+    pub fn epochs_published(&self) -> u64 {
+        self.cell.published()
+    }
+
+    /// The live admission/completion ledger, rendered as the same
+    /// `k=v` line `.stats` and the final `SERVE done` report use.
+    pub fn ledger(&self) -> String {
+        self.stats.render(
+            self.queue.depth(),
+            self.queue.high_water(),
+            self.cell.published(),
+        )
+    }
+
+    /// Request graceful shutdown: stop accepting, refuse new work,
+    /// drain admitted requests, persist if armed. Idempotent; callable
+    /// from any thread (e.g. a signal watcher).
+    pub fn request_shutdown(&self) {
+        if !self.shutdown.swap(true, Ordering::AcqRel) {
+            self.queue.close();
+        }
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Run the accept loop until shutdown, then drain and (if the
+    /// engine has persistence armed) commit a final checkpoint.
+    /// Returns the final ledger line.
+    ///
+    /// # Errors
+    /// [`ServeError::Io`] on listener failures,
+    /// [`ServeError::Stream`] if the final checkpoint fails.
+    pub fn serve(self: &Arc<Self>, listener: TcpListener) -> Result<String, ServeError> {
+        listener.set_nonblocking(true)?;
+
+        // Worker lanes: a dedicated pool broadcast, one drain loop per
+        // lane, hosted on one coordinator thread.
+        let lanes = self.cfg.workers.max(1);
+        let pool = ThreadPool::new(lanes);
+        let coordinator = {
+            let srv = Arc::clone(self);
+            std::thread::Builder::new()
+                .name("affinity-serve-workers".into())
+                .spawn(move || pool.broadcast(|_lane| srv.worker_loop()))
+                .expect("spawn worker coordinator")
+        };
+
+        // Optional churn: one replay tick per interval, so epochs keep
+        // turning over while queries run.
+        let churn = self.cfg.churn_every.map(|every| {
+            let srv = Arc::clone(self);
+            std::thread::Builder::new()
+                .name("affinity-serve-churn".into())
+                .spawn(move || {
+                    let mut last = Instant::now();
+                    while !srv.is_shutting_down() {
+                        std::thread::sleep(POLL.min(every));
+                        if last.elapsed() >= every {
+                            last = Instant::now();
+                            let _ = srv.tick(1);
+                        }
+                    }
+                })
+                .expect("spawn churn thread")
+        });
+
+        let mut readers = Vec::new();
+        while !self.is_shutting_down() {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    let srv = Arc::clone(self);
+                    readers.push(
+                        std::thread::Builder::new()
+                            .name("affinity-serve-conn".into())
+                            .spawn(move || srv.reader_loop(stream))
+                            .expect("spawn connection reader"),
+                    );
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(POLL),
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => {
+                    self.request_shutdown();
+                    // Drain before surfacing the listener failure.
+                    let _ = coordinator.join();
+                    return Err(ServeError::Io(e));
+                }
+            }
+        }
+
+        // Drain: the queue is closed (request_shutdown), workers exit
+        // when the backlog is empty, readers exit on the flag.
+        coordinator.join().expect("worker coordinator panicked");
+        for r in readers {
+            let _ = r.join();
+        }
+        if let Some(c) = churn {
+            let _ = c.join();
+        }
+
+        let mut engine = self.engine.lock();
+        if engine.snapshot_generation().is_some() {
+            engine.checkpoint()?;
+        }
+        let ticks = engine.window().ticks();
+        drop(engine);
+        Ok(format!(
+            "{} ticks={ticks}",
+            self.stats.render(
+                self.queue.depth(),
+                self.queue.high_water(),
+                self.cell.published()
+            )
+        ))
+    }
+
+    /// One worker lane: drain admitted requests until close + empty.
+    fn worker_loop(&self) {
+        while let Some(req) = self.queue.pop() {
+            self.process(req);
+        }
+    }
+
+    /// Execute one admitted request and answer it — exactly one
+    /// response per admitted request, typed error on every failure
+    /// path, panic contained to the request.
+    fn process(&self, req: Request) {
+        if let Some(deadline) = req.deadline {
+            if Instant::now() >= deadline {
+                ServeStats::bump(&self.stats.done_deadline);
+                req.conn.send(
+                    &self.faults,
+                    &format!("ERR {} DEADLINE queued past deadline\n", req.id),
+                );
+                return;
+            }
+        }
+        if let Some(delay) = self.faults.slow_worker() {
+            std::thread::sleep(delay);
+        }
+        let token = match req.deadline {
+            Some(d) => CancelToken::until(d),
+            None => CancelToken::new(),
+        };
+        // In-flight queries keep the epoch they started on even if a
+        // refresh publishes a successor mid-execution.
+        let epoch = self.cell.current();
+        let result = catch_unwind(AssertUnwindSafe(|| epoch.execute(&req.statement, &token)));
+        let response = match result {
+            Ok(Ok(out)) => {
+                ServeStats::bump(&self.stats.done_ok);
+                let text = out.to_string();
+                format!("OK {} {}\n{text}", req.id, text.lines().count())
+            }
+            Ok(Err(e)) => {
+                let code = match &e {
+                    QlError::Parse(_) => "PARSE",
+                    QlError::UnknownSeries(_) => "UNKNOWN",
+                    QlError::EmptyRange { .. } => "RANGE",
+                    QlError::Cancelled => "CANCELLED",
+                    QlError::DeadlineExceeded => "DEADLINE",
+                    QlError::Engine(_) => "INTERNAL",
+                };
+                if matches!(e, QlError::DeadlineExceeded) {
+                    ServeStats::bump(&self.stats.done_deadline);
+                } else {
+                    ServeStats::bump(&self.stats.done_err);
+                }
+                format!("ERR {} {code} {}\n", req.id, one_line(&e.to_string()))
+            }
+            Err(_) => {
+                ServeStats::bump(&self.stats.done_err);
+                format!("ERR {} INTERNAL query execution panicked\n", req.id)
+            }
+        };
+        req.conn.send(&self.faults, &response);
+    }
+
+    /// Ingest `count` deterministic replay ticks; publish a new epoch
+    /// if any push refreshed the model. Returns
+    /// `(total ticks, total refreshes, current epoch id)`.
+    ///
+    /// # Errors
+    /// Propagates refresh failures.
+    pub fn tick(&self, count: u64) -> Result<(u64, u64, u64), ServeError> {
+        let mut engine = self.engine.lock();
+        let samples = self.replay.samples() as u64;
+        let n = self.replay.series_count();
+        let mut refreshed_any = false;
+        let mut row = vec![0.0; n];
+        for _ in 0..count {
+            let at = (engine.window().ticks() % samples) as usize;
+            for (v, slot) in row.iter_mut().enumerate() {
+                *slot = self.replay.series(v)[at];
+            }
+            refreshed_any |= engine.push(&row)?;
+        }
+        if refreshed_any {
+            self.publish_from(&engine)?;
+        }
+        let ticks = engine.window().ticks();
+        let refreshes = engine.refreshes();
+        drop(engine);
+        Ok((ticks, refreshes, self.cell.current().epoch_id()))
+    }
+
+    /// Build and publish an epoch from the engine's current model. The
+    /// engine lock must be held by the caller.
+    fn publish_from(&self, engine: &StreamingEngine) -> Result<u64, ServeError> {
+        let model = engine.model().ok_or(ServeError::NoModel)?;
+        let id = self.epoch_seq.fetch_add(1, Ordering::AcqRel) + 1;
+        let epoch = ModelEpoch::from_model(model, Vec::new(), id)?;
+        self.cell.publish(epoch);
+        Ok(id)
+    }
+
+    /// One connection: accumulate lines (partial reads survive the poll
+    /// timeout), answer control commands inline, admit queries.
+    fn reader_loop(self: &Arc<Self>, stream: TcpStream) {
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(POLL));
+        // A stalled client bounds a worker's write at this, not forever.
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+        let writer = match stream.try_clone() {
+            Ok(w) => w,
+            Err(_) => return,
+        };
+        let conn = Arc::new(Conn {
+            writer: Mutex::new(writer),
+            alive: AtomicBool::new(true),
+        });
+        let mut reader = BufReader::new(stream);
+        let mut buf = String::new();
+        while !self.is_shutting_down() && conn.alive.load(Ordering::Acquire) {
+            match (&mut reader).take(MAX_LINE).read_line(&mut buf) {
+                Ok(0) => break, // EOF (or a pathological MAX_LINE boundary)
+                Ok(_) => {
+                    if buf.ends_with('\n') {
+                        let line = std::mem::take(&mut buf);
+                        self.handle_line(line.trim(), &conn);
+                    } else if buf.len() as u64 >= MAX_LINE {
+                        buf.clear();
+                        conn.send(&self.faults, "-err line too long\n");
+                    }
+                    // else: partial line, keep accumulating.
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Dispatch one complete request line.
+    fn handle_line(self: &Arc<Self>, line: &str, conn: &Arc<Conn>) {
+        if line.is_empty() {
+            return;
+        }
+        if let Some(cmd) = line.strip_prefix('.') {
+            self.control(cmd, conn);
+            return;
+        }
+        ServeStats::bump(&self.stats.received);
+        let Some((id, statement)) = line.split_once(' ') else {
+            ServeStats::bump(&self.stats.rejected);
+            conn.send(
+                &self.faults,
+                &format!("ERR {} PROTO expected '<id> <statement>'\n", one_line(line)),
+            );
+            return;
+        };
+        let req = Request {
+            id: id.to_string(),
+            statement: statement.to_string(),
+            deadline: self.cfg.queue.deadline.map(|d| Instant::now() + d),
+            conn: Arc::clone(conn),
+        };
+        match self.queue.push(req) {
+            Admission::Admitted => ServeStats::bump(&self.stats.admitted),
+            Admission::AdmittedShedding(old) => {
+                ServeStats::bump(&self.stats.admitted);
+                ServeStats::bump(&self.stats.shed);
+                old.conn.send(
+                    &self.faults,
+                    &format!("ERR {} OVERLOADED shed by newer request\n", old.id),
+                );
+            }
+            Admission::Rejected(req) => {
+                ServeStats::bump(&self.stats.rejected);
+                let why = if self.is_shutting_down() {
+                    "shutting down"
+                } else {
+                    "queue full"
+                };
+                req.conn
+                    .send(&self.faults, &format!("ERR {} OVERLOADED {why}\n", req.id));
+            }
+        }
+    }
+
+    /// Answer a `.command` inline.
+    fn control(self: &Arc<Self>, cmd: &str, conn: &Arc<Conn>) {
+        let parts: Vec<&str> = cmd.split_whitespace().collect();
+        let reply = match parts.first().copied() {
+            Some("ping") => "+pong\n".to_string(),
+            Some("epoch") => {
+                let e = self.cell.current();
+                let ticks = self.engine.lock().window().ticks();
+                format!(
+                    "+epoch id={} built_at={} ticks={ticks}\n",
+                    e.epoch_id(),
+                    e.built_at()
+                )
+            }
+            Some("stats") => format!(
+                "+stats {}\n",
+                self.stats.render(
+                    self.queue.depth(),
+                    self.queue.high_water(),
+                    self.cell.published()
+                )
+            ),
+            Some("tick") => {
+                let count = parts
+                    .get(1)
+                    .and_then(|s| s.parse::<u64>().ok())
+                    .filter(|k| (1..=1_000_000).contains(k));
+                match count {
+                    Some(k) => match self.tick(k) {
+                        Ok((ticks, refreshes, epoch)) => {
+                            format!("+ticks total={ticks} refreshes={refreshes} epoch={epoch}\n")
+                        }
+                        Err(e) => format!("-err tick failed: {}\n", one_line(&e.to_string())),
+                    },
+                    None => "-err usage: .tick <1..=1000000>\n".to_string(),
+                }
+            }
+            Some("refresh") => {
+                let mut engine = self.engine.lock();
+                match engine.refresh_auto() {
+                    Ok(kind) => match self.publish_from(&engine) {
+                        Ok(id) => format!(
+                            "+refreshed epoch={id} kind={}\n",
+                            match kind {
+                                RefreshKind::Full => "full",
+                                RefreshKind::Delta { .. } => "delta",
+                            }
+                        ),
+                        Err(e) => format!("-err publish failed: {}\n", one_line(&e.to_string())),
+                    },
+                    Err(e) => format!("-err refresh failed: {}\n", one_line(&e.to_string())),
+                }
+            }
+            Some("fault") if !self.cfg.chaos => "-err fault injection disabled\n".to_string(),
+            Some("fault") => match ServeFault::parse(&parts[1..]) {
+                Ok(ServeFault::PoisonEpoch) => {
+                    self.cell.current().poison();
+                    "+fault poisoned current epoch\n".to_string()
+                }
+                Ok(ServeFault::RefreshNow) => {
+                    let mut engine = self.engine.lock();
+                    match engine
+                        .refresh_auto()
+                        .map_err(ServeError::from)
+                        .and_then(|_| self.publish_from(&engine))
+                    {
+                        Ok(id) => format!("+fault refreshed epoch={id}\n"),
+                        Err(e) => format!("-err refresh failed: {}\n", one_line(&e.to_string())),
+                    }
+                }
+                Ok(f) => {
+                    self.faults.arm(f);
+                    "+fault armed\n".to_string()
+                }
+                Err(msg) => format!("-err {msg}\n"),
+            },
+            Some("shutdown") => {
+                conn.send(&self.faults, "+bye\n");
+                self.request_shutdown();
+                return;
+            }
+            Some(other) => format!("-err unknown command '.{}'\n", one_line(other)),
+            None => "-err empty command\n".to_string(),
+        };
+        conn.send(&self.faults, &reply);
+    }
+}
+
+/// Collapse a message to a single protocol-safe line.
+fn one_line(s: &str) -> String {
+    s.replace(['\n', '\r'], " ")
+}

@@ -21,6 +21,7 @@
 //! | 8 | lying bit-flip inside a journal record  | valid journal prefix       |
 //! | 9 | journal file deleted between runs       | snapshot alone, fresh journal|
 //! |10 | snapshot file missing                   | typed I/O error            |
+//! |11 | SIGTERM during `affinity snapshot`      | dir absent or fully valid  |
 
 use affinity::core::measures::PairwiseMeasure;
 use affinity::scape::ThresholdOp;
@@ -326,4 +327,62 @@ fn fault_10_missing_snapshot_is_a_typed_error() {
         }
     }
     fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Fault 11: SIGTERM lands while `affinity snapshot` (the real binary)
+/// is building. The CLI traps the signal and only quits at a stage
+/// boundary, so whichever way the race goes the directory is never
+/// torn: either the commit never started (dir absent) or it ran to
+/// completion (dir opens cleanly, zero healing needed).
+#[test]
+fn fault_11_sigterm_during_cli_snapshot_is_never_torn() {
+    use affinity::data::generator::{sensor_dataset, SensorConfig};
+    use affinity::storage::MatrixStore;
+    use std::process::Command;
+
+    let work = tmp_dir("sigterm-snapshot");
+    let store_path = work.join("input.afn");
+    let snap_dir = work.join("snap");
+    // Big enough that the build comfortably outlives the signal delay.
+    let data = sensor_dataset(&SensorConfig::reduced(40, 1500));
+    MatrixStore::create(&store_path, &data).unwrap();
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_affinity"))
+        .args([
+            "snapshot",
+            store_path.to_str().unwrap(),
+            snap_dir.to_str().unwrap(),
+        ])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn affinity snapshot");
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    let _ = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("send SIGTERM");
+    let status = child.wait().expect("wait for snapshot child");
+
+    // Trapped, never default-killed: exit 0 (commit won the race) or
+    // exit 1 ("interrupted by signal"), but never signal-death.
+    assert!(
+        status.code().is_some(),
+        "snapshot died of the raw signal instead of trapping it"
+    );
+    if snap_dir.exists() {
+        // Whatever is on disk must open cleanly with nothing to heal.
+        let (model, report) = open_model(&snap_dir).expect("committed snapshot must be valid");
+        assert_eq!(report.torn_bytes_dropped, 0);
+        assert!(!report.stale_journal_discarded);
+        assert!(!report.staged_file_removed);
+        assert!(model.affine.series_count() == 40);
+    } else {
+        assert_eq!(
+            status.code(),
+            Some(1),
+            "no directory means the build was interrupted before commit"
+        );
+    }
+    fs::remove_dir_all(&work).unwrap();
 }

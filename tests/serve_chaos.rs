@@ -1,0 +1,493 @@
+//! Chaos suite for `affinity serve`: the real binary, real TCP, real
+//! signals. Every scenario asserts the service's core contract — every
+//! admitted request gets a correct answer or a *typed* rejection, the
+//! admission ledger balances exactly, and a `kill -9` + `--resume`
+//! restart answers bit-identically to the uninterrupted run.
+//!
+//! The scenarios:
+//! - open-loop overload with refresh churn: no hangs, one response per
+//!   request, `received == admitted + rejected`,
+//!   `admitted == ok + err + deadline + shed`;
+//! - `kill -9` mid-serve, then `--resume`: the restarted server's
+//!   answers are byte-identical to the pre-kill answers (the journal
+//!   makes every published refresh durable);
+//! - SIGTERM under load: graceful drain, exit 0, balanced final ledger;
+//! - injected faults (slow workers, poisoned epochs, forced refreshes):
+//!   typed `DEADLINE`/`INTERNAL` responses, recovery via the next
+//!   epoch, never a crash.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const BIN: &str = env!("CARGO_BIN_EXE_affinity");
+
+/// A running `affinity serve` child plus its parsed listen address.
+struct ServerProc {
+    child: Child,
+    addr: String,
+    stdout: BufReader<std::process::ChildStdout>,
+}
+
+impl ServerProc {
+    /// Spawn `affinity serve --port 0 <extra>` and wait for the
+    /// `SERVE addr=...` startup line.
+    fn spawn(extra: &[&str]) -> ServerProc {
+        let mut child = Command::new(BIN)
+            .arg("serve")
+            .args(["--port", "0"])
+            .args(extra)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn affinity serve");
+        let mut stdout = BufReader::new(child.stdout.take().expect("child stdout"));
+        let mut line = String::new();
+        let deadline = Instant::now() + Duration::from_secs(120);
+        let addr = loop {
+            line.clear();
+            let n = stdout.read_line(&mut line).expect("read startup line");
+            assert!(n > 0, "server exited before printing SERVE addr line");
+            if let Some(rest) = line.strip_prefix("SERVE addr=") {
+                break rest
+                    .split_whitespace()
+                    .next()
+                    .expect("addr field")
+                    .to_string();
+            }
+            assert!(Instant::now() < deadline, "no SERVE addr line in time");
+        };
+        ServerProc {
+            child,
+            addr,
+            stdout,
+        }
+    }
+
+    fn connect(&self) -> Client {
+        let stream = TcpStream::connect(&self.addr).expect("connect to server");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .unwrap();
+        let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        Client { stream, reader }
+    }
+
+    /// Wait for exit; return (success, final `SERVE done` ledger if
+    /// printed).
+    fn wait(mut self) -> (bool, Option<HashMap<String, u64>>) {
+        let status = self.child.wait().expect("wait for server");
+        let mut ledger = None;
+        let mut line = String::new();
+        while {
+            line.clear();
+            self.stdout.read_line(&mut line).unwrap_or(0) > 0
+        } {
+            if let Some(rest) = line.strip_prefix("SERVE done ") {
+                ledger = Some(parse_ledger(rest));
+            }
+        }
+        (status.success(), ledger)
+    }
+
+    fn kill9(&mut self) {
+        self.child.kill().expect("kill -9 server");
+        self.child.wait().expect("reap killed server");
+    }
+
+    fn pid(&self) -> u32 {
+        self.child.id()
+    }
+}
+
+/// One TCP client speaking the line protocol.
+struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+/// One parsed response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Response {
+    /// `OK <id>` + body lines (bit-exact, newline-joined).
+    Ok(String, String),
+    /// `ERR <id> <CODE> <msg>`.
+    Err(String, String),
+    /// `+...` / `-...` control reply.
+    Control(String),
+}
+
+impl Client {
+    fn send(&mut self, line: &str) {
+        self.stream
+            .write_all(format!("{line}\n").as_bytes())
+            .expect("send request");
+    }
+
+    fn read_response(&mut self) -> Response {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("read response");
+        assert!(n > 0, "connection closed mid-response");
+        let line = line.trim_end().to_string();
+        if line.starts_with('+') || line.starts_with('-') {
+            return Response::Control(line);
+        }
+        let mut parts = line.splitn(3, ' ');
+        match (parts.next(), parts.next(), parts.next()) {
+            (Some("OK"), Some(id), Some(count)) => {
+                let count: usize = count.parse().expect("OK body line count");
+                let mut body = String::new();
+                for _ in 0..count {
+                    let mut b = String::new();
+                    assert!(
+                        self.reader.read_line(&mut b).expect("read body line") > 0,
+                        "connection closed mid-body"
+                    );
+                    body.push_str(&b);
+                }
+                Response::Ok(id.to_string(), body)
+            }
+            (Some("ERR"), Some(id), Some(rest)) => {
+                let code = rest.split(' ').next().unwrap_or("").to_string();
+                Response::Err(id.to_string(), code)
+            }
+            other => panic!("malformed response line {line:?} ({other:?})"),
+        }
+    }
+
+    /// Send one statement, read its (single) response.
+    fn query(&mut self, id: &str, stmt: &str) -> Response {
+        self.send(&format!("{id} {stmt}"));
+        self.read_response()
+    }
+
+    /// Send a `.command`, expect a `+`-prefixed reply.
+    fn control(&mut self, cmd: &str) -> String {
+        self.send(cmd);
+        match self.read_response() {
+            Response::Control(s) => {
+                assert!(s.starts_with('+'), "control {cmd:?} failed: {s}");
+                s
+            }
+            other => panic!("control {cmd:?} got non-control response {other:?}"),
+        }
+    }
+}
+
+/// Parse `k=v k=v ...` ledger/stat lines.
+fn parse_ledger(s: &str) -> HashMap<String, u64> {
+    s.split_whitespace()
+        .filter_map(|kv| kv.split_once('='))
+        .filter_map(|(k, v)| v.parse().ok().map(|v| (k.to_string(), v)))
+        .collect()
+}
+
+/// The two ledger invariants every quiescent server must satisfy.
+fn assert_ledger_balances(ledger: &HashMap<String, u64>) {
+    let g = |k: &str| {
+        ledger
+            .get(k)
+            .copied()
+            .unwrap_or_else(|| panic!("ledger missing {k}: {ledger:?}"))
+    };
+    assert_eq!(
+        g("received"),
+        g("admitted") + g("rejected"),
+        "admission split does not cover arrivals: {ledger:?}"
+    );
+    assert_eq!(
+        g("admitted"),
+        g("ok") + g("err") + g("deadline") + g("shed"),
+        "admitted requests not fully accounted: {ledger:?}"
+    );
+    assert_eq!(g("depth"), 0, "queue not drained: {ledger:?}");
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("affinity-chaos-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+const QUERY_SET: &[&str] = &[
+    "MET correlation > 0.5",
+    "MER covariance BETWEEN -1000 AND 1000",
+    "MEC mean OF S0, S1, S2",
+    "MET mean > 0",
+    "MER correlation BETWEEN 0.2 AND 0.9",
+];
+
+/// Open-loop overload with shed-oldest admission and refresh churn:
+/// four clients fire pipelined bursts far beyond the queue capacity
+/// while the churn thread keeps publishing new epochs. Every request
+/// must get exactly one well-formed response, and the final ledger must
+/// balance to the request.
+#[test]
+fn overload_with_churn_balances_the_ledger() {
+    let server = ServerProc::spawn(&[
+        "--series",
+        "8",
+        "--samples",
+        "256",
+        "--window",
+        "32",
+        "--workers",
+        "2",
+        "--queue",
+        "4",
+        "--deadline-ms",
+        "30000",
+        "--shed-oldest",
+        "--churn-ms",
+        "10",
+    ]);
+
+    const CLIENTS: usize = 4;
+    const PER_CLIENT: usize = 40;
+    let mut handles = Vec::new();
+    for c in 0..CLIENTS {
+        let mut client = server.connect();
+        handles.push(std::thread::spawn(move || {
+            // Fire the whole burst before reading anything: an
+            // open-loop arrival pattern the 4-deep queue cannot absorb.
+            for i in 0..PER_CLIENT {
+                let stmt = if i % 7 == 3 {
+                    "MET bogus !!" // parse errors ride along
+                } else {
+                    QUERY_SET[i % QUERY_SET.len()]
+                };
+                client.send(&format!("c{c}r{i} {stmt}"));
+            }
+            let mut per_id: HashMap<String, usize> = HashMap::new();
+            for _ in 0..PER_CLIENT {
+                let (id, code) = match client.read_response() {
+                    Response::Ok(id, _) => (id, "OK".to_string()),
+                    Response::Err(id, code) => (id, code),
+                    Response::Control(c) => panic!("unexpected control reply {c}"),
+                };
+                assert!(id.starts_with(&format!("c{c}r")), "cross-talk id {id}");
+                assert!(
+                    matches!(code.as_str(), "OK" | "PARSE" | "OVERLOADED" | "DEADLINE"),
+                    "untyped response code {code} for {id}"
+                );
+                *per_id.entry(id).or_default() += 1;
+            }
+            assert_eq!(per_id.len(), PER_CLIENT, "missing or duplicate responses");
+            assert!(per_id.values().all(|&n| n == 1));
+        }));
+    }
+    for h in handles {
+        h.join().expect("client thread");
+    }
+
+    let mut admin = server.connect();
+    let stats = admin.control(".stats");
+    let ledger = parse_ledger(stats.strip_prefix("+stats ").unwrap());
+    assert_eq!(
+        ledger["received"],
+        (CLIENTS * PER_CLIENT) as u64,
+        "every request must be counted"
+    );
+    assert_ledger_balances(&ledger);
+    // Churn publishes asynchronously (a full SYMEX refresh can outlast
+    // the whole storm on a slow build); wait for it rather than racing.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let stats = admin.control(".stats");
+        let ledger = parse_ledger(stats.strip_prefix("+stats ").unwrap());
+        if ledger["epochs"] >= 2 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "churn never published a second epoch: {ledger:?}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    admin.control(".shutdown");
+    let (ok, done) = server.wait();
+    assert!(ok, "server exited non-zero");
+    assert_ledger_balances(&done.expect("final SERVE done ledger"));
+}
+
+/// `kill -9` mid-serve, restart with `--resume`: the journal makes
+/// every published refresh durable, so the restarted server must give
+/// byte-identical answers to the ones captured just before the kill.
+#[test]
+fn kill9_then_resume_answers_bit_identically() {
+    let dir = temp_dir("kill9");
+    let dirs = dir.to_str().unwrap();
+    let flags = [
+        "--series",
+        "8",
+        "--samples",
+        "128",
+        "--window",
+        "32",
+        "--workers",
+        "2",
+    ];
+
+    let mut server = ServerProc::spawn(&[&flags[..], &["--persist", dirs]].concat());
+    let mut client = server.connect();
+    // Drive deterministic ticks through two refresh cycles so the
+    // journal holds real deltas beyond the initial snapshot.
+    client.control(".tick 40");
+    let before: Vec<Response> = QUERY_SET
+        .iter()
+        .enumerate()
+        .map(|(i, q)| client.query(&format!("pre{i}"), q))
+        .collect();
+    for r in &before {
+        assert!(
+            matches!(r, Response::Ok(..)),
+            "pre-kill query failed: {r:?}"
+        );
+    }
+    server.kill9();
+
+    let server = ServerProc::spawn(&[&flags[..], &["--resume", dirs]].concat());
+    let mut client = server.connect();
+    let after: Vec<Response> = QUERY_SET
+        .iter()
+        .enumerate()
+        .map(|(i, q)| client.query(&format!("pre{i}"), q))
+        .collect();
+    assert_eq!(
+        before, after,
+        "resumed server diverged from the uninterrupted answers"
+    );
+    client.control(".shutdown");
+    let (ok, done) = server.wait();
+    assert!(ok);
+    assert_ledger_balances(&done.expect("final ledger"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// SIGTERM while a burst is queued: the server must drain every
+/// admitted request, print a balanced final ledger, and exit 0.
+#[test]
+fn sigterm_drains_queued_work_and_exits_zero() {
+    let server = ServerProc::spawn(&[
+        "--series",
+        "8",
+        "--samples",
+        "128",
+        "--window",
+        "32",
+        "--workers",
+        "2",
+        "--queue",
+        "64",
+    ]);
+    let mut client = server.connect();
+    const BURST: usize = 24;
+    for i in 0..BURST {
+        client.send(&format!("g{i} {}", QUERY_SET[i % QUERY_SET.len()]));
+    }
+    // SIGTERM races the burst: whatever was admitted must still be
+    // answered before exit.
+    let term = Command::new("kill")
+        .args(["-TERM", &server.pid().to_string()])
+        .status()
+        .expect("send SIGTERM");
+    assert!(term.success());
+
+    let mut got = 0usize;
+    loop {
+        let mut line = String::new();
+        match client.reader.read_line(&mut line) {
+            Ok(0) | Err(_) => break, // server drained and closed
+            Ok(_) => {
+                let line = line.trim_end();
+                if let Some(rest) = line.strip_prefix("OK ") {
+                    let mut it = rest.split(' ');
+                    let _id = it.next();
+                    let n: usize = it.next().unwrap().parse().unwrap();
+                    for _ in 0..n {
+                        let mut b = String::new();
+                        if client.reader.read_line(&mut b).unwrap_or(0) == 0 {
+                            panic!("connection closed mid-body during drain");
+                        }
+                    }
+                }
+                got += 1;
+            }
+        }
+    }
+    assert!(got <= BURST);
+
+    let (ok, done) = server.wait();
+    assert!(ok, "SIGTERM exit was non-zero");
+    let ledger = done.expect("final ledger");
+    assert_ledger_balances(&ledger);
+    // Everything the server admitted was answered — the drain worked.
+    assert_eq!(
+        ledger["admitted"],
+        ledger["ok"] + ledger["err"] + ledger["deadline"] + ledger["shed"]
+    );
+}
+
+/// Injected faults: slow workers push queued requests past a short
+/// deadline (typed `DEADLINE`), a poisoned epoch reports `INTERNAL`
+/// until the next refresh publishes a clean successor, and the server
+/// survives all of it.
+#[test]
+fn injected_faults_yield_typed_errors_and_recovery() {
+    let server = ServerProc::spawn(&[
+        "--series",
+        "8",
+        "--samples",
+        "128",
+        "--window",
+        "32",
+        "--workers",
+        "1",
+        "--deadline-ms",
+        "150",
+        "--chaos",
+    ]);
+    let mut client = server.connect();
+
+    // Healthy baseline.
+    let r = client.query("h0", QUERY_SET[0]);
+    assert!(matches!(r, Response::Ok(..)), "baseline failed: {r:?}");
+
+    // Slow worker beyond the deadline: admitted, then typed DEADLINE.
+    client.control(".fault slow-worker 400");
+    match client.query("s0", QUERY_SET[0]) {
+        Response::Err(id, code) => {
+            assert_eq!(id, "s0");
+            assert_eq!(code, "DEADLINE");
+        }
+        other => panic!("expected DEADLINE, got {other:?}"),
+    }
+    client.control(".fault slow-worker 0");
+
+    // Poisoned epoch: typed INTERNAL, then recovery via forced refresh.
+    client.control(".fault poison-epoch");
+    match client.query("p0", QUERY_SET[0]) {
+        Response::Err(id, code) => {
+            assert_eq!(id, "p0");
+            assert_eq!(code, "INTERNAL");
+        }
+        other => panic!("expected INTERNAL from poisoned epoch, got {other:?}"),
+    }
+    client.control(".fault refresh");
+    let r = client.query("p1", QUERY_SET[0]);
+    assert!(
+        matches!(r, Response::Ok(..)),
+        "fresh epoch after poison still failing: {r:?}"
+    );
+
+    client.control(".shutdown");
+    let (ok, done) = server.wait();
+    assert!(ok);
+    let ledger = done.expect("final ledger");
+    assert_ledger_balances(&ledger);
+    assert!(ledger["deadline"] >= 1 && ledger["err"] >= 1);
+}
