@@ -1,0 +1,520 @@
+//! A hand-rolled, zero-dependency Rust tokenizer.
+//!
+//! The lexer exists so the rule passes can reason about *code* without
+//! being fooled by comments, strings, raw strings, byte strings, or char
+//! literals — the places `grep`-grade linting falls over. It is not a
+//! full Rust lexer: it produces a flat token stream (identifiers,
+//! numbers split into int/float, string-ish literals, lifetimes, and
+//! punctuation with maximal-munch multi-char operators) plus a parallel
+//! list of comments with line spans, which is exactly what the rules
+//! need and nothing more.
+//!
+//! Robustness contract (proptested in `tests/lexer_prop.rs`): `lex`
+//! never panics on any input, and content inside strings, raw strings,
+//! char literals, and comments never surfaces as code tokens. All
+//! cursor movement is bounds-checked via `Cursor::peek`; there is no
+//! slice indexing anywhere in this module.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unsafe`, `let`, `unwrap`, ...).
+    Ident,
+    /// Lifetime (`'a`, `'static`) — distinguished from char literals.
+    Lifetime,
+    /// Integer literal, including hex/octal/binary forms.
+    Int,
+    /// Float literal (`1.0`, `2e9`, `1f64`).
+    Float,
+    /// Any string-like literal: `"…"`, `r#"…"#`, `b"…"`, `c"…"`.
+    Str,
+    /// Char or byte-char literal: `'x'`, `b'\n'`.
+    Char,
+    /// Punctuation / operator, possibly multi-char (`==`, `::`, `->`).
+    Punct,
+}
+
+/// One code token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Lexeme kind.
+    pub kind: TokKind,
+    /// Lexeme text. For `Str` tokens this is the raw literal body and
+    /// is never consulted by rules; for idents/puncts it is the lexeme.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+/// One comment (line `//…` or block `/*…*/`, doc forms included).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based line the comment ends on (== `line` for line comments).
+    pub end_line: u32,
+    /// Comment text including its delimiters.
+    pub text: String,
+}
+
+/// Result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order, off to the side of the token stream.
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+}
+
+impl Cursor {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.pos
+            .checked_add(ahead)
+            .and_then(|i| self.chars.get(i))
+            .copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Multi-char operators, longest first so maximal munch works by
+/// trying them in order.
+const MULTI_PUNCT: &[&str] = &[
+    "..=", "...", "<<=", ">>=", "==", "!=", "<=", ">=", "&&", "||", "::", "->", "=>", "..", "+=",
+    "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+];
+
+/// Lex `src` into tokens + comments. Never panics; invalid input
+/// degrades to punctuation tokens, never into lost string/comment
+/// boundaries that would let quoted text masquerade as code.
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+    };
+    let mut out = Lexed::default();
+
+    while let Some(c) = cur.peek(0) {
+        if c == '\n' || c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        if c == '/' && cur.peek(1) == Some('/') {
+            lex_line_comment(&mut cur, &mut out);
+            continue;
+        }
+        if c == '/' && cur.peek(1) == Some('*') {
+            lex_block_comment(&mut cur, &mut out);
+            continue;
+        }
+        if c == '"' {
+            lex_string(&mut cur, &mut out, 0);
+            continue;
+        }
+        if c == '\'' {
+            lex_quote(&mut cur, &mut out);
+            continue;
+        }
+        if is_ident_start(c) {
+            lex_ident_or_prefixed(&mut cur, &mut out);
+            continue;
+        }
+        if c.is_ascii_digit() {
+            lex_number(&mut cur, &mut out);
+            continue;
+        }
+        lex_punct(&mut cur, &mut out);
+    }
+    out
+}
+
+fn lex_line_comment(cur: &mut Cursor, out: &mut Lexed) {
+    let line = cur.line;
+    let mut text = String::new();
+    while let Some(c) = cur.peek(0) {
+        if c == '\n' {
+            break;
+        }
+        text.push(c);
+        cur.bump();
+    }
+    out.comments.push(Comment {
+        line,
+        end_line: line,
+        text,
+    });
+}
+
+fn lex_block_comment(cur: &mut Cursor, out: &mut Lexed) {
+    let line = cur.line;
+    let mut text = String::new();
+    let mut depth = 0usize;
+    while let Some(c) = cur.peek(0) {
+        if c == '/' && cur.peek(1) == Some('*') {
+            depth += 1;
+            text.push_str("/*");
+            cur.bump();
+            cur.bump();
+            continue;
+        }
+        if c == '*' && cur.peek(1) == Some('/') {
+            text.push_str("*/");
+            cur.bump();
+            cur.bump();
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                break;
+            }
+            continue;
+        }
+        text.push(c);
+        cur.bump();
+    }
+    out.comments.push(Comment {
+        line,
+        end_line: cur.line,
+        text,
+    });
+}
+
+/// Lex a (non-raw) string literal body; `hashes` is unused here but
+/// keeps the signature parallel with [`lex_raw_string`].
+fn lex_string(cur: &mut Cursor, out: &mut Lexed, _hashes: usize) {
+    let line = cur.line;
+    let mut text = String::new();
+    cur.bump(); // opening quote
+    while let Some(c) = cur.peek(0) {
+        if c == '\\' {
+            cur.bump();
+            cur.bump(); // escaped char, whatever it is
+            continue;
+        }
+        if c == '"' {
+            cur.bump();
+            break;
+        }
+        text.push(c);
+        cur.bump();
+    }
+    out.tokens.push(Token {
+        kind: TokKind::Str,
+        text,
+        line,
+    });
+}
+
+/// Lex `r"…"` / `r#"…"#` bodies after the prefix ident was consumed.
+/// The cursor sits on the first `#` or the opening quote.
+fn lex_raw_string(cur: &mut Cursor, out: &mut Lexed) {
+    let line = cur.line;
+    let mut hashes = 0usize;
+    while cur.peek(0) == Some('#') {
+        hashes += 1;
+        cur.bump();
+    }
+    if cur.peek(0) != Some('"') {
+        // Not actually a raw string (e.g. `r#ident` raw identifier):
+        // re-emit the hashes as punctuation and continue normally.
+        for _ in 0..hashes {
+            out.tokens.push(Token {
+                kind: TokKind::Punct,
+                text: "#".into(),
+                line,
+            });
+        }
+        return;
+    }
+    cur.bump(); // opening quote
+    let mut text = String::new();
+    'outer: while let Some(c) = cur.peek(0) {
+        if c == '"' {
+            // A quote closes the literal only when followed by the
+            // right number of hashes.
+            let mut ok = true;
+            for k in 0..hashes {
+                if cur.peek(1 + k) != Some('#') {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                cur.bump();
+                for _ in 0..hashes {
+                    cur.bump();
+                }
+                break 'outer;
+            }
+        }
+        text.push(c);
+        cur.bump();
+    }
+    out.tokens.push(Token {
+        kind: TokKind::Str,
+        text,
+        line,
+    });
+}
+
+/// `'` starts either a lifetime or a char literal.
+fn lex_quote(cur: &mut Cursor, out: &mut Lexed) {
+    let line = cur.line;
+    match (cur.peek(1), cur.peek(2)) {
+        // Escaped char: '\n', '\'', '\u{…}'.
+        (Some('\\'), _) => {
+            cur.bump(); // '
+            cur.bump(); // backslash
+            cur.bump(); // escaped char
+                        // Consume to the closing quote (covers '\u{1F600}').
+            let mut guard = 0usize;
+            while let Some(c) = cur.peek(0) {
+                guard += 1;
+                if c == '\'' || c == '\n' || guard > 12 {
+                    break;
+                }
+                cur.bump();
+            }
+            if cur.peek(0) == Some('\'') {
+                cur.bump();
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Char,
+                text: String::new(),
+                line,
+            });
+        }
+        // 'x' — a one-char literal.
+        (Some(_), Some('\'')) => {
+            cur.bump();
+            cur.bump();
+            cur.bump();
+            out.tokens.push(Token {
+                kind: TokKind::Char,
+                text: String::new(),
+                line,
+            });
+        }
+        // 'ident — a lifetime.
+        (Some(c), _) if is_ident_start(c) => {
+            cur.bump(); // '
+            let mut text = String::from("'");
+            while let Some(c) = cur.peek(0) {
+                if !is_ident_continue(c) {
+                    break;
+                }
+                text.push(c);
+                cur.bump();
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Lifetime,
+                text,
+                line,
+            });
+        }
+        // Lone / malformed quote: emit as punctuation and move on.
+        _ => {
+            cur.bump();
+            out.tokens.push(Token {
+                kind: TokKind::Punct,
+                text: "'".into(),
+                line,
+            });
+        }
+    }
+}
+
+fn lex_ident_or_prefixed(cur: &mut Cursor, out: &mut Lexed) {
+    let line = cur.line;
+    let mut text = String::new();
+    while let Some(c) = cur.peek(0) {
+        if !is_ident_continue(c) {
+            break;
+        }
+        text.push(c);
+        cur.bump();
+    }
+    // String-literal prefixes: r"", r#""#, b"", br#""#, c"", cr#""#.
+    let is_raw_prefix = matches!(text.as_str(), "r" | "br" | "cr" | "rb");
+    let is_plain_prefix = matches!(text.as_str(), "b" | "c");
+    match cur.peek(0) {
+        Some('"') if is_raw_prefix => {
+            lex_raw_string(cur, out);
+            return;
+        }
+        Some('#') if is_raw_prefix => {
+            lex_raw_string(cur, out);
+            return;
+        }
+        Some('"') if is_plain_prefix => {
+            lex_string(cur, out, 0);
+            return;
+        }
+        Some('\'') if text == "b" => {
+            lex_quote(cur, out);
+            return;
+        }
+        _ => {}
+    }
+    out.tokens.push(Token {
+        kind: TokKind::Ident,
+        text,
+        line,
+    });
+}
+
+fn lex_number(cur: &mut Cursor, out: &mut Lexed) {
+    let line = cur.line;
+    let mut text = String::new();
+    let mut is_float = false;
+
+    // Radix-prefixed integers can never be floats; hex digits would
+    // otherwise confuse the exponent scan (`0x1E`).
+    if cur.peek(0) == Some('0') && matches!(cur.peek(1), Some('x' | 'X' | 'o' | 'O' | 'b' | 'B')) {
+        text.push(cur.bump().unwrap_or('0'));
+        text.push(cur.bump().unwrap_or('0'));
+        while let Some(c) = cur.peek(0) {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                text.push(c);
+                cur.bump();
+            } else {
+                break;
+            }
+        }
+        out.tokens.push(Token {
+            kind: TokKind::Int,
+            text,
+            line,
+        });
+        return;
+    }
+
+    while let Some(c) = cur.peek(0) {
+        if c.is_ascii_digit() || c == '_' {
+            text.push(c);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    // Fractional part: `.` followed by a digit (`1..` is a range and
+    // `1.max()` is a method call — neither makes this a float).
+    if cur.peek(0) == Some('.') {
+        match cur.peek(1) {
+            Some(c) if c.is_ascii_digit() => {
+                is_float = true;
+                text.push('.');
+                cur.bump();
+                while let Some(c) = cur.peek(0) {
+                    if c.is_ascii_digit() || c == '_' {
+                        text.push(c);
+                        cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            Some(c) if c == '.' || is_ident_start(c) => {}
+            _ => {
+                // Trailing-dot float like `1.`
+                is_float = true;
+                text.push('.');
+                cur.bump();
+            }
+        }
+    }
+    // Exponent.
+    if matches!(cur.peek(0), Some('e' | 'E')) {
+        let sign = matches!(cur.peek(1), Some('+' | '-'));
+        let digit_at = if sign { 2 } else { 1 };
+        if matches!(cur.peek(digit_at), Some(c) if c.is_ascii_digit()) {
+            is_float = true;
+            text.push(cur.bump().unwrap_or('e'));
+            if sign {
+                text.push(cur.bump().unwrap_or('+'));
+            }
+            while let Some(c) = cur.peek(0) {
+                if c.is_ascii_digit() || c == '_' {
+                    text.push(c);
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+    // Type suffix (`1f64`, `3usize`).
+    let mut suffix = String::new();
+    while let Some(c) = cur.peek(0) {
+        if is_ident_continue(c) {
+            suffix.push(c);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    if suffix == "f32" || suffix == "f64" {
+        is_float = true;
+    }
+    text.push_str(&suffix);
+    out.tokens.push(Token {
+        kind: if is_float {
+            TokKind::Float
+        } else {
+            TokKind::Int
+        },
+        text,
+        line,
+    });
+}
+
+fn lex_punct(cur: &mut Cursor, out: &mut Lexed) {
+    let line = cur.line;
+    for op in MULTI_PUNCT {
+        let mut matches = true;
+        for (k, oc) in op.chars().enumerate() {
+            if cur.peek(k) != Some(oc) {
+                matches = false;
+                break;
+            }
+        }
+        if matches {
+            for _ in 0..op.chars().count() {
+                cur.bump();
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Punct,
+                text: (*op).into(),
+                line,
+            });
+            return;
+        }
+    }
+    if let Some(c) = cur.bump() {
+        out.tokens.push(Token {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+    }
+}

@@ -1,0 +1,199 @@
+//! `afflint` — workspace-native static analysis for AFFINITY.
+//!
+//! Enforces the project-specific safety invariants that `clippy -D
+//! warnings` cannot see, on every path of every file, statically:
+//!
+//! | rule          | invariant |
+//! |---------------|-----------|
+//! | `panic`       | R1: no `unwrap`/`expect`/`panic!`/`assert!`/slice indexing in untrusted-input modules (the paths network bytes and disk corruption reach) |
+//! | `safety`      | R2: every `unsafe` is preceded by a `// SAFETY:` comment |
+//! | `float-eq`    | R3: no `==`/`!=` against float literals outside test code |
+//! | `lock-io`     | R4: no `read_*`/`write_*`/`fsync`/`File::` while a lock guard is live |
+//! | `len-arith`   | R5: no raw `*`/`+` on length-typed values in reader modules — use `SizeCheck` |
+//! | `relaxed`     | R6: no `Ordering::Relaxed` on `store`/`swap`/`compare_exchange` publishes |
+//! | `waiver`      | meta: waivers must name a known rule and carry a `-- justification` |
+//!
+//! Findings print as `file:line:rule: message` and the binary exits
+//! nonzero when any survive. A finding is silenced by an inline waiver
+//!
+//! ```text
+//! // afflint: allow(rule) -- why this occurrence is sound
+//! ```
+//!
+//! on the same line as the flagged token or alone on the line above
+//! it. A waiver without the `-- justification` tail is itself a
+//! finding, so the waiver inventory (`afflint --list-waivers`) is
+//! always fully justified and auditable in review.
+
+pub mod config;
+pub mod lexer;
+pub mod rules;
+pub mod waiver;
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// The rule families. `Waiver` covers malformed waiver comments and is
+/// not itself waivable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// R1 — panic-freedom in untrusted-input modules.
+    Panic,
+    /// R2 — `unsafe` requires an adjacent `// SAFETY:` comment.
+    Safety,
+    /// R3 — float equality ban.
+    FloatEq,
+    /// R4 — no I/O under a live lock guard.
+    LockIo,
+    /// R5 — unchecked length arithmetic in reader modules.
+    LenArith,
+    /// R6 — `Ordering::Relaxed` on publish operations.
+    Relaxed,
+    /// Meta — malformed waiver (unknown rule / missing justification).
+    Waiver,
+}
+
+impl Rule {
+    /// The name used in output and in `allow(...)` waivers.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::Panic => "panic",
+            Rule::Safety => "safety",
+            Rule::FloatEq => "float-eq",
+            Rule::LockIo => "lock-io",
+            Rule::LenArith => "len-arith",
+            Rule::Relaxed => "relaxed",
+            Rule::Waiver => "waiver",
+        }
+    }
+
+    /// Parse a waiver rule name.
+    pub fn from_name(name: &str) -> Option<Rule> {
+        match name {
+            "panic" => Some(Rule::Panic),
+            "safety" => Some(Rule::Safety),
+            "float-eq" => Some(Rule::FloatEq),
+            "lock-io" => Some(Rule::LockIo),
+            "len-arith" => Some(Rule::LenArith),
+            "relaxed" => Some(Rule::Relaxed),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One confirmed violation.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-based line of the flagged token.
+    pub line: u32,
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Result of linting a tree: surviving findings plus the waivers that
+/// were honored (for `--list-waivers`).
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Findings that survived waiver filtering, in path/line order.
+    pub findings: Vec<Finding>,
+    /// Every well-formed waiver encountered, used or not.
+    pub waivers: Vec<waiver::Waiver>,
+    /// Files visited, workspace-relative.
+    pub files_scanned: Vec<String>,
+}
+
+/// Lint a single source text under `rel_path`'s classification.
+/// Exposed for the fixture tests; `lint_workspace` is the real entry.
+pub fn lint_source(rel_path: &str, src: &str) -> (Vec<Finding>, Vec<waiver::Waiver>) {
+    let class = config::classify(rel_path);
+    let lexed = lexer::lex(src);
+    let (waivers, mut waiver_findings) = waiver::collect(rel_path, &lexed.comments);
+    let mut findings = rules::run(rel_path, &lexed, &class);
+    findings.retain(|f| !waiver::is_waived(&waivers, f));
+    findings.append(&mut waiver_findings);
+    findings.sort_by_key(|f| f.line);
+    (findings, waivers)
+}
+
+/// Walk every workspace `.rs` file under `root` and lint it.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
+    let mut files = Vec::new();
+    for top in config::WALK_ROOTS {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_rs(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+    let mut report = Report::default();
+    for path in &files {
+        let rel = rel_path(root, path);
+        let src = std::fs::read(path)?;
+        let src = String::from_utf8_lossy(&src);
+        let (findings, waivers) = lint_source(&rel, &src);
+        report.findings.extend(findings);
+        report.waivers.extend(waivers);
+        report.files_scanned.push(rel);
+    }
+    Ok(report)
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.to_string_lossy().replace('\\', "/")
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if config::SKIP_DIRS.contains(&name.as_ref()) {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Locate the workspace root: walk up from `start` until a directory
+/// containing a `Cargo.toml` with a `[workspace]` table.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! `afflint` CLI — lint the workspace, print findings, exit nonzero.
+//!
+//! ```text
+//! afflint [--root <dir>] [--json <file>] [--list-waivers]
+//! ```
+//!
+//! Default mode walks every workspace `.rs` file (crates/, tests/,
+//! examples/, vendor/), prints `file:line:rule: message` per finding,
+//! and exits 1 when any survive their waivers (0 when clean, 2 on
+//! usage or I/O errors). `--json <file>` additionally writes the
+//! findings as a JSON array — the CI artifact. `--list-waivers` prints
+//! the waiver inventory (file, line, rules, justification) and exits 0
+//! so reviews can audit every accepted exception.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use afflint::{find_workspace_root, lint_workspace, Report};
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut json_path: Option<PathBuf> = None;
+    let mut list_waivers = false;
+
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--root" => match argv.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage("--root needs a directory"),
+            },
+            "--json" => match argv.next() {
+                Some(p) => json_path = Some(PathBuf::from(p)),
+                None => return usage("--json needs an output file"),
+            },
+            "--list-waivers" => list_waivers = true,
+            "--help" | "-h" => {
+                println!("usage: afflint [--root <dir>] [--json <file>] [--list-waivers]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let root = match root.or_else(|| {
+        std::env::current_dir().ok().and_then(|d| find_workspace_root(&d))
+    }) {
+        Some(r) => r,
+        None => return usage("could not locate a workspace root (no Cargo.toml with [workspace] above cwd); pass --root"),
+    };
+
+    let report = match lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("afflint: i/o error walking {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if list_waivers {
+        print_waivers(&report);
+        return ExitCode::SUCCESS;
+    }
+
+    for f in &report.findings {
+        println!("{f}");
+    }
+    if let Some(path) = json_path {
+        if let Err(e) = std::fs::write(&path, findings_json(&report)) {
+            eprintln!("afflint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if report.findings.is_empty() {
+        eprintln!(
+            "afflint: clean — {} files, {} waivers (audit with --list-waivers)",
+            report.files_scanned.len(),
+            report.waivers.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "afflint: {} finding(s) across {} files — fix, or waive with `// afflint: allow(rule) -- justification`",
+            report.findings.len(),
+            report.files_scanned.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("afflint: {msg}");
+    eprintln!("usage: afflint [--root <dir>] [--json <file>] [--list-waivers]");
+    ExitCode::from(2)
+}
+
+fn print_waivers(report: &Report) {
+    if report.waivers.is_empty() {
+        println!("no waivers in the workspace");
+        return;
+    }
+    for w in &report.waivers {
+        let rules: Vec<&str> = w.rules.iter().map(|r| r.name()).collect();
+        println!(
+            "{}:{}: allow({}) -- {}",
+            w.file,
+            w.line,
+            rules.join(", "),
+            w.justification
+        );
+    }
+    println!("{} waiver(s), every one justified", report.waivers.len());
+}
+
+/// Hand-rolled JSON (the tool is zero-dependency by design).
+fn findings_json(report: &Report) -> String {
+    let mut s = String::from("[\n");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            s.push_str(",\n");
+        }
+        s.push_str(&format!(
+            "  {{\"file\": {}, \"line\": {}, \"rule\": {}, \"message\": {}}}",
+            json_str(&f.file),
+            f.line,
+            json_str(f.rule.name()),
+            json_str(&f.message)
+        ));
+    }
+    s.push_str("\n]\n");
+    s
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

@@ -1,0 +1,574 @@
+//! The six rule families, run over one file's token stream.
+//!
+//! All rules share a scope prepass that (a) tracks brace depth and (b)
+//! marks the token ranges gated behind `#[cfg(test)]` / `#[test]`
+//! attributes, because test code is allowed to assert and to compare
+//! floats exactly — the invariants protect production paths. Each rule
+//! is a linear scan; the whole workspace lints in well under a second.
+
+use crate::config::FileClass;
+use crate::lexer::{Comment, Lexed, TokKind, Token};
+use crate::{Finding, Rule};
+
+/// Run every applicable rule family over one lexed file.
+pub fn run(file: &str, lexed: &Lexed, class: &FileClass) -> Vec<Finding> {
+    let ctx = Ctx {
+        file,
+        toks: &lexed.tokens,
+        comments: &lexed.comments,
+        in_test: test_regions(&lexed.tokens),
+    };
+    let mut out = Vec::new();
+    if class.untrusted {
+        r1_panic(&ctx, &mut out);
+    }
+    r2_safety(&ctx, &mut out);
+    if !class.test_file {
+        r3_float_eq(&ctx, &mut out);
+    }
+    r4_lock_io(&ctx, &mut out);
+    if class.reader {
+        r5_len_arith(&ctx, &mut out);
+    }
+    r6_relaxed(&ctx, &mut out);
+    out
+}
+
+struct Ctx<'a> {
+    file: &'a str,
+    toks: &'a [Token],
+    comments: &'a [Comment],
+    in_test: Vec<bool>,
+}
+
+impl Ctx<'_> {
+    fn tok(&self, i: usize) -> Option<&Token> {
+        self.toks.get(i)
+    }
+    fn kind(&self, i: usize) -> Option<TokKind> {
+        self.toks.get(i).map(|t| t.kind)
+    }
+    fn text(&self, i: usize) -> &str {
+        self.toks.get(i).map(|t| t.text.as_str()).unwrap_or("")
+    }
+    fn is_test(&self, i: usize) -> bool {
+        self.in_test.get(i).copied().unwrap_or(false)
+    }
+    fn finding(&self, out: &mut Vec<Finding>, i: usize, rule: Rule, msg: String) {
+        let line = self.tok(i).map(|t| t.line).unwrap_or(0);
+        out.push(Finding {
+            file: self.file.to_string(),
+            line,
+            rule,
+            message: msg,
+        });
+    }
+}
+
+/// Mark every token inside a `#[cfg(test)]`- or `#[test]`-gated item's
+/// brace block. The attribute scan treats any bare `test` identifier
+/// inside the attribute brackets as test-gating, which also covers
+/// `#[cfg(all(test, ...))]`.
+fn test_regions(toks: &[Token]) -> Vec<bool> {
+    let mut in_test = vec![false; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        let is_attr_start = toks.get(i).map(|t| t.text == "#").unwrap_or(false)
+            && toks.get(i + 1).map(|t| t.text == "[").unwrap_or(false);
+        if !is_attr_start {
+            i += 1;
+            continue;
+        }
+        // Scan the attribute's bracket span.
+        let mut j = i + 2;
+        let mut depth = 1usize;
+        let mut gated = false;
+        while j < toks.len() && depth > 0 {
+            match toks.get(j) {
+                Some(t) if t.text == "[" => depth += 1,
+                Some(t) if t.text == "]" => depth -= 1,
+                Some(t) if t.kind == TokKind::Ident && t.text == "test" => gated = true,
+                _ => {}
+            }
+            j += 1;
+        }
+        if !gated {
+            i = j;
+            continue;
+        }
+        // Find the gated item's body: first `{` before a top-level `;`.
+        let mut k = j;
+        let mut body_open = None;
+        while k < toks.len() {
+            match toks.get(k).map(|t| t.text.as_str()) {
+                Some("{") => {
+                    body_open = Some(k);
+                    break;
+                }
+                Some(";") => break,
+                _ => {}
+            }
+            k += 1;
+        }
+        if let Some(open) = body_open {
+            let mut braces = 0usize;
+            let mut m = open;
+            while m < toks.len() {
+                match toks.get(m).map(|t| t.text.as_str()) {
+                    Some("{") => braces += 1,
+                    Some("}") => {
+                        braces = braces.saturating_sub(1);
+                        if braces == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                if let Some(slot) = in_test.get_mut(m) {
+                    *slot = true;
+                }
+                m += 1;
+            }
+            if let Some(slot) = in_test.get_mut(m) {
+                *slot = true;
+            }
+        }
+        i = j;
+    }
+    in_test
+}
+
+/// R1 — panic-freedom in untrusted-input modules.
+fn r1_panic(ctx: &Ctx, out: &mut Vec<Finding>) {
+    const PANIC_MACROS: &[&str] = &[
+        "panic",
+        "unreachable",
+        "todo",
+        "unimplemented",
+        "assert",
+        "assert_eq",
+        "assert_ne",
+        "debug_assert",
+        "debug_assert_eq",
+        "debug_assert_ne",
+    ];
+    for i in 0..ctx.toks.len() {
+        if ctx.is_test(i) {
+            continue;
+        }
+        let t = match ctx.tok(i) {
+            Some(t) => t,
+            None => continue,
+        };
+        match t.kind {
+            TokKind::Ident
+                if (t.text == "unwrap" || t.text == "expect")
+                    && ctx.text(i.wrapping_sub(1)) == "."
+                    && ctx.text(i + 1) == "(" =>
+            {
+                ctx.finding(
+                    out,
+                    i,
+                    Rule::Panic,
+                    format!(
+                        "`.{}()` in an untrusted-input module — corrupt bytes reach this path; return a typed error instead",
+                        t.text
+                    ),
+                );
+            }
+            TokKind::Ident if PANIC_MACROS.contains(&t.text.as_str()) && ctx.text(i + 1) == "!" => {
+                ctx.finding(
+                    out,
+                    i,
+                    Rule::Panic,
+                    format!(
+                        "`{}!` in an untrusted-input module — this is a remotely reachable crash; return a typed error instead",
+                        t.text
+                    ),
+                );
+            }
+            TokKind::Punct if t.text == "[" && i > 0 => {
+                let prev = ctx.tok(i - 1);
+                let indexing = match prev {
+                    Some(p) if p.kind == TokKind::Ident => !is_keyword(&p.text),
+                    Some(p) if p.text == ")" || p.text == "]" || p.text == "?" => true,
+                    _ => false,
+                };
+                if indexing {
+                    ctx.finding(
+                        out,
+                        i,
+                        Rule::Panic,
+                        format!(
+                            "slice indexing `{}[..]` in an untrusted-input module can panic on corrupt lengths — use `.get(..)` or a checked helper",
+                            ctx.text(i - 1)
+                        ),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Keywords that can directly precede `[` without it being an index
+/// expression (`return [..]`, `break`, `in [..]`, …).
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "return"
+            | "break"
+            | "in"
+            | "if"
+            | "else"
+            | "match"
+            | "as"
+            | "mut"
+            | "ref"
+            | "move"
+            | "const"
+            | "static"
+            | "let"
+            | "where"
+            | "for"
+            | "while"
+            | "loop"
+            | "impl"
+            | "dyn"
+    )
+}
+
+/// R2 — every `unsafe` needs an adjacent `SAFETY:` comment (or a
+/// rustdoc `# Safety` section for `unsafe fn` declarations).
+fn r2_safety(ctx: &Ctx, out: &mut Vec<Finding>) {
+    for i in 0..ctx.toks.len() {
+        let t = match ctx.tok(i) {
+            Some(t) if t.kind == TokKind::Ident && t.text == "unsafe" => t,
+            _ => continue,
+        };
+        if has_safety_comment(ctx, t.line) {
+            continue;
+        }
+        ctx.finding(
+            out,
+            i,
+            Rule::Safety,
+            "`unsafe` without an adjacent `// SAFETY:` comment stating the invariant that makes it sound".to_string(),
+        );
+    }
+}
+
+fn has_safety_comment(ctx: &Ctx, unsafe_line: u32) -> bool {
+    let marks = |c: &Comment| c.text.contains("SAFETY") || c.text.contains("# Safety");
+    // Trailing comment on the same line, or a comment whose span ends
+    // on the line itself (multi-line block comment).
+    if ctx
+        .comments
+        .iter()
+        .any(|c| c.line <= unsafe_line && c.end_line >= unsafe_line && marks(c))
+    {
+        return true;
+    }
+    // Walk upward through the contiguous block of comment / attribute /
+    // blank lines directly above (a doc block may be long).
+    let mut line = unsafe_line.saturating_sub(1);
+    let mut budget = 40u32;
+    while line > 0 && budget > 0 {
+        budget -= 1;
+        if let Some(c) = ctx
+            .comments
+            .iter()
+            .find(|c| c.line <= line && c.end_line >= line)
+        {
+            if marks(c) {
+                return true;
+            }
+            line = c.line.saturating_sub(1);
+            continue;
+        }
+        // Attribute lines (`#[inline]`) between doc and item are ok.
+        let code_on_line: Vec<&Token> = ctx.toks.iter().filter(|t| t.line == line).collect();
+        if code_on_line.is_empty() {
+            line = line.saturating_sub(1);
+            continue;
+        }
+        if code_on_line.first().map(|t| t.text == "#").unwrap_or(false) {
+            line = line.saturating_sub(1);
+            continue;
+        }
+        return false;
+    }
+    false
+}
+
+/// R3 — `==`/`!=` with a float-literal operand.
+fn r3_float_eq(ctx: &Ctx, out: &mut Vec<Finding>) {
+    for i in 0..ctx.toks.len() {
+        if ctx.is_test(i) {
+            continue;
+        }
+        let t = match ctx.tok(i) {
+            Some(t) if t.kind == TokKind::Punct && (t.text == "==" || t.text == "!=") => t,
+            _ => continue,
+        };
+        let lhs_float = i > 0 && ctx.kind(i - 1) == Some(TokKind::Float);
+        let rhs_float = ctx.kind(i + 1) == Some(TokKind::Float)
+            || (ctx.text(i + 1) == "-" && ctx.kind(i + 2) == Some(TokKind::Float));
+        if lhs_float || rhs_float {
+            ctx.finding(
+                out,
+                i,
+                Rule::FloatEq,
+                format!(
+                    "float `{}` comparison — compare `.to_bits()` or use an epsilon/exact-zero helper so intent is explicit",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+/// R4 — I/O while a lock guard is live. A guard is born from a
+/// zero-argument `.lock()` / `.read()` / `.write()` call (Mutex and
+/// RwLock; the zero-arg requirement keeps `io::Read::read(&mut buf)`
+/// out), either `let`-bound (lives to the end of its block or an
+/// explicit `drop(guard)`) or temporary (lives to the end of the
+/// statement).
+fn r4_lock_io(ctx: &Ctx, out: &mut Vec<Finding>) {
+    struct Guard {
+        name: String,
+        depth: usize,
+        line: u32,
+        /// For un-bound (temporary) guards: the guard dies at the next
+        /// `;` at its birth depth.
+        temp: bool,
+    }
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut depth = 0usize;
+    // Track the most recent `let` binding name at each point so a
+    // guard-producing call can be attributed to it.
+    let mut pending_let: Option<String> = None;
+
+    for i in 0..ctx.toks.len() {
+        let t = match ctx.tok(i) {
+            Some(t) => t,
+            None => continue,
+        };
+        match t.text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth = depth.saturating_sub(1);
+                guards.retain(|g| g.depth <= depth);
+            }
+            ";" => {
+                guards.retain(|g| !(g.temp && g.depth == depth));
+                pending_let = None;
+            }
+            "let" if t.kind == TokKind::Ident => {
+                // `let [mut] name`
+                let mut j = i + 1;
+                if ctx.text(j) == "mut" {
+                    j += 1;
+                }
+                if ctx.kind(j) == Some(TokKind::Ident) {
+                    pending_let = Some(ctx.text(j).to_string());
+                }
+            }
+            "lock" | "read" | "write" if t.kind == TokKind::Ident => {
+                let zero_arg_method = i > 0
+                    && ctx.text(i - 1) == "."
+                    && ctx.text(i + 1) == "("
+                    && ctx.text(i + 2) == ")";
+                if zero_arg_method {
+                    guards.push(Guard {
+                        name: pending_let.clone().unwrap_or_else(|| "<temporary>".into()),
+                        depth,
+                        line: t.line,
+                        temp: pending_let.is_none(),
+                    });
+                }
+            }
+            "drop"
+                if t.kind == TokKind::Ident && ctx.text(i + 1) == "(" && ctx.text(i + 3) == ")" =>
+            {
+                let dropped = ctx.text(i + 2).to_string();
+                guards.retain(|g| g.name != dropped);
+            }
+            _ => {}
+        }
+        // I/O detection while any guard is live.
+        if guards.is_empty() || t.kind != TokKind::Ident {
+            continue;
+        }
+        let is_io = ((t.text.starts_with("read_") || t.text.starts_with("write_"))
+            && ctx.text(i + 1) == "(")
+            || ((t.text == "fsync" || t.text == "sync_all" || t.text == "sync_data")
+                && ctx.text(i + 1) == "(")
+            || (t.text == "File" && ctx.text(i + 1) == "::")
+            || t.text == "OpenOptions";
+        if is_io {
+            let msg_guards: Vec<String> = guards
+                .iter()
+                .map(|g| format!("`{}` (line {})", g.name, g.line))
+                .collect();
+            ctx.finding(
+                out,
+                i,
+                Rule::LockIo,
+                format!(
+                    "`{}` runs while lock guard {} is live — do the I/O and decode outside the critical section, then re-lock to publish",
+                    t.text,
+                    msg_guards.join(", ")
+                ),
+            );
+        }
+    }
+}
+
+/// R5 — raw `*`/`+` on length-typed operands in reader modules.
+/// Suppressed when the enclosing statement visibly uses `SizeCheck` or
+/// `checked_*` arithmetic.
+fn r5_len_arith(ctx: &Ctx, out: &mut Vec<Finding>) {
+    const LENGTHY: &[&str] = &[
+        "len", "size", "count", "samples", "series", "rows", "cols", "bytes", "entries",
+    ];
+    let lengthish = |s: &str| {
+        let low = s.to_ascii_lowercase();
+        LENGTHY.iter().any(|k| low.contains(k))
+    };
+    for i in 0..ctx.toks.len() {
+        if ctx.is_test(i) {
+            continue;
+        }
+        let t = match ctx.tok(i) {
+            Some(t) if t.kind == TokKind::Punct && (t.text == "*" || t.text == "+") => t,
+            _ => continue,
+        };
+        // Binary position: something value-like on the left.
+        let prev = match ctx.tok(i.wrapping_sub(1)) {
+            Some(p) => p,
+            None => continue,
+        };
+        let binary = matches!(prev.kind, TokKind::Ident | TokKind::Int | TokKind::Float)
+            || prev.text == ")"
+            || prev.text == "]";
+        if !binary || i == 0 {
+            continue;
+        }
+        let next = ctx.tok(i + 1);
+        let prev_hit =
+            prev.kind == TokKind::Ident && (lengthish(&prev.text) || prev.text == "usize");
+        let next_hit = next
+            .map(|n| n.kind == TokKind::Ident && lengthish(&n.text))
+            .unwrap_or(false);
+        if !(prev_hit || next_hit) {
+            continue;
+        }
+        if statement_is_checked(ctx, i) {
+            continue;
+        }
+        ctx.finding(
+            out,
+            i,
+            Rule::LenArith,
+            format!(
+                "raw `{}` on length-typed operands in a reader module — route header sizes through `SizeCheck`/`checked_*` before trusting them",
+                t.text
+            ),
+        );
+    }
+}
+
+/// Does the statement containing token `i` visibly use checked
+/// arithmetic? Scans to the surrounding `;`/`{`/`}` boundaries.
+fn statement_is_checked(ctx: &Ctx, i: usize) -> bool {
+    let checked = |t: &Token| {
+        t.kind == TokKind::Ident
+            && (t.text == "SizeCheck"
+                || t.text.starts_with("checked_")
+                || t.text == "add_mul"
+                || t.text == "add_mul3"
+                || t.text == "saturating_add"
+                || t.text == "saturating_mul")
+    };
+    let boundary = |t: &Token| t.text == ";" || t.text == "{" || t.text == "}";
+    let mut j = i;
+    while j > 0 {
+        let Some(t) = ctx.tok(j - 1) else { break };
+        if boundary(t) {
+            break;
+        }
+        if checked(t) {
+            return true;
+        }
+        j -= 1;
+    }
+    let mut k = i + 1;
+    while let Some(t) = ctx.tok(k) {
+        if boundary(t) {
+            break;
+        }
+        if checked(t) {
+            return true;
+        }
+        k += 1;
+    }
+    false
+}
+
+/// R6 — `Ordering::Relaxed` inside a publish operation (`store`,
+/// `swap`, `compare_exchange[_weak]`, `fetch_update`). Loads and
+/// counter `fetch_add`s are out of scope by design: the invariant is
+/// that *published* data is ordered, enforced at the writer.
+fn r6_relaxed(ctx: &Ctx, out: &mut Vec<Finding>) {
+    const PUBLISH: &[&str] = &[
+        "store",
+        "swap",
+        "compare_exchange",
+        "compare_exchange_weak",
+        "fetch_update",
+    ];
+    for i in 0..ctx.toks.len() {
+        let relaxed = ctx.kind(i) == Some(TokKind::Ident)
+            && ctx.text(i) == "Relaxed"
+            && i >= 2
+            && ctx.text(i - 1) == "::"
+            && ctx.text(i - 2) == "Ordering";
+        if !relaxed {
+            continue;
+        }
+        // Walk backwards to the opening paren of the enclosing call.
+        let mut bal = 0i64;
+        let mut j = i;
+        let mut callee = None;
+        while j > 0 {
+            j -= 1;
+            match ctx.text(j) {
+                ")" => bal += 1,
+                "(" => {
+                    bal -= 1;
+                    if bal < 0 {
+                        if ctx.kind(j.wrapping_sub(1)) == Some(TokKind::Ident) {
+                            callee = Some(ctx.text(j - 1).to_string());
+                        }
+                        break;
+                    }
+                }
+                ";" | "{" | "}" => break,
+                _ => {}
+            }
+        }
+        if let Some(name) = callee {
+            if PUBLISH.contains(&name.as_str()) {
+                ctx.finding(
+                    out,
+                    i,
+                    Rule::Relaxed,
+                    format!(
+                        "`Ordering::Relaxed` on `{name}` — publish operations must use Release/AcqRel (or carry an allowlist waiver explaining why no data is ordered after this write)"
+                    ),
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Inline waiver parsing and matching.
+//!
+//! Syntax, inside any comment:
+//!
+//! ```text
+//! // afflint: allow(rule[, rule...]) -- justification text
+//! ```
+//!
+//! A waiver silences matching findings on the comment's own line(s)
+//! and on the line immediately after it ends, so it can ride at the
+//! end of the offending line or sit alone above it. The justification
+//! is mandatory: a waiver without a non-empty `--`-separated tail, or
+//! naming an unknown rule, produces a `waiver` finding — which cannot
+//! itself be waived. `afflint --list-waivers` prints the inventory so
+//! reviews can audit every accepted exception.
+
+use crate::lexer::Comment;
+use crate::{Finding, Rule};
+
+/// One well-formed waiver.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line the waiver comment starts on.
+    pub line: u32,
+    /// Last line the waiver applies to (comment end + 1).
+    pub last_covered_line: u32,
+    /// Rules this waiver silences.
+    pub rules: Vec<Rule>,
+    /// The mandatory justification.
+    pub justification: String,
+}
+
+const MARKER: &str = "afflint: allow(";
+
+/// Extract waivers (and malformed-waiver findings) from a file's
+/// comments.
+pub fn collect(file: &str, comments: &[Comment]) -> (Vec<Waiver>, Vec<Finding>) {
+    let mut waivers = Vec::new();
+    let mut findings = Vec::new();
+    for c in comments {
+        // Doc comments describe the waiver syntax; only plain `//` and
+        // `/* */` comments can carry a live waiver.
+        let doc = c.text.starts_with("///")
+            || c.text.starts_with("//!")
+            || c.text.starts_with("/**")
+            || c.text.starts_with("/*!");
+        if doc {
+            continue;
+        }
+        let Some(start) = c.text.find(MARKER) else {
+            continue;
+        };
+        let after = c.text.get(start + MARKER.len()..).unwrap_or("");
+        let Some(close) = after.find(')') else {
+            findings.push(malformed(file, c.line, "unterminated allow(...) list"));
+            continue;
+        };
+        let list = after.get(..close).unwrap_or("");
+        let tail = after.get(close + 1..).unwrap_or("");
+
+        let mut rules = Vec::new();
+        let mut bad_name = None;
+        for name in list.split(',') {
+            let name = name.trim();
+            if name.is_empty() {
+                continue;
+            }
+            match Rule::from_name(name) {
+                Some(r) => rules.push(r),
+                None => bad_name = Some(name.to_string()),
+            }
+        }
+        if let Some(bad) = bad_name {
+            findings.push(malformed(
+                file,
+                c.line,
+                &format!("unknown rule `{bad}` in waiver (known: panic, safety, float-eq, lock-io, len-arith, relaxed)"),
+            ));
+            continue;
+        }
+        if rules.is_empty() {
+            findings.push(malformed(file, c.line, "waiver names no rules"));
+            continue;
+        }
+        let justification = match tail.trim_start().strip_prefix("--") {
+            Some(j) if !j.trim().is_empty() => j.trim().to_string(),
+            _ => {
+                findings.push(malformed(
+                    file,
+                    c.line,
+                    "waiver has no justification — write `-- <why this is sound>`",
+                ));
+                continue;
+            }
+        };
+        waivers.push(Waiver {
+            file: file.to_string(),
+            line: c.line,
+            last_covered_line: c.end_line.saturating_add(1),
+            rules,
+            justification,
+        });
+    }
+    (waivers, findings)
+}
+
+fn malformed(file: &str, line: u32, msg: &str) -> Finding {
+    Finding {
+        file: file.to_string(),
+        line,
+        rule: Rule::Waiver,
+        message: msg.to_string(),
+    }
+}
+
+/// Does any waiver cover this finding?
+pub fn is_waived(waivers: &[Waiver], f: &Finding) -> bool {
+    waivers
+        .iter()
+        .any(|w| w.rules.contains(&f.rule) && f.line >= w.line && f.line <= w.last_covered_line)
+}

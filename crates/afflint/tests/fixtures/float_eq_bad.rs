@@ -1,0 +1,12 @@
+// R3 fixture (bad): bare float-literal equality in production code.
+pub fn is_zero(x: f64) -> bool {
+    x == 0.0
+}
+
+pub fn differs(a: f64) -> bool {
+    a != 1.5
+}
+
+pub fn negative_literal(a: f64) -> bool {
+    a == -0.5
+}

@@ -1,0 +1,21 @@
+// R3 fixture (good): explicit-intent comparisons, and a test region
+// where exact comparison is allowed (bit-determinism suites).
+const ZERO_BITS: u64 = 0;
+
+pub fn is_zero(x: f64) -> bool {
+    x.to_bits() == ZERO_BITS
+}
+
+pub fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() < 1e-9
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exact_comparison_is_fine_in_tests() {
+        assert!(super::close(1.0, 1.0));
+        let x = 0.5;
+        assert!(x == 0.5);
+    }
+}

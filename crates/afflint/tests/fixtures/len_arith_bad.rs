@@ -1,0 +1,5 @@
+// R5 fixture (bad): raw arithmetic on header-declared sizes in a
+// reader module. Linted under a READERS path.
+pub fn payload_len(count: usize, entry_size: usize, header_len: usize) -> usize {
+    count * entry_size + header_len
+}

@@ -1,0 +1,9 @@
+// R5 fixture (good): header sizes flow through checked arithmetic; the
+// statement-level suppression recognizes `checked_*` and `SizeCheck`.
+pub fn payload_len(count: u64, entry_size: u64, header_len: u64) -> Option<u64> {
+    count.checked_mul(entry_size)?.checked_add(header_len)
+}
+
+pub fn non_length_math(x: f64, y: f64) -> f64 {
+    x * y + 1.0
+}

@@ -1,0 +1,9 @@
+// R4 fixture (bad): file I/O while a mutex guard is live.
+use std::io::Write;
+
+pub fn flush(m: &std::sync::Mutex<Vec<u8>>, f: &mut std::fs::File) -> std::io::Result<()> {
+    let guard = m.lock();
+    f.write_all(b"data")?;
+    drop(guard);
+    Ok(())
+}

@@ -1,0 +1,23 @@
+// R4 fixture (good): copy out under the lock, do the I/O outside the
+// critical section.
+use std::io::Write;
+
+pub fn flush(m: &std::sync::Mutex<Vec<u8>>, f: &mut std::fs::File) -> std::io::Result<()> {
+    let payload = {
+        let guard = m.lock();
+        guard.clone()
+    };
+    f.write_all(&payload)?;
+    Ok(())
+}
+
+pub fn flush_with_drop(
+    m: &std::sync::Mutex<Vec<u8>>,
+    f: &mut std::fs::File,
+) -> std::io::Result<()> {
+    let guard = m.lock();
+    let payload = guard.clone();
+    drop(guard);
+    f.write_all(&payload)?;
+    Ok(())
+}

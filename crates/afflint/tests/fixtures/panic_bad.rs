@@ -1,0 +1,13 @@
+// R1 fixture (bad): every construct the panic rule bans in an
+// untrusted-input module. Linted under an UNTRUSTED path.
+pub fn parse(input: &[u8]) -> u32 {
+    let first = input[0];
+    let text = std::str::from_utf8(input).unwrap();
+    let v: u32 = text.parse().expect("number");
+    assert!(v > 0);
+    if input.is_empty() {
+        panic!("empty");
+    }
+    let tail = input.get(1..)?[0];
+    u32::from(first) + u32::from(tail) + v
+}

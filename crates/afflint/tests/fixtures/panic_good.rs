@@ -1,0 +1,19 @@
+// R1 fixture (good): the checked forms the panic rule accepts, plus a
+// test region where asserting and indexing are allowed.
+pub fn parse(input: &[u8]) -> Option<u32> {
+    let first = input.first().copied()?;
+    let text = std::str::from_utf8(input).ok()?;
+    let v: u32 = text.parse().ok()?;
+    Some(u32::from(first).checked_add(v)?)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_assert_and_index() {
+        let v = super::parse(b"7").unwrap();
+        assert!(v > 0);
+        let xs = [1, 2, 3];
+        assert_eq!(xs[0], 1);
+    }
+}

@@ -1,0 +1,10 @@
+// R6 fixture (bad): Relaxed ordering on publish operations.
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+pub fn publish(flag: &AtomicBool) {
+    flag.store(true, Ordering::Relaxed);
+}
+
+pub fn replace(v: &AtomicU64) -> u64 {
+    v.swap(7, Ordering::Relaxed)
+}

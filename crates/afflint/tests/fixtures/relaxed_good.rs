@@ -1,0 +1,15 @@
+// R6 fixture (good): publishes use Release; Relaxed is fine on loads
+// and on pure counters (fetch_add is not a publish operation).
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+pub fn publish(flag: &AtomicBool) {
+    flag.store(true, Ordering::Release);
+}
+
+pub fn observe(flag: &AtomicBool) -> bool {
+    flag.load(Ordering::Relaxed)
+}
+
+pub fn count(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::Relaxed);
+}

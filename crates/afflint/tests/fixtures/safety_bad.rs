@@ -1,0 +1,4 @@
+// R2 fixture (bad): `unsafe` with no SAFETY comment anywhere near it.
+pub fn read_first(p: *const u8) -> u8 {
+    unsafe { *p }
+}

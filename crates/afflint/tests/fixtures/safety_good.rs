@@ -1,0 +1,14 @@
+// R2 fixture (good): every `unsafe` carries an adjacent invariant.
+pub fn read_first(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees `p` points to at least one readable byte.
+    unsafe { *p }
+}
+
+/// Reads one byte.
+///
+/// # Safety
+/// `p` must be valid for reads of one byte.
+pub unsafe fn read_raw(p: *const u8) -> u8 {
+    // SAFETY: forwarded contract — see the `# Safety` section above.
+    unsafe { *p }
+}

@@ -1,0 +1,11 @@
+// Waiver fixture (bad): a waiver without a justification and a waiver
+// naming an unknown rule are both findings themselves.
+pub fn first(xs: &[u8]) -> u8 {
+    // afflint: allow(panic)
+    xs[0]
+}
+
+pub fn second(xs: &[u8]) -> u8 {
+    // afflint: allow(warp-core) -- no such rule exists
+    xs[0]
+}

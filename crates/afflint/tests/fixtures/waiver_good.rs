@@ -1,0 +1,6 @@
+// Waiver fixture (good): a justified waiver suppresses exactly the
+// finding on the next line, and is reported in the waiver inventory.
+pub fn first(xs: &[u8]) -> u8 {
+    // afflint: allow(panic) -- fixture: demonstrates a justified waiver suppressing R1
+    xs[0]
+}

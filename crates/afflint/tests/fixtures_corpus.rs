@@ -1,0 +1,145 @@
+//! Self-test corpus: every rule family must fire on its bad fixture
+//! and stay silent on its good fixture, so a rule regression (or an
+//! over-eager heuristic) fails this suite before it reaches CI as a
+//! false workspace gate.
+
+use afflint::waiver::Waiver;
+use afflint::{lint_source, Finding, Rule};
+use std::path::Path;
+
+/// An UNTRUSTED, non-reader path — R1 applies, R5 does not.
+const UNTRUSTED_PATH: &str = "crates/ql/src/parser.rs";
+/// A READER path — both R1 and R5 apply.
+const READER_PATH: &str = "crates/storage/src/layout.rs";
+/// A path with no special classification — R2/R3/R4/R6 only.
+const PLAIN_PATH: &str = "crates/demo/src/lib.rs";
+
+fn lint_fixture(rel_path: &str, fixture: &str) -> (Vec<Finding>, Vec<Waiver>) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(fixture);
+    let src =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read fixture {fixture}: {e}"));
+    lint_source(rel_path, &src)
+}
+
+fn assert_all_rule(findings: &[Finding], rule: Rule, expected: usize, fixture: &str) {
+    assert_eq!(
+        findings.len(),
+        expected,
+        "{fixture}: expected {expected} findings, got {findings:#?}"
+    );
+    for f in findings {
+        assert_eq!(f.rule, rule, "{fixture}: unexpected rule in {f}");
+    }
+}
+
+fn assert_clean(findings: &[Finding], fixture: &str) {
+    assert!(
+        findings.is_empty(),
+        "{fixture}: expected no findings, got {findings:#?}"
+    );
+}
+
+#[test]
+fn r1_panic_fires_on_bad_and_not_on_good() {
+    let (bad, _) = lint_fixture(UNTRUSTED_PATH, "panic_bad.rs");
+    // input[0], unwrap, expect, assert!, panic!, ?[0]
+    assert_all_rule(&bad, Rule::Panic, 6, "panic_bad.rs");
+    assert!(
+        bad.iter().any(|f| f.message.contains("slice indexing")),
+        "panic_bad.rs: indexing form not reported: {bad:#?}"
+    );
+
+    let (good, _) = lint_fixture(UNTRUSTED_PATH, "panic_good.rs");
+    assert_clean(&good, "panic_good.rs");
+}
+
+#[test]
+fn r2_safety_fires_on_bad_and_not_on_good() {
+    let (bad, _) = lint_fixture(PLAIN_PATH, "safety_bad.rs");
+    assert_all_rule(&bad, Rule::Safety, 1, "safety_bad.rs");
+
+    let (good, _) = lint_fixture(PLAIN_PATH, "safety_good.rs");
+    assert_clean(&good, "safety_good.rs");
+}
+
+#[test]
+fn r3_float_eq_fires_on_bad_and_not_on_good() {
+    let (bad, _) = lint_fixture(PLAIN_PATH, "float_eq_bad.rs");
+    // == 0.0, != 1.5, == -0.5
+    assert_all_rule(&bad, Rule::FloatEq, 3, "float_eq_bad.rs");
+
+    let (good, _) = lint_fixture(PLAIN_PATH, "float_eq_good.rs");
+    assert_clean(&good, "float_eq_good.rs");
+}
+
+#[test]
+fn r3_is_exempt_in_test_tree_files() {
+    let (findings, _) = lint_fixture("crates/demo/tests/bits.rs", "float_eq_bad.rs");
+    assert_clean(&findings, "float_eq_bad.rs under tests/");
+}
+
+#[test]
+fn r4_lock_io_fires_on_bad_and_not_on_good() {
+    let (bad, _) = lint_fixture(PLAIN_PATH, "lock_io_bad.rs");
+    assert_all_rule(&bad, Rule::LockIo, 1, "lock_io_bad.rs");
+
+    let (good, _) = lint_fixture(PLAIN_PATH, "lock_io_good.rs");
+    assert_clean(&good, "lock_io_good.rs");
+}
+
+#[test]
+fn r5_len_arith_fires_on_bad_and_not_on_good() {
+    let (bad, _) = lint_fixture(READER_PATH, "len_arith_bad.rs");
+    // count * entry_size, … + header_len
+    assert_all_rule(&bad, Rule::LenArith, 2, "len_arith_bad.rs");
+
+    let (good, _) = lint_fixture(READER_PATH, "len_arith_good.rs");
+    assert_clean(&good, "len_arith_good.rs");
+}
+
+#[test]
+fn r5_is_scoped_to_reader_modules() {
+    let (findings, _) = lint_fixture(PLAIN_PATH, "len_arith_bad.rs");
+    assert_clean(&findings, "len_arith_bad.rs outside a reader module");
+}
+
+#[test]
+fn r6_relaxed_fires_on_bad_and_not_on_good() {
+    let (bad, _) = lint_fixture(PLAIN_PATH, "relaxed_bad.rs");
+    // store + swap; loads and fetch_add stay legal.
+    assert_all_rule(&bad, Rule::Relaxed, 2, "relaxed_bad.rs");
+
+    let (good, _) = lint_fixture(PLAIN_PATH, "relaxed_good.rs");
+    assert_clean(&good, "relaxed_good.rs");
+}
+
+#[test]
+fn malformed_waivers_are_findings_and_do_not_suppress() {
+    let (findings, waivers) = lint_fixture(UNTRUSTED_PATH, "waiver_bad.rs");
+    assert!(waivers.is_empty(), "malformed waivers must not be honored");
+    let waiver_findings = findings.iter().filter(|f| f.rule == Rule::Waiver).count();
+    let panic_findings = findings.iter().filter(|f| f.rule == Rule::Panic).count();
+    assert_eq!(
+        waiver_findings, 2,
+        "missing-justification + unknown-rule: {findings:#?}"
+    );
+    assert_eq!(
+        panic_findings, 2,
+        "both xs[0] sites stay unwaived: {findings:#?}"
+    );
+}
+
+#[test]
+fn justified_waiver_suppresses_and_is_inventoried() {
+    let (findings, waivers) = lint_fixture(UNTRUSTED_PATH, "waiver_good.rs");
+    assert_clean(&findings, "waiver_good.rs");
+    assert_eq!(waivers.len(), 1);
+    let w = &waivers[0];
+    assert_eq!(w.rules, vec![Rule::Panic]);
+    assert!(
+        w.justification.contains("justified waiver"),
+        "justification captured verbatim: {w:#?}"
+    );
+}

@@ -1,0 +1,92 @@
+//! Tokenizer hardening: the lexer underpins every rule, so it must (a)
+//! never panic, on any byte soup, and (b) never leak text out of
+//! quarantined contexts — strings, raw strings, char literals and
+//! comments must not contribute identifier tokens, or a rule could
+//! fire on (or a waiver be parsed from) text that the compiler never
+//! sees as code.
+
+use afflint::lexer::{lex, TokKind};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// The marker ident planted inside quarantined contexts. Never appears
+/// in the scaffolding, so any token with this text is a leak.
+const MARKER: &str = "QUARANTINE";
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Arbitrary (lossily decoded) bytes never panic the lexer — the
+    /// same guarantee the QL parser fuzz suite demands of the parser.
+    #[test]
+    fn lexer_never_panics_on_byte_soup(bytes in vec(0u32..=255, 0..240)) {
+        let bytes: Vec<u8> = bytes.iter().map(|&b| b as u8).collect();
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        let ok = catch_unwind(AssertUnwindSafe(|| {
+            let _ = lex(&src);
+            true
+        }))
+        .unwrap_or(false);
+        prop_assert!(ok, "lexer panicked on {src:?}");
+    }
+
+    /// A marker planted at the *start* of a string / raw string / line
+    /// comment / block comment never appears as a token, no matter what
+    /// random payload follows it (the payload may close the context
+    /// early — then the tail becomes code, but the marker itself was
+    /// emitted before any close and must stay quarantined).
+    #[test]
+    fn quarantined_text_never_leaks_tokens(
+        context in 0u32..4,
+        payload in vec(32u32..127, 0..48),
+    ) {
+        let payload: String = payload
+            .iter()
+            .filter_map(|&c| char::from_u32(c))
+            .collect();
+        let src = match context {
+            0 => format!("let x = \"{MARKER} {payload}\";"),
+            1 => format!("let x = 1; // {MARKER} {payload}"),
+            2 => format!("let x = 1; /* {MARKER} {payload} */"),
+            _ => format!("let x = r#\"{MARKER} {payload}\"#;"),
+        };
+        let lexed = lex(&src);
+        let leaked = lexed
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text == MARKER);
+        prop_assert!(!leaked, "marker leaked out of context {context}: {src:?}");
+    }
+}
+
+/// Deterministic spot checks of the disambiguation corners the fuzz
+/// strategies cannot target precisely.
+#[test]
+fn lexer_disambiguation_corners() {
+    // Char literal vs lifetime.
+    let lexed = lex("let c: char = 'a'; fn f<'a>(x: &'a str) {}");
+    assert!(lexed.tokens.iter().any(|t| t.kind == TokKind::Char));
+    assert!(lexed
+        .tokens
+        .iter()
+        .any(|t| t.kind == TokKind::Lifetime && t.text == "'a"));
+    // Raw identifier is not a raw string.
+    let lexed = lex("let r#type = 1;");
+    assert!(lexed
+        .tokens
+        .iter()
+        .any(|t| t.kind == TokKind::Ident && t.text == "type"));
+    // Hex literal with `E` is an int, not a float exponent.
+    let lexed = lex("let x = 0x1E;");
+    assert!(lexed
+        .tokens
+        .iter()
+        .any(|t| t.kind == TokKind::Int && t.text == "0x1E"));
+    // A float literal is a float.
+    let lexed = lex("let x = 1.5e-3;");
+    assert!(lexed.tokens.iter().any(|t| t.kind == TokKind::Float));
+    // Comments land in the side channel with their text intact.
+    let lexed = lex("// SAFETY: fine\nunsafe {}");
+    assert!(lexed.comments.iter().any(|c| c.text.contains("SAFETY")));
+}

@@ -1,0 +1,73 @@
+//! The end-to-end gate, run as a test: the real workspace must lint
+//! clean, the walk must cover the trees the CI step claims it covers
+//! (including afflint itself, tests/ and examples/), and the whole run
+//! must stay fast enough to sit in the inner loop.
+
+use afflint::{find_workspace_root, lint_workspace};
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+#[test]
+fn workspace_lints_clean_with_full_coverage_in_budget() {
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root above CARGO_MANIFEST_DIR");
+
+    let start = Instant::now();
+    let report = lint_workspace(&root).expect("workspace walk");
+    let elapsed = start.elapsed();
+
+    assert!(
+        report.findings.is_empty(),
+        "workspace must lint clean; findings:\n{}",
+        report
+            .findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+
+    // Coverage: the tool lints its own sources and test harnesses, the
+    // workspace integration tests, and the examples.
+    for prefix in [
+        "crates/afflint/src/",
+        "crates/afflint/tests/",
+        "crates/storage/src/",
+        "tests/",
+        "examples/",
+    ] {
+        assert!(
+            report.files_scanned.iter().any(|f| f.starts_with(prefix)),
+            "walk missed {prefix}; scanned: {:?}",
+            report.files_scanned
+        );
+    }
+    // The deliberately-bad fixture corpus must NOT be part of the gate.
+    assert!(
+        !report
+            .files_scanned
+            .iter()
+            .any(|f| f.contains("/fixtures/")),
+        "fixtures leaked into the workspace gate"
+    );
+
+    // Every accepted waiver carries its mandatory justification.
+    assert!(
+        !report.waivers.is_empty(),
+        "waiver inventory unexpectedly empty"
+    );
+    for w in &report.waivers {
+        assert!(
+            !w.justification.trim().is_empty(),
+            "unjustified waiver at {}:{}",
+            w.file,
+            w.line
+        );
+    }
+
+    assert!(
+        elapsed < Duration::from_secs(2),
+        "workspace lint took {elapsed:?} (budget 2s, {} files)",
+        report.files_scanned.len()
+    );
+}

@@ -61,7 +61,10 @@ fn note_alloc(size: usize) {
     PEAK.fetch_max(live, Ordering::Relaxed);
 }
 
+// SAFETY: pure pass-through to `System`; the only additions are relaxed
+// atomic counters, which never touch the allocation itself.
 unsafe impl GlobalAlloc for PeakAlloc {
+    // SAFETY: forwards the layout untouched to `System.alloc`.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         let p = System.alloc(layout);
         if !p.is_null() {
@@ -70,11 +73,13 @@ unsafe impl GlobalAlloc for PeakAlloc {
         p
     }
 
+    // SAFETY: forwards ptr/layout untouched to `System.dealloc`.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout);
         LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
     }
 
+    // SAFETY: forwards the layout untouched to `System.alloc_zeroed`.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         let p = System.alloc_zeroed(layout);
         if !p.is_null() {
@@ -83,6 +88,7 @@ unsafe impl GlobalAlloc for PeakAlloc {
         p
     }
 
+    // SAFETY: forwards all arguments untouched to `System.realloc`.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         let p = System.realloc(ptr, layout, new_size);
         if !p.is_null() {
@@ -98,6 +104,7 @@ static ALLOC: PeakAlloc = PeakAlloc;
 
 /// Reset the high-water mark to the current live bytes.
 fn reset_peak() {
+    // afflint: allow(relaxed) -- bench-only peak tracker: the counter is a heuristic high-water mark, no memory is published through this store
     PEAK.store(LIVE.load(Ordering::Relaxed), Ordering::Relaxed);
 }
 

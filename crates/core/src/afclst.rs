@@ -212,7 +212,7 @@ fn normalized_column<S: SeriesSource + ?Sized>(
 ) -> Result<Vec<f64>, CoreError> {
     let s = source.read_into(v, buf)?;
     let mut c = s.to_vec();
-    if vector::normalize(&mut c) == 0.0 {
+    if vector::exactly_zero(vector::normalize(&mut c)) {
         c[0] = 1.0; // constant-zero series: arbitrary direction
     }
     Ok(c)
@@ -266,7 +266,7 @@ fn update_centers<S: SeriesSource + ?Sized>(
             }
             _ => {
                 let mut u: Vec<f64> = (0..m).map(|_| rng.gen_range(-0.5..0.5)).collect();
-                if vector::normalize(&mut u) == 0.0 {
+                if vector::exactly_zero(vector::normalize(&mut u)) {
                     u[0] = 1.0;
                 }
                 iterates[l] = u;
@@ -303,7 +303,7 @@ fn update_centers<S: SeriesSource + ?Sized>(
             prefetch_window(source, &seq, pos);
             let s = source.read_into(v, buf)?;
             let c = vector::dot(s, &iterates[l]);
-            if c != 0.0 {
+            if !vector::exactly_zero(c) {
                 vector::axpy(c, s, &mut accums[l]);
             }
         }
@@ -313,7 +313,7 @@ fn update_centers<S: SeriesSource + ?Sized>(
                 continue;
             }
             let w = &mut accums[l];
-            if vector::normalize(w) == 0.0 {
+            if vector::exactly_zero(vector::normalize(w)) {
                 // All members orthogonal to the iterate; re-randomize.
                 iterates[l] = (0..m).map(|_| rng.gen_range(-0.5..0.5)).collect();
                 vector::normalize(&mut iterates[l]);

@@ -185,7 +185,7 @@ pub fn mode(x: &[f64]) -> f64 {
         return x[0];
     }
     let sigma = vector::variance(x).sqrt();
-    if sigma == 0.0 {
+    if vector::exactly_zero(sigma) {
         return x[0];
     }
     // Silverman's rule of thumb.

@@ -551,7 +551,7 @@ impl<'a> MecEngine<'a> {
                     // GEMV and to pair_value.
                     let mut raw = 0.0;
                     for (k, &a) in alpha.iter().enumerate() {
-                        if a != 0.0 {
+                        if !vector::exactly_zero(a) {
                             raw += a * b[k];
                         }
                     }

@@ -153,35 +153,40 @@ impl<'a> ByteReader<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
-        if self.remaining() < n {
-            return Err(DecodeError::Truncated {
-                needed: n,
-                available: self.remaining(),
-            });
-        }
-        let s = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
+        // Bounds via `checked_add` + `get`: a lying length is a typed
+        // `Truncated`, never a panic or a wrapped offset.
+        let truncated = Err(DecodeError::Truncated {
+            needed: n,
+            available: self.remaining(),
+        });
+        let Some(end) = self.pos.checked_add(n) else {
+            return truncated;
+        };
+        let Some(s) = self.buf.get(self.pos..end) else {
+            return truncated;
+        };
+        self.pos = end;
         Ok(s)
     }
 
     /// Read one byte.
     pub fn u8(&mut self) -> Result<u8, DecodeError> {
-        Ok(self.take(1)?[0])
+        Ok(self.take(1)?.first().copied().unwrap_or(0))
     }
 
     /// Read a `u32`.
     pub fn u32(&mut self) -> Result<u32, DecodeError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(fixed(self.take(4)?)))
     }
 
     /// Read a `u64`.
     pub fn u64(&mut self) -> Result<u64, DecodeError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(fixed(self.take(8)?)))
     }
 
     /// Read an `f64` bit pattern.
     pub fn f64(&mut self) -> Result<f64, DecodeError> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(f64::from_le_bytes(fixed(self.take(8)?)))
     }
 
     /// Read a bool byte; anything other than 0/1 is corrupt.
@@ -230,7 +235,7 @@ impl<'a> ByteReader<'a> {
         )?;
         Ok(bytes
             .chunks_exact(8)
-            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .map(|c| f64::from_le_bytes(fixed(c)))
             .collect())
     }
 
@@ -246,6 +251,17 @@ impl<'a> ByteReader<'a> {
     }
 }
 
+/// Zero-extend a byte slice into a fixed array — the panic-free spine
+/// of every fixed-width read in this module (`take(N)` guarantees the
+/// width; short input zero-fills rather than panicking).
+fn fixed<const N: usize>(s: &[u8]) -> [u8; N] {
+    let mut a = [0u8; N];
+    for (d, src) in a.iter_mut().zip(s) {
+        *d = *src;
+    }
+    a
+}
+
 /// Encode one [`AffineRelationship`] (pivot inline). Shared by the
 /// affine-set payload and the streaming journal records.
 pub fn put_relationship(w: &mut ByteWriter, rel: &AffineRelationship) {
@@ -254,13 +270,14 @@ pub fn put_relationship(w: &mut ByteWriter, rel: &AffineRelationship) {
     w.put_len(rel.pivot.common);
     w.put_len(rel.pivot.cluster);
     w.put_len(rel.common);
-    for r in 0..2 {
-        for c in 0..2 {
-            w.put_f64(rel.a[r][c]);
+    for row in &rel.a {
+        for &val in row {
+            w.put_f64(val);
         }
     }
-    w.put_f64(rel.b[0]);
-    w.put_f64(rel.b[1]);
+    for &val in &rel.b {
+        w.put_f64(val);
+    }
 }
 
 /// Bytes one encoded [`AffineRelationship`] occupies.
@@ -339,6 +356,7 @@ impl AffineSet {
         let clusters = self.clusters();
         let k = clusters.k();
         let mut w = ByteWriter::with_capacity(
+            // afflint: allow(len-arith) -- encoder-side capacity hint over a live in-memory model, not header-declared sizes
             64 + k * samples * 8
                 + n * 8
                 + self.pivots().len() * 16
@@ -373,15 +391,20 @@ impl AffineSet {
         for rel in self.relationships() {
             w.put_len(rel.pair.u);
             w.put_len(rel.pair.v);
+            // Encoder over a live model: every relationship pivot is in
+            // the table built from `self.pivots()` above (AffineSet
+            // invariant), so the lookup cannot miss.
+            // afflint: allow(panic) -- encoder side, no untrusted bytes; rel.pivot ∈ self.pivots() is an AffineSet construction invariant
             w.put_len(pivot_ids[&rel.pivot]);
             w.put_len(rel.common);
-            for r in 0..2 {
-                for c in 0..2 {
-                    w.put_f64(rel.a[r][c]);
+            for row in &rel.a {
+                for &val in row {
+                    w.put_f64(val);
                 }
             }
-            w.put_f64(rel.b[0]);
-            w.put_f64(rel.b[1]);
+            for &val in &rel.b {
+                w.put_f64(val);
+            }
         }
         // Per-series relationships, series id implied by position.
         for sr in self.series_relationships() {
@@ -477,7 +500,10 @@ impl AffineSet {
                 )));
             }
             let rank = v * (v - 1) / 2 + u;
-            if std::mem::replace(&mut seen[rank], true) {
+            let slot = seen
+                .get_mut(rank)
+                .ok_or_else(|| DecodeError::Corrupt(format!("pair rank {rank} out of range")))?;
+            if std::mem::replace(slot, true) {
                 return Err(DecodeError::Corrupt(format!("duplicate pair ({u}, {v})")));
             }
             let pivot_idx = r.len()?;

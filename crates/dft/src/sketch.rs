@@ -14,6 +14,15 @@
 use crate::complex::Complex64;
 use crate::fft::fft_real;
 
+/// Exact IEEE zero test for the constant-series guards below (this
+/// crate deliberately has no linalg dependency, so it carries its own
+/// copy of `affinity_linalg::vector::exactly_zero`).
+#[inline]
+fn exactly_zero(x: f64) -> bool {
+    // afflint: allow(float-eq) -- named exact-zero guard; a constant series has std stored as literal 0.0, not a rounding artifact
+    x == 0.0
+}
+
 /// Sketch of one series: its z-normalization constants plus the retained
 /// DFT bins of the normalized series.
 #[derive(Debug, Clone)]
@@ -104,7 +113,7 @@ impl DftSketch {
     /// Fraction of the normalized series' energy captured by the retained
     /// bins (`∈ [0, 1]`); a quality diagnostic.
     pub fn energy_fraction(&self) -> f64 {
-        if self.std == 0.0 {
+        if exactly_zero(self.std) {
             return 0.0;
         }
         // Total energy of a z-normalized series is m (time domain), i.e.
@@ -136,7 +145,7 @@ impl DftSketch {
             self.len, other.len,
             "correlation between sketches of different lengths"
         );
-        if self.std == 0.0 || other.std == 0.0 {
+        if exactly_zero(self.std) || exactly_zero(other.std) {
             return 0.0;
         }
         let m = self.len as f64;

@@ -214,7 +214,7 @@ impl Matrix {
             let bcol = other.col(j);
             let ocol = out.col_mut(j);
             for (k, &bkj) in bcol.iter().enumerate() {
-                if bkj != 0.0 {
+                if !vector::exactly_zero(bkj) {
                     let acol = &self.data[k * self.rows..(k + 1) * self.rows];
                     for (o, a) in ocol.iter_mut().zip(acol.iter()) {
                         *o += bkj * a;
@@ -267,7 +267,7 @@ impl Matrix {
         }
         out.fill(0.0);
         for (k, &xk) in x.iter().enumerate() {
-            if xk != 0.0 {
+            if !vector::exactly_zero(xk) {
                 vector::axpy(xk, self.col(k), out);
             }
         }

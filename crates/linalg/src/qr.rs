@@ -54,7 +54,7 @@ impl QrFactorization {
             // Build the Householder reflector annihilating f[k+1.., k].
             let col = f.col(k);
             let xnorm = vector::norm(&col[k..]);
-            if xnorm == 0.0 {
+            if vector::exactly_zero(xnorm) {
                 taus[k] = 0.0;
                 continue;
             }
@@ -106,7 +106,7 @@ impl QrFactorization {
         assert_eq!(x.len(), m, "apply_qt: length mismatch");
         for k in 0..n {
             let tau = self.taus[k];
-            if tau == 0.0 {
+            if vector::exactly_zero(tau) {
                 continue;
             }
             let mut w = x[k];
@@ -128,7 +128,7 @@ impl QrFactorization {
         assert_eq!(x.len(), m, "apply_q: length mismatch");
         for k in (0..n).rev() {
             let tau = self.taus[k];
-            if tau == 0.0 {
+            if vector::exactly_zero(tau) {
                 continue;
             }
             let mut w = x[k];

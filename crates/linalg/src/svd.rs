@@ -85,7 +85,7 @@ pub fn dominant_left_singular_vector(
     let mut u: Vec<f64> = (0..m)
         .map(|_| (next() >> 11) as f64 / (1u64 << 53) as f64 - 0.5)
         .collect();
-    if vector::normalize(&mut u) == 0.0 {
+    if vector::exactly_zero(vector::normalize(&mut u)) {
         u[0] = 1.0;
     }
 
@@ -95,7 +95,7 @@ pub fn dominant_left_singular_vector(
         let z = a.matvec_t(&u)?;
         let mut w = a.matvec(&z)?;
         let norm_w = vector::normalize(&mut w);
-        if norm_w == 0.0 {
+        if vector::exactly_zero(norm_w) {
             // A is numerically zero (or u ⟂ range); retry once with a fresh
             // vector, then give up.
             if it == 1 {

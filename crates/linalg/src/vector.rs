@@ -5,6 +5,23 @@
 //! iteration bottoms out in dot products and axpy updates. They are kept
 //! branch-free and slice-based so the compiler can vectorize them.
 
+/// Exact IEEE comparison against zero (true for both `+0.0` and `-0.0`,
+/// false for NaN).
+///
+/// The deterministic kernels deliberately branch on *exact* zero — "did
+/// `normalize` find any signal at all", "is this coefficient
+/// structurally absent" — never on an epsilon, because the bit-identity
+/// guarantees depend on taking the same branch on every run. This
+/// helper names that intent; afflint's `float-eq` rule flags any bare
+/// `== 0.0` so deliberate exact guards are distinguishable from
+/// accidental float equality.
+#[inline]
+#[must_use]
+pub fn exactly_zero(x: f64) -> bool {
+    // afflint: allow(float-eq) -- the one sanctioned exact-zero comparison; every guard routes through here so the intent is named
+    x == 0.0
+}
+
 /// Dot product `xᵀy`.
 ///
 /// # Panics
@@ -24,7 +41,7 @@ pub fn dot(x: &[f64], y: &[f64]) -> f64 {
 #[inline]
 pub fn norm(x: &[f64]) -> f64 {
     let max = x.iter().fold(0.0f64, |m, v| m.max(v.abs()));
-    if max == 0.0 || !max.is_finite() {
+    if exactly_zero(max) || !max.is_finite() {
         return if max.is_nan() { f64::NAN } else { max };
     }
     let mut acc = 0.0;

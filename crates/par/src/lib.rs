@@ -493,6 +493,8 @@ pub struct DisjointWriter<'a, T> {
 // SAFETY: writes are the caller's responsibility (see `write`); the
 // wrapper itself only carries the pointer across lanes.
 unsafe impl<T: Send> Send for DisjointWriter<'_, T> {}
+// SAFETY: same invariant as Send — `write` requires every lane to
+// target disjoint indices, so shared references never race on a slot.
 unsafe impl<T: Send> Sync for DisjointWriter<'_, T> {}
 
 impl<'a, T> DisjointWriter<'a, T> {

@@ -285,7 +285,13 @@ impl<'a> Session<'a> {
     }
 
     fn label(&self, v: SeriesId) -> String {
-        self.labels[v].clone()
+        // Ids come back from the engine, but label rendering must not be
+        // able to panic on a stale or corrupt id — fall back to the
+        // numeric form instead.
+        self.labels
+            .get(v)
+            .cloned()
+            .unwrap_or_else(|| format!("series-{v}"))
     }
 
     fn pair_labels(&self, pairs: Vec<SequencePair>) -> Vec<(String, String)> {
@@ -516,7 +522,9 @@ impl<'a> Session<'a> {
             }
             for v in u + 1..n {
                 let p = SequencePair::new(u, v);
-                if keep(self.engine.pair_value(measure, p).expect("full set")) {
+                // A full-set engine answers every pair; if it ever does
+                // not, drop the pair rather than panic mid-query.
+                if self.engine.pair_value(measure, p).is_ok_and(&keep) {
                     out.push(p);
                 }
             }
@@ -535,7 +543,7 @@ impl<'a> Session<'a> {
             return Err(Self::cancel_error(token));
         }
         Ok((0..self.labels.len())
-            .filter(|&v| keep(self.engine.location_value(measure, v).expect("in range")))
+            .filter(|&v| self.engine.location_value(measure, v).is_ok_and(&keep))
             .collect())
     }
 }

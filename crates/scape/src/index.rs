@@ -119,7 +119,7 @@ fn norm3(a: &[f64; 3]) -> f64 {
 fn project(alpha: &[f64; 3], alpha_norm: f64, beta: &[f64; 3]) -> f64 {
     if alpha_norm > 0.0 {
         let xi = dot3(alpha, beta) / alpha_norm;
-        if xi == 0.0 {
+        if vector::exactly_zero(xi) {
             0.0
         } else {
             xi
@@ -134,7 +134,7 @@ fn project(alpha: &[f64; 3], alpha_norm: f64, beta: &[f64; 3]) -> f64 {
 #[inline]
 fn project_loc(c: f64, d: f64, center_loc: f64, alpha_norm: f64) -> f64 {
     let xi = (c * center_loc + d) / alpha_norm;
-    if xi == 0.0 {
+    if vector::exactly_zero(xi) {
         0.0
     } else {
         xi

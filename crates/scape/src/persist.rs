@@ -188,11 +188,17 @@ impl ScapeIndex {
             self.pivot_ids.len()
         ];
         for (&p, &i) in &self.pivot_ids {
+            // Encoder over a live index: `pivot_ids` values are a dense
+            // permutation of 0..len (ScapeIndex construction invariant).
+            // afflint: allow(panic) -- encoder side, no untrusted bytes; ids are dense 0..len by construction
             pivots[i] = p;
         }
         let mut w = ByteWriter::with_capacity(
+            // afflint: allow(len-arith) -- encoder-side capacity hint over a live in-memory index, not header-declared sizes
             64 + pivots.len() * 16
+                // afflint: allow(len-arith) -- encoder-side capacity hint continued
                 + self.stats.pair_sequence_nodes * PAIR_ENTRY_BYTES
+                // afflint: allow(len-arith) -- encoder-side capacity hint continued
                 + self.stats.location_series_nodes * LOC_ENTRY_BYTES,
         );
         w.put_u8(INDEX_CODEC_VERSION);
@@ -307,6 +313,7 @@ impl ScapeDelta {
     /// Serialize the delta to a compact journal-record payload.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut w = ByteWriter::with_capacity(
+            // afflint: allow(len-arith) -- encoder-side capacity hint over a live in-memory delta, not header-declared sizes
             16 + self.pairs.len() * PAIR_DELTA_BYTES + self.series.len() * SERIES_DELTA_BYTES,
         );
         self.encode_into(&mut w);

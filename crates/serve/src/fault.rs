@@ -65,9 +65,11 @@ impl FaultPlan {
         match fault {
             ServeFault::SlowWorker(d) => self
                 .slow_worker_ms
+                // afflint: allow(relaxed) -- standalone chaos knob: workers re-read it at their next poll and no other memory is published with it
                 .store(d.as_millis() as u64, Ordering::Relaxed),
             ServeFault::StallWriter(d) => self
                 .stall_writer_ms
+                // afflint: allow(relaxed) -- standalone chaos knob: workers re-read it at their next poll and no other memory is published with it
                 .store(d.as_millis() as u64, Ordering::Relaxed),
             ServeFault::PoisonEpoch | ServeFault::RefreshNow => {}
         }

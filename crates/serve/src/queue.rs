@@ -84,6 +84,16 @@ pub struct AdmissionQueue<T> {
 }
 
 impl<T> AdmissionQueue<T> {
+    /// Lock the queue state, recovering from poisoning: every critical
+    /// section below only performs `VecDeque` operations that cannot
+    /// leave `Inner` half-updated, so a panicking worker thread must
+    /// not take the whole service down with a poisoned mutex.
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// An empty queue with the policy's capacity and shed behavior.
     pub fn new(policy: &QueuePolicy) -> Self {
         AdmissionQueue {
@@ -100,7 +110,7 @@ impl<T> AdmissionQueue<T> {
 
     /// Offer a request. Never blocks.
     pub fn push(&self, item: T) -> Admission<T> {
-        let mut inner = self.inner.lock().expect("queue mutex");
+        let mut inner = self.lock();
         if inner.closed {
             return Admission::Rejected(item);
         }
@@ -127,7 +137,7 @@ impl<T> AdmissionQueue<T> {
     /// empty. Returns `None` only when the queue is closed **and**
     /// fully drained — the worker-lane exit signal.
     pub fn pop(&self) -> Option<T> {
-        let mut inner = self.inner.lock().expect("queue mutex");
+        let mut inner = self.lock();
         loop {
             if let Some(item) = inner.items.pop_front() {
                 return Some(item);
@@ -135,7 +145,10 @@ impl<T> AdmissionQueue<T> {
             if inner.closed {
                 return None;
             }
-            inner = self.ready.wait(inner).expect("queue condvar");
+            inner = self
+                .ready
+                .wait(inner)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
     }
 
@@ -143,13 +156,13 @@ impl<T> AdmissionQueue<T> {
     /// rejected, already-admitted requests drain normally, and blocked
     /// [`pop`](AdmissionQueue::pop)s return once the backlog is empty.
     pub fn close(&self) {
-        self.inner.lock().expect("queue mutex").closed = true;
+        self.lock().closed = true;
         self.ready.notify_all();
     }
 
     /// Current backlog depth.
     pub fn depth(&self) -> usize {
-        self.inner.lock().expect("queue mutex").items.len()
+        self.lock().items.len()
     }
 
     /// Deepest backlog ever observed — bounded by `capacity` by

@@ -140,6 +140,7 @@ impl Conn {
         if let Some(stall) = faults.stall_writer() {
             std::thread::sleep(stall);
         }
+        // afflint: allow(lock-io) -- the writer mutex exists precisely to serialize this one complete write per response; no other lock is held and readers never block on it
         if stream.write_all(text.as_bytes()).is_err() {
             self.alive.store(false, Ordering::Release);
         }
@@ -255,40 +256,46 @@ impl Server {
             let srv = Arc::clone(self);
             std::thread::Builder::new()
                 .name("affinity-serve-workers".into())
-                .spawn(move || pool.broadcast(|_lane| srv.worker_loop()))
-                .expect("spawn worker coordinator")
+                .spawn(move || pool.broadcast(|_lane| srv.worker_loop()))?
         };
 
         // Optional churn: one replay tick per interval, so epochs keep
         // turning over while queries run.
-        let churn = self.cfg.churn_every.map(|every| {
-            let srv = Arc::clone(self);
-            std::thread::Builder::new()
-                .name("affinity-serve-churn".into())
-                .spawn(move || {
-                    let mut last = Instant::now();
-                    while !srv.is_shutting_down() {
-                        std::thread::sleep(POLL.min(every));
-                        if last.elapsed() >= every {
-                            last = Instant::now();
-                            let _ = srv.tick(1);
-                        }
-                    }
-                })
-                .expect("spawn churn thread")
-        });
+        let churn = match self.cfg.churn_every {
+            Some(every) => {
+                let srv = Arc::clone(self);
+                Some(
+                    std::thread::Builder::new()
+                        .name("affinity-serve-churn".into())
+                        .spawn(move || {
+                            let mut last = Instant::now();
+                            while !srv.is_shutting_down() {
+                                std::thread::sleep(POLL.min(every));
+                                if last.elapsed() >= every {
+                                    last = Instant::now();
+                                    let _ = srv.tick(1);
+                                }
+                            }
+                        })?,
+                )
+            }
+            None => None,
+        };
 
         let mut readers = Vec::new();
         while !self.is_shutting_down() {
             match listener.accept() {
                 Ok((stream, _peer)) => {
                     let srv = Arc::clone(self);
-                    readers.push(
-                        std::thread::Builder::new()
-                            .name("affinity-serve-conn".into())
-                            .spawn(move || srv.reader_loop(stream))
-                            .expect("spawn connection reader"),
-                    );
+                    let spawned = std::thread::Builder::new()
+                        .name("affinity-serve-conn".into())
+                        .spawn(move || srv.reader_loop(stream));
+                    // On thread exhaustion: shed this connection (the
+                    // stream drops and closes) but keep serving the
+                    // ones we already have.
+                    if let Ok(handle) = spawned {
+                        readers.push(handle);
+                    }
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(POLL),
                 Err(e) if e.kind() == ErrorKind::Interrupted => {}
@@ -303,7 +310,11 @@ impl Server {
 
         // Drain: the queue is closed (request_shutdown), workers exit
         // when the backlog is empty, readers exit on the flag.
-        coordinator.join().expect("worker coordinator panicked");
+        if coordinator.join().is_err() {
+            return Err(ServeError::Io(std::io::Error::other(
+                "worker coordinator panicked",
+            )));
+        }
         for r in readers {
             let _ = r.join();
         }
@@ -404,6 +415,7 @@ impl Server {
         for _ in 0..count {
             let at = (engine.window().ticks() % samples) as usize;
             for (v, slot) in row.iter_mut().enumerate() {
+                // afflint: allow(panic) -- replay matrix is server-owned, not wire input: at < samples by the modulo above, v < series_count by the loop bound
                 *slot = self.replay.series(v)[at];
             }
             refreshed_any |= engine.push(&row)?;
@@ -565,7 +577,7 @@ impl Server {
                 }
             }
             Some("fault") if !self.cfg.chaos => "-err fault injection disabled\n".to_string(),
-            Some("fault") => match ServeFault::parse(&parts[1..]) {
+            Some("fault") => match ServeFault::parse(parts.get(1..).unwrap_or(&[])) {
                 Ok(ServeFault::PoisonEpoch) => {
                     self.cell.current().poison();
                     "+fault poisoned current epoch\n".to_string()

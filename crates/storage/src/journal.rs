@@ -35,6 +35,7 @@
 
 use crate::crc::crc32;
 use crate::failpoint::{FailMode, FailpointWriter, INJECTED_MSG};
+use crate::layout::{le_u32, le_u64};
 use crate::snapshot::PersistError;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
@@ -155,6 +156,7 @@ impl JournalWriter {
         match w.write_all(&record).and_then(|()| w.flush()) {
             Ok(()) => {}
             Err(e) if w.tripped() => {
+                // afflint: allow(panic) -- debug-only check that the error is our scripted fault; the append path sees no untrusted bytes
                 debug_assert_eq!(e.to_string(), INJECTED_MSG);
                 // Make the torn bytes durable, as a real crash after a
                 // partial write + device flush would.
@@ -201,31 +203,45 @@ pub fn replay<P: AsRef<Path>>(path: P) -> Result<JournalReplay, PersistError> {
             bytes.len()
         )));
     }
-    if &bytes[..8] != MAGIC {
+    if bytes.get(..8) != Some(MAGIC.as_slice()) {
         return Err(PersistError::BadMagic);
     }
-    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    let truncated = || PersistError::Corrupt("journal header truncated".into());
+    let version = le_u32(&bytes, 8).ok_or_else(truncated)?;
     if version != JOURNAL_VERSION {
         return Err(PersistError::UnsupportedVersion(version));
     }
-    let bound_id = u64::from_le_bytes(bytes[12..20].try_into().unwrap());
+    let bound_id = le_u64(&bytes, 12).ok_or_else(truncated)?;
     let mut records = Vec::new();
     let mut pos = JOURNAL_HEADER_LEN as usize;
     loop {
-        let remaining = bytes.len() - pos;
+        let remaining = bytes.len().saturating_sub(pos);
         if remaining < RECORD_OVERHEAD as usize {
             break; // torn framing (or clean EOF when remaining == 0)
         }
-        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
-        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
-        if len > remaining - RECORD_OVERHEAD as usize {
+        // Framing fields via the bounds-checked LE readers; any read
+        // past the end is a torn tail, never a panic.
+        let Some(len) = le_u32(&bytes, pos).map(|v| v as usize) else {
+            break;
+        };
+        let Some(crc) = le_u32(&bytes, pos.saturating_add(4)) else {
+            break;
+        };
+        if len > remaining.saturating_sub(RECORD_OVERHEAD as usize) {
             break; // torn payload, or a corrupted length prefix
         }
-        let payload = &bytes[pos + 8..pos + 8 + len];
+        let Some(payload) = pos
+            .checked_add(8)
+            .and_then(|s| Some(s..s.checked_add(len)?))
+            .and_then(|range| bytes.get(range))
+        else {
+            break;
+        };
         if crc32(payload) != crc {
             break; // bit rot (or a corrupted length that "fits")
         }
         records.push(payload.to_vec());
+        // afflint: allow(len-arith) -- pos advances over a payload range `bytes.get` just proved in-bounds; cannot overflow usize
         pos += RECORD_OVERHEAD as usize + len;
     }
     Ok(JournalReplay {

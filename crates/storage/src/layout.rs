@@ -71,9 +71,54 @@ impl SizeCheck {
     }
 }
 
+/// Read a little-endian `u32` at `off`, or `None` past the end.
+/// Panic-free by construction: bounds via `get`, no slice indexing —
+/// the form every reader in this crate uses instead of
+/// `try_into().unwrap()` (afflint rule `panic`).
+pub(crate) fn le_u32(bytes: &[u8], off: usize) -> Option<u32> {
+    let s = bytes.get(off..off.checked_add(4)?)?;
+    let mut a = [0u8; 4];
+    for (d, src) in a.iter_mut().zip(s) {
+        *d = *src;
+    }
+    Some(u32::from_le_bytes(a))
+}
+
+/// Read a little-endian `u64` at `off`, or `None` past the end.
+pub(crate) fn le_u64(bytes: &[u8], off: usize) -> Option<u64> {
+    let s = bytes.get(off..off.checked_add(8)?)?;
+    let mut a = [0u8; 8];
+    for (d, src) in a.iter_mut().zip(s) {
+        *d = *src;
+    }
+    Some(u64::from_le_bytes(a))
+}
+
+/// Decode a little-endian `f64` from a chunk produced by
+/// `chunks_exact(8)`. Short chunks (impossible under `chunks_exact`)
+/// zero-extend rather than panic.
+pub(crate) fn le_f64(chunk: &[u8]) -> f64 {
+    let mut a = [0u8; 8];
+    for (d, src) in a.iter_mut().zip(chunk) {
+        *d = *src;
+    }
+    f64::from_le_bytes(a)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn le_readers_are_bounds_safe() {
+        let b = [1u8, 0, 0, 0, 2, 0, 0, 0, 0, 0, 0, 0];
+        assert_eq!(le_u32(&b, 0), Some(1));
+        assert_eq!(le_u32(&b, 9), None);
+        assert_eq!(le_u32(&b, usize::MAX), None);
+        assert_eq!(le_u64(&b, 4), Some(2));
+        assert_eq!(le_u64(&b, 5), None);
+        assert_eq!(le_f64(&1.5f64.to_le_bytes()), 1.5);
+    }
 
     #[test]
     fn exact_match_passes() {

@@ -45,7 +45,7 @@
 
 use crate::crc::crc32;
 use crate::failpoint::{CommitFault, FailpointWriter, INJECTED_MSG};
-use crate::layout::SizeCheck;
+use crate::layout::{le_u32, le_u64, SizeCheck};
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Read, Seek, Write};
 use std::path::{Path, PathBuf};
@@ -169,6 +169,7 @@ impl SnapshotWriter {
         let id = fold_id(self.generation, &table);
         let payload: usize = self.sections.iter().map(|(_, b)| b.len()).sum();
         let mut out = Vec::with_capacity(
+            // afflint: allow(len-arith) -- writer-side capacity hint over in-memory sections we just built, not header-declared sizes
             HEADER_LEN as usize + table.len() * TABLE_ENTRY_LEN as usize + payload,
         );
         out.extend_from_slice(MAGIC);
@@ -227,6 +228,7 @@ impl SnapshotWriter {
             Err(e) if w.tripped() => {
                 // Injected power cut mid-write: the torn staged file
                 // stays on disk, exactly as a crash would leave it.
+                // afflint: allow(panic) -- debug-only check that the error is our scripted fault; the writer path sees no untrusted bytes
                 debug_assert_eq!(e.to_string(), INJECTED_MSG);
                 return Err(PersistError::Injected);
             }
@@ -291,16 +293,20 @@ impl Snapshot {
             )));
         }
         f.read_exact(&mut header)?;
-        if &header[..8] != MAGIC {
+        if header.get(..8) != Some(MAGIC.as_slice()) {
             return Err(PersistError::BadMagic);
         }
-        let version = u32::from_le_bytes(header[8..12].try_into().unwrap());
+        // Header fields via the shared bounds-checked LE readers — the
+        // header array is fixed-size, so a `None` here is unreachable,
+        // but the decode path stays panic-free by construction.
+        let truncated = || PersistError::Corrupt("snapshot header truncated".into());
+        let version = le_u32(&header, 8).ok_or_else(truncated)?;
         if version != SNAPSHOT_VERSION {
             return Err(PersistError::UnsupportedVersion(version));
         }
-        let generation = u64::from_le_bytes(header[12..20].try_into().unwrap());
-        let stored_id = u64::from_le_bytes(header[20..28].try_into().unwrap());
-        let count = u32::from_le_bytes(header[28..32].try_into().unwrap()) as u64;
+        let generation = le_u64(&header, 12).ok_or_else(truncated)?;
+        let stored_id = le_u64(&header, 20).ok_or_else(truncated)?;
+        let count = le_u32(&header, 28).ok_or_else(truncated)? as u64;
         // The table must fit before we allocate it.
         SizeCheck::new()
             .add(HEADER_LEN)
@@ -310,13 +316,16 @@ impl Snapshot {
             .ok_or_else(|| {
                 PersistError::Corrupt(format!("section table ({count} entries) exceeds file"))
             })?;
-        let mut table_bytes = vec![0u8; (count * TABLE_ENTRY_LEN) as usize];
+        let table_len = count
+            .checked_mul(TABLE_ENTRY_LEN)
+            .ok_or_else(|| PersistError::Corrupt("section table size overflow".into()))?;
+        let mut table_bytes = vec![0u8; table_len as usize];
         f.read_exact(&mut table_bytes)?;
         let mut table = Vec::with_capacity(count as usize);
         for entry in table_bytes.chunks_exact(TABLE_ENTRY_LEN as usize) {
-            let id = u32::from_le_bytes(entry[0..4].try_into().unwrap());
-            let len = u64::from_le_bytes(entry[4..12].try_into().unwrap());
-            let crc = u32::from_le_bytes(entry[12..16].try_into().unwrap());
+            let id = le_u32(entry, 0).ok_or_else(truncated)?;
+            let len = le_u64(entry, 4).ok_or_else(truncated)?;
+            let crc = le_u32(entry, 12).ok_or_else(truncated)?;
             table.push((id, len, crc));
         }
         // Whole-file size check from the header alone, before any
@@ -351,6 +360,7 @@ impl Snapshot {
             sections.push((id, bytes));
         }
         // The size check above guarantees we are at EOF here.
+        // afflint: allow(panic) -- debug-only; unreachable for any input: SizeCheck::require proved header+table+sections == file_len
         debug_assert_eq!(f.stream_position()?, file_len);
         Ok(Snapshot {
             generation,

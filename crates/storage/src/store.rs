@@ -15,7 +15,7 @@
 //! random access without an index block.
 
 use crate::crc::{crc32, Crc32};
-use crate::layout::SizeCheck;
+use crate::layout::{le_f64, le_u32, SizeCheck};
 use affinity_data::{ColumnRead, DataMatrix, SeriesSource, SourceError};
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
@@ -215,26 +215,29 @@ impl MatrixStore {
         let mut labels = Vec::with_capacity(series);
         let mut cursor = 0usize;
         for i in 0..series {
-            if cursor + 4 > label_block.len() {
-                return Err(StorageError::Corrupt(format!("label {i} truncated")));
-            }
-            let len =
-                u32::from_le_bytes(label_block[cursor..cursor + 4].try_into().unwrap()) as usize;
-            cursor += 4;
-            if cursor + len > label_block.len() {
-                return Err(StorageError::Corrupt(format!("label {i} truncated")));
-            }
-            let s = std::str::from_utf8(&label_block[cursor..cursor + len])
+            // Bounds-checked framing: every read goes through `get` /
+            // `checked_add`, so a lying label length is a typed error.
+            let truncated = || StorageError::Corrupt(format!("label {i} truncated"));
+            let len = le_u32(&label_block, cursor).ok_or_else(truncated)? as usize;
+            cursor = cursor.checked_add(4).ok_or_else(truncated)?;
+            let end = cursor.checked_add(len).ok_or_else(truncated)?;
+            let raw = label_block.get(cursor..end).ok_or_else(truncated)?;
+            let s = std::str::from_utf8(raw)
                 .map_err(|_| StorageError::Corrupt(format!("label {i} not utf-8")))?;
             labels.push(s.to_string());
-            cursor += len;
+            cursor = end;
         }
         if cursor != label_block.len() {
             return Err(StorageError::Corrupt(
                 "trailing bytes in label block".into(),
             ));
         }
-        let columns_start = 8 + 4 + 8 + 8 + 8 + label_len as u64 + 4;
+        // Fixed 40-byte preamble (magic, version, dims, label CRC) +
+        // label block; label_len64 ≤ file_len was proven by the
+        // SizeCheck above, and the checked add keeps that visible.
+        let columns_start = label_len64
+            .checked_add(40)
+            .ok_or_else(|| StorageError::Corrupt("store header overflow".into()))?;
         Ok(MatrixStore {
             path: path.as_ref().to_path_buf(),
             samples,
@@ -242,6 +245,19 @@ impl MatrixStore {
             labels,
             columns_start,
         })
+    }
+
+    /// Bytes of one on-disk column: `samples · 8` data + 4 CRC. The
+    /// open-time [`SizeCheck`] proved `series · (samples·8 + 4)` fits
+    /// the real file length, so this arithmetic cannot overflow.
+    fn chunk_bytes(&self) -> usize {
+        // afflint: allow(len-arith) -- samples·8+4 ≤ file_len proven by the open-time SizeCheck; sole place column geometry is computed
+        self.samples * 8 + 4
+    }
+
+    /// [`MatrixStore::chunk_bytes`] as `u64` for seek offsets.
+    fn chunk_bytes64(&self) -> u64 {
+        self.chunk_bytes() as u64
     }
 
     /// Samples per series (`m`).
@@ -304,24 +320,23 @@ impl MatrixStore {
                 available: self.series,
             });
         }
-        let chunk = self.samples as u64 * 8 + 4;
+        let chunk = self.chunk_bytes64();
         let mut f = File::open(&self.path)?;
         f.seek(SeekFrom::Start(self.columns_start + v as u64 * chunk))?;
         out.clear();
         out.reserve(self.samples);
         let mut hasher = Crc32::new();
+        // afflint: allow(len-arith) -- samples·8 ≤ file_len was proven by the open-time SizeCheck
         let mut remaining = self.samples * 8;
         // Multiple of 8 so no f64 straddles a scratch boundary.
         let mut scratch = [0u8; 8192];
         while remaining > 0 {
             let take = remaining.min(scratch.len());
-            f.read_exact(&mut scratch[..take])?;
-            hasher.update(&scratch[..take]);
-            out.extend(
-                scratch[..take]
-                    .chunks_exact(8)
-                    .map(|c| f64::from_le_bytes(c.try_into().unwrap())),
-            );
+            // afflint: allow(panic) -- take = remaining.min(scratch.len()) ≤ scratch.len(); the window is in bounds by construction
+            let window = &mut scratch[..take];
+            f.read_exact(window)?;
+            hasher.update(window);
+            out.extend(window.chunks_exact(8).map(le_f64));
             remaining -= take;
         }
         let stored_crc = {
@@ -382,32 +397,33 @@ impl MatrixStore {
                 requested: first.saturating_add(count.max(1)) - 1,
                 available: self.series,
             })?;
-        let chunk = self.samples * 8 + 4;
+        let chunk = self.chunk_bytes();
         let mut f = File::open(&self.path)?;
         f.seek(SeekFrom::Start(self.columns_start + (first * chunk) as u64))?;
         RANGE_SCRATCH.with(|cell| {
             let bytes = &mut *cell.borrow_mut();
             bytes.clear();
+            // afflint: allow(len-arith) -- count ≤ series and chunk·series ≤ file_len were proven by the open-time SizeCheck
             bytes.resize(chunk * count, 0);
             f.read_exact(bytes)?;
             out.clear();
+            // afflint: allow(len-arith) -- samples·count bounded by the open-time SizeCheck; a lying header cannot reach here
             out.reserve(self.samples * count);
             for (c, chunk_bytes) in bytes.chunks_exact(chunk).enumerate() {
+                // afflint: allow(len-arith) -- split point samples·8 = chunk−4 ≤ chunk_bytes.len() by the chunks_exact width
                 let (col, crcb) = chunk_bytes.split_at(self.samples * 8);
-                if crc32(col) != u32::from_le_bytes(crcb.try_into().unwrap()) {
+                if Some(crc32(col)) != le_u32(crcb, 0) {
                     out.clear(); // don't hand corrupt data back
                     return Err(StorageError::ChecksumMismatch(format!(
                         "series {}",
                         first + c
                     )));
                 }
-                out.extend(
-                    col.chunks_exact(8)
-                        .map(|b| f64::from_le_bytes(b.try_into().unwrap())),
-                );
+                out.extend(col.chunks_exact(8).map(le_f64));
             }
             Ok(())
         })?;
+        // afflint: allow(panic, len-arith) -- debug-only postcondition over dims the open-time SizeCheck already validated
         debug_assert_eq!(out.len(), self.samples * (end - first));
         Ok(())
     }
@@ -420,6 +436,7 @@ impl MatrixStore {
         let mut f = BufReader::new(File::open(&self.path)?);
         f.seek(SeekFrom::Start(self.columns_start))?;
         let mut columns = Vec::with_capacity(self.series);
+        // afflint: allow(len-arith) -- samples·8 ≤ file_len was proven by the open-time SizeCheck
         let mut buf = vec![0u8; self.samples * 8];
         for v in 0..self.series {
             f.read_exact(&mut buf)?;
@@ -430,11 +447,7 @@ impl MatrixStore {
             if h.finalize() != u32::from_le_bytes(crcb) {
                 return Err(StorageError::ChecksumMismatch(format!("series {v}")));
             }
-            columns.push(
-                buf.chunks_exact(8)
-                    .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
-                    .collect(),
-            );
+            columns.push(buf.chunks_exact(8).map(le_f64).collect());
         }
         let mut dm = DataMatrix::from_series(columns);
         dm.set_labels(self.labels.clone());
@@ -458,7 +471,7 @@ impl SeriesSource for MatrixStore {
 
     fn read_into<'a>(&'a self, v: usize, buf: &'a mut Vec<f64>) -> Result<&'a [f64], SourceError> {
         self.read_series_into(v, buf)?;
-        Ok(&buf[..])
+        Ok(buf.as_slice())
     }
 }
 

@@ -206,8 +206,7 @@ struct Meta {
     measure_tags: Vec<u8>,
 }
 
-fn meta_to_bytes(engine: &StreamingEngine) -> Vec<u8> {
-    let model = engine.model.as_ref().expect("persist requires a model");
+fn meta_to_bytes(engine: &StreamingEngine, model: &Model) -> Vec<u8> {
     let mut w = ByteWriter::with_capacity(96 + engine.cfg.indexed.len());
     w.put_u8(META_VERSION);
     w.put_len(engine.window.series_count());
@@ -270,8 +269,11 @@ fn meta_from_bytes(bytes: &[u8]) -> Result<Meta, DecodeError> {
 
 fn record_to_bytes(plan: &DeltaPlan) -> Vec<u8> {
     let mut w = ByteWriter::with_capacity(
+        // afflint: allow(len-arith) -- encoder-side capacity hint over a live in-memory delta plan, not header-declared sizes
         32 + plan.delta.len() * 80
+            // afflint: allow(len-arith) -- encoder-side capacity hint continued
             + plan.new_rels.len() * RELATIONSHIP_BYTES
+            // afflint: allow(len-arith) -- encoder-side capacity hint continued
             + plan.new_series.len() * SERIES_RELATIONSHIP_BYTES,
     );
     w.put_u8(RECORD_VERSION);
@@ -514,7 +516,9 @@ impl StreamingEngine {
         let generation = p.generation + 1;
         let fault = p.next_commit_fault.take();
         let (id, journal) = self.write_checkpoint(&dir, generation, fault)?;
-        let p = self.persistence.as_mut().expect("still armed");
+        let Some(p) = self.persistence.as_mut() else {
+            return Err(corrupt("persistence disarmed during checkpoint"));
+        };
         p.journal = journal;
         p.generation = generation;
         Ok(id)
@@ -526,10 +530,12 @@ impl StreamingEngine {
         generation: u64,
         fault: Option<CommitFault>,
     ) -> Result<(u64, JournalWriter), StreamError> {
-        let model = self.model.as_ref().expect("persist requires a model");
+        let Some(model) = self.model.as_ref() else {
+            return Err(corrupt("checkpoint requires a built model"));
+        };
         let mut writer = SnapshotWriter::new(generation);
         writer
-            .section(SEC_META, meta_to_bytes(self))
+            .section(SEC_META, meta_to_bytes(self, model))
             .section(SEC_WINDOW, matrix_to_bytes(&self.window.snapshot()))
             .section(SEC_DATA, matrix_to_bytes(&model.data))
             .section(SEC_AFFINE, model.affine.to_bytes())
