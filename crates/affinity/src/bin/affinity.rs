@@ -4,7 +4,7 @@
 //! affinity generate <sensor|stock> <path.afn> [n] [m]        seeded synthetic dataset
 //! affinity info     <path.afn>                               shape + labels
 //! affinity csv      <path.afn> <out.csv>                     export to CSV
-//! affinity query    [--ooc[=MB]] [--prefetch[=K]] <path.afn> "<stmt>" [...]
+//! affinity query    [--ooc[=MB]] [--prefetch[=K]] [--shards[=K]] <path.afn> "<stmt>" [...]
 //! affinity query    [--quiet] --snapshot <dir> "<stmt>" [...]  query a persisted model
 //! affinity snapshot <path.afn> <dir>                         build + persist a model
 //! affinity quality  <path.afn>                               LSFD quality report
@@ -25,6 +25,14 @@
 //! their column sequences and the worker pulls them from disk — region
 //! reads for contiguous runs — while the current column computes.
 //! Purely a wall-clock knob; the model is identical at every depth.
+//!
+//! With `--shards[=K]` (default K = 4) the model is partitioned into
+//! `K` shards along AFCLST cluster cuts and statements are answered
+//! through the cross-shard merge layer (`affinity_shard`). Answers are
+//! **bit-identical** to the unsharded path — sharding is a scale-out
+//! knob, not an approximation — and the flag composes with `--ooc` /
+//! `--prefetch` (each shard streams columns through the same bounded
+//! cache).
 //!
 //! `affinity snapshot` builds the full model once (AFCLST + SYMEX +
 //! SCAPE index over the store's trailing window) and commits it to a
@@ -56,6 +64,7 @@ use affinity::core::quality::quality_report;
 use affinity::data::generator::{sensor_dataset, stock_dataset, SensorConfig, StockConfig};
 use affinity::ql::Session;
 use affinity::serve::{ServeConfig, Server, ShedPolicy};
+use affinity::shard::ShardedModel;
 use affinity::storage::{CachedStore, MatrixStore};
 use affinity::stream::{RecoveryReport, StreamingConfig, StreamingEngine};
 use std::process::ExitCode;
@@ -98,7 +107,7 @@ mod sig {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  affinity generate <sensor|stock> <path.afn> [n] [m]\n  affinity info <path.afn>\n  affinity csv <path.afn> <out.csv>\n  affinity query [--ooc[=MB]] [--prefetch[=K]] <path.afn> \"<statement>\" [more statements...]\n  affinity query [--quiet] --snapshot <snapshot-dir> \"<statement>\" [more statements...]\n  affinity snapshot <path.afn> <snapshot-dir>\n  affinity quality <path.afn>\n  affinity serve [--gen <sensor|stock>] [--series N] [--samples M] [--window W] [--resume DIR | --persist DIR]\n                 [--port P] [--workers N] [--queue CAP] [--deadline-ms D] [--shed-oldest] [--churn-ms MS] [--chaos] [--quiet]"
+        "usage:\n  affinity generate <sensor|stock> <path.afn> [n] [m]\n  affinity info <path.afn>\n  affinity csv <path.afn> <out.csv>\n  affinity query [--ooc[=MB]] [--prefetch[=K]] [--shards[=K]] <path.afn> \"<statement>\" [more statements...]\n  affinity query [--quiet] --snapshot <snapshot-dir> \"<statement>\" [more statements...]\n  affinity snapshot <path.afn> <snapshot-dir>\n  affinity quality <path.afn>\n  affinity serve [--gen <sensor|stock>] [--series N] [--samples M] [--window W] [--resume DIR | --persist DIR]\n                 [--port P] [--workers N] [--queue CAP] [--deadline-ms D] [--shed-oldest] [--churn-ms MS] [--chaos] [--quiet]"
     );
     ExitCode::from(2)
 }
@@ -248,9 +257,12 @@ fn query(args: &[String]) -> Result<ExitCode, String> {
     // Optional leading flags (any order): `--ooc[=MB]` streams the
     // build through a bounded-memory column cache instead of
     // materializing the matrix; `--prefetch[=K]` adds the cache's
-    // background readahead worker.
+    // background readahead worker; `--shards[=K]` partitions the model
+    // along cluster cuts and answers through the cross-shard merge
+    // layer (bit-identical answers, so purely a scale-out knob).
     let mut ooc_budget: Option<usize> = None;
     let mut prefetch_depth: Option<usize> = None;
+    let mut shards: Option<usize> = None;
     let mut from_snapshot = false;
     let mut quiet = false;
     let mut rest: &[String] = args;
@@ -268,6 +280,14 @@ fn query(args: &[String]) -> Result<ExitCode, String> {
             prefetch_depth = Some(8);
         } else if let Some(k) = flag.strip_prefix("--prefetch=") {
             prefetch_depth = Some(k.parse().map_err(|_| "bad --prefetch=<K> value")?);
+        } else if flag == "--shards" {
+            shards = Some(4);
+        } else if let Some(k) = flag.strip_prefix("--shards=") {
+            let k: usize = k.parse().map_err(|_| "bad --shards=<K> value")?;
+            if k == 0 {
+                return Err("--shards needs K >= 1".into());
+            }
+            shards = Some(k);
         } else {
             break;
         }
@@ -278,6 +298,9 @@ fn query(args: &[String]) -> Result<ExitCode, String> {
     }
     if from_snapshot && ooc_budget.is_some() {
         return Err("--snapshot opens a persisted model; --ooc does not apply".into());
+    }
+    if from_snapshot && shards.is_some() {
+        return Err("--snapshot opens a persisted model; --shards does not apply".into());
     }
     if quiet && !from_snapshot {
         return Err("--quiet only applies to --snapshot (it silences the recovery report)".into());
@@ -327,20 +350,46 @@ fn query(args: &[String]) -> Result<ExitCode, String> {
                 k => format!(", prefetch depth {k}"),
             }
         );
-        let affine = Symex::new(SymexParams::default())
-            .run(&source)
-            .map_err(|e| e.to_string())?;
-        let session = Session::from_source(&source, labels, &affine, &Measure::EXTENDED)
-            .map_err(|e| e.to_string())?;
-        run_statements(&session);
+        if let Some(k) = shards {
+            let model =
+                ShardedModel::build(&source, &SymexParams::default(), k, &Measure::EXTENDED)
+                    .map_err(|e| e.to_string())?;
+            eprintln!(
+                "sharded: {} shards cut along cluster boundaries over {} series",
+                model.plan().shards(),
+                model.series_count()
+            );
+            let session = Session::from_sharded(&model, labels).map_err(|e| e.to_string())?;
+            run_statements(&session);
+        } else {
+            let affine = Symex::new(SymexParams::default())
+                .run(&source)
+                .map_err(|e| e.to_string())?;
+            let session = Session::from_source(&source, labels, &affine, &Measure::EXTENDED)
+                .map_err(|e| e.to_string())?;
+            run_statements(&session);
+        }
     } else {
         let data = open(path)?;
-        let affine = Symex::new(SymexParams::default())
-            .run(&data)
-            .map_err(|e| e.to_string())?;
-        let session =
-            Session::new(&data, &affine, &Measure::EXTENDED).map_err(|e| e.to_string())?;
-        run_statements(&session);
+        if let Some(k) = shards {
+            let model = ShardedModel::build(&data, &SymexParams::default(), k, &Measure::EXTENDED)
+                .map_err(|e| e.to_string())?;
+            eprintln!(
+                "sharded: {} shards cut along cluster boundaries over {} series",
+                model.plan().shards(),
+                model.series_count()
+            );
+            let session =
+                Session::from_sharded(&model, data.labels().to_vec()).map_err(|e| e.to_string())?;
+            run_statements(&session);
+        } else {
+            let affine = Symex::new(SymexParams::default())
+                .run(&data)
+                .map_err(|e| e.to_string())?;
+            let session =
+                Session::new(&data, &affine, &Measure::EXTENDED).map_err(|e| e.to_string())?;
+            run_statements(&session);
+        }
     }
     Ok(ExitCode::SUCCESS)
 }

@@ -78,6 +78,7 @@
 //! | [`ql`] | `affinity-ql` | textual MEC/MET/MER query language + planner |
 //! | [`stream`] | `affinity-stream` | sliding windows, rolling stats, drift-driven delta refresh |
 //! | [`serve`] | `affinity-serve` | concurrent query service: epoch swaps, admission control, chaos hooks |
+//! | [`shard`] | `affinity-shard` | sharded model scale-out: cluster-cut plans, exact cross-shard merge, per-shard refresh |
 //! | [`storage`] | `affinity-storage` | columnar binary store with checksums, LRU `CachedStore` |
 //! | [`linalg`] | `affinity-linalg` | QR, Jacobi eigen, power iteration |
 //! | [`par`] | `affinity-par` | work-stealing thread pool behind parallel SYMEX + batched MEC |
@@ -97,6 +98,7 @@ pub use affinity_ql as ql;
 pub use affinity_query as query;
 pub use affinity_scape as scape;
 pub use affinity_serve as serve;
+pub use affinity_shard as shard;
 pub use affinity_storage as storage;
 pub use affinity_stream as stream;
 
@@ -111,6 +113,7 @@ pub mod prelude {
     pub use affinity_ql::Session;
     pub use affinity_query::{AffineExecutor, DftExecutor, NaiveExecutor};
     pub use affinity_scape::{ScapeIndex, ThresholdOp};
+    pub use affinity_shard::{ShardPlan, ShardedModel, ShardedStreamingEngine};
     pub use affinity_storage::{CachedStore, MatrixStore};
     pub use affinity_stream::{StreamingConfig, StreamingEngine};
 }

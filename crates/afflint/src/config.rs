@@ -33,6 +33,7 @@ const UNTRUSTED: &[&str] = &[
     "crates/serve/src/queue.rs",
     "crates/core/src/persist.rs",
     "crates/scape/src/persist.rs",
+    "crates/shard/src/persist.rs",
     "crates/stream/src/persist.rs",
 ];
 
@@ -46,6 +47,7 @@ const READERS: &[&str] = &[
     "crates/storage/src/layout.rs",
     "crates/core/src/persist.rs",
     "crates/scape/src/persist.rs",
+    "crates/shard/src/persist.rs",
     "crates/stream/src/persist.rs",
 ];
 

@@ -222,6 +222,54 @@ impl<'a> MecEngine<'a> {
         })
     }
 
+    /// Assemble an engine directly from precomputed parts — the sharded
+    /// model path, where pivot statistics are computed per shard and the
+    /// separable normalizers once globally. `pivot_stats` must cover
+    /// every pivot of `affine`; `variances`/`self_dots` are **full-length**
+    /// per-series vectors (a shard's pairs reference arbitrary series in
+    /// their normalizers). Queries answer bit-identically to an engine
+    /// built by [`MecEngine::from_source`] over the same reference data.
+    ///
+    /// # Errors
+    /// [`CoreError::ShapeMismatch`] when a marginal vector's length
+    /// differs from the affine set's series count;
+    /// [`CoreError::InvalidParameter`] when a pivot has no statistics.
+    pub fn from_parts(
+        affine: &'a AffineSet,
+        pivot_stats: FxHashMap<PivotPair, PivotStats>,
+        variances: Vec<f64>,
+        self_dots: Vec<f64>,
+        pool: std::sync::Arc<ThreadPool>,
+    ) -> Result<Self, CoreError> {
+        let n = affine.series_count();
+        if variances.len() != n || self_dots.len() != n {
+            return Err(CoreError::ShapeMismatch {
+                data: (variances.len(), self_dots.len()),
+                model: (n, n),
+            });
+        }
+        if let Some(p) = affine
+            .pivots()
+            .iter()
+            .find(|p| !pivot_stats.contains_key(p))
+        {
+            return Err(CoreError::InvalidParameter(format!(
+                "pivot statistics missing for pivot (common {}, cluster {})",
+                p.common, p.cluster
+            )));
+        }
+        Ok(MecEngine {
+            series_count: n,
+            affine,
+            pivot_stats,
+            variances,
+            self_dots,
+            center_locations: Mutex::new(FxHashMap::default()),
+            batches: OnceLock::new(),
+            pool,
+        })
+    }
+
     /// The per-pivot β-batches, built on first use: the β-vectors of each
     /// pivot's pairs stacked into one `g×3` matrix (pivot order follows
     /// the affine set, so the batches are deterministic).

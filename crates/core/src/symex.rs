@@ -254,6 +254,53 @@ impl AffineSet {
         }
     }
 
+    /// Split the set into `k` disjoint per-shard sets, routing every
+    /// relationship and pivot to `owner[common]` — the shard that owns
+    /// the pivot's common series. Shards are **partitions of this exact
+    /// model**, not independent re-fits: every β vector, pivot pair, and
+    /// per-series fit is carried over unchanged (bit-identical), and
+    /// within each shard the relationships and pivots keep their global
+    /// traversal order (so a shard's pivot list is a subsequence of
+    /// [`AffineSet::pivots`]). Each shard keeps the full cluster model
+    /// and the full per-series relationship table; the per-series table
+    /// is a snapshot — after delta refreshes only the owning shard's
+    /// copy is patched, so location reads must route by owner.
+    ///
+    /// # Panics
+    /// Panics if `owner.len() != series_count` or any entry is `>= k`.
+    pub fn partition(&self, owner: &[usize], k: usize) -> Vec<AffineSet> {
+        assert_eq!(
+            owner.len(),
+            self.series_count,
+            "partition: owner map must cover every series"
+        );
+        assert!(
+            owner.iter().all(|&s| s < k),
+            "partition: shard id out of range"
+        );
+        let mut rels: Vec<Vec<AffineRelationship>> = vec![Vec::new(); k];
+        for rel in &self.relationships {
+            rels[owner[rel.common]].push(rel.clone());
+        }
+        let mut pivots: Vec<Vec<PivotPair>> = vec![Vec::new(); k];
+        for &p in &self.pivots {
+            pivots[owner[p.common]].push(p);
+        }
+        rels.into_iter()
+            .zip(pivots)
+            .map(|(r, p)| {
+                AffineSet::assemble(
+                    self.clusters.clone(),
+                    r,
+                    p,
+                    self.series_rels.clone(),
+                    self.series_count,
+                    self.samples,
+                )
+            })
+            .collect()
+    }
+
     /// The two pivot-matrix columns of a pivot pair: the common series
     /// borrowed from `data` and the cluster centre from the model.
     ///

@@ -8,6 +8,7 @@ use affinity_core::symex::AffineSet;
 use affinity_data::{DataMatrix, SequencePair, SeriesId, SeriesSource};
 use affinity_linalg::Matrix;
 use affinity_scape::{ScapeError, ScapeIndex, ThresholdOp};
+use affinity_shard::ShardedModel;
 use affinity_stream::PersistedModel;
 use std::fmt;
 
@@ -132,10 +133,28 @@ impl fmt::Display for QueryOutput {
 /// construction every query is answered from the model alone, which is
 /// what makes [`Session::from_source`] (fully out-of-core construction)
 /// possible.
+///
+/// A session answers from one of two backends: a **global** model (one
+/// MEC engine + one SCAPE index) or a borrowed **sharded** model
+/// ([`Session::from_sharded`]), whose cross-shard merge layer returns
+/// answers bit-identical to the global backend's.
 pub struct Session<'a> {
     labels: Vec<String>,
-    engine: MecEngine<'a>,
-    index: ScapeIndex,
+    backend: Backend<'a>,
+}
+
+/// The model a session answers from.
+enum Backend<'a> {
+    /// The monolithic path: one engine, one index. The index is boxed
+    /// to keep the enum near the size of its slimmest variant.
+    Global {
+        engine: MecEngine<'a>,
+        index: Box<ScapeIndex>,
+    },
+    /// The sharded path: per-shard engines/indexes behind the exact
+    /// merge layer. Borrowed, so one resident model can serve many
+    /// sessions.
+    Sharded(&'a ShardedModel),
 }
 
 impl<'a> Session<'a> {
@@ -185,15 +204,48 @@ impl<'a> Session<'a> {
         }
         Ok(Session {
             labels,
-            engine: MecEngine::from_source(source, affine)
-                .map_err(|e| QlError::Engine(e.to_string()))?,
-            index: ScapeIndex::build_from_source(
-                source,
-                affine,
-                indexed,
-                &affinity_par::ThreadPool::new(1),
-            )
-            .map_err(|e| QlError::Engine(e.to_string()))?,
+            backend: Backend::Global {
+                engine: MecEngine::from_source(source, affine)
+                    .map_err(|e| QlError::Engine(e.to_string()))?,
+                index: Box::new(
+                    ScapeIndex::build_from_source(
+                        source,
+                        affine,
+                        indexed,
+                        &affinity_par::ThreadPool::new(1),
+                    )
+                    .map_err(|e| QlError::Engine(e.to_string()))?,
+                ),
+            },
+        })
+    }
+
+    /// Open a session over a sharded model: statements execute against
+    /// the per-shard engines/indexes through the cross-shard merge
+    /// layer, and every answer is bit-identical to a session over the
+    /// unsharded model the shards were partitioned from.
+    ///
+    /// `labels` may be empty to auto-generate `S0..S{n-1}`.
+    ///
+    /// # Errors
+    /// [`QlError::Engine`] when `labels` is non-empty but does not
+    /// match the model's series count.
+    pub fn from_sharded(model: &'a ShardedModel, labels: Vec<String>) -> Result<Self, QlError> {
+        let n = model.series_count();
+        let labels = if labels.is_empty() {
+            (0..n).map(|v| format!("S{v}")).collect()
+        } else if labels.len() == n {
+            labels
+        } else {
+            return Err(QlError::Engine(format!(
+                "{} labels for {} series",
+                labels.len(),
+                n
+            )));
+        };
+        Ok(Session {
+            labels,
+            backend: Backend::Sharded(model),
         })
     }
 
@@ -226,8 +278,10 @@ impl<'a> Session<'a> {
         };
         Ok(Session {
             labels,
-            engine: MecEngine::new(&model.data, &model.affine),
-            index: model.index.clone(),
+            backend: Backend::Global {
+                engine: MecEngine::new(&model.data, &model.affine),
+                index: Box::new(model.index.clone()),
+            },
         })
     }
 
@@ -263,8 +317,10 @@ impl<'a> Session<'a> {
         };
         Ok(Session {
             labels,
-            engine: MecEngine::new(data, affine),
-            index,
+            backend: Backend::Global {
+                engine: MecEngine::new(data, affine),
+                index: Box::new(index),
+            },
         })
     }
 
@@ -345,6 +401,126 @@ impl<'a> Session<'a> {
         }
     }
 
+    // --- Backend dispatch ------------------------------------------
+    //
+    // Each helper forwards one query primitive to whichever backend the
+    // session holds; the sharded merge layer's answers are bit-identical
+    // to the global backend's, so planning above this line is
+    // backend-oblivious.
+
+    /// `true` when the backend's index covers `measure`.
+    fn indexed(&self, measure: Measure) -> bool {
+        match &self.backend {
+            Backend::Global { index, .. } => index.supports(measure),
+            Backend::Sharded(m) => m.supports(measure),
+        }
+    }
+
+    /// Shard count when sharded (used only by `EXPLAIN` rendering).
+    fn shard_count(&self) -> Option<usize> {
+        match &self.backend {
+            Backend::Global { .. } => None,
+            Backend::Sharded(m) => Some(m.plan().shards()),
+        }
+    }
+
+    fn location_values(
+        &self,
+        measure: LocationMeasure,
+        ids: &[SeriesId],
+    ) -> Result<Vec<f64>, QlError> {
+        match &self.backend {
+            Backend::Global { engine, .. } => engine.location(measure, ids),
+            Backend::Sharded(m) => m.location(measure, ids),
+        }
+        .map_err(|e| QlError::Engine(e.to_string()))
+    }
+
+    fn pairwise_matrix(
+        &self,
+        measure: PairwiseMeasure,
+        ids: &[SeriesId],
+    ) -> Result<Matrix, QlError> {
+        match &self.backend {
+            Backend::Global { engine, .. } => engine.pairwise(measure, ids),
+            Backend::Sharded(m) => m.pairwise(measure, ids),
+        }
+        .map_err(|e| QlError::Engine(e.to_string()))
+    }
+
+    fn threshold_pairs(
+        &self,
+        measure: PairwiseMeasure,
+        op: ThresholdOp,
+        tau: f64,
+        token: &CancelToken,
+    ) -> Result<Vec<SequencePair>, QlError> {
+        let stop = || token.should_stop();
+        match &self.backend {
+            Backend::Global { index, .. } => index.threshold_pairs_with(measure, op, tau, &stop),
+            Backend::Sharded(m) => m.threshold_pairs_with(measure, op, tau, &stop),
+        }
+        .map_err(|e| Self::map_scape(e, token))
+    }
+
+    fn range_pairs(
+        &self,
+        measure: PairwiseMeasure,
+        lo: f64,
+        hi: f64,
+        token: &CancelToken,
+    ) -> Result<Vec<SequencePair>, QlError> {
+        let stop = || token.should_stop();
+        match &self.backend {
+            Backend::Global { index, .. } => index.range_pairs_with(measure, lo, hi, &stop),
+            Backend::Sharded(m) => m.range_pairs_with(measure, lo, hi, &stop),
+        }
+        .map_err(|e| Self::map_scape(e, token))
+    }
+
+    fn threshold_series_indexed(
+        &self,
+        measure: LocationMeasure,
+        op: ThresholdOp,
+        tau: f64,
+    ) -> Result<Vec<SeriesId>, QlError> {
+        match &self.backend {
+            Backend::Global { index, .. } => index.threshold_series(measure, op, tau),
+            Backend::Sharded(m) => m.threshold_series(measure, op, tau),
+        }
+        .map_err(|e| QlError::Engine(e.to_string()))
+    }
+
+    fn range_series_indexed(
+        &self,
+        measure: LocationMeasure,
+        lo: f64,
+        hi: f64,
+    ) -> Result<Vec<SeriesId>, QlError> {
+        match &self.backend {
+            Backend::Global { index, .. } => index.range_series(measure, lo, hi),
+            Backend::Sharded(m) => m.range_series(measure, lo, hi),
+        }
+        .map_err(|e| QlError::Engine(e.to_string()))
+    }
+
+    /// One pairwise value for the fallback scan; errors mean "drop the
+    /// pair", matching the global scan's behavior.
+    fn scan_pair_value(&self, measure: PairwiseMeasure, pair: SequencePair) -> Option<f64> {
+        match &self.backend {
+            Backend::Global { engine, .. } => engine.pair_value(measure, pair).ok(),
+            Backend::Sharded(m) => m.pair_value(measure, pair).ok(),
+        }
+    }
+
+    /// One location value for the fallback scan.
+    fn scan_location_value(&self, measure: LocationMeasure, v: SeriesId) -> Option<f64> {
+        match &self.backend {
+            Backend::Global { engine, .. } => engine.location_value(measure, v).ok(),
+            Backend::Sharded(m) => m.location_value(measure, v).ok(),
+        }
+    }
+
     /// Execute a pre-parsed statement under a [`CancelToken`]; see
     /// [`execute_with`](Session::execute_with).
     ///
@@ -367,10 +543,7 @@ impl<'a> Session<'a> {
                     .collect::<Result<_, _>>()?;
                 match measure {
                     Measure::Location(l) => {
-                        let values = self
-                            .engine
-                            .location(l, &ids)
-                            .map_err(|e| QlError::Engine(e.to_string()))?;
+                        let values = self.location_values(l, &ids)?;
                         Ok(QueryOutput::Values(
                             ids.iter()
                                 .zip(values)
@@ -380,10 +553,7 @@ impl<'a> Session<'a> {
                     }
                     Measure::Pairwise(p) => Ok(QueryOutput::PairMatrix {
                         labels: ids.iter().map(|&v| self.label(v)).collect(),
-                        matrix: self
-                            .engine
-                            .pairwise(p, &ids)
-                            .map_err(|e| QlError::Engine(e.to_string()))?,
+                        matrix: self.pairwise_matrix(p, &ids)?,
                     }),
                 }
             }
@@ -399,10 +569,8 @@ impl<'a> Session<'a> {
                 };
                 match measure {
                     Measure::Pairwise(p) => {
-                        let pairs = if self.index.supports(measure) {
-                            self.index
-                                .threshold_pairs_with(p, op, tau, &|| token.should_stop())
-                                .map_err(|e| Self::map_scape(e, token))?
+                        let pairs = if self.indexed(measure) {
+                            self.threshold_pairs(p, op, tau, token)?
                         } else {
                             self.scan_pairs(
                                 p,
@@ -416,10 +584,8 @@ impl<'a> Session<'a> {
                         Ok(QueryOutput::Pairs(self.pair_labels(pairs)))
                     }
                     Measure::Location(l) => {
-                        let series = if self.index.supports(measure) {
-                            self.index
-                                .threshold_series(l, op, tau)
-                                .map_err(|e| QlError::Engine(e.to_string()))?
+                        let series = if self.indexed(measure) {
+                            self.threshold_series_indexed(l, op, tau)?
                         } else {
                             self.scan_series(
                                 l,
@@ -442,20 +608,16 @@ impl<'a> Session<'a> {
                 }
                 match measure {
                     Measure::Pairwise(p) => {
-                        let pairs = if self.index.supports(measure) {
-                            self.index
-                                .range_pairs_with(p, lo, hi, &|| token.should_stop())
-                                .map_err(|e| Self::map_scape(e, token))?
+                        let pairs = if self.indexed(measure) {
+                            self.range_pairs(p, lo, hi, token)?
                         } else {
                             self.scan_pairs(p, |v| lo < v && v < hi, token)?
                         };
                         Ok(QueryOutput::Pairs(self.pair_labels(pairs)))
                     }
                     Measure::Location(l) => {
-                        let series = if self.index.supports(measure) {
-                            self.index
-                                .range_series(l, lo, hi)
-                                .map_err(|e| QlError::Engine(e.to_string()))?
+                        let series = if self.indexed(measure) {
+                            self.range_series_indexed(l, lo, hi)?
                         } else {
                             self.scan_series(l, |v| lo < v && v < hi, token)?
                         };
@@ -470,12 +632,23 @@ impl<'a> Session<'a> {
 
     /// Describe how a statement would execute (the `EXPLAIN` output).
     fn plan(&self, statement: &Statement) -> String {
+        // Rendered once so every plan line says when a cross-shard
+        // merge participates in the answer.
+        let sharded = self
+            .shard_count()
+            .map(|k| format!("; merged across {k} shards"))
+            .unwrap_or_default();
         match statement {
             Statement::Explain(inner) => self.plan(inner),
             Statement::Mec { measure, series } => format!(
-                "MEC {}: MecEngine (W_A) over {} series; pivot statistics from hash map, O(1) per value",
+                "MEC {}: MecEngine (W_A) over {} series; pivot statistics from hash map, O(1) per value{}",
                 measure.name(),
-                series.len()
+                series.len(),
+                if self.shard_count().is_some() {
+                    "; routed to owning shard"
+                } else {
+                    ""
+                }
             ),
             Statement::Met { measure, .. } | Statement::Mer { measure, .. } => {
                 let kind = if matches!(statement, Statement::Met { .. }) {
@@ -483,9 +656,9 @@ impl<'a> Session<'a> {
                 } else {
                     "MER"
                 };
-                if self.index.supports(*measure) {
+                if self.indexed(*measure) {
                     format!(
-                        "{kind} {}: SCAPE index search with modified thresholds (tau' = tau/||alpha||){}",
+                        "{kind} {}: SCAPE index search with modified thresholds (tau' = tau/||alpha||){}{sharded}",
                         measure.name(),
                         if matches!(
                             measure,
@@ -498,7 +671,7 @@ impl<'a> Session<'a> {
                     )
                 } else {
                     format!(
-                        "{kind} {}: full scan of W_A values (measure not indexed)",
+                        "{kind} {}: full scan of W_A values (measure not indexed){sharded}",
                         measure.name()
                     )
                 }
@@ -524,7 +697,7 @@ impl<'a> Session<'a> {
                 let p = SequencePair::new(u, v);
                 // A full-set engine answers every pair; if it ever does
                 // not, drop the pair rather than panic mid-query.
-                if self.engine.pair_value(measure, p).is_ok_and(&keep) {
+                if self.scan_pair_value(measure, p).is_some_and(&keep) {
                     out.push(p);
                 }
             }
@@ -543,7 +716,7 @@ impl<'a> Session<'a> {
             return Err(Self::cancel_error(token));
         }
         Ok((0..self.labels.len())
-            .filter(|&v| self.engine.location_value(measure, v).is_ok_and(&keep))
+            .filter(|&v| self.scan_location_value(measure, v).is_some_and(&keep))
             .collect())
     }
 }
@@ -724,6 +897,43 @@ mod tests {
         assert!(anon.execute("MEC mean OF S0").is_ok());
         let index = affinity_scape::ScapeIndex::build(&data, &affine, &Measure::ALL).unwrap();
         assert!(Session::from_parts(&data, &affine, index, vec!["x".into()]).is_err());
+    }
+
+    #[test]
+    fn sharded_backend_matches_global() {
+        let (data, affine) = fixture();
+        let global = Session::new(&data, &affine, &Measure::ALL).unwrap();
+        let model =
+            affinity_shard::ShardedModel::build(&data, &SymexParams::default(), 3, &Measure::ALL)
+                .unwrap();
+        let sharded = Session::from_sharded(&model, data.labels().to_vec()).unwrap();
+        for q in [
+            "MET correlation > 0.7",
+            "MET median > 100",
+            "MER covariance BETWEEN -0.5 AND 0.5",
+            "MEC mean OF STK0, STK1",
+            "MEC correlation OF STK0 STK1 STK2",
+        ] {
+            assert_eq!(
+                global.execute(q).unwrap(),
+                sharded.execute(q).unwrap(),
+                "{q}"
+            );
+        }
+        let plan = sharded
+            .execute("EXPLAIN MET correlation > 0.9")
+            .unwrap()
+            .to_string();
+        assert!(plan.contains("3 shards"), "{plan}");
+        let plan = sharded
+            .execute("EXPLAIN MEC mean OF STK0")
+            .unwrap()
+            .to_string();
+        assert!(plan.contains("owning shard"), "{plan}");
+        // Label validation mirrors the other constructors.
+        assert!(Session::from_sharded(&model, vec!["x".into()]).is_err());
+        let anon = Session::from_sharded(&model, Vec::new()).unwrap();
+        assert!(anon.execute("MEC mean OF S0").is_ok());
     }
 
     #[test]

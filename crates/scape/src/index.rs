@@ -141,6 +141,37 @@ fn project_loc(c: f64, d: f64, center_loc: f64, alpha_norm: f64) -> f64 {
     }
 }
 
+/// Which tree families a measure list requests:
+/// `(covariance, dot, correlation, location-by-tag)`. Indexing
+/// correlation implies building the covariance family (shared α).
+fn measure_wants(measures_list: &[Measure]) -> (bool, bool, bool, [bool; 3]) {
+    let want_corr = measures_list
+        .iter()
+        .any(|m| matches!(m, Measure::Pairwise(PairwiseMeasure::Correlation)));
+    let want_cov = want_corr
+        || measures_list
+            .iter()
+            .any(|m| matches!(m, Measure::Pairwise(PairwiseMeasure::Covariance)));
+    let want_dot = measures_list.iter().any(|m| {
+        matches!(
+            m,
+            Measure::Pairwise(PairwiseMeasure::DotProduct)
+                | Measure::Pairwise(PairwiseMeasure::Cosine)
+                | Measure::Pairwise(PairwiseMeasure::Dice)
+        )
+    });
+    let want_loc: [bool; 3] = {
+        let mut w = [false; 3];
+        for m in measures_list {
+            if let Measure::Location(l) = m {
+                w[loc_tag(*l)] = true;
+            }
+        }
+        w
+    };
+    (want_cov, want_dot, want_corr, want_loc)
+}
+
 impl ScapeIndex {
     /// Build the index over the given measures.
     ///
@@ -228,38 +259,7 @@ impl ScapeIndex {
                 affine: (affine.series_count(), affine.samples()),
             });
         }
-        let want_corr = measures_list
-            .iter()
-            .any(|m| matches!(m, Measure::Pairwise(PairwiseMeasure::Correlation)));
-        let want_cov = want_corr
-            || measures_list
-                .iter()
-                .any(|m| matches!(m, Measure::Pairwise(PairwiseMeasure::Covariance)));
-        let want_dot = measures_list.iter().any(|m| {
-            matches!(
-                m,
-                Measure::Pairwise(PairwiseMeasure::DotProduct)
-                    | Measure::Pairwise(PairwiseMeasure::Cosine)
-                    | Measure::Pairwise(PairwiseMeasure::Dice)
-            )
-        });
-        let want_loc: [bool; 3] = {
-            let mut w = [false; 3];
-            for m in measures_list {
-                if let Measure::Location(l) = m {
-                    w[loc_tag(*l)] = true;
-                }
-            }
-            w
-        };
-
-        let mut stats = IndexStats::default();
-
-        // --- Pairwise measures -----------------------------------------
-        let mut pivot_ids: FxHashMap<PivotPair, usize> = FxHashMap::default();
-        for (i, &p) in affine.pivots().iter().enumerate() {
-            pivot_ids.insert(p, i);
-        }
+        let (want_cov, want_dot, _, _) = measure_wants(measures_list);
         let pivot_count = affine.pivots().len();
         // Pairwise-only preprocessing, skipped for location-only builds
         // (all of it is O(pivots·m) / O(n·m) / O(n²) work that only the
@@ -316,6 +316,117 @@ impl ScapeIndex {
         } else {
             (Vec::new(), Vec::new())
         };
+        Ok(Self::assemble(
+            affine,
+            &pivot_stats,
+            &variances,
+            &self_dots,
+            measures_list,
+            None,
+            pool,
+            bulk,
+        ))
+    }
+
+    /// Assemble an index directly from precomputed pivot statistics and
+    /// marginal moments, without touching raw series data. This is the
+    /// shard build path: a caller that has already computed per-pivot
+    /// [`PivotStats`] (aligned with `affine.pivots()`) and the
+    /// per-series variance / self-dot tables reuses them here, and the
+    /// resulting trees are node-for-node identical to a
+    /// [`ScapeIndex::build_from_source`] over the same model.
+    ///
+    /// `loc_series`, when given, masks which series are admitted to the
+    /// location trees (length `affine.series_count()`); pair trees are
+    /// always built from every relationship in `affine`. A sharded
+    /// deployment uses this so each shard's location trees hold exactly
+    /// its owned series while its pair trees hold its pivot groups.
+    ///
+    /// # Panics
+    /// If a pairwise measure is requested and `pivot_stats` is not
+    /// aligned with `affine.pivots()`, if a wanted normalizer table
+    /// (`variances` for the covariance family, `self_dots` for the dot
+    /// family) does not cover `affine.series_count()` series, or if
+    /// `loc_series` has the wrong length. These are programmer errors —
+    /// this constructor never sees untrusted bytes (decoded indexes go
+    /// through `from_bytes`).
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_from_stats(
+        affine: &AffineSet,
+        pivot_stats: &[PivotStats],
+        variances: &[f64],
+        self_dots: &[f64],
+        measures_list: &[Measure],
+        loc_series: Option<&[bool]>,
+        pool: &ThreadPool,
+    ) -> Self {
+        let (want_cov, want_dot, _, _) = measure_wants(measures_list);
+        let n = affine.series_count();
+        if want_cov || want_dot {
+            assert_eq!(
+                pivot_stats.len(),
+                affine.pivots().len(),
+                "build_from_stats: pivot_stats must align with affine.pivots()"
+            );
+        }
+        if want_cov {
+            assert_eq!(
+                variances.len(),
+                n,
+                "build_from_stats: variances must cover every series"
+            );
+        }
+        if want_dot {
+            assert_eq!(
+                self_dots.len(),
+                n,
+                "build_from_stats: self_dots must cover every series"
+            );
+        }
+        if let Some(mask) = loc_series {
+            assert_eq!(
+                mask.len(),
+                n,
+                "build_from_stats: loc_series mask must cover every series"
+            );
+        }
+        Self::assemble(
+            affine,
+            pivot_stats,
+            variances,
+            self_dots,
+            measures_list,
+            loc_series,
+            pool,
+            true,
+        )
+    }
+
+    /// Shared tree-assembly stage: everything downstream of the raw-data
+    /// reads. Both the source-streaming build and
+    /// [`ScapeIndex::build_from_stats`] funnel through here, so given the
+    /// same statistics their outputs are node-for-node identical.
+    #[allow(clippy::too_many_arguments)]
+    fn assemble(
+        affine: &AffineSet,
+        pivot_stats: &[PivotStats],
+        variances: &[f64],
+        self_dots: &[f64],
+        measures_list: &[Measure],
+        loc_series: Option<&[bool]>,
+        pool: &ThreadPool,
+        bulk: bool,
+    ) -> Self {
+        let (want_cov, want_dot, want_corr, want_loc) = measure_wants(measures_list);
+        let want_pair = want_cov || want_dot;
+        let pivot_count = affine.pivots().len();
+        let mut stats = IndexStats::default();
+
+        // --- Pairwise measures -----------------------------------------
+        let mut pivot_ids: FxHashMap<PivotPair, usize> = FxHashMap::default();
+        for (i, &p) in affine.pivots().iter().enumerate() {
+            pivot_ids.insert(p, i);
+        }
         // Bucket relationship indices by pivot once, in traversal order;
         // both pairwise families shard over these groups.
         let mut members: Vec<Vec<u32>> = vec![Vec::new(); if want_pair { pivot_count } else { 0 }];
@@ -403,8 +514,12 @@ impl ScapeIndex {
                 .map(|l| measures::location(measure, clusters.center(l)))
                 .collect();
             // Gather per-cluster entries in series order, then load.
+            // A masked build (sharding) admits only the owned series.
             let mut cluster_entries: Vec<Vec<(f64, SeriesId)>> = vec![Vec::new(); clusters.k()];
             for sr in affine.series_relationships() {
+                if loc_series.is_some_and(|m| !m[sr.series]) {
+                    continue;
+                }
                 let lv = center_loc[sr.cluster];
                 let xi = project_loc(sr.c, sr.d, lv, (lv * lv + 1.0).sqrt());
                 cluster_entries[sr.cluster].push((xi, sr.series));
@@ -435,14 +550,14 @@ impl ScapeIndex {
             loc[tag] = Some(nodes);
         }
 
-        Ok(ScapeIndex {
+        ScapeIndex {
             cov,
             dot,
             correlation: want_corr || want_cov,
             loc,
             pivot_ids,
             stats,
-        })
+        }
     }
 
     /// Apply a batch of relationship re-fits against **retained pivots**:

@@ -70,40 +70,48 @@ impl ScapeIndex {
     ) -> Result<Vec<SequencePair>, ScapeError> {
         let (nodes, slot) = self.pair_nodes(measure)?;
         let mut out = Vec::new();
-        match slot {
-            Some(slot) => {
-                for node in nodes {
-                    if cancel() {
-                        return Err(ScapeError::Cancelled);
-                    }
-                    derived_threshold(node, slot, op, tau, &mut out);
-                }
+        for node in nodes {
+            if cancel() {
+                return Err(ScapeError::Cancelled);
             }
-            None => {
-                for node in nodes {
-                    if cancel() {
-                        return Err(ScapeError::Cancelled);
-                    }
-                    // Modified threshold τ' = τ/‖α‖ (Sec. 5.2); zero-α
-                    // pivots store ξ = 0 for a reconstructed value of 0.
-                    if node.alpha_norm > 0.0 {
-                        let tau_p = tau / node.alpha_norm;
-                        let (lo, hi) = match op {
-                            ThresholdOp::Greater => (Bound::Excluded(tau_p), Bound::Unbounded),
-                            ThresholdOp::Less => (Bound::Unbounded, Bound::Excluded(tau_p)),
-                        };
-                        out.extend(node.tree.range(lo, hi).map(|(_, sn)| sn.pair));
-                    } else {
-                        // Every stored value is exactly 0.
-                        let include = match op {
-                            ThresholdOp::Greater => 0.0 > tau,
-                            ThresholdOp::Less => 0.0 < tau,
-                        };
-                        if include {
-                            out.extend(node.tree.iter().map(|(_, sn)| sn.pair));
-                        }
-                    }
-                }
+            match slot {
+                Some(slot) => derived_threshold(node, slot, op, tau, &mut out),
+                None => node_threshold(node, op, tau, &mut out),
+            }
+        }
+        Ok(out)
+    }
+
+    /// [`threshold_pairs_with`](ScapeIndex::threshold_pairs_with) with
+    /// the answer grouped by pivot node: `(node_index, pairs)` per pivot
+    /// that contributed at least one pair, in pivot order. Both paths
+    /// share the same per-node scan, so concatenating the groups
+    /// reproduces the flat answer exactly — and a sharded deployment can
+    /// splice groups from several indexes in global pivot order to
+    /// reproduce the *global* flat answer bit-for-bit.
+    ///
+    /// # Errors
+    /// [`ScapeError::MeasureNotIndexed`] or [`ScapeError::Cancelled`].
+    pub fn threshold_pairs_grouped(
+        &self,
+        measure: PairwiseMeasure,
+        op: ThresholdOp,
+        tau: f64,
+        cancel: &dyn Fn() -> bool,
+    ) -> Result<Vec<(usize, Vec<SequencePair>)>, ScapeError> {
+        let (nodes, slot) = self.pair_nodes(measure)?;
+        let mut out = Vec::new();
+        for (q, node) in nodes.iter().enumerate() {
+            if cancel() {
+                return Err(ScapeError::Cancelled);
+            }
+            let mut chunk = Vec::new();
+            match slot {
+                Some(slot) => derived_threshold(node, slot, op, tau, &mut chunk),
+                None => node_threshold(node, op, tau, &mut chunk),
+            }
+            if !chunk.is_empty() {
+                out.push((q, chunk));
             }
         }
         Ok(out)
@@ -143,28 +151,49 @@ impl ScapeIndex {
         }
         let (nodes, slot) = self.pair_nodes(measure)?;
         let mut out = Vec::new();
-        match slot {
-            Some(slot) => {
-                for node in nodes {
-                    if cancel() {
-                        return Err(ScapeError::Cancelled);
-                    }
-                    derived_range(node, slot, tau_l, tau_u, &mut out);
-                }
+        for node in nodes {
+            if cancel() {
+                return Err(ScapeError::Cancelled);
             }
-            None => {
-                for node in nodes {
-                    if cancel() {
-                        return Err(ScapeError::Cancelled);
-                    }
-                    if node.alpha_norm > 0.0 {
-                        let lo = Bound::Excluded(tau_l / node.alpha_norm);
-                        let hi = Bound::Excluded(tau_u / node.alpha_norm);
-                        out.extend(node.tree.range(lo, hi).map(|(_, sn)| sn.pair));
-                    } else if tau_l < 0.0 && 0.0 < tau_u {
-                        out.extend(node.tree.iter().map(|(_, sn)| sn.pair));
-                    }
-                }
+            match slot {
+                Some(slot) => derived_range(node, slot, tau_l, tau_u, &mut out),
+                None => node_range(node, tau_l, tau_u, &mut out),
+            }
+        }
+        Ok(out)
+    }
+
+    /// [`range_pairs_with`](ScapeIndex::range_pairs_with) grouped by
+    /// pivot node; see
+    /// [`threshold_pairs_grouped`](ScapeIndex::threshold_pairs_grouped)
+    /// for the splice-in-pivot-order contract.
+    ///
+    /// # Errors
+    /// [`ScapeError::MeasureNotIndexed`], [`ScapeError::EmptyRange`], or
+    /// [`ScapeError::Cancelled`].
+    pub fn range_pairs_grouped(
+        &self,
+        measure: PairwiseMeasure,
+        tau_l: f64,
+        tau_u: f64,
+        cancel: &dyn Fn() -> bool,
+    ) -> Result<Vec<(usize, Vec<SequencePair>)>, ScapeError> {
+        if tau_l > tau_u {
+            return Err(ScapeError::EmptyRange);
+        }
+        let (nodes, slot) = self.pair_nodes(measure)?;
+        let mut out = Vec::new();
+        for (q, node) in nodes.iter().enumerate() {
+            if cancel() {
+                return Err(ScapeError::Cancelled);
+            }
+            let mut chunk = Vec::new();
+            match slot {
+                Some(slot) => derived_range(node, slot, tau_l, tau_u, &mut chunk),
+                None => node_range(node, tau_l, tau_u, &mut chunk),
+            }
+            if !chunk.is_empty() {
+                out.push((q, chunk));
             }
         }
         Ok(out)
@@ -363,6 +392,104 @@ impl ScapeIndex {
             out.extend(node.tree.range(lo, hi).map(|(_, v)| *v));
         }
         Ok(out)
+    }
+
+    /// [`threshold_series`](ScapeIndex::threshold_series) with the tree
+    /// keys retained, grouped per cluster node: element `l` holds the
+    /// matching `(ξ, series)` entries of cluster `l` in tree order.
+    ///
+    /// Every shard of a sharded deployment shares the cluster model, so
+    /// a cluster's ξ keys are comparable across shards; k-way merging
+    /// shard lists by `(ξ, series)` reproduces the global tree order
+    /// (equal-ξ runs are series-ascending by construction).
+    ///
+    /// # Errors
+    /// [`ScapeError::MeasureNotIndexed`] if the measure was not built.
+    pub fn threshold_series_keyed(
+        &self,
+        measure: LocationMeasure,
+        op: ThresholdOp,
+        tau: f64,
+    ) -> Result<Vec<Vec<(f64, SeriesId)>>, ScapeError> {
+        let nodes = self.loc[loc_tag(measure)]
+            .as_ref()
+            .ok_or(ScapeError::MeasureNotIndexed {
+                measure: measure.name(),
+            })?;
+        let mut out = Vec::with_capacity(nodes.len());
+        for node in nodes {
+            let tau_p = tau / node.alpha_norm;
+            let (lo, hi) = match op {
+                ThresholdOp::Greater => (Bound::Excluded(tau_p), Bound::Unbounded),
+                ThresholdOp::Less => (Bound::Unbounded, Bound::Excluded(tau_p)),
+            };
+            out.push(node.tree.range(lo, hi).map(|(k, v)| (k, *v)).collect());
+        }
+        Ok(out)
+    }
+
+    /// [`range_series`](ScapeIndex::range_series) with keys retained,
+    /// grouped per cluster node; see
+    /// [`threshold_series_keyed`](ScapeIndex::threshold_series_keyed).
+    ///
+    /// # Errors
+    /// [`ScapeError::MeasureNotIndexed`] or [`ScapeError::EmptyRange`].
+    pub fn range_series_keyed(
+        &self,
+        measure: LocationMeasure,
+        tau_l: f64,
+        tau_u: f64,
+    ) -> Result<Vec<Vec<(f64, SeriesId)>>, ScapeError> {
+        if tau_l > tau_u {
+            return Err(ScapeError::EmptyRange);
+        }
+        let nodes = self.loc[loc_tag(measure)]
+            .as_ref()
+            .ok_or(ScapeError::MeasureNotIndexed {
+                measure: measure.name(),
+            })?;
+        let mut out = Vec::with_capacity(nodes.len());
+        for node in nodes {
+            let lo = Bound::Excluded(tau_l / node.alpha_norm);
+            let hi = Bound::Excluded(tau_u / node.alpha_norm);
+            out.push(node.tree.range(lo, hi).map(|(k, v)| (k, *v)).collect());
+        }
+        Ok(out)
+    }
+}
+
+/// Per-node MET scan of a T-measure pivot (shared by the flat and
+/// grouped entry points so they emit identical sequences). Modified
+/// threshold τ' = τ/‖α‖ (Sec. 5.2); zero-α pivots store ξ = 0 for a
+/// reconstructed value of 0.
+fn node_threshold(node: &PairPivotNode, op: ThresholdOp, tau: f64, out: &mut Vec<SequencePair>) {
+    if node.alpha_norm > 0.0 {
+        let tau_p = tau / node.alpha_norm;
+        let (lo, hi) = match op {
+            ThresholdOp::Greater => (Bound::Excluded(tau_p), Bound::Unbounded),
+            ThresholdOp::Less => (Bound::Unbounded, Bound::Excluded(tau_p)),
+        };
+        out.extend(node.tree.range(lo, hi).map(|(_, sn)| sn.pair));
+    } else {
+        // Every stored value is exactly 0.
+        let include = match op {
+            ThresholdOp::Greater => 0.0 > tau,
+            ThresholdOp::Less => 0.0 < tau,
+        };
+        if include {
+            out.extend(node.tree.iter().map(|(_, sn)| sn.pair));
+        }
+    }
+}
+
+/// Per-node MER scan of a T-measure pivot; twin of [`node_threshold`].
+fn node_range(node: &PairPivotNode, tau_l: f64, tau_u: f64, out: &mut Vec<SequencePair>) {
+    if node.alpha_norm > 0.0 {
+        let lo = Bound::Excluded(tau_l / node.alpha_norm);
+        let hi = Bound::Excluded(tau_u / node.alpha_norm);
+        out.extend(node.tree.range(lo, hi).map(|(_, sn)| sn.pair));
+    } else if tau_l < 0.0 && 0.0 < tau_u {
+        out.extend(node.tree.iter().map(|(_, sn)| sn.pair));
     }
 }
 

@@ -12,6 +12,7 @@ use affinity_core::symex::AffineSet;
 use affinity_data::DataMatrix;
 use affinity_ql::{CancelToken, QlError, QueryOutput, Session};
 use affinity_scape::ScapeIndex;
+use affinity_shard::ShardedModel;
 use affinity_stream::{Model, PersistedModel};
 use parking_lot::RwLock;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -27,17 +28,28 @@ pub struct ModelEpoch {
     /// Declared first so it drops before the `Arc` it borrows from.
     ///
     /// The `'static` lifetime is forged: the session actually borrows
-    /// `*self.affine`. It is sound because (a) `affine` is pinned on the
-    /// heap by its `Arc` and never replaced for the life of `self`, (b)
-    /// field order drops the session before the `Arc`, and (c) the field
-    /// is private and no API hands out a `&Session` that could outlive
-    /// `self`.
+    /// the model inside `self.model`. It is sound because (a) the
+    /// borrow target is pinned on the heap by its `Arc` and never
+    /// replaced for the life of `self`, (b) field order drops the
+    /// session before the `Arc`, and (c) the field is private and no
+    /// API hands out a `&Session` that could outlive `self`.
     session: Session<'static>,
     /// Keeps the session's borrow target alive; never swapped.
-    affine: Arc<AffineSet>,
+    model: EpochModel,
     epoch_id: u64,
     built_at: u64,
     poisoned: AtomicBool,
+}
+
+/// The heap-pinned model a frozen session borrows from.
+enum EpochModel {
+    /// Monolithic epoch: the session borrows the affine set.
+    Global(Arc<AffineSet>),
+    /// Sharded epoch: the session borrows the merge layer. The shard
+    /// `Arc`s inside are shared with the streaming engine, so an epoch
+    /// republishes only the shards that actually changed — untouched
+    /// shards keep their identity across epochs.
+    Sharded(Arc<ShardedModel>),
 }
 
 // Compile-time proof the forged-'static session still crosses threads
@@ -80,7 +92,38 @@ impl ModelEpoch {
         let session = Session::from_parts(data, affine_ref, index, labels)?;
         Ok(Arc::new(ModelEpoch {
             session,
-            affine,
+            model: EpochModel::Global(affine),
+            epoch_id,
+            built_at,
+            poisoned: AtomicBool::new(false),
+        }))
+    }
+
+    /// Freeze a sharded model into an epoch. The `Arc<ShardedModel>` is
+    /// typically a cheap clone of a sharded streaming engine's current
+    /// model: the shard `Arc`s inside are shared, so consecutive epochs
+    /// after a delta refresh republish **only** the shards that were
+    /// rebuilt ([`shard_versions`](ModelEpoch::shard_versions) exposes
+    /// the per-shard identities for the ledger tests).
+    ///
+    /// `labels` may be empty to auto-generate `S0..S{n-1}`.
+    ///
+    /// # Errors
+    /// [`QlError::Engine`] on a label/series-count mismatch.
+    pub fn from_sharded(
+        model: Arc<ShardedModel>,
+        labels: Vec<String>,
+        epoch_id: u64,
+        built_at: u64,
+    ) -> Result<Arc<Self>, QlError> {
+        // SAFETY: see the `session` field docs — the borrow target is
+        // heap-pinned by `model`, which outlives `session` by field
+        // order and is never mutated or replaced.
+        let model_ref: &'static ShardedModel = unsafe { &*Arc::as_ptr(&model) };
+        let session = Session::from_sharded(model_ref, labels)?;
+        Ok(Arc::new(ModelEpoch {
+            session,
+            model: EpochModel::Sharded(model),
             epoch_id,
             built_at,
             poisoned: AtomicBool::new(false),
@@ -154,7 +197,24 @@ impl ModelEpoch {
 
     /// Number of series this epoch answers over.
     pub fn series_count(&self) -> usize {
-        self.affine.series_count()
+        match &self.model {
+            EpochModel::Global(affine) => affine.series_count(),
+            EpochModel::Sharded(model) => model.series_count(),
+        }
+    }
+
+    /// The sharded model behind this epoch, when there is one — lets
+    /// publication tests assert per-shard `Arc` identity across epochs.
+    pub fn sharded(&self) -> Option<&ShardedModel> {
+        match &self.model {
+            EpochModel::Global(_) => None,
+            EpochModel::Sharded(model) => Some(model),
+        }
+    }
+
+    /// Per-shard refresh versions (sharded epochs only).
+    pub fn shard_versions(&self) -> Option<Vec<u64>> {
+        self.sharded().map(ShardedModel::versions)
     }
 
     /// Mark this epoch as poisoned: every subsequent [`execute`]

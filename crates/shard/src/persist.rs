@@ -1,0 +1,421 @@
+//! Crash-safe persistence codecs for the sharded streaming engine.
+//!
+//! One directory holds one plan file plus one file per shard:
+//!
+//! * `shardplan.snap` — the commit point: engine counters, the fixed
+//!   series → shard plan, the reference matrix (drift anchor of the
+//!   last full rebuild), the live window, and the **expected version**
+//!   of every shard file;
+//! * `shard-<i>.snap` — one per shard: its id, version, global pivot
+//!   ordinals, its partition of the affine set, and its SCAPE index.
+//!
+//! Every refresh writes the changed shard files *first* and the plan
+//! file *last* (each through the storage crate's staged-write → fsync →
+//! rename protocol), so the plan file's expected-version vector is the
+//! admission check: a shard file is used on resume only if it decodes
+//! cleanly **and** carries the version the plan file promises. Anything
+//! else — torn bytes, a stale or over-new version, a missing file — is
+//! classified damaged, and recovery heals *only that shard* from the
+//! plan file's reference + window matrices while the clean shards are
+//! adopted byte-for-byte.
+//!
+//! This module is pure codec + classification: panic-free on arbitrary
+//! bytes (decoders return typed errors, never index unchecked), with
+//! all orchestration (rebuild, heal, re-arm) in `refresh.rs`.
+
+use crate::error::ShardError;
+use crate::plan::ShardPlan;
+use affinity_core::persist::{ByteReader, ByteWriter, DecodeError};
+use affinity_core::symex::AffineSet;
+use affinity_data::DataMatrix;
+use affinity_scape::{measure_from_tag, ScapeIndex};
+use affinity_storage::{PersistError, Snapshot, SnapshotWriter};
+use std::path::{Path, PathBuf};
+
+/// Plan/commit-point filename inside a persistence directory.
+pub const PLAN_FILE: &str = "shardplan.snap";
+
+/// Path of shard `i`'s snapshot file inside `dir`.
+pub fn shard_file(dir: &Path, shard: usize) -> PathBuf {
+    dir.join(format!("shard-{shard}.snap"))
+}
+
+/// Path of the plan file inside `dir`.
+pub(crate) fn plan_file(dir: &Path) -> PathBuf {
+    dir.join(PLAN_FILE)
+}
+
+/// Plan-file section: engine metadata + expected shard versions.
+const SEC_PMETA: u32 = 1;
+/// Plan-file section: the series → shard assignment map.
+const SEC_PLAN: u32 = 2;
+/// Plan-file section: the reference matrix (last full rebuild).
+const SEC_REF: u32 = 3;
+/// Plan-file section: the live window matrix.
+const SEC_WIN: u32 = 4;
+
+/// Shard-file section: shard id, version, pivot ordinals.
+const SEC_SMETA: u32 = 1;
+/// Shard-file section: the shard's affine set ([`AffineSet::to_bytes`]).
+const SEC_AFFINE: u32 = 2;
+/// Shard-file section: the shard's index ([`ScapeIndex::to_bytes`]).
+const SEC_INDEX: u32 = 3;
+
+/// Version byte of the PMETA section payload.
+const PMETA_VERSION: u8 = 1;
+/// Version byte of the SMETA section payload.
+const SMETA_VERSION: u8 = 1;
+
+fn corrupt(msg: impl Into<String>) -> ShardError {
+    ShardError::Persist(PersistError::Corrupt(msg.into()))
+}
+
+/// Decoded PMETA section: counters and the admission vector.
+#[derive(Debug, Clone)]
+pub(crate) struct PlanMeta {
+    pub shards: usize,
+    pub series: usize,
+    pub width: usize,
+    pub ticks: u64,
+    pub ticks_at_last_refresh: u64,
+    pub refreshes: u64,
+    pub full_rebuilds: u64,
+    pub delta_refreshes: u64,
+    pub deltas_since_full: u64,
+    /// Version each `shard-<i>.snap` must carry to be admitted.
+    pub expected_versions: Vec<u64>,
+    /// Indexed-measure tags, for config cross-checks on resume.
+    pub measure_tags: Vec<u8>,
+}
+
+pub(crate) fn plan_meta_to_bytes(m: &PlanMeta) -> Vec<u8> {
+    let mut w = ByteWriter::with_capacity(128);
+    w.put_u8(PMETA_VERSION);
+    w.put_len(m.shards);
+    w.put_len(m.series);
+    w.put_len(m.width);
+    w.put_u64(m.ticks);
+    w.put_u64(m.ticks_at_last_refresh);
+    w.put_u64(m.refreshes);
+    w.put_u64(m.full_rebuilds);
+    w.put_u64(m.delta_refreshes);
+    w.put_u64(m.deltas_since_full);
+    w.put_len(m.expected_versions.len());
+    for &v in &m.expected_versions {
+        w.put_u64(v);
+    }
+    w.put_len(m.measure_tags.len());
+    for &t in &m.measure_tags {
+        w.put_u8(t);
+    }
+    w.into_vec()
+}
+
+pub(crate) fn plan_meta_from_bytes(bytes: &[u8]) -> Result<PlanMeta, DecodeError> {
+    let mut r = ByteReader::new(bytes);
+    let version = r.u8()?;
+    if version != PMETA_VERSION {
+        return Err(DecodeError::Corrupt(format!(
+            "unsupported plan meta version {version}"
+        )));
+    }
+    let shards = r.len()?;
+    let series = r.len()?;
+    let width = r.len()?;
+    let ticks = r.u64()?;
+    let ticks_at_last_refresh = r.u64()?;
+    let refreshes = r.u64()?;
+    let full_rebuilds = r.u64()?;
+    let delta_refreshes = r.u64()?;
+    let deltas_since_full = r.u64()?;
+    let version_count = r.checked_count(8, "expected shard version")?;
+    if version_count != shards {
+        return Err(DecodeError::Corrupt(format!(
+            "plan meta promises {shards} shards but {version_count} versions"
+        )));
+    }
+    let mut expected_versions = Vec::with_capacity(version_count);
+    for _ in 0..version_count {
+        expected_versions.push(r.u64()?);
+    }
+    let tag_count = r.checked_count(1, "measure tag")?;
+    let mut measure_tags = Vec::with_capacity(tag_count);
+    for _ in 0..tag_count {
+        let tag = r.u8()?;
+        measure_from_tag(tag)?; // must name a real measure
+        measure_tags.push(tag);
+    }
+    r.finish()?;
+    Ok(PlanMeta {
+        shards,
+        series,
+        width,
+        ticks,
+        ticks_at_last_refresh,
+        refreshes,
+        full_rebuilds,
+        delta_refreshes,
+        deltas_since_full,
+        expected_versions,
+        measure_tags,
+    })
+}
+
+fn plan_to_bytes(plan: &ShardPlan) -> Vec<u8> {
+    // afflint: allow(len-arith) -- encoder-side capacity hint over a live in-memory plan, not header-declared sizes
+    let mut w = ByteWriter::with_capacity(16 + 4 * plan.series_count());
+    w.put_len(plan.shards());
+    w.put_len(plan.series_count());
+    for &s in plan.assignments() {
+        w.put_u32(s);
+    }
+    w.into_vec()
+}
+
+fn plan_from_bytes(bytes: &[u8]) -> Result<ShardPlan, DecodeError> {
+    let mut r = ByteReader::new(bytes);
+    let shards = r.len()?;
+    let count = r.checked_count(4, "shard assignment")?;
+    let mut assignments = Vec::with_capacity(count);
+    for _ in 0..count {
+        assignments.push(r.u32()?);
+    }
+    r.finish()?;
+    ShardPlan::from_assignments(assignments, shards)
+        .map_err(|e| DecodeError::Corrupt(format!("persisted plan invalid: {e}")))
+}
+
+fn matrix_to_bytes(m: &DataMatrix) -> Vec<u8> {
+    let (n, s) = (m.series_count(), m.samples());
+    let mut w = ByteWriter::with_capacity(16);
+    w.put_len(n);
+    w.put_len(s);
+    for v in 0..n {
+        w.put_f64_slice(m.series(v));
+    }
+    w.into_vec()
+}
+
+fn matrix_from_bytes(bytes: &[u8]) -> Result<DataMatrix, DecodeError> {
+    let mut r = ByteReader::new(bytes);
+    let n = r.len()?;
+    let samples = r.len()?;
+    if n == 0 || samples == 0 {
+        return Err(DecodeError::Corrupt(format!(
+            "empty matrix ({n} × {samples})"
+        )));
+    }
+    let per = samples
+        .checked_mul(8)
+        .ok_or_else(|| DecodeError::Corrupt(format!("sample count {samples} overflows")))?;
+    let promised = n
+        .checked_mul(per)
+        .ok_or_else(|| DecodeError::Corrupt(format!("matrix {n} × {samples} overflows")))?;
+    if promised > r.remaining() {
+        return Err(DecodeError::Truncated {
+            needed: promised,
+            available: r.remaining(),
+        });
+    }
+    let mut series = Vec::with_capacity(n);
+    for _ in 0..n {
+        series.push(r.f64_vec(samples)?);
+    }
+    r.finish()?;
+    Ok(DataMatrix::from_series(series))
+}
+
+fn shard_meta_to_bytes(shard: usize, version: u64, ordinals: &[u32]) -> Vec<u8> {
+    // afflint: allow(len-arith) -- encoder-side capacity hint over a live in-memory ordinal list, not header-declared sizes
+    let mut w = ByteWriter::with_capacity(32 + 4 * ordinals.len());
+    w.put_u8(SMETA_VERSION);
+    w.put_len(shard);
+    w.put_u64(version);
+    w.put_len(ordinals.len());
+    for &g in ordinals {
+        w.put_u32(g);
+    }
+    w.into_vec()
+}
+
+fn shard_meta_from_bytes(bytes: &[u8]) -> Result<(usize, u64, Vec<u32>), DecodeError> {
+    let mut r = ByteReader::new(bytes);
+    let version = r.u8()?;
+    if version != SMETA_VERSION {
+        return Err(DecodeError::Corrupt(format!(
+            "unsupported shard meta version {version}"
+        )));
+    }
+    let shard = r.len()?;
+    let model_version = r.u64()?;
+    let count = r.checked_count(4, "pivot ordinal")?;
+    let mut ordinals = Vec::with_capacity(count);
+    for _ in 0..count {
+        ordinals.push(r.u32()?);
+    }
+    r.finish()?;
+    Ok((shard, model_version, ordinals))
+}
+
+/// Everything the plan file carries, decoded strictly (the plan file is
+/// the commit point — damage here is unrecoverable and reported as a
+/// typed error, never healed around).
+#[derive(Debug)]
+pub(crate) struct LoadedPlan {
+    pub meta: PlanMeta,
+    pub plan: ShardPlan,
+    pub reference: DataMatrix,
+    pub window: DataMatrix,
+    pub generation: u64,
+}
+
+/// Open and fully validate the plan file.
+pub(crate) fn load_plan_file(path: &Path) -> Result<LoadedPlan, ShardError> {
+    let snapshot = Snapshot::open(path)?;
+    let section = |id: u32, name: &str| {
+        snapshot
+            .section(id)
+            .ok_or_else(|| corrupt(format!("plan snapshot missing {name} section")))
+    };
+    let meta = plan_meta_from_bytes(section(SEC_PMETA, "meta")?)?;
+    let plan = plan_from_bytes(section(SEC_PLAN, "plan")?)?;
+    let reference = matrix_from_bytes(section(SEC_REF, "reference")?)?;
+    let window = matrix_from_bytes(section(SEC_WIN, "window")?)?;
+    if plan.shards() != meta.shards || plan.series_count() != meta.series {
+        return Err(corrupt("plan section disagrees with plan meta"));
+    }
+    if reference.series_count() != meta.series || reference.samples() != meta.width {
+        return Err(corrupt("reference section disagrees with plan meta"));
+    }
+    if window.series_count() != meta.series || window.samples() != meta.width {
+        return Err(corrupt("window section disagrees with plan meta"));
+    }
+    Ok(LoadedPlan {
+        meta,
+        plan,
+        reference,
+        window,
+        generation: snapshot.generation(),
+    })
+}
+
+/// A cleanly decoded, version-matching shard file.
+#[derive(Debug)]
+pub(crate) struct LoadedShard {
+    pub affine: AffineSet,
+    pub index: ScapeIndex,
+    pub ordinals: Vec<u32>,
+    pub version: u64,
+}
+
+/// Classification of one shard file on resume.
+#[derive(Debug)]
+pub(crate) enum ShardLoad {
+    /// Decoded cleanly and carries the plan file's expected version —
+    /// adopted byte-for-byte. Boxed: a loaded shard is orders of
+    /// magnitude larger than a damage reason.
+    Clean(Box<LoadedShard>),
+    /// Missing, torn, shape-inconsistent, or version-mismatched; the
+    /// string says why. Recovery heals this shard (and only this one).
+    Damaged(String),
+}
+
+/// Open shard `shard`'s file and classify it against the plan file's
+/// expectations. Never errors: *every* failure mode is a `Damaged`
+/// verdict, because a broken shard file is exactly the fault this
+/// format is designed to survive.
+pub(crate) fn load_shard_file(
+    path: &Path,
+    shard: usize,
+    expected_version: u64,
+    series: usize,
+    samples: usize,
+) -> ShardLoad {
+    match try_load_shard_file(path, shard, expected_version, series, samples) {
+        Ok(loaded) => ShardLoad::Clean(Box::new(loaded)),
+        Err(e) => ShardLoad::Damaged(e.to_string()),
+    }
+}
+
+fn try_load_shard_file(
+    path: &Path,
+    shard: usize,
+    expected_version: u64,
+    series: usize,
+    samples: usize,
+) -> Result<LoadedShard, ShardError> {
+    let snapshot = Snapshot::open(path)?;
+    let section = |id: u32, name: &str| {
+        snapshot
+            .section(id)
+            .ok_or_else(|| corrupt(format!("shard snapshot missing {name} section")))
+    };
+    let (stored_shard, version, ordinals) = shard_meta_from_bytes(section(SEC_SMETA, "meta")?)?;
+    if stored_shard != shard {
+        return Err(corrupt(format!(
+            "file claims shard {stored_shard}, expected shard {shard}"
+        )));
+    }
+    if version != expected_version {
+        return Err(corrupt(format!(
+            "shard version {version} does not match the plan's expected {expected_version}"
+        )));
+    }
+    // Subset decode: a shard's affine set holds only the relationships
+    // whose pivot it owns, not all `n(n−1)/2`.
+    let affine = AffineSet::from_bytes_subset(section(SEC_AFFINE, "affine")?)?;
+    let index = ScapeIndex::from_bytes(section(SEC_INDEX, "index")?)?;
+    if affine.series_count() != series || affine.samples() != samples {
+        return Err(corrupt("shard affine section disagrees with plan meta"));
+    }
+    if ordinals.len() != affine.pivots().len() {
+        return Err(corrupt(format!(
+            "shard carries {} ordinals for {} pivots",
+            ordinals.len(),
+            affine.pivots().len()
+        )));
+    }
+    Ok(LoadedShard {
+        affine,
+        index,
+        ordinals,
+        version,
+    })
+}
+
+/// Atomically commit one shard's snapshot file.
+pub(crate) fn write_shard_file(
+    path: &Path,
+    shard: usize,
+    version: u64,
+    ordinals: &[u32],
+    affine: &AffineSet,
+    index: &ScapeIndex,
+    generation: u64,
+) -> Result<u64, ShardError> {
+    let mut writer = SnapshotWriter::new(generation);
+    writer
+        .section(SEC_SMETA, shard_meta_to_bytes(shard, version, ordinals))
+        .section(SEC_AFFINE, affine.to_bytes())
+        .section(SEC_INDEX, index.to_bytes());
+    Ok(writer.commit(path)?)
+}
+
+/// Atomically commit the plan file — the commit point of a persisted
+/// refresh; call only after every changed shard file is durable.
+pub(crate) fn write_plan_file(
+    path: &Path,
+    meta: &PlanMeta,
+    plan: &ShardPlan,
+    reference: &DataMatrix,
+    window: &DataMatrix,
+    generation: u64,
+) -> Result<u64, ShardError> {
+    let mut writer = SnapshotWriter::new(generation);
+    writer
+        .section(SEC_PMETA, plan_meta_to_bytes(meta))
+        .section(SEC_PLAN, plan_to_bytes(plan))
+        .section(SEC_REF, matrix_to_bytes(reference))
+        .section(SEC_WIN, matrix_to_bytes(window));
+    Ok(writer.commit(path)?)
+}

@@ -1,0 +1,857 @@
+//! The sharded streaming engine: sliding-window ingestion where only
+//! drifted shards rebuild.
+//!
+//! The ingestion contract mirrors `affinity_stream::StreamingEngine`
+//! (same [`StreamingConfig`], same warm-up / due-refresh cadence, same
+//! [`DeltaPolicy`] semantics), but the model is a [`ShardedModel`] and
+//! a delta refresh replaces **only the shards holding drifted work**:
+//! untouched shards keep their `Arc` identity, so a downstream epoch
+//! cell can republish per shard and one shard's refresh never
+//! invalidates the others' pinned snapshots.
+//!
+//! The shard plan is chosen once, at the first full build (cut along
+//! that build's cluster boundaries), and held fixed for the engine's
+//! lifetime — including across later full rebuilds and across restarts
+//! (it is persisted verbatim). A fixed plan is what makes per-shard
+//! versioning, persistence admission, and "only drifted shards
+//! rebuild" well-defined.
+//!
+//! Drift is detected by recomputing each series' in-window mean and
+//! variance directly from the window at refresh time (no incremental
+//! rolling state). That costs `O(n·m)` per due refresh — noise against
+//! the refit work — and buys restart determinism: a resumed engine
+//! sees exactly the statistics the live one would have, because there
+//! is no accumulated floating-point state to reconstruct.
+//!
+//! Persistence is snapshot-only (no journal): every persisted refresh
+//! rewrites the changed shard files and then the plan file (the commit
+//! point). Crash loss is bounded by the ticks since the last persisted
+//! refresh and recovery heals torn shards individually — see
+//! [`ShardedStreamingEngine::resume`].
+
+use crate::build::{shard_pivot_stats, ShardView};
+use crate::error::ShardError;
+use crate::model::{ShardModel, ShardedModel, SharedCore};
+use crate::persist::{
+    load_plan_file, load_shard_file, plan_file, shard_file, write_plan_file, write_shard_file,
+    PlanMeta, ShardLoad,
+};
+use crate::plan::ShardPlan;
+use affinity_core::affine::{fit_series, solve_relationship_pinv, PivotPair, SeriesRelationship};
+use affinity_core::hash::FxHashMap;
+use affinity_core::symex::{pivot_pseudo_inverse, AffineSet, Symex};
+use affinity_data::{DataMatrix, SeriesId};
+use affinity_linalg::{vector, Matrix};
+use affinity_par::ThreadPool;
+use affinity_scape::{measure_tag, PairDelta, ScapeDelta, SeriesDelta};
+use affinity_storage::PersistError;
+use affinity_stream::{DeltaPolicy, SlidingWindow, StreamingConfig};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// One shard's slice of the heal substrate: its partitioned affine set
+/// plus the global pivot ordinals it emits from. `None` once taken.
+type HealPart = Option<(AffineSet, Vec<u32>)>;
+
+/// What a policy-driven sharded refresh actually did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardRefreshKind {
+    /// Full global rebuild (AFCLST + SYMEX) re-partitioned into every
+    /// shard; all shard versions advance.
+    Full,
+    /// Delta maintenance: re-fits routed to their owning shards; only
+    /// `touched_shards` were replaced, the rest kept their `Arc`s.
+    Delta {
+        /// Series whose statistics left the tolerance band.
+        drifted_series: usize,
+        /// Pairwise relationships re-fitted across all touched shards.
+        refit_pairs: usize,
+        /// Shards rebuilt (others are structurally shared with the
+        /// previous model).
+        touched_shards: usize,
+    },
+}
+
+/// What recovery found on disk and which shards it had to heal. Loss
+/// is bounded and reported, never silent: a healed shard's fits are a
+/// deterministic delta refresh at the persist point (see
+/// [`ShardedStreamingEngine::resume`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardRecovery {
+    /// Generation counter of the plan file that anchored recovery.
+    pub generation: u64,
+    /// `(shard, why its file was rejected)` for every shard that was
+    /// healed from the plan file's reference + window matrices.
+    pub healed: Vec<(usize, String)>,
+}
+
+impl ShardRecovery {
+    /// Ids of the healed shards, ascending.
+    pub fn healed_shards(&self) -> Vec<usize> {
+        self.healed.iter().map(|&(i, _)| i).collect()
+    }
+}
+
+/// Streaming ingestion over a sharded model with per-shard refresh.
+pub struct ShardedStreamingEngine {
+    cfg: StreamingConfig,
+    shards_k: usize,
+    /// Fixed after the first full build; persisted verbatim.
+    plan: Option<ShardPlan>,
+    window: SlidingWindow,
+    model: Option<ShardedModel>,
+    /// Reference snapshot of the last full rebuild: the drift anchor
+    /// and (with the window) the heal substrate on resume.
+    ref_data: Option<DataMatrix>,
+    ref_means: Vec<f64>,
+    ref_vars: Vec<f64>,
+    /// One worker pool for the engine's lifetime, shared by every
+    /// rebuild and every shard's engine.
+    pool: Arc<ThreadPool>,
+    ticks_at_last_refresh: u64,
+    refreshes: u64,
+    full_rebuilds: u64,
+    delta_refreshes: u64,
+    deltas_since_full: u64,
+    /// Snapshot generation counter while persistence is armed.
+    generation: u64,
+    persist_dir: Option<PathBuf>,
+}
+
+impl std::fmt::Debug for ShardedStreamingEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedStreamingEngine")
+            .field("shards", &self.shards_k)
+            .field("series", &self.window.series_count())
+            .field("ticks", &self.window.ticks())
+            .field("refreshes", &self.refreshes)
+            .finish()
+    }
+}
+
+impl ShardedStreamingEngine {
+    /// Create an engine for `series` series split into `shards` shards
+    /// (the plan is cut along the first full build's cluster
+    /// boundaries).
+    ///
+    /// # Panics
+    /// Panics if `series`, `shards`, or the configured window is zero.
+    pub fn new(series: usize, shards: usize, cfg: StreamingConfig) -> Self {
+        assert!(shards >= 1, "a sharded engine needs at least one shard");
+        let window = SlidingWindow::new(series, cfg.window);
+        let pool = Arc::new(ThreadPool::new(cfg.symex.threads));
+        ShardedStreamingEngine {
+            cfg,
+            shards_k: shards,
+            plan: None,
+            window,
+            model: None,
+            ref_data: None,
+            ref_means: Vec::new(),
+            ref_vars: Vec::new(),
+            pool,
+            ticks_at_last_refresh: 0,
+            refreshes: 0,
+            full_rebuilds: 0,
+            delta_refreshes: 0,
+            deltas_since_full: 0,
+            generation: 0,
+            persist_dir: None,
+        }
+    }
+
+    /// Like [`ShardedStreamingEngine::new`] but with an explicit plan
+    /// (e.g. an adversarial cut in the equivalence oracle, or a plan
+    /// carried over from another deployment).
+    ///
+    /// # Panics
+    /// Panics if the configured window is zero.
+    pub fn with_plan(plan: ShardPlan, cfg: StreamingConfig) -> Self {
+        let mut engine = Self::new(plan.series_count(), plan.shards(), cfg);
+        engine.plan = Some(plan);
+        engine
+    }
+
+    /// Ingest one tick (one sample per series). Returns `true` if the
+    /// model was refreshed as a result.
+    ///
+    /// # Errors
+    /// Propagates clustering/relationship/index/persistence errors from
+    /// a refresh attempt.
+    ///
+    /// # Panics
+    /// Panics on tick arity mismatch.
+    pub fn push(&mut self, tick: &[f64]) -> Result<bool, ShardError> {
+        self.window.push(tick);
+        if !self.window.is_warm() {
+            return Ok(false);
+        }
+        let due = match self.model {
+            None => true,
+            // Saturating: a resumed engine's last-refresh tick can sit
+            // ahead of the restored window (persisted refreshes outlive
+            // unpersisted ticks).
+            Some(_) => {
+                self.window
+                    .ticks()
+                    .saturating_sub(self.ticks_at_last_refresh)
+                    >= self.cfg.refresh_every
+            }
+        };
+        if due {
+            self.refresh_auto()?;
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    /// Refresh per the configured policy: shard-routed delta
+    /// maintenance when drift is within tolerance, full rebuild
+    /// otherwise (or when no [`DeltaPolicy`] / no model exists yet).
+    ///
+    /// # Errors
+    /// Propagates clustering/relationship/index/persistence errors.
+    ///
+    /// # Panics
+    /// Panics if the window is not warm yet.
+    pub fn refresh_auto(&mut self) -> Result<ShardRefreshKind, ShardError> {
+        if let (Some(_), Some(policy)) = (&self.model, &self.cfg.delta) {
+            let policy = policy.clone();
+            if self.deltas_since_full < policy.full_every {
+                let drifted = self.drifted_series(&policy);
+                let n = self.window.series_count();
+                if (drifted.len() as f64) <= policy.max_drift_fraction * n as f64 {
+                    match self.refresh_delta(&drifted) {
+                        Ok((refit_pairs, touched_shards)) => {
+                            return Ok(ShardRefreshKind::Delta {
+                                drifted_series: drifted.len(),
+                                refit_pairs,
+                                touched_shards,
+                            });
+                        }
+                        // A failed patch can leave a shard's affine set
+                        // and index desynced; a full rebuild re-derives
+                        // every shard, so recover instead of wedging.
+                        Err(ShardError::Scape(_)) => {}
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
+        }
+        self.refresh()?;
+        Ok(ShardRefreshKind::Full)
+    }
+
+    /// Force a full rebuild: AFCLST + SYMEX over the current window,
+    /// re-partitioned along the fixed plan (chosen now if this is the
+    /// first build), every shard replaced with its version advanced.
+    ///
+    /// # Errors
+    /// Propagates clustering/relationship/index/persistence errors.
+    ///
+    /// # Panics
+    /// Panics if the window is not warm yet.
+    pub fn refresh(&mut self) -> Result<(), ShardError> {
+        assert!(self.window.is_warm(), "cannot refresh before warm-up");
+        let data = self.window.snapshot();
+        let mut params = self.cfg.symex.clone();
+        // Clamp k to the series count (small deployments).
+        params.afclst.k = params
+            .afclst
+            .k
+            .min(data.series_count().saturating_sub(1))
+            .max(1);
+        let affine = Symex::with_pool(params, Arc::clone(&self.pool)).run(&data)?;
+        let plan = match &self.plan {
+            Some(p) => p.clone(),
+            None => {
+                let p = ShardPlan::along_clusters(affine.clusters(), self.shards_k);
+                self.plan = Some(p.clone());
+                p
+            }
+        };
+        let mut model = ShardedModel::from_global(
+            &data,
+            &affine,
+            plan,
+            &self.cfg.indexed,
+            Arc::clone(&self.pool),
+        )?;
+        // Version continuity across rebuilds: a full rebuild touches
+        // every shard, so every version advances past its predecessor.
+        if let Some(old) = &self.model {
+            for (fresh, prev) in model.shards.iter_mut().zip(&old.shards) {
+                Arc::get_mut(fresh)
+                    .expect("freshly built shard is unshared")
+                    .version = prev.version + 1;
+            }
+        }
+        let n = data.series_count();
+        self.ref_means = (0..n).map(|v| vector::mean(data.series(v))).collect();
+        self.ref_vars = (0..n).map(|v| vector::variance(data.series(v))).collect();
+        self.ref_data = Some(data);
+        self.model = Some(model);
+        self.ticks_at_last_refresh = self.window.ticks();
+        self.refreshes += 1;
+        self.full_rebuilds += 1;
+        self.deltas_since_full = 0;
+        if self.persist_dir.is_some() {
+            let all: Vec<usize> = (0..self.shards_k).collect();
+            self.write_checkpoint(&all)?;
+        }
+        Ok(())
+    }
+
+    /// Series whose in-window statistics (recomputed fresh — see the
+    /// module docs) left the policy's tolerance band relative to the
+    /// reference snapshot.
+    fn drifted_series(&self, policy: &DeltaPolicy) -> Vec<SeriesId> {
+        (0..self.window.series_count())
+            .filter(|&v| {
+                let mean0 = self.ref_means[v];
+                let var0 = self.ref_vars[v];
+                let sd0 = var0.sqrt().max(1e-12);
+                let s = self.window.series(v);
+                let mean_shift = (vector::mean(s) - mean0).abs() / sd0;
+                let var_shift = (vector::variance(s) - var0).abs() / var0.max(1e-12);
+                mean_shift > policy.drift_tolerance || var_shift > policy.drift_tolerance
+            })
+            .collect()
+    }
+
+    /// Delta refresh: re-fit the relationships of `drifted` series
+    /// against their retained pivots over the **current** window —
+    /// exactly the arithmetic of the unsharded delta path — with every
+    /// re-fit routed to the shard owning it. Returns `(re-fitted
+    /// pairs, touched shards)`; untouched shards keep their `Arc`s.
+    ///
+    /// # Errors
+    /// Index patch or persistence errors; on a patch error call
+    /// [`ShardedStreamingEngine::refresh`] to restore consistency
+    /// ([`ShardedStreamingEngine::refresh_auto`] does so
+    /// automatically).
+    ///
+    /// # Panics
+    /// Panics if no model exists yet.
+    pub fn refresh_delta(&mut self, drifted: &[SeriesId]) -> Result<(usize, usize), ShardError> {
+        let model = self.model.as_mut().expect("delta refresh requires a model");
+        let current = self.window.snapshot();
+        let mut is_drifted = vec![false; current.series_count()];
+        for &v in drifted {
+            is_drifted[v] = true;
+        }
+        // One pseudo-inverse per touched pivot; pivots are disjoint
+        // across shards, so one cache serves all of them.
+        let mut pinv_cache: FxHashMap<PivotPair, Matrix> = FxHashMap::default();
+        let mut refit_pairs = 0usize;
+        let mut touched = Vec::new();
+        let mut replacements: Vec<(usize, Arc<ShardModel>)> = Vec::new();
+        for (i, shard) in model.shards.iter().enumerate() {
+            let owned_drifted: Vec<SeriesId> = shard
+                .owned
+                .iter()
+                .map(|&v| v as usize)
+                .filter(|&v| is_drifted[v])
+                .collect();
+            let has_pair_work = shard
+                .affine
+                .relationships()
+                .iter()
+                .any(|rel| is_drifted[rel.pair.u] || is_drifted[rel.pair.v]);
+            if owned_drifted.is_empty() && !has_pair_work {
+                continue;
+            }
+            let mut affine = (*shard.affine).clone();
+            let mut index = shard.index.clone();
+            let mut delta = ScapeDelta::default();
+            let mut new_series = Vec::with_capacity(owned_drifted.len());
+            // Per-series relationships: only this shard's owned series
+            // (its location trees hold exactly those; non-owner copies
+            // of the fit table are stale by design — reads route by
+            // owner).
+            for &v in &owned_drifted {
+                let old = *affine.series_relationship(v);
+                let center = affine.clusters().center(old.cluster);
+                let (c, d) = fit_series(center, current.series(v));
+                delta.series.push(SeriesDelta {
+                    series: v,
+                    cluster: old.cluster,
+                    old: (old.c, old.d),
+                    new: (c, d),
+                });
+                new_series.push(SeriesRelationship {
+                    series: v,
+                    cluster: old.cluster,
+                    c,
+                    d,
+                });
+            }
+            // Pairwise relationships touching a drifted series, re-fit
+            // against their retained pivot over the current window.
+            let mut new_rels = Vec::new();
+            for rel in affine.relationships() {
+                if !(is_drifted[rel.pair.u] || is_drifted[rel.pair.v]) {
+                    continue;
+                }
+                let pivot = rel.pivot;
+                let pinv = pinv_cache.entry(pivot).or_insert_with(|| {
+                    pivot_pseudo_inverse(
+                        current.series(pivot.common),
+                        affine.clusters().center(pivot.cluster),
+                    )
+                });
+                let (a, b) = solve_relationship_pinv(
+                    pinv,
+                    current.series(rel.common),
+                    current.series(rel.pair.other(rel.common)),
+                );
+                delta.pairs.push(PairDelta {
+                    pair: rel.pair,
+                    pivot,
+                    old_beta: rel.beta(),
+                    new_beta: [a[0][1], a[1][1], b[1]],
+                });
+                new_rels.push(affinity_core::affine::AffineRelationship {
+                    pair: rel.pair,
+                    pivot,
+                    common: rel.common,
+                    a,
+                    b,
+                });
+            }
+            refit_pairs += new_rels.len();
+            for rel in new_rels {
+                affine
+                    .replace_relationship(rel)
+                    .expect("refit keeps pair and pivot");
+            }
+            for sr in new_series {
+                affine
+                    .replace_series_relationship(sr)
+                    .expect("refit keeps series and cluster");
+            }
+            if !delta.is_empty() {
+                index.apply_delta(&delta)?;
+            }
+            // The engine is rebuilt from the retained pivot statistics
+            // (the reference anchor is kept by a delta refresh, so the
+            // statistics are unchanged) over the patched affine set.
+            let fresh = ShardModel::assemble(
+                affine,
+                index,
+                shard.stats.clone(),
+                shard.ordinals.clone(),
+                shard.owned.clone(),
+                &model.shared.variances,
+                &model.shared.self_dots,
+                Arc::clone(&model.shared.pool),
+                shard.version + 1,
+            )?;
+            touched.push(i);
+            replacements.push((i, Arc::new(fresh)));
+        }
+        for (i, fresh) in replacements {
+            model.shards[i] = fresh;
+        }
+        self.ticks_at_last_refresh = self.window.ticks();
+        self.refreshes += 1;
+        self.delta_refreshes += 1;
+        self.deltas_since_full += 1;
+        if self.persist_dir.is_some() {
+            self.write_checkpoint(&touched)?;
+        }
+        Ok((refit_pairs, touched.len()))
+    }
+
+    /// The current sharded model, if the warm-up has completed.
+    pub fn model(&self) -> Option<&ShardedModel> {
+        self.model.as_ref()
+    }
+
+    /// The live window.
+    pub fn window(&self) -> &SlidingWindow {
+        &self.window
+    }
+
+    /// The fixed plan, once the first full build has chosen it.
+    pub fn plan(&self) -> Option<&ShardPlan> {
+        self.plan.as_ref()
+    }
+
+    /// Number of model refreshes so far (full + delta).
+    pub fn refreshes(&self) -> u64 {
+        self.refreshes
+    }
+
+    /// Number of full rebuilds so far.
+    pub fn full_rebuilds(&self) -> u64 {
+        self.full_rebuilds
+    }
+
+    /// Number of delta refreshes so far.
+    pub fn delta_refreshes(&self) -> u64 {
+        self.delta_refreshes
+    }
+
+    // --- Persistence -----------------------------------------------
+
+    /// Arm snapshot persistence: write the current model + window into
+    /// `dir` (created if needed). From here on every refresh rewrites
+    /// its changed shard files and then the plan file (the commit
+    /// point). There is no journal: crash loss is bounded by the ticks
+    /// since the last persisted refresh, and that bound is this
+    /// design's documented trade — per-shard files buy per-shard heal,
+    /// a journal would buy tick-level replay.
+    ///
+    /// # Errors
+    /// [`ShardError::Persist`] if no model exists yet or a commit
+    /// fails.
+    pub fn persist_to(&mut self, dir: impl AsRef<Path>) -> Result<(), ShardError> {
+        if self.model.is_none() {
+            return Err(ShardError::Persist(PersistError::Corrupt(
+                "cannot persist before the first model build".into(),
+            )));
+        }
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir).map_err(PersistError::Io)?;
+        self.persist_dir = Some(dir);
+        let all: Vec<usize> = (0..self.shards_k).collect();
+        self.write_checkpoint(&all)
+    }
+
+    /// Write `shards_to_write`'s files, then the plan file. Bumps the
+    /// generation counter; both writes are individually atomic and the
+    /// plan file is the commit point.
+    fn write_checkpoint(&mut self, shards_to_write: &[usize]) -> Result<(), ShardError> {
+        let Some(dir) = self.persist_dir.clone() else {
+            return Ok(());
+        };
+        let model = self
+            .model
+            .as_ref()
+            .expect("checkpoint requires a built model");
+        let reference = self
+            .ref_data
+            .as_ref()
+            .expect("checkpoint requires a reference snapshot");
+        let generation = self.generation + 1;
+        for &i in shards_to_write {
+            let shard = &model.shards[i];
+            write_shard_file(
+                &shard_file(&dir, i),
+                i,
+                shard.version,
+                &shard.ordinals,
+                &shard.affine,
+                &shard.index,
+                generation,
+            )?;
+        }
+        let meta = PlanMeta {
+            shards: self.shards_k,
+            series: self.window.series_count(),
+            width: self.window.width(),
+            ticks: self.window.ticks(),
+            ticks_at_last_refresh: self.ticks_at_last_refresh,
+            refreshes: self.refreshes,
+            full_rebuilds: self.full_rebuilds,
+            delta_refreshes: self.delta_refreshes,
+            deltas_since_full: self.deltas_since_full,
+            expected_versions: model.versions(),
+            measure_tags: self.cfg.indexed.iter().map(|&m| measure_tag(m)).collect(),
+        };
+        write_plan_file(
+            &plan_file(&dir),
+            &meta,
+            &model.shared.plan,
+            reference,
+            &self.window.snapshot(),
+            generation,
+        )?;
+        self.generation = generation;
+        Ok(())
+    }
+
+    /// Warm-restart from a persistence directory.
+    ///
+    /// The plan file is decoded strictly (it is the commit point; if it
+    /// is damaged there is nothing sound to resume from). Each shard
+    /// file is then admitted only if it decodes cleanly **and** carries
+    /// the version the plan file expects; every other shard is
+    /// **healed**: the global model is deterministically rebuilt from
+    /// the persisted reference matrix, partitioned along the persisted
+    /// plan, and the torn shard's slice has all its pair relationships
+    /// and owned series fits re-fitted against the persisted window —
+    /// i.e. the healed shard is a delta refresh at the persist point.
+    /// Clean shards are adopted byte-for-byte; healing one shard never
+    /// perturbs another.
+    ///
+    /// # Errors
+    /// Typed [`ShardError`] if the plan file is damaged or `cfg` does
+    /// not structurally match the persisted engine; never panics on
+    /// damaged bytes.
+    pub fn resume(
+        cfg: StreamingConfig,
+        dir: impl AsRef<Path>,
+    ) -> Result<(Self, ShardRecovery), ShardError> {
+        let dir = dir.as_ref().to_path_buf();
+        let loaded = load_plan_file(&plan_file(&dir))?;
+        if cfg.window != loaded.meta.width {
+            return Err(ShardError::Persist(PersistError::Corrupt(format!(
+                "config window {} != persisted window {}",
+                cfg.window, loaded.meta.width
+            ))));
+        }
+        let mut want: Vec<u8> = cfg.indexed.iter().map(|&m| measure_tag(m)).collect();
+        let mut have = loaded.meta.measure_tags.clone();
+        want.sort_unstable();
+        want.dedup();
+        have.sort_unstable();
+        have.dedup();
+        if want != have {
+            return Err(ShardError::Persist(PersistError::Corrupt(
+                "config indexed measures differ from the persisted index".into(),
+            )));
+        }
+
+        let plan = loaded.plan;
+        let k = plan.shards();
+        let n = loaded.meta.series;
+        let width = loaded.meta.width;
+        let pool = Arc::new(ThreadPool::new(cfg.symex.threads));
+
+        // Classify every shard file against the plan file's admission
+        // vector.
+        let loads: Vec<ShardLoad> = (0..k)
+            .map(|i| {
+                let expected = loaded.meta.expected_versions[i];
+                load_shard_file(&shard_file(&dir, i), i, expected, n, width)
+            })
+            .collect();
+        let healed: Vec<(usize, String)> = loads
+            .iter()
+            .enumerate()
+            .filter_map(|(i, l)| match l {
+                ShardLoad::Damaged(reason) => Some((i, reason.clone())),
+                ShardLoad::Clean(_) => None,
+            })
+            .collect();
+
+        // Shared tables are recomputed from the reference matrix (pure
+        // functions of persisted bytes — bit-identical to the originals).
+        let variances: Arc<Vec<f64>> = Arc::new(
+            (0..n)
+                .map(|v| vector::variance(loaded.reference.series(v)))
+                .collect(),
+        );
+        let self_dots: Arc<Vec<f64>> = Arc::new(
+            (0..n)
+                .map(|v| {
+                    let s = loaded.reference.series(v);
+                    vector::dot(s, s)
+                })
+                .collect(),
+        );
+
+        // Heal substrate, built once and only if something is damaged:
+        // the deterministic global rebuild over the reference matrix,
+        // partitioned along the persisted plan.
+        let mut heal_parts: Option<Vec<HealPart>> = if healed.is_empty() {
+            None
+        } else {
+            let mut params = cfg.symex.clone();
+            params.afclst.k = params.afclst.k.min(n.saturating_sub(1)).max(1);
+            let global = Symex::with_pool(params, Arc::clone(&pool)).run(&loaded.reference)?;
+            let owner = plan.owner_map();
+            let parts = global.partition(&owner, k);
+            let mut ordinals = vec![Vec::new(); k];
+            for (g, p) in global.pivots().iter().enumerate() {
+                ordinals[owner[p.common]].push(g as u32);
+            }
+            Some(parts.into_iter().zip(ordinals).map(Some).collect())
+        };
+
+        let mut shards = Vec::with_capacity(k);
+        for (i, load) in loads.into_iter().enumerate() {
+            let shard = match load {
+                ShardLoad::Clean(clean) => {
+                    let clean = *clean;
+                    // Pivot statistics are recomputed from the reference
+                    // matrix (pivots never change between full rebuilds,
+                    // so the decoded pivot list is the right one).
+                    let view = ShardView::new(&loaded.reference);
+                    let stats = shard_pivot_stats(&view, &clean.affine, &pool)?;
+                    ShardModel::assemble(
+                        clean.affine,
+                        clean.index,
+                        stats,
+                        clean.ordinals,
+                        plan.members(i).iter().map(|&v| v as u32).collect(),
+                        &variances,
+                        &self_dots,
+                        Arc::clone(&pool),
+                        clean.version,
+                    )?
+                }
+                ShardLoad::Damaged(_) => {
+                    let (part, ords) = heal_parts
+                        .as_mut()
+                        .and_then(|p| p[i].take())
+                        .expect("heal substrate covers every damaged shard");
+                    heal_shard(
+                        part,
+                        ords,
+                        &plan,
+                        i,
+                        &loaded.reference,
+                        &loaded.window,
+                        &cfg,
+                        &variances,
+                        &self_dots,
+                        &pool,
+                        loaded.meta.expected_versions[i],
+                    )?
+                }
+            };
+            shards.push(Arc::new(shard));
+        }
+
+        let model = ShardedModel {
+            shared: SharedCore {
+                plan: plan.clone(),
+                series_count: n,
+                samples: width,
+                indexed: cfg.indexed.clone(),
+                variances,
+                self_dots,
+                pool: Arc::clone(&pool),
+            },
+            shards,
+        };
+        let ref_means = (0..n)
+            .map(|v| vector::mean(loaded.reference.series(v)))
+            .collect();
+        let ref_vars = (0..n)
+            .map(|v| vector::variance(loaded.reference.series(v)))
+            .collect();
+        let mut window = SlidingWindow::from_matrix(&loaded.window, width);
+        window.restore_ticks(loaded.meta.ticks);
+        let engine = ShardedStreamingEngine {
+            cfg,
+            shards_k: k,
+            plan: Some(plan),
+            window,
+            model: Some(model),
+            ref_data: Some(loaded.reference),
+            ref_means,
+            ref_vars,
+            pool,
+            ticks_at_last_refresh: loaded.meta.ticks_at_last_refresh,
+            refreshes: loaded.meta.refreshes,
+            full_rebuilds: loaded.meta.full_rebuilds,
+            delta_refreshes: loaded.meta.delta_refreshes,
+            deltas_since_full: loaded.meta.deltas_since_full,
+            generation: loaded.generation,
+            persist_dir: Some(dir),
+        };
+        Ok((
+            engine,
+            ShardRecovery {
+                generation: loaded.generation,
+                healed,
+            },
+        ))
+    }
+}
+
+/// Rebuild one damaged shard from the persisted reference + window:
+/// take its slice of the deterministic global rebuild, then re-fit all
+/// its pair relationships and owned series fits against the window —
+/// a delta refresh at the persist point, computed without any of the
+/// crashed shard's bytes.
+#[allow(clippy::too_many_arguments)]
+fn heal_shard(
+    mut part: AffineSet,
+    ordinals: Vec<u32>,
+    plan: &ShardPlan,
+    shard: usize,
+    reference: &DataMatrix,
+    window: &DataMatrix,
+    cfg: &StreamingConfig,
+    variances: &Arc<Vec<f64>>,
+    self_dots: &Arc<Vec<f64>>,
+    pool: &Arc<ThreadPool>,
+    version: u64,
+) -> Result<ShardModel, ShardError> {
+    let mut pinv_cache: FxHashMap<PivotPair, Matrix> = FxHashMap::default();
+    let refits: Vec<affinity_core::affine::AffineRelationship> = part
+        .relationships()
+        .iter()
+        .map(|rel| {
+            let pivot = rel.pivot;
+            let pinv = pinv_cache.entry(pivot).or_insert_with(|| {
+                pivot_pseudo_inverse(
+                    window.series(pivot.common),
+                    part.clusters().center(pivot.cluster),
+                )
+            });
+            let (a, b) = solve_relationship_pinv(
+                pinv,
+                window.series(rel.common),
+                window.series(rel.pair.other(rel.common)),
+            );
+            affinity_core::affine::AffineRelationship {
+                pair: rel.pair,
+                pivot,
+                common: rel.common,
+                a,
+                b,
+            }
+        })
+        .collect();
+    for rel in refits {
+        part.replace_relationship(rel)
+            .expect("heal refit keeps pair and pivot");
+    }
+    let owned: Vec<SeriesId> = plan.members(shard);
+    for &v in &owned {
+        let old = *part.series_relationship(v);
+        let center = part.clusters().center(old.cluster);
+        let (c, d) = fit_series(center, window.series(v));
+        part.replace_series_relationship(SeriesRelationship {
+            series: v,
+            cluster: old.cluster,
+            c,
+            d,
+        })
+        .expect("heal refit keeps series and cluster");
+    }
+    // Pivot statistics stay anchored to the reference matrix (exactly
+    // as a live delta refresh keeps them); the index is rebuilt fresh
+    // from the healed fits, so affine set and index are in sync by
+    // construction.
+    let view = ShardView::new(reference);
+    let stats = shard_pivot_stats(&view, &part, pool)?;
+    let mask = plan.owned_mask(shard);
+    let index = affinity_scape::ScapeIndex::build_from_stats(
+        &part,
+        &stats,
+        variances,
+        self_dots,
+        &cfg.indexed,
+        Some(&mask),
+        pool,
+    );
+    ShardModel::assemble(
+        part,
+        index,
+        stats,
+        ordinals,
+        owned.iter().map(|&v| v as u32).collect(),
+        variances,
+        self_dots,
+        Arc::clone(pool),
+        version,
+    )
+}

@@ -109,8 +109,10 @@ impl SlidingWindow {
 
     /// Overwrite the tick counter after restoring contents from a
     /// snapshot ([`SlidingWindow::from_matrix`] leaves it at `width`;
-    /// the persisted engine had ingested more).
-    pub(crate) fn restore_ticks(&mut self, ticks: u64) {
+    /// the persisted engine had ingested more). Public so downstream
+    /// resume paths (e.g. the sharded streaming engine) can rebuild the
+    /// exact pre-crash window state from their own snapshot formats.
+    pub fn restore_ticks(&mut self, ticks: u64) {
         debug_assert!(ticks >= self.width as u64, "restored window must be warm");
         self.ticks = ticks;
     }

@@ -446,3 +446,82 @@ fn streamed_build_from_store_without_cache_matches_cli_path() {
     }
     std::fs::remove_file(&path).ok();
 }
+
+#[test]
+fn sharded_build_is_bit_identical_across_sources() {
+    // A sharded model built by streaming columns through a
+    // cache-starved `CachedStore` must match both the resident sharded
+    // build (per shard, byte-for-byte) and the resident *global* model
+    // (every answer, bit-for-bit) — sharding composes with the
+    // out-of-core path without widening the equivalence contract.
+    for (name, data) in workloads() {
+        let path = store_path(&format!("shard-{name}"));
+        MatrixStore::create(&path, &data).unwrap();
+        let resident_affine = Symex::new(SymexParams::default()).run(&data).unwrap();
+        let resident =
+            ShardedModel::build(&data, &SymexParams::default(), 3, &Measure::ALL).unwrap();
+
+        let cached = CachedStore::new(MatrixStore::open(&path).unwrap(), cache_cols());
+        let constrained =
+            ShardedModel::build(&cached, &SymexParams::default(), 3, &Measure::ALL).unwrap();
+        let stats = cached.stats();
+        assert!(
+            stats.evictions > 0,
+            "{name}: a {}-column cache over {} series must evict ({stats:?})",
+            cache_cols(),
+            data.series_count()
+        );
+        std::fs::remove_file(&path).ok();
+
+        assert_eq!(
+            resident.plan().assignments(),
+            constrained.plan().assignments(),
+            "{name}: shard plans diverge across sources"
+        );
+        for (i, (a, b)) in resident
+            .shards()
+            .iter()
+            .zip(constrained.shards())
+            .enumerate()
+        {
+            assert_eq!(
+                a.affine().to_bytes(),
+                b.affine().to_bytes(),
+                "{name}: shard {i} affine bytes"
+            );
+            assert_eq!(
+                a.index().to_bytes(),
+                b.index().to_bytes(),
+                "{name}: shard {i} index bytes"
+            );
+        }
+
+        // Answer-level equivalence against the resident global build.
+        let engine = MecEngine::new(&data, &resident_affine);
+        for measure in PairwiseMeasure::ALL {
+            assert_slice_bits_eq(
+                &engine.pairwise_all(measure).unwrap(),
+                &constrained.pairwise_all(measure).unwrap(),
+                &format!("{name}: ooc-sharded {}", measure.name()),
+            );
+        }
+        let index = ScapeIndex::build(&data, &resident_affine, &Measure::ALL).unwrap();
+        let never = || false;
+        for &tau in &[0.0, 0.5, 0.9] {
+            assert_eq!(
+                index
+                    .threshold_pairs(PairwiseMeasure::Correlation, ThresholdOp::Greater, tau)
+                    .unwrap(),
+                constrained
+                    .threshold_pairs_with(
+                        PairwiseMeasure::Correlation,
+                        ThresholdOp::Greater,
+                        tau,
+                        &never
+                    )
+                    .unwrap(),
+                "{name}: ooc-sharded MET @ {tau}"
+            );
+        }
+    }
+}

@@ -12,9 +12,10 @@ use affinity::data::generator::{sensor_dataset, stock_dataset, SensorConfig, Sto
 use affinity::data::DataMatrix;
 use affinity::ql::Session;
 use affinity::scape::ThresholdOp;
+use affinity::shard::{shard_file, ShardedStreamingEngine};
 use affinity::stream::{open_model, Model, StreamingConfig, StreamingEngine};
 use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 const WINDOW: usize = 24;
 const PERSIST_AT: usize = 40; // ticks before the snapshot
@@ -135,10 +136,123 @@ fn check_restart_equivalence(data: &DataMatrix, tag: &str) {
     fs::remove_dir_all(&dir_baseline).unwrap();
 }
 
+/// The sharded engine journals nothing: crash loss is bounded by the
+/// ticks since the last checkpoint, and those ticks can simply be
+/// replayed. After replay the resumed engine must match the
+/// never-crashed one **per shard, byte-for-byte** — and with one
+/// shard's snapshot torn on disk, resume must heal exactly that shard
+/// and still converge to the same bytes.
+fn check_sharded_restart_equivalence(data: &DataMatrix, tag: &str, k: usize) {
+    let dir = tmp_dir(&format!("{tag}-shard"));
+    let dir_torn = tmp_dir(&format!("{tag}-shard-torn"));
+    let n = data.series_count();
+
+    let push_range = |engine: &mut ShardedStreamingEngine, from: usize, to: usize| {
+        for t in from..to {
+            let tick: Vec<f64> = (0..n).map(|v| data.series(v)[t]).collect();
+            engine.push(&tick).unwrap();
+        }
+    };
+    let assert_shards_byte_equal = |a: &ShardedStreamingEngine, b: &ShardedStreamingEngine| {
+        let (ma, mb) = (a.model().unwrap(), b.model().unwrap());
+        assert_eq!(ma.versions(), mb.versions(), "{tag}: shard versions");
+        for (i, (sa, sb)) in ma.shards().iter().zip(mb.shards()).enumerate() {
+            assert_eq!(
+                sa.affine().to_bytes(),
+                sb.affine().to_bytes(),
+                "{tag}: shard {i} affine bytes"
+            );
+            assert_eq!(
+                sa.index().to_bytes(),
+                sb.index().to_bytes(),
+                "{tag}: shard {i} index bytes"
+            );
+        }
+    };
+
+    // Uninterrupted sharded run over the full stream.
+    let mut uninterrupted = ShardedStreamingEngine::new(n, k, cfg());
+    push_range(&mut uninterrupted, 0, TOTAL);
+
+    // Interrupted run: arm persistence mid-stream, keep going (each
+    // refresh checkpoints), then crash.
+    let mut crashed = ShardedStreamingEngine::new(n, k, cfg());
+    push_range(&mut crashed, 0, PERSIST_AT);
+    crashed.persist_to(&dir).unwrap();
+    push_range(&mut crashed, PERSIST_AT, TOTAL);
+    drop(crashed); // kill -9
+
+    // Keep a pristine copy of the crash-point directory for the
+    // torn-shard fault below (a clean resume re-arms checkpointing and
+    // would overwrite it).
+    for entry in fs::read_dir(&dir).unwrap() {
+        let path = entry.unwrap().path();
+        fs::copy(&path, dir_torn.join(path.file_name().unwrap())).unwrap();
+    }
+
+    // Clean resume: replay the lost tail, land on identical bytes.
+    let (mut resumed, recovery) = ShardedStreamingEngine::resume(cfg(), &dir).unwrap();
+    assert!(recovery.healed.is_empty(), "{tag}: clean dir healed");
+    let lost_from = resumed.window().ticks() as usize;
+    assert!(lost_from <= TOTAL, "{tag}: resumed past the stream");
+    push_range(&mut resumed, lost_from, TOTAL);
+    assert_shards_byte_equal(&uninterrupted, &resumed);
+
+    // QL answers over the recovered model, byte-for-byte.
+    let model_a = uninterrupted.model().unwrap().clone();
+    let model_b = resumed.model().unwrap().clone();
+    let session_a = Session::from_sharded(&model_a, Vec::new()).unwrap();
+    let session_b = Session::from_sharded(&model_b, Vec::new()).unwrap();
+    for stmt in STATEMENTS {
+        assert_eq!(
+            format!("{}", session_a.execute(stmt).unwrap()),
+            format!("{}", session_b.execute(stmt).unwrap()),
+            "{tag}: `{stmt}` diverges after sharded restart"
+        );
+    }
+
+    // Crash-matrix fault: one shard's snapshot torn, others clean.
+    // Resume must heal exactly the torn shard and, after replaying the
+    // same tail, converge to the uninterrupted engine's bytes.
+    let torn = k - 1;
+    tear(&shard_file(&dir_torn, torn));
+    let (mut healed, recovery) = ShardedStreamingEngine::resume(cfg(), &dir_torn).unwrap();
+    assert_eq!(
+        recovery.healed_shards(),
+        vec![torn],
+        "{tag}: healed set ({recovery:?})"
+    );
+    let lost_from = healed.window().ticks() as usize;
+    push_range(&mut healed, lost_from, TOTAL);
+    assert_shards_byte_equal(&uninterrupted, &healed);
+
+    fs::remove_dir_all(&dir).unwrap();
+    fs::remove_dir_all(&dir_torn).unwrap();
+}
+
+fn tear(path: &Path) {
+    let mut bytes = fs::read(path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xa5;
+    fs::write(path, bytes).unwrap();
+}
+
 #[test]
 fn sensor_workload_restart_is_invisible() {
     let data = sensor_dataset(&SensorConfig::reduced(10, TOTAL));
     check_restart_equivalence(&data, "sensor");
+}
+
+#[test]
+fn sensor_workload_sharded_restart_is_invisible() {
+    let data = sensor_dataset(&SensorConfig::reduced(10, TOTAL));
+    check_sharded_restart_equivalence(&data, "sensor", 3);
+}
+
+#[test]
+fn stock_workload_sharded_restart_is_invisible() {
+    let data = stock_dataset(&StockConfig::reduced(8, TOTAL));
+    check_sharded_restart_equivalence(&data, "stock", 2);
 }
 
 #[test]
