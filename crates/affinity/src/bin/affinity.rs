@@ -9,6 +9,7 @@
 //! affinity snapshot <path.afn> <dir>                         build + persist a model
 //! affinity quality  <path.afn>                               LSFD quality report
 //! affinity serve    [flags]                                  concurrent query service
+//! affinity coord    [flags]                                  distributed shard coordinator
 //! ```
 //!
 //! Query statements use the `affinity-ql` grammar, e.g.
@@ -53,7 +54,19 @@
 //! queue, deadline propagation, graceful drain on SIGINT/SIGTERM or
 //! `.shutdown`, and warm resume from a snapshot directory. See
 //! `serve_usage` below (or run `affinity serve --help`) for flags, and
-//! `affinity_serve::server` for the wire protocol.
+//! `affinity_serve::server` for the wire protocol. With
+//! `--shard I --shards K` the server holds shard `I` of a `K`-shard
+//! fleet and additionally answers the coordinator's `!`-prefixed shard
+//! requests.
+//!
+//! `affinity coord` runs the distributed front end of `affinity_coord`:
+//! it spawns (or `--attach`es to) `K` shard servers, routes statements
+//! to owner shards with retries/timeouts/circuit breakers, merges
+//! exactly, supervises failover (kill a shard server and it is
+//! respawned, re-healed from its snapshot + catch-up ticks, and only
+//! then readmitted), and degrades gracefully — answers computed while a
+//! shard is down come back `DEGRADED <missing-shards>` (or typed
+//! `UNAVAILABLE` with `--strict`), never as a silent subset.
 //!
 //! SIGINT/SIGTERM are trapped by the long-running paths (`snapshot`
 //! builds and `serve`): the current commit-protocol stage finishes, the
@@ -107,7 +120,7 @@ mod sig {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  affinity generate <sensor|stock> <path.afn> [n] [m]\n  affinity info <path.afn>\n  affinity csv <path.afn> <out.csv>\n  affinity query [--ooc[=MB]] [--prefetch[=K]] [--shards[=K]] <path.afn> \"<statement>\" [more statements...]\n  affinity query [--quiet] --snapshot <snapshot-dir> \"<statement>\" [more statements...]\n  affinity snapshot <path.afn> <snapshot-dir>\n  affinity quality <path.afn>\n  affinity serve [--gen <sensor|stock>] [--series N] [--samples M] [--window W] [--resume DIR | --persist DIR]\n                 [--port P] [--workers N] [--queue CAP] [--deadline-ms D] [--shed-oldest] [--churn-ms MS] [--chaos] [--quiet]"
+        "usage:\n  affinity generate <sensor|stock> <path.afn> [n] [m]\n  affinity info <path.afn>\n  affinity csv <path.afn> <out.csv>\n  affinity query [--ooc[=MB]] [--prefetch[=K]] [--shards[=K]] <path.afn> \"<statement>\" [more statements...]\n  affinity query [--quiet] --snapshot <snapshot-dir> \"<statement>\" [more statements...]\n  affinity snapshot <path.afn> <snapshot-dir>\n  affinity quality <path.afn>\n  affinity serve [--gen <sensor|stock>] [--series N] [--samples M] [--window W] [--resume DIR | --persist DIR]\n                 [--port P] [--workers N] [--queue CAP] [--deadline-ms D] [--shed-oldest] [--churn-ms MS] [--chaos] [--quiet]\n                 [--shard I --shards K]\n  affinity coord [--shards K] [--gen <sensor|stock>] [--series N] [--samples M] [--window W] [--workers N]\n                 [--port P] [--strict] [--timeout-ms D] [--retries R] [--persist-root DIR] [--chaos] [--quiet]\n  affinity coord --attach <addr,addr,...> [--port P] [--strict] [--timeout-ms D] [--retries R] [--quiet]"
     );
     ExitCode::from(2)
 }
@@ -125,6 +138,7 @@ fn main() -> ExitCode {
         "snapshot" => snapshot(&args[1..]).map(|()| ExitCode::SUCCESS),
         "quality" => quality(&args[1..]).map(|()| ExitCode::SUCCESS),
         "serve" => serve(&args[1..]).map(|()| ExitCode::SUCCESS),
+        "coord" => coord(&args[1..]).map(|()| ExitCode::SUCCESS),
         _ => return usage(),
     };
     match result {
@@ -440,6 +454,8 @@ fn serve(args: &[String]) -> Result<(), String> {
     let mut port: u16 = 4243;
     let mut cfg = ServeConfig::default();
     let mut quiet = false;
+    let mut shard: Option<usize> = None;
+    let mut shards: Option<usize> = None;
 
     fn take<'a>(it: &mut std::slice::Iter<'a, String>, name: &str) -> Result<&'a String, String> {
         it.next().ok_or_else(|| format!("{name} needs a value"))
@@ -499,8 +515,35 @@ fn serve(args: &[String]) -> Result<(), String> {
             }
             "--chaos" => cfg.chaos = true,
             "--quiet" => quiet = true,
+            "--shard" => {
+                shard = Some(
+                    take(&mut it, "--shard")?
+                        .parse()
+                        .map_err(|_| "bad --shard")?,
+                );
+            }
+            "--shards" => {
+                shards = Some(
+                    take(&mut it, "--shards")?
+                        .parse()
+                        .map_err(|_| "bad --shards")?,
+                );
+            }
             other => return Err(format!("unknown serve flag '{other}'")),
         }
+    }
+    match (shard, shards) {
+        (None, None) => {}
+        (Some(i), Some(k)) => {
+            if k == 0 {
+                return Err("--shards must be >= 1".into());
+            }
+            if i >= k {
+                return Err(format!("--shard {i} must be < --shards {k}"));
+            }
+            cfg.shard = Some(affinity::serve::ShardServing::new(i, k));
+        }
+        _ => return Err("--shard and --shards must be given together".into()),
     }
     if resume_dir.is_some() && persist_dir.is_some() {
         return Err("--resume and --persist are mutually exclusive \
@@ -595,6 +638,229 @@ fn serve(args: &[String]) -> Result<(), String> {
 
     let ledger = server.serve(listener).map_err(|e| e.to_string())?;
     println!("SERVE done {ledger}");
+    Ok(())
+}
+
+fn coord(args: &[String]) -> Result<(), String> {
+    use affinity::coord::{
+        BreakerPolicy, CoordServer, CoordStats, Coordinator, RemoteShard, RetryPolicy, ShardSpec,
+        Supervisor,
+    };
+
+    let mut shards = 2usize;
+    let mut gen = "sensor".to_string();
+    let mut series = 24usize;
+    let mut samples = 512usize;
+    let mut window = 64usize;
+    let mut workers = 2usize;
+    let mut port: u16 = 4244;
+    let mut strict = false;
+    let mut timeout_ms = 2000u64;
+    let mut retries = 3u32;
+    let mut persist_root: Option<String> = None;
+    let mut chaos = false;
+    let mut quiet = false;
+    let mut attach: Option<Vec<String>> = None;
+
+    fn take<'a>(it: &mut std::slice::Iter<'a, String>, name: &str) -> Result<&'a String, String> {
+        it.next().ok_or_else(|| format!("{name} needs a value"))
+    }
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--shards" => {
+                shards = take(&mut it, "--shards")?
+                    .parse()
+                    .map_err(|_| "bad --shards")?;
+            }
+            "--gen" => gen = take(&mut it, "--gen")?.clone(),
+            "--series" => {
+                series = take(&mut it, "--series")?
+                    .parse()
+                    .map_err(|_| "bad --series")?;
+            }
+            "--samples" => {
+                samples = take(&mut it, "--samples")?
+                    .parse()
+                    .map_err(|_| "bad --samples")?;
+            }
+            "--window" => {
+                window = take(&mut it, "--window")?
+                    .parse()
+                    .map_err(|_| "bad --window")?;
+            }
+            "--workers" => {
+                workers = take(&mut it, "--workers")?
+                    .parse()
+                    .map_err(|_| "bad --workers")?;
+                if workers == 0 {
+                    return Err("--workers must be >= 1".into());
+                }
+            }
+            "--port" => port = take(&mut it, "--port")?.parse().map_err(|_| "bad --port")?,
+            "--strict" => strict = true,
+            "--timeout-ms" => {
+                timeout_ms = take(&mut it, "--timeout-ms")?
+                    .parse()
+                    .map_err(|_| "bad --timeout-ms")?;
+                if timeout_ms == 0 {
+                    return Err("--timeout-ms must be >= 1".into());
+                }
+            }
+            "--retries" => {
+                retries = take(&mut it, "--retries")?
+                    .parse()
+                    .map_err(|_| "bad --retries")?;
+                if retries == 0 {
+                    return Err("--retries must be >= 1".into());
+                }
+            }
+            "--persist-root" => persist_root = Some(take(&mut it, "--persist-root")?.clone()),
+            "--chaos" => chaos = true,
+            "--quiet" => quiet = true,
+            "--attach" => {
+                attach = Some(
+                    take(&mut it, "--attach")?
+                        .split(',')
+                        .map(str::trim)
+                        .filter(|s| !s.is_empty())
+                        .map(String::from)
+                        .collect(),
+                );
+            }
+            other => return Err(format!("unknown coord flag '{other}'")),
+        }
+    }
+    if shards == 0 {
+        return Err("--shards must be >= 1".into());
+    }
+
+    // Build the fleet: spawn shard-server children, or attach to
+    // already-running ones.
+    let (specs, children, addrs) = match attach {
+        Some(addrs) => {
+            if addrs.is_empty() {
+                return Err("--attach needs at least one addr".into());
+            }
+            (Vec::new(), Vec::new(), addrs)
+        }
+        None => {
+            if shards > series {
+                return Err(format!("--shards {shards} must be <= --series {series}"));
+            }
+            let exe = std::env::current_exe().map_err(|e| e.to_string())?;
+            let specs: Vec<ShardSpec> = (0..shards)
+                .map(|i| ShardSpec {
+                    exe: exe.clone(),
+                    shard: i,
+                    shards,
+                    gen: gen.clone(),
+                    series,
+                    samples,
+                    window,
+                    workers,
+                    chaos,
+                    persist_dir: persist_root
+                        .as_ref()
+                        .map(|root| std::path::Path::new(root).join(format!("shard{i}"))),
+                })
+                .collect();
+            let (children, addrs) =
+                affinity::coord::spawn_fleet(&specs).map_err(|e| e.to_string())?;
+            for (i, (child, addr)) in children.iter().zip(&addrs).enumerate() {
+                println!("COORD shard={i} pid={} addr={addr}", child.id());
+            }
+            (specs, children, addrs)
+        }
+    };
+
+    let stats = std::sync::Arc::new(CoordStats::new());
+    let retry = RetryPolicy {
+        attempts: retries,
+        timeout: Duration::from_millis(timeout_ms),
+        ..RetryPolicy::default()
+    };
+    let remotes: Vec<std::sync::Arc<RemoteShard>> = addrs
+        .iter()
+        .enumerate()
+        .map(|(i, addr)| {
+            std::sync::Arc::new(RemoteShard::new(
+                i,
+                addr.clone(),
+                retry,
+                BreakerPolicy::default(),
+                std::sync::Arc::clone(&stats),
+            ))
+        })
+        .collect();
+    let backends = remotes
+        .iter()
+        .map(|r| std::sync::Arc::clone(r) as std::sync::Arc<dyn affinity::coord::ShardBackend>)
+        .collect();
+    let coordinator = match Coordinator::new(backends, Vec::new(), strict, stats) {
+        Ok(c) => c,
+        Err(e) => {
+            for mut c in children {
+                let _ = c.kill();
+                let _ = c.wait();
+            }
+            return Err(e.to_string());
+        }
+    };
+    let expected_series = coordinator.meta().series;
+    let expected_assignments = coordinator.meta().plan.assignments().to_vec();
+    let fleet = remotes.len();
+    let server = CoordServer::new(coordinator, remotes.clone());
+
+    let supervisor = Supervisor::new(
+        remotes,
+        std::sync::Arc::clone(server.ticks()),
+        specs,
+        children,
+        expected_series,
+        expected_assignments,
+        Box::new(move |event| {
+            if !quiet {
+                println!("COORD {event}");
+            }
+        }),
+    );
+    let monitor = {
+        let sup = std::sync::Arc::clone(&supervisor);
+        std::thread::Builder::new()
+            .name("affinity-coord-supervisor".into())
+            .spawn(move || sup.run())
+            .map_err(|e| e.to_string())?
+    };
+
+    let listener = std::net::TcpListener::bind(("127.0.0.1", port))
+        .map_err(|e| format!("bind 127.0.0.1:{port}: {e}"))?;
+    let addr = listener.local_addr().map_err(|e| e.to_string())?;
+
+    sig::install();
+    println!("COORD addr={addr} shards={fleet} strict={strict}");
+    {
+        let srv = std::sync::Arc::clone(&server);
+        std::thread::Builder::new()
+            .name("affinity-coord-signals".into())
+            .spawn(move || {
+                while !srv.is_shutting_down() {
+                    if sig::requested() {
+                        srv.request_shutdown();
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            })
+            .map_err(|e| e.to_string())?;
+    }
+
+    let result = server.serve(listener).map_err(|e| e.to_string());
+    supervisor.stop();
+    let _ = monitor.join();
+    supervisor.shutdown_children();
+    let ledger = result?;
+    println!("COORD done {ledger}");
     Ok(())
 }
 

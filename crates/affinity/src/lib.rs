@@ -79,6 +79,7 @@
 //! | [`stream`] | `affinity-stream` | sliding windows, rolling stats, drift-driven delta refresh |
 //! | [`serve`] | `affinity-serve` | concurrent query service: epoch swaps, admission control, chaos hooks |
 //! | [`shard`] | `affinity-shard` | sharded model scale-out: cluster-cut plans, exact cross-shard merge, per-shard refresh |
+//! | [`coord`] | `affinity-coord` | distributed shard serving: coordinator routing, retry/backoff/breakers, failover re-heal, graceful degradation |
 //! | [`storage`] | `affinity-storage` | columnar binary store with checksums, LRU `CachedStore` |
 //! | [`linalg`] | `affinity-linalg` | QR, Jacobi eigen, power iteration |
 //! | [`par`] | `affinity-par` | work-stealing thread pool behind parallel SYMEX + batched MEC |
@@ -88,6 +89,7 @@
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub use affinity_coord as coord;
 pub use affinity_core as core;
 pub use affinity_data as data;
 pub use affinity_dft as dft;
@@ -104,6 +106,7 @@ pub use affinity_stream as stream;
 
 /// Everything a typical application needs.
 pub mod prelude {
+    pub use affinity_coord::{Coordinator, InProcBackend, RemoteShard, ShardBackend};
     pub use affinity_core::prelude::*;
     pub use affinity_data::generator::{sensor_dataset, stock_dataset, SensorConfig, StockConfig};
     pub use affinity_data::{

@@ -31,6 +31,9 @@ const UNTRUSTED: &[&str] = &[
     "crates/ql/src/cancel.rs",
     "crates/serve/src/server.rs",
     "crates/serve/src/queue.rs",
+    "crates/coord/src/proto.rs",
+    "crates/coord/src/backend.rs",
+    "crates/coord/src/server.rs",
     "crates/core/src/persist.rs",
     "crates/scape/src/persist.rs",
     "crates/shard/src/persist.rs",
@@ -42,6 +45,7 @@ const UNTRUSTED: &[&str] = &[
 /// `*`/`+` that can overflow into a bogus allocation.
 const READERS: &[&str] = &[
     "crates/storage/src/store.rs",
+    "crates/coord/src/proto.rs",
     "crates/storage/src/snapshot.rs",
     "crates/storage/src/journal.rs",
     "crates/storage/src/layout.rs",

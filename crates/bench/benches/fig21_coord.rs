@@ -1,0 +1,390 @@
+//! Fig. 21 (repo extension) — distributed shard serving through the
+//! coordinator.
+//!
+//! PR 9 sharded the model inside one process; the coordinator puts
+//! each shard behind its own TCP server and merges answers across the
+//! fleet. This bench prices that hop honestly:
+//!
+//! 1. **in-process baseline** — `Session::from_sharded` over the same
+//!    sharded model, no sockets, no coordinator;
+//! 2. **distributed K ∈ {2, 4}** — closed-loop clients against a
+//!    `CoordServer` routing to K real shard servers over loopback TCP;
+//!    p50/p99 latency and aggregate QPS;
+//! 3. **degraded mode** — one shard server shut down mid-run: every
+//!    answer must come back *typed* `DEGRADED` (never a silent
+//!    subset), and the latency of degraded answers stays bounded by
+//!    the fast-fail path, not by retry pile-ups.
+//!
+//! Set `AFFINITY_BENCH_JSON=<path>` to write the measurements as a
+//! JSON baseline (CI uploads `BENCH_coord.json`).
+
+use affinity_bench::{fmt_secs, header, Scale};
+use affinity_coord::{
+    BreakerPolicy, CoordServer, CoordStats, Coordinator, RemoteShard, RetryPolicy, ShardBackend,
+};
+use affinity_core::measures::Measure;
+use affinity_data::generator::{sensor_dataset, SensorConfig};
+use affinity_data::DataMatrix;
+use affinity_par::ThreadPool;
+use affinity_ql::Session;
+use affinity_serve::{ServeConfig, Server, ShardServing};
+use affinity_shard::{ShardPlan, ShardedModel};
+use affinity_stream::{StreamingConfig, StreamingEngine};
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const QUERIES: &[&str] = &[
+    "MET correlation > 0.5",
+    "MER covariance BETWEEN -1000 AND 1000",
+    "MET mean > 0",
+    "MER correlation BETWEEN 0.2 AND 0.9",
+];
+
+/// One running shard server (in-process, real TCP).
+struct ShardServer {
+    server: Arc<Server>,
+    addr: String,
+    accept: std::thread::JoinHandle<String>,
+}
+
+fn start_shard(n: usize, window: usize, data: &DataMatrix, shard: usize, k: usize) -> ShardServer {
+    let mut scfg = StreamingConfig::new(window);
+    scfg.indexed = Measure::EXTENDED.to_vec();
+    let mut engine = StreamingEngine::new(n, scfg);
+    let mut row = vec![0.0; n];
+    for t in 0..window {
+        for (v, slot) in row.iter_mut().enumerate() {
+            *slot = data.series(v)[t];
+        }
+        engine.push(&row).expect("warm-up push");
+    }
+    let cfg = ServeConfig {
+        workers: 2,
+        shard: Some(ShardServing::new(shard, k)),
+        ..ServeConfig::default()
+    };
+    let server = Server::new(engine, data.clone(), cfg).expect("shard server");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind shard");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let accept = {
+        let srv = Arc::clone(&server);
+        std::thread::spawn(move || srv.serve(listener).expect("shard serve loop"))
+    };
+    ShardServer {
+        server,
+        addr,
+        accept,
+    }
+}
+
+/// A coordinator fleet: K shard servers + a CoordServer, all loopback.
+struct Fleet {
+    shards: Vec<ShardServer>,
+    coord: Arc<CoordServer>,
+    addr: String,
+    accept: std::thread::JoinHandle<String>,
+}
+
+fn start_fleet(n: usize, window: usize, data: &DataMatrix, k: usize) -> Fleet {
+    let shards: Vec<ShardServer> = (0..k).map(|i| start_shard(n, window, data, i, k)).collect();
+    let stats = Arc::new(CoordStats::new());
+    let retry = RetryPolicy {
+        attempts: 2,
+        timeout: Duration::from_millis(2000),
+        ..RetryPolicy::default()
+    };
+    let remotes: Vec<Arc<RemoteShard>> = shards
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            Arc::new(RemoteShard::new(
+                i,
+                s.addr.clone(),
+                retry,
+                BreakerPolicy::default(),
+                Arc::clone(&stats),
+            ))
+        })
+        .collect();
+    let backends = remotes
+        .iter()
+        .map(|r| Arc::clone(r) as Arc<dyn ShardBackend>)
+        .collect();
+    let coordinator =
+        Coordinator::new(backends, Vec::new(), false, stats).expect("coordinator construction");
+    let coord = CoordServer::new(coordinator, remotes);
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind coord");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let accept = {
+        let srv = Arc::clone(&coord);
+        std::thread::spawn(move || srv.serve(listener).expect("coord serve loop"))
+    };
+    Fleet {
+        shards,
+        coord,
+        addr,
+        accept,
+    }
+}
+
+impl Fleet {
+    fn stop(self) {
+        self.coord.request_shutdown();
+        // Nudge the accept loop so it notices the flag.
+        if let Ok(mut s) = TcpStream::connect(&self.addr) {
+            let _ = s.write_all(b".ping\n");
+        }
+        self.accept.join().expect("coord accept loop");
+        for sh in self.shards {
+            sh.server.request_shutdown();
+            if let Ok(mut s) = TcpStream::connect(&sh.addr) {
+                let _ = s.write_all(b".ping\n");
+            }
+            sh.accept.join().expect("shard accept loop");
+        }
+    }
+}
+
+/// One closed-loop client; returns (latency, was_degraded) per request.
+fn closed_loop(addr: &str, client_id: usize, count: usize) -> Vec<(f64, bool)> {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).ok();
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    let mut out = Vec::with_capacity(count);
+    let mut line = String::new();
+    for i in 0..count {
+        let q = QUERIES[i % QUERIES.len()];
+        let t0 = Instant::now();
+        writer
+            .write_all(format!("c{client_id}q{i} {q}\n").as_bytes())
+            .expect("send");
+        line.clear();
+        reader.read_line(&mut line).expect("response header");
+        let trimmed = line.trim_end().to_string();
+        let mut parts = trimmed.split(' ');
+        let kind = parts.next().expect("kind");
+        let degraded = match kind {
+            "OK" => {
+                let body: usize = parts.nth(1).expect("count").parse().expect("body count");
+                for _ in 0..body {
+                    line.clear();
+                    reader.read_line(&mut line).expect("body line");
+                }
+                false
+            }
+            "DEGRADED" => {
+                let body: usize = parts.nth(2).expect("count").parse().expect("body count");
+                for _ in 0..body {
+                    line.clear();
+                    reader.read_line(&mut line).expect("body line");
+                }
+                true
+            }
+            _ => panic!("query failed: {trimmed}"),
+        };
+        out.push((t0.elapsed().as_secs_f64(), degraded));
+    }
+    out
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+/// (p50, p99, qps, degraded_count, total) across `clients` closed loops.
+fn run_load(addr: &str, clients: usize, per_client: usize) -> (f64, f64, f64, usize, usize) {
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let addr = addr.to_string();
+            std::thread::spawn(move || closed_loop(&addr, c, per_client))
+        })
+        .collect();
+    let results: Vec<(f64, bool)> = handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("client"))
+        .collect();
+    let wall = t0.elapsed().as_secs_f64();
+    let degraded = results.iter().filter(|(_, d)| *d).count();
+    let mut lat: Vec<f64> = results.iter().map(|&(l, _)| l).collect();
+    lat.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let qps = lat.len() as f64 / wall;
+    (
+        percentile(&lat, 0.50),
+        percentile(&lat, 0.99),
+        qps,
+        degraded,
+        lat.len(),
+    )
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    header(
+        "Fig. 21",
+        "distributed shard serving: coordinator vs in-process, degraded mode",
+        scale,
+    );
+    let (n, window, clients, per_client) = match scale {
+        Scale::Quick => (16, 48, 2, 100),
+        Scale::Mid => (48, 96, 4, 300),
+        Scale::Full => (96, 128, 8, 500),
+    };
+    println!(
+        "dataset: {n} series x {window}-tick window; {clients} closed-loop clients x {per_client} requests\n"
+    );
+    let data = sensor_dataset(&SensorConfig {
+        series: n,
+        samples: window * 4,
+        ..SensorConfig::default()
+    });
+
+    // --- 1. in-process baseline ------------------------------------------
+    // The same sharded model the fleet serves — built from an engine
+    // warmed exactly like each shard server's — queried directly.
+    let mut scfg = StreamingConfig::new(window);
+    scfg.indexed = Measure::EXTENDED.to_vec();
+    let mut engine = StreamingEngine::new(n, scfg);
+    let mut row = vec![0.0; n];
+    for t in 0..window {
+        for (v, slot) in row.iter_mut().enumerate() {
+            *slot = data.series(v)[t];
+        }
+        engine.push(&row).expect("warm-up push");
+    }
+    let global = engine.model().expect("warm model");
+    let plan = ShardPlan::blocked(n, 2);
+    let model = ShardedModel::from_global(
+        global.data(),
+        global.affine(),
+        plan,
+        &Measure::EXTENDED,
+        Arc::new(ThreadPool::new(2)),
+    )
+    .expect("sharded build");
+    let session = Session::from_sharded(&model, Vec::new()).expect("local session");
+    let reps = clients * per_client;
+    let mut local_lat = Vec::with_capacity(reps);
+    for i in 0..reps {
+        let q = QUERIES[i % QUERIES.len()];
+        let t0 = Instant::now();
+        session.execute(q).expect("local query");
+        local_lat.push(t0.elapsed().as_secs_f64());
+    }
+    let wall: f64 = local_lat.iter().sum();
+    local_lat.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let (lp50, lp99) = (percentile(&local_lat, 0.50), percentile(&local_lat, 0.99));
+    let lqps = reps as f64 / wall;
+    println!(
+        "in-process (K=2):   p50 {}  p99 {}  {lqps:.0} q/s",
+        fmt_secs(lp50),
+        fmt_secs(lp99)
+    );
+
+    // --- 2. distributed K ∈ {2, 4} ---------------------------------------
+    let mut dist = Vec::new();
+    for k in [2usize, 4] {
+        let fleet = start_fleet(n, window, &data, k);
+        let (p50, p99, qps, degraded, _) = run_load(&fleet.addr, clients, per_client);
+        assert_eq!(degraded, 0, "healthy fleet answered degraded");
+        fleet.stop();
+        println!(
+            "distributed K={k}:    p50 {}  p99 {}  {qps:.0} q/s",
+            fmt_secs(p50),
+            fmt_secs(p99)
+        );
+        dist.push((k, p50, p99, qps));
+    }
+
+    // --- 3. degraded mode -------------------------------------------------
+    // Shut one shard server down and keep querying: every answer must
+    // be typed DEGRADED, at fast-fail latency (the breaker opens after
+    // its threshold, so steady-state degraded answers skip the socket).
+    let fleet = start_fleet(n, window, &data, 2);
+    let dead = &fleet.shards[1];
+    dead.server.request_shutdown();
+    if let Ok(mut s) = TcpStream::connect(&dead.addr) {
+        let _ = s.write_all(b".ping\n");
+    }
+    // Give the accept loop a beat to release the port.
+    std::thread::sleep(Duration::from_millis(100));
+    let (dp50, dp99, dqps, dcount, dtotal) = run_load(&fleet.addr, clients, per_client);
+    assert_eq!(
+        dcount, dtotal,
+        "a dead shard must degrade every pair answer"
+    );
+    let dfrac = dcount as f64 / dtotal as f64;
+    println!(
+        "degraded (1 of 2):  p50 {}  p99 {}  {dqps:.0} q/s  (100% typed DEGRADED)",
+        fmt_secs(dp50),
+        fmt_secs(dp99)
+    );
+    let ledger = fleet.coord.stats().render();
+    println!("                    {ledger}");
+    assert!(
+        fleet.coord.stats().balanced(),
+        "degraded-phase ledger unbalanced: {ledger}"
+    );
+    // Stop the coordinator and the surviving shard; the dead one's
+    // accept loop already returned.
+    let Fleet {
+        shards,
+        coord,
+        addr,
+        accept,
+    } = fleet;
+    coord.request_shutdown();
+    if let Ok(mut s) = TcpStream::connect(&addr) {
+        let _ = s.write_all(b".ping\n");
+    }
+    accept.join().expect("coord accept loop");
+    for (i, sh) in shards.into_iter().enumerate() {
+        if i != 1 {
+            sh.server.request_shutdown();
+            if let Ok(mut s) = TcpStream::connect(&sh.addr) {
+                let _ = s.write_all(b".ping\n");
+            }
+        }
+        sh.accept.join().expect("shard accept loop");
+    }
+
+    if let Ok(out) = std::env::var("AFFINITY_BENCH_JSON") {
+        let mut s = String::new();
+        let _ = writeln!(s, "{{");
+        let _ = writeln!(s, "  \"bench\": \"fig21_coord\",");
+        let _ = writeln!(
+            s,
+            "  \"scale\": \"{}\",",
+            scale.tag().split(' ').next().expect("tag")
+        );
+        let _ = writeln!(
+            s,
+            "  \"hardware_threads\": {},",
+            affinity_par::resolve_threads(0)
+        );
+        let _ = writeln!(s, "  \"series\": {n},");
+        let _ = writeln!(s, "  \"window\": {window},");
+        let _ = writeln!(s, "  \"clients\": {clients},");
+        let _ = writeln!(s, "  \"requests_per_client\": {per_client},");
+        let _ = writeln!(s, "  \"inproc_p50_secs\": {lp50:.6},");
+        let _ = writeln!(s, "  \"inproc_p99_secs\": {lp99:.6},");
+        let _ = writeln!(s, "  \"inproc_qps\": {lqps:.1},");
+        for (k, p50, p99, qps) in &dist {
+            let _ = writeln!(s, "  \"dist_k{k}_p50_secs\": {p50:.6},");
+            let _ = writeln!(s, "  \"dist_k{k}_p99_secs\": {p99:.6},");
+            let _ = writeln!(s, "  \"dist_k{k}_qps\": {qps:.1},");
+        }
+        let _ = writeln!(s, "  \"degraded_p50_secs\": {dp50:.6},");
+        let _ = writeln!(s, "  \"degraded_p99_secs\": {dp99:.6},");
+        let _ = writeln!(s, "  \"degraded_qps\": {dqps:.1},");
+        let _ = writeln!(s, "  \"degraded_typed_fraction\": {dfrac:.3}");
+        let _ = writeln!(s, "}}");
+        std::fs::write(&out, s).expect("write bench JSON");
+        println!("wrote baseline to {out}");
+    }
+}

@@ -1,0 +1,940 @@
+//! The coordinator ↔ shard-server wire protocol.
+//!
+//! Requests are single lines starting with `!`, carried as ordinary
+//! statements of the serve line protocol (`<id> !tpg corr gt <bits>`),
+//! so they ride the shard server's existing admission queue, faults,
+//! and ledger. Responses ride the standard `OK <id> <n>` + `n` body
+//! lines framing; each body line starts with a one-character shape tag
+//! so truncated or reordered bodies are detected, not misread.
+//!
+//! Floats cross the wire as the 16-hex-digit big-endian rendering of
+//! `f64::to_bits` — the merge layer's bit-identity contract survives
+//! serialization exactly, including negative zero and NaN payloads.
+//!
+//! Both decoders ([`decode_request`], [`decode_response`]) parse bytes
+//! from the network and are therefore panic-free by construction: no
+//! indexing, no unwraps, bounded list lengths, checked arithmetic.
+//! They are registered under afflint's R1/R5 gates.
+
+use affinity_core::measures::{LocationMeasure, Measure, PairwiseMeasure};
+use affinity_scape::ThresholdOp;
+use std::fmt;
+
+/// Upper bound on explicit id/pair lists in one request: a defense
+/// against a hostile coordinator asking a shard to materialize an
+/// unbounded response (statements that legitimately touch every series
+/// use the scan requests instead).
+pub const MAX_LIST: usize = 4096;
+
+/// Decode failures. Every variant is a typed answer to malformed
+/// bytes — the transport drops the connection, the peer never panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The line or body was empty where content was required.
+    Empty,
+    /// Unknown request tag.
+    UnknownRequest(String),
+    /// Unknown measure tag.
+    BadMeasure(String),
+    /// Unknown threshold operator tag.
+    BadOp(String),
+    /// A number failed to parse (int or hex-bits float).
+    BadNumber(String),
+    /// A `u:v` pair was malformed or not `u < v`.
+    BadPair(String),
+    /// An id/pair list exceeded [`MAX_LIST`].
+    TooLong {
+        /// What overflowed.
+        what: &'static str,
+        /// Observed length.
+        len: usize,
+    },
+    /// A response body line did not match the requested shape.
+    BadBody(String),
+    /// A required `key=` field was missing from a meta body.
+    MissingField(&'static str),
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Empty => write!(f, "empty frame"),
+            ProtoError::UnknownRequest(t) => write!(f, "unknown request '{t}'"),
+            ProtoError::BadMeasure(t) => write!(f, "unknown measure tag '{t}'"),
+            ProtoError::BadOp(t) => write!(f, "unknown threshold op '{t}'"),
+            ProtoError::BadNumber(t) => write!(f, "bad number '{t}'"),
+            ProtoError::BadPair(t) => write!(f, "bad pair '{t}'"),
+            ProtoError::TooLong { what, len } => {
+                write!(f, "{what} list of {len} exceeds the {MAX_LIST} cap")
+            }
+            ProtoError::BadBody(t) => write!(f, "malformed body line '{t}'"),
+            ProtoError::MissingField(k) => write!(f, "meta body missing '{k}='"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// A coordinator → shard request. Ids and pairs are `u32` — the wire
+/// shape — and are validated against the model by the answering shard.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShardRequest {
+    /// Shard identity, shape, index set, plan, and tick count.
+    Meta,
+    /// MET over a pairwise measure: grouped chunks tagged with global
+    /// pivot ordinals.
+    ThresholdPairs {
+        /// The measure.
+        measure: PairwiseMeasure,
+        /// The comparison.
+        op: ThresholdOp,
+        /// The threshold τ.
+        tau: f64,
+    },
+    /// MER over a pairwise measure (exclusive bounds, like the index).
+    RangePairs {
+        /// The measure.
+        measure: PairwiseMeasure,
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+    /// MET over a location measure: one keyed vector per cluster.
+    ThresholdSeries {
+        /// The measure.
+        measure: LocationMeasure,
+        /// The comparison.
+        op: ThresholdOp,
+        /// The threshold τ.
+        tau: f64,
+    },
+    /// MER over a location measure.
+    RangeSeries {
+        /// The measure.
+        measure: LocationMeasure,
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+    /// MEC location values for explicitly listed series (owner-routed
+    /// by the coordinator; answered in request order).
+    LocationValues {
+        /// The measure.
+        measure: LocationMeasure,
+        /// Series ids, each owned by the target shard.
+        ids: Vec<u32>,
+    },
+    /// MEC pairwise values for explicitly listed pairs. Sent to every
+    /// shard; each answers the pairs its partition holds and `-` for
+    /// the rest (pair ownership is a property of the fitted model, not
+    /// of the plan, so the coordinator cannot pre-route).
+    PairValues {
+        /// The measure.
+        measure: PairwiseMeasure,
+        /// `u < v` pairs.
+        pairs: Vec<(u32, u32)>,
+    },
+    /// Matrix-diagonal values (variance / self-dot / 1.0). Any healthy
+    /// shard answers — the normalizer tables are global.
+    DiagValues {
+        /// The measure.
+        measure: PairwiseMeasure,
+        /// Series ids.
+        ids: Vec<u32>,
+    },
+    /// Fallback-scan support: every relationship this shard holds with
+    /// its value under `measure`.
+    ScanPairs {
+        /// The measure.
+        measure: PairwiseMeasure,
+    },
+    /// Fallback-scan support: every series this shard owns with its
+    /// value under `measure`.
+    ScanSeries {
+        /// The measure.
+        measure: LocationMeasure,
+    },
+}
+
+/// Shard identity and model shape, from [`ShardRequest::Meta`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMeta {
+    /// This shard's index in the plan.
+    pub shard: usize,
+    /// Total shard count the server was started with.
+    pub shards: usize,
+    /// Global series count.
+    pub series: usize,
+    /// Samples per series (window length).
+    pub samples: usize,
+    /// Ticks absorbed since process start (window warm-up included).
+    pub ticks: u64,
+    /// Published epoch id.
+    pub epoch: u64,
+    /// Measures the shard indexes cover.
+    pub indexed: Vec<Measure>,
+    /// The series → shard assignment the server derived, so the
+    /// coordinator can verify every shard agrees on ownership.
+    pub assignments: Vec<u32>,
+}
+
+/// A shard → coordinator response body, shaped by the request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShardResponse {
+    /// Answer to [`ShardRequest::Meta`].
+    Meta(ShardMeta),
+    /// Answer to threshold/range pair queries: `(global pivot ordinal,
+    /// pairs)` chunks, ready for [`affinity_shard::splice_chunks`].
+    PairChunks(Vec<(u32, Vec<(u32, u32)>)>),
+    /// Answer to threshold/range series queries: per-cluster `(ξ key,
+    /// series)` entries (one vector per cluster, empties included),
+    /// ready for [`affinity_shard::merge_keyed_series`].
+    KeyedSeries(Vec<Vec<(f64, u32)>>),
+    /// Answer to [`ShardRequest::LocationValues`] /
+    /// [`ShardRequest::DiagValues`]: one value per requested id.
+    Values(Vec<f64>),
+    /// Answer to [`ShardRequest::PairValues`]: one value per requested
+    /// pair, `None` where this shard does not hold the pair.
+    MaybeValues(Vec<Option<f64>>),
+    /// Answer to [`ShardRequest::ScanPairs`].
+    ScanPairs(Vec<(u32, u32, f64)>),
+    /// Answer to [`ShardRequest::ScanSeries`].
+    ScanSeries(Vec<(u32, f64)>),
+}
+
+// --- measure tags --------------------------------------------------
+
+/// Short wire tag of a pairwise measure (the display names are not
+/// wire-safe: "dot product" contains a space).
+pub fn pairwise_tag(m: PairwiseMeasure) -> &'static str {
+    match m {
+        PairwiseMeasure::Covariance => "cov",
+        PairwiseMeasure::DotProduct => "dot",
+        PairwiseMeasure::Correlation => "corr",
+        PairwiseMeasure::Cosine => "cos",
+        PairwiseMeasure::Dice => "dice",
+    }
+}
+
+/// Short wire tag of a location measure.
+pub fn location_tag(m: LocationMeasure) -> &'static str {
+    match m {
+        LocationMeasure::Mean => "mean",
+        LocationMeasure::Median => "median",
+        LocationMeasure::Mode => "mode",
+    }
+}
+
+/// Short wire tag of any measure.
+pub fn measure_tag(m: Measure) -> &'static str {
+    match m {
+        Measure::Location(l) => location_tag(l),
+        Measure::Pairwise(p) => pairwise_tag(p),
+    }
+}
+
+fn parse_pairwise(tag: &str) -> Result<PairwiseMeasure, ProtoError> {
+    match tag {
+        "cov" => Ok(PairwiseMeasure::Covariance),
+        "dot" => Ok(PairwiseMeasure::DotProduct),
+        "corr" => Ok(PairwiseMeasure::Correlation),
+        "cos" => Ok(PairwiseMeasure::Cosine),
+        "dice" => Ok(PairwiseMeasure::Dice),
+        other => Err(ProtoError::BadMeasure(bounded(other))),
+    }
+}
+
+fn parse_location(tag: &str) -> Result<LocationMeasure, ProtoError> {
+    match tag {
+        "mean" => Ok(LocationMeasure::Mean),
+        "median" => Ok(LocationMeasure::Median),
+        "mode" => Ok(LocationMeasure::Mode),
+        other => Err(ProtoError::BadMeasure(bounded(other))),
+    }
+}
+
+fn parse_measure(tag: &str) -> Result<Measure, ProtoError> {
+    parse_location(tag)
+        .map(Measure::Location)
+        .or_else(|_| parse_pairwise(tag).map(Measure::Pairwise))
+}
+
+/// Clip an echoed token so hostile input cannot balloon error strings.
+fn bounded(s: &str) -> String {
+    s.chars().take(32).collect()
+}
+
+// --- scalars --------------------------------------------------------
+
+/// Bit-exact `f64` rendering: 16 lowercase hex digits of `to_bits`.
+pub fn f64_hex(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+fn parse_f64_hex(s: &str) -> Result<f64, ProtoError> {
+    u64::from_str_radix(s, 16)
+        .map(f64::from_bits)
+        .map_err(|_| ProtoError::BadNumber(bounded(s)))
+}
+
+fn parse_u32(s: &str) -> Result<u32, ProtoError> {
+    s.parse::<u32>()
+        .map_err(|_| ProtoError::BadNumber(bounded(s)))
+}
+
+fn parse_u64(s: &str) -> Result<u64, ProtoError> {
+    s.parse::<u64>()
+        .map_err(|_| ProtoError::BadNumber(bounded(s)))
+}
+
+fn parse_usize(s: &str) -> Result<usize, ProtoError> {
+    s.parse::<usize>()
+        .map_err(|_| ProtoError::BadNumber(bounded(s)))
+}
+
+fn op_tag(op: ThresholdOp) -> &'static str {
+    match op {
+        ThresholdOp::Greater => "gt",
+        ThresholdOp::Less => "lt",
+    }
+}
+
+fn parse_op(s: &str) -> Result<ThresholdOp, ProtoError> {
+    match s {
+        "gt" => Ok(ThresholdOp::Greater),
+        "lt" => Ok(ThresholdOp::Less),
+        other => Err(ProtoError::BadOp(bounded(other))),
+    }
+}
+
+// --- lists ----------------------------------------------------------
+
+/// Render a `u32` list as csv, `-` when empty (so the token count of a
+/// request line is fixed per request kind).
+fn ids_csv(ids: &[u32]) -> String {
+    if ids.is_empty() {
+        "-".to_string()
+    } else {
+        let mut out = String::new();
+        for (i, v) in ids.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&v.to_string());
+        }
+        out
+    }
+}
+
+fn parse_ids_csv(s: &str) -> Result<Vec<u32>, ProtoError> {
+    if s == "-" {
+        return Ok(Vec::new());
+    }
+    let mut out = Vec::new();
+    for tok in s.split(',') {
+        if out.len() >= MAX_LIST {
+            return Err(ProtoError::TooLong {
+                what: "id",
+                len: out.len().saturating_add(1),
+            });
+        }
+        out.push(parse_u32(tok)?);
+    }
+    Ok(out)
+}
+
+fn pairs_csv(pairs: &[(u32, u32)]) -> String {
+    if pairs.is_empty() {
+        return "-".to_string();
+    }
+    let mut out = String::new();
+    for (i, (u, v)) in pairs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{u}:{v}"));
+    }
+    out
+}
+
+fn parse_pair_tok(tok: &str) -> Result<(u32, u32), ProtoError> {
+    let (u, v) = tok
+        .split_once(':')
+        .ok_or(ProtoError::BadPair(bounded(tok)))?;
+    let (u, v) = (parse_u32(u)?, parse_u32(v)?);
+    if u >= v {
+        return Err(ProtoError::BadPair(bounded(tok)));
+    }
+    Ok((u, v))
+}
+
+fn parse_pairs_csv(s: &str) -> Result<Vec<(u32, u32)>, ProtoError> {
+    if s == "-" {
+        return Ok(Vec::new());
+    }
+    let mut out = Vec::new();
+    for tok in s.split(',') {
+        if out.len() >= MAX_LIST {
+            return Err(ProtoError::TooLong {
+                what: "pair",
+                len: out.len().saturating_add(1),
+            });
+        }
+        out.push(parse_pair_tok(tok)?);
+    }
+    Ok(out)
+}
+
+// --- requests -------------------------------------------------------
+
+/// Render a request as its statement text (without the protocol id).
+pub fn encode_request(req: &ShardRequest) -> String {
+    match req {
+        ShardRequest::Meta => "!meta".to_string(),
+        ShardRequest::ThresholdPairs { measure, op, tau } => {
+            format!(
+                "!tpg {} {} {}",
+                pairwise_tag(*measure),
+                op_tag(*op),
+                f64_hex(*tau)
+            )
+        }
+        ShardRequest::RangePairs { measure, lo, hi } => {
+            format!(
+                "!rpg {} {} {}",
+                pairwise_tag(*measure),
+                f64_hex(*lo),
+                f64_hex(*hi)
+            )
+        }
+        ShardRequest::ThresholdSeries { measure, op, tau } => {
+            format!(
+                "!tsk {} {} {}",
+                location_tag(*measure),
+                op_tag(*op),
+                f64_hex(*tau)
+            )
+        }
+        ShardRequest::RangeSeries { measure, lo, hi } => {
+            format!(
+                "!rsk {} {} {}",
+                location_tag(*measure),
+                f64_hex(*lo),
+                f64_hex(*hi)
+            )
+        }
+        ShardRequest::LocationValues { measure, ids } => {
+            format!("!lv {} {}", location_tag(*measure), ids_csv(ids))
+        }
+        ShardRequest::PairValues { measure, pairs } => {
+            format!("!pv {} {}", pairwise_tag(*measure), pairs_csv(pairs))
+        }
+        ShardRequest::DiagValues { measure, ids } => {
+            format!("!dv {} {}", pairwise_tag(*measure), ids_csv(ids))
+        }
+        ShardRequest::ScanPairs { measure } => format!("!sp {}", pairwise_tag(*measure)),
+        ShardRequest::ScanSeries { measure } => format!("!ss {}", location_tag(*measure)),
+    }
+}
+
+/// Decode one request line (statement text, id already stripped).
+///
+/// # Errors
+/// A [`ProtoError`] describing the malformation; never panics.
+pub fn decode_request(line: &str) -> Result<ShardRequest, ProtoError> {
+    let mut toks = line.split_whitespace();
+    let tag = toks.next().ok_or(ProtoError::Empty)?;
+    let mut next = |what: &'static str| toks.next().ok_or(ProtoError::MissingField(what));
+    let req = match tag {
+        "!meta" => ShardRequest::Meta,
+        "!tpg" => ShardRequest::ThresholdPairs {
+            measure: parse_pairwise(next("measure")?)?,
+            op: parse_op(next("op")?)?,
+            tau: parse_f64_hex(next("tau")?)?,
+        },
+        "!rpg" => ShardRequest::RangePairs {
+            measure: parse_pairwise(next("measure")?)?,
+            lo: parse_f64_hex(next("lo")?)?,
+            hi: parse_f64_hex(next("hi")?)?,
+        },
+        "!tsk" => ShardRequest::ThresholdSeries {
+            measure: parse_location(next("measure")?)?,
+            op: parse_op(next("op")?)?,
+            tau: parse_f64_hex(next("tau")?)?,
+        },
+        "!rsk" => ShardRequest::RangeSeries {
+            measure: parse_location(next("measure")?)?,
+            lo: parse_f64_hex(next("lo")?)?,
+            hi: parse_f64_hex(next("hi")?)?,
+        },
+        "!lv" => ShardRequest::LocationValues {
+            measure: parse_location(next("measure")?)?,
+            ids: parse_ids_csv(next("ids")?)?,
+        },
+        "!pv" => ShardRequest::PairValues {
+            measure: parse_pairwise(next("measure")?)?,
+            pairs: parse_pairs_csv(next("pairs")?)?,
+        },
+        "!dv" => ShardRequest::DiagValues {
+            measure: parse_pairwise(next("measure")?)?,
+            ids: parse_ids_csv(next("ids")?)?,
+        },
+        "!sp" => ShardRequest::ScanPairs {
+            measure: parse_pairwise(next("measure")?)?,
+        },
+        "!ss" => ShardRequest::ScanSeries {
+            measure: parse_location(next("measure")?)?,
+        },
+        other => return Err(ProtoError::UnknownRequest(bounded(other))),
+    };
+    if toks.next().is_some() {
+        return Err(ProtoError::BadBody(bounded(line)));
+    }
+    Ok(req)
+}
+
+// --- responses ------------------------------------------------------
+
+/// Render a response as its body lines (the `OK <id> <n>` header is the
+/// carrier protocol's job).
+pub fn encode_response(resp: &ShardResponse) -> Vec<String> {
+    match resp {
+        ShardResponse::Meta(m) => vec![
+            format!(
+                "shard={} shards={} series={} samples={} ticks={} epoch={}",
+                m.shard, m.shards, m.series, m.samples, m.ticks, m.epoch
+            ),
+            format!(
+                "indexed={}",
+                m.indexed
+                    .iter()
+                    .map(|&x| measure_tag(x))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            ),
+            format!("plan={}", ids_csv(&m.assignments)),
+        ],
+        ShardResponse::PairChunks(chunks) => chunks
+            .iter()
+            .map(|(ord, pairs)| format!("c {ord} {}", pairs_csv(pairs)))
+            .collect(),
+        ShardResponse::KeyedSeries(clusters) => clusters
+            .iter()
+            .enumerate()
+            .map(|(l, entries)| {
+                if entries.is_empty() {
+                    format!("k {l} -")
+                } else {
+                    let csv = entries
+                        .iter()
+                        .map(|&(xi, v)| format!("{}:{v}", f64_hex(xi)))
+                        .collect::<Vec<_>>()
+                        .join(",");
+                    format!("k {l} {csv}")
+                }
+            })
+            .collect(),
+        ShardResponse::Values(vs) => vs.iter().map(|&v| format!("v {}", f64_hex(v))).collect(),
+        ShardResponse::MaybeValues(vs) => vs
+            .iter()
+            .map(|v| match v {
+                Some(x) => format!("v {}", f64_hex(*x)),
+                None => "v -".to_string(),
+            })
+            .collect(),
+        ShardResponse::ScanPairs(entries) => entries
+            .iter()
+            .map(|&(u, v, x)| format!("p {u}:{v}:{}", f64_hex(x)))
+            .collect(),
+        ShardResponse::ScanSeries(entries) => entries
+            .iter()
+            .map(|&(v, x)| format!("s {v}:{}", f64_hex(x)))
+            .collect(),
+    }
+}
+
+/// Split a body line into its shape tag and payload.
+fn tagged<'a>(line: &'a str, want: &'static str) -> Result<&'a str, ProtoError> {
+    let mut toks = line.splitn(2, ' ');
+    let tag = toks.next().ok_or(ProtoError::Empty)?;
+    if tag != want {
+        return Err(ProtoError::BadBody(bounded(line)));
+    }
+    toks.next().ok_or(ProtoError::BadBody(bounded(line)))
+}
+
+fn decode_meta(lines: &[String]) -> Result<ShardMeta, ProtoError> {
+    let mut it = lines.iter();
+    let head = it.next().ok_or(ProtoError::Empty)?;
+    let mut shard = None;
+    let mut shards = None;
+    let mut series = None;
+    let mut samples = None;
+    let mut ticks = None;
+    let mut epoch = None;
+    for tok in head.split_whitespace() {
+        let (k, v) = tok
+            .split_once('=')
+            .ok_or(ProtoError::BadBody(bounded(tok)))?;
+        match k {
+            "shard" => shard = Some(parse_usize(v)?),
+            "shards" => shards = Some(parse_usize(v)?),
+            "series" => series = Some(parse_usize(v)?),
+            "samples" => samples = Some(parse_usize(v)?),
+            "ticks" => ticks = Some(parse_u64(v)?),
+            "epoch" => epoch = Some(parse_u64(v)?),
+            _ => return Err(ProtoError::BadBody(bounded(tok))),
+        }
+    }
+    let indexed_line = it.next().ok_or(ProtoError::MissingField("indexed"))?;
+    let indexed_csv = indexed_line
+        .strip_prefix("indexed=")
+        .ok_or(ProtoError::MissingField("indexed"))?;
+    let mut indexed = Vec::new();
+    if !indexed_csv.is_empty() {
+        for tag in indexed_csv.split(',') {
+            if indexed.len() >= Measure::EXTENDED.len() {
+                return Err(ProtoError::TooLong {
+                    what: "indexed measure",
+                    len: indexed.len().saturating_add(1),
+                });
+            }
+            indexed.push(parse_measure(tag)?);
+        }
+    }
+    let plan_line = it.next().ok_or(ProtoError::MissingField("plan"))?;
+    let plan_csv = plan_line
+        .strip_prefix("plan=")
+        .ok_or(ProtoError::MissingField("plan"))?;
+    // The plan is one entry per series — legitimately larger than
+    // MAX_LIST for big models, so it gets its own generous cap.
+    let mut assignments = Vec::new();
+    if plan_csv != "-" {
+        for tok in plan_csv.split(',') {
+            if assignments.len() >= (1 << 24) {
+                return Err(ProtoError::TooLong {
+                    what: "plan entry",
+                    len: assignments.len().saturating_add(1),
+                });
+            }
+            assignments.push(parse_u32(tok)?);
+        }
+    }
+    let meta = ShardMeta {
+        shard: shard.ok_or(ProtoError::MissingField("shard"))?,
+        shards: shards.ok_or(ProtoError::MissingField("shards"))?,
+        series: series.ok_or(ProtoError::MissingField("series"))?,
+        samples: samples.ok_or(ProtoError::MissingField("samples"))?,
+        ticks: ticks.ok_or(ProtoError::MissingField("ticks"))?,
+        epoch: epoch.ok_or(ProtoError::MissingField("epoch"))?,
+        indexed,
+        assignments,
+    };
+    if meta.series != meta.assignments.len() {
+        return Err(ProtoError::BadBody(format!(
+            "plan has {} entries for {} series",
+            meta.assignments.len(),
+            meta.series
+        )));
+    }
+    Ok(meta)
+}
+
+fn decode_keyed_entry(tok: &str) -> Result<(f64, u32), ProtoError> {
+    let (xi, v) = tok
+        .split_once(':')
+        .ok_or(ProtoError::BadPair(bounded(tok)))?;
+    Ok((parse_f64_hex(xi)?, parse_u32(v)?))
+}
+
+/// Decode a response body against the request that produced it. The
+/// coordinator always knows what it asked, so the expected shape is an
+/// input, not guesswork.
+///
+/// # Errors
+/// A [`ProtoError`] describing the malformation; never panics.
+pub fn decode_response(req: &ShardRequest, lines: &[String]) -> Result<ShardResponse, ProtoError> {
+    match req {
+        ShardRequest::Meta => decode_meta(lines).map(ShardResponse::Meta),
+        ShardRequest::ThresholdPairs { .. } | ShardRequest::RangePairs { .. } => {
+            let mut chunks = Vec::new();
+            for line in lines {
+                let payload = tagged(line, "c")?;
+                let (ord, csv) = payload
+                    .split_once(' ')
+                    .ok_or(ProtoError::BadBody(bounded(line)))?;
+                chunks.push((parse_u32(ord)?, parse_pairs_csv_unbounded(csv)?));
+            }
+            Ok(ShardResponse::PairChunks(chunks))
+        }
+        ShardRequest::ThresholdSeries { .. } | ShardRequest::RangeSeries { .. } => {
+            let mut clusters = Vec::new();
+            for line in lines {
+                let payload = tagged(line, "k")?;
+                let (l, csv) = payload
+                    .split_once(' ')
+                    .ok_or(ProtoError::BadBody(bounded(line)))?;
+                // Cluster indices must arrive in order — the merge
+                // aligns clusters positionally across shards.
+                if parse_usize(l)? != clusters.len() {
+                    return Err(ProtoError::BadBody(bounded(line)));
+                }
+                let mut entries = Vec::new();
+                if csv != "-" {
+                    for tok in csv.split(',') {
+                        entries.push(decode_keyed_entry(tok)?);
+                    }
+                }
+                clusters.push(entries);
+            }
+            Ok(ShardResponse::KeyedSeries(clusters))
+        }
+        ShardRequest::LocationValues { ids, .. } | ShardRequest::DiagValues { ids, .. } => {
+            let mut values = Vec::new();
+            for line in lines {
+                values.push(parse_f64_hex(tagged(line, "v")?)?);
+            }
+            if values.len() != ids.len() {
+                return Err(ProtoError::BadBody(format!(
+                    "{} values for {} ids",
+                    values.len(),
+                    ids.len()
+                )));
+            }
+            Ok(ShardResponse::Values(values))
+        }
+        ShardRequest::PairValues { pairs, .. } => {
+            let mut values = Vec::new();
+            for line in lines {
+                let payload = tagged(line, "v")?;
+                values.push(if payload == "-" {
+                    None
+                } else {
+                    Some(parse_f64_hex(payload)?)
+                });
+            }
+            if values.len() != pairs.len() {
+                return Err(ProtoError::BadBody(format!(
+                    "{} values for {} pairs",
+                    values.len(),
+                    pairs.len()
+                )));
+            }
+            Ok(ShardResponse::MaybeValues(values))
+        }
+        ShardRequest::ScanPairs { .. } => {
+            let mut entries = Vec::new();
+            for line in lines {
+                let payload = tagged(line, "p")?;
+                let mut toks = payload.splitn(3, ':');
+                let u = parse_u32(toks.next().ok_or(ProtoError::BadBody(bounded(line)))?)?;
+                let v = parse_u32(toks.next().ok_or(ProtoError::BadBody(bounded(line)))?)?;
+                let x = parse_f64_hex(toks.next().ok_or(ProtoError::BadBody(bounded(line)))?)?;
+                if u >= v {
+                    return Err(ProtoError::BadPair(bounded(payload)));
+                }
+                entries.push((u, v, x));
+            }
+            Ok(ShardResponse::ScanPairs(entries))
+        }
+        ShardRequest::ScanSeries { .. } => {
+            let mut entries = Vec::new();
+            for line in lines {
+                let payload = tagged(line, "s")?;
+                let (v, x) = payload
+                    .split_once(':')
+                    .ok_or(ProtoError::BadBody(bounded(line)))?;
+                entries.push((parse_u32(v)?, parse_f64_hex(x)?));
+            }
+            Ok(ShardResponse::ScanSeries(entries))
+        }
+    }
+}
+
+/// Pair csv without the request-side [`MAX_LIST`] cap: response chunk
+/// sizes are bounded by the transport's line/body limits instead (a
+/// shard's legitimate chunk may exceed the request-list cap).
+fn parse_pairs_csv_unbounded(s: &str) -> Result<Vec<(u32, u32)>, ProtoError> {
+    if s == "-" {
+        return Ok(Vec::new());
+    }
+    let mut out = Vec::new();
+    for tok in s.split(',') {
+        out.push(parse_pair_tok(tok)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let reqs = vec![
+            ShardRequest::Meta,
+            ShardRequest::ThresholdPairs {
+                measure: PairwiseMeasure::Correlation,
+                op: ThresholdOp::Greater,
+                tau: 0.5,
+            },
+            ShardRequest::RangePairs {
+                measure: PairwiseMeasure::DotProduct,
+                lo: -0.0,
+                hi: f64::NAN,
+            },
+            ShardRequest::ThresholdSeries {
+                measure: LocationMeasure::Median,
+                op: ThresholdOp::Less,
+                tau: 1e300,
+            },
+            ShardRequest::RangeSeries {
+                measure: LocationMeasure::Mode,
+                lo: -1.0,
+                hi: 1.0,
+            },
+            ShardRequest::LocationValues {
+                measure: LocationMeasure::Mean,
+                ids: vec![0, 5, 2],
+            },
+            ShardRequest::LocationValues {
+                measure: LocationMeasure::Mean,
+                ids: vec![],
+            },
+            ShardRequest::PairValues {
+                measure: PairwiseMeasure::Covariance,
+                pairs: vec![(0, 1), (3, 9)],
+            },
+            ShardRequest::DiagValues {
+                measure: PairwiseMeasure::Dice,
+                ids: vec![7],
+            },
+            ShardRequest::ScanPairs {
+                measure: PairwiseMeasure::Cosine,
+            },
+            ShardRequest::ScanSeries {
+                measure: LocationMeasure::Median,
+            },
+        ];
+        for req in reqs {
+            let line = encode_request(&req);
+            let back = decode_request(&line).unwrap();
+            // NaN != NaN, so compare re-encodings (hex is bit-exact).
+            assert_eq!(encode_request(&back), line);
+        }
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let cases: Vec<(ShardRequest, ShardResponse)> = vec![
+            (
+                ShardRequest::Meta,
+                ShardResponse::Meta(ShardMeta {
+                    shard: 1,
+                    shards: 2,
+                    series: 4,
+                    samples: 32,
+                    ticks: 40,
+                    epoch: 3,
+                    indexed: Measure::EXTENDED.to_vec(),
+                    assignments: vec![0, 0, 1, 1],
+                }),
+            ),
+            (
+                ShardRequest::ThresholdPairs {
+                    measure: PairwiseMeasure::Correlation,
+                    op: ThresholdOp::Greater,
+                    tau: 0.5,
+                },
+                ShardResponse::PairChunks(vec![(2, vec![(0, 1), (0, 3)]), (5, vec![])]),
+            ),
+            (
+                ShardRequest::ThresholdSeries {
+                    measure: LocationMeasure::Mean,
+                    op: ThresholdOp::Greater,
+                    tau: 0.0,
+                },
+                ShardResponse::KeyedSeries(vec![vec![(1.5, 0), (-0.0, 3)], vec![], vec![(2.0, 2)]]),
+            ),
+            (
+                ShardRequest::LocationValues {
+                    measure: LocationMeasure::Mean,
+                    ids: vec![1, 2],
+                },
+                ShardResponse::Values(vec![1.25, -7.5]),
+            ),
+            (
+                ShardRequest::PairValues {
+                    measure: PairwiseMeasure::Covariance,
+                    pairs: vec![(0, 1), (1, 2)],
+                },
+                ShardResponse::MaybeValues(vec![Some(0.25), None]),
+            ),
+            (
+                ShardRequest::ScanPairs {
+                    measure: PairwiseMeasure::Cosine,
+                },
+                ShardResponse::ScanPairs(vec![(0, 2, 0.75)]),
+            ),
+            (
+                ShardRequest::ScanSeries {
+                    measure: LocationMeasure::Mode,
+                },
+                ShardResponse::ScanSeries(vec![(3, 42.0)]),
+            ),
+        ];
+        for (req, resp) in cases {
+            let lines = encode_response(&resp);
+            let back = decode_response(&req, &lines).unwrap();
+            assert_eq!(back, resp);
+        }
+    }
+
+    #[test]
+    fn malformed_inputs_yield_typed_errors() {
+        assert!(matches!(decode_request(""), Err(ProtoError::Empty)));
+        assert!(matches!(
+            decode_request("!nope x"),
+            Err(ProtoError::UnknownRequest(_))
+        ));
+        assert!(matches!(
+            decode_request("!tpg sideways gt 0"),
+            Err(ProtoError::BadMeasure(_))
+        ));
+        assert!(matches!(
+            decode_request("!tpg corr sideways 0"),
+            Err(ProtoError::BadOp(_))
+        ));
+        assert!(matches!(
+            decode_request("!tpg corr gt zzz…"),
+            Err(ProtoError::BadNumber(_))
+        ));
+        assert!(matches!(
+            decode_request("!pv corr 3:1"),
+            Err(ProtoError::BadPair(_))
+        ));
+        assert!(matches!(
+            decode_request("!meta trailing"),
+            Err(ProtoError::BadBody(_))
+        ));
+        // Oversized id list.
+        let huge = (0..=MAX_LIST as u32)
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        assert!(matches!(
+            decode_request(&format!("!lv mean {huge}")),
+            Err(ProtoError::TooLong { .. })
+        ));
+        // Response shape mismatches.
+        let req = ShardRequest::LocationValues {
+            measure: LocationMeasure::Mean,
+            ids: vec![1],
+        };
+        assert!(decode_response(&req, &["p 0:1:abc".to_string()]).is_err());
+        assert!(decode_response(&req, &[]).is_err());
+        assert!(decode_response(&ShardRequest::Meta, &["shard=1".to_string()]).is_err());
+    }
+}

@@ -1,0 +1,558 @@
+//! The TCP shard backend: per-request deadlines, jittered
+//! exponential-backoff retries, and a per-shard circuit breaker.
+//!
+//! A [`RemoteShard`] owns one connection to one shard server and
+//! implements [`ShardBackend`] over the serve line protocol. Failure
+//! policy:
+//!
+//! * every attempt has a hard deadline ([`RetryPolicy::timeout`]) on
+//!   connect, write, and read;
+//! * a failed attempt is retried up to [`RetryPolicy::attempts`] times
+//!   with exponential backoff, jittered ×[0.5, 1.5) so a fleet of
+//!   coordinator workers does not re-dogpile a recovering shard;
+//! * consecutive failures trip the [`CircuitBreaker`] open — calls then
+//!   fast-fail without touching the socket until the cooldown elapses,
+//!   after which a single half-open probe decides re-close vs re-open;
+//! * a shard flagged `needs_resync` (its server died or missed a tick
+//!   fan-out) fast-fails even with a closed breaker, until the
+//!   supervisor verifies tick-parity and calls
+//!   [`RemoteShard::clear_resync`]. A respawned-but-stale shard must
+//!   never serve answers from an old epoch.
+
+use crate::backend::{BackendError, ShardBackend};
+use crate::proto::{decode_response, encode_request, ShardRequest, ShardResponse};
+use crate::stats::CoordStats;
+use parking_lot::Mutex;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Cap on one response line read from a shard server. Matches the
+/// serve transport's own line cap so the reader cannot be ballooned by
+/// a corrupt peer.
+const MAX_RESPONSE_LINE: u64 = 64 * 1024;
+/// Cap on the number of body lines one response may announce.
+const MAX_BODY_LINES: u64 = 1 << 20;
+
+/// Deadlines and retry budget for one logical call.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Attempts per logical call (1 = no retries).
+    pub attempts: u32,
+    /// Hard per-attempt deadline (connect, write, and read).
+    pub timeout: Duration,
+    /// Backoff before the first retry; doubles per retry.
+    pub backoff_base: Duration,
+    /// Upper bound on the (pre-jitter) backoff.
+    pub backoff_cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 3,
+            timeout: Duration::from_secs(2),
+            backoff_base: Duration::from_millis(20),
+            backoff_cap: Duration::from_millis(200),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The pre-jitter backoff before retry number `retry` (0-based).
+    fn backoff(&self, retry: u32) -> Duration {
+        let factor = 1u32 << retry.min(8);
+        self.backoff_base
+            .saturating_mul(factor)
+            .min(self.backoff_cap)
+    }
+}
+
+/// Circuit-breaker tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct BreakerPolicy {
+    /// Consecutive logical-call failures that trip the breaker open.
+    pub threshold: u32,
+    /// How long the breaker stays open before allowing one half-open
+    /// probe.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerPolicy {
+    fn default() -> BreakerPolicy {
+        BreakerPolicy {
+            threshold: 3,
+            cooldown: Duration::from_millis(500),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum BreakerState {
+    Closed,
+    Open { since: Instant },
+    HalfOpen,
+}
+
+struct BreakerInner {
+    state: BreakerState,
+    consecutive: u32,
+}
+
+/// A closed / open / half-open circuit breaker guarding one shard.
+///
+/// `admit` answers "may this call touch the socket?"; callers report
+/// the outcome with `on_success` / `on_failure`. While open, at most
+/// one probe is admitted per cooldown window.
+pub struct CircuitBreaker {
+    policy: BreakerPolicy,
+    inner: Mutex<BreakerInner>,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given policy.
+    pub fn new(policy: BreakerPolicy) -> CircuitBreaker {
+        CircuitBreaker {
+            policy,
+            inner: Mutex::new(BreakerInner {
+                state: BreakerState::Closed,
+                consecutive: 0,
+            }),
+        }
+    }
+
+    /// Whether a call may proceed. An open breaker past its cooldown
+    /// transitions to half-open and admits exactly that one probe.
+    pub fn admit(&self) -> bool {
+        let mut g = self.inner.lock();
+        match g.state {
+            BreakerState::Closed => true,
+            BreakerState::Open { since } => {
+                if since.elapsed() >= self.policy.cooldown {
+                    g.state = BreakerState::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+            // A probe is already in flight; hold further calls back.
+            BreakerState::HalfOpen => false,
+        }
+    }
+
+    /// Report a completed round-trip: re-close from any state.
+    pub fn on_success(&self) {
+        let mut g = self.inner.lock();
+        g.state = BreakerState::Closed;
+        g.consecutive = 0;
+    }
+
+    /// Report a failed logical call: trip open from half-open
+    /// immediately, or from closed once the threshold is met.
+    pub fn on_failure(&self) {
+        let mut g = self.inner.lock();
+        g.consecutive = g.consecutive.saturating_add(1);
+        let trip =
+            matches!(g.state, BreakerState::HalfOpen) || g.consecutive >= self.policy.threshold;
+        if trip {
+            g.state = BreakerState::Open {
+                since: Instant::now(),
+            };
+        }
+    }
+
+    /// Trip the breaker open immediately (supervisor saw the child
+    /// die — no point burning the retry budget on a dead socket).
+    pub fn force_open(&self) {
+        let mut g = self.inner.lock();
+        g.consecutive = g.consecutive.max(self.policy.threshold);
+        g.state = BreakerState::Open {
+            since: Instant::now(),
+        };
+    }
+
+    /// Whether a call would currently be admitted (no state change).
+    pub fn would_admit(&self) -> bool {
+        let g = self.inner.lock();
+        match g.state {
+            BreakerState::Closed => true,
+            BreakerState::Open { since } => since.elapsed() >= self.policy.cooldown,
+            BreakerState::HalfOpen => false,
+        }
+    }
+
+    /// The state name, for `.health` reporting.
+    pub fn state_name(&self) -> &'static str {
+        match self.inner.lock().state {
+            BreakerState::Closed => "closed",
+            BreakerState::Open { .. } => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+}
+
+/// Deterministic per-shard jitter source (xorshift64*); no global RNG,
+/// seeded off the shard index so runs are reproducible.
+struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    fn new(seed: u64) -> XorShift64 {
+        XorShift64 {
+            state: seed | 1, // never zero
+        }
+    }
+
+    /// Uniform-ish in [0.5, 1.5).
+    fn jitter(&mut self) -> f64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        0.5 + (x >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+struct LineConn {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+/// A TCP [`ShardBackend`] to one shard server, with the failure policy
+/// described in the module docs.
+pub struct RemoteShard {
+    shard: usize,
+    addr: Mutex<String>,
+    conn: Mutex<Option<LineConn>>,
+    breaker: CircuitBreaker,
+    needs_resync: AtomicBool,
+    retry: RetryPolicy,
+    stats: Arc<CoordStats>,
+    seq: AtomicU64,
+    jitter: Mutex<XorShift64>,
+}
+
+impl RemoteShard {
+    /// A backend for shard `shard` at `addr` (`host:port`). No
+    /// connection is made until the first call.
+    pub fn new(
+        shard: usize,
+        addr: String,
+        retry: RetryPolicy,
+        breaker: BreakerPolicy,
+        stats: Arc<CoordStats>,
+    ) -> RemoteShard {
+        RemoteShard {
+            shard,
+            addr: Mutex::new(addr),
+            conn: Mutex::new(None),
+            breaker: CircuitBreaker::new(breaker),
+            needs_resync: AtomicBool::new(false),
+            retry,
+            stats,
+            seq: AtomicU64::new(1),
+            jitter: Mutex::new(XorShift64::new(0x9E37_79B9_7F4A_7C15 ^ shard as u64)),
+        }
+    }
+
+    /// The current shard-server address.
+    pub fn addr(&self) -> String {
+        self.addr.lock().clone()
+    }
+
+    /// Point this backend at a respawned shard server. Drops any
+    /// cached connection.
+    pub fn set_addr(&self, addr: String) {
+        *self.addr.lock() = addr;
+        *self.conn.lock() = None;
+    }
+
+    /// Quarantine the shard: fast-fail every call until
+    /// [`RemoteShard::clear_resync`]. Also trips the breaker and drops
+    /// the cached connection.
+    pub fn mark_resync(&self) {
+        self.needs_resync.store(true, Ordering::Release);
+        self.breaker.force_open();
+        *self.conn.lock() = None;
+    }
+
+    /// Readmit the shard after the supervisor verified tick-parity:
+    /// clears the quarantine and re-closes the breaker.
+    pub fn clear_resync(&self) {
+        self.needs_resync.store(false, Ordering::Release);
+        self.breaker.on_success();
+    }
+
+    /// Whether the shard is quarantined pending re-heal.
+    pub fn resyncing(&self) -> bool {
+        self.needs_resync.load(Ordering::Acquire)
+    }
+
+    /// Whether a call right now would be admitted (health reporting).
+    pub fn available(&self) -> bool {
+        !self.resyncing() && self.breaker.would_admit()
+    }
+
+    /// Breaker state name for `.health`.
+    pub fn state_name(&self) -> &'static str {
+        self.breaker.state_name()
+    }
+
+    /// One shot of a control command (`.ping`, `.tick 3`, `.epoch`,
+    /// `.shutdown`) on a *fresh* connection with its own deadline,
+    /// bypassing breaker and retry policy — the supervisor uses this
+    /// while the shard is quarantined. Returns the raw `+...`/`-...`
+    /// reply line, trimmed.
+    pub fn control_once(addr: &str, cmd: &str, timeout: Duration) -> std::io::Result<String> {
+        let sockaddr: SocketAddr = addr
+            .parse()
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, format!("{e}")))?;
+        let mut stream = TcpStream::connect_timeout(&sockaddr, timeout)?;
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        stream.write_all(cmd.as_bytes())?;
+        stream.write_all(b"\n")?;
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        let n = reader
+            .by_ref()
+            .take(MAX_RESPONSE_LINE)
+            .read_line(&mut line)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed before reply",
+            ));
+        }
+        Ok(line.trim_end().to_string())
+    }
+
+    fn connect(&self) -> std::io::Result<LineConn> {
+        let addr = self.addr();
+        let sockaddr: SocketAddr = addr
+            .parse()
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, format!("{e}")))?;
+        let stream = TcpStream::connect_timeout(&sockaddr, self.retry.timeout)?;
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(Some(self.retry.timeout))?;
+        stream.set_write_timeout(Some(self.retry.timeout))?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(LineConn { stream, reader })
+    }
+
+    /// One wire round-trip on the cached (or a fresh) connection.
+    fn attempt(&self, req: &ShardRequest) -> Result<ShardResponse, String> {
+        let mut guard = self.conn.lock();
+        if guard.is_none() {
+            *guard = Some(self.connect().map_err(|e| format!("connect: {e}"))?);
+        }
+        let result = match guard.as_mut() {
+            Some(conn) => self.round_trip(conn, req),
+            None => Err("connect: no connection".to_string()),
+        };
+        if result.is_err() {
+            // Drop the connection: a timed-out or torn socket may have
+            // a stale reply in flight that would corrupt the next call.
+            *guard = None;
+        }
+        result
+    }
+
+    fn round_trip(&self, conn: &mut LineConn, req: &ShardRequest) -> Result<ShardResponse, String> {
+        let id = self.seq.fetch_add(1, Ordering::AcqRel);
+        let line = format!("{id} {}\n", encode_request(req));
+        conn.stream
+            .write_all(line.as_bytes())
+            .map_err(|e| format!("write: {e}"))?;
+        let status = read_capped_line(&mut conn.reader)?;
+        let mut parts = status.split_whitespace();
+        let verb = parts.next().ok_or("empty status line")?;
+        let got_id = parts.next().ok_or("status line missing id")?;
+        if got_id != id.to_string() {
+            return Err(format!("response id {got_id} does not match request {id}"));
+        }
+        match verb {
+            "OK" => {
+                let count: u64 = parts
+                    .next()
+                    .ok_or("OK line missing count")?
+                    .parse()
+                    .map_err(|e| format!("bad body count: {e}"))?;
+                if count > MAX_BODY_LINES {
+                    return Err(format!("body of {count} lines exceeds cap"));
+                }
+                let mut body = Vec::with_capacity(count.min(1024) as usize);
+                for _ in 0..count {
+                    body.push(read_capped_line(&mut conn.reader)?);
+                }
+                decode_response(req, &body).map_err(|e| format!("decode: {e}"))
+            }
+            "ERR" => {
+                let code = parts.next().unwrap_or("INTERNAL").to_string();
+                let message = parts.collect::<Vec<_>>().join(" ");
+                // A typed error is a completed round-trip: the shard is
+                // healthy, the statement is what failed.
+                Err(format!("\u{0}{code}\u{0}{message}"))
+            }
+            other => Err(format!("unexpected status verb {other:?}")),
+        }
+    }
+}
+
+/// Read one `\n`-terminated line, bounded by [`MAX_RESPONSE_LINE`].
+fn read_capped_line(reader: &mut BufReader<TcpStream>) -> Result<String, String> {
+    let mut line = String::new();
+    let n = reader
+        .by_ref()
+        .take(MAX_RESPONSE_LINE)
+        .read_line(&mut line)
+        .map_err(|e| format!("read: {e}"))?;
+    if n == 0 {
+        return Err("connection closed mid-response".to_string());
+    }
+    if !line.ends_with('\n') {
+        return Err("response line unterminated or over cap".to_string());
+    }
+    Ok(line.trim_end().to_string())
+}
+
+impl ShardBackend for RemoteShard {
+    fn shard(&self) -> usize {
+        self.shard
+    }
+
+    fn call(&self, req: &ShardRequest) -> Result<ShardResponse, BackendError> {
+        if self.resyncing() || !self.breaker.admit() {
+            // Fast-fail: still a routing decision, so it is `routed`;
+            // the coordinator settles it into degraded/failed.
+            CoordStats::bump(&self.stats.routed);
+            return Err(BackendError::Unavailable {
+                shard: self.shard,
+                reason: if self.resyncing() {
+                    "quarantined pending re-heal".to_string()
+                } else {
+                    "circuit open".to_string()
+                },
+            });
+        }
+        let mut last = String::new();
+        for attempt in 0..self.retry.attempts {
+            CoordStats::bump(&self.stats.routed);
+            match self.attempt(req) {
+                Ok(resp) => {
+                    self.breaker.on_success();
+                    CoordStats::bump(&self.stats.merged);
+                    return Ok(resp);
+                }
+                Err(e) => {
+                    if let Some(rest) = e.strip_prefix('\u{0}') {
+                        // Typed shard error: round-trip completed.
+                        self.breaker.on_success();
+                        CoordStats::bump(&self.stats.merged);
+                        let (code, message) = rest
+                            .split_once('\u{0}')
+                            .map(|(c, m)| (c.to_string(), m.to_string()))
+                            .unwrap_or_else(|| ("INTERNAL".to_string(), rest.to_string()));
+                        return Err(BackendError::Remote {
+                            shard: self.shard,
+                            code,
+                            message,
+                        });
+                    }
+                    last = e;
+                    if attempt + 1 < self.retry.attempts {
+                        CoordStats::bump(&self.stats.retried);
+                        let base = self.retry.backoff(attempt);
+                        let jit = self.jitter.lock().jitter();
+                        std::thread::sleep(base.mul_f64(jit));
+                    }
+                }
+            }
+        }
+        self.breaker.on_failure();
+        Err(BackendError::Unavailable {
+            shard: self.shard,
+            reason: last,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breaker_trips_after_threshold_and_probes_after_cooldown() {
+        let b = CircuitBreaker::new(BreakerPolicy {
+            threshold: 2,
+            cooldown: Duration::from_millis(10),
+        });
+        assert!(b.admit());
+        b.on_failure();
+        assert!(b.admit(), "one failure below threshold keeps it closed");
+        b.on_failure();
+        assert_eq!(b.state_name(), "open");
+        assert!(!b.admit(), "open breaker fast-fails inside cooldown");
+        std::thread::sleep(Duration::from_millis(15));
+        assert!(b.admit(), "cooldown elapsed: one half-open probe");
+        assert_eq!(b.state_name(), "half-open");
+        assert!(!b.admit(), "only one probe at a time");
+        b.on_failure();
+        assert_eq!(b.state_name(), "open", "failed probe re-opens");
+        std::thread::sleep(Duration::from_millis(15));
+        assert!(b.admit());
+        b.on_success();
+        assert_eq!(b.state_name(), "closed", "good probe re-closes");
+        assert!(b.admit());
+    }
+
+    #[test]
+    fn jitter_stays_in_band() {
+        let mut j = XorShift64::new(42);
+        for _ in 0..1000 {
+            let x = j.jitter();
+            assert!((0.5..1.5).contains(&x), "jitter {x} out of band");
+        }
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff(0), Duration::from_millis(20));
+        assert_eq!(p.backoff(1), Duration::from_millis(40));
+        assert_eq!(p.backoff(2), Duration::from_millis(80));
+        assert_eq!(p.backoff(10), Duration::from_millis(200), "capped");
+    }
+
+    #[test]
+    fn dead_address_yields_unavailable_and_counts_attempts() {
+        let stats = Arc::new(CoordStats::new());
+        let remote = RemoteShard::new(
+            0,
+            // Reserved port on localhost that nothing listens on.
+            "127.0.0.1:1".to_string(),
+            RetryPolicy {
+                attempts: 2,
+                timeout: Duration::from_millis(100),
+                backoff_base: Duration::from_millis(1),
+                backoff_cap: Duration::from_millis(2),
+            },
+            BreakerPolicy::default(),
+            stats.clone(),
+        );
+        let err = remote.call(&ShardRequest::Meta);
+        assert!(matches!(
+            err,
+            Err(BackendError::Unavailable { shard: 0, .. })
+        ));
+        let routed = stats.routed.load(std::sync::atomic::Ordering::Acquire);
+        let retried = stats.retried.load(std::sync::atomic::Ordering::Acquire);
+        assert_eq!(routed, 2, "both attempts routed");
+        assert_eq!(retried, 1, "first failure retried");
+    }
+}

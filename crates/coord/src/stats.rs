@@ -1,0 +1,107 @@
+//! The coordinator's conservation ledger.
+//!
+//! Two levels, both monotone counters:
+//!
+//! * **Attempts** — every dispatch of one request to one shard backend
+//!   lands in exactly one bucket, so `routed == merged + retried +
+//!   degraded + failed` holds at every quiescent point:
+//!   - `routed`: attempts dispatched (circuit-breaker fast-fails
+//!     included — deciding not to touch the socket is still a routing
+//!     decision).
+//!   - `merged`: attempts that completed a round-trip and contributed
+//!     to (or typed-errored) an answer.
+//!   - `retried`: failed attempts that were followed by another attempt
+//!     of the same logical call.
+//!   - `degraded`: final failed attempts of calls the coordinator
+//!     degraded around (the statement still answered, typed
+//!     `DEGRADED`).
+//!   - `failed`: final failed attempts of calls whose statement could
+//!     not be answered (typed `UNAVAILABLE`).
+//! * **Statements** — `stmts == ok + degraded_answers + unavailable +
+//!   errors` classifies every client statement by its outcome.
+//!
+//! A failed attempt is parked in limbo between its final failure and
+//! the end of its statement (the coordinator cannot know
+//! degraded-vs-failed until the merge finishes), so exact balance is
+//! asserted between statements, which is when the chaos suite reads
+//! `.stats`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotone counters shared by backends, the executor, and `.stats`
+/// rendering. See the module docs for the conservation invariants.
+#[derive(Debug, Default)]
+pub struct CoordStats {
+    /// Attempts dispatched to a shard backend.
+    pub routed: AtomicU64,
+    /// Attempts that completed a round-trip.
+    pub merged: AtomicU64,
+    /// Failed attempts followed by a retry.
+    pub retried: AtomicU64,
+    /// Final failed attempts the statement degraded around.
+    pub degraded: AtomicU64,
+    /// Final failed attempts that made the statement unanswerable.
+    pub failed: AtomicU64,
+    /// Client statements received.
+    pub stmts: AtomicU64,
+    /// Statements answered completely.
+    pub ok: AtomicU64,
+    /// Statements answered partially (typed `DEGRADED`).
+    pub degraded_answers: AtomicU64,
+    /// Statements refused with `UNAVAILABLE`.
+    pub unavailable: AtomicU64,
+    /// Statements failed with any other typed error.
+    pub errors: AtomicU64,
+}
+
+impl CoordStats {
+    /// A zeroed ledger.
+    pub fn new() -> CoordStats {
+        CoordStats::default()
+    }
+
+    /// Increment one counter.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Add `n` to one counter.
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::AcqRel);
+    }
+
+    /// Render every counter as `key=value` pairs (the `.stats` body and
+    /// the final `COORD done` line).
+    pub fn render(&self) -> String {
+        let g = |c: &AtomicU64| c.load(Ordering::Acquire);
+        format!(
+            "routed={} merged={} retried={} degraded={} failed={} stmts={} ok={} degraded_answers={} unavailable={} errors={}",
+            g(&self.routed),
+            g(&self.merged),
+            g(&self.retried),
+            g(&self.degraded),
+            g(&self.failed),
+            g(&self.stmts),
+            g(&self.ok),
+            g(&self.degraded_answers),
+            g(&self.unavailable),
+            g(&self.errors)
+        )
+    }
+
+    /// Both conservation identities, checked at a quiescent point (no
+    /// statement in flight).
+    pub fn balanced(&self) -> bool {
+        let g = |c: &AtomicU64| c.load(Ordering::Acquire);
+        g(&self.routed)
+            == g(&self.merged)
+                .saturating_add(g(&self.retried))
+                .saturating_add(g(&self.degraded))
+                .saturating_add(g(&self.failed))
+            && g(&self.stmts)
+                == g(&self.ok)
+                    .saturating_add(g(&self.degraded_answers))
+                    .saturating_add(g(&self.unavailable))
+                    .saturating_add(g(&self.errors))
+    }
+}

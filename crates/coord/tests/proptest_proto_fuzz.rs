@@ -1,0 +1,284 @@
+//! Wire-protocol hardening: the coordinator's response parser and the
+//! shard server's request decoder both consume bytes straight off
+//! sockets that a dying peer can truncate, corrupt, or flood mid-frame.
+//! Feeding them arbitrary bytes, token soup, or mutated valid frames
+//! must always produce a *typed* [`ProtoError`] (or a valid decode) —
+//! never a panic, hang, or unbounded allocation.
+
+use affinity_coord::proto::{
+    decode_request, decode_response, encode_request, encode_response, ShardRequest,
+};
+use affinity_core::measures::{LocationMeasure, PairwiseMeasure};
+use affinity_scape::ThresholdOp;
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Every request shape, for decode_response's shape validation.
+fn request_shapes() -> Vec<ShardRequest> {
+    vec![
+        ShardRequest::Meta,
+        ShardRequest::ThresholdPairs {
+            measure: PairwiseMeasure::Correlation,
+            op: ThresholdOp::Greater,
+            tau: 0.5,
+        },
+        ShardRequest::RangePairs {
+            measure: PairwiseMeasure::Covariance,
+            lo: -1.0,
+            hi: 1.0,
+        },
+        ShardRequest::ThresholdSeries {
+            measure: LocationMeasure::Mean,
+            op: ThresholdOp::Less,
+            tau: 0.25,
+        },
+        ShardRequest::RangeSeries {
+            measure: LocationMeasure::Median,
+            lo: 0.0,
+            hi: 2.0,
+        },
+        ShardRequest::LocationValues {
+            measure: LocationMeasure::Mode,
+            ids: vec![0, 3, 7],
+        },
+        ShardRequest::PairValues {
+            measure: PairwiseMeasure::Cosine,
+            pairs: vec![(0, 1), (2, 5)],
+        },
+        ShardRequest::DiagValues {
+            measure: PairwiseMeasure::Dice,
+            ids: vec![1, 2],
+        },
+        ShardRequest::ScanPairs {
+            measure: PairwiseMeasure::DotProduct,
+        },
+        ShardRequest::ScanSeries {
+            measure: LocationMeasure::Mean,
+        },
+    ]
+}
+
+fn decode_request_must_not_panic(line: &str) -> Result<(), TestCaseError> {
+    let outcome = catch_unwind(AssertUnwindSafe(|| match decode_request(line) {
+        Ok(req) => {
+            // Re-encode must be total (the remote backend sends it).
+            let _ = encode_request(&req);
+            true
+        }
+        Err(e) => {
+            let _ = e.to_string();
+            true
+        }
+    }));
+    prop_assert!(
+        outcome.unwrap_or(false),
+        "decode_request panicked on {line:?}"
+    );
+    Ok(())
+}
+
+fn decode_response_must_not_panic(lines: &[String]) -> Result<(), TestCaseError> {
+    for req in request_shapes() {
+        let outcome = catch_unwind(AssertUnwindSafe(|| match decode_response(&req, lines) {
+            Ok(resp) => {
+                let _ = encode_response(&resp);
+                true
+            }
+            Err(e) => {
+                let _ = e.to_string();
+                true
+            }
+        }));
+        prop_assert!(
+            outcome.unwrap_or(false),
+            "decode_response panicked on {lines:?} for {req:?}"
+        );
+    }
+    Ok(())
+}
+
+/// Protocol fragments recombined into near-miss frames — the inputs
+/// most likely to trip a tag/arity/hex edge purely random bytes miss.
+const TOKENS: &[&str] = &[
+    "!meta",
+    "!tpg",
+    "!rpg",
+    "!tsk",
+    "!rsk",
+    "!lv",
+    "!pv",
+    "!dv",
+    "!sp",
+    "!ss",
+    "meta",
+    "corr",
+    "cov",
+    "dot",
+    "cos",
+    "dice",
+    "mean",
+    "median",
+    "mode",
+    "gt",
+    "lt",
+    "c",
+    "k",
+    "v",
+    "p",
+    "s",
+    "3ff0000000000000",
+    "7ff8000000000000",
+    "ffffffffffffffff",
+    "0",
+    "1",
+    "4294967295",
+    "18446744073709551615",
+    "-1",
+    "0:1",
+    "1:0",
+    "5:5",
+    "0:1,2:3",
+    "-",
+    ",",
+    ":",
+    ";",
+    "",
+    " ",
+    "\t",
+    "0x41",
+    "1e308",
+    "NaN",
+    "!",
+    "!!",
+    "!tpg corr gt",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary bytes into the shard server's request decoder: typed
+    /// error or valid request, never a panic.
+    #[test]
+    fn arbitrary_bytes_never_panic_request_decode(bytes in vec(0u32..=255, 0..120)) {
+        let bytes: Vec<u8> = bytes.iter().map(|&b| b as u8).collect();
+        let line = String::from_utf8_lossy(&bytes);
+        decode_request_must_not_panic(&line)?;
+    }
+
+    /// Token soup into the request decoder.
+    #[test]
+    fn token_soup_never_panics_request_decode(picks in vec(0usize..1_000_000, 0..10), glue in 0u32..3) {
+        let sep = match glue { 0 => " ", 1 => "  ", _ => "\t" };
+        let line: String = picks
+            .iter()
+            .map(|&p| TOKENS[p % TOKENS.len()])
+            .collect::<Vec<_>>()
+            .join(sep);
+        decode_request_must_not_panic(&line)?;
+    }
+
+    /// Arbitrary body lines into the coordinator's response parser,
+    /// validated against every request shape: typed error or valid
+    /// response, never a panic.
+    #[test]
+    fn arbitrary_lines_never_panic_response_decode(
+        raw in vec(vec(0u32..=255, 0..60), 0..8),
+    ) {
+        let lines: Vec<String> = raw
+            .iter()
+            .map(|bytes| {
+                let bytes: Vec<u8> = bytes.iter().map(|&b| b as u8).collect();
+                String::from_utf8_lossy(&bytes).into_owned()
+            })
+            .collect();
+        decode_response_must_not_panic(&lines)?;
+    }
+
+    /// Token-soup body lines into the response parser.
+    #[test]
+    fn token_soup_never_panics_response_decode(
+        rows in vec(vec(0usize..1_000_000, 0..6), 0..6),
+    ) {
+        let lines: Vec<String> = rows
+            .iter()
+            .map(|picks| {
+                picks
+                    .iter()
+                    .map(|&p| TOKENS[p % TOKENS.len()])
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            })
+            .collect();
+        decode_response_must_not_panic(&lines)?;
+    }
+
+    /// Truncated frames: cut a *valid* encoded response at any point —
+    /// dropped tail lines and a chopped final line — and the parser
+    /// must answer typed, not panic. A dying shard server produces
+    /// exactly this shape.
+    #[test]
+    fn truncated_valid_responses_never_panic(which in 0usize..10, drop_lines in 0usize..8, cut in 0usize..80) {
+        let reqs = request_shapes();
+        let req = &reqs[which % reqs.len()];
+        // A small valid response for each shape, round-tripped from
+        // the decoder's own test vectors: encode whatever an empty
+        // model would answer.
+        let resp = match decode_response(req, &valid_body(req)) {
+            Ok(r) => r,
+            Err(e) => return Err(TestCaseError::fail(format!("fixture body invalid: {e}"))),
+        };
+        let mut lines = encode_response(&resp);
+        let keep = lines.len().saturating_sub(drop_lines % (lines.len() + 1));
+        lines.truncate(keep);
+        if let Some(last) = lines.last_mut() {
+            // Encoded protocol lines are pure ASCII, so any index is a
+            // char boundary.
+            last.truncate(cut % (last.len() + 1));
+        }
+        decode_response_must_not_panic(&lines)?;
+    }
+
+    /// Single-token corruption of a valid frame.
+    #[test]
+    fn corrupted_valid_requests_never_panic(which in 0usize..10, at in 0usize..12, with in 0usize..1_000_000) {
+        let reqs = request_shapes();
+        let line = encode_request(&reqs[which % reqs.len()]);
+        let mut toks: Vec<&str> = line.split(' ').collect();
+        let pos = at % toks.len();
+        toks[pos] = TOKENS[with % TOKENS.len()];
+        let corrupted = toks.join(" ");
+        decode_request_must_not_panic(&corrupted)?;
+    }
+}
+
+/// A minimal syntactically valid body for each request shape.
+fn valid_body(req: &ShardRequest) -> Vec<String> {
+    match req {
+        ShardRequest::Meta => vec![
+            "shard=0 shards=1 series=2 samples=4 ticks=0 epoch=1".into(),
+            "indexed=mean".into(),
+            "plan=0,0".into(),
+        ],
+        ShardRequest::ThresholdPairs { .. } | ShardRequest::RangePairs { .. } => {
+            vec!["c 0 0:1".into()]
+        }
+        ShardRequest::ThresholdSeries { .. } | ShardRequest::RangeSeries { .. } => {
+            vec!["k 0 3ff0000000000000:1".into()]
+        }
+        // Arity must match the request's id/pair count exactly.
+        ShardRequest::LocationValues { ids, .. } => {
+            vec!["v 3ff0000000000000".into(); ids.len()]
+        }
+        ShardRequest::DiagValues { ids, .. } => vec!["v 4000000000000000".into(); ids.len()],
+        ShardRequest::PairValues { pairs, .. } => {
+            let mut lines = vec!["v 3ff0000000000000".to_string(); pairs.len()];
+            if let Some(last) = lines.last_mut() {
+                *last = "v -".into();
+            }
+            lines
+        }
+        ShardRequest::ScanPairs { .. } => vec!["p 0:1:3ff0000000000000".into()],
+        ShardRequest::ScanSeries { .. } => vec!["s 0:3ff0000000000000".into()],
+    }
+}

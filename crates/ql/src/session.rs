@@ -50,6 +50,22 @@ impl fmt::Display for QlError {
     }
 }
 
+impl QlError {
+    /// Stable one-token wire-protocol code for this error, shared by
+    /// every network front-end (the serve line protocol and the
+    /// coordinator) so clients can match on a closed set.
+    pub fn wire_code(&self) -> &'static str {
+        match self {
+            QlError::Parse(_) => "PARSE",
+            QlError::UnknownSeries(_) => "UNKNOWN",
+            QlError::EmptyRange { .. } => "RANGE",
+            QlError::Cancelled => "CANCELLED",
+            QlError::DeadlineExceeded => "DEADLINE",
+            QlError::Engine(_) => "INTERNAL",
+        }
+    }
+}
+
 impl std::error::Error for QlError {}
 
 impl From<ParseError> for QlError {

@@ -44,4 +44,4 @@ pub mod server;
 pub use epoch::{EpochCell, ModelEpoch};
 pub use fault::{FaultPlan, ServeFault};
 pub use queue::{Admission, AdmissionQueue, QueuePolicy, ServeStats, ShedPolicy};
-pub use server::{ServeConfig, ServeError, Server};
+pub use server::{ServeConfig, ServeError, Server, ShardServing};

@@ -32,10 +32,13 @@
 use crate::epoch::{EpochCell, ModelEpoch};
 use crate::fault::{FaultPlan, ServeFault};
 use crate::queue::{Admission, AdmissionQueue, QueuePolicy, ServeStats};
+use affinity_coord::proto::{decode_request, encode_response, ShardRequest};
+use affinity_core::measures::Measure;
 use affinity_data::DataMatrix;
 use affinity_par::ThreadPool;
 use affinity_ql::{CancelToken, QlError};
-use affinity_stream::{RefreshKind, StreamError, StreamingEngine};
+use affinity_shard::{ShardError, ShardPlan, ShardedModel};
+use affinity_stream::{Model, RefreshKind, StreamError, StreamingEngine};
 use parking_lot::Mutex;
 use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -52,6 +55,35 @@ const MAX_LINE: u64 = 64 * 1024;
 /// long shutdown waits on an idle socket.
 const POLL: Duration = Duration::from_millis(50);
 
+/// Shard-server mode: this process serves one shard of a `K`-shard
+/// fleet. Epochs are published as [`ShardedModel`]s (cut with
+/// [`ShardPlan::blocked`], so every fleet member derives the identical
+/// plan from `(series, shards)` alone), and `!`-prefixed statement
+/// lines are answered through [`affinity_coord::answer`] — the same
+/// function the coordinator's in-process backend runs, which is what
+/// makes the distributed oracle hold.
+#[derive(Debug, Clone)]
+pub struct ShardServing {
+    /// This server's shard index (`< shards`).
+    pub shard: usize,
+    /// Fleet size.
+    pub shards: usize,
+    /// Measures the shard indexes (normally `Measure::EXTENDED`; every
+    /// fleet member must agree or the coordinator refuses the fleet).
+    pub indexed: Vec<Measure>,
+}
+
+impl ShardServing {
+    /// Shard `shard` of `shards`, indexing the extended measure set.
+    pub fn new(shard: usize, shards: usize) -> ShardServing {
+        ShardServing {
+            shard,
+            shards,
+            indexed: Measure::EXTENDED.to_vec(),
+        }
+    }
+}
+
 /// Server configuration (the CLI flags, structured).
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
@@ -63,6 +95,8 @@ pub struct ServeConfig {
     pub chaos: bool,
     /// Self-driven refresh churn: ingest one replay tick this often.
     pub churn_every: Option<Duration>,
+    /// Serve one shard of a fleet instead of the whole model.
+    pub shard: Option<ShardServing>,
 }
 
 impl Default for ServeConfig {
@@ -72,6 +106,7 @@ impl Default for ServeConfig {
             queue: QueuePolicy::default(),
             chaos: false,
             churn_every: None,
+            shard: None,
         }
     }
 }
@@ -85,6 +120,8 @@ pub enum ServeError {
     Stream(StreamError),
     /// Epoch construction failure.
     Ql(QlError),
+    /// Sharded-epoch construction failure (shard-server mode).
+    Shard(ShardError),
     /// The engine handed to [`Server::new`] has no model yet.
     NoModel,
 }
@@ -95,6 +132,7 @@ impl std::fmt::Display for ServeError {
             ServeError::Io(e) => write!(f, "io: {e}"),
             ServeError::Stream(e) => write!(f, "stream: {e}"),
             ServeError::Ql(e) => write!(f, "ql: {e}"),
+            ServeError::Shard(e) => write!(f, "shard: {e}"),
             ServeError::NoModel => write!(f, "engine has no model (window not warm?)"),
         }
     }
@@ -117,6 +155,12 @@ impl From<StreamError> for ServeError {
 impl From<QlError> for ServeError {
     fn from(e: QlError) -> Self {
         ServeError::Ql(e)
+    }
+}
+
+impl From<ShardError> for ServeError {
+    fn from(e: ShardError) -> Self {
+        ServeError::Shard(e)
     }
 }
 
@@ -169,6 +213,8 @@ pub struct Server {
     stats: ServeStats,
     faults: FaultPlan,
     cfg: ServeConfig,
+    /// Build pool for sharded epochs (shard-server mode only).
+    shard_pool: Option<Arc<ThreadPool>>,
     epoch_seq: AtomicU64,
     shutdown: AtomicBool,
 }
@@ -189,7 +235,19 @@ impl Server {
         cfg: ServeConfig,
     ) -> Result<Arc<Self>, ServeError> {
         let model = engine.model().ok_or(ServeError::NoModel)?;
-        let first = ModelEpoch::from_model(model, Vec::new(), 1)?;
+        let shard_pool = match &cfg.shard {
+            Some(sh) => {
+                if sh.shard >= sh.shards {
+                    return Err(ServeError::Shard(ShardError::Plan(format!(
+                        "shard {} of a {}-shard fleet",
+                        sh.shard, sh.shards
+                    ))));
+                }
+                Some(Arc::new(ThreadPool::new(cfg.workers.max(1))))
+            }
+            None => None,
+        };
+        let first = make_epoch(model, cfg.shard.as_ref(), shard_pool.as_ref(), 1)?;
         Ok(Arc::new(Server {
             cell: EpochCell::new(first),
             queue: AdmissionQueue::new(&cfg.queue),
@@ -200,6 +258,7 @@ impl Server {
             engine: Mutex::new(engine),
             replay,
             cfg,
+            shard_pool,
         }))
     }
 
@@ -369,6 +428,10 @@ impl Server {
         // In-flight queries keep the epoch they started on even if a
         // refresh publishes a successor mid-execution.
         let epoch = self.cell.current();
+        if req.statement.starts_with('!') {
+            self.process_shard(&req, &epoch);
+            return;
+        }
         let result = catch_unwind(AssertUnwindSafe(|| epoch.execute(&req.statement, &token)));
         let response = match result {
             Ok(Ok(out)) => {
@@ -395,6 +458,78 @@ impl Server {
             Err(_) => {
                 ServeStats::bump(&self.stats.done_err);
                 format!("ERR {} INTERNAL query execution panicked\n", req.id)
+            }
+        };
+        req.conn.send(&self.faults, &response);
+    }
+
+    /// Answer one coordinator shard request (`!`-prefixed statement)
+    /// through [`affinity_coord::answer`] — the same implementation the
+    /// in-process backend runs, so remote answers cannot drift from it.
+    fn process_shard(&self, req: &Request, epoch: &ModelEpoch) {
+        let Some(model) = epoch.sharded() else {
+            ServeStats::bump(&self.stats.done_err);
+            req.conn.send(
+                &self.faults,
+                &format!(
+                    "ERR {} PROTO shard requests need a shard server (--shard)\n",
+                    req.id
+                ),
+            );
+            return;
+        };
+        if epoch.is_poisoned() {
+            ServeStats::bump(&self.stats.done_err);
+            req.conn.send(
+                &self.faults,
+                &format!("ERR {} INTERNAL epoch poisoned (injected fault)\n", req.id),
+            );
+            return;
+        }
+        let sreq = match decode_request(&req.statement) {
+            Ok(r) => r,
+            Err(e) => {
+                ServeStats::bump(&self.stats.done_err);
+                req.conn.send(
+                    &self.faults,
+                    &format!("ERR {} PROTO {}\n", req.id, one_line(&e.to_string())),
+                );
+                return;
+            }
+        };
+        // Only `!meta` reports ticks; skip the engine lock otherwise.
+        let ticks = if matches!(sreq, ShardRequest::Meta) {
+            self.engine.lock().window().ticks()
+        } else {
+            0
+        };
+        let shard = self.cfg.shard.as_ref().map_or(0, |s| s.shard);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            affinity_coord::answer(model, shard, ticks, epoch.epoch_id(), &sreq)
+        }));
+        let response = match result {
+            Ok(Ok(resp)) => {
+                ServeStats::bump(&self.stats.done_ok);
+                let lines = encode_response(&resp);
+                let mut text = format!("OK {} {}\n", req.id, lines.len());
+                for line in &lines {
+                    text.push_str(line);
+                    text.push('\n');
+                }
+                text
+            }
+            Ok(Err(e)) => {
+                ServeStats::bump(&self.stats.done_err);
+                format!(
+                    "ERR {} {} {}\n",
+                    req.id,
+                    e.wire_code(),
+                    one_line(&e.to_string())
+                )
+            }
+            Err(_) => {
+                ServeStats::bump(&self.stats.done_err);
+                format!("ERR {} INTERNAL shard request panicked\n", req.id)
             }
         };
         req.conn.send(&self.faults, &response);
@@ -434,7 +569,7 @@ impl Server {
     fn publish_from(&self, engine: &StreamingEngine) -> Result<u64, ServeError> {
         let model = engine.model().ok_or(ServeError::NoModel)?;
         let id = self.epoch_seq.fetch_add(1, Ordering::AcqRel) + 1;
-        let epoch = ModelEpoch::from_model(model, Vec::new(), id)?;
+        let epoch = make_epoch(model, self.cfg.shard.as_ref(), self.shard_pool.as_ref(), id)?;
         self.cell.publish(epoch);
         Ok(id)
     }
@@ -456,16 +591,38 @@ impl Server {
         });
         let mut reader = BufReader::new(stream);
         let mut buf = String::new();
+        // After rejecting an oversized line, swallow bytes up to its
+        // newline instead of parsing the tail as a fresh request.
+        let mut swallowing = false;
         while !self.is_shutting_down() && conn.alive.load(Ordering::Acquire) {
             match (&mut reader).take(MAX_LINE).read_line(&mut buf) {
-                Ok(0) => break, // EOF (or a pathological MAX_LINE boundary)
+                Ok(0) => {
+                    // EOF with an unterminated partial line: a typed
+                    // rejection, never a silent drop.
+                    if !buf.is_empty() && !swallowing {
+                        self.reject_proto(&conn, &line_id_prefix(&buf), "unterminated line at EOF");
+                    }
+                    break;
+                }
                 Ok(_) => {
                     if buf.ends_with('\n') {
                         let line = std::mem::take(&mut buf);
-                        self.handle_line(line.trim(), &conn);
+                        if swallowing {
+                            swallowing = false; // discarded tail of a rejected line
+                        } else {
+                            self.handle_line(line.trim(), &conn);
+                        }
                     } else if buf.len() as u64 >= MAX_LINE {
+                        let id = line_id_prefix(&buf);
                         buf.clear();
-                        conn.send(&self.faults, "-err line too long\n");
+                        if !swallowing {
+                            swallowing = true;
+                            self.reject_proto(
+                                &conn,
+                                &id,
+                                &format!("line exceeds {MAX_LINE} bytes"),
+                            );
+                        }
                     }
                     // else: partial line, keep accumulating.
                 }
@@ -474,6 +631,15 @@ impl Server {
                 Err(_) => break,
             }
         }
+    }
+
+    /// Count and answer a transport-level protocol rejection: the raw
+    /// line never becomes a request, but it still lands in the ledger
+    /// (`received` + `rejected`) and gets a typed `ERR ... PROTO`.
+    fn reject_proto(&self, conn: &Arc<Conn>, id: &str, msg: &str) {
+        ServeStats::bump(&self.stats.received);
+        ServeStats::bump(&self.stats.rejected);
+        conn.send(&self.faults, &format!("ERR {id} PROTO {msg}\n"));
     }
 
     /// Dispatch one complete request line.
@@ -611,7 +777,47 @@ impl Server {
     }
 }
 
+/// Freeze an engine model into an epoch — global, or sharded when the
+/// server runs in shard mode.
+fn make_epoch(
+    model: &Model,
+    shard: Option<&ShardServing>,
+    pool: Option<&Arc<ThreadPool>>,
+    id: u64,
+) -> Result<Arc<ModelEpoch>, ServeError> {
+    match (shard, pool) {
+        (Some(sh), Some(pool)) => {
+            let n = model.affine().series_count();
+            let plan = ShardPlan::blocked(n, sh.shards);
+            let sharded = ShardedModel::from_global(
+                model.data(),
+                model.affine(),
+                plan,
+                &sh.indexed,
+                Arc::clone(pool),
+            )?;
+            Ok(ModelEpoch::from_sharded(
+                Arc::new(sharded),
+                Vec::new(),
+                id,
+                model.built_at,
+            )?)
+        }
+        _ => Ok(ModelEpoch::from_model(model, Vec::new(), id)?),
+    }
+}
+
 /// Collapse a message to a single protocol-safe line.
 fn one_line(s: &str) -> String {
     s.replace(['\n', '\r'], " ")
+}
+
+/// The response tag of a rejected raw line: its first whitespace token,
+/// clipped, so the client can still correlate the typed `PROTO` error.
+fn line_id_prefix(raw: &str) -> String {
+    let tok = raw.split_whitespace().next().unwrap_or("");
+    if tok.is_empty() {
+        return "?".to_string();
+    }
+    tok.chars().take(32).collect()
 }

@@ -32,7 +32,7 @@ mod refresh;
 
 pub use build::ShardView;
 pub use error::ShardError;
-pub use model::{ShardModel, ShardedModel};
+pub use model::{merge_keyed_series, splice_chunks, ShardModel, ShardedModel};
 pub use persist::{shard_file, PLAN_FILE};
 pub use plan::ShardPlan;
 pub use refresh::{ShardRecovery, ShardRefreshKind, ShardedStreamingEngine};

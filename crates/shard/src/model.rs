@@ -180,6 +180,36 @@ impl ShardModel {
     pub fn version(&self) -> u64 {
         self.version
     }
+
+    /// A pairwise measure for one pair held by *this* shard's engine.
+    /// Callers route: the pair must live in this shard's partition
+    /// (check with [`has_pair`](ShardModel::has_pair)).
+    ///
+    /// # Errors
+    /// [`CoreError::MissingRelationship`] if this shard does not hold
+    /// the pair.
+    pub fn pair_value(
+        &self,
+        measure: PairwiseMeasure,
+        pair: SequencePair,
+    ) -> Result<f64, CoreError> {
+        self.engine.pair_value(measure, pair)
+    }
+
+    /// A location measure for one series via this shard's engine. The
+    /// value is authoritative only for series this shard owns.
+    ///
+    /// # Errors
+    /// [`CoreError::UnknownSeries`] for out-of-range identifiers.
+    pub fn location_value(&self, measure: LocationMeasure, v: SeriesId) -> Result<f64, CoreError> {
+        self.engine.location_value(measure, v)
+    }
+
+    /// `true` if this shard's partition holds the relationship for
+    /// `pair` (exactly one shard of a model answers `true` per pair).
+    pub fn has_pair(&self, pair: SequencePair) -> bool {
+        self.affine.relationship(pair).is_some()
+    }
 }
 
 /// The cross-shard merge layer: answers every MEC/MET/MER/count query
@@ -512,6 +542,22 @@ impl ShardedModel {
         Ok(out)
     }
 
+    /// The matrix-diagonal convention of [`pairwise`](ShardedModel::pairwise)
+    /// as a scalar: variance for covariance, self dot product for dot
+    /// product, `1.0` for the derived measures. `None` for out-of-range
+    /// ids. Every shard shares the global normalizer tables, so any
+    /// shard of a model answers identically — remote coordinators may
+    /// ask whichever shard is healthy.
+    pub fn diag_value(&self, measure: PairwiseMeasure, v: SeriesId) -> Option<f64> {
+        match measure {
+            PairwiseMeasure::Covariance => self.shared.variances.get(v).copied(),
+            PairwiseMeasure::DotProduct => self.shared.self_dots.get(v).copied(),
+            PairwiseMeasure::Correlation | PairwiseMeasure::Cosine | PairwiseMeasure::Dice => {
+                (v < self.shared.series_count).then_some(1.0)
+            }
+        }
+    }
+
     /// A pairwise measure for every sequence pair, in the lexicographic
     /// order of `DataMatrix::sequence_pairs`. Each shard fills its own
     /// pairs' lexicographic slots; the shards' relationship sets
@@ -552,7 +598,10 @@ impl ShardedModel {
 /// Splice per-pivot chunks tagged with global pivot ordinals into the
 /// global emission order. Ordinals are unique across shards (each
 /// global pivot lives in exactly one shard), so the sort is total.
-fn splice_chunks(mut chunks: Vec<(u32, Vec<SequencePair>)>) -> Vec<SequencePair> {
+///
+/// Public because remote coordinators perform the same merge over
+/// chunks that arrived off the wire instead of from in-process shards.
+pub fn splice_chunks(mut chunks: Vec<(u32, Vec<SequencePair>)>) -> Vec<SequencePair> {
     chunks.sort_by_key(|&(g, _)| g);
     let mut out = Vec::with_capacity(chunks.iter().map(|(_, c)| c.len()).sum());
     for (_, chunk) in chunks {
@@ -565,7 +614,12 @@ fn splice_chunks(mut chunks: Vec<(u32, Vec<SequencePair>)>) -> Vec<SequencePair>
 /// within each cluster, ascending `(ξ, series)` — exactly the order a
 /// global tree yields, because equal-ξ runs are series-ascending by
 /// construction and every series appears in exactly one shard.
-fn merge_keyed_series(per_shard: Vec<Vec<Vec<(f64, SeriesId)>>>) -> Vec<SeriesId> {
+///
+/// Public for the same reason as [`splice_chunks`]: the remote merge
+/// path reuses the exact in-process logic. The per-shard order of the
+/// outer vector is irrelevant (entries re-sort per cluster), but every
+/// present answer must carry one inner vector per cluster.
+pub fn merge_keyed_series(per_shard: Vec<Vec<Vec<(f64, SeriesId)>>>) -> Vec<SeriesId> {
     let clusters = per_shard.first().map_or(0, Vec::len);
     let mut out = Vec::new();
     let mut cluster_buf: Vec<(f64, SeriesId)> = Vec::new();

@@ -71,6 +71,30 @@ impl ShardPlan {
         }
     }
 
+    /// Contiguous block plan: series `v` → shard `v·shards / series`.
+    /// Derived from the shape alone — no cluster model, no persisted
+    /// state — so every process that knows `(series, shards)` computes
+    /// the *same* plan across refreshes and restarts. This is the
+    /// distributed-serving default: shard servers and the coordinator
+    /// agree on ownership without exchanging a plan file.
+    ///
+    /// Unlike [`ShardPlan::along_clusters`] the cut ignores cluster
+    /// boundaries; correctness does not depend on the cut (the merge
+    /// layer is exact for any plan), only rebuild locality does.
+    ///
+    /// # Panics
+    /// Panics if `shards` is zero (a plan must have at least one shard).
+    pub fn blocked(series: usize, shards: usize) -> ShardPlan {
+        assert!(shards >= 1, "a shard plan needs at least one shard");
+        let assignments = (0..series)
+            .map(|v| ((v * shards) / series.max(1)) as u32)
+            .collect();
+        ShardPlan {
+            assignments,
+            shards,
+        }
+    }
+
     /// Adopt an explicit assignment map (e.g. a persisted plan, or an
     /// adversarial cut in the equivalence oracle).
     ///
@@ -191,6 +215,27 @@ mod tests {
             ShardPlan::from_assignments(vec![], 0),
             Err(ShardError::Plan(_))
         ));
+    }
+
+    #[test]
+    fn blocked_plan_is_a_stable_contiguous_partition() {
+        for (n, k) in [(8, 2), (24, 4), (3, 5), (1, 1)] {
+            let plan = ShardPlan::blocked(n, k);
+            assert_eq!(plan.series_count(), n);
+            assert_eq!(plan.shards(), k);
+            // Assignments are ascending (contiguous blocks) and valid.
+            for v in 1..n {
+                assert!(plan.shard_of(v) >= plan.shard_of(v - 1));
+            }
+            let total: usize = (0..k).map(|s| plan.members(s).len()).sum();
+            assert_eq!(total, n);
+            // Stable: recomputing from the shape gives the same plan.
+            assert_eq!(plan, ShardPlan::blocked(n, k));
+        }
+        // Balanced when divisible.
+        let plan = ShardPlan::blocked(8, 2);
+        assert_eq!(plan.members(0), vec![0, 1, 2, 3]);
+        assert_eq!(plan.members(1), vec![4, 5, 6, 7]);
     }
 
     #[test]
